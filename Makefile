@@ -1,0 +1,27 @@
+# Convenience targets for the Flashmark reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples calibrate clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) tools/run_experiments.py results
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+calibrate:
+	$(PYTHON) tools/calibrate.py
+
+clean:
+	rm -rf results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,39 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index) and prints the same
+rows/series the paper reports, annotated with the paper's values where
+it states them.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print their reproduced tables; -s is the intended mode,
+    # but keep captured output useful too.
+    pass
+
+
+@pytest.fixture
+def report():
+    """Print a reproduced table/figure block, clearly delimited."""
+
+    def _report(title: str, body: str) -> None:
+        bar = "=" * 74
+        print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    These are experiment benchmarks (minutes of simulated device time),
+    not microbenchmarks; one round keeps wall time sane while still
+    recording the runtime in the benchmark report.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Aging robustness: the watermark vs. stored data over shelf years.
+
+Not a paper figure — it substantiates two claims the paper makes in
+prose: watermarks are imprinted into *irreversible* physical properties
+("charge retention effects" are listed among the noise sources, not the
+failure modes), while counterfeit/recycled chips threaten end users
+with "a loss of data and premature end-of-life".  We bake a watermarked
+chip for a decade of simulated shelf time and compare what happens to
+the watermark and to ordinary stored data on fresh vs. worn segments.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import Watermark, extract_watermark, imprint_watermark
+from repro.core.bits import bit_error_rate
+from repro.device import age_chip, data_retention_margin_v, make_mcu
+from repro.phys import RetentionParams
+
+from conftest import run_once
+
+YEARS = (0, 1, 5, 10)
+HOURS_PER_YEAR = 365 * 24.0
+#: Aggressive retention corner (hot storage) to make decade-scale loss
+#: visible in the table.
+RETENTION = RetentionParams(rate_v_per_decade=0.12, wear_acceleration=0.028)
+
+
+def test_aging_robustness(benchmark, report):
+    watermark = Watermark.ascii_uppercase(64, np.random.default_rng(7))
+
+    def experiment():
+        chip = make_mcu(seed=600, n_segments=2)
+        imp = imprint_watermark(
+            chip.flash, 0, watermark, 50_000, n_replicas=7
+        )
+        # Worn data segment (a recycled chip's history) + fresh data.
+        chip.flash.bulk_pe_cycles(
+            1, np.zeros(4096, dtype=np.uint8), 100_000
+        )
+        chip.flash.erase_segment(1)
+        chip.flash.program_segment_bits(1, np.zeros(4096, dtype=np.uint8))
+
+        rows = []
+        elapsed_h = 0.0
+        for years in YEARS:
+            target_h = years * HOURS_PER_YEAR
+            age_chip(chip, target_h - elapsed_h, retention=RETENTION)
+            elapsed_h = target_h
+            wm_ber = min(
+                bit_error_rate(
+                    watermark.bits,
+                    extract_watermark(
+                        chip.flash, 0, imp.layout, float(t)
+                    ).bits,
+                )
+                for t in np.arange(23.0, 31.0, 1.0)
+            )
+            margin = data_retention_margin_v(chip, 1)
+            data_errors = int(
+                (chip.flash.read_segment_bits(1) == 1).sum()
+            )
+            rows.append(
+                [years, 100 * wm_ber, margin, data_errors]
+            )
+            # NOTE: extraction rewrites segment 0 only; segment 1 keeps
+            # aging undisturbed.
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    body = format_table(
+        [
+            "shelf years",
+            "watermark BER [%]",
+            "worn-data margin [V]",
+            "worn-data bit flips",
+        ],
+        rows,
+    )
+    body += (
+        "\nthe watermark lives in oxide wear and survives unchanged;"
+        "\nstored charge on the 100 K-cycled data segment leaks until"
+        "\nbits flip — the recycled-chip failure mode of Section I."
+    )
+    report("Aging — watermark vs stored data over shelf time", body)
+
+    # Watermark unaffected across a decade.
+    assert all(r[1] < 2.0 for r in rows)
+    # Worn-data margin decays monotonically.
+    margins = [r[2] for r in rows]
+    assert margins == sorted(margins, reverse=True)

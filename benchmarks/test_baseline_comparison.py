@@ -1,0 +1,197 @@
+"""Section I comparison: Flashmark vs. the existing alternatives.
+
+The introduction contrasts Flashmark with (1) programmed metadata —
+trivially forgeable, (2) ECIDs — unforgeable but needing mask changes
+and a per-chip manufacturer database, (3) PUFs — lengthy extraction and
+a database entry plus manufacturer round trip per chip, and (4) the
+recycled-flash timing detectors [6], [7] — which only answer "was this
+chip used?".  This benchmark runs all of them on the same chip scenarios
+and tabulates what each one catches and what it costs.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.attacks import digital_forgery
+from repro.baselines import (
+    EcidOtp,
+    EcidRegistry,
+    FlashPuf,
+    PlainMetadataStore,
+    PufRegistry,
+)
+from repro.characterize import (
+    FfdDetector,
+    RecycledFlashDetector,
+    stress_segment,
+)
+from repro.core import (
+    ChipStatus,
+    FlashmarkSession,
+    Verdict,
+    Watermark,
+    WatermarkPayload,
+    WatermarkVerifier,
+)
+from repro.device import make_mcu
+
+from conftest import run_once
+
+
+def _payload(status=ChipStatus.ACCEPT):
+    return WatermarkPayload("TCMK", die_id=9, speed_grade=2, status=status)
+
+
+def test_baseline_comparison(benchmark, report):
+    def experiment():
+        results = {}
+
+        # --- plain metadata: forgeable -------------------------------
+        chip = make_mcu(seed=400, n_segments=1)
+        store = PlainMetadataStore()
+        store.write(chip.flash, _payload(ChipStatus.REJECT))
+        fake_bits = Watermark.from_payload(_payload(ChipStatus.ACCEPT)).bits
+        pattern = np.ones(4096, dtype=np.uint8)
+        pattern[: fake_bits.size] = fake_bits
+        digital_forgery(chip.flash, 0, pattern)
+        forged = store.read(chip.flash)
+        results["metadata_forged"] = (
+            forged is not None and forged.status is ChipStatus.ACCEPT
+        )
+
+        # --- ECID: clone-resistant only via the registry --------------
+        registry = EcidRegistry()
+        genuine_otp = EcidOtp()
+        genuine_otp.blow(0xA1B2C3)
+        registry.issue(0xA1B2C3)
+        clone_otp = EcidOtp()
+        clone_otp.blow(0xA1B2C3)  # cloner copies the id
+        results["ecid_genuine_ok"] = registry.verify(genuine_otp.read())
+        results["ecid_clone_caught"] = not registry.verify(clone_otp.read())
+        results["ecid_db_entries_per_chip"] = 1
+
+        # --- PUF: works, but costs enrollment + database ---------------
+        puf = FlashPuf(n_rounds=5)
+        puf_registry = PufRegistry()
+        chips = [make_mcu(seed=410 + i, n_segments=1) for i in range(3)]
+        enrollments = [puf.extract(c) for c in chips]
+        for e in enrollments:
+            puf_registry.enroll(e)
+        probe = puf.extract(chips[1])
+        results["puf_match_ok"] = (
+            puf_registry.match(probe.fingerprint)
+            == enrollments[1].chip_label
+        )
+        results["puf_extract_ms"] = enrollments[0].extraction_ms
+        results["puf_db_entries_per_chip"] = 1
+
+        # --- recycled detectors: catch wear, not identity ---------------
+        detector = RecycledFlashDetector()
+        detector.enroll_fresh(make_mcu(seed=420, n_segments=1))
+        worn = make_mcu(seed=421, n_segments=1)
+        stress_segment(worn.flash, 0, 50_000)
+        results["recycled_detects_wear"] = detector.probe(
+            worn.fork()
+        ).recycled
+        fallout = make_mcu(seed=422, n_segments=1)  # unused reject die
+        results["recycled_misses_fallout"] = not detector.probe(
+            fallout.fork()
+        ).recycled
+
+        ffd = FfdDetector()
+        ffd.enroll_fresh(make_mcu(seed=423, n_segments=1))
+        results["ffd_detects_wear"] = ffd.probe(worn.fork()).recycled
+        results["ffd_misses_fallout"] = not ffd.probe(
+            fallout.fork()
+        ).recycled
+
+        # --- Flashmark -------------------------------------------------
+        golden = make_mcu(seed=430, n_segments=1)
+        session = FlashmarkSession(golden)
+        imp = session.imprint_payload(_payload(), n_pe=40_000, n_replicas=7)
+        verifier = WatermarkVerifier(session.calibration, session.format)
+        chip = golden.fork()
+        chip.flash.erase_segment(0)  # counterfeiter wipes it digitally
+        verdict = verifier.verify(chip.flash)
+        results["flashmark_survives_wipe"] = (
+            verdict.verdict is Verdict.AUTHENTIC
+        )
+        results["flashmark_imprint_s"] = imp.duration_s
+        results["flashmark_verify_ms"] = (
+            verdict.decoded.extraction.duration_ms
+        )
+        results["flashmark_db_entries_per_chip"] = 0
+        return results
+
+    r = run_once(benchmark, experiment)
+
+    rows = [
+        [
+            "programmed metadata",
+            "none (forged)" if r["metadata_forged"] else "ok",
+            "0",
+            "no",
+            "~0 s",
+        ],
+        [
+            "ECID (antifuse)",
+            "clone caught via db" if r["ecid_clone_caught"] else "broken",
+            str(r["ecid_db_entries_per_chip"]),
+            "yes",
+            "mask change",
+        ],
+        [
+            "flash PUF",
+            "match ok" if r["puf_match_ok"] else "broken",
+            str(r["puf_db_entries_per_chip"]),
+            "yes",
+            f"extract {r['puf_extract_ms']:.0f} ms/chip",
+        ],
+        [
+            "partial-erase detector [7]",
+            "wear only"
+            if r["recycled_detects_wear"] and r["recycled_misses_fallout"]
+            else "unexpected",
+            "golden refs",
+            "no",
+            "misses fall-out dies",
+        ],
+        [
+            "FFD partial-program [6]",
+            "wear only"
+            if r["ffd_detects_wear"] and r["ffd_misses_fallout"]
+            else "unexpected",
+            "golden refs",
+            "no",
+            "misses fall-out dies",
+        ],
+        [
+            "Flashmark",
+            "survives digital wipe"
+            if r["flashmark_survives_wipe"]
+            else "broken",
+            "0",
+            "no",
+            f"imprint {r['flashmark_imprint_s']:.0f} s, "
+            f"verify {r['flashmark_verify_ms']:.0f} ms",
+        ],
+    ]
+    body = format_table(
+        [
+            "technique",
+            "forgery resistance",
+            "db entries/chip",
+            "manufacturer contact",
+            "cost notes",
+        ],
+        rows,
+    )
+    report("Section I — anti-counterfeiting alternatives", body)
+
+    assert r["metadata_forged"]  # the motivation for Flashmark
+    assert r["ecid_genuine_ok"] and r["ecid_clone_caught"]
+    assert r["puf_match_ok"]
+    assert r["recycled_detects_wear"] and r["recycled_misses_fallout"]
+    assert r["ffd_detects_wear"] and r["ffd_misses_fallout"]
+    assert r["flashmark_survives_wipe"]
+    assert r["flashmark_db_entries_per_chip"] == 0

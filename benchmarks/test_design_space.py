@@ -1,0 +1,143 @@
+"""Design-space exploration: imprint time vs extraction BER.
+
+Section V's stated goal is "to determine feasibility of the proposed
+watermarking as well as to explore its design space and design
+trade-offs".  This benchmark measures the (N_PE, replicas) grid and
+prints the Pareto front of the conflicting requirements — minimum
+imprint time vs minimum bit errors — plus the planner's pick for a
+0.1 % BER target.
+"""
+
+from repro.analysis import format_table
+from repro.core.planner import explore_design_space
+from repro.device import make_mcu
+
+from conftest import run_once
+
+
+def test_design_space_pareto(benchmark, report):
+    def experiment():
+        return explore_design_space(
+            lambda seed: make_mcu(seed=seed, n_segments=1),
+            n_pe_values=(10_000, 20_000, 40_000, 60_000),
+            replica_values=(1, 3, 7),
+        )
+
+    space = run_once(benchmark, experiment)
+
+    rows = [
+        [
+            f"{p.n_pe // 1000} K",
+            p.n_replicas,
+            100 * p.ber,
+            p.imprint_s,
+            p.t_pew_us,
+        ]
+        for p in space.points
+    ]
+    body = format_table(
+        [
+            "N_PE",
+            "replicas",
+            "min BER [%]",
+            "imprint [s] (accel.)",
+            "best t_PE [us]",
+        ],
+        rows,
+    )
+    front = space.pareto_front()
+    body += "\n\nPareto front (imprint time vs BER):\n" + format_table(
+        ["N_PE", "replicas", "BER [%]", "imprint [s]"],
+        [
+            [f"{p.n_pe // 1000} K", p.n_replicas, 100 * p.ber, p.imprint_s]
+            for p in front
+        ],
+    )
+    choice = space.cheapest_meeting(0.001)
+    if choice is not None:
+        body += (
+            f"\nplanner pick for BER <= 0.1 %: {choice.n_pe // 1000} K "
+            f"cycles x {choice.n_replicas} replicas "
+            f"({choice.imprint_s:.0f} s imprint)"
+        )
+    report("Design space — imprint cost vs extraction errors", body)
+
+    # The conflict the paper describes: no point has both the fastest
+    # imprint and the lowest BER.
+    fastest = min(space.points, key=lambda p: p.imprint_s)
+    cleanest = min(space.points, key=lambda p: p.ber)
+    assert fastest.ber > cleanest.ber
+    assert cleanest.imprint_s > fastest.imprint_s
+    # More replicas never hurt at fixed stress.
+    for n_pe in (10_000, 40_000):
+        at_stress = sorted(
+            (p for p in space.points if p.n_pe == n_pe),
+            key=lambda p: p.n_replicas,
+        )
+        assert at_stress[-1].ber <= at_stress[0].ber + 0.005
+    # The planner finds a sub-8-minute configuration for 0.1 % BER.
+    assert choice is not None
+    assert choice.imprint_s < 480
+
+
+def test_imprint_throughput(benchmark, report):
+    """Tester economics on top of the measured imprint durations.
+
+    The paper's per-chip imprint cost looks expensive serially; on a
+    64-socket production tester it translates to hundreds of chips per
+    hour, and the accelerated mode is directly a ~3.5x cost reduction.
+    """
+    from repro.core import ImprintTester
+    from repro.core.watermark import Watermark
+    from repro.core.imprint import imprint_watermark
+    import numpy as np
+
+    def experiment():
+        rows = []
+        tester = ImprintTester(sockets=64, handling_s=15.0, hourly_cost=40.0)
+        for n_pe in (20_000, 40_000, 70_000):
+            for accelerated in (False, True):
+                chip = make_mcu(seed=40 + n_pe // 1000, n_segments=1)
+                wm = Watermark.ascii_uppercase(
+                    64, np.random.default_rng(0)
+                )
+                rep = imprint_watermark(
+                    chip.flash,
+                    0,
+                    wm,
+                    n_pe,
+                    n_replicas=7,
+                    accelerated=accelerated,
+                )
+                est = tester.estimate(rep.duration_s)
+                rows.append(
+                    [
+                        f"{n_pe // 1000} K",
+                        "accel" if accelerated else "base",
+                        rep.duration_s,
+                        est.chips_per_hour,
+                        est.cost_per_chip,
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    body = format_table(
+        [
+            "N_PE",
+            "mode",
+            "imprint [s]",
+            "chips/hour (64 sockets)",
+            "cost/chip [$]",
+        ],
+        rows,
+    )
+    report("Design space — imprint throughput on a production tester", body)
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Acceleration translates ~1:1 into throughput.
+    base = by_key[("40 K", "base")][3]
+    accel = by_key[("40 K", "accel")][3]
+    assert 2.5 < accel / base < 4.5
+    # Even the slowest configuration exceeds 50 chips/hour on 64 sockets.
+    assert all(r[3] > 50 for r in rows)

@@ -1,0 +1,112 @@
+"""Fig. 11: impact of watermark replication on bit error rates.
+
+BER vs t_PE with 3/5/7 replicas for imprints at 40/50/60/70 K cycles.
+Paper values at 40 K: minima of 5.2 / 2.4 / 0.96 % for 3/5/7 replicas
+(vs 11.8 % unreplicated); at 70 K a 3-way replicated watermark recovers
+with zero errors; and the usable window is wider than without
+replication.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import extract_watermark, imprint_watermark
+from repro.core.bits import bit_error_rate
+from repro.device import make_mcu
+from repro.workloads import segment_filling_ascii
+
+from conftest import run_once
+
+STRESS_K = (40, 50, 60, 70)
+REPLICAS = (3, 5, 7)
+T_GRID = np.arange(18.0, 60.0, 1.0)
+
+PAPER_40K_MIN_PCT = {3: 5.2, 5: 2.4, 7: 0.96}
+
+
+def test_fig11_replication_impact(benchmark, report):
+    def experiment():
+        results = {}
+        for stress_k in STRESS_K:
+            for n_replicas in REPLICAS:
+                watermark = segment_filling_ascii(
+                    4096, seed=11, n_replicas=n_replicas
+                )
+                chip = make_mcu(
+                    seed=1100 + stress_k * 10 + n_replicas, n_segments=1
+                )
+                imp = imprint_watermark(
+                    chip.flash,
+                    0,
+                    watermark,
+                    stress_k * 1000,
+                    n_replicas=n_replicas,
+                )
+                bers = np.array(
+                    [
+                        bit_error_rate(
+                            watermark.bits,
+                            extract_watermark(
+                                chip.flash, 0, imp.layout, float(t)
+                            ).bits,
+                        )
+                        for t in T_GRID
+                    ]
+                )
+                results[(stress_k, n_replicas)] = bers
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for stress_k in STRESS_K:
+        for n_replicas in REPLICAS:
+            bers = results[(stress_k, n_replicas)]
+            min_ber = float(bers.min())
+            # Window of t values within 2 percentage points of the best.
+            ok = bers <= min_ber + 0.02
+            window = float(T_GRID[ok].max() - T_GRID[ok].min())
+            paper = (
+                PAPER_40K_MIN_PCT[n_replicas]
+                if stress_k == 40
+                else (0.0 if (stress_k == 70 and n_replicas == 3) else "-")
+            )
+            rows.append(
+                [
+                    f"{stress_k} K",
+                    n_replicas,
+                    100 * min_ber,
+                    paper,
+                    window,
+                ]
+            )
+    body = format_table(
+        [
+            "N_PE",
+            "replicas",
+            "min BER [%] (measured)",
+            "min BER [%] (paper)",
+            "low-BER window [us]",
+        ],
+        rows,
+    )
+    report("Fig. 11 — replication impact on BER", body)
+
+    # Shape assertions.
+    for stress_k in STRESS_K:
+        minima = [
+            float(results[(stress_k, r)].min()) for r in REPLICAS
+        ]
+        # More replicas never hurt (allow tiny noise wiggle).
+        assert minima[2] <= minima[0] + 0.005
+    # 40 K with 7 replicas decodes far below the unreplicated 11.8 %.
+    assert float(results[(40, 7)].min()) < 0.025
+    # 70 K with 3 replicas recovers (paper: zero errors).
+    assert float(results[(70, 3)].min()) <= 0.01
+    # Replication widens the usable window (7 vs 3 replicas at 50 K).
+    def window(stress_k, n_replicas):
+        bers = results[(stress_k, n_replicas)]
+        ok = bers <= float(bers.min()) + 0.02
+        return float(T_GRID[ok].max() - T_GRID[ok].min())
+
+    assert window(50, 7) >= window(50, 3)

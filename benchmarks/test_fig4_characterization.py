@@ -1,0 +1,95 @@
+"""Fig. 4: state of flash cells in a segment vs. the partial-erase time.
+
+Reproduces the characterisation family of curves: cells_0/cells_1 as a
+function of t_PE for segments preconditioned to 0 K .. 100 K P/E cycles,
+plus the Section III table of minimum t_PE for a full erase
+(paper: 35 / 115 / 203 / 226 / 687 / 811 us).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_chart, format_table
+from repro.characterize import run_stress_sweep
+from repro.device import make_mcu
+
+from conftest import run_once
+
+PAPER_FULL_ERASE_US = {
+    0: 35.0,
+    20_000: 115.0,
+    40_000: 203.0,
+    60_000: 226.0,
+    80_000: 687.0,
+    100_000: 811.0,
+}
+
+
+def test_fig4_partial_erase_curves(benchmark, report):
+    grid = np.concatenate(
+        [np.linspace(0.0, 60.0, 31), np.geomspace(66.0, 1500.0, 26)]
+    )
+
+    def experiment():
+        chip = make_mcu(seed=4, n_segments=6)
+        return run_stress_sweep(
+            chip,
+            stress_levels=tuple(PAPER_FULL_ERASE_US),
+            t_pe_values_us=grid,
+            n_reads=3,
+        )
+
+    sweep = run_once(benchmark, experiment)
+
+    rows = []
+    measured = sweep.full_erase_times_us()
+    onsets = sweep.onsets_us()
+    for level in sweep.stress_levels:
+        rows.append(
+            [
+                f"{level // 1000} K",
+                onsets[level],
+                measured[level],
+                PAPER_FULL_ERASE_US[level],
+            ]
+        )
+    body = format_table(
+        [
+            "stress",
+            "onset t_PE [us]",
+            "full-erase t_PE [us]",
+            "paper full-erase [us]",
+        ],
+        rows,
+    )
+
+    # The figure itself: erased-cell counts vs t_PE, one symbol/level.
+    labels = "0abcde"
+    series = {
+        labels[i]: sweep.curves[level].cells_1
+        for i, level in enumerate(sweep.stress_levels)
+    }
+    chart = ascii_chart(
+        np.maximum(grid, 1.0),
+        series,
+        x_label="t_PE [us]",
+        y_label="cells_1 (erased)",
+        logx=True,
+    )
+    legend = "  ".join(
+        f"{labels[i]}={level // 1000}K"
+        for i, level in enumerate(sweep.stress_levels)
+    )
+    report(
+        "Fig. 4 — erase transition vs stress level", body + "\n\n" + chart + "\n" + legend
+    )
+
+    # Shape assertions: transitions shift right and widen with stress.
+    times = [measured[level] for level in sweep.stress_levels]
+    assert times[0] < 60.0
+    assert times[1] > 1.8 * times[0]
+    assert max(times[1:]) > 200.0
+    widths = [
+        sweep.curves[level].transition_width_us()
+        for level in sweep.stress_levels
+    ]
+    assert widths[-1] > 3 * widths[0]

@@ -1,0 +1,64 @@
+"""Fig. 5: single-round detection of stress-induced changes.
+
+The paper picks t_PEW = 23 us and distinguishes 3,833 of 4,096 bits
+between a fresh and a 50 K-stressed segment in one characterisation
+round.  This benchmark derives our model's best single-round window and
+reports the separated-bit count.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.characterize import (
+    characterize_segment,
+    select_t_pew,
+    stress_segment,
+)
+from repro.device import make_mcu
+
+from conftest import run_once
+
+PAPER_T_PEW_US = 23.0
+PAPER_DISTINGUISHABLE = 3_833
+N_CELLS = 4_096
+
+
+def test_fig5_single_round_detection(benchmark, report):
+    grid = np.concatenate(
+        [np.linspace(0.0, 60.0, 61), np.geomspace(66.0, 1500.0, 20)]
+    )
+
+    def experiment():
+        chip = make_mcu(seed=5, n_segments=2)
+        fresh = characterize_segment(chip.flash, 0, grid, n_reads=3)
+        stress_segment(chip.flash, 1, 50_000)
+        stressed = characterize_segment(chip.flash, 1, grid, n_reads=3)
+        return select_t_pew(fresh, stressed)
+
+    selection = run_once(benchmark, experiment)
+
+    body = format_table(
+        ["quantity", "measured", "paper"],
+        [
+            ["t_PEW [us]", selection.t_pew_us, PAPER_T_PEW_US],
+            [
+                "distinguishable bits",
+                selection.distinguishable_bits,
+                PAPER_DISTINGUISHABLE,
+            ],
+            [
+                "fraction",
+                selection.separation_fraction,
+                PAPER_DISTINGUISHABLE / N_CELLS,
+            ],
+            [
+                "window [us]",
+                f"{selection.window_lo_us:.1f}..{selection.window_hi_us:.1f}",
+                "n/a",
+            ],
+        ],
+    )
+    report("Fig. 5 — one-round fresh/50K separation", body)
+
+    assert 15.0 < selection.t_pew_us < 60.0
+    assert selection.distinguishable_bits > 0.8 * N_CELLS

@@ -1,0 +1,96 @@
+"""Fig. 9: single-read extraction BER vs. partial-erase time.
+
+An uppercase-ASCII watermark fills a 512-byte segment; the watermark is
+imprinted with N_PE = 0..100 K cycles and extracted with a single read
+while sweeping t_PE.  The paper's headline numbers: the BER minimum
+falls from 19.9 % (20 K) through 11.8 % (40 K) and 7.6 % (60 K) to
+2.3 % (80 K), the flat extremes equal the watermark's 1/0 densities,
+and the optimal window shifts right with stress.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_chart, format_table, summarize_ber
+from repro.core import extract_segment, imprint_watermark
+from repro.device import make_mcu
+from repro.workloads import segment_filling_ascii
+
+from conftest import run_once
+
+PAPER_MIN_BER_PCT = {20: 19.9, 40: 11.8, 60: 7.6, 80: 2.3}
+STRESS_K = (0, 20, 40, 60, 80, 100)
+T_GRID = np.arange(14.0, 90.0, 1.0)
+
+
+def test_fig9_ber_curves(benchmark, report):
+    watermark = segment_filling_ascii(4096, seed=42)
+
+    def experiment():
+        curves = {}
+        for stress_k in STRESS_K:
+            chip = make_mcu(seed=90 + stress_k, n_segments=1)
+            if stress_k:
+                imprint_watermark(
+                    chip.flash, 0, watermark, stress_k * 1000
+                )
+            bers = []
+            for t in T_GRID:
+                extraction = extract_segment(chip.flash, 0, float(t))
+                s = summarize_ber(watermark.bits, extraction.raw_bits)
+                bers.append(s.ber)
+            curves[stress_k] = np.array(bers)
+        return curves
+
+    curves = run_once(benchmark, experiment)
+
+    rows = []
+    for stress_k in STRESS_K:
+        ber = curves[stress_k]
+        idx = int(np.argmin(ber))
+        rows.append(
+            [
+                f"{stress_k} K",
+                100 * ber[idx],
+                PAPER_MIN_BER_PCT.get(stress_k, "n/a"),
+                T_GRID[idx],
+            ]
+        )
+    body = format_table(
+        [
+            "N_PE",
+            "min BER [%] (measured)",
+            "min BER [%] (paper)",
+            "optimal t_PE [us]",
+        ],
+        rows,
+    )
+    labels = "0abcde"
+    chart = ascii_chart(
+        T_GRID,
+        {
+            labels[i]: 100 * curves[stress_k]
+            for i, stress_k in enumerate(STRESS_K)
+        },
+        x_label="t_PE [us]",
+        y_label="bit errors [%]",
+    )
+    legend = "  ".join(
+        f"{labels[i]}={k}K" for i, k in enumerate(STRESS_K)
+    )
+    report("Fig. 9 — BER vs t_PE by imprint stress", body + "\n\n" + chart + "\n" + legend)
+
+    # Shape assertions.
+    minima = {k: float(curves[k].min()) for k in STRESS_K}
+    # (a) the 0 K curve's extremes equal the watermark bit densities
+    ones = watermark.ones_fraction
+    assert abs(curves[0][0] - ones) < 0.02
+    assert abs(curves[0][-1] - (1 - ones)) < 0.05
+    # (b) more stress -> lower achievable BER, monotonically
+    ordered = [minima[k] for k in (20, 40, 60, 80)]
+    assert ordered == sorted(ordered, reverse=True)
+    # (c) magnitudes within ~2x of the paper
+    for k, paper_pct in PAPER_MIN_BER_PCT.items():
+        assert minima[k] * 100 < 2.0 * paper_pct
+    # (d) the optimal window shifts right with stress
+    t_opt = {k: float(T_GRID[np.argmin(curves[k])]) for k in STRESS_K}
+    assert t_opt[80] > t_opt[20]

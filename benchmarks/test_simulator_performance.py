@@ -1,0 +1,83 @@
+"""Simulator performance: host-side cost of the vectorised physics.
+
+These are true microbenchmarks (pytest-benchmark's bread and butter):
+how fast the simulator executes the primitive operations that every
+experiment is built from.  They guard against performance regressions —
+a Fig. 9 sweep issues tens of thousands of segment operations, and the
+bulk imprint fast path is the difference between milliseconds and hours.
+"""
+
+import numpy as np
+
+from repro.device import make_mcu
+
+SEGMENT_BITS = 4096
+
+
+def _chip():
+    return make_mcu(seed=1, n_segments=2)
+
+
+def test_perf_erase_pulse(benchmark):
+    chip = _chip()
+
+    def op():
+        chip.flash.partial_erase_segment(0, 23.0)
+
+    benchmark(op)
+
+
+def test_perf_program_segment(benchmark):
+    chip = _chip()
+    pattern = np.zeros(SEGMENT_BITS, dtype=np.uint8)
+    chip.flash.erase_segment(0)
+
+    def op():
+        chip.flash.program_segment_bits(0, pattern)
+
+    benchmark(op)
+
+
+def test_perf_majority_read(benchmark):
+    chip = _chip()
+
+    def op():
+        chip.flash.read_segment_bits(0, n_reads=3)
+
+    benchmark(op)
+
+
+def test_perf_bulk_imprint_40k(benchmark):
+    """The fast path that makes 40 K-cycle imprints tractable."""
+    pattern = (np.arange(SEGMENT_BITS) % 2).astype(np.uint8)
+
+    def op():
+        chip = _chip()
+        chip.flash.bulk_pe_cycles(0, pattern, 40_000)
+
+    benchmark(op)
+
+
+def test_perf_full_extraction_round(benchmark):
+    from repro.core import extract_segment
+
+    chip = _chip()
+    from repro.core import Watermark, imprint_watermark
+
+    wm = Watermark.ascii_uppercase(64, np.random.default_rng(0))
+    imprint_watermark(chip.flash, 0, wm, 40_000, n_replicas=7)
+
+    def op():
+        extract_segment(chip.flash, 0, 25.0)
+
+    benchmark(op)
+
+
+def test_perf_chip_manufacture(benchmark):
+    """Static-lot sampling dominates chip construction."""
+    seeds = iter(range(10_000))
+
+    def op():
+        make_mcu(seed=next(seeds), n_segments=1)
+
+    benchmark(op)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Attack lab: what a counterfeiter can and cannot do to a watermark.
+
+Plays through the Section IV threat discussion on simulated silicon:
+
+* rewriting the segment digitally (defeats metadata, not Flashmark);
+* flooding the segment with erases to "heal" stressed cells (futile —
+  oxide traps are permanent);
+* stressing additional cells (the only physical lever, one-directional
+  and caught by the balance constraint);
+* the headline attack: converting a REJECT die-sort mark into ACCEPT.
+
+Run:  python examples/attack_lab.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChipStatus,
+    FlashmarkSession,
+    Watermark,
+    WatermarkPayload,
+    WatermarkVerifier,
+    make_mcu,
+)
+from repro.attacks import digital_forgery, erase_flood, stress_tamper
+
+
+def make_marked_chip(seed, status):
+    chip = make_mcu(seed=seed, n_segments=1)
+    session = FlashmarkSession(chip)
+    payload = WatermarkPayload(
+        "TCMK", die_id=chip.die_id, speed_grade=5, status=status
+    )
+    session.imprint_payload(payload, n_pe=40_000, n_replicas=7)
+    return chip, session
+
+
+def main() -> None:
+    golden, session = make_marked_chip(77, ChipStatus.ACCEPT)
+    verifier = WatermarkVerifier(session.calibration, session.format)
+    print("golden chip imprinted: ACCEPT\n")
+
+    # Attack 1: digital rewrite.
+    chip = golden.fork()
+    digital_forgery(
+        chip.flash, 0, np.zeros(4096, dtype=np.uint8)
+    )
+    r = verifier.verify(chip.flash)
+    print(f"[digital rewrite]  verdict: {r.verdict.value:11s} — {r.reason}")
+
+    # Attack 2: erase flood.
+    chip = golden.fork()
+    report = erase_flood(chip.flash, 0, 1_000)
+    r = verifier.verify(chip.flash)
+    print(
+        f"[erase flood]      verdict: {r.verdict.value:11s} — the watermark "
+        f"survived {report.description}"
+    )
+
+    # Attack 3: scattered stress tamper.
+    chip = golden.fork()
+    rng = np.random.default_rng(1)
+    target = np.ones(4096, dtype=np.uint8)
+    target[rng.permutation(4096)[:400]] = 0
+    attack = stress_tamper(chip.flash, 0, target, 40_000)
+    r = verifier.verify(chip.flash)
+    print(
+        f"[stress tamper]    verdict: {r.verdict.value:11s} — "
+        f"{r.stressed_outliers} stressed outliers "
+        f"(limit {r.stressed_outlier_limit}); attack cost "
+        f"{attack.duration_s:.0f} s"
+    )
+
+    # Attack 4: REJECT -> ACCEPT forgery on a fall-out die.
+    reject_chip, reject_session = make_marked_chip(78, ChipStatus.REJECT)
+    accept_bits = Watermark.from_payload(
+        WatermarkPayload(
+            "TCMK",
+            die_id=reject_chip.die_id,
+            speed_grade=5,
+            status=ChipStatus.ACCEPT,
+        )
+    ).balanced()
+    forged_pattern = reject_session.format.layout_for(4096).tile(
+        accept_bits.bits
+    )
+    digital_forgery(reject_chip.flash, 0, forged_pattern)
+    r = verifier.verify(reject_chip.flash)
+    recovered = r.payload.status.name if r.payload else "none"
+    print(
+        f"[reject->accept]   verdict: {r.verdict.value:11s} — physical "
+        f"extraction recovers status {recovered}"
+    )
+    print(
+        "\nconclusion: the only physical lever (adding stress) is "
+        "one-directional\nand detectable; a REJECT mark cannot become ACCEPT."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Bare-metal flavour: driving the flash module through its registers.
+
+The paper implements Flashmark as MSP430 firmware poking the flash
+controller registers directly.  This example performs one partial-erase
+characterisation round exactly the way that firmware does:
+
+1. unlock the module (FCTL3 password write clearing LOCK);
+2. program every word of the segment (FCTL1 WRT + bus writes);
+3. set ERASE and issue the dummy write that starts the erase;
+4. busy-wait t_PE microseconds;
+5. write EMEX — the emergency exit — to abort the erase mid-flight;
+6. read the frozen cell states back over the bus.
+
+Run:  python examples/bare_metal_registers.py
+"""
+
+from repro import make_mcu
+from repro.device import EMEX, ERASE, FCTL1, FCTL3, FWKEY, WRT
+
+
+def characterise_once(mcu, t_pe_us: float) -> int:
+    """One Fig. 3 round at the register level; returns erased-cell count."""
+    regs = mcu.regs
+    words = mcu.geometry.words_per_segment
+
+    regs.write_register(FCTL3, FWKEY)  # clear LOCK
+    # Full erase, then program all words to 0x0000.
+    regs.write_register(FCTL1, FWKEY | ERASE)
+    regs.dummy_write(0x0000)
+    while regs.busy:
+        regs.wait_us(1000.0)
+    regs.write_register(FCTL1, FWKEY | WRT)
+    for word in range(words):
+        regs.write_word(word * 2, 0x0000)
+
+    # Partial erase: initiate, wait t_PE, emergency exit.
+    regs.write_register(FCTL1, FWKEY)  # clear WRT
+    regs.write_register(FCTL1, FWKEY | ERASE)
+    regs.dummy_write(0x0000)
+    regs.wait_us(t_pe_us)
+    regs.write_register(FCTL3, FWKEY | EMEX)
+
+    # Count erased cells with 3-read majority, word by word.
+    erased = 0
+    for word in range(words):
+        value = regs.read_word(word * 2, n_reads=3)
+        erased += bin(value).count("1")
+    regs.write_register(FCTL3, FWKEY | 0x0010)  # set LOCK again
+    return erased
+
+
+def main() -> None:
+    mcu = make_mcu(seed=33, n_segments=1)
+    print(f"target: {mcu!r}")
+    print("t_PE [us]   erased cells / 4096")
+    for t_pe in (5, 15, 18, 21, 24, 27, 32, 40, 60):
+        count = characterise_once(mcu, float(t_pe))
+        bar = "#" * (count // 64)
+        print(f"  {t_pe:6.1f}   {count:5d}  {bar}")
+    print(f"\ndevice time consumed: {mcu.trace.now_s:.2f} s")
+    print(f"operations: {dict(sorted(mcu.trace.op_counts.items()))}")
+
+
+if __name__ == "__main__":
+    main()

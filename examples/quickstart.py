@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: watermark a chip at die-sort, then verify it as an integrator.
+
+The whole Flashmark life cycle in ~40 lines:
+
+1. the manufacturer imprints a CRC-protected manufacturing record into a
+   reserved flash segment by repeated program/erase stress;
+2. a counterfeiter wipes the chip digitally (in vain);
+3. a system integrator extracts the watermark through the standard
+   digital interface and verifies the chip.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ChipStatus,
+    FlashmarkSession,
+    WatermarkPayload,
+    make_mcu,
+)
+
+
+def main() -> None:
+    # A simulated MSP430F5438 with one flash segment (the watermark
+    # segment); seed makes the die reproducible.
+    chip = make_mcu(model="MSP430F5438", seed=2024, n_segments=1)
+    print(f"manufactured {chip!r}")
+
+    # -- manufacturer side (die-sort) --------------------------------
+    session = FlashmarkSession(chip)
+    payload = WatermarkPayload(
+        manufacturer="TCMK",  # the paper's Trusted Chipmaker
+        die_id=chip.die_id,
+        speed_grade=3,
+        status=ChipStatus.ACCEPT,
+    )
+    report = session.imprint_payload(payload, n_pe=40_000, n_replicas=7)
+    print(
+        f"imprinted {payload.manufacturer}/{payload.status.name} with "
+        f"{report.n_pe} P/E cycles in {report.duration_s:.0f} s of device "
+        f"time ({report.n_stressed_cells} cells stressed)"
+    )
+    calibration = session.calibration
+    print(
+        f"published extraction window: t_PEW = {calibration.t_pew_us} us "
+        f"({calibration.window_lo_us}..{calibration.window_hi_us} us)"
+    )
+
+    # -- counterfeiter side -------------------------------------------
+    chip.flash.erase_segment(0)
+    print("counterfeiter erased the segment; digital contents are blank")
+
+    # -- integrator side ------------------------------------------------
+    verification = session.verify()
+    print(f"verdict: {verification.verdict.value} ({verification.reason})")
+    print(f"recovered payload: {verification.payload}")
+    assert verification.verdict.name == "AUTHENTIC"
+    assert verification.payload.die_id == chip.die_id
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Supply-chain screening: verify a mixed shipment of chips.
+
+Models the Section I scenario: a system integrator receives a shipment
+containing genuine parts, recycled parts, fall-out dies that failed
+die-sort, and rebranded inferior silicon.  Flashmark verification sorts
+them with no manufacturer database and no chip-specific records — only
+the published family calibration and watermark format.
+
+Run:  python examples/supply_chain_screening.py
+"""
+
+from collections import Counter
+
+from repro import Verdict, WatermarkVerifier, calibrate_family, make_mcu
+from repro.analysis import format_table
+from repro.workloads import ChipKind, PopulationSpec, generate_population
+
+
+def main() -> None:
+    spec = PopulationSpec(
+        counts={
+            ChipKind.GENUINE: 4,
+            ChipKind.RECYCLED: 2,
+            ChipKind.FALLOUT: 2,
+            ChipKind.REBRANDED: 2,
+        }
+    )
+    print(f"manufacturing a shipment of {spec.total} chips ...")
+    shipment = generate_population(spec, seed=7)
+
+    # The integrator has only the published family parameters.
+    calibration = calibrate_family(
+        lambda seed: make_mcu(seed=seed, n_segments=1),
+        n_pe=spec.n_pe,
+        n_replicas=spec.n_replicas,
+    )
+    verifier = WatermarkVerifier(calibration, spec.format)
+
+    rows = []
+    tally = Counter()
+    for i, sample in enumerate(shipment):
+        report = verifier.verify(sample.chip.flash)
+        genuine_kinds = (ChipKind.GENUINE, ChipKind.RECYCLED)
+        expected_ok = sample.kind in genuine_kinds
+        got_ok = report.verdict is Verdict.AUTHENTIC
+        correct = expected_ok == got_ok
+        tally["correct" if correct else "WRONG"] += 1
+        payload = report.payload
+        rows.append(
+            [
+                i,
+                sample.kind.value,
+                report.verdict.value,
+                payload.status.name if payload else "-",
+                "ok" if correct else "WRONG",
+            ]
+        )
+    print(
+        format_table(
+            ["chip", "ground truth", "verdict", "recovered status", "screen"],
+            rows,
+            title="shipment screening",
+        )
+    )
+    print(f"\nscreening outcome: {dict(tally)}")
+    print(
+        "note: recycled chips carry a genuine ACCEPT watermark — Flashmark\n"
+        "verifies *origin*; pair it with the recycled-flash detector\n"
+        "(repro.characterize.RecycledFlashDetector) to also screen wear."
+    )
+    assert tally["WRONG"] == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Flashmark: watermarking of NOR flash memories for counterfeit detection.
+
+A simulator-backed reproduction of the DAC 2020 paper by Poudel, Ray and
+Milenkovic.  The package layers as follows (bottom up):
+
+* :mod:`repro.phys` — floating-gate cell physics: threshold-voltage
+  dynamics, permanent oxide wear, process variation, noise;
+* :mod:`repro.device` — simulated flash devices: the MSP430-style
+  embedded NOR module (controller + register file), a stand-alone SPI
+  NOR chip and an SLC NAND variant, all with datasheet timing;
+* :mod:`repro.characterize` — the Section III partial-erase
+  characterisation procedures;
+* :mod:`repro.core` — Flashmark itself: watermark payloads, imprinting,
+  extraction, replication/decoding, calibration and verification;
+* :mod:`repro.attacks` — counterfeiter tampering models;
+* :mod:`repro.baselines` — metadata / ECID / PUF / recycled-detection
+  alternatives;
+* :mod:`repro.workloads` and :mod:`repro.analysis` — experiment inputs
+  and statistics.
+
+Quickstart::
+
+    from repro import (FlashmarkSession, WatermarkPayload, ChipStatus,
+                       make_mcu)
+
+    chip = make_mcu(seed=7, n_segments=1)
+    session = FlashmarkSession(chip)
+    payload = WatermarkPayload("TCMK", die_id=chip.die_id,
+                               speed_grade=3, status=ChipStatus.ACCEPT)
+    session.imprint_payload(payload, n_pe=40_000, n_replicas=7)
+    report = session.verify()
+    assert report.verdict.name == "AUTHENTIC"
+"""
+
+from .core import (
+    AsymmetricDecoder,
+    ChipStatus,
+    DecodedWatermark,
+    ErrorAsymmetry,
+    FamilyCalibration,
+    FlashmarkSession,
+    ImprintReport,
+    ReplicaLayout,
+    VerificationReport,
+    Verdict,
+    Watermark,
+    WatermarkFormat,
+    WatermarkPayload,
+    WatermarkVerifier,
+    calibrate_family,
+    extract_segment,
+    extract_watermark,
+    imprint_watermark,
+)
+from .device import (
+    FlashController,
+    Microcontroller,
+    NandFlash,
+    SpiNorFlash,
+    make_mcu,
+)
+from .phys import PhysicalParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # high-level workflow
+    "FlashmarkSession",
+    "Watermark",
+    "WatermarkPayload",
+    "ChipStatus",
+    "WatermarkFormat",
+    "WatermarkVerifier",
+    "VerificationReport",
+    "Verdict",
+    # procedures
+    "imprint_watermark",
+    "extract_segment",
+    "extract_watermark",
+    "calibrate_family",
+    "FamilyCalibration",
+    "ImprintReport",
+    "DecodedWatermark",
+    "ReplicaLayout",
+    "AsymmetricDecoder",
+    "ErrorAsymmetry",
+    # devices
+    "make_mcu",
+    "Microcontroller",
+    "FlashController",
+    "SpiNorFlash",
+    "NandFlash",
+    "PhysicalParams",
+]

@@ -1,0 +1,28 @@
+"""Statistics and reporting helpers for Flashmark experiments."""
+
+from .ber import BerSummary, summarize_ber, wilson_interval
+from .stats import (
+    DistributionSummary,
+    ks_statistic,
+    overlap_fraction,
+    separation_d_prime,
+    summarize,
+)
+from .randomness import byte_chi_square_test, monobit_test, runs_test
+from .tables import ascii_chart, format_table
+
+__all__ = [
+    "BerSummary",
+    "summarize_ber",
+    "wilson_interval",
+    "DistributionSummary",
+    "summarize",
+    "separation_d_prime",
+    "overlap_fraction",
+    "ks_statistic",
+    "format_table",
+    "monobit_test",
+    "runs_test",
+    "byte_chi_square_test",
+    "ascii_chart",
+]

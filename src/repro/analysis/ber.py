@@ -1,0 +1,103 @@
+"""Bit-error-rate statistics for watermark experiments.
+
+The evaluation metrics of Section V: BER of an extraction against the
+imprinted reference, split by imprinted polarity (the asymmetry of
+Fig. 10), with Wilson confidence intervals so sweep plots carry error
+bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BerSummary", "summarize_ber", "wilson_interval"]
+
+
+def wilson_interval(
+    errors: int, trials: int, z: float = 1.96
+) -> tuple:
+    """Wilson score confidence interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= errors <= trials:
+        raise ValueError("errors must be between 0 and trials")
+    p = errors / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+@dataclass(frozen=True)
+class BerSummary:
+    """BER of one extraction, split by imprinted bit polarity."""
+
+    #: Total bits compared.
+    n_bits: int
+    #: Total erroneous bits.
+    n_errors: int
+    #: Imprinted-0 ("bad"/stressed) bits misread as 1.
+    n_bad_read_good: int
+    #: Imprinted-1 ("good") bits misread as 0.
+    n_good_read_bad: int
+    #: Imprinted-0 bit count.
+    n_zeros: int
+    #: Imprinted-1 bit count.
+    n_ones: int
+
+    @property
+    def ber(self) -> float:
+        return self.n_errors / self.n_bits
+
+    @property
+    def ber_ci(self) -> tuple:
+        """95% Wilson interval on the BER."""
+        return wilson_interval(self.n_errors, self.n_bits)
+
+    @property
+    def p_bad_reads_good(self) -> float:
+        """P(read 1 | imprinted 0)."""
+        return self.n_bad_read_good / self.n_zeros if self.n_zeros else 0.0
+
+    @property
+    def p_good_reads_bad(self) -> float:
+        """P(read 0 | imprinted 1)."""
+        return self.n_good_read_bad / self.n_ones if self.n_ones else 0.0
+
+    @property
+    def asymmetry_ratio(self) -> float:
+        """Bad->good error rate over good->bad error rate."""
+        if self.p_good_reads_bad == 0.0:
+            return math.inf
+        return self.p_bad_reads_good / self.p_good_reads_bad
+
+
+def summarize_ber(
+    reference: np.ndarray, measured: np.ndarray
+) -> BerSummary:
+    """Compare an extraction against the imprinted reference bits."""
+    reference = np.asarray(reference, dtype=np.uint8).ravel()
+    measured = np.asarray(measured, dtype=np.uint8).ravel()
+    if reference.shape != measured.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {measured.shape}"
+        )
+    if reference.size == 0:
+        raise ValueError("empty comparison")
+    zeros = reference == 0
+    errors = reference != measured
+    return BerSummary(
+        n_bits=int(reference.size),
+        n_errors=int(errors.sum()),
+        n_bad_read_good=int(np.count_nonzero(errors & zeros)),
+        n_good_read_bad=int(np.count_nonzero(errors & ~zeros)),
+        n_zeros=int(zeros.sum()),
+        n_ones=int((~zeros).sum()),
+    )

@@ -1,0 +1,95 @@
+"""Plain-text table and figure rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that output aligned and dependency-free (no plotting stack in the
+offline environment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule.
+
+    Floats render with 4 significant digits; everything else with
+    ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    x: np.ndarray,
+    series: dict,
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+) -> str:
+    """Minimal ASCII line chart: one character per series.
+
+    ``series`` maps a single-character label to a y-vector aligned with
+    ``x``.  Good enough to eyeball the Fig. 4 / Fig. 9 curve shapes in a
+    terminal.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("need at least two x samples")
+    for label, y in series.items():
+        if len(label) != 1:
+            raise ValueError(f"series labels must be 1 char, got {label!r}")
+        if np.asarray(y).shape != x.shape:
+            raise ValueError(f"series {label!r} length mismatch")
+    xs = np.log10(np.maximum(x, 1e-12)) if logx else x
+    x0, x1 = float(xs.min()), float(xs.max())
+    all_y = np.concatenate([np.asarray(y, dtype=np.float64) for y in series.values()])
+    y0, y1 = float(all_y.min()), float(all_y.max())
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, y in series.items():
+        y = np.asarray(y, dtype=np.float64)
+        for xi, yi in zip(xs, y):
+            col = int(round((xi - x0) / (x1 - x0) * (width - 1)))
+            row = int(round((yi - y0) / (y1 - y0) * (height - 1)))
+            grid[height - 1 - row][col] = label
+    lines = [f"{y_label} [{y0:.3g} .. {y1:.3g}]"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label} [{x.min():.3g} .. {x.max():.3g}]"
+        + (" (log scale)" if logx else "")
+    )
+    return "\n".join(lines)

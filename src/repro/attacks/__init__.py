@@ -1,0 +1,20 @@
+"""Counterfeiter attack models and detection evaluation (Section IV)."""
+
+from .evaluation import AttackOutcome, run_attack_suite
+from .tamper import (
+    AttackReport,
+    digital_forgery,
+    erase_flood,
+    reject_to_accept_attempt,
+    stress_tamper,
+)
+
+__all__ = [
+    "AttackReport",
+    "digital_forgery",
+    "stress_tamper",
+    "erase_flood",
+    "reject_to_accept_attempt",
+    "AttackOutcome",
+    "run_attack_suite",
+]

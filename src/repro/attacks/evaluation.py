@@ -1,0 +1,133 @@
+"""Attack-suite evaluation: does the verifier catch each counterfeit?
+
+Runs the counterfeiting scenarios the paper argues about against
+watermarked chips and collects the verifier's verdict for each,
+producing the rows of the tamper-detection benchmark:
+
+* **forged reject** — a fall-out (REJECT-marked) die whose segment is
+  digitally reprogrammed with a perfect ACCEPT record; must fail.
+* **scattered tamper** — random cells stressed on a genuine chip;
+  caught by the raw stressed-outlier statistic.
+* **targeted tamper** — an attacker who knows the layout stresses every
+  replica of chosen good bits; caught by the (0,0)-pair balance check.
+* **erase flood** — thousands of erases trying to heal bad cells; must
+  change nothing (the chip still verifies, the attack simply fails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.verifier import VerificationReport, Verdict, WatermarkVerifier
+from ..device.mcu import Microcontroller
+from .tamper import AttackReport, digital_forgery, erase_flood, stress_tamper
+
+__all__ = ["AttackOutcome", "run_attack_suite"]
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """One attack scenario and the verifier's response to it."""
+
+    #: Scenario label.
+    scenario: str
+    attack: AttackReport
+    report: VerificationReport
+    #: The verdict a correct verifier should return for this scenario.
+    expected_verdict_is_authentic: bool
+
+    @property
+    def detected(self) -> bool:
+        """True when the verifier did not return AUTHENTIC."""
+        return self.report.verdict is not Verdict.AUTHENTIC
+
+    @property
+    def verifier_correct(self) -> bool:
+        """Did the verifier return the verdict the scenario demands?"""
+        authentic = self.report.verdict is Verdict.AUTHENTIC
+        return authentic == self.expected_verdict_is_authentic
+
+
+def run_attack_suite(
+    genuine_factory: Callable[[], Microcontroller],
+    verifier: WatermarkVerifier,
+    reject_factory: Optional[Callable[[], Microcontroller]] = None,
+    accept_pattern: Optional[np.ndarray] = None,
+    segment: int = 0,
+    tamper_fraction: float = 0.1,
+    tamper_n_pe: int = 40_000,
+    seed: int = 99,
+) -> List[AttackOutcome]:
+    """Attack fresh copies of watermarked chips and verify each.
+
+    ``genuine_factory`` must return a newly imprinted ACCEPT chip each
+    call (same die state, e.g. via :meth:`Microcontroller.fork`);
+    ``reject_factory`` likewise for a REJECT-marked chip.  When the
+    reject factory is given, ``accept_pattern`` (the segment bit pattern
+    of a perfect ACCEPT record) drives the forgery scenario.
+    """
+    rng = np.random.default_rng(seed)
+    outcomes: List[AttackOutcome] = []
+
+    if reject_factory is not None:
+        chip = reject_factory()
+        n_bits = chip.geometry.bits_per_segment
+        if accept_pattern is None:
+            accept_pattern = np.ones(n_bits, dtype=np.uint8)
+        attack = digital_forgery(chip.flash, segment, accept_pattern)
+        outcomes.append(
+            AttackOutcome(
+                scenario="forged_reject",
+                attack=attack,
+                report=verifier.verify(chip.flash, segment),
+                expected_verdict_is_authentic=False,
+            )
+        )
+
+    chip = genuine_factory()
+    n_bits = chip.geometry.bits_per_segment
+    target = np.ones(n_bits, dtype=np.uint8)
+    n_target = int(round(tamper_fraction * n_bits))
+    target[rng.permutation(n_bits)[:n_target]] = 0
+    attack = stress_tamper(chip.flash, segment, target, tamper_n_pe)
+    outcomes.append(
+        AttackOutcome(
+            scenario="scattered_tamper",
+            attack=attack,
+            report=verifier.verify(chip.flash, segment),
+            expected_verdict_is_authentic=False,
+        )
+    )
+
+    chip = genuine_factory()
+    layout = verifier.format.layout_for(n_bits)
+    positions = layout.positions()  # (replicas, bits)
+    attacked_bits = rng.permutation(layout.n_bits)[
+        : max(8, layout.n_bits // 10)
+    ]
+    target = np.ones(n_bits, dtype=np.uint8)
+    target[positions[:, attacked_bits].ravel()] = 0
+    attack = stress_tamper(chip.flash, segment, target, tamper_n_pe)
+    outcomes.append(
+        AttackOutcome(
+            scenario="targeted_tamper",
+            attack=attack,
+            report=verifier.verify(chip.flash, segment),
+            expected_verdict_is_authentic=False,
+        )
+    )
+
+    chip = genuine_factory()
+    attack = erase_flood(chip.flash, segment, 1_000)
+    outcomes.append(
+        AttackOutcome(
+            scenario="erase_flood",
+            attack=attack,
+            report=verifier.verify(chip.flash, segment),
+            expected_verdict_is_authentic=True,
+        )
+    )
+    return outcomes

@@ -1,0 +1,156 @@
+"""Counterfeiter attack primitives — everything runs through the digital
+interface, because that is all an attacker without a fab has.
+
+Section IV's security argument: oxide wear is a one-way street.  An
+attacker can
+
+* rewrite digital contents at will (defeats the current practice of
+  programmed metadata, not Flashmark);
+* *add* stress to any cell, turning good cells bad (detectable through
+  the balance constraint);
+* never remove stress from a bad cell — there is no digital command, or
+  physical process short of annealing the die, that removes oxide traps.
+
+Each primitive here returns what it cost the attacker (device time), so
+benchmarks can also report the economics of an attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.imprint import imprint_pattern
+from ..device.controller import FlashController
+
+__all__ = [
+    "AttackReport",
+    "digital_forgery",
+    "stress_tamper",
+    "erase_flood",
+    "reject_to_accept_attempt",
+]
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """What an attack did and what it cost the attacker."""
+
+    name: str
+    #: Attacker device time [s].
+    duration_s: float
+    #: Cells the attack newly stressed (0 for purely digital attacks).
+    n_cells_stressed: int
+    #: Free-text description.
+    description: str
+
+
+def digital_forgery(
+    flash: FlashController, segment: int, fake_pattern: np.ndarray
+) -> AttackReport:
+    """Erase the segment and program counterfeit digital contents.
+
+    This is the attack that defeats the "current practice" baseline
+    (programmed metadata) completely — and does not touch the physical
+    watermark at all.
+    """
+    trace = flash.trace
+    t0 = trace.now_us
+    flash.erase_segment(segment)
+    flash.program_segment_bits(
+        segment, np.asarray(fake_pattern, dtype=np.uint8)
+    )
+    return AttackReport(
+        name="digital_forgery",
+        duration_s=(trace.now_us - t0) / 1e6,
+        n_cells_stressed=0,
+        description="erase + reprogram of the metadata segment",
+    )
+
+
+def stress_tamper(
+    flash: FlashController,
+    segment: int,
+    target_bits: np.ndarray,
+    n_pe: int,
+) -> AttackReport:
+    """Stress chosen cells to flip their *physical* state good -> bad.
+
+    ``target_bits`` uses watermark convention: 0 marks the cells the
+    attacker wants to turn bad.  This is the only physical degree of
+    freedom an attacker has, and it is one-directional — which is why a
+    balanced watermark makes it visible.
+    """
+    target_bits = np.asarray(target_bits, dtype=np.uint8)
+    trace = flash.trace
+    t0 = trace.now_us
+    duration_s, _ = imprint_pattern(
+        flash, segment, target_bits, n_pe, accelerated=True
+    )
+    return AttackReport(
+        name="stress_tamper",
+        duration_s=(trace.now_us - t0) / 1e6,
+        n_cells_stressed=int(np.count_nonzero(target_bits == 0)),
+        description=f"{n_pe} P/E cycles on {int((target_bits == 0).sum())} cells",
+    )
+
+
+def erase_flood(
+    flash: FlashController, segment: int, n_erases: int
+) -> AttackReport:
+    """Try to "heal" stressed cells with repeated erases.
+
+    Futile by construction — erase pulses add (a little) wear and remove
+    none; included so benchmarks can demonstrate the irreversibility
+    claim rather than assert it.
+    """
+    if n_erases < 0:
+        raise ValueError("n_erases must be non-negative")
+    trace = flash.trace
+    t0 = trace.now_us
+    for _ in range(n_erases):
+        flash.erase_segment(segment)
+    return AttackReport(
+        name="erase_flood",
+        duration_s=(trace.now_us - t0) / 1e6,
+        n_cells_stressed=0,
+        description=f"{n_erases} full segment erases",
+    )
+
+
+def reject_to_accept_attempt(
+    flash: FlashController,
+    segment: int,
+    reject_bits: np.ndarray,
+    accept_bits: np.ndarray,
+    n_pe: int,
+) -> AttackReport:
+    """The headline attack: convert a REJECT watermark into ACCEPT.
+
+    The attacker computes which cells differ and stresses the ones that
+    must *become* bad; the cells that must become *good* are physically
+    out of reach.  The report counts both, so callers can verify that the
+    attack necessarily leaves ``needed_good`` cells wrong.
+    """
+    reject_bits = np.asarray(reject_bits, dtype=np.uint8)
+    accept_bits = np.asarray(accept_bits, dtype=np.uint8)
+    if reject_bits.shape != accept_bits.shape:
+        raise ValueError("watermark shapes differ")
+    # Cells good in REJECT but bad in ACCEPT: attacker *can* stress these.
+    must_become_bad = np.where(
+        (reject_bits == 1) & (accept_bits == 0), 0, 1
+    ).astype(np.uint8)
+    n_unreachable = int(
+        np.count_nonzero((reject_bits == 0) & (accept_bits == 1))
+    )
+    report = stress_tamper(flash, segment, must_become_bad, n_pe)
+    return AttackReport(
+        name="reject_to_accept",
+        duration_s=report.duration_s,
+        n_cells_stressed=report.n_cells_stressed,
+        description=(
+            f"stressed {report.n_cells_stressed} cells toward ACCEPT; "
+            f"{n_unreachable} cells would need un-stressing (impossible)"
+        ),
+    )

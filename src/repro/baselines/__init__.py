@@ -1,0 +1,29 @@
+"""Anti-counterfeiting baselines the paper compares against (Section I).
+
+* :class:`PlainMetadataStore` — programmed metadata, the forgeable
+  "current practice";
+* :class:`EcidOtp` / :class:`EcidRegistry` — antifuse chip identifiers
+  with their per-chip database burden;
+* :class:`FlashPuf` / :class:`PufRegistry` — flash PUF fingerprinting
+  with enrollment and matching costs.
+
+The recycled-flash timing detector ([6], [7]) lives in
+:mod:`repro.characterize.recycled`, next to the characterisation
+machinery it shares.
+"""
+
+from .ecid import EcidOtp, EcidRegistry
+from .metadata import PlainMetadataStore
+from .puf import FlashPuf, PufEnrollment, PufRegistry
+from .trng import FlashTrng, TrngCalibration
+
+__all__ = [
+    "PlainMetadataStore",
+    "EcidOtp",
+    "EcidRegistry",
+    "FlashPuf",
+    "PufEnrollment",
+    "PufRegistry",
+    "FlashTrng",
+    "TrngCalibration",
+]

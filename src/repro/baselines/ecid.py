@@ -1,0 +1,78 @@
+"""Baseline: Electronic Chip Identifiers in antifuse OTP memory ([12]).
+
+ECIDs are unforgeable once blown, but the paper lists their drawbacks:
+they are uncommon in flash chips, need mask changes and dedicated
+on-chip resources, and verification requires checking the id against
+the manufacturer — i.e. a per-chip database lookup.  The model captures
+exactly those properties so the baseline comparison is concrete:
+
+* the OTP id cannot be rewritten (set-once semantics enforced);
+* a cloner *can* read a genuine id and blow it into a blank part —
+  only the manufacturer's duplicate-detection catches that;
+* chips without the dedicated OTP macro simply have nothing to check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+__all__ = ["EcidOtp", "EcidRegistry"]
+
+
+class EcidOtp:
+    """A 64-bit antifuse one-time-programmable identifier macro."""
+
+    def __init__(self) -> None:
+        self._value: Optional[int] = None
+
+    @property
+    def blown(self) -> bool:
+        return self._value is not None
+
+    def blow(self, value: int) -> None:
+        """Program the id; permitted exactly once."""
+        if not 0 <= value < 2**64:
+            raise ValueError("ECID must be a 64-bit value")
+        if self._value is not None:
+            raise PermissionError("ECID is one-time programmable")
+        self._value = value
+
+    def read(self) -> Optional[int]:
+        """The programmed id, or None if the fuse bank is virgin."""
+        return self._value
+
+
+@dataclass
+class EcidRegistry:
+    """The manufacturer-side database ECIDs require.
+
+    This is the operational burden the paper contrasts Flashmark with:
+    every manufactured chip needs an entry, and every verification needs
+    a round trip to the manufacturer.
+    """
+
+    _issued: Set[int] = field(default_factory=set)
+    _seen_in_field: Dict[int, int] = field(default_factory=dict)
+
+    def issue(self, ecid: int) -> None:
+        """Record a factory-issued id."""
+        if ecid in self._issued:
+            raise ValueError(f"ECID 0x{ecid:X} already issued")
+        self._issued.add(ecid)
+
+    @property
+    def n_entries(self) -> int:
+        """Database size — grows with every chip ever made."""
+        return len(self._issued)
+
+    def verify(self, ecid: Optional[int]) -> bool:
+        """Integrator-side check (requires contacting the manufacturer).
+
+        Flags unknown ids and duplicate sightings (the clone giveaway).
+        """
+        if ecid is None or ecid not in self._issued:
+            return False
+        sightings = self._seen_in_field.get(ecid, 0) + 1
+        self._seen_in_field[ecid] = sightings
+        return sightings == 1

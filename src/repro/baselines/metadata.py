@@ -1,0 +1,47 @@
+"""Baseline: plain programmed metadata ("the current practice").
+
+Section IV: "The current practice is that a chip manufacturer performs
+an erase followed by a program operation on a flash segment reserved for
+keeping manufacturing information ... Unfortunately, this information
+can easily be erased, forged, or fabricated by counterfeiters."
+
+This baseline exists so benchmarks can show exactly that: it reads back
+perfectly on an untouched chip and is defeated by a single
+:func:`~repro.attacks.tamper.digital_forgery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.payload import PAYLOAD_BYTES, PayloadError, WatermarkPayload
+from ..core.watermark import Watermark
+from ..device.controller import FlashController
+
+__all__ = ["PlainMetadataStore"]
+
+
+@dataclass
+class PlainMetadataStore:
+    """Manufacturing metadata kept as ordinary programmed flash contents."""
+
+    segment: int = 0
+
+    def write(self, flash: FlashController, payload: WatermarkPayload) -> None:
+        """Erase the segment and program the payload record."""
+        pattern = np.ones(flash.geometry.bits_per_segment, dtype=np.uint8)
+        bits = Watermark.from_payload(payload).bits
+        pattern[: bits.size] = bits
+        flash.erase_segment(self.segment)
+        flash.program_segment_bits(self.segment, pattern)
+
+    def read(self, flash: FlashController) -> Optional[WatermarkPayload]:
+        """Read the payload back; None when missing or corrupt."""
+        bits = flash.read_segment_bits(self.segment)
+        try:
+            return WatermarkPayload.from_bits(bits[: PAYLOAD_BYTES * 8])
+        except (PayloadError, ValueError):
+            return None

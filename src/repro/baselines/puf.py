@@ -1,0 +1,168 @@
+"""Baseline: flash-based physical unclonable function ([13]-[15]).
+
+A PUF derives a per-chip fingerprint from manufacturing variation — here
+from the pairwise ordering of cell erase-crossing times, which our
+physics layer provides for free.  The paper's criticism is operational,
+not cryptographic: PUFs need lengthy extraction, a database entry per
+chip, and a manufacturer round trip per verification.  The model exposes
+those costs (extraction time from the device clock, database size) for
+the baseline-comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..device.mcu import Microcontroller
+
+__all__ = ["FlashPuf", "PufEnrollment", "PufRegistry"]
+
+
+@dataclass(frozen=True)
+class PufEnrollment:
+    """A fingerprint captured at enrollment time."""
+
+    chip_label: str
+    fingerprint: np.ndarray
+    #: Stable-bit mask ("dark bits" excluded): pairs whose ordering was
+    #: near-unanimous across extraction rounds.  Matching only compares
+    #: masked positions — standard PUF enrollment practice.
+    mask: np.ndarray
+    #: Device time the extraction took [ms].
+    extraction_ms: float
+
+    @property
+    def n_stable_bits(self) -> int:
+        return int(self.mask.sum())
+
+
+class FlashPuf:
+    """Erase-timing PUF over one flash segment.
+
+    The fingerprint bit i compares the erase-crossing times of cell 2i
+    and cell 2i+1, measured with a staircase of progressive partial
+    erases: process variation decides which of the pair flips first,
+    and that ordering is stable per chip but i.i.d. across chips.
+    """
+
+    def __init__(
+        self,
+        segment: int = 0,
+        t_start_us: float = 12.0,
+        t_stop_us: float = 34.0,
+        t_step_us: float = 0.5,
+        n_rounds: int = 5,
+        stability_fraction: float = 0.6,
+    ):
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be a positive odd number")
+        if n_rounds % 2 == 0:
+            raise ValueError("n_rounds must be a positive odd number")
+        if not 0.0 < stability_fraction <= 1.0:
+            raise ValueError("stability_fraction must be in (0, 1]")
+        if not 0.0 < t_start_us < t_stop_us or t_step_us <= 0:
+            raise ValueError("t grid must satisfy 0 < start < stop, step > 0")
+        self.segment = segment
+        self.t_start_us = t_start_us
+        self.t_stop_us = t_stop_us
+        self.t_step_us = t_step_us
+        self.n_rounds = n_rounds
+        self.stability_fraction = stability_fraction
+
+    def _crossing_buckets(self, chip: Microcontroller) -> np.ndarray:
+        """One round: per-cell erase-crossing time bucket.
+
+        Erase, program all, then apply progressive partial-erase
+        increments (reading between pulses — the consecutive aborted
+        erases compound, as on silicon) and record the step at which
+        each cell first reads erased.
+        """
+        flash = chip.flash
+        n_bits = chip.geometry.bits_per_segment
+        flash.erase_segment(self.segment)
+        flash.program_segment_bits(
+            self.segment, np.zeros(n_bits, dtype=np.uint8)
+        )
+        steps = np.arange(self.t_start_us, self.t_stop_us, self.t_step_us)
+        buckets = np.full(n_bits, len(steps), dtype=np.int64)
+        elapsed = 0.0
+        for i, t in enumerate(steps):
+            flash.partial_erase_segment(self.segment, float(t) - elapsed)
+            elapsed = float(t)
+            state = flash.read_segment_bits(self.segment)
+            fresh_cross = (state == 1) & (buckets == len(steps))
+            buckets[fresh_cross] = i
+        return buckets
+
+    def extract(self, chip: Microcontroller) -> PufEnrollment:
+        """Extract the fingerprint (destructive to segment contents).
+
+        Fingerprint bit *i* compares the erase-crossing buckets of cells
+        2i and 2i+1 — pure process variation.  Pairs whose ordering is
+        not reproduced in at least ``stability_fraction`` of the rounds
+        (including too-close-to-call ties) are masked out as dark bits.
+        """
+        flash = chip.flash
+        t0 = flash.trace.now_us
+        n_pairs = chip.geometry.bits_per_segment // 2
+        votes = np.zeros(n_pairs, dtype=np.int64)
+        for _ in range(self.n_rounds):
+            buckets = self._crossing_buckets(chip)
+            votes += np.sign(buckets[1::2] - buckets[0::2])
+        fingerprint = (votes > 0).astype(np.uint8)
+        needed = self.stability_fraction * self.n_rounds
+        mask = np.abs(votes) >= needed
+        return PufEnrollment(
+            chip_label=f"{chip.model}:{chip.die_id:012X}",
+            fingerprint=fingerprint,
+            mask=mask,
+            extraction_ms=(flash.trace.now_us - t0) / 1e3,
+        )
+
+
+@dataclass
+class PufRegistry:
+    """Manufacturer-side fingerprint database (one entry per chip)."""
+
+    #: Maximum fractional Hamming distance (over the enrolled stable
+    #: mask) accepted as a match.
+    match_threshold: float = 0.15
+    _entries: Dict[str, PufEnrollment] = field(default_factory=dict)
+
+    def enroll(self, enrollment: PufEnrollment) -> None:
+        if enrollment.chip_label in self._entries:
+            raise ValueError(f"{enrollment.chip_label} already enrolled")
+        self._entries[enrollment.chip_label] = enrollment
+
+    @property
+    def n_entries(self) -> int:
+        return len(self._entries)
+
+    def match(self, fingerprint: np.ndarray) -> Optional[str]:
+        """Find the enrolled chip matching a re-extracted fingerprint.
+
+        Distances are computed over each enrollment's stable-bit mask.
+        Linear scan over the whole database — the scaling burden the
+        paper points at.
+        """
+        fingerprint = np.asarray(fingerprint, dtype=np.uint8)
+        best_label, best_dist = None, 1.0
+        for label, stored in self._entries.items():
+            if stored.fingerprint.size != fingerprint.size:
+                continue
+            mask = stored.mask
+            if not mask.any():
+                continue
+            dist = float(
+                np.count_nonzero(
+                    stored.fingerprint[mask] != fingerprint[mask]
+                )
+            ) / int(mask.sum())
+            if dist < best_dist:
+                best_label, best_dist = label, dist
+        if best_label is not None and best_dist <= self.match_threshold:
+            return best_label
+        return None

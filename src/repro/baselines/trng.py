@@ -1,0 +1,152 @@
+"""Baseline: flash-based true random number generator ([15]).
+
+Wang et al. showed flash memories double as hardware security
+primitives: park cells *on* the read threshold with partial programming
+and the sense amplifier's thermal/RTN noise turns every read into a
+coin flip.  We reproduce that recipe on the simulator:
+
+1. erase the harvest segment and sweep the partial-program pulse length
+   until roughly half the cells read programmed — the population then
+   straddles the read reference;
+2. select the cells that actually flicker across calibration reads;
+3. harvest raw bits from repeated reads of the flicker cells and
+   debias them with the von Neumann extractor.
+
+The TRNG shares the Flashmark theme — analog cell physics accessed
+through the plain digital interface — and doubles as a noise-model
+validation: its output passes monobit/runs/chi-square tests only if the
+read-noise model behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..device.mcu import Microcontroller
+
+__all__ = ["FlashTrng", "TrngCalibration"]
+
+
+@dataclass(frozen=True)
+class TrngCalibration:
+    """Harvest configuration found by :meth:`FlashTrng.calibrate`."""
+
+    #: Partial-program pulse length that parks cells on the threshold [us].
+    t_pp_us: float
+    #: Indices (within the segment) of cells that flicker across reads.
+    flicker_cells: np.ndarray
+    #: Fraction of segment cells usable as noise sources.
+    flicker_fraction: float
+
+
+class FlashTrng:
+    """Harvests random bits from flash read noise.
+
+    Parameters
+    ----------
+    segment:
+        Flash segment sacrificed to entropy harvesting.
+    calibration_reads:
+        Reads used to detect flicker cells during calibration.
+    min_flicker_fraction:
+        Calibration fails below this usable-cell fraction (indicates a
+        mis-parked population).
+    """
+
+    def __init__(
+        self,
+        segment: int = 0,
+        calibration_reads: int = 16,
+        min_flicker_fraction: float = 0.005,
+    ):
+        self.segment = segment
+        self.calibration_reads = calibration_reads
+        self.min_flicker_fraction = min_flicker_fraction
+
+    # -- calibration -----------------------------------------------------
+
+    def calibrate(
+        self, chip: Microcontroller, t_grid_us: Optional[np.ndarray] = None
+    ) -> TrngCalibration:
+        """Park the population on the threshold and find flicker cells."""
+        flash = chip.flash
+        n_bits = chip.geometry.bits_per_segment
+        all_zero = np.zeros(n_bits, dtype=np.uint8)
+        if t_grid_us is None:
+            t_grid_us = np.arange(8.0, 30.0, 0.5)
+
+        # Find the pulse that leaves ~half the cells programmed.
+        best_t, best_gap = None, None
+        for t in t_grid_us:
+            flash.erase_segment(self.segment)
+            flash.partial_program_segment(self.segment, all_zero, float(t))
+            zeros = int(
+                (flash.read_segment_bits(self.segment) == 0).sum()
+            )
+            gap = abs(zeros - n_bits // 2)
+            if best_gap is None or gap < best_gap:
+                best_t, best_gap = float(t), gap
+
+        # Re-park at the chosen pulse and detect flicker cells.
+        flash.erase_segment(self.segment)
+        flash.partial_program_segment(self.segment, all_zero, best_t)
+        reads = np.stack(
+            [
+                flash.read_segment_bits(self.segment)
+                for _ in range(self.calibration_reads)
+            ]
+        )
+        ones = reads.sum(axis=0)
+        flicker = (ones > 0) & (ones < self.calibration_reads)
+        fraction = float(flicker.mean())
+        if fraction < self.min_flicker_fraction:
+            raise RuntimeError(
+                f"only {fraction:.4f} of cells flicker at "
+                f"t_pp={best_t} us; read-noise source unusable"
+            )
+        return TrngCalibration(
+            t_pp_us=best_t,
+            flicker_cells=np.flatnonzero(flicker),
+            flicker_fraction=fraction,
+        )
+
+    # -- harvesting ------------------------------------------------------
+
+    def generate(
+        self,
+        chip: Microcontroller,
+        n_bits: int,
+        calibration: Optional[TrngCalibration] = None,
+    ) -> np.ndarray:
+        """Produce ``n_bits`` von-Neumann-debiased random bits.
+
+        Each flicker cell contributes one candidate per pair of reads:
+        (0,1) -> 0, (1,0) -> 1, equal pairs discarded — removing any
+        per-cell bias at the cost of throughput.
+        """
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        if calibration is None:
+            calibration = self.calibrate(chip)
+        flash = chip.flash
+        cells = calibration.flicker_cells
+        out = np.empty(n_bits, dtype=np.uint8)
+        filled = 0
+        guard = 0
+        while filled < n_bits:
+            first = flash.read_segment_bits(self.segment)[cells]
+            second = flash.read_segment_bits(self.segment)[cells]
+            keep = first != second
+            harvested = first[keep]
+            take = min(harvested.size, n_bits - filled)
+            out[filled : filled + take] = harvested[:take]
+            filled += take
+            guard += 1
+            if guard > 100_000:
+                raise RuntimeError(
+                    "entropy harvest stalled; recalibrate the TRNG"
+                )
+        return out

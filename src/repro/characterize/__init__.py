@@ -1,0 +1,49 @@
+"""Characterisation of flash cell physical properties (paper Section III).
+
+Partial-erase sweeps (Fig. 3/4), sensing-window selection (Fig. 5),
+multi-stress-level experiment drivers, and the recycled-flash detection
+baseline of the related work ([6], [7]).
+"""
+
+from .partial_erase import (
+    AnalysisResult,
+    CharacterizationPoint,
+    CharacterizationResult,
+    analyze_segment,
+    characterize_segment,
+    default_t_pe_grid,
+    stress_segment,
+)
+from .forensics import WearEstimate, WearEstimator
+from .partial_program import (
+    FfdDetector,
+    FfdVerdict,
+    PartialProgramCurve,
+    characterize_partial_program,
+)
+from .recycled import RecycledFlashDetector, RecycledVerdict
+from .sweep import StressSweepResult, run_stress_sweep
+from .window import TpewSelection, distinguishable_bits_at, select_t_pew
+
+__all__ = [
+    "AnalysisResult",
+    "CharacterizationPoint",
+    "CharacterizationResult",
+    "analyze_segment",
+    "characterize_segment",
+    "default_t_pe_grid",
+    "stress_segment",
+    "StressSweepResult",
+    "run_stress_sweep",
+    "TpewSelection",
+    "select_t_pew",
+    "distinguishable_bits_at",
+    "WearEstimate",
+    "WearEstimator",
+    "FfdDetector",
+    "FfdVerdict",
+    "PartialProgramCurve",
+    "characterize_partial_program",
+    "RecycledFlashDetector",
+    "RecycledVerdict",
+]

@@ -1,0 +1,162 @@
+"""Wear forensics: estimating how many P/E cycles a segment has seen.
+
+The characterisation curves of Section III are monotone in stress, so
+they can be inverted: measure a suspect segment's partial-erase curve
+and locate it between reference curves taken at known stress levels.
+Applications: grading recycled chips (not just flagging them), auditing
+whether a returned part matches its logged usage, and estimating the
+N_PE a competitor spent on their watermark.
+
+The estimator matches curves by the time at which a given fraction of
+cells has erased (robust quantile landmarks), interpolating stress
+between the bracketing references on a log scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..device.mcu import Microcontroller
+from .partial_erase import (
+    CharacterizationResult,
+    characterize_segment,
+    default_t_pe_grid,
+)
+
+__all__ = ["WearEstimate", "WearEstimator"]
+
+#: Erased-cell fractions used as curve landmarks.
+_LANDMARKS = (0.25, 0.5, 0.75)
+
+
+def _landmark_times(curve: CharacterizationResult) -> np.ndarray:
+    """t_PE at which 25/50/75 % of cells read erased [us]."""
+    t = curve.t_pe_us
+    erased = curve.cells_1.astype(float) / curve.n_cells
+    # erased is (statistically) monotone in t; np.interp needs that.
+    return np.array(
+        [float(np.interp(q, erased, t)) for q in _LANDMARKS]
+    )
+
+
+@dataclass(frozen=True)
+class WearEstimate:
+    """Outcome of a wear-forensics probe."""
+
+    #: Estimated prior program/erase cycles.
+    estimated_cycles: float
+    #: Bracketing reference stress levels used [cycles].
+    bracket: tuple
+    #: Landmark times measured on the suspect segment [us].
+    landmark_times_us: tuple
+
+    @property
+    def estimated_kcycles(self) -> float:
+        return self.estimated_cycles / 1000.0
+
+
+class WearEstimator:
+    """Estimates prior stress by inverting reference characterisations.
+
+    Build the reference family once per device family (golden chips at
+    known stress levels), then probe suspects.
+
+    Parameters
+    ----------
+    reference_levels:
+        Stress levels of the reference curves [cycles]; 0 must be
+        included, and levels should bracket the range of interest.
+    """
+
+    def __init__(
+        self,
+        reference_levels: Sequence[int] = (
+            0,
+            5_000,
+            10_000,
+            20_000,
+            40_000,
+            80_000,
+        ),
+        t_grid_us: Optional[np.ndarray] = None,
+        n_reads: int = 3,
+    ):
+        if 0 not in reference_levels:
+            raise ValueError("reference levels must include 0 (fresh)")
+        if sorted(reference_levels) != list(reference_levels):
+            raise ValueError("reference levels must be increasing")
+        self.reference_levels = tuple(int(x) for x in reference_levels)
+        self.t_grid_us = (
+            t_grid_us if t_grid_us is not None else default_t_pe_grid()
+        )
+        self.n_reads = n_reads
+        self._landmarks: Dict[int, np.ndarray] = {}
+
+    def build_references(self, chip_factory, seed0: int = 3000) -> None:
+        """Characterise one golden chip per reference stress level."""
+        from .partial_erase import stress_segment
+
+        for i, level in enumerate(self.reference_levels):
+            chip = chip_factory(seed0 + i)
+            if level:
+                stress_segment(chip.flash, 0, level)
+            curve = characterize_segment(
+                chip.flash, 0, self.t_grid_us, n_reads=self.n_reads
+            )
+            self._landmarks[level] = _landmark_times(curve)
+
+    @property
+    def ready(self) -> bool:
+        return len(self._landmarks) == len(self.reference_levels)
+
+    def estimate(
+        self, chip: Microcontroller, segment: int = 0
+    ) -> WearEstimate:
+        """Probe a suspect segment and estimate its prior cycles.
+
+        The median landmark (t at 50 % erased) is interpolated between
+        the two bracketing reference curves on a log-cycle scale; the
+        25/75 % landmarks are reported for inspection.
+        """
+        if not self.ready:
+            raise ValueError(
+                "references not built yet; call build_references first"
+            )
+        curve = characterize_segment(
+            chip.flash, segment, self.t_grid_us, n_reads=self.n_reads
+        )
+        landmarks = _landmark_times(curve)
+        t50 = landmarks[1]
+        levels = self.reference_levels
+        ref_t50 = np.array([self._landmarks[lv][1] for lv in levels])
+        # Clamp outside the reference range.
+        if t50 <= ref_t50[0]:
+            return WearEstimate(
+                estimated_cycles=float(levels[0]),
+                bracket=(levels[0], levels[0]),
+                landmark_times_us=tuple(landmarks),
+            )
+        if t50 >= ref_t50[-1]:
+            return WearEstimate(
+                estimated_cycles=float(levels[-1]),
+                bracket=(levels[-1], levels[-1]),
+                landmark_times_us=tuple(landmarks),
+            )
+        hi = int(np.searchsorted(ref_t50, t50))
+        lo = hi - 1
+        # Interpolate in log(1 + cycles) against the t50 landmark.
+        x0, x1 = ref_t50[lo], ref_t50[hi]
+        y0, y1 = (
+            np.log1p(float(levels[lo])),
+            np.log1p(float(levels[hi])),
+        )
+        frac = (t50 - x0) / (x1 - x0)
+        estimated = float(np.expm1(y0 + frac * (y1 - y0)))
+        return WearEstimate(
+            estimated_cycles=estimated,
+            bracket=(levels[lo], levels[hi]),
+            landmark_times_us=tuple(landmarks),
+        )

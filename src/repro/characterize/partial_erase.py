@@ -1,0 +1,205 @@
+"""Characterisation of flash cell physical properties (paper Section III).
+
+Implements the two pseudocode procedures of Fig. 3:
+
+* ``AnalyzeSegment`` — read every word of a segment N times (N odd) and
+  majority-vote each bit, returning the counts of cells reading
+  programmed (``cells_0``) and erased (``cells_1``);
+* ``CharacterizeSegment`` — for increasing partial-erase times t_PE:
+  erase the segment, program it fully, initiate an erase, abort after
+  t_PE, and analyse — tracing out the wear-dependent erase transition
+  that Figs. 4 and 5 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..device.controller import FlashController
+
+__all__ = [
+    "AnalysisResult",
+    "CharacterizationPoint",
+    "CharacterizationResult",
+    "analyze_segment",
+    "characterize_segment",
+    "stress_segment",
+    "default_t_pe_grid",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Output of one AnalyzeSegment round."""
+
+    #: Number of cells reading programmed (logic 0) after majority vote.
+    cells_0: int
+    #: Number of cells reading erased (logic 1) after majority vote.
+    cells_1: int
+    #: The majority-voted bit map itself (1 = erased).
+    bits: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return self.cells_0 + self.cells_1
+
+
+@dataclass(frozen=True)
+class CharacterizationPoint:
+    """One (t_PE, cells_0, cells_1) sample of the erase transition."""
+
+    t_pe_us: float
+    cells_0: int
+    cells_1: int
+
+
+@dataclass
+class CharacterizationResult:
+    """A full partial-erase sweep over one segment.
+
+    Provides the derived quantities the paper reads off Fig. 4: the
+    transition onset (first partial-erase time at which any cell reads
+    erased) and the full-erase time (first time at which every cell
+    does).
+    """
+
+    segment: int
+    n_reads: int
+    points: List[CharacterizationPoint] = field(default_factory=list)
+
+    @property
+    def t_pe_us(self) -> np.ndarray:
+        return np.array([p.t_pe_us for p in self.points])
+
+    @property
+    def cells_0(self) -> np.ndarray:
+        return np.array([p.cells_0 for p in self.points])
+
+    @property
+    def cells_1(self) -> np.ndarray:
+        return np.array([p.cells_1 for p in self.points])
+
+    @property
+    def n_cells(self) -> int:
+        if not self.points:
+            raise ValueError("characterisation has no samples")
+        return self.points[0].cells_0 + self.points[0].cells_1
+
+    def transition_onset_us(self) -> Optional[float]:
+        """First sampled t_PE at which at least one cell reads erased."""
+        for p in self.points:
+            if p.cells_1 > 0:
+                return p.t_pe_us
+        return None
+
+    def full_erase_time_us(self) -> Optional[float]:
+        """First sampled t_PE at which every cell reads erased.
+
+        This is the per-stress-level "minimum t_PE when all cells read as
+        erased" quantity of Section III (35 us fresh, 115 us at 20 K, ...).
+        """
+        for p in self.points:
+            if p.cells_0 == 0:
+                return p.t_pe_us
+        return None
+
+    def transition_width_us(self) -> Optional[float]:
+        """Width of the erase transition (full-erase minus onset)."""
+        onset = self.transition_onset_us()
+        done = self.full_erase_time_us()
+        if onset is None or done is None:
+            return None
+        return done - onset
+
+    def cells_0_at(self, t_pe_us: float) -> float:
+        """Linearly interpolated programmed-cell count at ``t_pe_us``."""
+        t = self.t_pe_us
+        if t.size == 0:
+            raise ValueError("characterisation has no samples")
+        return float(np.interp(t_pe_us, t, self.cells_0.astype(float)))
+
+
+def analyze_segment(
+    flash: FlashController, segment: int, n_reads: int = 3
+) -> AnalysisResult:
+    """AnalyzeSegment of Fig. 3: N-read majority vote over a segment."""
+    if n_reads < 1 or n_reads % 2 == 0:
+        raise ValueError("n_reads must be a positive odd number")
+    bits = flash.read_segment_bits(segment, n_reads=n_reads)
+    cells_1 = int(bits.sum())
+    return AnalysisResult(
+        cells_0=bits.size - cells_1, cells_1=cells_1, bits=bits
+    )
+
+
+def characterize_segment(
+    flash: FlashController,
+    segment: int,
+    t_pe_values_us: Sequence[float],
+    n_reads: int = 3,
+) -> CharacterizationResult:
+    """CharacterizeSegment of Fig. 3 over an explicit t_PE grid.
+
+    For each partial-erase time: erase the segment, program every cell,
+    initiate an erase, abort after t_PE, and majority-read the result.
+    The paper sweeps t_PE from 0 to T_ERASE with a fixed step; passing an
+    explicit grid keeps sweeps over heavily worn segments (transitions
+    out to ~1 ms) affordable with logarithmic spacing.
+    """
+    result = CharacterizationResult(segment=segment, n_reads=n_reads)
+    n_bits = flash.geometry.bits_per_segment
+    all_programmed = np.zeros(n_bits, dtype=np.uint8)
+    for t_pe in t_pe_values_us:
+        if t_pe < 0:
+            raise ValueError("partial-erase times must be non-negative")
+        flash.erase_segment(segment)
+        flash.program_segment_bits(segment, all_programmed)
+        flash.partial_erase_segment(segment, float(t_pe))
+        analysis = analyze_segment(flash, segment, n_reads=n_reads)
+        result.points.append(
+            CharacterizationPoint(
+                t_pe_us=float(t_pe),
+                cells_0=analysis.cells_0,
+                cells_1=analysis.cells_1,
+            )
+        )
+    return result
+
+
+def stress_segment(
+    flash: FlashController,
+    segment: int,
+    n_cycles: int,
+    pattern: Optional[np.ndarray] = None,
+    bulk: bool = True,
+) -> None:
+    """Precondition a segment with ``n_cycles`` program/erase cycles.
+
+    With the default all-programmed pattern this reproduces the paper's
+    segment wear-out preparation ("a segment marked as 10 K is subjected
+    to 10,000 P/E operations", every bit programmed then erased).
+    """
+    if pattern is None:
+        pattern = np.zeros(flash.geometry.bits_per_segment, dtype=np.uint8)
+    if bulk:
+        flash.bulk_pe_cycles(segment, pattern, n_cycles)
+        return
+    for _ in range(n_cycles):
+        flash.erase_segment(segment)
+        flash.program_segment_bits(segment, pattern)
+
+
+def default_t_pe_grid(
+    t_max_us: float = 1500.0, n_linear: int = 40, n_log: int = 25
+) -> np.ndarray:
+    """A t_PE grid dense through the fresh transition, log-spaced after.
+
+    Linear 0..60 us (where fresh and lightly stressed segments flip),
+    then logarithmic out to ``t_max_us`` (heavily worn tails).
+    """
+    linear = np.linspace(0.0, 60.0, n_linear)
+    log = np.geomspace(65.0, t_max_us, n_log)
+    return np.concatenate([linear, log])

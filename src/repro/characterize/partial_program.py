@@ -1,0 +1,142 @@
+"""Sweeping partial-program characterisation: the FFD baseline ([6]).
+
+"FFD: A framework for fake flash detection" (DAC 2017) senses prior use
+with the *program* transient instead of the erase transient: erase a
+segment, program every cell with a pulse far shorter than T_PROG, and
+count how many already read programmed.  Worn cells carry trapped
+charge that adds to the injected charge, so they cross the read
+threshold after shorter pulses — the program-side mirror image of
+Flashmark's partial-erase sensing.
+
+Like the partial-erase detector in :mod:`repro.characterize.recycled`,
+this answers only "has this chip been used?", which is exactly the
+limitation the Flashmark paper positions itself against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..device.controller import FlashController
+from ..device.mcu import Microcontroller
+from .partial_erase import CharacterizationPoint
+
+__all__ = [
+    "PartialProgramCurve",
+    "characterize_partial_program",
+    "FfdDetector",
+    "FfdVerdict",
+]
+
+
+@dataclass
+class PartialProgramCurve:
+    """cells_0/cells_1 vs partial-program time for one segment."""
+
+    segment: int
+    n_reads: int
+    points: List[CharacterizationPoint] = field(default_factory=list)
+
+    @property
+    def t_pp_us(self) -> np.ndarray:
+        return np.array([p.t_pe_us for p in self.points])
+
+    @property
+    def cells_0(self) -> np.ndarray:
+        return np.array([p.cells_0 for p in self.points])
+
+    def half_program_time_us(self) -> float:
+        """Interpolated pulse length at which half the cells read 0.
+
+        The FFD discriminant: it shrinks as the segment wears.
+        """
+        if not self.points:
+            raise ValueError("curve has no samples")
+        half = self.points[0].cells_0 + self.points[0].cells_1
+        half = half / 2.0
+        t = self.t_pp_us
+        c0 = self.cells_0.astype(float)
+        return float(np.interp(half, c0, t))
+
+
+def characterize_partial_program(
+    flash: FlashController,
+    segment: int,
+    t_pp_values_us: Sequence[float],
+    n_reads: int = 3,
+) -> PartialProgramCurve:
+    """Sweep the partial-program time over one segment.
+
+    For each pulse length: erase the segment, apply one partial program
+    of every cell, majority-read.
+    """
+    curve = PartialProgramCurve(segment=segment, n_reads=n_reads)
+    n_bits = flash.geometry.bits_per_segment
+    all_zero = np.zeros(n_bits, dtype=np.uint8)
+    for t_pp in t_pp_values_us:
+        if t_pp < 0:
+            raise ValueError("partial-program times must be non-negative")
+        flash.erase_segment(segment)
+        flash.partial_program_segment(segment, all_zero, float(t_pp))
+        bits = flash.read_segment_bits(segment, n_reads=n_reads)
+        ones = int(bits.sum())
+        curve.points.append(
+            CharacterizationPoint(
+                t_pe_us=float(t_pp),
+                cells_0=bits.size - ones,
+                cells_1=ones,
+            )
+        )
+    return curve
+
+
+@dataclass(frozen=True)
+class FfdVerdict:
+    """Outcome of probing one chip with the FFD method."""
+
+    recycled: bool
+    half_program_time_us: float
+    threshold_us: float
+
+
+@dataclass
+class FfdDetector:
+    """Partial-program recycled-chip detector in the style of [6]."""
+
+    #: Guard band below the fresh population's minimum half-program time.
+    margin: float = 0.9
+    #: Pulse-length grid swept on every characterisation [us].
+    t_grid_us: Sequence[float] = tuple(np.arange(4.0, 40.0, 0.5))
+    n_reads: int = 3
+    _fresh_times_us: List[float] = field(default_factory=list)
+
+    def enroll_fresh(self, chip: Microcontroller, segment: int = 0) -> float:
+        """Record a known-fresh chip's half-program time."""
+        curve = characterize_partial_program(
+            chip.flash, segment, self.t_grid_us, n_reads=self.n_reads
+        )
+        t_half = curve.half_program_time_us()
+        self._fresh_times_us.append(t_half)
+        return t_half
+
+    @property
+    def threshold_us(self) -> float:
+        if not self._fresh_times_us:
+            raise ValueError("no fresh chips enrolled yet")
+        return min(self._fresh_times_us) * self.margin
+
+    def probe(self, chip: Microcontroller, segment: int = 0) -> FfdVerdict:
+        """Worn cells program faster: flag chips below the threshold."""
+        threshold = self.threshold_us
+        curve = characterize_partial_program(
+            chip.flash, segment, self.t_grid_us, n_reads=self.n_reads
+        )
+        t_half = curve.half_program_time_us()
+        return FfdVerdict(
+            recycled=t_half < threshold,
+            half_program_time_us=t_half,
+            threshold_us=threshold,
+        )

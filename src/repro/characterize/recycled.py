@@ -1,0 +1,109 @@
+"""Recycled-flash detection baseline (paper references [6], [7]).
+
+Before Flashmark, the closest related techniques detected *recycled*
+flash chips by sensing prior-use wear through partial program/erase
+timing characterisation.  They answer only "has this chip been used?" —
+not "who made it / did it pass die-sort?" — which is exactly the gap the
+paper motivates Flashmark with.  This module implements such a detector
+so benchmarks can compare both approaches on the same chip populations.
+
+The detector is trained on characterisation curves from known-fresh
+chips and flags a chip as recycled when any probed segment's full-erase
+time exceeds the fresh population's maximum by a safety margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..device.mcu import Microcontroller
+from .partial_erase import (
+    CharacterizationResult,
+    characterize_segment,
+    default_t_pe_grid,
+)
+
+__all__ = ["RecycledVerdict", "RecycledFlashDetector"]
+
+
+@dataclass(frozen=True)
+class RecycledVerdict:
+    """Outcome of probing one chip."""
+
+    recycled: bool
+    #: Largest observed full-erase time across probed segments [us].
+    max_full_erase_us: float
+    #: Decision threshold used [us].
+    threshold_us: float
+    #: Per-probed-segment full-erase times [us].
+    segment_times_us: tuple
+
+
+@dataclass
+class RecycledFlashDetector:
+    """Timing-characterisation recycled-chip detector ([7]-style).
+
+    Usage::
+
+        detector = RecycledFlashDetector()
+        detector.enroll_fresh(fresh_chip)        # one or more golden chips
+        verdict = detector.probe(suspect_chip)
+    """
+
+    #: Multiplicative guard band over the fresh maximum.
+    margin: float = 1.3
+    #: Segments probed on each suspect chip.
+    probe_segments: Sequence[int] = (0,)
+    #: Majority-vote reads during characterisation.
+    n_reads: int = 3
+    _fresh_times_us: List[float] = field(default_factory=list)
+
+    def enroll_fresh(self, chip: Microcontroller, segment: int = 0) -> float:
+        """Characterise a known-fresh chip and record its full-erase time."""
+        curve = self._characterize(chip, segment)
+        t_full = curve.full_erase_time_us()
+        if t_full is None:
+            raise ValueError(
+                "fresh enrollment curve never reached full erase; "
+                "extend the t_PE grid"
+            )
+        self._fresh_times_us.append(t_full)
+        return t_full
+
+    @property
+    def threshold_us(self) -> float:
+        """Current decision threshold [us]."""
+        if not self._fresh_times_us:
+            raise ValueError("no fresh chips enrolled yet")
+        return max(self._fresh_times_us) * self.margin
+
+    def probe(self, chip: Microcontroller) -> RecycledVerdict:
+        """Characterise the probe segments of a suspect chip and decide."""
+        threshold = self.threshold_us
+        times = []
+        for segment in self.probe_segments:
+            curve = self._characterize(chip, segment)
+            t_full = curve.full_erase_time_us()
+            # A curve that never completes within the grid is maximally
+            # suspicious: score it at the grid end.
+            times.append(
+                t_full if t_full is not None else float(curve.t_pe_us.max())
+            )
+        worst = max(times)
+        return RecycledVerdict(
+            recycled=worst > threshold,
+            max_full_erase_us=worst,
+            threshold_us=threshold,
+            segment_times_us=tuple(times),
+        )
+
+    def _characterize(
+        self, chip: Microcontroller, segment: int
+    ) -> CharacterizationResult:
+        return characterize_segment(
+            chip.flash,
+            segment,
+            default_t_pe_grid(),
+            n_reads=self.n_reads,
+        )

@@ -1,0 +1,97 @@
+"""Multi-stress-level characterisation sweeps (paper Fig. 4).
+
+Drives the Fig. 3 procedures over a set of segments preconditioned to
+different wear levels (0 K .. 100 K program/erase cycles) and collects
+one :class:`CharacterizationResult` per level — the data behind Fig. 4's
+family of cells_0/cells_1 curves and the Section III list of full-erase
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..device.mcu import Microcontroller
+from .partial_erase import (
+    CharacterizationResult,
+    characterize_segment,
+    default_t_pe_grid,
+    stress_segment,
+)
+
+__all__ = ["StressSweepResult", "run_stress_sweep"]
+
+
+@dataclass
+class StressSweepResult:
+    """Characterisation curves for several stress levels on one chip."""
+
+    #: stress level (P/E cycles) -> characterisation curve
+    curves: Dict[int, CharacterizationResult]
+
+    @property
+    def stress_levels(self) -> list:
+        return sorted(self.curves)
+
+    def full_erase_times_us(self) -> Dict[int, Optional[float]]:
+        """Stress level -> minimum t_PE at which all cells read erased."""
+        return {
+            level: curve.full_erase_time_us()
+            for level, curve in self.curves.items()
+        }
+
+    def onsets_us(self) -> Dict[int, Optional[float]]:
+        """Stress level -> first t_PE at which any cell reads erased."""
+        return {
+            level: curve.transition_onset_us()
+            for level, curve in self.curves.items()
+        }
+
+
+def run_stress_sweep(
+    mcu: Microcontroller,
+    stress_levels: Sequence[int] = (0, 20_000, 40_000, 60_000, 80_000, 100_000),
+    t_pe_values_us: Optional[np.ndarray] = None,
+    n_reads: int = 3,
+    first_segment: int = 0,
+) -> StressSweepResult:
+    """Precondition one segment per stress level and characterise each.
+
+    Mirrors the Section III experiment: segment *i* receives
+    ``stress_levels[i]`` full program/erase cycles (every bit programmed,
+    then the segment erased), then the partial-erase characterisation of
+    Fig. 3 runs on it.
+
+    Parameters
+    ----------
+    mcu:
+        Simulated chip with at least ``len(stress_levels)`` segments
+        available from ``first_segment``.
+    stress_levels:
+        P/E cycle counts; the paper uses 0 K to 100 K in 20 K steps.
+    t_pe_values_us:
+        Partial-erase sampling grid (defaults to
+        :func:`default_t_pe_grid`).
+    n_reads:
+        Majority-vote reads per word in AnalyzeSegment.
+    """
+    if t_pe_values_us is None:
+        t_pe_values_us = default_t_pe_grid()
+    needed = first_segment + len(stress_levels)
+    if needed > mcu.geometry.n_segments:
+        raise ValueError(
+            f"sweep needs {needed} segments, chip has "
+            f"{mcu.geometry.n_segments}"
+        )
+    curves: Dict[int, CharacterizationResult] = {}
+    for i, level in enumerate(stress_levels):
+        segment = first_segment + i
+        if level:
+            stress_segment(mcu.flash, segment, int(level))
+        curves[int(level)] = characterize_segment(
+            mcu.flash, segment, t_pe_values_us, n_reads=n_reads
+        )
+    return StressSweepResult(curves=curves)

@@ -1,0 +1,111 @@
+"""Partial-erase window selection (paper Fig. 5 and Section IV).
+
+The manufacturer picks one partial-erase time t_PEW per device family —
+the time that best separates fresh cells from stressed cells in a single
+characterisation round — and publishes it to system integrators.  This
+module derives that window from characterisation curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .partial_erase import CharacterizationResult
+
+__all__ = ["TpewSelection", "select_t_pew", "distinguishable_bits_at"]
+
+
+@dataclass(frozen=True)
+class TpewSelection:
+    """Chosen partial-erase window for a device family."""
+
+    #: The recommended partial-erase time [us].
+    t_pew_us: float
+    #: Bits distinguishable at ``t_pew_us`` (fresh reading erased while
+    #: stressed still reads programmed), out of ``n_cells``.
+    distinguishable_bits: int
+    #: Total cells compared.
+    n_cells: int
+    #: Interval of t_PE values achieving at least ``window_fraction`` of
+    #: the best separation [us].
+    window_lo_us: float
+    window_hi_us: float
+    #: Fraction of the optimum used to define the window.
+    window_fraction: float
+
+    @property
+    def separation_fraction(self) -> float:
+        """Distinguishable bits as a fraction of all cells."""
+        return self.distinguishable_bits / self.n_cells
+
+
+def distinguishable_bits_at(
+    fresh: CharacterizationResult,
+    stressed: CharacterizationResult,
+    t_pe_us: float,
+) -> float:
+    """Expected count of bits separated at ``t_pe_us``.
+
+    A bit is distinguishable when a fresh cell has already flipped to
+    erased while a stressed cell still reads programmed; with cell states
+    summarised by the two curves, the expected count is
+    ``cells_1_fresh(t) * cells_0_stressed(t) / n``-free product form is
+    not needed — both segments have the same size, so the count is the
+    overlap ``min(cells_1_fresh, cells_0_stressed)`` in the worst case
+    and the product under independence; we report the conservative
+    product estimate.
+    """
+    n = fresh.n_cells
+    fresh_erased = n - fresh.cells_0_at(t_pe_us)
+    stressed_programmed = stressed.cells_0_at(t_pe_us)
+    return fresh_erased * stressed_programmed / n
+
+
+def select_t_pew(
+    fresh: CharacterizationResult,
+    stressed: CharacterizationResult,
+    window_fraction: float = 0.95,
+    grid: Optional[np.ndarray] = None,
+) -> TpewSelection:
+    """Pick the single-round sensing window t_PEW (Fig. 5).
+
+    Scans partial-erase times and maximises the number of cells whose
+    state separates a fresh segment from a stressed one.  Also reports
+    the surrounding window of times achieving ``window_fraction`` of the
+    optimum — the paper notes the usable window widens with replication
+    and shifts right with stress.
+    """
+    if not 0.0 < window_fraction <= 1.0:
+        raise ValueError("window_fraction must be in (0, 1]")
+    if grid is None:
+        lo = min(fresh.t_pe_us.min(), stressed.t_pe_us.min())
+        hi = max(fresh.t_pe_us.max(), stressed.t_pe_us.max())
+        grid = np.linspace(max(lo, 1.0), hi, 400)
+    scores = np.array(
+        [distinguishable_bits_at(fresh, stressed, t) for t in grid]
+    )
+    best_idx = int(np.argmax(scores))
+    best = scores[best_idx]
+    if best <= 0:
+        raise ValueError(
+            "no partial-erase time separates the two segments; "
+            "was the stressed segment preconditioned?"
+        )
+    ok = scores >= window_fraction * best
+    lo_idx = best_idx
+    while lo_idx > 0 and ok[lo_idx - 1]:
+        lo_idx -= 1
+    hi_idx = best_idx
+    while hi_idx < len(grid) - 1 and ok[hi_idx + 1]:
+        hi_idx += 1
+    return TpewSelection(
+        t_pew_us=float(grid[best_idx]),
+        distinguishable_bits=int(round(best)),
+        n_cells=fresh.n_cells,
+        window_lo_us=float(grid[lo_idx]),
+        window_hi_us=float(grid[hi_idx]),
+        window_fraction=window_fraction,
+    )

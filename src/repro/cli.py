@@ -1,0 +1,322 @@
+"""Command-line interface: Flashmark operations on chip files.
+
+The CLI plays both supply-chain roles on persisted chip state
+(:mod:`repro.device.persistence`):
+
+.. code-block:: console
+
+    # manufacturer
+    $ python -m repro make chip.npz --seed 7
+    $ python -m repro imprint chip.npz --manufacturer TCMK --status ACCEPT
+    # counterfeiter
+    $ python -m repro wipe chip.npz
+    # integrator
+    $ python -m repro verify chip.npz
+    $ python -m repro characterize chip.npz --segment 0
+    $ python -m repro info chip.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_table
+from .characterize import (
+    WearEstimator,
+    characterize_segment,
+    default_t_pe_grid,
+)
+from .core import (
+    ChipStatus,
+    FlashmarkSession,
+    WatermarkFormat,
+    WatermarkPayload,
+    WatermarkVerifier,
+    calibrate_family,
+)
+from .core.screening import detect_watermark_presence
+from .device import age_chip, make_mcu
+from .device.persistence import load_chip, save_chip
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flashmark NOR-flash watermarking (DAC 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("make", help="manufacture a chip file")
+    p.add_argument("chip", help="output chip file (.npz)")
+    p.add_argument("--model", default="MSP430F5438")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--segments", type=int, default=1, help="flash segments to simulate"
+    )
+
+    p = sub.add_parser("imprint", help="imprint a watermark payload")
+    p.add_argument("chip")
+    p.add_argument("--manufacturer", default="TCMK")
+    p.add_argument(
+        "--status", choices=[s.name for s in ChipStatus], default="ACCEPT"
+    )
+    p.add_argument("--speed-grade", type=int, default=3)
+    p.add_argument("--n-pe", type=int, default=40_000)
+    p.add_argument("--replicas", type=int, default=7)
+    p.add_argument("--segment", type=int, default=0)
+    p.add_argument(
+        "--sign-key",
+        help="hex-encoded manufacturer key; adds a keyed signature tag",
+    )
+
+    p = sub.add_parser("wipe", help="erase a segment digitally")
+    p.add_argument("chip")
+    p.add_argument("--segment", type=int, default=0)
+
+    p = sub.add_parser("verify", help="extract + verify the watermark")
+    p.add_argument("chip")
+    p.add_argument("--segment", type=int, default=0)
+    p.add_argument("--n-pe", type=int, default=40_000)
+    p.add_argument("--replicas", type=int, default=7)
+    p.add_argument(
+        "--sign-key",
+        help="hex-encoded manufacturer key the watermark was signed with",
+    )
+    p.add_argument(
+        "--temperature",
+        type=float,
+        default=None,
+        help="die temperature [C]; compensates the extraction window",
+    )
+
+    p = sub.add_parser("characterize", help="partial-erase sweep (Fig. 3)")
+    p.add_argument("chip")
+    p.add_argument("--segment", type=int, default=0)
+    p.add_argument("--reads", type=int, default=3)
+
+    p = sub.add_parser("info", help="print chip metadata")
+    p.add_argument("chip")
+
+    p = sub.add_parser("age", help="advance unpowered shelf time")
+    p.add_argument("chip")
+    p.add_argument("--years", type=float, default=1.0)
+
+    p = sub.add_parser(
+        "detect", help="blind-probe for a watermark (no format needed)"
+    )
+    p.add_argument("chip")
+    p.add_argument("--segment", type=int, default=0)
+
+    p = sub.add_parser(
+        "estimate-wear", help="estimate prior P/E cycles of a segment"
+    )
+    p.add_argument("chip")
+    p.add_argument("--segment", type=int, default=0)
+
+    p = sub.add_parser("temp", help="set the die junction temperature")
+    p.add_argument("chip")
+    p.add_argument("celsius", type=float)
+    return parser
+
+
+def _cmd_make(args) -> int:
+    chip = make_mcu(
+        model=args.model, seed=args.seed, n_segments=args.segments
+    )
+    save_chip(chip, args.chip)
+    print(f"manufactured {chip!r} -> {args.chip}")
+    return 0
+
+
+def _cmd_imprint(args) -> int:
+    chip = load_chip(args.chip)
+    session = FlashmarkSession(chip, segment=args.segment)
+    payload = WatermarkPayload(
+        manufacturer=args.manufacturer,
+        die_id=chip.die_id,
+        speed_grade=args.speed_grade,
+        status=ChipStatus[args.status],
+    )
+    sign_key = bytes.fromhex(args.sign_key) if args.sign_key else None
+    report = session.imprint_payload(
+        payload,
+        n_pe=args.n_pe,
+        n_replicas=args.replicas,
+        sign_key=sign_key,
+    )
+    save_chip(chip, args.chip)
+    print(
+        f"imprinted {payload.manufacturer}/{payload.status.name} "
+        f"(die 0x{payload.die_id:012X}) with {report.n_pe} cycles in "
+        f"{report.duration_s:.0f} s of device time"
+    )
+    return 0
+
+
+def _cmd_wipe(args) -> int:
+    chip = load_chip(args.chip)
+    chip.flash.erase_segment(args.segment)
+    save_chip(chip, args.chip)
+    print(f"segment {args.segment} digitally erased (all 0xFFFF)")
+    return 0
+
+
+def _published_verifier(
+    chip, n_pe: int, n_replicas: int, sign_key: Optional[bytes] = None
+) -> WatermarkVerifier:
+    """Derive the published family parameters for the chip's model."""
+    from .core import SignatureScheme
+
+    calibration = calibrate_family(
+        lambda seed: make_mcu(
+            model=chip.model, seed=seed, params=chip.params, n_segments=1
+        ),
+        n_pe=n_pe,
+        n_replicas=n_replicas,
+    )
+    payload_bits = WatermarkPayload("XXXX", 0, 0, ChipStatus.ACCEPT).n_bits
+    scheme = SignatureScheme(sign_key) if sign_key else None
+    fmt = WatermarkFormat(
+        n_bits=payload_bits + (scheme.tag_bits if scheme else 0),
+        n_replicas=n_replicas,
+        balanced=True,
+        structured=True,
+    )
+    return WatermarkVerifier(calibration, fmt, signature_scheme=scheme)
+
+
+def _cmd_verify(args) -> int:
+    chip = load_chip(args.chip)
+    sign_key = bytes.fromhex(args.sign_key) if args.sign_key else None
+    verifier = _published_verifier(
+        chip, args.n_pe, args.replicas, sign_key=sign_key
+    )
+    report = verifier.verify(
+        chip.flash, args.segment, temperature_c=args.temperature
+    )
+    save_chip(chip, args.chip)  # extraction wears/rewrites the segment
+    print(f"verdict: {report.verdict.value}")
+    print(f"reason:  {report.reason}")
+    if report.payload is not None:
+        p = report.payload
+        print(
+            f"payload: manufacturer={p.manufacturer} "
+            f"die=0x{p.die_id:012X} grade={p.speed_grade} "
+            f"status={p.status.name}"
+        )
+    return 0 if report.verdict.value == "authentic" else 2
+
+
+def _cmd_characterize(args) -> int:
+    chip = load_chip(args.chip)
+    curve = characterize_segment(
+        chip.flash,
+        args.segment,
+        default_t_pe_grid(),
+        n_reads=args.reads,
+    )
+    save_chip(chip, args.chip)
+    rows = [
+        [p.t_pe_us, p.cells_0, p.cells_1] for p in curve.points[::5]
+    ]
+    print(
+        format_table(
+            ["t_PE [us]", "cells_0", "cells_1"],
+            rows,
+            title=f"segment {args.segment} characterisation",
+        )
+    )
+    print(f"transition onset:  {curve.transition_onset_us()} us")
+    print(f"full-erase time:   {curve.full_erase_time_us()} us")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    chip = load_chip(args.chip)
+    sl = slice(0, chip.geometry.total_bits)
+    n_eff = chip.array.n_effective(sl)
+    print(f"{chip!r}")
+    print(f"die id:        0x{chip.die_id:012X}")
+    print(f"segments:      {chip.geometry.n_segments}")
+    print(f"device clock:  {chip.trace.now_s:.1f} s")
+    print(f"max cell wear: {n_eff.max():.0f} effective P/E cycles")
+    print(f"worn cells:    {int((n_eff > 1000).sum())} above 1K cycles")
+    return 0
+
+
+def _cmd_age(args) -> int:
+    chip = load_chip(args.chip)
+    if args.years < 0:
+        print("years must be non-negative", file=sys.stderr)
+        return 1
+    age_chip(chip, args.years * 365.0 * 24.0)
+    save_chip(chip, args.chip)
+    print(f"aged {args.years} year(s) of shelf time")
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    chip = load_chip(args.chip)
+    result = detect_watermark_presence(chip, segment=args.segment)
+    save_chip(chip, args.chip)  # the probe rewrites the segment
+    print(
+        f"watermark present: {'yes' if result.has_watermark else 'no'} "
+        f"({result.stressed_cells} stressed cells, "
+        f"p={result.p_value:.2e})"
+    )
+    return 0 if result.has_watermark else 2
+
+
+def _cmd_estimate_wear(args) -> int:
+    chip = load_chip(args.chip)
+    estimator = WearEstimator()
+    print("building reference curves on sibling golden dies ...")
+    estimator.build_references(
+        lambda seed: make_mcu(
+            model=chip.model, seed=seed, params=chip.params, n_segments=1
+        )
+    )
+    estimate = estimator.estimate(chip, segment=args.segment)
+    save_chip(chip, args.chip)
+    print(
+        f"estimated prior stress: ~{estimate.estimated_kcycles:.1f} K "
+        f"P/E cycles (bracket {estimate.bracket})"
+    )
+    return 0
+
+
+def _cmd_temp(args) -> int:
+    chip = load_chip(args.chip)
+    chip.set_temperature(args.celsius)
+    save_chip(chip, args.chip)
+    print(f"junction temperature set to {args.celsius} C")
+    return 0
+
+
+_COMMANDS = {
+    "make": _cmd_make,
+    "imprint": _cmd_imprint,
+    "wipe": _cmd_wipe,
+    "verify": _cmd_verify,
+    "characterize": _cmd_characterize,
+    "info": _cmd_info,
+    "age": _cmd_age,
+    "detect": _cmd_detect,
+    "estimate-wear": _cmd_estimate_wear,
+    "temp": _cmd_temp,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

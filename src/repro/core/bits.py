@@ -1,0 +1,130 @@
+"""Bit-vector utilities shared by the watermarking stack.
+
+Watermarks are numpy ``uint8`` bit vectors in flash convention
+(1 = erased/"good" cell, 0 = programmed/"bad" cell), LSB-first within
+each byte/word — matching the device layer's cell indexing, so a
+watermark bit vector programs into a segment positionally.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "text_to_bits",
+    "bits_to_text",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "random_bits",
+    "hamming_distance",
+    "bit_error_rate",
+    "ones_fraction",
+    "is_balanced",
+    "manchester_encode",
+    "manchester_decode",
+]
+
+
+def bytes_to_bits(data: Union[bytes, bytearray]) -> np.ndarray:
+    """Expand bytes into an LSB-first uint8 bit vector."""
+    return np.unpackbits(
+        np.frombuffer(bytes(data), dtype=np.uint8), bitorder="little"
+    )
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an LSB-first bit vector (length multiple of 8) into bytes."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def text_to_bits(text: str) -> np.ndarray:
+    """ASCII text -> bit vector (the paper's "TC" example encoding)."""
+    return bytes_to_bits(text.encode("ascii"))
+
+
+def bits_to_text(bits: np.ndarray) -> str:
+    """Bit vector -> ASCII text (non-ASCII bytes map to U+FFFD)."""
+    return bits_to_bytes(bits).decode("ascii", errors="replace")
+
+
+def random_bits(
+    n_bits: int, rng: np.random.Generator, p_one: float = 0.5
+) -> np.ndarray:
+    """Random bit vector with P(bit = 1) = ``p_one``."""
+    if not 0.0 <= p_one <= 1.0:
+        raise ValueError("p_one must be a probability")
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    return (rng.random(n_bits) < p_one).astype(np.uint8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of differing bit positions."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def bit_error_rate(reference: np.ndarray, measured: np.ndarray) -> float:
+    """Fraction of bits in ``measured`` that differ from ``reference``."""
+    reference = np.asarray(reference)
+    if reference.size == 0:
+        raise ValueError("cannot compute a bit error rate over zero bits")
+    return hamming_distance(reference, measured) / reference.size
+
+
+def ones_fraction(bits: np.ndarray) -> float:
+    """Fraction of logic-1 bits."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size == 0:
+        raise ValueError("empty bit vector")
+    return float(bits.mean())
+
+
+def is_balanced(bits: np.ndarray, tolerance: int = 0) -> bool:
+    """True if #ones and #zeros differ by at most ``tolerance``.
+
+    The paper proposes constraining watermarks to an equal number of
+    "good" and "bad" bits so stress tampering (which can only create
+    additional bad bits) is detectable.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    ones = int(bits.sum())
+    zeros = bits.size - ones
+    return abs(ones - zeros) <= tolerance
+
+
+def manchester_encode(bits: np.ndarray) -> np.ndarray:
+    """Encode each bit b as the pair (b, ~b): guarantees exact balance.
+
+    Doubles the footprint but makes *any* number of good->bad tamper
+    flips detectable as a balance/codeword violation: a legal pair is
+    01 or 10, and stress tampering can only produce 00.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    out = np.empty(bits.size * 2, dtype=np.uint8)
+    out[0::2] = bits
+    out[1::2] = 1 - bits
+    return out
+
+
+def manchester_decode(encoded: np.ndarray) -> tuple:
+    """Decode (b, ~b) pairs; returns (bits, n_invalid_pairs).
+
+    Invalid pairs (00 or 11) decode to the first bit, and their count is
+    the tamper/corruption evidence the verifier inspects.
+    """
+    encoded = np.asarray(encoded, dtype=np.uint8)
+    if encoded.size % 2 != 0:
+        raise ValueError("Manchester stream must have even length")
+    first = encoded[0::2]
+    second = encoded[1::2]
+    invalid = int(np.count_nonzero(first == second))
+    return first.copy(), invalid

@@ -1,0 +1,178 @@
+"""Replica decoders: majority voting and the asymmetry-aware variant.
+
+The paper decodes replicated watermarks with a plain majority vote
+(Fig. 10) and observes that extraction errors are *asymmetric*: a
+stressed ("bad") cell is far more likely to be misread as good than the
+reverse, and "this observation can be utilized for further tuning of
+watermark extraction procedures".  :class:`AsymmetricDecoder` is that
+tuning: a maximum-likelihood vote under a binary asymmetric channel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "majority_vote",
+    "soft_manchester_vote",
+    "ErrorAsymmetry",
+    "measure_asymmetry",
+    "AsymmetricDecoder",
+]
+
+
+def majority_vote(replica_matrix: np.ndarray) -> np.ndarray:
+    """Per-bit majority over replicas; ties decode to 0 ("bad").
+
+    Ties only arise with an even replica count; resolving them toward
+    "bad" is the conservative choice for accept/reject payloads because
+    tampering can only create additional bad reads.
+    """
+    replica_matrix = np.asarray(replica_matrix, dtype=np.uint8)
+    if replica_matrix.ndim != 2:
+        raise ValueError("replica matrix must be 2-D (replicas x bits)")
+    n_replicas = replica_matrix.shape[0]
+    ones = replica_matrix.sum(axis=0)
+    return (ones > n_replicas / 2).astype(np.uint8)
+
+
+def soft_manchester_vote(replica_matrix: np.ndarray) -> tuple:
+    """Jointly decode replicas of a Manchester-balanced watermark.
+
+    The encoded stream pairs every payload bit b with its complement, so
+    columns 2j and 2j+1 of the replica matrix are two *anti-correlated*
+    looks at the same bit.  Counting votes across both columns (a 1 in
+    column 2j and a 0 in column 2j+1 both argue for b = 1) uses twice
+    the evidence of decoding each column separately and only then
+    checking pair consistency.
+
+    Returns ``(bits, invalid_pairs, tampered_pairs)``:
+
+    * ``invalid_pairs`` — pairs whose independent per-column majorities
+      violate the complement constraint, in either direction;
+    * ``tampered_pairs`` — the subset reading (0, 0), i.e. *both* cells
+      look stressed.  Channel noise produces (1, 1) pairs (the dominant
+      error misreads a stressed cell as good), while turning a good cell
+      bad requires physical stress — so (0, 0) pairs are the tamper
+      fingerprint the Section IV balance constraint is after.
+    """
+    replica_matrix = np.asarray(replica_matrix, dtype=np.uint8)
+    if replica_matrix.ndim != 2 or replica_matrix.shape[1] % 2 != 0:
+        raise ValueError(
+            "replica matrix must be 2-D with an even number of columns"
+        )
+    n_replicas = replica_matrix.shape[0]
+    ones = replica_matrix.sum(axis=0)
+    first, second = ones[0::2], ones[1::2]
+    # Evidence for bit = 1: 1-reads in the direct column plus 0-reads in
+    # the complement column.  Ties decode to 0 ("bad", conservative).
+    evidence_one = first + (n_replicas - second)
+    bits = (evidence_one > n_replicas).astype(np.uint8)
+    hard = majority_vote(replica_matrix)
+    pair_equal = hard[0::2] == hard[1::2]
+    invalid = int(np.count_nonzero(pair_equal))
+    tampered = int(np.count_nonzero(pair_equal & (hard[0::2] == 0)))
+    return bits, invalid, tampered
+
+
+@dataclass(frozen=True)
+class ErrorAsymmetry:
+    """Measured channel error rates of the extraction procedure."""
+
+    #: P(read 1 | imprinted 0): a stressed cell misread as good.
+    p_bad_reads_good: float
+    #: P(read 0 | imprinted 1): a good cell misread as bad.
+    p_good_reads_bad: float
+
+    def __post_init__(self) -> None:
+        for name in ("p_bad_reads_good", "p_good_reads_bad"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+    @property
+    def ratio(self) -> float:
+        """Asymmetry ratio (bad->good errors per good->bad error)."""
+        if self.p_good_reads_bad == 0.0:
+            return math.inf
+        return self.p_bad_reads_good / self.p_good_reads_bad
+
+
+def measure_asymmetry(
+    reference_bits: np.ndarray, extracted_bits: np.ndarray
+) -> ErrorAsymmetry:
+    """Estimate channel error rates from a known reference watermark.
+
+    This is what a manufacturer does during device-family calibration;
+    the resulting rates ship with the published t_PEW.
+    """
+    reference = np.asarray(reference_bits, dtype=np.uint8).ravel()
+    extracted = np.asarray(extracted_bits, dtype=np.uint8).ravel()
+    if reference.shape != extracted.shape:
+        raise ValueError("reference and extraction must have equal size")
+    zeros = reference == 0
+    ones = ~zeros
+    n_zeros = int(zeros.sum())
+    n_ones = int(ones.sum())
+    p_bg = (
+        float(np.count_nonzero(extracted[zeros] == 1)) / n_zeros
+        if n_zeros
+        else 0.0
+    )
+    p_gb = (
+        float(np.count_nonzero(extracted[ones] == 0)) / n_ones
+        if n_ones
+        else 0.0
+    )
+    return ErrorAsymmetry(p_bad_reads_good=p_bg, p_good_reads_bad=p_gb)
+
+
+class AsymmetricDecoder:
+    """Maximum-likelihood replica decoder for an asymmetric channel.
+
+    Given per-replica reads of one watermark bit, decide the imprinted
+    value that maximises the likelihood under the measured channel::
+
+        L(good) = (1 - p_gb)^n1 * p_gb^n0
+        L(bad)  = p_bg^n1 * (1 - p_bg)^n0
+
+    With a strongly asymmetric channel (p_bg >> p_gb, as measured in
+    Fig. 10) a single 0 read among several 1s can already flip the
+    decision to "bad" — exactly the tuning the paper hints at.
+
+    Parameters
+    ----------
+    asymmetry:
+        Channel error rates (from :func:`measure_asymmetry` or the
+        device-family calibration).
+    prior_good:
+        Prior probability that a bit is good; 0.5 for unconstrained
+        watermarks, exactly 0.5 for balanced ones.
+    """
+
+    #: Error-rate floor to keep log-likelihoods finite.
+    _EPS = 1e-6
+
+    def __init__(self, asymmetry: ErrorAsymmetry, prior_good: float = 0.5):
+        if not 0.0 < prior_good < 1.0:
+            raise ValueError("prior_good must be strictly between 0 and 1")
+        p_bg = min(max(asymmetry.p_bad_reads_good, self._EPS), 1 - self._EPS)
+        p_gb = min(max(asymmetry.p_good_reads_bad, self._EPS), 1 - self._EPS)
+        self.asymmetry = asymmetry
+        # Log-likelihood contributions of each read toward "good".
+        self._llr_read1 = math.log((1 - p_gb) / p_bg)
+        self._llr_read0 = math.log(p_gb / (1 - p_bg))
+        self._llr_prior = math.log(prior_good / (1 - prior_good))
+
+    def decode(self, replica_matrix: np.ndarray) -> np.ndarray:
+        """Decode a (replicas x bits) matrix to the ML bit vector."""
+        replica_matrix = np.asarray(replica_matrix, dtype=np.uint8)
+        if replica_matrix.ndim != 2:
+            raise ValueError("replica matrix must be 2-D (replicas x bits)")
+        n1 = replica_matrix.sum(axis=0).astype(np.float64)
+        n0 = replica_matrix.shape[0] - n1
+        llr = self._llr_prior + n1 * self._llr_read1 + n0 * self._llr_read0
+        return (llr > 0).astype(np.uint8)

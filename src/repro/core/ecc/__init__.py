@@ -1,0 +1,15 @@
+"""Error-correcting codes for watermark redundancy (Section V extension).
+
+The paper compares plain data replication with "error correction
+techniques"; this package provides both families behind a common
+encode/decode interface so benchmarks can compare them at equal flash
+footprint:
+
+* :class:`RepetitionCode` — (n, 1) inline repetition, majority decoded;
+* :class:`Hamming74` — Hamming(7,4), one corrected error per block.
+"""
+
+from .hamming import Hamming74
+from .repetition import RepetitionCode
+
+__all__ = ["RepetitionCode", "Hamming74"]

@@ -1,0 +1,84 @@
+"""Hamming(7,4) block code: the paper's "error correction techniques" option.
+
+Section V: "An alternative to watermark data replication is to use error
+correction techniques."  Hamming(7,4) corrects one error per 7-bit block
+at rate 4/7 — a denser alternative to 3-way replication (rate 1/3) that
+the ablation benchmark compares at equal flash footprint.
+
+Vectorised over blocks; bit order within a block is
+[p1 p2 d1 p3 d2 d3 d4] (classic positions 1..7, parity at powers of 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Hamming74"]
+
+# Generator: data nibble d1..d4 -> codeword positions 1..7.
+_ENCODE_PARITY = np.array(
+    [
+        [1, 1, 0, 1],  # p1 = d1 ^ d2 ^ d4
+        [1, 0, 1, 1],  # p2 = d1 ^ d3 ^ d4
+        [0, 1, 1, 1],  # p3 = d2 ^ d3 ^ d4
+    ],
+    dtype=np.uint8,
+)
+#: Codeword layout: index of each of the 7 positions, data positions.
+_DATA_POS = np.array([2, 4, 5, 6])  # 0-based positions of d1..d4
+_PARITY_POS = np.array([0, 1, 3])  # 0-based positions of p1, p2, p3
+# Parity-check matrix H (3 x 7): syndrome bit k covers positions whose
+# 1-based index has bit k set.
+_H = np.array(
+    [[(pos >> k) & 1 for pos in range(1, 8)] for k in range(3)],
+    dtype=np.uint8,
+)
+
+
+@dataclass(frozen=True)
+class Hamming74:
+    """Hamming(7,4) single-error-correcting code."""
+
+    @property
+    def rate(self) -> float:
+        return 4.0 / 7.0
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode a bit vector (length multiple of 4) into 7-bit blocks."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % 4 != 0:
+            raise ValueError(
+                f"data length {bits.size} is not a multiple of 4"
+            )
+        data = bits.reshape(-1, 4)
+        parity = (data @ _ENCODE_PARITY.T) % 2
+        blocks = np.empty((data.shape[0], 7), dtype=np.uint8)
+        blocks[:, _DATA_POS] = data
+        blocks[:, _PARITY_POS] = parity
+        return blocks.ravel()
+
+    def decode(self, code_bits: np.ndarray) -> tuple:
+        """Decode; corrects one error per block.
+
+        Returns (data_bits, n_corrected_blocks).  Two or more errors in a
+        block mis-correct silently, as with any Hamming code — the outer
+        CRC in structured payloads catches those.
+        """
+        code_bits = np.asarray(code_bits, dtype=np.uint8)
+        if code_bits.size % 7 != 0:
+            raise ValueError(
+                f"code length {code_bits.size} is not a multiple of 7"
+            )
+        blocks = code_bits.reshape(-1, 7).copy()
+        syndrome = (blocks @ _H.T) % 2
+        # Syndrome value = 1-based position of the flipped bit (0 = clean).
+        err_pos = (
+            syndrome[:, 0] + 2 * syndrome[:, 1] + 4 * syndrome[:, 2]
+        ).astype(np.int64)
+        bad = err_pos > 0
+        rows = np.flatnonzero(bad)
+        cols = err_pos[bad] - 1
+        blocks[rows, cols] ^= 1
+        return blocks[:, _DATA_POS].ravel(), int(rows.size)

@@ -1,0 +1,116 @@
+"""ExtractFlashmark: reading a watermark back out of cell physics (Fig. 8).
+
+Extraction exploits the wear dependence of the erase transient: erase
+the segment, program every cell, initiate an erase and abort it after
+the published partial-erase window t_PEW, then read.  Fresh cells have
+already flipped to 1; stressed cells still read 0 — the read-back *is*
+the watermark (noisy; see :mod:`repro.core.decoder` for cleanup).
+
+Extraction is digitally destructive (it erases and reprograms the
+segment's contents) but physically repeatable: the wear pattern is
+untouched apart from the one extra P/E cycle each extraction costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..device.controller import FlashController
+from .decoder import AsymmetricDecoder, majority_vote
+from .replication import ReplicaLayout
+
+__all__ = ["ExtractionResult", "DecodedWatermark", "extract_segment", "extract_watermark"]
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Raw output of one ExtractFlashmark round."""
+
+    segment: int
+    t_pew_us: float
+    n_reads: int
+    #: Raw segment read-back (1 = sensed erased = "good").
+    raw_bits: np.ndarray
+    #: Device time spent [ms] (the paper's ~170 ms extract cost).
+    duration_ms: float
+
+
+@dataclass(frozen=True)
+class DecodedWatermark:
+    """A decoded watermark plus the evidence used to decode it."""
+
+    #: Decoded watermark bits.
+    bits: np.ndarray
+    #: (n_replicas, n_bits) raw replica matrix.
+    replica_matrix: np.ndarray
+    #: The raw extraction it came from.
+    extraction: ExtractionResult
+    #: Layout used to gather replicas.
+    layout: ReplicaLayout
+    #: Name of the decoder applied ("majority" or "asymmetric-ml").
+    decoder: str
+
+
+def extract_segment(
+    flash: FlashController,
+    segment: int,
+    t_pew_us: float,
+    n_reads: int = 1,
+) -> ExtractionResult:
+    """One ExtractFlashmark round (Fig. 8), returning the raw bit map.
+
+    Steps: erase the segment; program it fully; initiate erase; wait
+    ``t_pew_us``; abort; read every cell (majority over ``n_reads``).
+    """
+    if t_pew_us < 0:
+        raise ValueError("t_pew_us must be non-negative")
+    trace = flash.trace
+    t0 = trace.now_us
+    flash.erase_segment(segment)
+    flash.program_segment_bits(
+        segment, np.zeros(flash.geometry.bits_per_segment, dtype=np.uint8)
+    )
+    flash.partial_erase_segment(segment, t_pew_us)
+    raw = flash.read_segment_bits(segment, n_reads=n_reads)
+    return ExtractionResult(
+        segment=segment,
+        t_pew_us=t_pew_us,
+        n_reads=n_reads,
+        raw_bits=raw,
+        duration_ms=(trace.now_us - t0) / 1e3,
+    )
+
+
+def extract_watermark(
+    flash: FlashController,
+    segment: int,
+    layout: ReplicaLayout,
+    t_pew_us: float,
+    n_reads: int = 1,
+    decoder: Optional[AsymmetricDecoder] = None,
+) -> DecodedWatermark:
+    """Extract and decode a replicated watermark.
+
+    Runs :func:`extract_segment`, gathers the replica matrix through the
+    layout, and decodes with a plain majority vote (the paper's Fig. 10
+    procedure) or, if ``decoder`` is given, the asymmetry-aware
+    maximum-likelihood vote.
+    """
+    extraction = extract_segment(flash, segment, t_pew_us, n_reads=n_reads)
+    matrix = layout.gather(extraction.raw_bits)
+    if decoder is None:
+        bits = majority_vote(matrix)
+        decoder_name = "majority"
+    else:
+        bits = decoder.decode(matrix)
+        decoder_name = "asymmetric-ml"
+    return DecodedWatermark(
+        bits=bits,
+        replica_matrix=matrix,
+        extraction=extraction,
+        layout=layout,
+        decoder=decoder_name,
+    )

@@ -1,0 +1,89 @@
+"""Multi-round soft extraction: combining several partial-erase times.
+
+Section III's characterisation sweeps t_PE finely; the production
+`ExtractFlashmark` collapses that to one published t_PEW.  In between
+lies a cheap middle ground this module implements: run the extraction
+round at a handful of t_PE values spanning the published window and
+combine the reads per cell.  A cell's *score* — how many rounds it read
+erased — is a coarse ordinal measurement of its crossing time, i.e. of
+its wear, and thresholding scores (summed across replicas) beats any
+single-round hard decision near the population boundary.
+
+Each extra round costs one full extraction (~35 ms) and one P/E cycle
+of segment wear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..device.controller import FlashController
+from .extract import ExtractionResult, extract_segment
+from .replication import ReplicaLayout
+
+__all__ = ["SoftExtraction", "extract_watermark_soft"]
+
+
+@dataclass(frozen=True)
+class SoftExtraction:
+    """A decoded watermark plus the soft evidence behind it."""
+
+    #: Decoded watermark bits.
+    bits: np.ndarray
+    #: (n_cells,) per-cell scores: rounds the cell read erased.
+    cell_scores: np.ndarray
+    #: (n_replicas, n_bits) score matrix gathered through the layout.
+    replica_scores: np.ndarray
+    #: The individual rounds, in sweep order.
+    rounds: tuple
+    #: Partial-erase times used [us].
+    t_values_us: tuple
+    #: Total device time spent [ms].
+    duration_ms: float
+
+
+def extract_watermark_soft(
+    flash: FlashController,
+    segment: int,
+    layout: ReplicaLayout,
+    t_values_us: Sequence[float],
+    n_reads: int = 1,
+) -> SoftExtraction:
+    """Extract with one round per ``t_values_us`` entry and soft-decode.
+
+    Decoding: each cell contributes its score (0..len(t_values)); scores
+    are summed across a bit's replicas and compared against the midpoint
+    ``n_replicas * n_rounds / 2``.  A good cell crosses early and scores
+    high in every round; a bad cell scores low until far-right t values.
+    Ties decode to 0 ("bad"), consistent with the hard decoders.
+    """
+    t_values = tuple(float(t) for t in t_values_us)
+    if len(t_values) == 0:
+        raise ValueError("need at least one partial-erase time")
+    if any(t < 0 for t in t_values):
+        raise ValueError("partial-erase times must be non-negative")
+    rounds = []
+    scores = np.zeros(flash.geometry.bits_per_segment, dtype=np.int64)
+    duration_ms = 0.0
+    for t in t_values:
+        result: ExtractionResult = extract_segment(
+            flash, segment, t, n_reads=n_reads
+        )
+        rounds.append(result)
+        scores += result.raw_bits
+        duration_ms += result.duration_ms
+    replica_scores = scores[layout.positions()]
+    total = replica_scores.sum(axis=0)
+    midpoint = layout.n_replicas * len(t_values) / 2.0
+    bits = (total > midpoint).astype(np.uint8)
+    return SoftExtraction(
+        bits=bits,
+        cell_scores=scores,
+        replica_scores=replica_scores,
+        rounds=tuple(rounds),
+        t_values_us=t_values,
+        duration_ms=duration_ms,
+    )

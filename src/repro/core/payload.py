@@ -1,0 +1,131 @@
+"""Watermark payload schema: what a manufacturer imprints at die-sort.
+
+Section IV lists the information a watermark may carry: manufacturer
+identifier, die identifier, chip speed grade, and testing status
+("accept" / "reject").  :class:`WatermarkPayload` packs those fields into
+a fixed 12-byte record protected by a CRC-16, so a verifier can both
+recover the fields and detect forgery/tampering after decoding.
+
+Record layout (little-endian, 12 bytes / 96 bits)::
+
+    bytes 0-3   manufacturer id (4 ASCII characters)
+    bytes 4-9   die id (48-bit integer: lot / wafer / x / y encodings)
+    byte  10    bits 0-3 speed grade (0-15), bits 4-7 status code
+    bytes 11-12 CRC-16/CCITT over bytes 0-10  -> total 13 bytes
+
+(13 bytes = 104 bits; replicas of this record tile a 512-byte segment
+dozens of times, matching the paper's "modest memory footprint".)
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bits import bits_to_bytes, bytes_to_bits
+from .crc import crc16_ccitt
+
+__all__ = ["ChipStatus", "WatermarkPayload", "PayloadError", "PAYLOAD_BYTES"]
+
+#: Packed record size including CRC [bytes].
+PAYLOAD_BYTES = 13
+_BODY = struct.Struct("<4s6sB")
+
+
+class PayloadError(ValueError):
+    """Raised when a payload record cannot be parsed or validated."""
+
+
+class ChipStatus(enum.IntEnum):
+    """Die-sort outcome imprinted into the watermark."""
+
+    REJECT = 0x0
+    ACCEPT = 0x5
+    ENGINEERING_SAMPLE = 0xA
+
+
+@dataclass(frozen=True)
+class WatermarkPayload:
+    """Manufacturing metadata carried by a Flashmark watermark."""
+
+    #: Manufacturer identifier, exactly 4 ASCII characters (e.g. "TCMK"
+    #: for the paper's virtual Trusted Chipmaker).
+    manufacturer: str
+    #: 48-bit die identifier.
+    die_id: int
+    #: Speed grade, 0..15.
+    speed_grade: int
+    #: Die-sort status.
+    status: ChipStatus
+
+    def __post_init__(self) -> None:
+        if len(self.manufacturer) != 4 or not self.manufacturer.isascii():
+            raise PayloadError(
+                "manufacturer must be exactly 4 ASCII characters, "
+                f"got {self.manufacturer!r}"
+            )
+        if not 0 <= self.die_id < 2**48:
+            raise PayloadError(f"die_id out of 48-bit range: {self.die_id}")
+        if not 0 <= self.speed_grade <= 15:
+            raise PayloadError(
+                f"speed_grade must be 0..15, got {self.speed_grade}"
+            )
+        if not isinstance(self.status, ChipStatus):
+            raise PayloadError(f"unknown status {self.status!r}")
+
+    # -- packing --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Pack to the 13-byte CRC-protected record."""
+        body = _BODY.pack(
+            self.manufacturer.encode("ascii"),
+            self.die_id.to_bytes(6, "little"),
+            (self.status.value << 4) | self.speed_grade,
+        )
+        return body + crc16_ccitt(body).to_bytes(2, "little")
+
+    def to_bits(self) -> np.ndarray:
+        """Pack to a 104-bit flash bit vector."""
+        return bytes_to_bits(self.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WatermarkPayload":
+        """Parse and CRC-check a 13-byte record."""
+        if len(data) != PAYLOAD_BYTES:
+            raise PayloadError(
+                f"payload record must be {PAYLOAD_BYTES} bytes, "
+                f"got {len(data)}"
+            )
+        body, crc_bytes = data[:-2], data[-2:]
+        if crc16_ccitt(body) != int.from_bytes(crc_bytes, "little"):
+            raise PayloadError("payload CRC mismatch")
+        manufacturer_raw, die_raw, grade_status = _BODY.unpack(body)
+        try:
+            manufacturer = manufacturer_raw.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise PayloadError("manufacturer field is not ASCII") from exc
+        status_code = grade_status >> 4
+        try:
+            status = ChipStatus(status_code)
+        except ValueError as exc:
+            raise PayloadError(
+                f"unknown status code 0x{status_code:X}"
+            ) from exc
+        return cls(
+            manufacturer=manufacturer,
+            die_id=int.from_bytes(die_raw, "little"),
+            speed_grade=grade_status & 0xF,
+            status=status,
+        )
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "WatermarkPayload":
+        """Parse a 104-bit vector (raises :class:`PayloadError` on CRC)."""
+        return cls.from_bytes(bits_to_bytes(np.asarray(bits, dtype=np.uint8)))
+
+    @property
+    def n_bits(self) -> int:
+        return PAYLOAD_BYTES * 8

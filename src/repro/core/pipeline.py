@@ -1,0 +1,223 @@
+"""FlashmarkSession: the one-stop high-level API.
+
+Wires the whole flow — payload, imprint, calibration, extraction,
+verification — onto one chip, with the published family parameters kept
+alongside.  This is the API the README's quickstart uses::
+
+    from repro import FlashmarkSession, WatermarkPayload, ChipStatus, make_mcu
+
+    chip = make_mcu(seed=7, n_segments=1)
+    session = FlashmarkSession(chip)
+    payload = WatermarkPayload("TCMK", die_id=0xBEEF, speed_grade=3,
+                               status=ChipStatus.ACCEPT)
+    session.imprint_payload(payload, n_pe=40_000, n_replicas=7)
+    report = session.verify()
+    assert report.verdict.name == "AUTHENTIC"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..device.mcu import Microcontroller, make_mcu
+from .calibration import FamilyCalibration, calibrate_family
+from .extract import DecodedWatermark, extract_watermark
+from .imprint import ImprintReport, imprint_watermark
+from .payload import WatermarkPayload
+from .signature import SignatureScheme
+from .verifier import (
+    VerificationReport,
+    WatermarkFormat,
+    WatermarkVerifier,
+)
+from .watermark import Watermark
+
+__all__ = ["FlashmarkSession"]
+
+
+@dataclass
+class _SessionState:
+    watermark: Watermark
+    format: WatermarkFormat
+    imprint_report: ImprintReport
+
+
+class FlashmarkSession:
+    """High-level imprint / extract / verify workflow on one chip.
+
+    Parameters
+    ----------
+    chip:
+        The simulated microcontroller carrying the watermark segment.
+    segment:
+        Reserved watermark segment (default 0).
+    calibration:
+        Published family calibration.  When omitted, one is derived on
+        demand from sibling chips of the same model (slower but
+        self-contained).
+    """
+
+    def __init__(
+        self,
+        chip: Microcontroller,
+        segment: int = 0,
+        calibration: Optional[FamilyCalibration] = None,
+    ):
+        self.chip = chip
+        self.segment = segment
+        self._calibration = calibration
+        self._state: Optional[_SessionState] = None
+        self._signature_scheme: Optional[SignatureScheme] = None
+
+    # -- manufacturer side ----------------------------------------------
+
+    def imprint(
+        self,
+        watermark: Watermark,
+        n_pe: int = 40_000,
+        n_replicas: int = 7,
+        balanced: bool = False,
+        structured: bool = False,
+        accelerated: bool = True,
+        layout_style: str = "contiguous",
+        ecc: bool = False,
+    ) -> ImprintReport:
+        """Imprint a watermark and remember the format for later steps."""
+        imprinted = watermark.balanced() if balanced else watermark
+        report = imprint_watermark(
+            self.chip.flash,
+            self.segment,
+            imprinted,
+            n_pe,
+            n_replicas=n_replicas,
+            layout_style=layout_style,
+            accelerated=accelerated,
+        )
+        self._state = _SessionState(
+            watermark=imprinted,
+            format=WatermarkFormat(
+                n_bits=watermark.n_bits,
+                n_replicas=n_replicas,
+                layout_style=layout_style,
+                balanced=balanced,
+                structured=structured,
+                ecc=ecc,
+            ),
+            imprint_report=report,
+        )
+        return report
+
+    def imprint_payload(
+        self,
+        payload: WatermarkPayload,
+        n_pe: int = 40_000,
+        n_replicas: int = 7,
+        balanced: bool = True,
+        accelerated: bool = True,
+        sign_key: Optional[bytes] = None,
+        ecc: bool = False,
+    ) -> ImprintReport:
+        """Imprint a structured, CRC-protected manufacturing record.
+
+        With ``sign_key``, the record carries a keyed signature tag
+        (Section IV): verification then also authenticates the
+        manufacturer, not just the record's integrity.  With ``ecc``,
+        the record is Hamming(7,4)-encoded before balancing — the
+        paper's "error correction techniques" alternative to pure
+        replication.
+        """
+        if sign_key is not None:
+            self._signature_scheme = SignatureScheme(sign_key)
+            watermark = self._signature_scheme.sign(payload).watermark
+        else:
+            self._signature_scheme = None
+            watermark = Watermark.from_payload(payload)
+        if ecc:
+            from .ecc import Hamming74
+
+            watermark = Watermark(
+                Hamming74().encode(watermark.bits),
+                label=f"{watermark.label}+hamming74",
+            )
+        return self.imprint(
+            watermark,
+            n_pe=n_pe,
+            n_replicas=n_replicas,
+            balanced=balanced,
+            structured=True,
+            accelerated=accelerated,
+            ecc=ecc,
+        )
+
+    # -- published parameters ----------------------------------------------
+
+    @property
+    def calibration(self) -> FamilyCalibration:
+        """The family calibration (derived on first use if not supplied)."""
+        if self._calibration is None:
+            state = self._require_state()
+            self._calibration = calibrate_family(
+                lambda seed: make_mcu(
+                    model=self.chip.model,
+                    seed=seed,
+                    params=self.chip.params,
+                    n_segments=1,
+                ),
+                n_pe=state.imprint_report.n_pe,
+                n_replicas=state.format.n_replicas,
+            )
+        return self._calibration
+
+    @property
+    def format(self) -> WatermarkFormat:
+        """The watermark format imprinted by this session."""
+        return self._require_state().format
+
+    # -- integrator side ------------------------------------------------------
+
+    def extract(self, n_reads: int = 1) -> DecodedWatermark:
+        """Extract and majority-decode the watermark."""
+        state = self._require_state()
+        layout = state.format.layout_for(
+            self.chip.geometry.bits_per_segment
+        )
+        return extract_watermark(
+            self.chip.flash,
+            self.segment,
+            layout,
+            self.calibration.t_pew_us,
+            n_reads=n_reads,
+        )
+
+    def verify(
+        self,
+        expected: Optional[Watermark] = None,
+        max_ber: float = 0.05,
+        use_asymmetric_decoder: bool = False,
+    ) -> VerificationReport:
+        """Verify this chip against the published family parameters.
+
+        ``expected`` defaults to the imprinted watermark, which models a
+        verifier that knows what the manufacturer imprinted; pass
+        ``expected=None`` explicitly after constructing a fresh verifier
+        for the realistic knows-only-the-format flow.
+        """
+        state = self._require_state()
+        verifier = WatermarkVerifier(
+            self.calibration,
+            state.format,
+            expected=expected if expected is not None else state.watermark,
+            max_ber=max_ber,
+            use_asymmetric_decoder=use_asymmetric_decoder,
+            signature_scheme=self._signature_scheme,
+        )
+        return verifier.verify(self.chip.flash, self.segment)
+
+    def _require_state(self) -> _SessionState:
+        if self._state is None:
+            raise RuntimeError(
+                "no watermark imprinted in this session yet; "
+                "call imprint() or imprint_payload() first"
+            )
+        return self._state

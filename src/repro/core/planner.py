@@ -1,0 +1,145 @@
+"""Imprint planning: choosing N_PE and replication for a BER target.
+
+Section V frames the core trade-off: "Ideally, we would like to have a
+minimum number of P/E stresses and thus reduce imprint time and to have
+no bit errors during extraction procedure.  As shown in Fig. 9 these
+two are conflicting requirements."  This module turns that observation
+into a tool: measure the (N_PE, replicas) design space on sample chips
+once, then pick the cheapest configuration meeting a BER target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..device.mcu import Microcontroller
+from .bits import bit_error_rate
+from .extract import extract_watermark
+from .imprint import imprint_watermark
+from .watermark import Watermark
+
+__all__ = ["DesignPoint", "DesignSpace", "explore_design_space", "plan_imprint"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One measured (N_PE, replicas) configuration."""
+
+    n_pe: int
+    n_replicas: int
+    #: Decoded BER at the best partial-erase time.
+    ber: float
+    #: Accelerated imprint time [s].
+    imprint_s: float
+    #: Best extraction window found [us].
+    t_pew_us: float
+
+    @property
+    def meets(self) -> Callable[[float], bool]:
+        return lambda target: self.ber <= target
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """All measured design points, with Pareto helpers."""
+
+    points: tuple
+
+    def cheapest_meeting(self, target_ber: float) -> Optional[DesignPoint]:
+        """Fastest-imprint point with BER at or below the target."""
+        viable = [p for p in self.points if p.ber <= target_ber]
+        if not viable:
+            return None
+        return min(viable, key=lambda p: p.imprint_s)
+
+    def pareto_front(self) -> List[DesignPoint]:
+        """Points not dominated in (imprint time, BER)."""
+        front = []
+        for p in self.points:
+            dominated = any(
+                (q.imprint_s <= p.imprint_s and q.ber < p.ber)
+                or (q.imprint_s < p.imprint_s and q.ber <= p.ber)
+                for q in self.points
+            )
+            if not dominated:
+                front.append(p)
+        return sorted(front, key=lambda p: p.imprint_s)
+
+
+def explore_design_space(
+    chip_factory: Callable[[int], Microcontroller],
+    n_pe_values: Sequence[int] = (10_000, 20_000, 40_000, 60_000),
+    replica_values: Sequence[int] = (1, 3, 5, 7),
+    watermark_bits: int = 104,
+    t_grid_us: Optional[np.ndarray] = None,
+    seed0: int = 5000,
+) -> DesignSpace:
+    """Measure the (N_PE, replicas) grid on sample chips.
+
+    Each configuration gets a fresh sample chip (one per point, as a
+    manufacturer's characterisation lab would), an accelerated imprint
+    and a t_PE sweep; the recorded BER is the sweep minimum.
+    """
+    if t_grid_us is None:
+        t_grid_us = np.arange(20.0, 40.0, 1.0)
+    points = []
+    seed = seed0
+    for n_pe in n_pe_values:
+        for n_replicas in replica_values:
+            chip = chip_factory(seed)
+            seed += 1
+            rng = np.random.default_rng(seed)
+            watermark = Watermark.random(watermark_bits, rng)
+            report = imprint_watermark(
+                chip.flash,
+                0,
+                watermark,
+                n_pe,
+                n_replicas=n_replicas,
+                accelerated=True,
+            )
+            best_ber, best_t = 1.0, float(t_grid_us[0])
+            for t in t_grid_us:
+                decoded = extract_watermark(
+                    chip.flash, 0, report.layout, float(t)
+                )
+                ber = bit_error_rate(watermark.bits, decoded.bits)
+                if ber < best_ber:
+                    best_ber, best_t = ber, float(t)
+            points.append(
+                DesignPoint(
+                    n_pe=int(n_pe),
+                    n_replicas=int(n_replicas),
+                    ber=best_ber,
+                    imprint_s=report.duration_s,
+                    t_pew_us=best_t,
+                )
+            )
+    return DesignSpace(points=tuple(points))
+
+
+def plan_imprint(
+    target_ber: float,
+    chip_factory: Callable[[int], Microcontroller],
+    **explore_kwargs,
+) -> DesignPoint:
+    """Pick the cheapest configuration meeting ``target_ber``.
+
+    Raises ``ValueError`` when no explored configuration reaches the
+    target — extend the grid (more stress or more replicas) in that
+    case.
+    """
+    if not 0.0 <= target_ber < 1.0:
+        raise ValueError("target_ber must be in [0, 1)")
+    space = explore_design_space(chip_factory, **explore_kwargs)
+    choice = space.cheapest_meeting(target_ber)
+    if choice is None:
+        best = min(p.ber for p in space.points)
+        raise ValueError(
+            f"no explored configuration reaches BER <= {target_ber} "
+            f"(best achieved: {best:.4f}); extend the design grid"
+        )
+    return choice

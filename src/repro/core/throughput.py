@@ -1,0 +1,67 @@
+"""Imprint throughput economics: chips per hour on a production tester.
+
+Section V bounds the imprint cost per chip (387 s accelerated at 40 K
+on the MSP430 module) and notes stand-alone NOR chips would be far
+faster.  What a manufacturer actually cares about is tester throughput:
+imprinting runs unattended in parallel sockets, so the question is how
+many sockets buy how many chips per hour, and what the marginal cost per
+chip is.  This small analytic model turns measured imprint durations
+into those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ImprintTester", "ThroughputEstimate"]
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Throughput and cost for one imprint configuration."""
+
+    #: Chips finished per tester-hour.
+    chips_per_hour: float
+    #: Marginal tester time per chip [s].
+    tester_seconds_per_chip: float
+    #: Tester cost attributed to each chip [same currency as hourly_cost].
+    cost_per_chip: float
+
+
+@dataclass(frozen=True)
+class ImprintTester:
+    """A parallel-socket production tester.
+
+    Parameters
+    ----------
+    sockets:
+        Chips imprinted concurrently.
+    handling_s:
+        Load/unload/contact time per socket per batch [s].
+    hourly_cost:
+        Operating cost of the tester per hour (any currency unit).
+    """
+
+    sockets: int = 64
+    handling_s: float = 15.0
+    hourly_cost: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ValueError("sockets must be positive")
+        if self.handling_s < 0 or self.hourly_cost < 0:
+            raise ValueError("handling_s and hourly_cost must be >= 0")
+
+    def estimate(self, imprint_s: float) -> ThroughputEstimate:
+        """Throughput for a measured per-chip imprint duration [s]."""
+        if imprint_s <= 0:
+            raise ValueError("imprint_s must be positive")
+        batch_s = imprint_s + self.handling_s
+        chips_per_hour = 3600.0 * self.sockets / batch_s
+        tester_seconds_per_chip = batch_s / self.sockets
+        cost_per_chip = self.hourly_cost * tester_seconds_per_chip / 3600.0
+        return ThroughputEstimate(
+            chips_per_hour=chips_per_hour,
+            tester_seconds_per_chip=tester_seconds_per_chip,
+            cost_per_chip=cost_per_chip,
+        )

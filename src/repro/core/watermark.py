@@ -1,0 +1,149 @@
+"""The watermark itself: the bit pattern imprinted into cell physics.
+
+A :class:`Watermark` is an immutable bit vector (flash convention:
+1 = "good"/unstressed cell, 0 = "bad"/stressed cell) plus convenience
+constructors for the encodings used in the paper — ASCII text (the "TC"
+example of Fig. 6, the uppercase-ASCII watermarks of Section V),
+structured payload records, random patterns and balanced variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .bits import (
+    is_balanced,
+    manchester_encode,
+    ones_fraction,
+    random_bits,
+    text_to_bits,
+    bytes_to_bits,
+)
+from .payload import WatermarkPayload
+
+__all__ = ["Watermark"]
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """An immutable watermark bit pattern.
+
+    Attributes
+    ----------
+    bits:
+        The pattern (uint8, 1 = good/erased cell, 0 = bad/stressed cell).
+    label:
+        Human-readable description used in reports.
+    """
+
+    bits: np.ndarray
+    label: str = "watermark"
+
+    def __post_init__(self) -> None:
+        bits = np.ascontiguousarray(self.bits, dtype=np.uint8)
+        if bits.ndim != 1 or bits.size == 0:
+            raise ValueError("watermark bits must be a non-empty 1-D vector")
+        if np.any(bits > 1):
+            raise ValueError("watermark bits must be 0/1")
+        bits.setflags(write=False)
+        object.__setattr__(self, "bits", bits)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, label: Optional[str] = None) -> "Watermark":
+        """ASCII text watermark (LSB-first bit order, as in Fig. 6)."""
+        return cls(text_to_bits(text), label=label or f"text:{text!r}")
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, label: Optional[str] = None
+    ) -> "Watermark":
+        """Raw bytes watermark."""
+        return cls(bytes_to_bits(data), label=label or f"bytes[{len(data)}]")
+
+    @classmethod
+    def from_payload(cls, payload: WatermarkPayload) -> "Watermark":
+        """Structured manufacturing record (CRC-protected)."""
+        return cls(
+            payload.to_bits(),
+            label=(
+                f"payload:{payload.manufacturer}/"
+                f"{payload.status.name}/g{payload.speed_grade}"
+            ),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        n_bits: int,
+        rng: np.random.Generator,
+        p_one: float = 0.5,
+        label: Optional[str] = None,
+    ) -> "Watermark":
+        """Random watermark with the given 1-density."""
+        return cls(
+            random_bits(n_bits, rng, p_one=p_one),
+            label=label or f"random[{n_bits}]",
+        )
+
+    @classmethod
+    def ascii_uppercase(
+        cls, n_chars: int, rng: np.random.Generator
+    ) -> "Watermark":
+        """Random uppercase-ASCII watermark, as in the Section V feasibility
+        experiment ("a watermark that consists of upper-case ASCII
+        characters")."""
+        chars = rng.integers(ord("A"), ord("Z") + 1, size=n_chars)
+        text = "".join(chr(c) for c in chars)
+        return cls.from_text(text, label=f"ascii_upper[{n_chars}]")
+
+    @classmethod
+    def tc_example(cls) -> "Watermark":
+        """The paper's Fig. 6 walk-through watermark: "TC" = 0x5443."""
+        return cls.from_text("TC", label='text:"TC" (Fig. 6)')
+
+    # -- derived views -----------------------------------------------------
+
+    def balanced(self) -> "Watermark":
+        """Manchester-encoded variant with exactly equal good/bad bits.
+
+        The paper suggests constraining watermarks to an equal number of
+        good and bad bits so stress tampering is detectable; pairing each
+        bit with its complement achieves that exactly at 2x footprint.
+        """
+        return Watermark(
+            manchester_encode(self.bits), label=f"{self.label}+balanced"
+        )
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.bits.size)
+
+    @property
+    def ones_fraction(self) -> float:
+        """Fraction of good (logic 1) bits."""
+        return ones_fraction(self.bits)
+
+    @property
+    def zeros_fraction(self) -> float:
+        """Fraction of bad (logic 0, stressed) bits."""
+        return 1.0 - self.ones_fraction
+
+    @property
+    def is_balanced(self) -> bool:
+        return is_balanced(self.bits)
+
+    def __len__(self) -> int:
+        return self.n_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"Watermark({self.label}, n_bits={self.n_bits}, "
+            f"ones={self.ones_fraction:.2f})"
+        )

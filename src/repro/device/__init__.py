@@ -1,0 +1,110 @@
+"""Simulated flash devices: the substrate Flashmark runs on.
+
+This package provides the digital side of the reproduction — everything
+the paper's procedures touch through "standard system commands":
+
+* :class:`NorFlashArray` — vectorised per-cell physics state;
+* :class:`FlashController` — program / erase / partial-erase / read
+  command surface with datasheet timing;
+* :class:`FlashRegisterFile` — the MSP430 register-level programming
+  model (FCTL1/FCTL3, BUSY, EMEX emergency exit);
+* :class:`Microcontroller` / :func:`make_mcu` — whole simulated chips;
+* :class:`SpiNorFlash` — stand-alone JEDEC SPI NOR chip;
+* :class:`NandFlash` — SLC NAND variant (reset-aborted erase).
+"""
+
+from .aging import age_chip, data_retention_margin_v
+from .array import NorFlashArray
+from .controller import FlashController
+from .errors import (
+    FlashAddressError,
+    FlashBusyError,
+    FlashCommandError,
+    FlashError,
+    FlashLockedError,
+)
+from .geometry import (
+    MSP430F5438_GEOMETRY,
+    MSP430F5529_GEOMETRY,
+    FlashGeometry,
+)
+from .mcu import SUPPORTED_MODELS, Microcontroller, make_mcu
+from .persistence import CHIP_FILE_VERSION, load_chip, save_chip
+from .mlc import MLC_GEOMETRY, MLC_LEVELS_V, MLC_READ_REFS_V, MlcNorFlash
+from .nand import NAND_GEOMETRY, NandFlash
+from .pack import bits_to_word, bits_to_words, word_to_bits, words_to_bits
+from .registers import (
+    BLKWRT,
+    BUSY,
+    EMEX,
+    ERASE,
+    FCTL1,
+    FCTL3,
+    FRKEY,
+    FWKEY,
+    KEYV,
+    LOCK,
+    MERAS,
+    WRT,
+    FlashRegisterFile,
+)
+from .spi_nor import SPI_NOR_GEOMETRY, SpiNorFlash
+from .timing import (
+    FAST_SPI_NOR_TIMING,
+    MSP430F5438_TIMING,
+    SLC_NAND_TIMING,
+    TimingProfile,
+)
+from .tracing import OperationTrace, TraceEvent
+
+__all__ = [
+    "NorFlashArray",
+    "age_chip",
+    "data_retention_margin_v",
+    "save_chip",
+    "load_chip",
+    "CHIP_FILE_VERSION",
+    "FlashController",
+    "FlashRegisterFile",
+    "Microcontroller",
+    "make_mcu",
+    "SUPPORTED_MODELS",
+    "SpiNorFlash",
+    "NandFlash",
+    "MlcNorFlash",
+    "MLC_GEOMETRY",
+    "MLC_LEVELS_V",
+    "MLC_READ_REFS_V",
+    "FlashGeometry",
+    "MSP430F5438_GEOMETRY",
+    "MSP430F5529_GEOMETRY",
+    "SPI_NOR_GEOMETRY",
+    "NAND_GEOMETRY",
+    "TimingProfile",
+    "MSP430F5438_TIMING",
+    "FAST_SPI_NOR_TIMING",
+    "SLC_NAND_TIMING",
+    "OperationTrace",
+    "TraceEvent",
+    "FlashError",
+    "FlashAddressError",
+    "FlashBusyError",
+    "FlashCommandError",
+    "FlashLockedError",
+    "word_to_bits",
+    "bits_to_word",
+    "words_to_bits",
+    "bits_to_words",
+    "FCTL1",
+    "FCTL3",
+    "WRT",
+    "BLKWRT",
+    "ERASE",
+    "MERAS",
+    "BUSY",
+    "KEYV",
+    "LOCK",
+    "EMEX",
+    "FWKEY",
+    "FRKEY",
+]

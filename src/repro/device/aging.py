@@ -1,0 +1,64 @@
+"""Chip aging: unpowered shelf time and its effect on stored charge.
+
+Applies the :mod:`repro.phys.retention` loss model to a whole die:
+programmed cells leak floating-gate charge over storage time, faster on
+worn cells.  Two facts matter for Flashmark:
+
+* **stored data degrades** — worn (e.g. recycled) chips lose retention
+  margin, which is one of the end-user failure modes counterfeits cause
+  (Section I);
+* **the watermark does not** — extraction re-erases and re-programs the
+  segment before the partial erase, so it senses oxide *wear*, not
+  stored charge.  Aging a chip for years leaves the watermark intact,
+  which the aging benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..phys.retention import RetentionParams, retention_loss_v
+from .mcu import Microcontroller
+
+__all__ = ["age_chip", "data_retention_margin_v"]
+
+
+def age_chip(
+    chip: Microcontroller,
+    hours: float,
+    retention: RetentionParams = RetentionParams(),
+) -> None:
+    """Advance ``hours`` of unpowered shelf time on a chip.
+
+    Threshold voltages of charged cells decay along the wear-accelerated
+    log-time law; fully erased cells sit at their floor and are
+    unaffected.  The device clock also advances (it measures elapsed
+    device time, powered or not).
+    """
+    if hours < 0:
+        raise ValueError("shelf time must be non-negative")
+    if hours == 0:
+        return
+    array = chip.array
+    sl = slice(0, chip.geometry.total_bits)
+    loss = retention_loss_v(hours, array.n_effective(sl), retention)
+    array.vth[sl] = np.maximum(
+        array.vth[sl] - loss, array.static.vth_erased[sl]
+    )
+    chip.trace.charge("shelf_time", hours * 3_600e6, count=1)
+
+
+def data_retention_margin_v(chip: Microcontroller, segment: int) -> float:
+    """Worst-case margin of stored 0-bits above the read reference [V].
+
+    Negative means at least one programmed cell has leaked below the
+    reference and now reads erased — i.e. stored data has bit-flipped.
+    """
+    sl = chip.geometry.segment_bit_slice(segment)
+    programmed = chip.array.programmed_since_erase[sl]
+    if not programmed.any():
+        raise ValueError(
+            f"segment {segment} holds no programmed cells to measure"
+        )
+    vth = chip.array.vth[sl][programmed]
+    return float(vth.min() - chip.params.cell.v_ref)

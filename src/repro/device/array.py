@@ -1,0 +1,350 @@
+"""Vectorised NOR flash cell array: the physics state of a simulated die.
+
+This module holds, for every cell of a die, the evolving physical state
+(threshold voltage, wear counters) plus the static manufacture-time
+parameters, and implements the physical effect of the three primitive
+flash operations — program, erase pulse (full or aborted), read — as
+whole-slice numpy operations.
+
+The array knows nothing about command timing, registers or protection;
+that is the :class:`~repro.device.controller.FlashController`'s job.
+Slices are flat bit-index slices produced by
+:meth:`~repro.device.geometry.FlashGeometry.segment_bit_slice` and
+friends; bit values use the flash convention (1 = erased/conducting,
+0 = programmed/non-conducting).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Optional
+
+import numpy as np
+
+from ..phys.constants import PhysicalParams
+from ..phys.erase import apply_erase_transient, crossing_time_us
+from ..phys.program import apply_program_transient
+from ..phys.variation import StaticCellLot, sample_static_cells
+from ..phys.wear import (
+    effective_cycles,
+    programmed_level_shift,
+    tau_wear_multiplier,
+)
+from .geometry import FlashGeometry
+
+__all__ = ["NorFlashArray"]
+
+
+class NorFlashArray:
+    """Physics state of every cell in a simulated NOR flash die.
+
+    Parameters
+    ----------
+    geometry:
+        Array dimensions.
+    params:
+        Physical model parameters.
+    rng:
+        Random generator used for the manufacture-time draw and for all
+        per-operation noise.  Two arrays built with generators seeded
+        identically are indistinguishable.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        params: PhysicalParams,
+        rng: np.random.Generator,
+    ):
+        self.geometry = geometry
+        self.params = params
+        self.rng = rng
+        n = geometry.total_bits
+        self.static: StaticCellLot = sample_static_cells(n, params, rng)
+        #: Current threshold voltage per cell [V]; dies ship erased.
+        self.vth: np.ndarray = self.static.vth_erased.copy()
+        #: Completed program operations per cell.
+        self.program_cycles: np.ndarray = np.zeros(n, dtype=np.float64)
+        #: Erase pulses seen while the cell held no programmed charge.
+        self.erase_only_cycles: np.ndarray = np.zeros(n, dtype=np.float64)
+        #: True if the cell was programmed since the last erase pulse.
+        self.programmed_since_erase: np.ndarray = np.zeros(n, dtype=bool)
+        #: Junction temperature [deg C]; erase transients speed up when
+        #: hot (see ``CellParams.erase_temp_coefficient_per_k``).
+        self.temperature_c: float = params.cell.nominal_temperature_c
+
+    # -- derived quantities -------------------------------------------
+
+    def n_effective(self, sl: slice) -> np.ndarray:
+        """Effective stress-cycle count for the cells in ``sl``."""
+        return effective_cycles(
+            self.program_cycles[sl],
+            self.erase_only_cycles[sl],
+            self.params.wear,
+        )
+
+    def current_tau_us(self, sl: slice) -> np.ndarray:
+        """Wear- and temperature-adjusted erase time constant [us].
+
+        Jitter-free; hot dies erase faster (tau shrinks) along an
+        Arrhenius-like law around the calibration temperature.
+        """
+        mult = tau_wear_multiplier(
+            self.n_effective(sl),
+            self.static.wear_susceptibility[sl],
+            self.params.wear,
+        )
+        cell = self.params.cell
+        temp_factor = np.exp(
+            -cell.erase_temp_coefficient_per_k
+            * (self.temperature_c - cell.nominal_temperature_c)
+        )
+        return self.static.tau0_us[sl] * mult * temp_factor
+
+    def erase_crossing_times_us(self, sl: slice) -> np.ndarray:
+        """Partial-erase time at which each cell would read erased [us].
+
+        Computed from the *current* threshold voltage with the jitter-free
+        time constant; cells already reading erased return 0.
+        """
+        return crossing_time_us(
+            self.vth[sl],
+            self.params.cell.v_ref,
+            self.current_tau_us(sl),
+            self.params.cell.erase_slope_v_per_decade,
+        )
+
+    # -- primitive operations -------------------------------------------
+
+    def program_bits(self, sl: slice, pattern: np.ndarray) -> None:
+        """Program the cells of ``sl`` whose ``pattern`` bit is 0.
+
+        Flash programming only moves bits from 1 to 0: pattern-1 cells
+        are left untouched (whatever their current state), pattern-0
+        cells are charged to their programmed level.
+        """
+        pattern = np.asarray(pattern)
+        n = sl.stop - sl.start
+        if pattern.shape != (n,):
+            raise ValueError(
+                f"pattern length {pattern.shape} does not match slice ({n},)"
+            )
+        target = pattern == 0
+        if not np.any(target):
+            return
+        idx = np.flatnonzero(target) + sl.start
+        self.program_cycles[idx] += 1.0
+        n_eff = effective_cycles(
+            self.program_cycles[idx],
+            self.erase_only_cycles[idx],
+            self.params.wear,
+        )
+        shift = programmed_level_shift(
+            n_eff, self.params.wear, self.static.wear_susceptibility[idx]
+        )
+        noise_sigma = self.params.noise.program_sigma_v
+        noise = (
+            self.rng.normal(0.0, noise_sigma, size=idx.size)
+            if noise_sigma > 0.0
+            else 0.0
+        )
+        self.vth[idx] = self.static.vth_programmed[idx] + shift + noise
+        self.programmed_since_erase[idx] = True
+
+    def partial_program_bits(
+        self, sl: slice, pattern: np.ndarray, t_us: float
+    ) -> None:
+        """Program pattern-0 cells with a pulse of only ``t_us`` [us].
+
+        Shorter pulses than the nominal full program time leave cells
+        partially charged — the sweeping-partial-program sensing knob of
+        the FFD recycled-chip detector ([6]) and of flash TRNGs ([15]).
+        Wear is charged fractionally (``t / t_full`` of a program
+        cycle); programming never lowers a threshold voltage.
+        """
+        if t_us < 0:
+            raise ValueError("program duration must be non-negative")
+        pattern = np.asarray(pattern)
+        n = sl.stop - sl.start
+        if pattern.shape != (n,):
+            raise ValueError(
+                f"pattern length {pattern.shape} does not match slice ({n},)"
+            )
+        target = pattern == 0
+        if not np.any(target) or t_us == 0:
+            return
+        cell = self.params.cell
+        fraction = min(1.0, t_us / cell.program_t_full_us)
+        idx = np.flatnonzero(target) + sl.start
+        self.program_cycles[idx] += fraction
+        n_eff = effective_cycles(
+            self.program_cycles[idx],
+            self.erase_only_cycles[idx],
+            self.params.wear,
+        )
+        shift = programmed_level_shift(
+            n_eff, self.params.wear, self.static.wear_susceptibility[idx]
+        )
+        sigma = self.params.noise.program_sigma_v
+        noise = (
+            self.rng.normal(0.0, sigma, size=idx.size)
+            if sigma > 0.0
+            else 0.0
+        )
+        full_target = self.static.vth_programmed[idx] + shift + noise
+        self.vth[idx] = apply_program_transient(
+            self.vth[idx],
+            full_target,
+            t_us,
+            cell.program_t_full_us,
+            cell.program_tau_us,
+        )
+        self.programmed_since_erase[idx] = True
+
+    def erase_pulse(self, sl: slice, t_us: float) -> None:
+        """Apply the erase voltage to all cells of ``sl`` for ``t_us``.
+
+        A full erase uses the nominal erase time (long enough for every
+        cell to reach its erased floor); Flashmark's partial erase aborts
+        after a few tens of microseconds, freezing the transient.
+        """
+        n = sl.stop - sl.start
+        jitter_sigma = self.params.noise.erase_jitter_sigma
+        tau = self.current_tau_us(sl)
+        if jitter_sigma > 0.0:
+            tau = tau * self.rng.lognormal(0.0, jitter_sigma, size=n)
+        self.vth[sl] = apply_erase_transient(
+            self.vth[sl],
+            t_us,
+            tau,
+            self.static.vth_erased[sl],
+            self.params.cell.erase_slope_v_per_decade,
+        )
+        # Erase-only damage applies to cells that held no programmed
+        # charge (far lower tunnelling current when the gate is empty).
+        unprogrammed = ~self.programmed_since_erase[sl]
+        self.erase_only_cycles[sl] += unprogrammed
+        self.programmed_since_erase[sl] = False
+
+    def read_bits(self, sl: slice, n_reads: int = 1) -> np.ndarray:
+        """Sense the cells of ``sl``; returns uint8 bits (1 = erased).
+
+        With ``n_reads > 1`` (odd), each cell's value is the majority
+        vote over independent reads — the AnalyzeSegment behaviour of the
+        paper's Fig. 3.
+        """
+        if n_reads < 1 or n_reads % 2 == 0:
+            raise ValueError("n_reads must be a positive odd number")
+        n = sl.stop - sl.start
+        sigma = self.params.noise.read_sigma_v
+        v_ref = self.params.cell.v_ref
+        if sigma == 0.0:
+            bits = (self.vth[sl] < v_ref).astype(np.uint8)
+        else:
+            noise = self.rng.normal(0.0, sigma, size=(n_reads, n))
+            ones = np.count_nonzero(
+                self.vth[sl] + noise < v_ref, axis=0
+            )
+            bits = (ones > n_reads // 2).astype(np.uint8)
+        disturb = self.params.noise.read_disturb_v_per_read
+        if disturb > 0.0:
+            # Weak programming of the sensed cells: thresholds creep up,
+            # bounded by the programmed target level.
+            self.vth[sl] = np.minimum(
+                self.vth[sl] + disturb * n_reads,
+                self.static.vth_programmed[sl],
+            )
+        return bits
+
+    # -- bulk fast path ---------------------------------------------------
+
+    def bulk_stress(
+        self, sl: slice, pattern: np.ndarray, n_cycles: int
+    ) -> None:
+        """Apply ``n_cycles`` iterations of [full erase; program pattern].
+
+        Exactly equivalent (in wear counters and, with noise disabled, in
+        final threshold voltages) to calling :meth:`erase_pulse` +
+        :meth:`program_bits` in a loop, but O(cells) instead of
+        O(cells x cycles).  This is what makes 100 K-cycle imprints and
+        multi-point sweeps tractable; ``ImprintFlashmark`` uses it unless
+        asked to simulate cycle by cycle.
+
+        The loop ends, like the paper's Fig. 7, with the pattern
+        programmed into the segment.
+        """
+        if n_cycles < 0:
+            raise ValueError("n_cycles must be non-negative")
+        if n_cycles == 0:
+            return
+        pattern = np.asarray(pattern)
+        n = sl.stop - sl.start
+        if pattern.shape != (n,):
+            raise ValueError(
+                f"pattern length {pattern.shape} does not match slice ({n},)"
+            )
+        programmed_bits = pattern == 0  # stressed, "bad" cells
+        erased_bits = ~programmed_bits  # untouched, "good" cells
+
+        # Wear accounting, matching the loop semantics exactly:
+        # cycle 1's erase charges an erase-only cycle to every cell that
+        # was not programmed on entry; afterwards, pattern-0 cells are
+        # always programmed when the erase hits, pattern-1 cells never are.
+        first_erase_counts = ~self.programmed_since_erase[sl]
+        self.erase_only_cycles[sl][first_erase_counts] += 1.0
+        eo = self.erase_only_cycles[sl]
+        eo[erased_bits] += float(n_cycles - 1)
+        self.erase_only_cycles[sl] = eo
+        pc = self.program_cycles[sl]
+        pc[programmed_bits] += float(n_cycles)
+        self.program_cycles[sl] = pc
+
+        # Final state: pattern programmed (last loop operation).
+        idx_all = np.arange(sl.start, sl.stop)
+        idx_p = idx_all[programmed_bits]
+        idx_e = idx_all[erased_bits]
+        if idx_p.size:
+            n_eff = effective_cycles(
+                self.program_cycles[idx_p],
+                self.erase_only_cycles[idx_p],
+                self.params.wear,
+            )
+            shift = programmed_level_shift(
+                n_eff,
+                self.params.wear,
+                self.static.wear_susceptibility[idx_p],
+            )
+            sigma = self.params.noise.program_sigma_v
+            noise = (
+                self.rng.normal(0.0, sigma, size=idx_p.size)
+                if sigma > 0.0
+                else 0.0
+            )
+            self.vth[idx_p] = self.static.vth_programmed[idx_p] + shift + noise
+        if idx_e.size:
+            self.vth[idx_e] = self.static.vth_erased[idx_e]
+        flags = self.programmed_since_erase[sl]
+        flags[programmed_bits] = True
+        flags[erased_bits] = False
+        self.programmed_since_erase[sl] = flags
+
+    # -- lifecycle -------------------------------------------------------
+
+    def copy(self, rng: Optional[np.random.Generator] = None) -> "NorFlashArray":
+        """Deep copy of the die (state and static parameters).
+
+        Useful for what-if experiments: fork a die, run two different
+        procedures, compare.  Pass ``rng`` to decorrelate the copies'
+        future noise; by default the copy gets an independent generator
+        spawned from this one's bit stream.
+        """
+        clone = _copy.copy(self)
+        clone.temperature_c = self.temperature_c
+        clone.vth = self.vth.copy()
+        clone.program_cycles = self.program_cycles.copy()
+        clone.erase_only_cycles = self.erase_only_cycles.copy()
+        clone.programmed_since_erase = self.programmed_since_erase.copy()
+        clone.rng = rng if rng is not None else np.random.default_rng(
+            self.rng.integers(0, 2**63)
+        )
+        return clone

@@ -1,0 +1,35 @@
+"""Exception hierarchy of the flash device simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "FlashError",
+    "FlashAddressError",
+    "FlashBusyError",
+    "FlashLockedError",
+    "FlashCommandError",
+]
+
+
+class FlashError(Exception):
+    """Base class for all flash device simulation errors."""
+
+
+class FlashAddressError(FlashError, ValueError):
+    """An address, segment index or word index is out of range."""
+
+
+class FlashBusyError(FlashError):
+    """A command was issued while a flash operation was in flight.
+
+    On the real microcontroller, accessing flash while BUSY is set leads
+    to unpredictable behaviour; the simulator turns it into a hard error.
+    """
+
+
+class FlashLockedError(FlashError):
+    """A program/erase command was issued while the LOCK bit was set."""
+
+
+class FlashCommandError(FlashError, ValueError):
+    """A malformed or unsupported controller command."""

@@ -1,0 +1,138 @@
+"""Flash array geometry: words, segments, banks, and address arithmetic.
+
+The paper's devices (MSP430F5438/F5529) expose an in-system programmable
+NOR flash organised as banks of 512-byte segments with a 16-bit word
+interface.  Programs work at bit/byte/word granularity (1 -> 0 only),
+erases work on whole segments (or whole banks for a mass erase).
+
+All addresses in the simulator are *byte* addresses relative to the
+start of the flash array; helper methods convert between byte addresses,
+word indices, segment indices and flat bit indices into the cell arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlashGeometry", "MSP430F5438_GEOMETRY", "MSP430F5529_GEOMETRY"]
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Dimensions of a NOR flash array.
+
+    Attributes
+    ----------
+    bits_per_word:
+        Width of the data bus (16 for the MSP430 flash module).
+    segment_bytes:
+        Size of the erase unit in bytes (512 for MSP430 main flash).
+    segments_per_bank:
+        Number of segments in one bank (the mass-erase unit).
+    n_banks:
+        Number of banks in the array.
+    """
+
+    bits_per_word: int = 16
+    segment_bytes: int = 512
+    segments_per_bank: int = 128
+    n_banks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bits_per_word % 8 != 0 or self.bits_per_word <= 0:
+            raise ValueError("bits_per_word must be a positive multiple of 8")
+        if self.segment_bytes % self.bytes_per_word != 0:
+            raise ValueError("segment size must be a whole number of words")
+        if self.segments_per_bank <= 0 or self.n_banks <= 0:
+            raise ValueError("segments_per_bank and n_banks must be positive")
+
+    # -- sizes -----------------------------------------------------------
+
+    @property
+    def bytes_per_word(self) -> int:
+        return self.bits_per_word // 8
+
+    @property
+    def words_per_segment(self) -> int:
+        return self.segment_bytes // self.bytes_per_word
+
+    @property
+    def bits_per_segment(self) -> int:
+        return self.segment_bytes * 8
+
+    @property
+    def n_segments(self) -> int:
+        return self.segments_per_bank * self.n_banks
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_segments * self.segment_bytes
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_bytes * 8
+
+    # -- address arithmetic ----------------------------------------------
+
+    def check_byte_address(self, address: int) -> None:
+        """Raise ``ValueError`` if ``address`` is outside the array."""
+        if not 0 <= address < self.total_bytes:
+            raise ValueError(
+                f"byte address 0x{address:X} outside flash "
+                f"(size 0x{self.total_bytes:X})"
+            )
+
+    def check_word_address(self, address: int) -> None:
+        """Raise ``ValueError`` if ``address`` is not a valid word address."""
+        self.check_byte_address(address)
+        if address % self.bytes_per_word != 0:
+            raise ValueError(
+                f"byte address 0x{address:X} is not word-aligned "
+                f"({self.bytes_per_word}-byte words)"
+            )
+
+    def segment_of(self, address: int) -> int:
+        """Segment index containing byte ``address``."""
+        self.check_byte_address(address)
+        return address // self.segment_bytes
+
+    def bank_of(self, address: int) -> int:
+        """Bank index containing byte ``address``."""
+        return self.segment_of(address) // self.segments_per_bank
+
+    def segment_base(self, segment: int) -> int:
+        """Byte address of the first byte of ``segment``."""
+        if not 0 <= segment < self.n_segments:
+            raise ValueError(
+                f"segment {segment} outside flash ({self.n_segments} segments)"
+            )
+        return segment * self.segment_bytes
+
+    def segment_bit_slice(self, segment: int) -> slice:
+        """Slice of the flat cell arrays covered by ``segment``."""
+        base = self.segment_base(segment) * 8
+        return slice(base, base + self.bits_per_segment)
+
+    def bank_segments(self, bank: int) -> range:
+        """Segment indices belonging to ``bank``."""
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} outside flash ({self.n_banks} banks)")
+        first = bank * self.segments_per_bank
+        return range(first, first + self.segments_per_bank)
+
+    def word_bit_slice(self, address: int) -> slice:
+        """Slice of the flat cell arrays for the word at byte ``address``."""
+        self.check_word_address(address)
+        base = address * 8
+        return slice(base, base + self.bits_per_word)
+
+
+#: Geometry of the 256 KB flash of the MSP430F5438 (4 banks x 64 KB).
+MSP430F5438_GEOMETRY = FlashGeometry(
+    bits_per_word=16, segment_bytes=512, segments_per_bank=128, n_banks=4
+)
+
+#: Geometry of the 128 KB flash of the MSP430F5529 (2 banks x 64 KB).
+MSP430F5529_GEOMETRY = FlashGeometry(
+    bits_per_word=16, segment_bytes=512, segments_per_bank=128, n_banks=2
+)

@@ -1,0 +1,191 @@
+"""Microcontroller wrapper: a whole simulated chip with embedded flash.
+
+A :class:`Microcontroller` bundles everything one physical device carries:
+its flash geometry, its datasheet timing, one die's worth of
+process-varied cells, the behavioural flash controller and the
+register-level programming model.  Chips are identified by a die id and
+are exactly reproducible from ``(model, seed)``.
+
+The :func:`make_mcu` factory knows the two device models used in the
+paper's evaluation (MSP430F5438 and MSP430F5529).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..phys.constants import PhysicalParams
+from .array import NorFlashArray
+from .controller import FlashController
+from .geometry import (
+    MSP430F5438_GEOMETRY,
+    MSP430F5529_GEOMETRY,
+    FlashGeometry,
+)
+from .registers import FlashRegisterFile
+from .timing import MSP430F5438_TIMING, TimingProfile
+from .tracing import OperationTrace
+
+__all__ = ["Microcontroller", "make_mcu", "SUPPORTED_MODELS"]
+
+#: model name -> (geometry, timing)
+SUPPORTED_MODELS: Dict[str, Tuple[FlashGeometry, TimingProfile]] = {
+    "MSP430F5438": (MSP430F5438_GEOMETRY, MSP430F5438_TIMING),
+    "MSP430F5529": (MSP430F5529_GEOMETRY, MSP430F5438_TIMING),
+}
+
+
+class Microcontroller:
+    """One simulated microcontroller with an embedded NOR flash module.
+
+    Attributes
+    ----------
+    model:
+        Device model name (e.g. ``"MSP430F5438"``).
+    die_id:
+        Pseudo-unique die identifier derived from the seed (purely
+        informational; Flashmark deliberately does not rely on it).
+    flash:
+        The :class:`FlashController` — the host-side driver interface.
+    regs:
+        The :class:`FlashRegisterFile` — the bare-metal register interface.
+    trace:
+        Shared operation trace / device clock.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        geometry: FlashGeometry,
+        timing: TimingProfile,
+        params: PhysicalParams,
+        seed: int,
+        keep_trace_events: bool = False,
+    ):
+        self.model = model
+        self.seed = seed
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.die_id = int(self.rng.integers(0, 2**48))
+        self.trace = OperationTrace(keep_events=keep_trace_events)
+        self.array = NorFlashArray(geometry, params, self.rng)
+        self.flash = FlashController(self.array, timing, self.trace)
+        self.regs = FlashRegisterFile(self.flash)
+
+    @property
+    def geometry(self) -> FlashGeometry:
+        return self.array.geometry
+
+    @property
+    def temperature_c(self) -> float:
+        """Junction temperature [deg C] the flash module operates at."""
+        return self.array.temperature_c
+
+    def set_temperature(self, celsius: float) -> None:
+        """Move the die to a new junction temperature.
+
+        Erase transients run faster when hot; the family's published
+        partial-erase window assumes the calibration temperature, so an
+        integrator verifying at a very different temperature must
+        re-derive or guard-band the window (see the temperature
+        benchmark).
+        """
+        if not -55.0 <= celsius <= 150.0:
+            raise ValueError(
+                "junction temperature must be within -55..150 deg C"
+            )
+        self.array.temperature_c = float(celsius)
+
+    def fork(self, seed: Optional[int] = None) -> "Microcontroller":
+        """Deep-copy this chip's current state into a new object.
+
+        The fork shares nothing mutable with the original; its future
+        noise stream is decorrelated (or seeded with ``seed``).  Useful
+        for what-if studies: imprint once, extract many ways.
+        """
+        clone = object.__new__(Microcontroller)
+        clone.model = self.model
+        clone.seed = self.seed
+        clone.params = self.params
+        clone.die_id = self.die_id
+        rng = np.random.default_rng(
+            seed if seed is not None else self.rng.integers(0, 2**63)
+        )
+        clone.rng = rng
+        clone.trace = OperationTrace(keep_events=self.trace.keep_events)
+        clone.trace.now_us = self.trace.now_us
+        clone.array = self.array.copy(rng=rng)
+        clone.flash = FlashController(
+            clone.array, self.flash.timing, clone.trace
+        )
+        clone.flash.locked = self.flash.locked
+        clone.regs = FlashRegisterFile(clone.flash)
+        return clone
+
+    def __repr__(self) -> str:
+        total = self.geometry.total_bytes
+        size = (
+            f"{total // 1024} KiB" if total >= 1024 else f"{total} B"
+        )
+        return (
+            f"Microcontroller(model={self.model!r}, "
+            f"die_id=0x{self.die_id:012X}, flash={size})"
+        )
+
+
+def make_mcu(
+    model: str = "MSP430F5438",
+    seed: int = 0,
+    params: Optional[PhysicalParams] = None,
+    keep_trace_events: bool = False,
+    n_segments: Optional[int] = None,
+) -> Microcontroller:
+    """Build a simulated microcontroller of a supported model.
+
+    Parameters
+    ----------
+    model:
+        One of :data:`SUPPORTED_MODELS` (``"MSP430F5438"`` or
+        ``"MSP430F5529"``).
+    seed:
+        Die seed; two calls with the same (model, seed, params) produce
+        physically identical chips.
+    params:
+        Physical parameter overrides (defaults to the calibrated set).
+    keep_trace_events:
+        Record a per-operation event log (slow; debugging only).
+    n_segments:
+        Simulate only the first ``n_segments`` flash segments instead of
+        the whole array.  A full die carries ~2 M cells (~120 MB of
+        simulator state); experiments that touch one watermark segment
+        should pass a small value (Flashmark itself needs exactly one).
+        Per-cell behaviour is unaffected — segments are physically
+        independent.
+    """
+    if model not in SUPPORTED_MODELS:
+        raise ValueError(
+            f"unknown model {model!r}; supported: {sorted(SUPPORTED_MODELS)}"
+        )
+    geometry, timing = SUPPORTED_MODELS[model]
+    if n_segments is not None:
+        if not 1 <= n_segments <= geometry.n_segments:
+            raise ValueError(
+                f"n_segments must be in 1..{geometry.n_segments}, "
+                f"got {n_segments}"
+            )
+        geometry = FlashGeometry(
+            bits_per_word=geometry.bits_per_word,
+            segment_bytes=geometry.segment_bytes,
+            segments_per_bank=n_segments,
+            n_banks=1,
+        )
+    return Microcontroller(
+        model=model,
+        geometry=geometry,
+        timing=timing,
+        params=params if params is not None else PhysicalParams(),
+        seed=seed,
+        keep_trace_events=keep_trace_events,
+    )

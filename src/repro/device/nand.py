@@ -1,0 +1,206 @@
+"""SLC NAND flash variant.
+
+The paper's conclusion states the method "is applicable broadly to NOR
+and NAND flash memories".  This module backs that claim with a
+page-oriented SLC NAND device on the same cell physics: program works at
+page granularity, erase at block granularity, and the partial erase is
+realised with the NAND RESET (0xFF) command, which aborts an in-flight
+erase — the mechanism used by the recycled-NAND literature the paper
+cites ([7]).
+
+The simulated chip is geometrically scaled down (small pages, few
+blocks) to keep memory modest; the physics per cell is identical to the
+NOR model, with NAND-typical timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..phys.constants import PhysicalParams
+from .array import NorFlashArray
+from .controller import FlashController
+from .errors import FlashBusyError, FlashCommandError
+from .geometry import FlashGeometry
+from .timing import SLC_NAND_TIMING, TimingProfile
+from .tracing import OperationTrace
+
+__all__ = ["NandFlash", "NAND_GEOMETRY", "NAND_PAGE_BYTES", "NAND_PAGES_PER_BLOCK"]
+
+#: Bytes per NAND page (scaled-down SLC part).
+NAND_PAGE_BYTES = 512
+#: Pages per erase block.
+NAND_PAGES_PER_BLOCK = 16
+
+#: One block is one erase unit -> one "segment" of the underlying array.
+NAND_GEOMETRY = FlashGeometry(
+    bits_per_word=8,
+    segment_bytes=NAND_PAGE_BYTES * NAND_PAGES_PER_BLOCK,
+    segments_per_bank=64,
+    n_banks=1,
+)
+
+
+@dataclass
+class _PendingBlockErase:
+    block: int
+    start_us: float
+    duration_us: float
+
+
+class NandFlash:
+    """A small SLC NAND chip exposing page program / block erase / reset."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        params: Optional[PhysicalParams] = None,
+        geometry: FlashGeometry = NAND_GEOMETRY,
+        timing: TimingProfile = SLC_NAND_TIMING,
+    ):
+        self.rng = np.random.default_rng(seed)
+        self.params = params if params is not None else PhysicalParams()
+        self.trace = OperationTrace()
+        self.array = NorFlashArray(geometry, self.params, self.rng)
+        self.controller = FlashController(self.array, timing, self.trace)
+        self._pending: Optional[_PendingBlockErase] = None
+
+    @property
+    def geometry(self) -> FlashGeometry:
+        return self.array.geometry
+
+    @property
+    def n_blocks(self) -> int:
+        return self.geometry.n_segments
+
+    @property
+    def pages_per_block(self) -> int:
+        return NAND_PAGES_PER_BLOCK
+
+    @property
+    def page_bytes(self) -> int:
+        return NAND_PAGE_BYTES
+
+    # -- address helpers ---------------------------------------------------
+
+    def _page_slice(self, block: int, page: int) -> slice:
+        if not 0 <= block < self.n_blocks:
+            raise FlashCommandError(
+                f"block {block} outside chip ({self.n_blocks} blocks)"
+            )
+        if not 0 <= page < self.pages_per_block:
+            raise FlashCommandError(
+                f"page {page} outside block ({self.pages_per_block} pages)"
+            )
+        base = (
+            self.geometry.segment_base(block) + page * self.page_bytes
+        ) * 8
+        return slice(base, base + self.page_bytes * 8)
+
+    # -- operations ----------------------------------------------------------
+
+    def program_page(self, block: int, page: int, data: bytes) -> None:
+        """Program one page (1 -> 0 only, as on silicon)."""
+        self._require_ready()
+        if len(data) != self.page_bytes:
+            raise FlashCommandError(
+                f"page data must be exactly {self.page_bytes} bytes"
+            )
+        sl = self._page_slice(block, page)
+        bits = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), bitorder="little"
+        )
+        self.array.program_bits(sl, bits)
+        timing = self.controller.timing
+        self.trace.charge(
+            "program_page",
+            timing.t_cmd_overhead_us + timing.t_program_word_us,
+            address=sl.start // 8,
+            energy_uj=timing.e_program_word_uj,
+        )
+
+    def read_page(self, block: int, page: int, n_reads: int = 1) -> bytes:
+        """Read one page."""
+        self._require_ready()
+        sl = self._page_slice(block, page)
+        bits = self.array.read_bits(sl, n_reads=n_reads)
+        timing = self.controller.timing
+        self.trace.charge(
+            "read_page",
+            n_reads * timing.t_read_word_us,
+            address=sl.start // 8,
+            energy_uj=n_reads * timing.e_read_word_uj,
+        )
+        return np.packbits(bits, bitorder="little").tobytes()
+
+    def erase_block(self, block: int) -> None:
+        """Start erasing ``block``; chip is busy until done or reset."""
+        self._require_ready()
+        if not 0 <= block < self.n_blocks:
+            raise FlashCommandError(
+                f"block {block} outside chip ({self.n_blocks} blocks)"
+            )
+        self._pending = _PendingBlockErase(
+            block, self.trace.now_us, self.controller.timing.t_erase_us
+        )
+
+    def reset(self) -> float:
+        """NAND RESET (0xFF): abort an in-flight erase.
+
+        Returns the effective partial-erase time [us] (0 if idle) — the
+        NAND counterpart of the MCU's emergency exit.
+        """
+        self._complete_if_elapsed()
+        if self._pending is None:
+            return 0.0
+        pending, self._pending = self._pending, None
+        elapsed = min(
+            self.trace.now_us - pending.start_us, pending.duration_us
+        )
+        sl = self.geometry.segment_bit_slice(pending.block)
+        self.array.erase_pulse(sl, elapsed)
+        self.trace.charge(
+            "reset_abort",
+            self.controller.timing.t_abort_overhead_us,
+            address=self.geometry.segment_base(pending.block),
+            energy_uj=self.controller.timing.e_erase_uj
+            * min(1.0, elapsed / pending.duration_us),
+        )
+        return elapsed
+
+    def wait_us(self, duration_us: float) -> None:
+        """Advance the host clock."""
+        if duration_us < 0:
+            raise ValueError("wait duration must be non-negative")
+        self.trace.charge("host_wait", duration_us)
+        self._complete_if_elapsed()
+
+    @property
+    def busy(self) -> bool:
+        self._complete_if_elapsed()
+        return self._pending is not None
+
+    # -- internals --------------------------------------------------------
+
+    def _require_ready(self) -> None:
+        self._complete_if_elapsed()
+        if self._pending is not None:
+            raise FlashBusyError("command issued while erase in progress")
+
+    def _complete_if_elapsed(self) -> None:
+        if self._pending is None:
+            return
+        elapsed = self.trace.now_us - self._pending.start_us
+        if elapsed + 1e-9 >= self._pending.duration_us:
+            pending, self._pending = self._pending, None
+            sl = self.geometry.segment_bit_slice(pending.block)
+            self.array.erase_pulse(sl, pending.duration_us)
+            self.trace.charge(
+                "block_erase_complete",
+                0.0,
+                address=self.geometry.segment_base(pending.block),
+                energy_uj=self.controller.timing.e_erase_uj,
+            )

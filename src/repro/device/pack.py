@@ -1,0 +1,50 @@
+"""Packing helpers between flash words and flat bit arrays.
+
+The cell arrays index bits flat and LSB-first within each word: bit ``i``
+of the word at byte address ``a`` lives at flat index ``a * 8 + i``.
+These helpers convert between numpy bit vectors (uint8, 1 = erased) and
+word values, both scalar and vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["word_to_bits", "bits_to_word", "words_to_bits", "bits_to_words"]
+
+
+def word_to_bits(value: int, bits_per_word: int) -> np.ndarray:
+    """Expand one word value into an LSB-first uint8 bit vector."""
+    if not 0 <= value < (1 << bits_per_word):
+        raise ValueError(
+            f"value 0x{value:X} does not fit in {bits_per_word} bits"
+        )
+    return ((value >> np.arange(bits_per_word)) & 1).astype(np.uint8)
+
+
+def bits_to_word(bits: np.ndarray) -> int:
+    """Pack an LSB-first bit vector into a word value."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    return int((bits << np.arange(bits.size, dtype=np.uint64)).sum())
+
+
+def words_to_bits(words: np.ndarray, bits_per_word: int) -> np.ndarray:
+    """Expand a vector of word values into one flat LSB-first bit vector."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.size and int(words.max()) >= (1 << bits_per_word):
+        raise ValueError(f"word values exceed {bits_per_word} bits")
+    shifts = np.arange(bits_per_word, dtype=np.uint64)
+    return ((words[:, None] >> shifts[None, :]) & 1).astype(np.uint8).ravel()
+
+
+def bits_to_words(bits: np.ndarray, bits_per_word: int) -> np.ndarray:
+    """Pack a flat LSB-first bit vector into a vector of word values."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    if bits.size % bits_per_word != 0:
+        raise ValueError(
+            f"bit vector length {bits.size} is not a multiple of "
+            f"{bits_per_word}"
+        )
+    shaped = bits.reshape(-1, bits_per_word)
+    shifts = np.arange(bits_per_word, dtype=np.uint64)
+    return (shaped << shifts[None, :]).sum(axis=1)

@@ -1,0 +1,145 @@
+"""Chip persistence: save and reload a simulated die's full state.
+
+A chip file is a compressed ``.npz`` holding the evolving state
+(threshold voltages, wear counters), the manufacture-time static lot,
+the physics parameters, and identity metadata.  Reloading reproduces
+the die exactly, so a "chip" can travel between processes — e.g. a
+manufacturer script imprints and ships a file, an integrator script
+verifies it (see ``python -m repro``).
+
+The file format is versioned; loading checks it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..phys.constants import (
+    CellParams,
+    NoiseParams,
+    PhysicalParams,
+    WearParams,
+)
+from ..phys.variation import StaticCellLot
+from .array import NorFlashArray
+from .controller import FlashController
+from .geometry import FlashGeometry
+from .mcu import SUPPORTED_MODELS, Microcontroller
+from .registers import FlashRegisterFile
+from .timing import MSP430F5438_TIMING
+from .tracing import OperationTrace
+
+__all__ = ["save_chip", "load_chip", "CHIP_FILE_VERSION"]
+
+CHIP_FILE_VERSION = 1
+
+
+def _params_to_json(params: PhysicalParams) -> str:
+    return json.dumps(
+        {
+            "cell": vars(params.cell),
+            "wear": vars(params.wear),
+            "noise": vars(params.noise),
+        }
+    )
+
+
+def _params_from_json(blob: str) -> PhysicalParams:
+    raw = json.loads(blob)
+    return PhysicalParams(
+        cell=CellParams(**raw["cell"]),
+        wear=WearParams(**raw["wear"]),
+        noise=NoiseParams(**raw["noise"]),
+    )
+
+
+def save_chip(chip: Microcontroller, path: Union[str, Path]) -> None:
+    """Write a chip's complete state to ``path`` (.npz, compressed)."""
+    geometry = chip.geometry
+    meta = {
+        "version": CHIP_FILE_VERSION,
+        "model": chip.model,
+        "seed": chip.seed,
+        "die_id": chip.die_id,
+        "clock_us": chip.trace.now_us,
+        "energy_uj": chip.trace.energy_uj,
+        "temperature_c": chip.array.temperature_c,
+        "geometry": {
+            "bits_per_word": geometry.bits_per_word,
+            "segment_bytes": geometry.segment_bytes,
+            "segments_per_bank": geometry.segments_per_bank,
+            "n_banks": geometry.n_banks,
+        },
+        "params": _params_to_json(chip.params),
+    }
+    np.savez_compressed(
+        Path(path),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        vth=chip.array.vth,
+        program_cycles=chip.array.program_cycles,
+        erase_only_cycles=chip.array.erase_only_cycles,
+        programmed_since_erase=chip.array.programmed_since_erase,
+        tau0_us=chip.array.static.tau0_us,
+        wear_susceptibility=chip.array.static.wear_susceptibility,
+        vth_programmed=chip.array.static.vth_programmed,
+        vth_erased=chip.array.static.vth_erased,
+        rng_state=np.frombuffer(
+            json.dumps(chip.rng.bit_generator.state).encode(),
+            dtype=np.uint8,
+        ),
+    )
+
+
+def load_chip(path: Union[str, Path]) -> Microcontroller:
+    """Reload a chip saved with :func:`save_chip`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("version") != CHIP_FILE_VERSION:
+            raise ValueError(
+                f"unsupported chip file version {meta.get('version')!r}"
+            )
+        params = _params_from_json(meta["params"])
+        geometry = FlashGeometry(**meta["geometry"])
+
+        chip = object.__new__(Microcontroller)
+        chip.model = meta["model"]
+        chip.seed = meta["seed"]
+        chip.params = params
+        chip.die_id = meta["die_id"]
+        chip.rng = np.random.default_rng()
+        chip.rng.bit_generator.state = json.loads(
+            bytes(data["rng_state"]).decode()
+        )
+        chip.trace = OperationTrace()
+        chip.trace.now_us = float(meta["clock_us"])
+        chip.trace.energy_uj = float(meta["energy_uj"])
+
+        array = object.__new__(NorFlashArray)
+        array.geometry = geometry
+        array.params = params
+        array.rng = chip.rng
+        array.static = StaticCellLot(
+            tau0_us=data["tau0_us"].copy(),
+            wear_susceptibility=data["wear_susceptibility"].copy(),
+            vth_programmed=data["vth_programmed"].copy(),
+            vth_erased=data["vth_erased"].copy(),
+        )
+        array.vth = data["vth"].copy()
+        array.program_cycles = data["program_cycles"].copy()
+        array.erase_only_cycles = data["erase_only_cycles"].copy()
+        array.programmed_since_erase = data["programmed_since_erase"].copy()
+        array.temperature_c = float(
+            meta.get("temperature_c", params.cell.nominal_temperature_c)
+        )
+        chip.array = array
+
+        timing = MSP430F5438_TIMING
+        if chip.model in SUPPORTED_MODELS:
+            timing = SUPPORTED_MODELS[chip.model][1]
+        chip.flash = FlashController(array, timing, chip.trace)
+        chip.regs = FlashRegisterFile(chip.flash)
+        return chip

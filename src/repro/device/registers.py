@@ -1,0 +1,244 @@
+"""MSP430-style flash controller register facade.
+
+The paper drives the MSP430 flash module bare-metal through its control
+registers.  This facade reproduces that programming model (simplified to
+the bits the paper's procedures touch) on top of the behavioural
+controller, including the part that cannot be expressed through plain
+method calls: an erase is *initiated*, the CPU *waits* t_PE, and then the
+**emergency exit** (EMEX) bit aborts the operation mid-flight.
+
+Register map (subset of the MSP430F5xx flash module):
+
+=========  =====================================================
+FCTL1      WRT (0x0040) write mode, BLKWRT (0x0080) block write,
+           ERASE (0x0002) segment erase, MERAS (0x0004) mass erase
+FCTL3      BUSY (0x0001), KEYV (0x0002), LOCK (0x0010),
+           EMEX (0x0020)
+=========  =====================================================
+
+Every write must carry the password ``0xA5`` in the upper byte (reads
+return ``0x96`` there, as on silicon); a bad key sets KEYV and the write
+is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .controller import FlashController
+from .errors import FlashBusyError, FlashCommandError, FlashLockedError
+
+__all__ = [
+    "FlashRegisterFile",
+    "FCTL1",
+    "FCTL3",
+    "WRT",
+    "BLKWRT",
+    "ERASE",
+    "MERAS",
+    "BUSY",
+    "KEYV",
+    "LOCK",
+    "EMEX",
+    "FWKEY",
+    "FRKEY",
+]
+
+#: Register identifiers.
+FCTL1 = "FCTL1"
+FCTL3 = "FCTL3"
+
+#: FCTL1 bits.
+ERASE = 0x0002
+MERAS = 0x0004
+WRT = 0x0040
+BLKWRT = 0x0080
+
+#: FCTL3 bits.
+BUSY = 0x0001
+KEYV = 0x0002
+LOCK = 0x0010
+EMEX = 0x0020
+
+#: Write key (upper byte of every register write).
+FWKEY = 0xA500
+#: Read key (upper byte returned by register reads).
+FRKEY = 0x9600
+
+_KEY_MASK = 0xFF00
+
+
+@dataclass
+class _PendingErase:
+    """An erase operation currently in flight."""
+
+    kind: str  # "segment" or "mass"
+    target: int  # segment index or bank index
+    start_us: float
+    duration_us: float
+
+
+class FlashRegisterFile:
+    """Register-level programming model of the embedded flash module.
+
+    The facade keeps its own view of FCTL1/FCTL3 and maps the canonical
+    MSP430 sequences onto :class:`FlashController` calls:
+
+    * ``FCTL3 = FWKEY`` (clear LOCK), ``FCTL1 = FWKEY | ERASE``, then a
+      dummy write to any address of the segment starts a segment erase;
+    * while BUSY, ``wait_us`` advances the CPU clock; writing
+      ``FWKEY | EMEX`` to FCTL3 aborts the erase at the elapsed time —
+      this is exactly the partial-erase primitive of Figs. 3 and 8;
+    * ``FCTL1 = FWKEY | WRT`` plus a word write programs a word.
+    """
+
+    def __init__(self, controller: FlashController):
+        self.controller = controller
+        self._fctl1 = 0
+        self._lock = True
+        self._keyv = False
+        self._pending: Optional[_PendingErase] = None
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        return self.controller.trace.now_us
+
+    def wait_us(self, duration_us: float) -> None:
+        """Busy-wait the CPU for ``duration_us`` (advances device clock)."""
+        if duration_us < 0:
+            raise ValueError("wait duration must be non-negative")
+        self.controller.trace.charge("cpu_wait", duration_us)
+        self._complete_if_elapsed()
+
+    # -- register access ----------------------------------------------------
+
+    def write_register(self, name: str, value: int) -> None:
+        """Write FCTL1 or FCTL3 (password-protected)."""
+        if value & _KEY_MASK != FWKEY:
+            self._keyv = True
+            return
+        payload = value & ~_KEY_MASK
+        if name == FCTL1:
+            if self._pending is not None:
+                raise FlashBusyError("FCTL1 written while erase in flight")
+            self._fctl1 = payload
+        elif name == FCTL3:
+            if payload & EMEX:
+                self._emergency_exit()
+            self._lock = bool(payload & LOCK)
+            self.controller.locked = self._lock
+            if not payload & KEYV:
+                self._keyv = False
+        else:
+            raise FlashCommandError(f"unknown flash register {name!r}")
+
+    def read_register(self, name: str) -> int:
+        """Read FCTL1 or FCTL3; upper byte reads back as 0x96."""
+        self._complete_if_elapsed()
+        if name == FCTL1:
+            return FRKEY | self._fctl1
+        if name == FCTL3:
+            value = 0
+            if self._pending is not None:
+                value |= BUSY
+            if self._keyv:
+                value |= KEYV
+            if self._lock:
+                value |= LOCK
+            return FRKEY | value
+        raise FlashCommandError(f"unknown flash register {name!r}")
+
+    @property
+    def busy(self) -> bool:
+        """True while an initiated erase has neither finished nor aborted."""
+        self._complete_if_elapsed()
+        return self._pending is not None
+
+    # -- memory-mapped accesses ------------------------------------------------
+
+    def dummy_write(self, address: int) -> None:
+        """A write access that triggers a pending ERASE/MERAS command."""
+        self._complete_if_elapsed()
+        if self._pending is not None:
+            raise FlashBusyError("flash access while BUSY")
+        if self._lock:
+            raise FlashLockedError("erase trigger while LOCK=1")
+        timing = self.controller.timing
+        if self._fctl1 & MERAS:
+            bank = self.controller.geometry.bank_of(address)
+            self._pending = _PendingErase(
+                "mass", bank, self.now_us, timing.t_erase_us
+            )
+        elif self._fctl1 & ERASE:
+            segment = self.controller.geometry.segment_of(address)
+            self._pending = _PendingErase(
+                "segment", segment, self.now_us, timing.t_erase_us
+            )
+        else:
+            raise FlashCommandError(
+                "dummy write without ERASE or MERAS set in FCTL1"
+            )
+
+    def write_word(self, address: int, value: int) -> None:
+        """Program a word through the memory bus (WRT mode required)."""
+        self._complete_if_elapsed()
+        if self._pending is not None:
+            raise FlashBusyError("flash write while BUSY")
+        if not self._fctl1 & (WRT | BLKWRT):
+            raise FlashCommandError("word write without WRT set in FCTL1")
+        self.controller.program_word(address, value)
+
+    def read_word(self, address: int, n_reads: int = 1) -> int:
+        """Read a word through the memory bus."""
+        self._complete_if_elapsed()
+        if self._pending is not None:
+            raise FlashBusyError("flash read while BUSY")
+        return self.controller.read_word(address, n_reads=n_reads)
+
+    # -- internals ----------------------------------------------------------
+
+    def _elapsed_us(self) -> float:
+        assert self._pending is not None
+        return self.now_us - self._pending.start_us
+
+    def _complete_if_elapsed(self) -> None:
+        if self._pending is None:
+            return
+        if self._elapsed_us() + 1e-9 >= self._pending.duration_us:
+            self._apply_erase(self._pending.duration_us, completed=True)
+
+    def _emergency_exit(self) -> None:
+        """Abort the in-flight erase at the elapsed partial-erase time."""
+        if self._pending is None:
+            return
+        elapsed = min(self._elapsed_us(), self._pending.duration_us)
+        self._apply_erase(elapsed, completed=False)
+
+    def _apply_erase(self, effective_us: float, completed: bool) -> None:
+        assert self._pending is not None
+        pending, self._pending = self._pending, None
+        geometry = self.controller.geometry
+        array = self.controller.array
+        if pending.kind == "segment":
+            sl = geometry.segment_bit_slice(pending.target)
+            address = geometry.segment_base(pending.target)
+        else:
+            segments = geometry.bank_segments(pending.target)
+            first = geometry.segment_bit_slice(segments[0])
+            last = geometry.segment_bit_slice(segments[-1])
+            sl = slice(first.start, last.stop)
+            address = geometry.segment_base(segments[0])
+        array.erase_pulse(sl, effective_us)
+        # Time already advanced through wait_us; charge only bookkeeping.
+        op = "erase_complete" if completed else "erase_emergency_exit"
+        timing = self.controller.timing
+        self.controller.trace.charge(
+            op,
+            0.0 if completed else timing.t_abort_overhead_us,
+            address=address,
+            energy_uj=timing.e_erase_uj
+            * min(1.0, effective_us / timing.t_erase_us),
+        )

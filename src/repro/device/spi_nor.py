@@ -1,0 +1,229 @@
+"""Stand-alone SPI NOR flash chip model.
+
+Section V of the paper notes that stand-alone NOR chips program and
+erase far faster than the MSP430's embedded module, so Flashmark imprint
+times there would be "significantly smaller".  This module provides such
+a chip with the standard JEDEC SPI command set, so the Flashmark
+procedures can be demonstrated beyond the embedded module:
+
+========  =======================================
+0x06      WREN — write enable
+0x04      WRDI — write disable
+0x05      RDSR — read status (bit0 WIP, bit1 WEL)
+0x02      PP   — page program (256 bytes)
+0x20      SE   — sector erase (4 KB)
+0x03      READ — sequential read
+0x9F      RDID — JEDEC id
+0x75      erase suspend (the partial-erase abort)
+========  =======================================
+
+The *erase suspend* command is how partial erase is realised on
+stand-alone chips: initiate SE, wait t_PE, suspend.  Unlike the MCU's
+emergency exit, suspend is resumable on real parts; the model treats a
+suspend followed by a new command as an abort, which is the Flashmark
+use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..phys.constants import PhysicalParams
+from .array import NorFlashArray
+from .controller import FlashController
+from .errors import FlashBusyError, FlashCommandError
+from .geometry import FlashGeometry
+from .timing import FAST_SPI_NOR_TIMING, TimingProfile
+from .tracing import OperationTrace
+
+__all__ = ["SpiNorFlash", "SPI_NOR_GEOMETRY"]
+
+#: 1 MiB chip: byte-wide interface, 4 KiB erase sectors.
+SPI_NOR_GEOMETRY = FlashGeometry(
+    bits_per_word=8, segment_bytes=4096, segments_per_bank=256, n_banks=1
+)
+
+PAGE_BYTES = 256
+
+
+@dataclass
+class _PendingSectorErase:
+    sector: int
+    start_us: float
+    duration_us: float
+
+
+class SpiNorFlash:
+    """A stand-alone SPI NOR flash chip driven by JEDEC-style commands.
+
+    Examples
+    --------
+    >>> chip = SpiNorFlash(seed=3)
+    >>> chip.write_enable()
+    >>> chip.page_program(0x000, bytes(range(16)))
+    >>> chip.read(0x000, 4)
+    b'\\x00\\x01\\x02\\x03'
+    """
+
+    JEDEC_ID = (0xC2, 0x20, 0x18)  # (manufacturer, type, capacity)
+
+    def __init__(
+        self,
+        seed: int = 0,
+        params: Optional[PhysicalParams] = None,
+        geometry: FlashGeometry = SPI_NOR_GEOMETRY,
+        timing: TimingProfile = FAST_SPI_NOR_TIMING,
+    ):
+        self.rng = np.random.default_rng(seed)
+        self.params = params if params is not None else PhysicalParams()
+        self.trace = OperationTrace()
+        self.array = NorFlashArray(geometry, self.params, self.rng)
+        self.controller = FlashController(self.array, timing, self.trace)
+        self._wel = False  # write enable latch
+        self._pending: Optional[_PendingSectorErase] = None
+
+    @property
+    def geometry(self) -> FlashGeometry:
+        return self.array.geometry
+
+    # -- status ---------------------------------------------------------
+
+    def read_status(self) -> int:
+        """RDSR: bit0 = WIP (write in progress), bit1 = WEL."""
+        self._complete_if_elapsed()
+        status = 0
+        if self._pending is not None:
+            status |= 0x01
+        if self._wel:
+            status |= 0x02
+        return status
+
+    def read_jedec_id(self) -> tuple:
+        """RDID."""
+        return self.JEDEC_ID
+
+    def write_enable(self) -> None:
+        """WREN."""
+        self._wel = True
+
+    def write_disable(self) -> None:
+        """WRDI."""
+        self._wel = False
+
+    def wait_us(self, duration_us: float) -> None:
+        """Advance the host clock (e.g. between SE and erase suspend)."""
+        if duration_us < 0:
+            raise ValueError("wait duration must be non-negative")
+        self.trace.charge("host_wait", duration_us)
+        self._complete_if_elapsed()
+
+    # -- data path ---------------------------------------------------------
+
+    def page_program(self, address: int, data: bytes) -> None:
+        """PP: program up to 256 bytes within one page (1 -> 0 only)."""
+        self._require_ready_for_write()
+        if len(data) == 0 or len(data) > PAGE_BYTES:
+            raise FlashCommandError(
+                f"page program accepts 1..{PAGE_BYTES} bytes, got {len(data)}"
+            )
+        if address // PAGE_BYTES != (address + len(data) - 1) // PAGE_BYTES:
+            raise FlashCommandError("page program must not cross a page")
+        self.geometry.check_byte_address(address)
+        bits = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), bitorder="little"
+        )
+        sl = slice(address * 8, address * 8 + bits.size)
+        self.array.program_bits(sl, bits)
+        timing = self.controller.timing
+        self.trace.charge(
+            "page_program",
+            timing.t_cmd_overhead_us
+            + len(data) * timing.t_program_word_block_us,
+            address=address,
+            energy_uj=len(data) * timing.e_program_word_uj,
+        )
+        self._wel = False
+
+    def sector_erase(self, address: int) -> None:
+        """SE: start erasing the 4 KiB sector containing ``address``.
+
+        The chip goes WIP; poll :meth:`read_status` or call
+        :meth:`wait_us` until done, or abort with :meth:`erase_suspend`.
+        """
+        self._require_ready_for_write()
+        sector = self.geometry.segment_of(address)
+        self._pending = _PendingSectorErase(
+            sector, self.trace.now_us, self.controller.timing.t_erase_us
+        )
+        self._wel = False
+
+    def erase_suspend(self) -> float:
+        """Suspend (abort) the in-flight sector erase.
+
+        Returns the effective partial-erase time [us]; 0 if nothing was
+        in flight.
+        """
+        self._complete_if_elapsed()
+        if self._pending is None:
+            return 0.0
+        pending, self._pending = self._pending, None
+        elapsed = min(
+            self.trace.now_us - pending.start_us, pending.duration_us
+        )
+        sl = self.geometry.segment_bit_slice(pending.sector)
+        self.array.erase_pulse(sl, elapsed)
+        self.trace.charge(
+            "erase_suspend",
+            self.controller.timing.t_abort_overhead_us,
+            address=self.geometry.segment_base(pending.sector),
+            energy_uj=self.controller.timing.e_erase_uj
+            * min(1.0, elapsed / pending.duration_us),
+        )
+        return elapsed
+
+    def read(self, address: int, n_bytes: int, n_reads: int = 1) -> bytes:
+        """READ: sequential byte read."""
+        self._complete_if_elapsed()
+        if self._pending is not None:
+            raise FlashBusyError("read while erase in progress")
+        if n_bytes <= 0:
+            raise ValueError("n_bytes must be positive")
+        self.geometry.check_byte_address(address)
+        self.geometry.check_byte_address(address + n_bytes - 1)
+        sl = slice(address * 8, (address + n_bytes) * 8)
+        bits = self.array.read_bits(sl, n_reads=n_reads)
+        timing = self.controller.timing
+        self.trace.charge(
+            "read",
+            n_bytes * n_reads * timing.t_read_word_us,
+            address=address,
+            energy_uj=n_bytes * n_reads * timing.e_read_word_uj,
+        )
+        return np.packbits(bits, bitorder="little").tobytes()
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_ready_for_write(self) -> None:
+        self._complete_if_elapsed()
+        if self._pending is not None:
+            raise FlashBusyError("command issued while erase in progress")
+        if not self._wel:
+            raise FlashCommandError("write enable latch not set (send WREN)")
+
+    def _complete_if_elapsed(self) -> None:
+        if self._pending is None:
+            return
+        elapsed = self.trace.now_us - self._pending.start_us
+        if elapsed + 1e-9 >= self._pending.duration_us:
+            pending, self._pending = self._pending, None
+            sl = self.geometry.segment_bit_slice(pending.sector)
+            self.array.erase_pulse(sl, pending.duration_us)
+            self.trace.charge(
+                "sector_erase_complete",
+                0.0,
+                address=self.geometry.segment_base(pending.sector),
+                energy_uj=self.controller.timing.e_erase_uj,
+            )

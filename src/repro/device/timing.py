@@ -1,0 +1,116 @@
+"""Operation timing (and energy) profiles for simulated flash devices.
+
+The paper's cost analysis (Section V) hinges on datasheet timing: the
+MSP430F5438's segment erase takes T_ERASE ~ 23-35 ms and a word program
+takes T_PROG ~ 64-85 us; block-write mode amortises setup so a full
+512-byte segment programs in about 10 ms.  Stand-alone SPI NOR chips and
+NAND devices erase and program much faster, which is why the paper
+expects far smaller imprint times there.
+
+A :class:`TimingProfile` carries those constants; the controller charges
+every operation against a monotonically increasing device clock so
+experiments can report imprint/extract wall times without real waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TimingProfile",
+    "MSP430F5438_TIMING",
+    "FAST_SPI_NOR_TIMING",
+    "SLC_NAND_TIMING",
+]
+
+
+@dataclass(frozen=True)
+class TimingProfile:
+    """Timing and energy constants of one flash device family."""
+
+    #: Human-readable profile name.
+    name: str
+    #: Nominal full segment/sector/block erase time [us].
+    t_erase_us: float
+    #: Single word/page program time [us].
+    t_program_word_us: float
+    #: Per-word program time in block-write (burst) mode [us].
+    t_program_word_block_us: float
+    #: One-time setup cost of entering block-write mode [us].
+    t_block_setup_us: float
+    #: Word read access time [us].
+    t_read_word_us: float
+    #: Overhead of starting any program/erase command (voltage generator
+    #: ramp-up) [us].
+    t_cmd_overhead_us: float
+    #: Overhead of the emergency-exit abort (voltage ramp-down) [us].
+    t_abort_overhead_us: float
+    #: Energy per erase pulse [uJ] (coarse; used for energy accounting).
+    e_erase_uj: float = 18.0
+    #: Energy per word program [uJ].
+    e_program_word_uj: float = 0.6
+    #: Energy per word read [uJ].
+    e_read_word_uj: float = 0.002
+
+    def segment_program_time_us(self, n_words: int, block: bool = True) -> float:
+        """Time to program ``n_words`` consecutive words [us]."""
+        if n_words < 0:
+            raise ValueError("n_words must be non-negative")
+        if n_words == 0:
+            return 0.0
+        if block:
+            return (
+                self.t_block_setup_us
+                + n_words * self.t_program_word_block_us
+            )
+        return n_words * self.t_program_word_us
+
+    def segment_read_time_us(self, n_words: int, n_reads: int = 1) -> float:
+        """Time to read ``n_words`` words, ``n_reads`` times each [us]."""
+        return n_words * n_reads * self.t_read_word_us
+
+
+#: MSP430F5438/F5529 embedded flash (datasheet rev. F, ref. [18]).
+#: 25 ms erase + ~10 ms block write per 512-byte segment reproduces the
+#: paper's baseline imprint cost of ~34.5 ms per P/E cycle.
+MSP430F5438_TIMING = TimingProfile(
+    name="MSP430F5438",
+    t_erase_us=25_000.0,
+    t_program_word_us=75.0,
+    t_program_word_block_us=37.0,
+    t_block_setup_us=65.0,
+    t_read_word_us=0.18,
+    t_cmd_overhead_us=25.0,
+    t_abort_overhead_us=12.0,
+)
+
+#: A fast stand-alone SPI NOR chip (aggressive page program / sector
+#: erase, representative of the "significantly faster" parts the paper
+#: mentions in Section V).
+FAST_SPI_NOR_TIMING = TimingProfile(
+    name="FAST_SPI_NOR",
+    t_erase_us=3_000.0,
+    t_program_word_us=12.0,
+    t_program_word_block_us=2.8,
+    t_block_setup_us=30.0,
+    t_read_word_us=0.08,
+    t_cmd_overhead_us=8.0,
+    t_abort_overhead_us=4.0,
+    e_erase_uj=9.0,
+    e_program_word_uj=0.25,
+)
+
+#: SLC NAND block/page timing (block erase ~3 ms, page program ~300 us);
+#: included for the paper's "applicable to NAND" claim.
+SLC_NAND_TIMING = TimingProfile(
+    name="SLC_NAND",
+    t_erase_us=3_000.0,
+    t_program_word_us=300.0,
+    t_program_word_block_us=300.0,
+    t_block_setup_us=0.0,
+    t_read_word_us=25.0,
+    t_cmd_overhead_us=5.0,
+    t_abort_overhead_us=5.0,
+    e_erase_uj=35.0,
+    e_program_word_uj=12.0,
+)

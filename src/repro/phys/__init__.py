@@ -1,0 +1,49 @@
+"""Floating-gate flash cell physics.
+
+This package is the bottom layer of the Flashmark reproduction: it models
+the analog behaviour of NOR flash cells that the paper's technique
+exploits — threshold-voltage dynamics under program/erase, permanent
+oxide wear from cycling, process variation, noise, and retention loss.
+
+The device simulator (:mod:`repro.device`) evaluates these models over
+whole segments at once; :class:`FloatingGateCell` offers the same physics
+for a single cell.
+"""
+
+from .cell import FloatingGateCell
+from .constants import CellParams, NoiseParams, PhysicalParams, WearParams
+from .erase import (
+    apply_erase_transient,
+    crossing_time_us,
+    erase_delta_v,
+    time_to_reach_us,
+)
+from .noise import erase_tau_jitter, program_noise, read_noise
+from .program import apply_program_transient, program_progress
+from .retention import RetentionParams, retention_loss_v
+from .variation import StaticCellLot, sample_static_cells
+from .wear import effective_cycles, programmed_level_shift, tau_wear_multiplier
+
+__all__ = [
+    "CellParams",
+    "WearParams",
+    "NoiseParams",
+    "PhysicalParams",
+    "FloatingGateCell",
+    "StaticCellLot",
+    "sample_static_cells",
+    "erase_delta_v",
+    "apply_erase_transient",
+    "crossing_time_us",
+    "time_to_reach_us",
+    "read_noise",
+    "program_progress",
+    "apply_program_transient",
+    "erase_tau_jitter",
+    "program_noise",
+    "effective_cycles",
+    "tau_wear_multiplier",
+    "programmed_level_shift",
+    "RetentionParams",
+    "retention_loss_v",
+]

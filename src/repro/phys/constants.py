@@ -1,0 +1,171 @@
+"""Physical constants and calibrated model parameters for the flash cell model.
+
+All voltages are in volts, all times in microseconds unless a name says
+otherwise.  The default values reproduce the digitally observable behaviour
+of the embedded NOR flash module of the TI MSP430F5438 family reported in
+the Flashmark paper (DAC 2020):
+
+* a fresh (0 K) segment transitions from all-programmed to all-erased for
+  partial-erase times between roughly 18 us and 35 us (Fig. 4);
+* segments stressed with 20 K / 40 K / 60 K / 80 K / 100 K program-erase
+  cycles need roughly 115 / 203 / 226 / 687 / 811 us before every cell
+  reads as erased (Section III);
+* single-read watermark extraction reaches minimum bit error rates of
+  about 19.9 / 11.8 / 7.6 / 2.3 percent for imprints using 20 K / 40 K /
+  60 K / 80 K cycles (Fig. 9).
+
+The calibration procedure that produced these numbers lives in
+``tools/calibrate.py``; see DESIGN.md section 5 for the target list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["CellParams", "WearParams", "NoiseParams", "PhysicalParams"]
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """Static electrical parameters of a floating-gate NOR flash cell.
+
+    The values follow the qualitative picture of Fig. 1 in the paper: the
+    programmed threshold-voltage distribution sits well above the read
+    reference voltage, the erased distribution sits well below it, and the
+    erase operation moves a cell's threshold voltage down along a
+    Fowler-Nordheim log-time transient.
+    """
+
+    #: Mean threshold voltage of a freshly programmed cell [V].
+    vth_programmed_mean: float = 5.2
+    #: Cell-to-cell standard deviation of the programmed level [V].
+    vth_programmed_sigma: float = 0.05
+    #: Mean threshold voltage of a fully erased cell [V].
+    vth_erased_mean: float = 1.5
+    #: Cell-to-cell standard deviation of the erased level [V].
+    vth_erased_sigma: float = 0.10
+    #: Read reference voltage: a cell conducts (reads as logic 1) when its
+    #: sensed threshold voltage is below this level [V].
+    v_ref: float = 3.2
+    #: Erase-transient slope: threshold-voltage drop per decade of erase
+    #: time [V/decade].  Fowler-Nordheim tunnelling discharges the floating
+    #: gate roughly linearly in log(time).
+    erase_slope_v_per_decade: float = 3.0
+    #: Base time constant of the erase transient for a nominal fresh
+    #: cell [us].  Together with the slope this puts the fresh-cell
+    #: erase-crossing times in the 18-35 us window of Fig. 4.
+    erase_tau_us: float = 5.8
+    #: Lognormal sigma of the per-cell process variation of the erase time
+    #: constant (dimensionless, applied multiplicatively).
+    tau_process_sigma: float = 0.03
+    #: Nominal pulse length that fully charges a cell [us] (the MSP430's
+    #: T_PROG; shorter pulses leave the cell partially programmed).
+    program_t_full_us: float = 75.0
+    #: Reference junction temperature of the calibration [deg C].
+    nominal_temperature_c: float = 25.0
+    #: Arrhenius-like temperature coefficient of the erase rate: the
+    #: erase time constant scales as exp(-k * (T - T_nom)), i.e. hot
+    #: parts erase faster.  ~0.8 %/K is representative of FN tunnelling
+    #: through thin oxides.
+    erase_temp_coefficient_per_k: float = 0.008
+    #: Time constant of the program transient's log-time law [us].
+    program_tau_us: float = 8.0
+
+
+@dataclass(frozen=True)
+class WearParams:
+    """Oxide-degradation model parameters.
+
+    Repeated program/erase cycling generates traps in the tunnel oxide.
+    Trapped negative charge lowers the effective erase field, which slows
+    the erase transient.  We model the per-cell erase time constant as
+
+        tau_i(n) = tau0_i * (1 + amplitude * w_i * (n_eff_i / 1000)**exponent)
+
+    where ``w_i`` is a per-cell lognormal wear susceptibility (fixed at
+    manufacture) and ``n_eff_i`` is the effective stress-cycle count:
+    full program/erase cycles count as 1, erase-only cycles count as
+    ``erase_only_fraction``.
+    """
+
+    #: Scale of the wear term per 1 K effective cycles (dimensionless).
+    amplitude: float = 0.011
+    #: Power-law exponent of trap generation versus cycle count.
+    exponent: float = 0.55
+    #: Lognormal sigma of the per-cell wear susceptibility w_i.
+    susceptibility_sigma: float = 1.4
+    #: Spatial correlation length of the susceptibility field, in cells
+    #: along the array (0 = independent cells, the default).  Real dies
+    #: show locally correlated oxide quality; setting a few tens of
+    #: cells makes replica placement matter (see the layout ablation).
+    susceptibility_correlation_cells: float = 0.0
+    #: Fraction of a full P/E cycle's damage caused by an erase pulse that
+    #: is not preceded by programming the cell (the "good" watermark cells
+    #: see only this stress during imprinting).
+    erase_only_fraction: float = 0.01
+    #: Programmed-level drift with wear: worn cells program slightly higher
+    #: because trapped charge adds to the stored charge [V per 1K cycles,
+    #: saturating].
+    vth_programmed_drift: float = 0.005
+    #: Saturation level for the programmed-level drift [V].
+    vth_programmed_drift_max: float = 0.5
+    #: Exponent coupling the drift to the per-cell susceptibility w_i:
+    #: drift ~ w**gamma.  0 = uniform drift (sharp stressed-population
+    #: left edge), 1 = fully susceptibility-scaled (no convergence for
+    #: low-susceptibility cells); the calibrated value smooths the edge
+    #: while keeping every cell separable at high stress.
+    drift_susceptibility_exponent: float = 0.2
+
+
+@dataclass(frozen=True)
+class NoiseParams:
+    """Stochastic per-operation noise parameters.
+
+    These produce the read-to-read instability that motivates the paper's
+    N-read majority vote (Fig. 3) and the cycle-to-cycle spread of the
+    partial-erase transition.
+    """
+
+    #: Additive Gaussian noise on the sensed threshold voltage per read [V]
+    #: (random telegraph noise plus sense-amplifier noise).
+    read_sigma_v: float = 0.03
+    #: Multiplicative lognormal jitter on the erase time constant per
+    #: erase pulse (dimensionless).
+    erase_jitter_sigma: float = 0.025
+    #: Additive Gaussian jitter on the programmed level per program
+    #: operation [V].
+    program_sigma_v: float = 0.03
+    #: Read disturb: tiny threshold-voltage gain per read operation [V]
+    #: (weak programming of cells sharing the selected word line).
+    #: Off by default — NOR read disturb takes millions of reads to
+    #: matter; enable it to study read-intensive procedures (TRNG
+    #: harvesting, heavy majority voting).
+    read_disturb_v_per_read: float = 0.0
+
+
+@dataclass(frozen=True)
+class PhysicalParams:
+    """Complete parameter set of the flash cell physics model."""
+
+    cell: CellParams = field(default_factory=CellParams)
+    wear: WearParams = field(default_factory=WearParams)
+    noise: NoiseParams = field(default_factory=NoiseParams)
+
+    def with_overrides(self, **kwargs: object) -> "PhysicalParams":
+        """Return a copy with top-level sections replaced.
+
+        Example::
+
+            params.with_overrides(noise=NoiseParams(read_sigma_v=0.0))
+        """
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> Dict[str, float]:
+        """Return a flat name -> value mapping of every parameter."""
+        out: Dict[str, float] = {}
+        for section_name in ("cell", "wear", "noise"):
+            section = getattr(self, section_name)
+            for key, value in vars(section).items():
+                out[f"{section_name}.{key}"] = value
+        return out

@@ -1,0 +1,93 @@
+"""Erase-transient physics: Fowler-Nordheim discharge of the floating gate.
+
+When the flash controller applies the erase voltage, each cell's
+threshold voltage falls along a log-time transient
+
+    vth(t) = vth_start - S * log10(1 + t / tau)
+
+clamped below at the cell's erased floor.  ``S`` is the erase slope in
+volts per decade and ``tau`` the cell's (wear- and jitter-adjusted) time
+constant.  A cell *crosses* — starts reading as logic 1 — when its
+threshold voltage falls below the read reference.
+
+Aborting the erase after a partial-erase time ``t_PE`` (the emergency
+exit of the MSP430 flash controller) freezes every cell mid-transient.
+That frozen snapshot is what Flashmark's characterisation and extraction
+procedures observe, so these few formulas carry all five of the paper's
+evaluation figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "erase_delta_v",
+    "apply_erase_transient",
+    "crossing_time_us",
+    "time_to_reach_us",
+]
+
+ArrayLike = np.ndarray
+
+
+def erase_delta_v(
+    t_us: ArrayLike,
+    tau_us: ArrayLike,
+    slope_v_per_decade: float,
+) -> np.ndarray:
+    """Threshold-voltage drop after erasing for ``t_us`` microseconds [V]."""
+    t = np.asarray(t_us, dtype=np.float64)
+    if np.any(t < 0):
+        raise ValueError("erase duration must be non-negative")
+    return slope_v_per_decade * np.log10(1.0 + t / np.asarray(tau_us))
+
+
+def apply_erase_transient(
+    vth_start: ArrayLike,
+    t_us: ArrayLike,
+    tau_us: ArrayLike,
+    vth_floor: ArrayLike,
+    slope_v_per_decade: float,
+) -> np.ndarray:
+    """Threshold voltage after an erase pulse of duration ``t_us`` [V].
+
+    The transient is computed from each cell's current threshold voltage;
+    consecutive partial erase pulses therefore compound, as they do on
+    silicon (the paper notes aborted operations leave cells in an
+    undefined state — here, a partially discharged one).
+    """
+    dropped = np.asarray(vth_start, dtype=np.float64) - erase_delta_v(
+        t_us, tau_us, slope_v_per_decade
+    )
+    return np.maximum(dropped, np.asarray(vth_floor, dtype=np.float64))
+
+
+def crossing_time_us(
+    vth_start: ArrayLike,
+    v_ref: float,
+    tau_us: ArrayLike,
+    slope_v_per_decade: float,
+) -> np.ndarray:
+    """Erase time at which a cell starts reading as erased [us].
+
+    Inverts the transient: ``t = tau * (10**((vth_start - v_ref)/S) - 1)``.
+    Cells already below the reference return 0.
+    """
+    return time_to_reach_us(vth_start, v_ref, tau_us, slope_v_per_decade)
+
+
+def time_to_reach_us(
+    vth_start: ArrayLike,
+    vth_target: ArrayLike,
+    tau_us: ArrayLike,
+    slope_v_per_decade: float,
+) -> np.ndarray:
+    """Erase time needed to pull ``vth_start`` down to ``vth_target`` [us]."""
+    gap = np.asarray(vth_start, dtype=np.float64) - np.asarray(
+        vth_target, dtype=np.float64
+    )
+    gap = np.maximum(gap, 0.0)
+    return np.asarray(tau_us) * (
+        np.power(10.0, gap / slope_v_per_decade) - 1.0
+    )

@@ -1,0 +1,58 @@
+"""Stochastic noise sources: read noise, erase jitter, program jitter.
+
+Three noise processes matter for Flashmark:
+
+* **read noise** — random telegraph noise plus sense-amplifier noise make
+  a cell whose threshold voltage sits near the read reference flip
+  between 0 and 1 from read to read.  This is why the characterisation
+  algorithm (Fig. 3) reads each word N times and majority-votes.
+* **erase jitter** — the erase transient's time constant varies a little
+  from pulse to pulse (trap occupancy fluctuations), which blurs the
+  partial-erase transition.
+* **program jitter** — each program operation lands the threshold voltage
+  slightly off its per-cell target.
+
+All draws go through an explicit :class:`numpy.random.Generator` so a
+simulated die is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import NoiseParams
+
+__all__ = ["read_noise", "erase_tau_jitter", "program_noise"]
+
+
+def read_noise(
+    n: int,
+    params: NoiseParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Additive noise on the sensed threshold voltage for one read [V]."""
+    if params.read_sigma_v == 0.0:
+        return np.zeros(n)
+    return rng.normal(0.0, params.read_sigma_v, size=n)
+
+
+def erase_tau_jitter(
+    n: int,
+    params: NoiseParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Multiplicative jitter on the erase time constant for one pulse."""
+    if params.erase_jitter_sigma == 0.0:
+        return np.ones(n)
+    return rng.lognormal(0.0, params.erase_jitter_sigma, size=n)
+
+
+def program_noise(
+    n: int,
+    params: NoiseParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Additive noise on the programmed threshold voltage [V]."""
+    if params.program_sigma_v == 0.0:
+        return np.zeros(n)
+    return rng.normal(0.0, params.program_sigma_v, size=n)

@@ -1,0 +1,66 @@
+"""Program-transient physics: charging the floating gate over time.
+
+The flash controller normally drives a program pulse long enough
+(T_PROG ~ 64-85 us on the MSP430) for every cell to reach its full
+programmed level.  Aborting the pulse early — *partial programming* —
+freezes cells mid-charge, exactly mirroring the partial erase.  Two of
+the works the paper builds on use this knob:
+
+* FFD ([6]) detects recycled chips with sweeping partial programs:
+  worn cells, whose oxide traps add to the stored charge, cross the
+  read threshold after *shorter* program pulses than fresh cells;
+* flash TRNGs/fingerprints ([15]) park cells near the read threshold
+  with partial programs and harvest read noise.
+
+We model the charge build-up with the same log-time law as the erase
+transient, normalised so a nominal full-length pulse reaches the cell's
+programmed target exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["program_progress", "apply_program_transient"]
+
+ArrayLike = np.ndarray
+
+
+def program_progress(
+    t_us: ArrayLike, t_full_us: float, tau_us: float
+) -> np.ndarray:
+    """Fraction of the full programmed charge injected after ``t_us``.
+
+    ``log10(1 + t/tau) / log10(1 + t_full/tau)`` clipped to [0, 1]: 0 at
+    t = 0, exactly 1 at the nominal full program time, concave in
+    between (hot-carrier injection is front-loaded).
+    """
+    if t_full_us <= 0 or tau_us <= 0:
+        raise ValueError("t_full_us and tau_us must be positive")
+    t = np.asarray(t_us, dtype=np.float64)
+    if np.any(t < 0):
+        raise ValueError("program duration must be non-negative")
+    progress = np.log10(1.0 + t / tau_us) / np.log10(
+        1.0 + t_full_us / tau_us
+    )
+    return np.minimum(progress, 1.0)
+
+
+def apply_program_transient(
+    vth_start: ArrayLike,
+    vth_target: ArrayLike,
+    t_us: ArrayLike,
+    t_full_us: float,
+    tau_us: float,
+) -> np.ndarray:
+    """Threshold voltage after a program pulse of duration ``t_us`` [V].
+
+    Moves each cell from its current level toward its (wear-shifted)
+    programmed target by :func:`program_progress`; programming never
+    lowers a threshold voltage.
+    """
+    start = np.asarray(vth_start, dtype=np.float64)
+    target = np.asarray(vth_target, dtype=np.float64)
+    progress = program_progress(t_us, t_full_us, tau_us)
+    gap = np.maximum(target - start, 0.0)
+    return start + gap * progress

@@ -1,0 +1,62 @@
+"""Charge-retention model: slow threshold-voltage loss over shelf time.
+
+Programmed cells leak floating-gate charge through oxide defects.  The
+leak is slow for fresh cells (decade-scale retention) but accelerates
+with oxide wear — the effect behind recycled-chip detection baselines
+([6], [7] in the paper) and one of the physical processes the paper lists
+as preventing exactly-zero extraction error rates.
+
+We model the retention loss over a storage time ``t`` as
+
+    dvth(t) = rate * (1 + accel * n_eff/1000) * log10(1 + t / t0)
+
+applied only above the erased floor.  Time is measured in hours here —
+retention happens on a very different timescale from the microsecond
+erase transients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetentionParams", "retention_loss_v"]
+
+
+@dataclass(frozen=True)
+class RetentionParams:
+    """Parameters of the charge-retention loss model."""
+
+    #: Base threshold-voltage loss per decade of storage time [V/decade].
+    rate_v_per_decade: float = 0.035
+    #: Wear acceleration of the loss rate (per 1 K effective cycles).
+    wear_acceleration: float = 0.12
+    #: Reference time constant of the log-time loss law [hours].
+    t0_hours: float = 1.0
+
+
+def retention_loss_v(
+    storage_hours: float,
+    n_effective: np.ndarray,
+    params: RetentionParams,
+) -> np.ndarray:
+    """Threshold-voltage loss after ``storage_hours`` on the shelf [V].
+
+    Parameters
+    ----------
+    storage_hours:
+        Unpowered storage time in hours.
+    n_effective:
+        Per-cell effective P/E cycle counts (wear state).
+    params:
+        Retention model parameters.
+    """
+    if storage_hours < 0:
+        raise ValueError("storage time must be non-negative")
+    n_eff = np.asarray(n_effective, dtype=np.float64)
+    decades = np.log10(1.0 + storage_hours / params.t0_hours)
+    rate = params.rate_v_per_decade * (
+        1.0 + params.wear_acceleration * n_eff / 1000.0
+    )
+    return rate * decades

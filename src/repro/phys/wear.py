@@ -1,0 +1,90 @@
+"""Oxide wear model: how program/erase stress degrades flash cells.
+
+Program and erase operations force charge through the tunnel oxide of a
+floating-gate cell.  Each pass generates traps; trapped charge reduces
+the effective erase field, so a worn cell erases more slowly.  This is
+the physical effect that Flashmark both exploits (stressed watermark
+cells resist partial erase) and that makes the watermark permanent
+(trap generation cannot be reversed through the digital interface —
+references [16], [17] of the paper).
+
+The model is a power law in the effective cycle count with a per-cell
+lognormal susceptibility.  The wear *state* of a cell is simply its pair
+of counters (program cycles, erase-only cycles); everything else is
+derived, which keeps the device simulator's bulk-stress fast path exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import WearParams
+
+__all__ = [
+    "effective_cycles",
+    "tau_wear_multiplier",
+    "programmed_level_shift",
+]
+
+ArrayLike = np.ndarray
+
+
+def effective_cycles(
+    program_cycles: ArrayLike,
+    erase_only_cycles: ArrayLike,
+    params: WearParams,
+) -> np.ndarray:
+    """Combine program and erase-only stress into effective P/E cycles.
+
+    A full program/erase cycle counts as one unit.  An erase pulse applied
+    to a cell that was *not* programmed since the previous erase (a "good"
+    watermark cell during imprinting) causes only a small fraction of the
+    damage, because the cell's floating gate holds no charge and the
+    tunnelling current is far lower.
+    """
+    return np.asarray(program_cycles, dtype=np.float64) + (
+        params.erase_only_fraction
+        * np.asarray(erase_only_cycles, dtype=np.float64)
+    )
+
+
+def tau_wear_multiplier(
+    n_effective: ArrayLike,
+    susceptibility: ArrayLike,
+    params: WearParams,
+) -> np.ndarray:
+    """Multiplier applied to a cell's erase time constant due to wear.
+
+    ``1.0`` for a fresh cell; grows as ``amplitude * w_i *
+    (n_eff/1000)**exponent``.  The paper's Fig. 4 transition times pin the
+    calibration: a 20 K segment's slowest cell needs ~115 us to erase
+    versus ~35 us when fresh, and a 100 K segment needs ~811 us.
+    """
+    n_eff = np.asarray(n_effective, dtype=np.float64)
+    if np.any(n_eff < 0):
+        raise ValueError("effective cycle counts must be non-negative")
+    grow = params.amplitude * np.asarray(susceptibility, dtype=np.float64)
+    return 1.0 + grow * np.power(n_eff / 1000.0, params.exponent)
+
+
+def programmed_level_shift(
+    n_effective: ArrayLike,
+    params: WearParams,
+    susceptibility: ArrayLike = 1.0,
+) -> np.ndarray:
+    """Upward drift of the programmed threshold voltage with wear [V].
+
+    Trapped negative charge in the oxide adds to the floating-gate charge,
+    so a worn cell programs to a slightly higher threshold voltage.  The
+    drift scales with the same per-cell trap susceptibility ``w_i`` that
+    drives the erase slowdown (both are trap-density effects, coupled
+    through ``drift_susceptibility_exponent``), and saturates once the
+    oxide trap population saturates.
+    """
+    n_eff = np.asarray(n_effective, dtype=np.float64)
+    coupling = np.power(
+        np.asarray(susceptibility, dtype=np.float64),
+        params.drift_susceptibility_exponent,
+    )
+    raw = params.vth_programmed_drift * (n_eff / 1000.0) * coupling
+    return np.minimum(raw, params.vth_programmed_drift_max)

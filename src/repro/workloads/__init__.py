@@ -1,0 +1,39 @@
+"""Workload generators: watermarks and chip populations for experiments."""
+
+from .chips import (
+    ChipKind,
+    ChipSample,
+    PopulationSpec,
+    generate_population,
+    make_chip_sample,
+)
+from .production import (
+    DieSortResult,
+    DieSortSpec,
+    ProducedChip,
+    ProductionLine,
+    run_die_sort,
+)
+from .watermarks import (
+    balanced_random,
+    company_banner,
+    fig10_vector,
+    segment_filling_ascii,
+)
+
+__all__ = [
+    "ChipKind",
+    "ChipSample",
+    "PopulationSpec",
+    "generate_population",
+    "make_chip_sample",
+    "segment_filling_ascii",
+    "DieSortSpec",
+    "DieSortResult",
+    "ProducedChip",
+    "ProductionLine",
+    "run_die_sort",
+    "fig10_vector",
+    "balanced_random",
+    "company_banner",
+]

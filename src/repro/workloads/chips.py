@@ -1,0 +1,180 @@
+"""Chip population generator: the supply-chain scenarios of Section I.
+
+The paper motivates Flashmark with three counterfeiting pathways —
+recycled chips pulled off end-of-life boards, fall-out dies that failed
+die-sort, and inferior rebranded parts — plus the genuine article.  This
+module manufactures seeded populations of all four so detection
+experiments can measure true/false positive rates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.imprint import imprint_watermark
+from ..core.payload import ChipStatus, WatermarkPayload
+from ..core.verifier import WatermarkFormat
+from ..core.watermark import Watermark
+from ..device.mcu import Microcontroller, make_mcu
+from ..phys.constants import PhysicalParams, WearParams
+
+__all__ = ["ChipKind", "ChipSample", "PopulationSpec", "make_chip_sample", "generate_population"]
+
+#: Flash segments simulated per chip (segment 0 carries the watermark,
+#: the rest stand in for application data).
+_SEGMENTS_PER_CHIP = 2
+
+#: Default published watermark parameters for the population.
+DEFAULT_N_PE = 40_000
+DEFAULT_N_REPLICAS = 7
+DEFAULT_MANUFACTURER = "TCMK"
+
+
+class ChipKind(enum.Enum):
+    """Ground-truth provenance of a chip sample."""
+
+    #: Genuine, watermark status = ACCEPT, never used.
+    GENUINE = "genuine"
+    #: Genuine silicon that failed die-sort: watermark status = REJECT.
+    FALLOUT = "fallout"
+    #: Genuine, watermarked, but recycled after years of field use.
+    RECYCLED = "recycled"
+    #: Inferior third-party silicon, relabelled; no physical watermark —
+    #: only forged *digital* metadata programmed into the segment.
+    REBRANDED = "rebranded"
+
+
+@dataclass
+class ChipSample:
+    """One chip plus its ground truth."""
+
+    chip: Microcontroller
+    kind: ChipKind
+    #: The genuinely imprinted payload (None for rebranded parts).
+    payload: Optional[WatermarkPayload]
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """How many chips of each kind to manufacture."""
+
+    counts: Dict[ChipKind, int]
+    n_pe: int = DEFAULT_N_PE
+    n_replicas: int = DEFAULT_N_REPLICAS
+    manufacturer: str = DEFAULT_MANUFACTURER
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def format(self) -> WatermarkFormat:
+        """The published watermark format this population was made with."""
+        payload_bits = WatermarkPayload(
+            self.manufacturer, 0, 0, ChipStatus.ACCEPT
+        ).n_bits
+        return WatermarkFormat(
+            n_bits=payload_bits,
+            n_replicas=self.n_replicas,
+            balanced=True,
+            structured=True,
+        )
+
+
+def _inferior_params() -> PhysicalParams:
+    """Physics of a cheap rebranded part: weaker oxide, more variation."""
+    base = PhysicalParams()
+    return base.with_overrides(
+        wear=WearParams(
+            amplitude=base.wear.amplitude * 1.8,
+            exponent=base.wear.exponent,
+            susceptibility_sigma=base.wear.susceptibility_sigma * 1.2,
+            erase_only_fraction=base.wear.erase_only_fraction,
+            vth_programmed_drift=base.wear.vth_programmed_drift,
+            vth_programmed_drift_max=base.wear.vth_programmed_drift_max,
+        )
+    )
+
+
+def _imprint_genuine(
+    chip: Microcontroller, payload: WatermarkPayload, spec: PopulationSpec
+) -> None:
+    watermark = Watermark.from_payload(payload).balanced()
+    imprint_watermark(
+        chip.flash,
+        0,
+        watermark,
+        spec.n_pe,
+        n_replicas=spec.n_replicas,
+        accelerated=True,
+    )
+
+
+def make_chip_sample(
+    kind: ChipKind, seed: int, spec: Optional[PopulationSpec] = None
+) -> ChipSample:
+    """Manufacture one chip of the requested provenance."""
+    if spec is None:
+        spec = PopulationSpec(counts={kind: 1})
+    rng = np.random.default_rng(seed)
+
+    if kind is ChipKind.REBRANDED:
+        chip = make_mcu(
+            seed=seed, params=_inferior_params(), n_segments=_SEGMENTS_PER_CHIP
+        )
+        # The counterfeiter programs plausible *digital* metadata only.
+        fake = WatermarkPayload(
+            spec.manufacturer,
+            die_id=int(rng.integers(0, 2**48)),
+            speed_grade=3,
+            status=ChipStatus.ACCEPT,
+        )
+        pattern = np.ones(chip.geometry.bits_per_segment, dtype=np.uint8)
+        fake_bits = Watermark.from_payload(fake).balanced().bits
+        pattern[: fake_bits.size] = fake_bits
+        chip.flash.erase_segment(0)
+        chip.flash.program_segment_bits(0, pattern)
+        return ChipSample(chip=chip, kind=kind, payload=None)
+
+    chip = make_mcu(seed=seed, n_segments=_SEGMENTS_PER_CHIP)
+    status = (
+        ChipStatus.REJECT if kind is ChipKind.FALLOUT else ChipStatus.ACCEPT
+    )
+    payload = WatermarkPayload(
+        spec.manufacturer,
+        die_id=chip.die_id,
+        speed_grade=int(rng.integers(0, 8)),
+        status=status,
+    )
+    _imprint_genuine(chip, payload, spec)
+
+    if kind is ChipKind.RECYCLED:
+        # Field use: the data segment sees years of firmware logging.
+        use_cycles = int(rng.integers(5_000, 60_000))
+        data_pattern = (rng.random(chip.geometry.bits_per_segment) < 0.5)
+        chip.flash.bulk_pe_cycles(
+            1, data_pattern.astype(np.uint8), use_cycles
+        )
+        # The recycler wipes everything digital before resale.
+        for segment in range(chip.geometry.n_segments):
+            chip.flash.erase_segment(segment)
+    return ChipSample(chip=chip, kind=kind, payload=payload)
+
+
+def generate_population(
+    spec: PopulationSpec, seed: int = 0
+) -> List[ChipSample]:
+    """Manufacture a shuffled population per the spec."""
+    samples: List[ChipSample] = []
+    next_seed = seed
+    for kind in ChipKind:
+        for _ in range(spec.counts.get(kind, 0)):
+            samples.append(make_chip_sample(kind, next_seed, spec))
+            next_seed += 1
+    rng = np.random.default_rng(seed + 10_000)
+    rng.shuffle(samples)  # type: ignore[arg-type]
+    return samples

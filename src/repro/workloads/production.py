@@ -1,0 +1,218 @@
+"""A die-sort production line: physics-based accept/reject marking.
+
+Section IV: "The proposed imprinting of watermarks into a NOR flash
+memory is performed by chip manufacturers during the die-sort testing
+phase."  This module closes that loop: dies come off a simulated line
+with varying process quality, a purely digital parametric test sorts
+them, and every die leaves with the *matching* status imprinted — so
+downstream experiments get fall-out chips that are genuinely inferior,
+not just arbitrarily labelled.
+
+Die-to-die variation: each die draws quality multipliers (erase speed,
+oxide wear rate, read noise) around the family nominal; a configurable
+fraction of dies are outliers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.imprint import imprint_watermark
+from ..core.payload import ChipStatus, WatermarkPayload
+from ..core.watermark import Watermark
+from ..device.mcu import Microcontroller, make_mcu
+from ..phys.constants import PhysicalParams
+
+__all__ = ["DieSortSpec", "DieSortResult", "ProducedChip", "ProductionLine"]
+
+
+@dataclass(frozen=True)
+class DieSortSpec:
+    """Parametric limits applied at die sort (all digitally measurable)."""
+
+    #: Latest acceptable fresh full-erase partial-erase time [us].
+    max_full_erase_us: float = 60.0
+    #: Maximum cells flickering across repeated reads of a segment
+    #: parked mid-transition (read-noise screen).  A nominal die shows
+    #: ~1.9 K of 4096 cells near the reference flickering; a noisy
+    #: corner shows ~3.5 K+.
+    max_unstable_cells: int = 2600
+    #: Reads used for the stability screen.
+    stability_reads: int = 9
+    #: Partial-erase time parking the population mid-transition for the
+    #: stability screen [us].
+    stability_probe_us: float = 21.0
+    #: Partial-erase probe grid for the transition screen [us].
+    probe_grid_us: tuple = tuple(np.arange(10.0, 90.0, 2.0))
+
+
+@dataclass(frozen=True)
+class DieSortResult:
+    """Measurements and outcome of one die-sort test."""
+
+    passed: bool
+    full_erase_us: Optional[float]
+    unstable_cells: int
+    reason: str
+
+
+@dataclass
+class ProducedChip:
+    """A chip leaving the line, with its imprinted provenance."""
+
+    chip: Microcontroller
+    die_sort: DieSortResult
+    payload: WatermarkPayload
+
+
+def run_die_sort(
+    chip: Microcontroller, spec: DieSortSpec = DieSortSpec(), segment: int = 0
+) -> DieSortResult:
+    """Run the digital parametric test on one die.
+
+    Two screens, both through the standard interface only:
+
+    * **transition screen** — erase/program, then partial-erase probes:
+      the die fails if any cell still reads programmed past the limit;
+    * **stability screen** — park the segment mid-transition with a
+      partial erase and read it ``stability_reads`` times; cells that
+      do not read identically every time count as unstable.
+    """
+    flash = chip.flash
+    n_bits = chip.geometry.bits_per_segment
+    zeros = np.zeros(n_bits, dtype=np.uint8)
+
+    # Stability screen: park the population on the read reference with
+    # a partial erase, where sense noise is actually visible, then count
+    # cells that do not read identically across repeats.
+    flash.erase_segment(segment)
+    flash.program_segment_bits(segment, zeros)
+    flash.partial_erase_segment(segment, spec.stability_probe_us)
+    reads = np.stack(
+        [flash.read_segment_bits(segment) for _ in range(spec.stability_reads)]
+    )
+    ones = reads.sum(axis=0)
+    unstable = int(
+        np.count_nonzero((ones > 0) & (ones < spec.stability_reads))
+    )
+    if unstable > spec.max_unstable_cells:
+        return DieSortResult(
+            passed=False,
+            full_erase_us=None,
+            unstable_cells=unstable,
+            reason=f"{unstable} unstable cells exceed "
+            f"{spec.max_unstable_cells}",
+        )
+
+    # Transition screen.
+    full_erase: Optional[float] = None
+    for t in spec.probe_grid_us:
+        flash.erase_segment(segment)
+        flash.program_segment_bits(segment, zeros)
+        flash.partial_erase_segment(segment, float(t))
+        if flash.read_segment_bits(segment, n_reads=3).all():
+            full_erase = float(t)
+            break
+    if full_erase is None or full_erase > spec.max_full_erase_us:
+        return DieSortResult(
+            passed=False,
+            full_erase_us=full_erase,
+            unstable_cells=unstable,
+            reason=(
+                f"fresh full-erase time "
+                f"{full_erase if full_erase is not None else '>grid'} us "
+                f"exceeds {spec.max_full_erase_us} us"
+            ),
+        )
+    return DieSortResult(
+        passed=True,
+        full_erase_us=full_erase,
+        unstable_cells=unstable,
+        reason="within spec",
+    )
+
+
+@dataclass
+class ProductionLine:
+    """Manufactures dies with process spread and imprints their status.
+
+    Parameters
+    ----------
+    manufacturer:
+        Four-character id imprinted into every die.
+    outlier_fraction:
+        Fraction of dies drawn from a degraded process corner (slow
+        erase and/or noisy reads); these should fail die sort.
+    n_pe / n_replicas:
+        Flashmark imprint parameters used for the status mark.
+    """
+
+    manufacturer: str = "TCMK"
+    outlier_fraction: float = 0.25
+    n_pe: int = 40_000
+    n_replicas: int = 7
+    spec: DieSortSpec = field(default_factory=DieSortSpec)
+
+    def _die_params(self, rng: np.random.Generator) -> PhysicalParams:
+        base = PhysicalParams()
+        if rng.random() >= self.outlier_fraction:
+            return base
+        # A degraded corner: slow, spread-out erase and noisy sensing.
+        which = rng.integers(0, 2)
+        if which == 0:
+            cell = dataclasses.replace(
+                base.cell,
+                erase_tau_us=base.cell.erase_tau_us
+                * float(rng.uniform(2.2, 3.5)),
+                tau_process_sigma=base.cell.tau_process_sigma * 3.0,
+            )
+            return base.with_overrides(cell=cell)
+        noise = dataclasses.replace(
+            base.noise,
+            read_sigma_v=base.noise.read_sigma_v
+            * float(rng.uniform(4.0, 7.0)),
+        )
+        return base.with_overrides(noise=noise)
+
+    def produce(self, n_chips: int, seed: int = 0) -> List[ProducedChip]:
+        """Manufacture, die-sort and watermark ``n_chips`` dies."""
+        rng = np.random.default_rng(seed)
+        out: List[ProducedChip] = []
+        for i in range(n_chips):
+            params = self._die_params(rng)
+            chip = make_mcu(
+                seed=seed * 100_003 + i, params=params, n_segments=2
+            )
+            result = run_die_sort(chip, self.spec, segment=1)
+            status = (
+                ChipStatus.ACCEPT if result.passed else ChipStatus.REJECT
+            )
+            payload = WatermarkPayload(
+                self.manufacturer,
+                die_id=chip.die_id,
+                speed_grade=int(rng.integers(0, 8)),
+                status=status,
+            )
+            imprint_watermark(
+                chip.flash,
+                0,
+                Watermark.from_payload(payload).balanced(),
+                self.n_pe,
+                n_replicas=self.n_replicas,
+                accelerated=True,
+            )
+            out.append(
+                ProducedChip(chip=chip, die_sort=result, payload=payload)
+            )
+        return out
+
+    @staticmethod
+    def yield_fraction(batch: List[ProducedChip]) -> float:
+        """Fraction of a produced batch that passed die sort."""
+        if not batch:
+            raise ValueError("empty batch")
+        return sum(p.die_sort.passed for p in batch) / len(batch)

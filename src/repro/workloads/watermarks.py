@@ -1,0 +1,69 @@
+"""Watermark generators for experiments and benchmarks.
+
+Section V imprints "a watermark that consists of upper-case ASCII
+characters" sized to a 512-byte segment; the replication experiments use
+smaller vectors (the 30-bit example of Fig. 10).  These factories build
+all of them reproducibly from seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bits import random_bits
+from ..core.watermark import Watermark
+
+__all__ = [
+    "segment_filling_ascii",
+    "fig10_vector",
+    "balanced_random",
+    "company_banner",
+]
+
+
+def segment_filling_ascii(
+    segment_bits: int, seed: int = 42, n_replicas: int = 1
+) -> Watermark:
+    """Uppercase-ASCII watermark sized to fill a segment across replicas.
+
+    With ``n_replicas=1`` and a 4096-bit segment this is the 512-character
+    watermark of the Fig. 9 experiment.
+    """
+    n_chars = segment_bits // n_replicas // 8
+    if n_chars < 1:
+        raise ValueError(
+            f"{n_replicas} replicas do not fit a single character in "
+            f"{segment_bits} bits"
+        )
+    rng = np.random.default_rng(seed)
+    return Watermark.ascii_uppercase(n_chars, rng)
+
+
+def fig10_vector(seed: int = 10) -> Watermark:
+    """A 30-bit watermark portion, as visualised in Fig. 10."""
+    rng = np.random.default_rng(seed)
+    return Watermark.random(30, rng, label="fig10[30]")
+
+
+def balanced_random(n_bits: int, seed: int = 0) -> Watermark:
+    """Random watermark with an exactly equal number of 0s and 1s.
+
+    The Section IV tamper-detection constraint ("an equal number of
+    'good' and 'bad' bits") without the 2x Manchester overhead.
+    """
+    if n_bits % 2 != 0:
+        raise ValueError("a balanced watermark needs an even bit count")
+    rng = np.random.default_rng(seed)
+    bits = np.zeros(n_bits, dtype=np.uint8)
+    bits[rng.permutation(n_bits)[: n_bits // 2]] = 1
+    return Watermark(bits, label=f"balanced_random[{n_bits}]")
+
+
+def company_banner(company: str = "TC") -> Watermark:
+    """The paper's Trusted Chipmaker banner (Fig. 6 uses "TC")."""
+    return Watermark.from_text(company, label=f"banner:{company!r}")
+
+
+def random_payload_bits(n_bits: int, seed: int = 0) -> np.ndarray:
+    """Raw random bits for property-style tests."""
+    return random_bits(n_bits, np.random.default_rng(seed))

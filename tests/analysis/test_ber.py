@@ -1,0 +1,68 @@
+"""Tests for BER statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BerSummary, summarize_ber, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        lo, hi = wilson_interval(10, 100)
+        assert lo < 0.1 < hi
+
+    def test_zero_errors(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_all_errors(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == pytest.approx(1.0)
+        assert lo < 1.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(10, 100)
+        lo2, hi2 = wilson_interval(100, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="trials"):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError, match="errors"):
+            wilson_interval(5, 4)
+
+
+class TestSummarizeBer:
+    def test_splits_error_polarity(self):
+        reference = np.array([0, 0, 0, 1, 1, 1], dtype=np.uint8)
+        measured = np.array([1, 0, 0, 0, 1, 1], dtype=np.uint8)
+        s = summarize_ber(reference, measured)
+        assert s.n_errors == 2
+        assert s.n_bad_read_good == 1
+        assert s.n_good_read_bad == 1
+        assert s.ber == pytest.approx(2 / 6)
+
+    def test_conditional_rates(self):
+        reference = np.array([0, 0, 0, 0, 1, 1], dtype=np.uint8)
+        measured = np.array([1, 1, 0, 0, 1, 1], dtype=np.uint8)
+        s = summarize_ber(reference, measured)
+        assert s.p_bad_reads_good == pytest.approx(0.5)
+        assert s.p_good_reads_bad == 0.0
+        assert s.asymmetry_ratio == np.inf
+
+    def test_ci_property(self):
+        reference = np.zeros(1000, dtype=np.uint8)
+        measured = reference.copy()
+        measured[:37] = 1
+        s = summarize_ber(reference, measured)
+        lo, hi = s.ber_ci
+        assert lo < s.ber < hi
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            summarize_ber(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize_ber(np.array([]), np.array([]))

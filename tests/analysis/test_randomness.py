@@ -1,0 +1,67 @@
+"""Tests for the randomness test battery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import byte_chi_square_test, monobit_test, runs_test
+
+
+@pytest.fixture
+def good_bits():
+    return (np.random.default_rng(1).random(20_000) < 0.5).astype(np.uint8)
+
+
+class TestMonobit:
+    def test_random_passes(self, good_bits):
+        assert monobit_test(good_bits) > 0.01
+
+    def test_constant_fails(self):
+        assert monobit_test(np.ones(1000, dtype=np.uint8)) < 1e-10
+
+    def test_biased_fails(self):
+        rng = np.random.default_rng(2)
+        biased = (rng.random(20_000) < 0.6).astype(np.uint8)
+        assert monobit_test(biased) < 0.001
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="100 bits"):
+            monobit_test(np.zeros(10, dtype=np.uint8))
+
+
+class TestRuns:
+    def test_random_passes(self, good_bits):
+        assert runs_test(good_bits) > 0.01
+
+    def test_alternating_fails(self):
+        bits = np.tile([0, 1], 5000).astype(np.uint8)
+        assert runs_test(bits) < 1e-10
+
+    def test_sticky_fails(self):
+        rng = np.random.default_rng(3)
+        # Long runs: repeat each random bit 20 times.
+        bits = np.repeat(
+            (rng.random(1000) < 0.5).astype(np.uint8), 20
+        )
+        assert runs_test(bits) < 0.001
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="100 bits"):
+            runs_test(np.zeros(10, dtype=np.uint8))
+
+
+class TestChiSquare:
+    def test_random_passes(self, good_bits):
+        assert byte_chi_square_test(good_bits) > 0.01
+
+    def test_repeating_byte_fails(self):
+        bits = np.tile(
+            np.unpackbits(
+                np.array([0xA5], dtype=np.uint8), bitorder="little"
+            ),
+            4000,
+        )
+        assert byte_chi_square_test(bits) < 1e-10
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="2048"):
+            byte_chi_square_test(np.zeros(100, dtype=np.uint8))

@@ -1,0 +1,63 @@
+"""Tests for distribution summaries and separation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ks_statistic,
+    overlap_fraction,
+    separation_d_prime,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_fields(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(5.0, 1.0, size=50_000)
+        s = summarize(sample)
+        assert s.n == 50_000
+        assert s.mean == pytest.approx(5.0, abs=0.02)
+        assert s.std == pytest.approx(1.0, abs=0.02)
+        assert s.minimum <= s.p05 <= s.median <= s.p95 <= s.maximum
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize(np.array([]))
+
+    def test_as_row_length(self):
+        s = summarize(np.arange(10.0))
+        assert len(s.as_row()) == 8
+
+
+class TestSeparation:
+    def test_d_prime_separated(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 10_000)
+        b = rng.normal(5, 1, 10_000)
+        assert separation_d_prime(a, b) == pytest.approx(5.0, abs=0.1)
+
+    def test_d_prime_identical(self):
+        a = np.zeros(10)
+        assert separation_d_prime(a, a) == 0.0
+
+    def test_overlap_of_disjoint_is_zero(self):
+        a = np.linspace(0, 1, 100)
+        b = np.linspace(10, 11, 100)
+        assert overlap_fraction(a, b) == 0.0
+
+    def test_overlap_of_identical_is_large(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 5000)
+        b = rng.normal(0, 1, 5000)
+        assert overlap_fraction(a, b) > 0.7
+
+    def test_overlap_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            overlap_fraction(np.array([]), np.array([1.0]))
+
+    def test_ks_statistic_range(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 1000)
+        b = rng.normal(3, 1, 1000)
+        assert 0.8 < ks_statistic(a, b) <= 1.0

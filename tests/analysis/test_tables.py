@@ -1,0 +1,61 @@
+"""Tests for the table/chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_chart, format_table
+
+
+class TestFormatTable:
+    def test_aligned_output(self):
+        out = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 123.456]]
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(line) for line in lines[:2])) == 1
+
+    def test_title_included(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestAsciiChart:
+    def test_renders_series(self):
+        x = np.linspace(0, 10, 20)
+        out = ascii_chart(x, {"a": x**2, "b": 100 - x**2})
+        assert "a" in out
+        assert "b" in out
+        assert "log scale" not in out
+
+    def test_log_x(self):
+        x = np.geomspace(1, 1000, 10)
+        out = ascii_chart(x, {"y": np.log10(x)}, logx=True)
+        assert "log scale" in out
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="two x samples"):
+            ascii_chart(np.array([1.0]), {"a": np.array([1.0])})
+
+    def test_multichar_label_rejected(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ValueError, match="1 char"):
+            ascii_chart(x, {"ab": x})
+
+    def test_length_mismatch_rejected(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ValueError, match="mismatch"):
+            ascii_chart(x, {"a": np.zeros(4)})
+
+    def test_flat_series_ok(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_chart(x, {"a": np.ones(5)})
+        assert "a" in out

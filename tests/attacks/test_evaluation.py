@@ -1,0 +1,101 @@
+"""Tests for the attack-suite evaluation harness."""
+
+import pytest
+
+from repro.attacks import run_attack_suite
+from repro.core import (
+    ChipStatus,
+    FlashmarkSession,
+    Verdict,
+    Watermark,
+    WatermarkPayload,
+    WatermarkVerifier,
+)
+from repro.device import make_mcu
+
+
+def _payload(status):
+    return WatermarkPayload(
+        "TCMK", die_id=1, speed_grade=2, status=status
+    )
+
+
+@pytest.fixture(scope="module")
+def suite_outcomes():
+    golden = make_mcu(seed=900, n_segments=1)
+    session = FlashmarkSession(golden)
+    session.imprint_payload(
+        _payload(ChipStatus.ACCEPT), n_pe=40_000, n_replicas=7
+    )
+    verifier = WatermarkVerifier(session.calibration, session.format)
+
+    reject = make_mcu(seed=901, n_segments=1)
+    reject_session = FlashmarkSession(
+        reject, calibration=session.calibration
+    )
+    reject_session.imprint_payload(
+        _payload(ChipStatus.REJECT), n_pe=40_000, n_replicas=7
+    )
+    accept_bits = Watermark.from_payload(
+        _payload(ChipStatus.ACCEPT)
+    ).balanced()
+    accept_pattern = session.format.layout_for(4096).tile(
+        accept_bits.bits
+    )
+    return run_attack_suite(
+        genuine_factory=lambda: golden.fork(),
+        verifier=verifier,
+        reject_factory=lambda: reject.fork(),
+        accept_pattern=accept_pattern,
+    )
+
+
+class TestAttackSuite:
+    def test_all_scenarios_run(self, suite_outcomes):
+        scenarios = [o.scenario for o in suite_outcomes]
+        assert scenarios == [
+            "forged_reject",
+            "scattered_tamper",
+            "targeted_tamper",
+            "erase_flood",
+        ]
+
+    def test_verifier_correct_on_every_scenario(self, suite_outcomes):
+        for outcome in suite_outcomes:
+            assert outcome.verifier_correct, (
+                outcome.scenario,
+                outcome.report.verdict,
+                outcome.report.reason,
+            )
+
+    def test_forged_reject_not_accepted(self, suite_outcomes):
+        """A fall-out die with a digitally forged ACCEPT record fails:
+        extraction recovers the physical REJECT mark."""
+        forged = suite_outcomes[0]
+        assert forged.detected
+        assert forged.report.verdict in (
+            Verdict.COUNTERFEIT,
+            Verdict.TAMPERED,
+        )
+
+    def test_scattered_tamper_detected(self, suite_outcomes):
+        scattered = suite_outcomes[1]
+        assert scattered.detected
+        assert scattered.report.stressed_outliers > (
+            scattered.report.stressed_outlier_limit
+        )
+
+    def test_targeted_tamper_detected(self, suite_outcomes):
+        targeted = suite_outcomes[2]
+        assert targeted.detected
+
+    def test_erase_flood_is_harmless(self, suite_outcomes):
+        """Erasing cannot damage or remove the watermark: the chip still
+        verifies as authentic — the attack simply fails."""
+        flood = suite_outcomes[3]
+        assert flood.report.verdict is Verdict.AUTHENTIC
+
+    def test_attack_costs_reported(self, suite_outcomes):
+        scattered = suite_outcomes[1]
+        assert scattered.attack.duration_s > 1.0
+        assert scattered.attack.n_cells_stressed > 0

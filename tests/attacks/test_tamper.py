@@ -1,0 +1,132 @@
+"""Tests for the counterfeiter attack primitives."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    digital_forgery,
+    erase_flood,
+    reject_to_accept_attempt,
+    stress_tamper,
+)
+from repro.core import Watermark, extract_watermark, imprint_watermark
+from repro.core.bits import bit_error_rate
+from repro.device import make_mcu
+
+N_PE = 50_000
+
+
+def _best_t(flash, layout, reference_bits):
+    best_t, best_ber = 27.0, 2.0
+    for t in np.arange(22.0, 34.0, 1.0):
+        decoded = extract_watermark(flash, 0, layout, float(t))
+        ber = bit_error_rate(reference_bits, decoded.bits)
+        if ber < best_ber:
+            best_t, best_ber = float(t), ber
+    return best_t
+
+
+@pytest.fixture
+def marked_chip(rng):
+    chip = make_mcu(seed=77, n_segments=1)
+    wm = Watermark.ascii_uppercase(64, rng)
+    report = imprint_watermark(chip.flash, 0, wm, N_PE, n_replicas=7)
+    t_star = _best_t(chip.flash, report.layout, wm.bits)
+    return chip, wm, report.layout, t_star
+
+
+class TestDigitalForgery:
+    def test_changes_digital_contents(self, marked_chip, rng):
+        chip, _, _, _ = marked_chip
+        fake = (rng.random(4096) < 0.5).astype(np.uint8)
+        digital_forgery(chip.flash, 0, fake)
+        np.testing.assert_array_equal(chip.flash.read_segment_bits(0), fake)
+
+    def test_leaves_physical_watermark_intact(self, marked_chip, rng):
+        chip, wm, layout, t_star = marked_chip
+        fake = (rng.random(4096) < 0.5).astype(np.uint8)
+        digital_forgery(chip.flash, 0, fake)
+        decoded = extract_watermark(chip.flash, 0, layout, t_star)
+        assert bit_error_rate(wm.bits, decoded.bits) < 0.05
+
+    def test_is_cheap(self, marked_chip, rng):
+        chip, _, _, _ = marked_chip
+        fake = np.ones(4096, dtype=np.uint8)
+        report = digital_forgery(chip.flash, 0, fake)
+        assert report.duration_s < 0.1
+        assert report.n_cells_stressed == 0
+
+
+class TestStressTamper:
+    def test_turns_good_cells_bad(self, marked_chip):
+        chip, wm, layout, t_star = marked_chip
+        # Attack the first 32 watermark bits (first replica positions).
+        target = np.ones(4096, dtype=np.uint8)
+        target[:32] = 0
+        stress_tamper(chip.flash, 0, target, N_PE)
+        decoded = extract_watermark(chip.flash, 0, layout, t_star)
+        attacked = decoded.replica_matrix[0, :32]
+        # Every attacked cell now reads bad regardless of watermark bit.
+        assert attacked.sum() <= 2
+
+    def test_cannot_turn_bad_cells_good(self, marked_chip):
+        chip, wm, layout, t_star = marked_chip
+        before = extract_watermark(chip.flash, 0, layout, t_star)
+        # "Heal" attempt: stress nothing, erase a lot (next class), or
+        # stress everything else; bad cells must stay bad.
+        target = np.ones(4096, dtype=np.uint8)
+        stress_tamper(chip.flash, 0, target, 1_000)
+        after = extract_watermark(chip.flash, 0, layout, t_star)
+        bad_bits = wm.bits == 0
+        assert (
+            after.bits[bad_bits].sum() <= before.bits[bad_bits].sum() + 2
+        )
+
+    def test_reports_cost(self, marked_chip):
+        chip, _, _, _ = marked_chip
+        target = np.ones(4096, dtype=np.uint8)
+        target[:100] = 0
+        report = stress_tamper(chip.flash, 0, target, 10_000)
+        assert report.n_cells_stressed == 100
+        assert report.duration_s > 10  # tens of seconds of attacker time
+
+
+class TestEraseFlood:
+    def test_does_not_heal_watermark(self, marked_chip):
+        chip, wm, layout, t_star = marked_chip
+        erase_flood(chip.flash, 0, 2_000)
+        decoded = extract_watermark(chip.flash, 0, layout, t_star)
+        assert bit_error_rate(wm.bits, decoded.bits) < 0.05
+
+    def test_negative_count_rejected(self, marked_chip):
+        chip, _, _, _ = marked_chip
+        with pytest.raises(ValueError, match="non-negative"):
+            erase_flood(chip.flash, 0, -1)
+
+
+class TestRejectToAccept:
+    def test_attack_cannot_reach_accept_mark(self, rng):
+        """The paper's security claim, demonstrated end to end."""
+        chip = make_mcu(seed=78, n_segments=1)
+        reject = Watermark.random(128, rng, label="reject-mark")
+        accept = Watermark.random(128, rng, label="accept-mark")
+        report = imprint_watermark(chip.flash, 0, reject, N_PE, n_replicas=7)
+        attack = reject_to_accept_attempt(
+            chip.flash, 0,
+            report.layout.tile(reject.bits),
+            report.layout.tile(accept.bits),
+            N_PE,
+        )
+        assert "impossible" in attack.description
+        decoded = extract_watermark(chip.flash, 0, report.layout, 27.0)
+        # The result matches neither mark cleanly at any window, and
+        # crucially it is NOT the accept mark.
+        assert bit_error_rate(accept.bits, decoded.bits) > 0.1
+
+    def test_shape_mismatch_rejected(self, marked_chip, rng):
+        chip, _, _, _ = marked_chip
+        with pytest.raises(ValueError, match="shapes"):
+            reject_to_accept_attempt(
+                chip.flash, 0, np.ones(8, dtype=np.uint8),
+                np.ones(9, dtype=np.uint8), 100,
+            )

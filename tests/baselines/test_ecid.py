@@ -1,0 +1,62 @@
+"""Tests for the ECID baseline."""
+
+import pytest
+
+from repro.baselines import EcidOtp, EcidRegistry
+
+
+class TestEcidOtp:
+    def test_virgin_reads_none(self):
+        assert EcidOtp().read() is None
+
+    def test_blow_and_read(self):
+        otp = EcidOtp()
+        otp.blow(0xDEADBEEF)
+        assert otp.read() == 0xDEADBEEF
+        assert otp.blown
+
+    def test_one_time_only(self):
+        otp = EcidOtp()
+        otp.blow(1)
+        with pytest.raises(PermissionError, match="one-time"):
+            otp.blow(2)
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError, match="64-bit"):
+            EcidOtp().blow(2**64)
+
+
+class TestEcidRegistry:
+    def test_verify_known_id(self):
+        registry = EcidRegistry()
+        registry.issue(42)
+        assert registry.verify(42)
+
+    def test_unknown_id_rejected(self):
+        registry = EcidRegistry()
+        registry.issue(42)
+        assert not registry.verify(43)
+
+    def test_missing_otp_rejected(self):
+        assert not EcidRegistry().verify(None)
+
+    def test_clone_detected_on_second_sighting(self):
+        """A cloner copies a genuine id to many chips; the registry only
+        accepts the first field sighting."""
+        registry = EcidRegistry()
+        registry.issue(42)
+        assert registry.verify(42)  # the genuine chip
+        assert not registry.verify(42)  # the clone
+
+    def test_duplicate_issue_rejected(self):
+        registry = EcidRegistry()
+        registry.issue(1)
+        with pytest.raises(ValueError, match="already issued"):
+            registry.issue(1)
+
+    def test_database_grows_per_chip(self):
+        """The operational burden the paper contrasts Flashmark with."""
+        registry = EcidRegistry()
+        for ecid in range(100):
+            registry.issue(ecid)
+        assert registry.n_entries == 100

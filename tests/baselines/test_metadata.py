@@ -1,0 +1,43 @@
+"""Tests for the plain-metadata baseline (and its forgeability)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import digital_forgery
+from repro.baselines import PlainMetadataStore
+from repro.core import ChipStatus, Watermark, WatermarkPayload
+from repro.device import make_mcu
+
+
+@pytest.fixture
+def chip():
+    return make_mcu(seed=40, n_segments=1)
+
+
+def payload(status=ChipStatus.ACCEPT):
+    return WatermarkPayload(
+        "TCMK", die_id=7, speed_grade=1, status=status
+    )
+
+
+class TestPlainMetadata:
+    def test_write_read_roundtrip(self, chip):
+        store = PlainMetadataStore()
+        store.write(chip.flash, payload())
+        assert store.read(chip.flash) == payload()
+
+    def test_blank_chip_reads_none(self, chip):
+        assert PlainMetadataStore().read(chip.flash) is None
+
+    def test_trivially_forgeable(self, chip):
+        """The Section IV motivation: a digital forgery fully replaces
+        the metadata and the store cannot tell."""
+        store = PlainMetadataStore()
+        store.write(chip.flash, payload(ChipStatus.REJECT))
+        fake = Watermark.from_payload(payload(ChipStatus.ACCEPT)).bits
+        pattern = np.ones(4096, dtype=np.uint8)
+        pattern[: fake.size] = fake
+        digital_forgery(chip.flash, 0, pattern)
+        forged = store.read(chip.flash)
+        assert forged is not None
+        assert forged.status is ChipStatus.ACCEPT  # forgery succeeded

@@ -1,0 +1,79 @@
+"""Tests for the flash-PUF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlashPuf, PufRegistry
+from repro.device import make_mcu
+
+
+@pytest.fixture(scope="module")
+def puf():
+    return FlashPuf(n_rounds=5)
+
+
+@pytest.fixture(scope="module")
+def enrolled(puf):
+    registry = PufRegistry()
+    chips = [make_mcu(seed=700 + i, n_segments=1) for i in range(4)]
+    enrollments = [puf.extract(chip) for chip in chips]
+    for e in enrollments:
+        registry.enroll(e)
+    return registry, chips, enrollments
+
+
+class TestFingerprints:
+    def test_stable_across_extractions(self, puf):
+        chip = make_mcu(seed=710, n_segments=1)
+        a = puf.extract(chip)
+        b = puf.extract(chip)
+        mask = a.mask
+        distance = np.count_nonzero(
+            a.fingerprint[mask] != b.fingerprint[mask]
+        ) / int(mask.sum())
+        assert distance < 0.08  # intra-chip over stable bits: low noise
+
+    def test_dark_bit_mask_reasonable(self, puf):
+        """Masking drops the close-call pairs but keeps most of them."""
+        chip = make_mcu(seed=714, n_segments=1)
+        e = puf.extract(chip)
+        assert 0.3 < e.n_stable_bits / e.fingerprint.size < 0.95
+
+    def test_distinct_across_chips(self, puf):
+        a = puf.extract(make_mcu(seed=711, n_segments=1)).fingerprint
+        b = puf.extract(make_mcu(seed=712, n_segments=1)).fingerprint
+        distance = np.count_nonzero(a != b) / a.size
+        assert 0.35 < distance < 0.65  # inter-chip: near-ideal 50%
+
+    def test_extraction_cost_reported(self, puf):
+        e = puf.extract(make_mcu(seed=713, n_segments=1))
+        assert e.extraction_ms > 100  # "lengthy PUF extraction"
+
+    def test_even_rounds_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            FlashPuf(n_rounds=4)
+
+    def test_bad_time_grid_rejected(self):
+        with pytest.raises(ValueError, match="t grid"):
+            FlashPuf(t_start_us=30.0, t_stop_us=20.0)
+
+
+class TestRegistry:
+    def test_reextraction_matches_enrollment(self, enrolled, puf):
+        registry, chips, enrollments = enrolled
+        again = puf.extract(chips[2])
+        assert registry.match(again.fingerprint) == enrollments[2].chip_label
+
+    def test_unenrolled_chip_unmatched(self, enrolled, puf):
+        registry, _, _ = enrolled
+        stranger = puf.extract(make_mcu(seed=720, n_segments=1))
+        assert registry.match(stranger.fingerprint) is None
+
+    def test_duplicate_enrollment_rejected(self, enrolled, puf):
+        registry, _, enrollments = enrolled
+        with pytest.raises(ValueError, match="already"):
+            registry.enroll(enrollments[0])
+
+    def test_database_burden(self, enrolled):
+        registry, chips, _ = enrolled
+        assert registry.n_entries == len(chips)

@@ -1,0 +1,70 @@
+"""Tests for the flash TRNG baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import byte_chi_square_test, monobit_test, runs_test
+from repro.baselines import FlashTrng
+from repro.device import make_mcu
+from repro.phys import NoiseParams, PhysicalParams
+
+
+@pytest.fixture(scope="module")
+def harvested():
+    chip = make_mcu(seed=910, n_segments=1)
+    trng = FlashTrng()
+    calibration = trng.calibrate(chip)
+    bits = trng.generate(chip, 20_000, calibration=calibration)
+    return calibration, bits
+
+
+class TestCalibration:
+    def test_parks_population_on_threshold(self, harvested):
+        calibration, _ = harvested
+        assert 8.0 < calibration.t_pp_us < 30.0
+        assert calibration.flicker_fraction > 0.05
+
+    def test_no_noise_means_no_entropy(self):
+        quiet = PhysicalParams().with_overrides(
+            noise=NoiseParams(
+                read_sigma_v=0.0,
+                erase_jitter_sigma=0.0,
+                program_sigma_v=0.0,
+            )
+        )
+        chip = make_mcu(seed=911, n_segments=1, params=quiet)
+        with pytest.raises(RuntimeError, match="unusable"):
+            FlashTrng().calibrate(chip)
+
+
+class TestOutputQuality:
+    def test_requested_length(self, harvested):
+        _, bits = harvested
+        assert bits.size == 20_000
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_monobit(self, harvested):
+        _, bits = harvested
+        assert monobit_test(bits) > 0.01
+
+    def test_runs(self, harvested):
+        _, bits = harvested
+        assert runs_test(bits) > 0.01
+
+    def test_byte_uniformity(self, harvested):
+        _, bits = harvested
+        assert byte_chi_square_test(bits) > 0.01
+
+    def test_two_chips_independent(self):
+        a_chip = make_mcu(seed=912, n_segments=1)
+        b_chip = make_mcu(seed=913, n_segments=1)
+        trng = FlashTrng()
+        a = trng.generate(a_chip, 5_000)
+        b = trng.generate(b_chip, 5_000)
+        agreement = float((a == b).mean())
+        assert 0.45 < agreement < 0.55
+
+    def test_bad_length_rejected(self, harvested):
+        chip = make_mcu(seed=914, n_segments=1)
+        with pytest.raises(ValueError, match="positive"):
+            FlashTrng().generate(chip, 0)

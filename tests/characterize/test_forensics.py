@@ -1,0 +1,79 @@
+"""Tests for wear forensics (stress estimation)."""
+
+import pytest
+
+from repro.characterize import WearEstimator, stress_segment
+from repro.device import make_mcu
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    est = WearEstimator(
+        reference_levels=(0, 5_000, 10_000, 20_000, 40_000, 80_000)
+    )
+    est.build_references(lambda seed: make_mcu(seed=seed, n_segments=1))
+    return est
+
+
+def probe(estimator, true_cycles, seed):
+    chip = make_mcu(seed=seed, n_segments=1)
+    if true_cycles:
+        stress_segment(chip.flash, 0, true_cycles)
+    return estimator.estimate(chip)
+
+
+class TestEstimation:
+    def test_fresh_chip_reads_zero(self, estimator):
+        assert probe(estimator, 0, 7).estimated_cycles == 0.0
+
+    @pytest.mark.parametrize("true_cycles", [15_000, 30_000, 60_000])
+    def test_moderate_stress_within_2x(self, estimator, true_cycles):
+        estimate = probe(estimator, true_cycles, true_cycles + 7)
+        assert (
+            true_cycles / 2
+            <= estimate.estimated_cycles
+            <= true_cycles * 2
+        )
+
+    def test_estimates_monotone_in_stress(self, estimator):
+        estimates = [
+            probe(estimator, c, c + 7).estimated_cycles
+            for c in (0, 10_000, 30_000, 60_000)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_beyond_range_clamps(self, estimator):
+        estimate = probe(estimator, 200_000, 11)
+        assert estimate.estimated_cycles == 80_000.0
+        assert estimate.bracket == (80_000, 80_000)
+
+    def test_light_wear_is_hard(self, estimator):
+        """Die-to-die fresh variation masks light wear — the estimator
+        under-reports a 3 K segment, which is the physical truth the
+        recycled-detector literature also reports."""
+        estimate = probe(estimator, 3_000, 13)
+        assert estimate.estimated_cycles < 5_000
+
+    def test_landmarks_reported(self, estimator):
+        estimate = probe(estimator, 30_000, 17)
+        assert len(estimate.landmark_times_us) == 3
+        t25, t50, t75 = estimate.landmark_times_us
+        assert t25 <= t50 <= t75
+        assert estimate.estimated_kcycles == pytest.approx(
+            estimate.estimated_cycles / 1000.0
+        )
+
+
+class TestConfiguration:
+    def test_missing_zero_rejected(self):
+        with pytest.raises(ValueError, match="include 0"):
+            WearEstimator(reference_levels=(5_000, 10_000))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            WearEstimator(reference_levels=(0, 10_000, 5_000))
+
+    def test_estimate_before_build_rejected(self):
+        est = WearEstimator()
+        with pytest.raises(ValueError, match="build_references"):
+            est.estimate(make_mcu(seed=1, n_segments=1))

@@ -1,0 +1,114 @@
+"""Tests for the Fig. 3 characterisation procedures."""
+
+import numpy as np
+import pytest
+
+from repro.characterize import (
+    analyze_segment,
+    characterize_segment,
+    default_t_pe_grid,
+    stress_segment,
+)
+
+
+class TestAnalyzeSegment:
+    def test_counts_sum_to_segment(self, quiet_mcu):
+        result = analyze_segment(quiet_mcu.flash, 0, n_reads=3)
+        assert result.total == 4096
+        assert result.cells_0 + result.cells_1 == 4096
+
+    def test_fresh_segment_all_erased(self, quiet_mcu):
+        quiet_mcu.flash.erase_segment(0)
+        result = analyze_segment(quiet_mcu.flash, 0)
+        assert result.cells_1 == 4096
+        assert result.bits.all()
+
+    def test_programmed_segment_all_zero(self, quiet_mcu):
+        quiet_mcu.flash.program_segment_bits(
+            0, np.zeros(4096, dtype=np.uint8)
+        )
+        result = analyze_segment(quiet_mcu.flash, 0)
+        assert result.cells_0 == 4096
+
+    def test_even_reads_rejected(self, quiet_mcu):
+        with pytest.raises(ValueError, match="odd"):
+            analyze_segment(quiet_mcu.flash, 0, n_reads=2)
+
+
+class TestCharacterizeSegment:
+    def test_curve_shape_fresh(self, mcu):
+        grid = [0.0, 5.0, 15.0, 21.0, 30.0, 45.0, 60.0]
+        curve = characterize_segment(mcu.flash, 0, grid, n_reads=3)
+        assert curve.cells_1[0] == 0  # all programmed at t=0
+        assert curve.cells_1[-1] == 4096  # all erased by 60 us
+        # cells_1 is (statistically) monotone along the sweep
+        assert np.all(np.diff(curve.cells_1) >= -20)
+
+    def test_complementary_counts(self, mcu):
+        curve = characterize_segment(mcu.flash, 0, [10.0, 25.0, 40.0])
+        np.testing.assert_array_equal(
+            curve.cells_0 + curve.cells_1, np.full(3, 4096)
+        )
+
+    def test_onset_before_full_erase(self, mcu):
+        curve = characterize_segment(
+            mcu.flash, 0, np.linspace(0, 60, 40)
+        )
+        onset = curve.transition_onset_us()
+        done = curve.full_erase_time_us()
+        assert onset is not None and done is not None
+        assert onset < done
+        assert curve.transition_width_us() == done - onset
+
+    def test_fresh_transition_in_paper_window(self, mcu):
+        """Fresh segments flip entirely between ~14 and ~45 us (the paper
+        reports 18-35 us on real silicon)."""
+        curve = characterize_segment(
+            mcu.flash, 0, np.linspace(0, 60, 61)
+        )
+        assert 10.0 <= curve.transition_onset_us() <= 22.0
+        assert 25.0 <= curve.full_erase_time_us() <= 45.0
+
+    def test_interpolation(self, mcu):
+        curve = characterize_segment(mcu.flash, 0, [0.0, 100.0])
+        assert curve.cells_0_at(0.0) == 4096
+        assert curve.cells_0_at(100.0) == 0
+        assert 0 < curve.cells_0_at(50.0) < 4096
+
+    def test_negative_time_rejected(self, mcu):
+        with pytest.raises(ValueError, match="non-negative"):
+            characterize_segment(mcu.flash, 0, [-1.0])
+
+    def test_empty_curve_guards(self):
+        from repro.characterize import CharacterizationResult
+
+        empty = CharacterizationResult(segment=0, n_reads=3)
+        with pytest.raises(ValueError, match="no samples"):
+            _ = empty.n_cells
+
+
+class TestStressSegment:
+    def test_stress_increases_full_erase_time(self, mcu):
+        grid = default_t_pe_grid()
+        fresh = characterize_segment(mcu.flash, 0, grid)
+        stress_segment(mcu.flash, 1, 40_000)
+        worn = characterize_segment(mcu.flash, 1, grid)
+        assert worn.full_erase_time_us() > 2 * fresh.full_erase_time_us()
+
+    def test_loop_mode_equivalent_to_bulk(self, quiet_mcu):
+        stress_segment(quiet_mcu.flash, 0, 4, bulk=False)
+        stress_segment(quiet_mcu.flash, 1, 4, bulk=True)
+        sl0 = quiet_mcu.geometry.segment_bit_slice(0)
+        sl1 = quiet_mcu.geometry.segment_bit_slice(1)
+        np.testing.assert_array_equal(
+            quiet_mcu.array.program_cycles[sl0],
+            quiet_mcu.array.program_cycles[sl1],
+        )
+
+
+class TestDefaultGrid:
+    def test_dense_then_log(self):
+        grid = default_t_pe_grid()
+        assert grid[0] == 0.0
+        assert grid[-1] == pytest.approx(1500.0)
+        assert np.all(np.diff(grid) > 0)

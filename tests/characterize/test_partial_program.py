@@ -1,0 +1,72 @@
+"""Tests for the sweeping partial-program (FFD) characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.characterize import (
+    FfdDetector,
+    characterize_partial_program,
+    stress_segment,
+)
+from repro.device import make_mcu
+
+
+class TestPartialProgramCurve:
+    def test_monotone_fill(self, quiet_mcu):
+        curve = characterize_partial_program(
+            quiet_mcu.flash, 0, np.arange(2.0, 40.0, 2.0)
+        )
+        assert np.all(np.diff(curve.cells_0) >= 0)
+        assert curve.cells_0[0] == 0
+        assert curve.cells_0[-1] == 4096
+
+    def test_half_program_time_in_transition(self, quiet_mcu):
+        curve = characterize_partial_program(
+            quiet_mcu.flash, 0, np.arange(2.0, 40.0, 0.5)
+        )
+        t_half = curve.half_program_time_us()
+        assert 10.0 < t_half < 25.0
+
+    def test_worn_segment_programs_faster(self):
+        chip = make_mcu(seed=70, n_segments=2)
+        grid = np.arange(4.0, 40.0, 0.5)
+        fresh = characterize_partial_program(chip.flash, 0, grid)
+        stress_segment(chip.flash, 1, 60_000)
+        worn = characterize_partial_program(chip.flash, 1, grid)
+        assert (
+            worn.half_program_time_us() < fresh.half_program_time_us()
+        )
+
+    def test_negative_time_rejected(self, quiet_mcu):
+        with pytest.raises(ValueError, match="non-negative"):
+            characterize_partial_program(quiet_mcu.flash, 0, [-1.0])
+
+    def test_empty_curve_guard(self):
+        from repro.characterize import PartialProgramCurve
+
+        with pytest.raises(ValueError, match="no samples"):
+            PartialProgramCurve(segment=0, n_reads=3).half_program_time_us()
+
+
+class TestFfdDetector:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        det = FfdDetector()
+        for seed in (71, 72):
+            det.enroll_fresh(make_mcu(seed=seed, n_segments=1))
+        return det
+
+    def test_fresh_chip_passes(self, detector):
+        verdict = detector.probe(make_mcu(seed=73, n_segments=1))
+        assert not verdict.recycled
+
+    def test_worn_chip_flagged(self, detector):
+        chip = make_mcu(seed=74, n_segments=1)
+        stress_segment(chip.flash, 0, 50_000)
+        verdict = detector.probe(chip)
+        assert verdict.recycled
+        assert verdict.half_program_time_us < verdict.threshold_us
+
+    def test_unenrolled_rejected(self):
+        with pytest.raises(ValueError, match="enrolled"):
+            FfdDetector().probe(make_mcu(seed=75, n_segments=1))

@@ -1,0 +1,50 @@
+"""Tests for the recycled-flash detection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.characterize import RecycledFlashDetector, stress_segment
+from repro.device import make_mcu
+
+
+@pytest.fixture(scope="module")
+def detector():
+    det = RecycledFlashDetector()
+    for seed in (100, 101, 102):
+        det.enroll_fresh(make_mcu(seed=seed, n_segments=1))
+    return det
+
+
+class TestRecycledDetection:
+    def test_fresh_chip_passes(self, detector):
+        verdict = detector.probe(make_mcu(seed=200, n_segments=1))
+        assert not verdict.recycled
+
+    def test_heavily_used_chip_flagged(self, detector):
+        chip = make_mcu(seed=201, n_segments=1)
+        stress_segment(chip.flash, 0, 50_000)
+        verdict = detector.probe(chip)
+        assert verdict.recycled
+        assert verdict.max_full_erase_us > verdict.threshold_us
+
+    def test_verdict_reports_per_segment_times(self, detector):
+        verdict = detector.probe(make_mcu(seed=202, n_segments=1))
+        assert len(verdict.segment_times_us) == 1
+
+    def test_probe_without_enrollment_rejected(self):
+        det = RecycledFlashDetector()
+        with pytest.raises(ValueError, match="enrolled"):
+            det.probe(make_mcu(seed=0, n_segments=1))
+
+    def test_threshold_uses_margin(self):
+        det = RecycledFlashDetector(margin=2.0)
+        t = det.enroll_fresh(make_mcu(seed=100, n_segments=1))
+        assert det.threshold_us == pytest.approx(2.0 * t)
+
+    def test_lightly_used_chip_is_a_limitation(self, detector):
+        """A few hundred cycles stay under the threshold: exactly the
+        sensitivity gap the paper motivates Flashmark with."""
+        chip = make_mcu(seed=203, n_segments=1)
+        stress_segment(chip.flash, 0, 200)
+        verdict = detector.probe(chip)
+        assert not verdict.recycled

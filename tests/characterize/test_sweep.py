@@ -1,0 +1,41 @@
+"""Tests for the multi-stress-level sweep driver (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.characterize import run_stress_sweep
+from repro.device import make_mcu
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    chip = make_mcu(seed=21, n_segments=3)
+    return run_stress_sweep(
+        chip,
+        stress_levels=(0, 10_000, 40_000),
+        t_pe_values_us=np.concatenate(
+            [np.linspace(0, 60, 31), np.geomspace(70, 1200, 15)]
+        ),
+    )
+
+
+class TestStressSweep:
+    def test_one_curve_per_level(self, sweep):
+        assert sweep.stress_levels == [0, 10_000, 40_000]
+
+    def test_full_erase_times_increase_with_stress(self, sweep):
+        times = sweep.full_erase_times_us()
+        assert times[0] < times[10_000] < times[40_000]
+
+    def test_all_curves_complete(self, sweep):
+        for curve in sweep.curves.values():
+            assert curve.full_erase_time_us() is not None
+
+    def test_onsets_reported(self, sweep):
+        onsets = sweep.onsets_us()
+        assert all(v is not None for v in onsets.values())
+
+    def test_needs_enough_segments(self):
+        chip = make_mcu(seed=1, n_segments=2)
+        with pytest.raises(ValueError, match="segments"):
+            run_stress_sweep(chip, stress_levels=(0, 1, 2, 3))

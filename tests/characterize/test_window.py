@@ -1,0 +1,66 @@
+"""Tests for t_PEW window selection (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.characterize import (
+    characterize_segment,
+    distinguishable_bits_at,
+    select_t_pew,
+    stress_segment,
+)
+from repro.device import make_mcu
+
+
+@pytest.fixture(scope="module")
+def curves():
+    chip = make_mcu(seed=31, n_segments=2)
+    grid = np.concatenate(
+        [np.linspace(0, 60, 31), np.geomspace(70, 1200, 15)]
+    )
+    fresh = characterize_segment(chip.flash, 0, grid)
+    stress_segment(chip.flash, 1, 50_000)
+    stressed = characterize_segment(chip.flash, 1, grid)
+    return fresh, stressed
+
+
+class TestSelectTpew:
+    def test_window_in_transition_region(self, curves):
+        fresh, stressed = curves
+        sel = select_t_pew(fresh, stressed)
+        assert 15.0 <= sel.t_pew_us <= 80.0
+
+    def test_separates_most_cells(self, curves):
+        """Fig. 5 distinguishes 3,833 of 4,096 bits at 50 K."""
+        fresh, stressed = curves
+        sel = select_t_pew(fresh, stressed)
+        assert sel.distinguishable_bits > 3_300
+        assert sel.separation_fraction > 0.80
+
+    def test_window_brackets_optimum(self, curves):
+        fresh, stressed = curves
+        sel = select_t_pew(fresh, stressed)
+        assert sel.window_lo_us <= sel.t_pew_us <= sel.window_hi_us
+
+    def test_identical_segments_rejected(self, curves):
+        fresh, _ = curves
+        with pytest.raises(ValueError, match="separates"):
+            select_t_pew(fresh, fresh, grid=np.array([0.0]))
+
+    def test_bad_window_fraction_rejected(self, curves):
+        fresh, stressed = curves
+        with pytest.raises(ValueError, match="window_fraction"):
+            select_t_pew(fresh, stressed, window_fraction=0.0)
+
+
+class TestDistinguishableBits:
+    def test_zero_at_extremes(self, curves):
+        fresh, stressed = curves
+        # At t=0 nothing is erased; at huge t everything is.
+        assert distinguishable_bits_at(fresh, stressed, 0.0) == 0.0
+        assert distinguishable_bits_at(fresh, stressed, 1200.0) < 100.0
+
+    def test_peak_in_between(self, curves):
+        fresh, stressed = curves
+        mid = distinguishable_bits_at(fresh, stressed, 25.0)
+        assert mid > 2000

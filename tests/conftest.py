@@ -1,0 +1,47 @@
+"""Shared fixtures for the Flashmark reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import make_mcu
+from repro.phys import NoiseParams, PhysicalParams
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministically seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def params():
+    """The calibrated default parameter set."""
+    return PhysicalParams()
+
+
+@pytest.fixture
+def quiet_params():
+    """Parameters with every stochastic per-operation noise disabled.
+
+    Manufacture-time process variation remains; useful for tests that
+    need bit-exact determinism across repeated operations.
+    """
+    return PhysicalParams().with_overrides(
+        noise=NoiseParams(
+            read_sigma_v=0.0, erase_jitter_sigma=0.0, program_sigma_v=0.0
+        )
+    )
+
+
+@pytest.fixture
+def mcu():
+    """A small two-segment chip with default physics."""
+    return make_mcu(seed=7, n_segments=2)
+
+
+@pytest.fixture
+def quiet_mcu(quiet_params):
+    """A small chip with per-operation noise disabled."""
+    return make_mcu(seed=7, n_segments=2, params=quiet_params)

@@ -1,0 +1,134 @@
+"""Tests (including property-based) for bit-vector utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    bit_error_rate,
+    bits_to_bytes,
+    bits_to_text,
+    bytes_to_bits,
+    hamming_distance,
+    is_balanced,
+    manchester_decode,
+    manchester_encode,
+    ones_fraction,
+    random_bits,
+    text_to_bits,
+)
+
+bit_vectors = arrays(
+    np.uint8, st.integers(min_value=1, max_value=256), elements=st.integers(0, 1)
+)
+
+
+class TestByteConversions:
+    def test_text_roundtrip(self):
+        assert bits_to_text(text_to_bits("TC")) == "TC"
+
+    def test_tc_bit_pattern(self):
+        """Fig. 6: "TC" = 0x5443, LSB-first per byte."""
+        bits = text_to_bits("TC")
+        # 'T' = 0x54 = 0b01010100 -> LSB-first 00101010
+        assert list(bits[:8]) == [0, 0, 1, 0, 1, 0, 1, 0]
+        # 'C' = 0x43 = 0b01000011 -> LSB-first 11000010
+        assert list(bits[8:]) == [1, 1, 0, 0, 0, 0, 1, 0]
+
+    def test_ragged_bits_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            bits_to_bytes(np.zeros(7, dtype=np.uint8))
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=64))
+    def test_bytes_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestMetrics:
+    def test_hamming_distance(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+    def test_ber(self):
+        a = np.zeros(10, dtype=np.uint8)
+        b = a.copy()
+        b[:3] = 1
+        assert bit_error_rate(a, b) == pytest.approx(0.3)
+
+    def test_empty_ber_rejected(self):
+        with pytest.raises(ValueError, match="zero bits"):
+            bit_error_rate(np.array([]), np.array([]))
+
+    def test_ones_fraction(self):
+        assert ones_fraction(np.array([1, 1, 0, 0], dtype=np.uint8)) == 0.5
+
+    def test_is_balanced(self):
+        assert is_balanced(np.array([0, 1, 1, 0], dtype=np.uint8))
+        assert not is_balanced(np.array([1, 1, 1, 0], dtype=np.uint8))
+        assert is_balanced(
+            np.array([1, 1, 1, 0], dtype=np.uint8), tolerance=2
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(bits=bit_vectors)
+    def test_ber_of_self_is_zero(self, bits):
+        assert bit_error_rate(bits, bits) == 0.0
+
+
+class TestRandomBits:
+    def test_density(self):
+        rng = np.random.default_rng(0)
+        bits = random_bits(100_000, rng, p_one=0.3)
+        assert ones_fraction(bits) == pytest.approx(0.3, abs=0.01)
+
+    def test_bad_probability_rejected(self, rng):
+        with pytest.raises(ValueError, match="probability"):
+            random_bits(10, rng, p_one=1.5)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            random_bits(-1, rng)
+
+
+class TestManchester:
+    def test_encode_doubles_and_balances(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        enc = manchester_encode(bits)
+        assert list(enc) == [1, 0, 0, 1, 1, 0]
+        assert is_balanced(enc)
+
+    def test_decode_clean(self):
+        bits = np.array([0, 1, 1, 0, 1], dtype=np.uint8)
+        dec, invalid = manchester_decode(manchester_encode(bits))
+        np.testing.assert_array_equal(dec, bits)
+        assert invalid == 0
+
+    def test_decode_counts_invalid_pairs(self):
+        enc = manchester_encode(np.array([1, 0], dtype=np.uint8))
+        enc[1] = 1  # make the first pair (1, 1)
+        _, invalid = manchester_decode(enc)
+        assert invalid == 1
+
+    def test_odd_stream_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            manchester_decode(np.zeros(5, dtype=np.uint8))
+
+    @settings(max_examples=50, deadline=None)
+    @given(bits=bit_vectors)
+    def test_roundtrip_property(self, bits):
+        dec, invalid = manchester_decode(manchester_encode(bits))
+        np.testing.assert_array_equal(dec, bits)
+        assert invalid == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(bits=bit_vectors)
+    def test_encoded_always_exactly_balanced(self, bits):
+        assert is_balanced(manchester_encode(bits))

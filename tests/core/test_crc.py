@@ -1,0 +1,42 @@
+"""Tests for the CRC-16/CCITT implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import crc16_ccitt
+
+
+class TestKnownVectors:
+    def test_check_value(self):
+        """The CRC-16/CCITT-FALSE check value for "123456789"."""
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_initial_override(self):
+        assert crc16_ccitt(b"123456789", initial=0x0000) == 0x31C3
+
+
+class TestErrorDetection:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.binary(min_size=1, max_size=32),
+        bit=st.integers(min_value=0, max_value=255),
+    )
+    def test_detects_any_single_bit_flip(self, data, bit):
+        byte_idx = (bit // 8) % len(data)
+        corrupted = bytearray(data)
+        corrupted[byte_idx] ^= 1 << (bit % 8)
+        assert crc16_ccitt(bytes(corrupted)) != crc16_ccitt(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=64))
+    def test_deterministic(self, data):
+        assert crc16_ccitt(data) == crc16_ccitt(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=64))
+    def test_sixteen_bit_range(self, data):
+        assert 0 <= crc16_ccitt(data) <= 0xFFFF

@@ -1,0 +1,174 @@
+"""Tests for the replica decoders."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsymmetricDecoder,
+    ErrorAsymmetry,
+    majority_vote,
+    measure_asymmetry,
+)
+from repro.core.decoder import soft_manchester_vote
+from repro.core.bits import manchester_encode
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        m = np.array([[1, 0], [1, 0], [1, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(majority_vote(m), [1, 0])
+
+    def test_two_of_three(self):
+        m = np.array([[1, 0], [1, 1], [0, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(majority_vote(m), [1, 0])
+
+    def test_tie_decodes_bad(self):
+        m = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(majority_vote(m), [0, 0])
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            majority_vote(np.array([1, 0, 1], dtype=np.uint8))
+
+
+class TestMeasureAsymmetry:
+    def test_counts_both_directions(self):
+        reference = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.uint8)
+        measured = np.array([1, 1, 0, 0, 1, 1, 1, 0], dtype=np.uint8)
+        asym = measure_asymmetry(reference, measured)
+        assert asym.p_bad_reads_good == pytest.approx(0.5)
+        assert asym.p_good_reads_bad == pytest.approx(0.25)
+        assert asym.ratio == pytest.approx(2.0)
+
+    def test_infinite_ratio_when_no_good_errors(self):
+        reference = np.array([0, 1], dtype=np.uint8)
+        measured = np.array([1, 1], dtype=np.uint8)
+        assert measure_asymmetry(reference, measured).ratio == np.inf
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal size"):
+            measure_asymmetry(np.zeros(3), np.zeros(4))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            ErrorAsymmetry(p_bad_reads_good=1.2, p_good_reads_bad=0.0)
+
+
+class TestAsymmetricDecoder:
+    def test_matches_majority_on_symmetric_channel(self):
+        decoder = AsymmetricDecoder(
+            ErrorAsymmetry(p_bad_reads_good=0.1, p_good_reads_bad=0.1)
+        )
+        rng = np.random.default_rng(0)
+        m = (rng.random((5, 200)) < 0.5).astype(np.uint8)
+        np.testing.assert_array_equal(decoder.decode(m), majority_vote(m))
+
+    def test_single_zero_flips_decision_under_strong_asymmetry(self):
+        """With bad->good errors common and good->bad rare, one 0 read
+        among many 1s is already strong evidence for "bad"."""
+        decoder = AsymmetricDecoder(
+            ErrorAsymmetry(p_bad_reads_good=0.4, p_good_reads_bad=0.001)
+        )
+        column = np.array([[1], [1], [1], [1], [0]], dtype=np.uint8)
+        assert decoder.decode(column)[0] == 0
+        assert majority_vote(column)[0] == 1
+
+    def test_beats_majority_on_asymmetric_channel(self):
+        """Monte-Carlo: ML decoding wins end-to-end on the channel the
+        extraction actually produces."""
+        rng = np.random.default_rng(42)
+        p_bg, p_gb = 0.35, 0.01
+        truth = (rng.random(4000) < 0.5).astype(np.uint8)
+        reads = np.tile(truth, (5, 1))
+        flips_bg = (rng.random(reads.shape) < p_bg) & (reads == 0)
+        flips_gb = (rng.random(reads.shape) < p_gb) & (reads == 1)
+        noisy = reads ^ flips_bg ^ flips_gb
+        decoder = AsymmetricDecoder(
+            ErrorAsymmetry(p_bad_reads_good=p_bg, p_good_reads_bad=p_gb)
+        )
+        ber_ml = np.mean(decoder.decode(noisy) != truth)
+        ber_maj = np.mean(majority_vote(noisy) != truth)
+        assert ber_ml < ber_maj
+
+    def test_prior_validation(self):
+        asym = ErrorAsymmetry(0.1, 0.1)
+        with pytest.raises(ValueError, match="prior_good"):
+            AsymmetricDecoder(asym, prior_good=1.0)
+
+    def test_1d_rejected(self):
+        decoder = AsymmetricDecoder(ErrorAsymmetry(0.1, 0.1))
+        with pytest.raises(ValueError, match="2-D"):
+            decoder.decode(np.array([1, 0], dtype=np.uint8))
+
+
+class TestSoftManchesterVote:
+    def test_clean_decode(self):
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        enc = manchester_encode(bits)
+        matrix = np.tile(enc, (3, 1))
+        decoded, invalid, tampered = soft_manchester_vote(matrix)
+        np.testing.assert_array_equal(decoded, bits)
+        assert invalid == 0
+        assert tampered == 0
+
+    def test_uses_complement_evidence(self):
+        """One replica's direct column is corrupted; the complement
+        columns carry the decision."""
+        bits = np.array([1], dtype=np.uint8)
+        matrix = np.tile(manchester_encode(bits), (3, 1))
+        matrix[0, 0] = 0  # one bad->? flip in the direct column
+        decoded, _, _ = soft_manchester_vote(matrix)
+        assert decoded[0] == 1
+
+    def test_tampered_pairs_counted(self):
+        bits = np.array([1, 0], dtype=np.uint8)
+        matrix = np.tile(manchester_encode(bits), (3, 1))
+        matrix[:, 0] = 0  # the pair for bit 0 now reads (0, 0) everywhere
+        _, invalid, tampered = soft_manchester_vote(matrix)
+        assert invalid == 1
+        assert tampered == 1
+
+    def test_noise_pairs_not_tampered(self):
+        bits = np.array([0], dtype=np.uint8)  # pair (0, 1)
+        matrix = np.tile(manchester_encode(bits), (3, 1))
+        matrix[:, 0] = 1  # bad cell misreads good -> pair (1, 1)
+        _, invalid, tampered = soft_manchester_vote(matrix)
+        assert invalid == 1
+        assert tampered == 0
+
+    def test_odd_columns_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            soft_manchester_vote(np.zeros((3, 5), dtype=np.uint8))
+
+
+class TestAsymmetricDecoderIsMAP:
+    """Brute-force check that the vectorised decoder computes the exact
+    maximum-a-posteriori decision for every possible replica column."""
+
+    @pytest.mark.parametrize("p_bg,p_gb,prior", [
+        (0.3, 0.02, 0.5),
+        (0.1, 0.1, 0.5),
+        (0.45, 0.001, 0.4),
+        (0.05, 0.2, 0.6),
+    ])
+    def test_matches_exhaustive_map(self, p_bg, p_gb, prior):
+        import itertools
+        import math
+
+        decoder = AsymmetricDecoder(
+            ErrorAsymmetry(p_bad_reads_good=p_bg, p_good_reads_bad=p_gb),
+            prior_good=prior,
+        )
+        k = 5
+        for reads in itertools.product([0, 1], repeat=k):
+            column = np.array(reads, dtype=np.uint8).reshape(k, 1)
+            got = int(decoder.decode(column)[0])
+            # Exhaustive posterior.
+            like_good = prior
+            like_bad = 1 - prior
+            for r in reads:
+                like_good *= (1 - p_gb) if r == 1 else p_gb
+                like_bad *= p_bg if r == 1 else (1 - p_bg)
+            expected = 1 if like_good > like_bad else 0
+            if not math.isclose(like_good, like_bad, rel_tol=1e-12):
+                assert got == expected, (reads, like_good, like_bad)

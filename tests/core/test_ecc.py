@@ -1,0 +1,101 @@
+"""Tests for the ECC codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Hamming74, RepetitionCode
+
+
+class TestRepetition:
+    def test_rate(self):
+        assert RepetitionCode(3).rate == pytest.approx(1 / 3)
+
+    def test_encode_repeats_inline(self):
+        code = RepetitionCode(3)
+        enc = code.encode(np.array([1, 0], dtype=np.uint8))
+        np.testing.assert_array_equal(enc, [1, 1, 1, 0, 0, 0])
+
+    def test_decode_corrects_single_flip_per_group(self):
+        code = RepetitionCode(3)
+        enc = code.encode(np.array([1, 0, 1], dtype=np.uint8))
+        enc[0] ^= 1
+        enc[5] ^= 1
+        decoded, corrected = code.decode(enc)
+        np.testing.assert_array_equal(decoded, [1, 0, 1])
+        assert corrected == 2
+
+    def test_even_factor_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            RepetitionCode(2)
+
+    def test_ragged_length_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            RepetitionCode(3).decode(np.zeros(4, dtype=np.uint8))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 999),
+        n=st.sampled_from([3, 5, 7]),
+        length=st.integers(1, 64),
+    )
+    def test_roundtrip_property(self, seed, n, length):
+        rng = np.random.default_rng(seed)
+        bits = (rng.random(length) < 0.5).astype(np.uint8)
+        code = RepetitionCode(n)
+        decoded, corrected = code.decode(code.encode(bits))
+        np.testing.assert_array_equal(decoded, bits)
+        assert corrected == 0
+
+
+class TestHamming74:
+    def test_rate(self):
+        assert Hamming74().rate == pytest.approx(4 / 7)
+
+    def test_clean_roundtrip(self):
+        code = Hamming74()
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        decoded, corrected = code.decode(code.encode(bits))
+        np.testing.assert_array_equal(decoded, bits)
+        assert corrected == 0
+
+    def test_ragged_data_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            Hamming74().encode(np.zeros(5, dtype=np.uint8))
+
+    def test_ragged_code_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 7"):
+            Hamming74().decode(np.zeros(8, dtype=np.uint8))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        nibble=st.integers(0, 15),
+        error_pos=st.integers(0, 6),
+    )
+    def test_corrects_every_single_bit_error(self, nibble, error_pos):
+        """Exhaustive-by-property: any 1-bit error in any block is
+        corrected."""
+        code = Hamming74()
+        bits = np.array(
+            [(nibble >> k) & 1 for k in range(4)], dtype=np.uint8
+        )
+        enc = code.encode(bits)
+        enc[error_pos] ^= 1
+        decoded, corrected = code.decode(enc)
+        np.testing.assert_array_equal(decoded, bits)
+        assert corrected == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 999), n_blocks=st.integers(1, 16))
+    def test_multi_block_with_scattered_errors(self, seed, n_blocks):
+        rng = np.random.default_rng(seed)
+        bits = (rng.random(4 * n_blocks) < 0.5).astype(np.uint8)
+        code = Hamming74()
+        enc = code.encode(bits)
+        # one error in each block
+        for b in range(n_blocks):
+            enc[b * 7 + rng.integers(0, 7)] ^= 1
+        decoded, corrected = code.decode(enc)
+        np.testing.assert_array_equal(decoded, bits)
+        assert corrected == n_blocks

@@ -1,0 +1,181 @@
+"""Tests for ImprintFlashmark and ExtractFlashmark (Figs. 7 and 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReplicaLayout,
+    Watermark,
+    extract_segment,
+    extract_watermark,
+    imprint_pattern,
+    imprint_watermark,
+)
+from repro.core.bits import bit_error_rate
+from repro.device import make_mcu
+
+
+@pytest.fixture
+def watermark(rng):
+    return Watermark.ascii_uppercase(64, rng)
+
+
+class TestImprint:
+    def test_report_fields(self, mcu, watermark):
+        report = imprint_watermark(mcu.flash, 0, watermark, 10_000)
+        assert report.n_pe == 10_000
+        assert report.segment == 0
+        assert report.n_stressed_cells == int(
+            np.count_nonzero(watermark.bits == 0)
+        )
+        assert report.duration_s > 0
+        assert report.energy_mj > 0
+
+    def test_wear_lands_on_zero_bits(self, quiet_mcu, watermark):
+        imprint_watermark(quiet_mcu.flash, 0, watermark, 1_000)
+        sl = quiet_mcu.geometry.segment_bit_slice(0)
+        pc = quiet_mcu.array.program_cycles[sl][: watermark.n_bits]
+        zeros = watermark.bits == 0
+        assert np.all(pc[zeros] == 1_000)
+        assert np.all(pc[~zeros] == 0)
+
+    def test_replicas_fill_layout(self, quiet_mcu, watermark):
+        report = imprint_watermark(
+            quiet_mcu.flash, 0, watermark, 100, n_replicas=5
+        )
+        assert report.layout.n_replicas == 5
+        assert report.n_stressed_cells == 5 * int(
+            np.count_nonzero(watermark.bits == 0)
+        )
+
+    def test_accelerated_is_faster_same_wear(self, watermark):
+        slow = make_mcu(seed=2, n_segments=1)
+        fast = make_mcu(seed=2, n_segments=1)
+        r_slow = imprint_watermark(slow.flash, 0, watermark, 5_000)
+        r_fast = imprint_watermark(
+            fast.flash, 0, watermark, 5_000, accelerated=True
+        )
+        assert r_fast.duration_s < r_slow.duration_s / 2
+        sl = slow.geometry.segment_bit_slice(0)
+        np.testing.assert_array_equal(
+            slow.array.program_cycles[sl], fast.array.program_cycles[sl]
+        )
+
+    def test_loop_mode_equivalent_wear(self, quiet_mcu, watermark):
+        other = quiet_mcu.fork(seed=1)
+        imprint_watermark(quiet_mcu.flash, 0, watermark, 5, bulk=False)
+        imprint_watermark(other.flash, 0, watermark, 5, bulk=True)
+        sl = quiet_mcu.geometry.segment_bit_slice(0)
+        np.testing.assert_array_equal(
+            quiet_mcu.array.program_cycles[sl],
+            other.array.program_cycles[sl],
+        )
+        np.testing.assert_array_equal(
+            quiet_mcu.array.erase_only_cycles[sl],
+            other.array.erase_only_cycles[sl],
+        )
+
+    def test_seconds_per_kcycle(self, mcu, watermark):
+        report = imprint_watermark(mcu.flash, 0, watermark, 2_000)
+        assert report.seconds_per_kcycle == pytest.approx(
+            report.duration_s / 2.0
+        )
+
+    def test_negative_cycles_rejected(self, mcu):
+        with pytest.raises(ValueError, match="non-negative"):
+            imprint_pattern(
+                mcu.flash, 0, np.ones(4096, dtype=np.uint8), -1
+            )
+
+    def test_segment_digitally_holds_watermark_after_imprint(
+        self, quiet_mcu, watermark
+    ):
+        """Fig. 7's loop ends with a program: the digital content equals
+        the watermark (until a counterfeiter erases it — in vain)."""
+        report = imprint_watermark(quiet_mcu.flash, 0, watermark, 50)
+        bits = quiet_mcu.flash.read_segment_bits(0)
+        np.testing.assert_array_equal(
+            bits, report.layout.tile(watermark.bits)
+        )
+
+
+def best_t_pew(flash, layout, reference_bits, grid=None):
+    """Coarse per-configuration sweep for a good extraction window."""
+    if grid is None:
+        grid = np.arange(22.0, 34.0, 1.0)
+    best_t, best_ber = None, 2.0
+    for t in grid:
+        decoded = extract_watermark(flash, 0, layout, float(t))
+        ber = bit_error_rate(reference_bits, decoded.bits)
+        if ber < best_ber:
+            best_t, best_ber = float(t), ber
+    return best_t, best_ber
+
+
+class TestExtract:
+    def test_extraction_recovers_watermark(self, watermark):
+        chip = make_mcu(seed=5, n_segments=1)
+        report = imprint_watermark(
+            chip.flash, 0, watermark, 60_000, n_replicas=7
+        )
+        _, ber = best_t_pew(chip.flash, report.layout, watermark.bits)
+        assert ber < 0.02
+
+    def test_extraction_survives_digital_erase(self, watermark):
+        """The whole point: erase the segment, extraction still works."""
+        chip = make_mcu(seed=5, n_segments=1)
+        report = imprint_watermark(
+            chip.flash, 0, watermark, 60_000, n_replicas=7
+        )
+        t_star, _ = best_t_pew(chip.flash, report.layout, watermark.bits)
+        chip.flash.erase_segment(0)
+        assert chip.flash.read_segment_bits(0).all()  # digitally blank
+        decoded = extract_watermark(chip.flash, 0, report.layout, t_star)
+        assert bit_error_rate(watermark.bits, decoded.bits) < 0.02
+
+    def test_blank_chip_extracts_garbage(self, watermark):
+        chip = make_mcu(seed=6, n_segments=1)
+        layout = ReplicaLayout(
+            n_bits=watermark.n_bits, n_replicas=7, segment_bits=4096
+        )
+        decoded = extract_watermark(chip.flash, 0, layout, 28.0)
+        assert bit_error_rate(watermark.bits, decoded.bits) > 0.2
+
+    def test_extraction_is_repeatable(self, watermark):
+        chip = make_mcu(seed=7, n_segments=1)
+        report = imprint_watermark(
+            chip.flash, 0, watermark, 60_000, n_replicas=7
+        )
+        t_star, _ = best_t_pew(chip.flash, report.layout, watermark.bits)
+        first = extract_watermark(chip.flash, 0, report.layout, t_star)
+        second = extract_watermark(chip.flash, 0, report.layout, t_star)
+        assert (
+            bit_error_rate(first.bits, second.bits) < 0.02
+        )  # stable across rounds
+
+    def test_raw_extraction_duration_reported(self, mcu):
+        result = extract_segment(mcu.flash, 0, 25.0)
+        assert result.duration_ms > 25.0 / 1000.0
+        assert result.raw_bits.shape == (4096,)
+
+    def test_negative_time_rejected(self, mcu):
+        with pytest.raises(ValueError, match="non-negative"):
+            extract_segment(mcu.flash, 0, -2.0)
+
+    def test_decoder_name_recorded(self, watermark):
+        from repro.core import AsymmetricDecoder, ErrorAsymmetry
+
+        chip = make_mcu(seed=8, n_segments=1)
+        report = imprint_watermark(
+            chip.flash, 0, watermark, 40_000, n_replicas=3
+        )
+        plain = extract_watermark(chip.flash, 0, report.layout, 26.0)
+        assert plain.decoder == "majority"
+        ml = extract_watermark(
+            chip.flash,
+            0,
+            report.layout,
+            26.0,
+            decoder=AsymmetricDecoder(ErrorAsymmetry(0.2, 0.01)),
+        )
+        assert ml.decoder == "asymmetric-ml"

@@ -1,0 +1,78 @@
+"""Tests for multi-round soft extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Watermark,
+    extract_watermark,
+    extract_watermark_soft,
+    imprint_watermark,
+)
+from repro.core.bits import bit_error_rate
+from repro.device import make_mcu
+
+T_VALUES = (21.0, 23.0, 25.0)
+
+
+@pytest.fixture(scope="module")
+def marked():
+    chip = make_mcu(seed=140, n_segments=1)
+    wm = Watermark.ascii_uppercase(64, np.random.default_rng(2))
+    rep = imprint_watermark(chip.flash, 0, wm, 30_000, n_replicas=5)
+    return chip, wm, rep.layout
+
+
+class TestSoftExtraction:
+    def test_decodes_watermark(self, marked):
+        chip, wm, layout = marked
+        soft = extract_watermark_soft(chip.flash, 0, layout, T_VALUES)
+        assert bit_error_rate(wm.bits, soft.bits) < 0.05
+
+    def test_scores_bounded_by_rounds(self, marked):
+        chip, wm, layout = marked
+        soft = extract_watermark_soft(chip.flash, 0, layout, T_VALUES)
+        assert soft.cell_scores.min() >= 0
+        assert soft.cell_scores.max() <= len(T_VALUES)
+
+    def test_records_every_round(self, marked):
+        chip, wm, layout = marked
+        soft = extract_watermark_soft(chip.flash, 0, layout, T_VALUES)
+        assert len(soft.rounds) == len(T_VALUES)
+        assert soft.t_values_us == T_VALUES
+        assert soft.duration_ms == pytest.approx(
+            sum(r.duration_ms for r in soft.rounds)
+        )
+
+    def test_good_cells_score_higher(self, marked):
+        chip, wm, layout = marked
+        soft = extract_watermark_soft(chip.flash, 0, layout, T_VALUES)
+        good = wm.bits == 1
+        good_mean = soft.replica_scores[:, good].mean()
+        bad_mean = soft.replica_scores[:, ~good].mean()
+        assert good_mean > bad_mean + 1.0
+
+    def test_not_worse_than_single_round(self, marked):
+        """Soft combination across rounds at least matches the best
+        single-round hard decode (at moderate stress it usually wins)."""
+        chip, wm, layout = marked
+        soft = extract_watermark_soft(chip.flash, 0, layout, T_VALUES)
+        soft_ber = bit_error_rate(wm.bits, soft.bits)
+        single_bers = [
+            bit_error_rate(
+                wm.bits,
+                extract_watermark(chip.flash, 0, layout, t).bits,
+            )
+            for t in T_VALUES
+        ]
+        assert soft_ber <= min(single_bers) + 0.01
+
+    def test_empty_times_rejected(self, marked):
+        chip, _, layout = marked
+        with pytest.raises(ValueError, match="at least one"):
+            extract_watermark_soft(chip.flash, 0, layout, ())
+
+    def test_negative_time_rejected(self, marked):
+        chip, _, layout = marked
+        with pytest.raises(ValueError, match="non-negative"):
+            extract_watermark_soft(chip.flash, 0, layout, (-1.0,))

@@ -1,0 +1,96 @@
+"""Tests for the structured watermark payload record."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PAYLOAD_BYTES, ChipStatus, PayloadError, WatermarkPayload
+
+
+def make_payload(**overrides):
+    kwargs = dict(
+        manufacturer="TCMK",
+        die_id=0x123456789ABC,
+        speed_grade=5,
+        status=ChipStatus.ACCEPT,
+    )
+    kwargs.update(overrides)
+    return WatermarkPayload(**kwargs)
+
+
+class TestPacking:
+    def test_record_size(self):
+        assert len(make_payload().to_bytes()) == PAYLOAD_BYTES
+
+    def test_bits_size(self):
+        assert make_payload().to_bits().size == PAYLOAD_BYTES * 8
+
+    def test_roundtrip(self):
+        p = make_payload()
+        assert WatermarkPayload.from_bytes(p.to_bytes()) == p
+
+    def test_bit_roundtrip(self):
+        p = make_payload(status=ChipStatus.REJECT, speed_grade=0)
+        assert WatermarkPayload.from_bits(p.to_bits()) == p
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        die_id=st.integers(min_value=0, max_value=2**48 - 1),
+        grade=st.integers(min_value=0, max_value=15),
+        status=st.sampled_from(list(ChipStatus)),
+    )
+    def test_roundtrip_property(self, die_id, grade, status):
+        p = make_payload(die_id=die_id, speed_grade=grade, status=status)
+        assert WatermarkPayload.from_bytes(p.to_bytes()) == p
+
+
+class TestValidation:
+    def test_manufacturer_length(self):
+        with pytest.raises(PayloadError, match="4 ASCII"):
+            make_payload(manufacturer="TOOLONG")
+
+    def test_manufacturer_ascii(self):
+        with pytest.raises(PayloadError, match="ASCII"):
+            make_payload(manufacturer="TÉMK")
+
+    def test_die_id_range(self):
+        with pytest.raises(PayloadError, match="48-bit"):
+            make_payload(die_id=2**48)
+        with pytest.raises(PayloadError, match="48-bit"):
+            make_payload(die_id=-1)
+
+    def test_speed_grade_range(self):
+        with pytest.raises(PayloadError, match="0..15"):
+            make_payload(speed_grade=16)
+
+    def test_status_type(self):
+        with pytest.raises(PayloadError, match="status"):
+            make_payload(status=3)
+
+
+class TestCorruptionDetection:
+    def test_crc_detects_body_flip(self):
+        data = bytearray(make_payload().to_bytes())
+        data[5] ^= 0x01
+        with pytest.raises(PayloadError, match="CRC"):
+            WatermarkPayload.from_bytes(bytes(data))
+
+    def test_crc_detects_crc_flip(self):
+        data = bytearray(make_payload().to_bytes())
+        data[-1] ^= 0x80
+        with pytest.raises(PayloadError, match="CRC"):
+            WatermarkPayload.from_bytes(bytes(data))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(PayloadError, match="13 bytes"):
+            WatermarkPayload.from_bytes(b"short")
+
+    def test_unknown_status_code_rejected(self):
+        # Craft a record with a bogus status nibble and a fixed-up CRC.
+        from repro.core import crc16_ccitt
+
+        body = bytearray(make_payload().to_bytes()[:-2])
+        body[10] = (0x3 << 4) | (body[10] & 0xF)  # status 0x3 is unused
+        record = bytes(body) + crc16_ccitt(bytes(body)).to_bytes(2, "little")
+        with pytest.raises(PayloadError, match="status code"):
+            WatermarkPayload.from_bytes(record)

@@ -1,0 +1,151 @@
+"""Tests for the FlashmarkSession high-level workflow."""
+
+import pytest
+
+from repro.core import (
+    ChipStatus,
+    FlashmarkSession,
+    Verdict,
+    Watermark,
+    WatermarkPayload,
+)
+from repro.device import make_mcu
+
+
+def payload():
+    return WatermarkPayload(
+        "TCMK", die_id=0x42, speed_grade=1, status=ChipStatus.ACCEPT
+    )
+
+
+class TestSessionFlow:
+    def test_end_to_end(self):
+        chip = make_mcu(seed=600, n_segments=1)
+        session = FlashmarkSession(chip)
+        report = session.imprint_payload(payload(), n_pe=40_000)
+        assert report.n_pe == 40_000
+        verification = session.verify()
+        assert verification.verdict is Verdict.AUTHENTIC
+        assert verification.payload.die_id == 0x42
+
+    def test_extract_returns_decoded(self):
+        chip = make_mcu(seed=601, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(payload(), n_pe=40_000)
+        decoded = session.extract()
+        assert decoded.replica_matrix.shape[0] == 7
+
+    def test_plain_watermark_flow(self):
+        import numpy as np
+
+        chip = make_mcu(seed=602, n_segments=1)
+        session = FlashmarkSession(chip)
+        wm = Watermark.ascii_uppercase(32, np.random.default_rng(1))
+        session.imprint(wm, n_pe=60_000, n_replicas=5)
+        report = session.verify()
+        assert report.verdict is Verdict.AUTHENTIC
+        assert report.ber <= 0.02
+
+    def test_extract_before_imprint_rejected(self):
+        session = FlashmarkSession(make_mcu(seed=603, n_segments=1))
+        with pytest.raises(RuntimeError, match="imprint"):
+            session.extract()
+
+    def test_verify_before_imprint_rejected(self):
+        session = FlashmarkSession(make_mcu(seed=604, n_segments=1))
+        with pytest.raises(RuntimeError, match="imprint"):
+            session.verify()
+
+    def test_format_reflects_imprint(self):
+        chip = make_mcu(seed=605, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(payload(), n_pe=40_000, n_replicas=5)
+        fmt = session.format
+        assert fmt.n_replicas == 5
+        assert fmt.balanced
+        assert fmt.structured
+
+    def test_calibration_cached(self):
+        chip = make_mcu(seed=606, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(payload(), n_pe=40_000)
+        first = session.calibration
+        assert session.calibration is first
+
+    def test_supplied_calibration_used(self):
+        donor = make_mcu(seed=607, n_segments=1)
+        donor_session = FlashmarkSession(donor)
+        donor_session.imprint_payload(payload(), n_pe=40_000)
+        calibration = donor_session.calibration
+
+        chip = make_mcu(seed=608, n_segments=1)
+        session = FlashmarkSession(chip, calibration=calibration)
+        session.imprint_payload(payload(), n_pe=40_000)
+        assert session.calibration is calibration
+        assert session.verify().verdict is Verdict.AUTHENTIC
+
+
+class TestSignedSession:
+    def test_signed_payload_roundtrip(self):
+        chip = make_mcu(seed=609, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(
+            payload(), n_pe=40_000, sign_key=b"master-key-0001"
+        )
+        report = session.verify()
+        assert report.verdict is Verdict.AUTHENTIC
+        assert report.payload.die_id == 0x42
+
+    def test_signature_widens_format(self):
+        chip = make_mcu(seed=610, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(
+            payload(), n_pe=40_000, sign_key=b"master-key-0001"
+        )
+        # 104 payload bits + 32 tag bits, pre-balancing.
+        assert session.format.n_bits == 136
+
+    def test_unsigned_session_has_no_scheme(self):
+        chip = make_mcu(seed=611, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(payload(), n_pe=40_000)
+        assert session._signature_scheme is None
+
+
+class TestEccSession:
+    def test_ecc_payload_roundtrip(self):
+        chip = make_mcu(seed=612, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(payload(), n_pe=40_000, ecc=True)
+        report = session.verify()
+        assert report.verdict is Verdict.AUTHENTIC
+        assert report.payload.die_id == 0x42
+        assert report.ecc_corrected is not None
+
+    def test_ecc_widens_format(self):
+        chip = make_mcu(seed=613, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(payload(), n_pe=40_000, ecc=True)
+        # 104 payload bits -> 182 Hamming bits (pre-balancing).
+        assert session.format.n_bits == 182
+        assert session.format.ecc
+
+    def test_ecc_helps_at_low_stress(self):
+        """At 20 K the raw channel is noisy; the Hamming layer corrects
+        residual post-vote errors and still recovers the CRC-valid
+        payload."""
+        chip = make_mcu(seed=614, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(payload(), n_pe=20_000, ecc=True)
+        report = session.verify()
+        assert report.payload is not None
+
+    def test_ecc_with_signature(self):
+        chip = make_mcu(seed=615, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(
+            payload(), n_pe=40_000, ecc=True, sign_key=b"key-material-01"
+        )
+        report = session.verify()
+        assert report.verdict is Verdict.AUTHENTIC
+        assert report.payload.die_id == 0x42

@@ -1,0 +1,102 @@
+"""Tests for the imprint design-space planner."""
+
+import pytest
+
+from repro.core import DesignSpace, explore_design_space, plan_imprint
+from repro.core.planner import DesignPoint
+from repro.device import make_mcu
+
+
+def factory(seed):
+    return make_mcu(seed=seed, n_segments=1)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return explore_design_space(
+        factory,
+        n_pe_values=(10_000, 40_000),
+        replica_values=(1, 7),
+        watermark_bits=104,
+    )
+
+
+class TestExplore:
+    def test_grid_covered(self, space):
+        configs = {(p.n_pe, p.n_replicas) for p in space.points}
+        assert configs == {
+            (10_000, 1),
+            (10_000, 7),
+            (40_000, 1),
+            (40_000, 7),
+        }
+
+    def test_stress_reduces_ber(self, space):
+        by_config = {(p.n_pe, p.n_replicas): p for p in space.points}
+        assert (
+            by_config[(40_000, 7)].ber <= by_config[(10_000, 7)].ber
+        )
+
+    def test_imprint_time_scales_with_stress(self, space):
+        by_config = {(p.n_pe, p.n_replicas): p for p in space.points}
+        assert (
+            by_config[(40_000, 1)].imprint_s
+            > 2 * by_config[(10_000, 1)].imprint_s
+        )
+
+
+class TestSelection:
+    def test_cheapest_meeting_picks_fastest(self):
+        space = DesignSpace(
+            points=(
+                DesignPoint(10_000, 1, 0.05, 100.0, 23.0),
+                DesignPoint(20_000, 3, 0.01, 200.0, 24.0),
+                DesignPoint(40_000, 7, 0.0, 400.0, 25.0),
+            )
+        )
+        choice = space.cheapest_meeting(0.02)
+        assert choice.n_pe == 20_000
+
+    def test_no_viable_point_returns_none(self):
+        space = DesignSpace(
+            points=(DesignPoint(10_000, 1, 0.3, 100.0, 23.0),)
+        )
+        assert space.cheapest_meeting(0.01) is None
+
+    def test_pareto_front_excludes_dominated(self):
+        space = DesignSpace(
+            points=(
+                DesignPoint(10_000, 1, 0.05, 100.0, 23.0),
+                DesignPoint(20_000, 1, 0.05, 200.0, 23.0),  # dominated
+                DesignPoint(40_000, 7, 0.0, 400.0, 25.0),
+            )
+        )
+        front = space.pareto_front()
+        assert len(front) == 2
+        assert all(p.n_pe != 20_000 for p in front)
+
+
+class TestPlan:
+    def test_plan_meets_target(self):
+        choice = plan_imprint(
+            0.05,
+            factory,
+            n_pe_values=(20_000, 40_000),
+            replica_values=(7,),
+            watermark_bits=104,
+        )
+        assert choice.ber <= 0.05
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError, match="extend the design grid"):
+            plan_imprint(
+                0.0,
+                factory,
+                n_pe_values=(5_000,),
+                replica_values=(1,),
+                watermark_bits=104,
+            )
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError, match="target_ber"):
+            plan_imprint(1.5, factory)

@@ -1,0 +1,101 @@
+"""Tests for replica layout (tile/gather)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReplicaLayout
+
+
+class TestLayoutValidation:
+    def test_footprint(self):
+        layout = ReplicaLayout(n_bits=30, n_replicas=7, segment_bits=4096)
+        assert layout.footprint_bits == 210
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="segment has"):
+            ReplicaLayout(n_bits=1000, n_replicas=5, segment_bits=4096)
+
+    def test_bad_style_rejected(self):
+        with pytest.raises(ValueError, match="style"):
+            ReplicaLayout(
+                n_bits=8, n_replicas=1, segment_bits=64, style="diagonal"
+            )
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ReplicaLayout(n_bits=0, n_replicas=1, segment_bits=64)
+
+
+class TestPositions:
+    def test_contiguous_layout(self):
+        layout = ReplicaLayout(
+            n_bits=4, n_replicas=2, segment_bits=16, style="contiguous"
+        )
+        pos = layout.positions()
+        np.testing.assert_array_equal(pos[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(pos[1], [4, 5, 6, 7])
+
+    def test_interleaved_layout(self):
+        layout = ReplicaLayout(
+            n_bits=4, n_replicas=2, segment_bits=16, style="interleaved"
+        )
+        pos = layout.positions()
+        np.testing.assert_array_equal(pos[0], [0, 2, 4, 6])
+        np.testing.assert_array_equal(pos[1], [1, 3, 5, 7])
+
+    def test_positions_unique(self):
+        for style in ("contiguous", "interleaved"):
+            layout = ReplicaLayout(
+                n_bits=30, n_replicas=7, segment_bits=4096, style=style
+            )
+            pos = layout.positions().ravel()
+            assert len(np.unique(pos)) == pos.size
+
+
+class TestTileGather:
+    def test_unused_cells_stay_one(self):
+        layout = ReplicaLayout(n_bits=8, n_replicas=3, segment_bits=64)
+        pattern = layout.tile(np.zeros(8, dtype=np.uint8))
+        assert pattern[:24].sum() == 0
+        assert pattern[24:].all()
+
+    def test_gather_inverts_tile(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random(30) < 0.5).astype(np.uint8)
+        layout = ReplicaLayout(n_bits=30, n_replicas=7, segment_bits=4096)
+        matrix = layout.gather(layout.tile(bits))
+        assert matrix.shape == (7, 30)
+        for row in matrix:
+            np.testing.assert_array_equal(row, bits)
+
+    def test_wrong_sizes_rejected(self):
+        layout = ReplicaLayout(n_bits=8, n_replicas=1, segment_bits=64)
+        with pytest.raises(ValueError, match="watermark bits"):
+            layout.tile(np.zeros(9, dtype=np.uint8))
+        with pytest.raises(ValueError, match="segment read"):
+            layout.gather(np.zeros(65, dtype=np.uint8))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_bits=st.integers(min_value=1, max_value=64),
+        n_replicas=st.sampled_from([1, 3, 5, 7]),
+        style=st.sampled_from(["contiguous", "interleaved"]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_tile_gather_roundtrip_property(
+        self, n_bits, n_replicas, style, seed
+    ):
+        rng = np.random.default_rng(seed)
+        bits = (rng.random(n_bits) < 0.5).astype(np.uint8)
+        layout = ReplicaLayout(
+            n_bits=n_bits,
+            n_replicas=n_replicas,
+            segment_bits=512,
+            style=style,
+        )
+        matrix = layout.gather(layout.tile(bits))
+        np.testing.assert_array_equal(
+            matrix, np.tile(bits, (n_replicas, 1))
+        )

@@ -1,0 +1,110 @@
+"""Tests for blind presence detection and batch screening."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChipStatus,
+    FlashmarkSession,
+    Verdict,
+    WatermarkPayload,
+    WatermarkVerifier,
+    detect_watermark_presence,
+    imprint_watermark,
+    screen_shipment,
+)
+from repro.core.watermark import Watermark
+from repro.device import make_mcu
+
+
+def _payload(status=ChipStatus.ACCEPT):
+    return WatermarkPayload("TCMK", die_id=5, speed_grade=1, status=status)
+
+
+class TestPresenceDetection:
+    def test_blank_chip_negative(self):
+        chip = make_mcu(seed=950, n_segments=1)
+        result = detect_watermark_presence(chip)
+        assert not result.has_watermark
+        assert result.stressed_fraction < 0.01
+
+    def test_marked_chip_positive(self):
+        chip = make_mcu(seed=951, n_segments=1)
+        wm = Watermark.ascii_uppercase(64, np.random.default_rng(0))
+        imprint_watermark(chip.flash, 0, wm, 40_000, n_replicas=7)
+        result = detect_watermark_presence(chip)
+        assert result.has_watermark
+        assert result.stressed_cells > 300
+        assert result.p_value < 1e-6
+
+    def test_survives_digital_wipe(self):
+        chip = make_mcu(seed=952, n_segments=1)
+        wm = Watermark.ascii_uppercase(64, np.random.default_rng(1))
+        imprint_watermark(chip.flash, 0, wm, 40_000, n_replicas=7)
+        chip.flash.erase_segment(0)
+        assert detect_watermark_presence(chip).has_watermark
+
+    def test_lightly_used_segment_negative(self):
+        """A few hundred P/E cycles of ordinary use is not a watermark."""
+        chip = make_mcu(seed=953, n_segments=1)
+        chip.flash.bulk_pe_cycles(0, np.zeros(4096, dtype=np.uint8), 300)
+        result = detect_watermark_presence(chip)
+        assert not result.has_watermark
+
+    def test_bad_rate_rejected(self):
+        chip = make_mcu(seed=954, n_segments=1)
+        with pytest.raises(ValueError, match="blank_residual_rate"):
+            detect_watermark_presence(chip, blank_residual_rate=1.5)
+
+
+class TestScreenShipment:
+    @pytest.fixture(scope="class")
+    def published(self):
+        chip = make_mcu(seed=960, n_segments=1)
+        session = FlashmarkSession(chip)
+        session.imprint_payload(_payload(), n_pe=40_000)
+        return session.calibration, session.format
+
+    def _chips(self):
+        genuine = []
+        for seed in (961, 962):
+            chip = make_mcu(seed=seed, n_segments=1)
+            session = FlashmarkSession(chip)
+            session.imprint_payload(_payload(), n_pe=40_000)
+            genuine.append(chip)
+        blank = make_mcu(seed=963, n_segments=1)
+        return genuine + [blank], [True, True, False]
+
+    def test_confusion_matrix(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chips, truth = self._chips()
+        report = screen_shipment(chips, verifier, genuine_truth=truth)
+        assert report.n_chips == 3
+        assert report.is_clean()
+        assert report.confusion["true_accept"] == 2
+        assert report.confusion["true_reject"] == 1
+
+    def test_tally_and_timing(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chips, _ = self._chips()
+        report = screen_shipment(chips, verifier)
+        assert report.tally[Verdict.AUTHENTIC] == 2
+        assert report.total_verify_ms > 50.0
+        assert report.accept_fraction == pytest.approx(2 / 3)
+
+    def test_truth_length_checked(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chips, _ = self._chips()
+        with pytest.raises(ValueError, match="length"):
+            screen_shipment(chips, verifier, genuine_truth=[True])
+
+    def test_is_clean_requires_truth(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chips, _ = self._chips()
+        report = screen_shipment(chips, verifier)
+        with pytest.raises(ValueError, match="ground truth"):
+            report.is_clean()

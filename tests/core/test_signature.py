@@ -1,0 +1,108 @@
+"""Tests for keyed watermark signatures."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChipStatus,
+    SignatureScheme,
+    Watermark,
+    WatermarkPayload,
+    extract_watermark,
+    imprint_watermark,
+)
+from repro.device import make_mcu
+
+KEY = b"trusted-chipmaker-master-key"
+
+
+def payload(status=ChipStatus.ACCEPT):
+    return WatermarkPayload(
+        "TCMK", die_id=0xFACE, speed_grade=6, status=status
+    )
+
+
+class TestScheme:
+    def test_sign_verify_roundtrip(self):
+        scheme = SignatureScheme(KEY)
+        signed = scheme.sign(payload())
+        assert scheme.verify_bits(signed.watermark.bits) == payload()
+
+    def test_tag_appended(self):
+        scheme = SignatureScheme(KEY, tag_bits=32)
+        signed = scheme.sign(payload())
+        assert signed.watermark.n_bits == payload().n_bits + 32
+
+    def test_wrong_key_rejected(self):
+        signed = SignatureScheme(KEY).sign(payload())
+        other = SignatureScheme(b"not-the-real-key")
+        with pytest.raises(ValueError, match="tag mismatch"):
+            other.verify_bits(signed.watermark.bits)
+
+    def test_forged_payload_rejected(self):
+        """An attacker fabricating a fresh, CRC-valid record without the
+        key fails the tag check — the Section IV signature idea."""
+        scheme = SignatureScheme(KEY)
+        forged = np.concatenate(
+            [
+                Watermark.from_payload(payload()).bits,
+                np.zeros(32, dtype=np.uint8),  # guessed tag
+            ]
+        )
+        with pytest.raises(ValueError, match="tag mismatch"):
+            scheme.verify_bits(forged)
+
+    def test_tampered_bit_rejected(self):
+        scheme = SignatureScheme(KEY)
+        bits = SignatureScheme(KEY).sign(payload()).watermark.bits.copy()
+        bits[3] ^= 1
+        with pytest.raises(ValueError):
+            scheme.verify_bits(bits)
+
+    def test_status_bound_to_tag(self):
+        """Swapping ACCEPT into a REJECT record invalidates the tag even
+        with a recomputed CRC."""
+        scheme = SignatureScheme(KEY)
+        signed_reject = scheme.sign(payload(ChipStatus.REJECT))
+        accept_bits = Watermark.from_payload(payload(ChipStatus.ACCEPT)).bits
+        spliced = signed_reject.watermark.bits.copy()
+        spliced[: accept_bits.size] = accept_bits
+        with pytest.raises(ValueError, match="tag mismatch"):
+            scheme.verify_bits(spliced)
+
+    def test_short_vector_rejected(self):
+        scheme = SignatureScheme(KEY)
+        with pytest.raises(ValueError, match="needs"):
+            scheme.verify_bits(np.zeros(10, dtype=np.uint8))
+
+    def test_weak_key_rejected(self):
+        with pytest.raises(ValueError, match="8 bytes"):
+            SignatureScheme(b"short")
+
+    def test_bad_tag_size_rejected(self):
+        with pytest.raises(ValueError, match="tag_bits"):
+            SignatureScheme(KEY, tag_bits=33)
+
+
+class TestEndToEnd:
+    def test_signed_watermark_through_flash(self):
+        """Imprint a signed watermark, extract it, verify the tag."""
+        scheme = SignatureScheme(KEY)
+        signed = scheme.sign(payload())
+        chip = make_mcu(seed=150, n_segments=1)
+        rep = imprint_watermark(
+            chip.flash, 0, signed.watermark, 60_000, n_replicas=7
+        )
+        chip.flash.erase_segment(0)  # counterfeiter wipes it
+        best = None
+        for t in np.arange(23.0, 32.0, 1.0):
+            decoded = extract_watermark(
+                chip.flash, 0, rep.layout, float(t)
+            )
+            try:
+                recovered = scheme.verify_bits(decoded.bits)
+            except ValueError:
+                continue
+            best = recovered
+            break
+        assert best == payload()

@@ -1,0 +1,41 @@
+"""Tests for the imprint throughput model."""
+
+import pytest
+
+from repro.core import ImprintTester
+
+
+class TestImprintTester:
+    def test_throughput_scales_with_sockets(self):
+        single = ImprintTester(sockets=1).estimate(400.0)
+        many = ImprintTester(sockets=64).estimate(400.0)
+        assert many.chips_per_hour == pytest.approx(
+            64 * single.chips_per_hour
+        )
+
+    def test_known_value(self):
+        est = ImprintTester(sockets=64, handling_s=15.0).estimate(385.0)
+        # 400 s per batch of 64 -> 576 chips/hour.
+        assert est.chips_per_hour == pytest.approx(576.0)
+        assert est.tester_seconds_per_chip == pytest.approx(6.25)
+
+    def test_cost_per_chip(self):
+        est = ImprintTester(
+            sockets=64, handling_s=15.0, hourly_cost=36.0
+        ).estimate(385.0)
+        assert est.cost_per_chip == pytest.approx(0.0625)
+
+    def test_faster_imprint_cheaper(self):
+        tester = ImprintTester()
+        assert (
+            tester.estimate(100.0).cost_per_chip
+            < tester.estimate(400.0).cost_per_chip
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sockets"):
+            ImprintTester(sockets=0)
+        with pytest.raises(ValueError, match="imprint_s"):
+            ImprintTester().estimate(0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            ImprintTester(handling_s=-1.0)

@@ -1,0 +1,161 @@
+"""Tests for watermark verification (the integrator's decision)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import digital_forgery, stress_tamper
+from repro.core import (
+    ChipStatus,
+    FlashmarkSession,
+    Verdict,
+    Watermark,
+    WatermarkFormat,
+    WatermarkPayload,
+    WatermarkVerifier,
+)
+from repro.device import make_mcu
+
+N_PE = 40_000
+N_REPLICAS = 7
+
+
+def make_payload(status=ChipStatus.ACCEPT):
+    return WatermarkPayload(
+        "TCMK", die_id=0xABCDEF, speed_grade=3, status=status
+    )
+
+
+@pytest.fixture(scope="module")
+def published():
+    """Family calibration + format, derived once (manufacturer side)."""
+    chip = make_mcu(seed=500, n_segments=1)
+    session = FlashmarkSession(chip)
+    session.imprint_payload(make_payload(), n_pe=N_PE, n_replicas=N_REPLICAS)
+    return session.calibration, session.format
+
+
+def imprinted_chip(seed, status=ChipStatus.ACCEPT):
+    chip = make_mcu(seed=seed, n_segments=1)
+    session = FlashmarkSession(chip)
+    session.imprint_payload(
+        make_payload(status), n_pe=N_PE, n_replicas=N_REPLICAS
+    )
+    return chip
+
+
+class TestVerdicts:
+    def test_genuine_chip_authentic(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = imprinted_chip(501)
+        report = verifier.verify(chip.flash)
+        assert report.verdict is Verdict.AUTHENTIC
+        assert report.payload is not None
+        assert report.payload.manufacturer == "TCMK"
+
+    def test_genuine_chip_survives_digital_wipe(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = imprinted_chip(502)
+        chip.flash.erase_segment(0)
+        report = verifier.verify(chip.flash)
+        assert report.verdict is Verdict.AUTHENTIC
+
+    def test_blank_chip_counterfeit(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = make_mcu(seed=503, n_segments=1)
+        report = verifier.verify(chip.flash)
+        assert report.verdict is Verdict.COUNTERFEIT
+        assert (
+            "payload" in report.reason
+            or "no credible watermark" in report.reason
+        )
+
+    def test_reject_die_counterfeit(self, published):
+        """A fall-out die's REJECT status cannot be converted."""
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = imprinted_chip(504, status=ChipStatus.REJECT)
+        report = verifier.verify(chip.flash)
+        assert report.verdict is Verdict.COUNTERFEIT
+        assert "REJECT" in report.reason
+
+    def test_digital_forgery_detected(self, published):
+        """Reprogramming the segment digitally does not fool extraction."""
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = imprinted_chip(505, status=ChipStatus.REJECT)
+        # Forge a perfect ACCEPT record digitally.
+        fake = Watermark.from_payload(make_payload()).balanced()
+        pattern = np.ones(4096, dtype=np.uint8)
+        pattern[: fake.bits.size] = fake.bits
+        digital_forgery(chip.flash, 0, pattern)
+        report = verifier.verify(chip.flash)
+        assert report.verdict is Verdict.COUNTERFEIT
+
+    def test_stress_tamper_detected(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = imprinted_chip(506)
+        rng = np.random.default_rng(0)
+        target = np.ones(4096, dtype=np.uint8)
+        target[rng.permutation(4096)[:400]] = 0
+        stress_tamper(chip.flash, 0, target, N_PE)
+        report = verifier.verify(chip.flash)
+        assert report.verdict in (Verdict.TAMPERED, Verdict.COUNTERFEIT)
+
+    def test_ber_threshold_enforced(self, published):
+        calibration, fmt = published
+        expected = Watermark.from_payload(make_payload()).balanced()
+        verifier = WatermarkVerifier(
+            calibration, fmt, expected=expected, max_ber=0.0
+        )
+        chip = make_mcu(seed=507, n_segments=1)
+        report = verifier.verify(chip.flash)
+        assert report.verdict is Verdict.COUNTERFEIT
+
+
+class TestConfiguration:
+    def test_replica_mismatch_rejected(self, published):
+        calibration, fmt = published
+        bad_fmt = WatermarkFormat(
+            n_bits=fmt.n_bits,
+            n_replicas=fmt.n_replicas + 2,
+            balanced=True,
+            structured=True,
+        )
+        with pytest.raises(ValueError, match="replica count"):
+            WatermarkVerifier(calibration, bad_fmt)
+
+    def test_asymmetric_decoder_option(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(
+            calibration, fmt, use_asymmetric_decoder=True
+        )
+        chip = imprinted_chip(508)
+        report = verifier.verify(chip.flash)
+        assert report.verdict is Verdict.AUTHENTIC
+        assert report.decoded.decoder == "asymmetric-ml"
+
+
+class TestTemperatureCompensation:
+    def test_hot_die_verifies_with_compensation(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = imprinted_chip(509)
+        chip.set_temperature(85.0)
+        naive = verifier.verify(chip.fork().flash)
+        compensated = verifier.verify(
+            chip.fork().flash, temperature_c=85.0
+        )
+        assert compensated.verdict is Verdict.AUTHENTIC
+        # The naive extraction at the 25C window misreads badly when hot.
+        assert naive.verdict is not Verdict.AUTHENTIC
+
+    def test_nominal_temperature_is_identity(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = imprinted_chip(510)
+        report = verifier.verify(chip.flash, temperature_c=25.0)
+        assert report.verdict is Verdict.AUTHENTIC

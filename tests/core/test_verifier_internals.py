@@ -1,0 +1,84 @@
+"""Unit tests for the verifier's internal statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChipStatus,
+    FlashmarkSession,
+    Verdict,
+    WatermarkPayload,
+    WatermarkVerifier,
+)
+from repro.device import make_mcu
+
+
+@pytest.fixture(scope="module")
+def published():
+    chip = make_mcu(seed=990, n_segments=1)
+    session = FlashmarkSession(chip)
+    session.imprint_payload(
+        WatermarkPayload("TCMK", die_id=1, speed_grade=0, status=ChipStatus.ACCEPT),
+        n_pe=40_000,
+    )
+    return session.calibration, session.format
+
+
+class TestStressedOutlierLimit:
+    def test_limit_scales_with_channel_rate(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = make_mcu(seed=991, n_segments=1)
+        session = FlashmarkSession(chip, calibration=calibration)
+        session.imprint_payload(
+            WatermarkPayload(
+                "TCMK", die_id=2, speed_grade=0, status=ChipStatus.ACCEPT
+            ),
+            n_pe=40_000,
+        )
+        report = verifier.verify(chip.flash)
+        # n_good = half the encoded cells across 7 replicas.
+        n_good = fmt.n_bits * 2 * fmt.n_replicas // 2
+        p = max(calibration.asymmetry.p_good_reads_bad, 1e-4)
+        expected_floor = p * n_good
+        assert report.stressed_outlier_limit > expected_floor
+        assert report.stressed_outlier_limit < expected_floor + 6 * (
+            np.sqrt(expected_floor) + 2
+        )
+
+    def test_genuine_chip_within_limit(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        for seed in (992, 993, 994):
+            chip = make_mcu(seed=seed, n_segments=1)
+            session = FlashmarkSession(chip, calibration=calibration)
+            session.imprint_payload(
+                WatermarkPayload(
+                    "TCMK",
+                    die_id=seed,
+                    speed_grade=0,
+                    status=ChipStatus.ACCEPT,
+                ),
+                n_pe=40_000,
+            )
+            report = verifier.verify(chip.flash)
+            assert report.verdict is Verdict.AUTHENTIC
+            assert (
+                report.stressed_outliers <= report.stressed_outlier_limit
+            )
+
+    def test_report_carries_both_statistics(self, published):
+        calibration, fmt = published
+        verifier = WatermarkVerifier(calibration, fmt)
+        chip = make_mcu(seed=995, n_segments=1)
+        session = FlashmarkSession(chip, calibration=calibration)
+        session.imprint_payload(
+            WatermarkPayload(
+                "TCMK", die_id=9, speed_grade=0, status=ChipStatus.ACCEPT
+            ),
+            n_pe=40_000,
+        )
+        report = verifier.verify(chip.flash)
+        assert report.balance_violations is not None
+        assert report.tampered_pairs is not None
+        assert report.tampered_pairs <= report.balance_violations

@@ -1,0 +1,81 @@
+"""Tests for the Watermark value object."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChipStatus, Watermark, WatermarkPayload
+
+
+class TestConstructors:
+    def test_from_text(self):
+        wm = Watermark.from_text("TC")
+        assert wm.n_bits == 16
+
+    def test_tc_example_matches_fig6(self):
+        """Fig. 6: "TC" = 0x5443, bit 0 (LSB of 'T') ... bit 15."""
+        wm = Watermark.tc_example()
+        from repro.device import bits_to_words
+
+        # Bytes are little-endian in flash: word value is 0x4354 read as
+        # uint16 from b"TC"; the ASCII string itself is the ground truth.
+        assert wm.n_bits == 16
+        word = int(bits_to_words(wm.bits, 16)[0])
+        assert word.to_bytes(2, "little") == b"TC"
+
+    def test_from_payload(self):
+        payload = WatermarkPayload("TCMK", 1, 2, ChipStatus.ACCEPT)
+        wm = Watermark.from_payload(payload)
+        assert wm.n_bits == payload.n_bits
+        assert "ACCEPT" in wm.label
+
+    def test_random_density(self):
+        rng = np.random.default_rng(0)
+        wm = Watermark.random(10_000, rng, p_one=0.25)
+        assert wm.ones_fraction == pytest.approx(0.25, abs=0.02)
+
+    def test_ascii_uppercase_is_ascii(self):
+        rng = np.random.default_rng(1)
+        wm = Watermark.ascii_uppercase(64, rng)
+        from repro.core import bits_to_text
+
+        text = bits_to_text(wm.bits)
+        assert text.isupper() and text.isalpha()
+        assert len(text) == 64
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Watermark(np.array([], dtype=np.uint8))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            Watermark(np.array([0, 2], dtype=np.uint8))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Watermark(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_bits_immutable(self):
+        wm = Watermark.from_text("A")
+        with pytest.raises(ValueError):
+            wm.bits[0] = 1
+
+
+class TestDerived:
+    def test_balanced_is_balanced(self):
+        rng = np.random.default_rng(2)
+        wm = Watermark.random(101, rng, p_one=0.8)
+        assert not wm.is_balanced
+        bal = wm.balanced()
+        assert bal.is_balanced
+        assert bal.n_bits == 2 * wm.n_bits
+
+    def test_zeros_plus_ones_is_one(self):
+        wm = Watermark.from_text("HELLO")
+        assert wm.ones_fraction + wm.zeros_fraction == pytest.approx(1.0)
+
+    def test_len_and_repr(self):
+        wm = Watermark.from_text("AB")
+        assert len(wm) == 16
+        assert "n_bits=16" in repr(wm)

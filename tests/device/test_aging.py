@@ -1,0 +1,99 @@
+"""Tests for chip aging / retention effects."""
+
+import numpy as np
+import pytest
+
+from repro.core import Watermark, extract_watermark, imprint_watermark
+from repro.core.bits import bit_error_rate
+from repro.device import age_chip, data_retention_margin_v, make_mcu
+from repro.phys import RetentionParams
+
+TEN_YEARS_H = 10 * 365 * 24.0
+
+
+class TestAgeChip:
+    def test_zero_hours_noop(self, quiet_mcu):
+        before = quiet_mcu.array.vth.copy()
+        age_chip(quiet_mcu, 0.0)
+        np.testing.assert_array_equal(quiet_mcu.array.vth, before)
+
+    def test_negative_rejected(self, quiet_mcu):
+        with pytest.raises(ValueError, match="non-negative"):
+            age_chip(quiet_mcu, -1.0)
+
+    def test_programmed_cells_leak_down(self, quiet_mcu):
+        quiet_mcu.flash.program_segment_bits(
+            0, np.zeros(4096, dtype=np.uint8)
+        )
+        sl = quiet_mcu.geometry.segment_bit_slice(0)
+        before = quiet_mcu.array.vth[sl].copy()
+        age_chip(quiet_mcu, TEN_YEARS_H)
+        after = quiet_mcu.array.vth[sl]
+        assert np.all(after < before)
+
+    def test_never_below_erased_floor(self, quiet_mcu):
+        age_chip(quiet_mcu, 1e9)
+        assert np.all(
+            quiet_mcu.array.vth >= quiet_mcu.array.static.vth_erased
+        )
+
+    def test_clock_advances(self, quiet_mcu):
+        t0 = quiet_mcu.trace.now_us
+        age_chip(quiet_mcu, 1.0)
+        assert quiet_mcu.trace.now_us == t0 + 3_600e6
+
+
+class TestRetentionMargin:
+    def test_fresh_data_has_margin(self, quiet_mcu):
+        quiet_mcu.flash.program_segment_bits(
+            0, np.zeros(4096, dtype=np.uint8)
+        )
+        assert data_retention_margin_v(quiet_mcu, 0) > 1.0
+
+    def test_worn_chip_loses_data_faster(self):
+        """The Section I failure mode: recycled chips lose data early."""
+        fresh = make_mcu(seed=60, n_segments=1)
+        worn = make_mcu(seed=60, n_segments=1)
+        pattern = np.zeros(4096, dtype=np.uint8)
+        worn.flash.bulk_pe_cycles(0, pattern, 100_000)
+        for chip in (fresh, worn):
+            chip.flash.erase_segment(0)
+            chip.flash.program_segment_bits(0, pattern)
+            age_chip(
+                chip,
+                TEN_YEARS_H,
+                retention=RetentionParams(rate_v_per_decade=0.12),
+            )
+        assert data_retention_margin_v(
+            worn, 0
+        ) < data_retention_margin_v(fresh, 0)
+
+    def test_empty_segment_rejected(self, quiet_mcu):
+        quiet_mcu.flash.erase_segment(0)
+        with pytest.raises(ValueError, match="no programmed cells"):
+            data_retention_margin_v(quiet_mcu, 0)
+
+
+class TestWatermarkSurvivesAging:
+    def test_extraction_unaffected_by_shelf_years(self):
+        """Extraction senses wear, not charge: a decade on the shelf
+        does not damage the watermark."""
+        chip = make_mcu(seed=61, n_segments=1)
+        wm = Watermark.ascii_uppercase(64, np.random.default_rng(0))
+        rep = imprint_watermark(chip.flash, 0, wm, 50_000, n_replicas=7)
+
+        def best_ber():
+            return min(
+                bit_error_rate(
+                    wm.bits,
+                    extract_watermark(
+                        chip.flash, 0, rep.layout, float(t)
+                    ).bits,
+                )
+                for t in np.arange(22.0, 32.0, 1.0)
+            )
+
+        before = best_ber()
+        age_chip(chip, TEN_YEARS_H)
+        after = best_ber()
+        assert after <= before + 0.01

@@ -1,0 +1,260 @@
+"""Tests for the vectorised cell array."""
+
+import numpy as np
+import pytest
+
+from repro.device import NorFlashArray, FlashGeometry
+from repro.phys import PhysicalParams
+
+SMALL = FlashGeometry(segments_per_bank=2, n_banks=1)
+
+
+@pytest.fixture
+def array(quiet_params):
+    return NorFlashArray(SMALL, quiet_params, np.random.default_rng(3))
+
+
+@pytest.fixture
+def seg0(array):
+    return array.geometry.segment_bit_slice(0)
+
+
+class TestProgramSemantics:
+    def test_ships_erased(self, array, seg0):
+        assert array.read_bits(seg0).all()
+
+    def test_program_zero_bits_only(self, array, seg0):
+        pattern = np.ones(4096, dtype=np.uint8)
+        pattern[::2] = 0
+        array.program_bits(seg0, pattern)
+        bits = array.read_bits(seg0)
+        np.testing.assert_array_equal(bits, pattern)
+
+    def test_one_bits_leave_cells_untouched(self, array, seg0):
+        """Programming 1s over programmed cells must not erase them."""
+        array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+        array.program_bits(seg0, np.ones(4096, dtype=np.uint8))
+        assert not array.read_bits(seg0).any()
+
+    def test_program_is_logical_and(self, array, seg0):
+        a = (np.arange(4096) % 3 == 0).astype(np.uint8)
+        b = (np.arange(4096) % 5 == 0).astype(np.uint8)
+        array.program_bits(seg0, a)
+        array.program_bits(seg0, b)
+        np.testing.assert_array_equal(array.read_bits(seg0), a & b)
+
+    def test_wrong_pattern_length_rejected(self, array, seg0):
+        with pytest.raises(ValueError, match="length"):
+            array.program_bits(seg0, np.zeros(100, dtype=np.uint8))
+
+    def test_program_counts_only_programmed_cells(self, array, seg0):
+        pattern = np.ones(4096, dtype=np.uint8)
+        pattern[:100] = 0
+        array.program_bits(seg0, pattern)
+        assert array.program_cycles[seg0][:100].sum() == 100
+        assert array.program_cycles[seg0][100:].sum() == 0
+
+
+class TestEraseSemantics:
+    def test_full_erase_restores_ones(self, array, seg0):
+        array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+        array.erase_pulse(seg0, 25_000.0)
+        assert array.read_bits(seg0).all()
+
+    def test_tiny_partial_erase_changes_nothing_visible(self, array, seg0):
+        array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+        array.erase_pulse(seg0, 1.0)
+        assert not array.read_bits(seg0).any()
+
+    def test_partial_erase_is_monotone_in_time(self, array, seg0):
+        counts = []
+        for t in (5.0, 15.0, 20.0, 25.0, 30.0, 60.0):
+            array.erase_pulse(seg0, 25_000.0)
+            array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+            array.erase_pulse(seg0, t)
+            counts.append(int(array.read_bits(seg0).sum()))
+        assert counts == sorted(counts)
+        assert counts[0] == 0
+        assert counts[-1] == 4096
+
+    def test_erase_only_wear_charged_to_unprogrammed_cells(self, array, seg0):
+        pattern = np.ones(4096, dtype=np.uint8)
+        pattern[:10] = 0
+        array.program_bits(seg0, pattern)
+        array.erase_pulse(seg0, 25_000.0)
+        eo = array.erase_only_cycles[seg0]
+        assert eo[:10].sum() == 0  # programmed cells: damage at program
+        assert eo[10:].sum() == 4086
+
+
+class TestReadNoise:
+    def test_quiet_reads_deterministic(self, array, seg0):
+        a = array.read_bits(seg0)
+        b = array.read_bits(seg0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_majority_read_requires_odd(self, array, seg0):
+        with pytest.raises(ValueError, match="odd"):
+            array.read_bits(seg0, n_reads=2)
+
+    def test_noisy_majority_beats_single_read(self):
+        params = PhysicalParams()
+        noisy = NorFlashArray(SMALL, params, np.random.default_rng(5))
+        sl = noisy.geometry.segment_bit_slice(0)
+        # Freeze cells very near the reference where reads flicker.
+        noisy.vth[sl] = params.cell.v_ref - 0.01
+        single_flips = sum(
+            int((noisy.read_bits(sl) == 0).sum()) for _ in range(5)
+        )
+        majority_flips = sum(
+            int((noisy.read_bits(sl, n_reads=15) == 0).sum())
+            for _ in range(5)
+        )
+        assert majority_flips < single_flips
+
+
+class TestBulkStress:
+    def test_bulk_matches_loop_wear_counters(self, quiet_params):
+        pattern = (np.arange(4096) % 2).astype(np.uint8)
+        loop = NorFlashArray(SMALL, quiet_params, np.random.default_rng(9))
+        bulk = NorFlashArray(SMALL, quiet_params, np.random.default_rng(9))
+        sl = loop.geometry.segment_bit_slice(0)
+        for _ in range(5):
+            loop.erase_pulse(sl, 25_000.0)
+            loop.program_bits(sl, pattern)
+        bulk.bulk_stress(sl, pattern, 5)
+        np.testing.assert_array_equal(
+            loop.program_cycles[sl], bulk.program_cycles[sl]
+        )
+        np.testing.assert_array_equal(
+            loop.erase_only_cycles[sl], bulk.erase_only_cycles[sl]
+        )
+        np.testing.assert_array_equal(
+            loop.programmed_since_erase[sl], bulk.programmed_since_erase[sl]
+        )
+
+    def test_bulk_matches_loop_vth(self, quiet_params):
+        pattern = (np.arange(4096) % 2).astype(np.uint8)
+        loop = NorFlashArray(SMALL, quiet_params, np.random.default_rng(9))
+        bulk = NorFlashArray(SMALL, quiet_params, np.random.default_rng(9))
+        sl = loop.geometry.segment_bit_slice(0)
+        for _ in range(3):
+            loop.erase_pulse(sl, 25_000.0)
+            loop.program_bits(sl, pattern)
+        bulk.bulk_stress(sl, pattern, 3)
+        np.testing.assert_allclose(
+            loop.vth[sl], bulk.vth[sl], atol=1e-6
+        )
+
+    def test_bulk_respects_prior_state(self, array, seg0):
+        """Entry flags determine the first erase's wear accounting."""
+        array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+        array.bulk_stress(seg0, np.ones(4096, dtype=np.uint8), 2)
+        # Programmed on entry: first erase charges no erase-only cycle.
+        np.testing.assert_array_equal(
+            array.erase_only_cycles[seg0], np.full(4096, 1.0)
+        )
+
+    def test_zero_cycles_noop(self, array, seg0):
+        before = array.vth[seg0].copy()
+        array.bulk_stress(seg0, np.ones(4096, dtype=np.uint8), 0)
+        np.testing.assert_array_equal(array.vth[seg0], before)
+
+    def test_negative_cycles_rejected(self, array, seg0):
+        with pytest.raises(ValueError, match="non-negative"):
+            array.bulk_stress(seg0, np.ones(4096, dtype=np.uint8), -1)
+
+    def test_ends_with_pattern_programmed(self, array, seg0):
+        pattern = (np.arange(4096) % 2).astype(np.uint8)
+        array.bulk_stress(seg0, pattern, 1000)
+        np.testing.assert_array_equal(array.read_bits(seg0), pattern)
+
+
+class TestCrossingTimes:
+    def test_erased_cells_cross_at_zero(self, array, seg0):
+        assert np.all(array.erase_crossing_times_us(seg0) == 0.0)
+
+    def test_stress_slows_crossings(self, array, seg0):
+        array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+        fresh = array.erase_crossing_times_us(seg0).copy()
+        array.bulk_stress(seg0, np.zeros(4096, dtype=np.uint8), 50_000)
+        worn = array.erase_crossing_times_us(seg0)
+        assert np.all(worn > fresh)
+
+
+class TestCopy:
+    def test_copy_is_independent(self, array, seg0):
+        clone = array.copy()
+        array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+        assert clone.read_bits(seg0).all()
+
+    def test_copy_preserves_state(self, array, seg0):
+        array.program_bits(seg0, np.zeros(4096, dtype=np.uint8))
+        clone = array.copy()
+        assert not clone.read_bits(seg0).any()
+        np.testing.assert_array_equal(
+            clone.program_cycles[seg0], array.program_cycles[seg0]
+        )
+
+
+class TestReadDisturb:
+    def test_off_by_default(self, array, seg0):
+        before = array.vth[seg0].copy()
+        for _ in range(100):
+            array.read_bits(seg0)
+        np.testing.assert_array_equal(array.vth[seg0], before)
+
+    def test_enabled_disturb_creeps_thresholds(self):
+        import dataclasses
+
+        params = PhysicalParams().with_overrides(
+            noise=dataclasses.replace(
+                PhysicalParams().noise, read_disturb_v_per_read=0.001
+            )
+        )
+        disturbed = NorFlashArray(
+            SMALL, params, np.random.default_rng(3)
+        )
+        sl = disturbed.geometry.segment_bit_slice(0)
+        before = disturbed.vth[sl].copy()
+        for _ in range(50):
+            disturbed.read_bits(sl)
+        assert np.all(disturbed.vth[sl] >= before)
+        assert disturbed.vth[sl].mean() > before.mean() + 0.01
+
+    def test_erased_cells_eventually_flip(self):
+        """The classic read-disturb failure: enough reads flip erased
+        cells to programmed."""
+        import dataclasses
+
+        params = PhysicalParams().with_overrides(
+            noise=dataclasses.replace(
+                PhysicalParams().noise, read_disturb_v_per_read=0.01
+            )
+        )
+        disturbed = NorFlashArray(
+            SMALL, params, np.random.default_rng(4)
+        )
+        sl = disturbed.geometry.segment_bit_slice(0)
+        assert disturbed.read_bits(sl).all()
+        for _ in range(400):
+            disturbed.read_bits(sl)
+        assert not disturbed.read_bits(sl).any()
+
+    def test_disturb_capped_at_programmed_level(self):
+        import dataclasses
+
+        params = PhysicalParams().with_overrides(
+            noise=dataclasses.replace(
+                PhysicalParams().noise, read_disturb_v_per_read=0.5
+            )
+        )
+        disturbed = NorFlashArray(
+            SMALL, params, np.random.default_rng(5)
+        )
+        sl = disturbed.geometry.segment_bit_slice(0)
+        for _ in range(100):
+            disturbed.read_bits(sl)
+        assert np.all(
+            disturbed.vth[sl] <= disturbed.static.vth_programmed[sl]
+        )

@@ -1,0 +1,130 @@
+"""Property-based tests of device-array invariants under random operation
+sequences.
+
+These pin down the physical laws the whole reproduction rests on:
+
+* wear counters never decrease, whatever the operation order;
+* programming never lowers a threshold voltage, erasing never raises it;
+* a full erase always restores all-ones readout;
+* the digital read is always consistent with the threshold voltage
+  (noise-free configuration).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import FlashGeometry, NorFlashArray
+from repro.phys import NoiseParams, PhysicalParams
+
+TINY = FlashGeometry(
+    bits_per_word=16, segment_bytes=32, segments_per_bank=1, n_banks=1
+)
+QUIET = PhysicalParams().with_overrides(
+    noise=NoiseParams(
+        read_sigma_v=0.0, erase_jitter_sigma=0.0, program_sigma_v=0.0
+    )
+)
+N = TINY.bits_per_segment  # 256 cells
+
+# One operation: (kind, argument)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("erase"), st.floats(min_value=0.0, max_value=30_000.0)),
+        st.tuples(st.just("program"), st.integers(min_value=0, max_value=2**16 - 1)),
+        st.tuples(st.just("partial_program"), st.floats(min_value=0.0, max_value=75.0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_array(seed=0):
+    return NorFlashArray(TINY, QUIET, np.random.default_rng(seed))
+
+
+def apply(array, op):
+    sl = TINY.segment_bit_slice(0)
+    kind, arg = op
+    if kind == "erase":
+        array.erase_pulse(sl, arg)
+    elif kind == "program":
+        rng = np.random.default_rng(arg)
+        pattern = (rng.random(N) < 0.5).astype(np.uint8)
+        array.program_bits(sl, pattern)
+    else:
+        rng = np.random.default_rng(17)
+        pattern = (rng.random(N) < 0.5).astype(np.uint8)
+        array.partial_program_bits(sl, pattern, arg)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_wear_counters_monotone(self, ops):
+        array = build_array()
+        sl = TINY.segment_bit_slice(0)
+        prev_pc = array.program_cycles[sl].copy()
+        prev_eo = array.erase_only_cycles[sl].copy()
+        for op in ops:
+            apply(array, op)
+            assert np.all(array.program_cycles[sl] >= prev_pc)
+            assert np.all(array.erase_only_cycles[sl] >= prev_eo)
+            prev_pc = array.program_cycles[sl].copy()
+            prev_eo = array.erase_only_cycles[sl].copy()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_vth_stays_in_physical_range(self, ops):
+        array = build_array()
+        sl = TINY.segment_bit_slice(0)
+        for op in ops:
+            apply(array, op)
+            vth = array.vth[sl]
+            assert np.all(vth >= array.static.vth_erased[sl] - 1e-9)
+            # Programmed levels may drift up with wear, bounded by the
+            # target plus the saturating drift cap.
+            ceiling = (
+                array.static.vth_programmed[sl]
+                + array.params.wear.vth_programmed_drift_max
+                + 1e-9
+            )
+            assert np.all(vth <= ceiling)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_full_erase_always_recovers_ones(self, ops):
+        array = build_array()
+        sl = TINY.segment_bit_slice(0)
+        for op in ops:
+            apply(array, op)
+        array.erase_pulse(sl, 25_000.0)
+        assert array.read_bits(sl).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_read_consistent_with_vth(self, ops):
+        array = build_array()
+        sl = TINY.segment_bit_slice(0)
+        for op in ops:
+            apply(array, op)
+        bits = array.read_bits(sl)
+        below = array.vth[sl] < array.params.cell.v_ref
+        np.testing.assert_array_equal(bits.astype(bool), below)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=operations,
+        t_pe=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_erase_monotone_in_time(self, ops, t_pe):
+        """Two forks of the same state: the longer partial erase never
+        leaves more programmed cells than the shorter one."""
+        a = build_array(seed=3)
+        sl = TINY.segment_bit_slice(0)
+        for op in ops:
+            apply(a, op)
+        b = a.copy()
+        a.erase_pulse(sl, t_pe)
+        b.erase_pulse(sl, t_pe + 10.0)
+        assert int(b.read_bits(sl).sum()) >= int(a.read_bits(sl).sum())

@@ -1,0 +1,178 @@
+"""Tests for the flash controller command surface."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    FlashAddressError,
+    FlashLockedError,
+    make_mcu,
+)
+
+
+@pytest.fixture
+def flash(quiet_mcu):
+    return quiet_mcu.flash
+
+
+class TestProgramRead:
+    def test_word_roundtrip(self, flash):
+        flash.erase_segment(0)
+        flash.program_word(0x10, 0xBEEF)
+        assert flash.read_word(0x10) == 0xBEEF
+
+    def test_program_only_clears_bits(self, flash):
+        flash.erase_segment(0)
+        flash.program_word(0x10, 0xF0F0)
+        flash.program_word(0x10, 0x0FF0)
+        assert flash.read_word(0x10) == 0x00F0
+
+    def test_unaligned_word_rejected(self, flash):
+        with pytest.raises(FlashAddressError):
+            flash.program_word(0x11, 0)
+
+    def test_out_of_range_rejected(self, flash):
+        with pytest.raises(FlashAddressError):
+            flash.read_word(flash.geometry.total_bytes)
+
+    def test_segment_words_roundtrip(self, flash):
+        words = np.arange(256, dtype=np.uint64) * 255 % 65536
+        flash.erase_segment(1)
+        flash.program_segment_words(1, words)
+        np.testing.assert_array_equal(flash.read_segment_words(1), words)
+
+    def test_wrong_word_count_rejected(self, flash):
+        with pytest.raises(ValueError, match="expected 256 words"):
+            flash.program_segment_words(0, np.zeros(10, dtype=np.uint64))
+
+    def test_wrong_bit_count_rejected(self, flash):
+        with pytest.raises(ValueError, match="expected 4096 bits"):
+            flash.program_segment_bits(0, np.zeros(10, dtype=np.uint8))
+
+
+class TestEraseCommands:
+    def test_segment_erase_isolated(self, flash):
+        flash.erase_segment(0)
+        flash.erase_segment(1)
+        flash.program_segment_bits(0, np.zeros(4096, dtype=np.uint8))
+        flash.erase_segment(1)
+        assert not flash.read_segment_bits(0).any()
+        assert flash.read_segment_bits(1).all()
+
+    def test_mass_erase_covers_bank(self, flash):
+        for segment in range(flash.geometry.n_segments):
+            flash.program_segment_bits(
+                segment, np.zeros(4096, dtype=np.uint8)
+            )
+        flash.mass_erase_bank(0)
+        for segment in range(flash.geometry.n_segments):
+            assert flash.read_segment_bits(segment).all()
+
+    def test_negative_partial_erase_rejected(self, flash):
+        with pytest.raises(ValueError, match="non-negative"):
+            flash.partial_erase_segment(0, -1.0)
+
+    def test_bad_segment_rejected(self, flash):
+        with pytest.raises(FlashAddressError):
+            flash.erase_segment(flash.geometry.n_segments)
+
+
+class TestEraseUntilClean:
+    def test_result_reads_all_erased(self, flash):
+        flash.program_segment_bits(0, np.zeros(4096, dtype=np.uint8))
+        flash.erase_segment_until_clean(0)
+        assert flash.read_segment_bits(0).all()
+
+    def test_far_faster_than_nominal_erase(self, flash):
+        flash.program_segment_bits(0, np.zeros(4096, dtype=np.uint8))
+        t_spent = flash.erase_segment_until_clean(0)
+        assert t_spent < flash.timing.t_erase_us / 10
+
+    def test_margin_below_one_rejected(self, flash):
+        with pytest.raises(ValueError, match="margin"):
+            flash.erase_segment_until_clean(0, margin=0.5)
+
+
+class TestLocking:
+    def test_locked_program_rejected(self, flash):
+        flash.locked = True
+        with pytest.raises(FlashLockedError):
+            flash.program_word(0, 0)
+
+    def test_locked_erase_rejected(self, flash):
+        flash.locked = True
+        with pytest.raises(FlashLockedError):
+            flash.erase_segment(0)
+
+    def test_locked_read_allowed(self, flash):
+        flash.locked = True
+        flash.read_word(0)
+
+
+class TestTimingAccounting:
+    def test_erase_charges_nominal_time(self, flash):
+        t0 = flash.trace.now_us
+        flash.erase_segment(0)
+        elapsed = flash.trace.now_us - t0
+        assert elapsed >= flash.timing.t_erase_us
+
+    def test_partial_erase_charges_tpe(self, flash):
+        t0 = flash.trace.now_us
+        flash.partial_erase_segment(0, 23.0)
+        elapsed = flash.trace.now_us - t0
+        assert elapsed == pytest.approx(
+            flash.timing.t_cmd_overhead_us
+            + 23.0
+            + flash.timing.t_abort_overhead_us
+        )
+
+    def test_block_write_faster_than_word_writes(self, flash):
+        profile = flash.timing
+        block = profile.segment_program_time_us(256, block=True)
+        words = profile.segment_program_time_us(256, block=False)
+        assert block < words
+
+    def test_bulk_cycles_charge_loop_equivalent_time(self, flash):
+        t0 = flash.trace.now_us
+        flash.bulk_pe_cycles(0, np.zeros(4096, dtype=np.uint8), 100)
+        elapsed = flash.trace.now_us - t0
+        per_cycle = (
+            flash.timing.t_erase_us
+            + flash.timing.segment_program_time_us(256)
+            + 2 * flash.timing.t_cmd_overhead_us
+        )
+        assert elapsed == pytest.approx(100 * per_cycle, rel=1e-6)
+
+    def test_accelerated_bulk_cheaper(self, quiet_mcu):
+        other = quiet_mcu.fork(seed=1)
+        t0 = quiet_mcu.trace.now_us
+        quiet_mcu.flash.bulk_pe_cycles(
+            0, np.zeros(4096, dtype=np.uint8), 1000
+        )
+        baseline = quiet_mcu.trace.now_us - t0
+        t0 = other.trace.now_us
+        other.flash.bulk_pe_cycles(
+            0, np.zeros(4096, dtype=np.uint8), 1000, accelerated=True
+        )
+        accelerated = other.trace.now_us - t0
+        assert accelerated < baseline / 2
+
+    def test_energy_accumulates(self, flash):
+        e0 = flash.trace.energy_uj
+        flash.erase_segment(0)
+        flash.program_segment_bits(0, np.zeros(4096, dtype=np.uint8))
+        assert flash.trace.energy_uj > e0
+
+
+class TestBulkAcceleratedPhysics:
+    def test_accelerated_and_baseline_same_wear(self, quiet_mcu):
+        """The premature erase exit must not change imprinted wear."""
+        other = quiet_mcu.fork(seed=2)
+        pattern = (np.arange(4096) % 2).astype(np.uint8)
+        quiet_mcu.flash.bulk_pe_cycles(0, pattern, 500)
+        other.flash.bulk_pe_cycles(0, pattern, 500, accelerated=True)
+        sl = quiet_mcu.geometry.segment_bit_slice(0)
+        np.testing.assert_array_equal(
+            quiet_mcu.array.program_cycles[sl],
+            other.array.program_cycles[sl],
+        )

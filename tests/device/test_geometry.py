@@ -1,0 +1,117 @@
+"""Tests for flash geometry and address arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import (
+    MSP430F5438_GEOMETRY,
+    MSP430F5529_GEOMETRY,
+    FlashGeometry,
+)
+
+
+class TestDimensions:
+    def test_msp430f5438_totals(self):
+        g = MSP430F5438_GEOMETRY
+        assert g.total_bytes == 256 * 1024
+        assert g.segment_bytes == 512
+        assert g.words_per_segment == 256
+        assert g.bits_per_segment == 4096
+        assert g.n_segments == 512
+
+    def test_msp430f5529_half_size(self):
+        assert MSP430F5529_GEOMETRY.total_bytes == 128 * 1024
+
+    def test_bytes_per_word(self):
+        assert MSP430F5438_GEOMETRY.bytes_per_word == 2
+
+
+class TestValidation:
+    def test_odd_word_width_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            FlashGeometry(bits_per_word=12)
+
+    def test_fractional_words_per_segment_rejected(self):
+        with pytest.raises(ValueError, match="whole number of words"):
+            FlashGeometry(bits_per_word=32, segment_bytes=510)
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FlashGeometry(n_banks=0)
+
+
+class TestAddressing:
+    def test_segment_of_boundaries(self):
+        g = MSP430F5438_GEOMETRY
+        assert g.segment_of(0) == 0
+        assert g.segment_of(511) == 0
+        assert g.segment_of(512) == 1
+
+    def test_bank_of(self):
+        g = MSP430F5438_GEOMETRY
+        assert g.bank_of(0) == 0
+        assert g.bank_of(64 * 1024) == 1
+
+    def test_segment_base_roundtrip(self):
+        g = MSP430F5438_GEOMETRY
+        for segment in (0, 1, 100, g.n_segments - 1):
+            assert g.segment_of(g.segment_base(segment)) == segment
+
+    def test_out_of_range_byte_address(self):
+        g = MSP430F5438_GEOMETRY
+        with pytest.raises(ValueError, match="outside flash"):
+            g.check_byte_address(g.total_bytes)
+        with pytest.raises(ValueError, match="outside flash"):
+            g.check_byte_address(-1)
+
+    def test_unaligned_word_address(self):
+        with pytest.raises(ValueError, match="word-aligned"):
+            MSP430F5438_GEOMETRY.check_word_address(3)
+
+    def test_segment_bit_slice_extent(self):
+        g = MSP430F5438_GEOMETRY
+        sl = g.segment_bit_slice(2)
+        assert sl.start == 2 * 4096
+        assert sl.stop - sl.start == 4096
+
+    def test_word_bit_slice_extent(self):
+        g = MSP430F5438_GEOMETRY
+        sl = g.word_bit_slice(10)
+        assert sl.start == 80
+        assert sl.stop - sl.start == 16
+
+    def test_bank_segments(self):
+        g = MSP430F5438_GEOMETRY
+        segs = g.bank_segments(1)
+        assert segs[0] == 128
+        assert len(segs) == 128
+
+    def test_bad_bank_rejected(self):
+        with pytest.raises(ValueError, match="bank"):
+            MSP430F5438_GEOMETRY.bank_segments(4)
+
+    def test_bad_segment_rejected(self):
+        with pytest.raises(ValueError, match="segment"):
+            MSP430F5438_GEOMETRY.segment_base(512)
+
+
+class TestAddressProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(address=st.integers(min_value=0, max_value=256 * 1024 - 1))
+    def test_segment_contains_its_addresses(self, address):
+        g = MSP430F5438_GEOMETRY
+        segment = g.segment_of(address)
+        base = g.segment_base(segment)
+        assert base <= address < base + g.segment_bytes
+
+    @settings(max_examples=80, deadline=None)
+    @given(address=st.integers(min_value=0, max_value=256 * 1024 - 1))
+    def test_bit_slices_nest(self, address):
+        """A word's bit slice lies inside its segment's bit slice."""
+        g = MSP430F5438_GEOMETRY
+        word_addr = address - address % g.bytes_per_word
+        word_sl = g.word_bit_slice(word_addr)
+        seg_sl = g.segment_bit_slice(g.segment_of(address))
+        assert seg_sl.start <= word_sl.start
+        assert word_sl.stop <= seg_sl.stop

@@ -1,0 +1,87 @@
+"""Tests for the microcontroller factory and chip lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.device import SUPPORTED_MODELS, make_mcu
+
+
+class TestFactory:
+    def test_default_model(self):
+        chip = make_mcu(n_segments=1)
+        assert chip.model == "MSP430F5438"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            make_mcu(model="ATMEGA328")
+
+    def test_both_models_supported(self):
+        for model in SUPPORTED_MODELS:
+            chip = make_mcu(model=model, n_segments=1)
+            assert chip.model == model
+
+    def test_f5529_is_smaller(self):
+        big = make_mcu(model="MSP430F5438")
+        small = make_mcu(model="MSP430F5529")
+        assert small.geometry.total_bytes < big.geometry.total_bytes
+
+    def test_n_segments_truncation(self):
+        chip = make_mcu(n_segments=3)
+        assert chip.geometry.n_segments == 3
+        assert chip.geometry.segment_bytes == 512
+
+    def test_n_segments_bounds(self):
+        with pytest.raises(ValueError, match="n_segments"):
+            make_mcu(n_segments=0)
+        with pytest.raises(ValueError, match="n_segments"):
+            make_mcu(n_segments=10_000)
+
+    def test_same_seed_same_die(self):
+        a = make_mcu(seed=4, n_segments=1)
+        b = make_mcu(seed=4, n_segments=1)
+        assert a.die_id == b.die_id
+        np.testing.assert_array_equal(
+            a.array.static.tau0_us, b.array.static.tau0_us
+        )
+
+    def test_different_seed_different_die(self):
+        a = make_mcu(seed=4, n_segments=1)
+        b = make_mcu(seed=5, n_segments=1)
+        assert a.die_id != b.die_id
+
+    def test_repr_mentions_model_and_size(self):
+        chip = make_mcu(n_segments=2)
+        assert "MSP430F5438" in repr(chip)
+        assert "1 KiB" in repr(chip)
+
+
+class TestFork:
+    def test_fork_preserves_state(self, quiet_mcu):
+        quiet_mcu.flash.program_segment_bits(
+            0, np.zeros(4096, dtype=np.uint8)
+        )
+        clone = quiet_mcu.fork()
+        assert not clone.flash.read_segment_bits(0).any()
+
+    def test_fork_is_independent(self, quiet_mcu):
+        clone = quiet_mcu.fork()
+        quiet_mcu.flash.program_segment_bits(
+            0, np.zeros(4096, dtype=np.uint8)
+        )
+        assert clone.flash.read_segment_bits(0).all()
+
+    def test_fork_keeps_die_identity(self, quiet_mcu):
+        clone = quiet_mcu.fork()
+        assert clone.die_id == quiet_mcu.die_id
+        assert clone.model == quiet_mcu.model
+
+    def test_fork_carries_clock(self, quiet_mcu):
+        quiet_mcu.flash.erase_segment(0)
+        clone = quiet_mcu.fork()
+        assert clone.trace.now_us == quiet_mcu.trace.now_us
+
+    def test_forks_share_no_trace(self, quiet_mcu):
+        clone = quiet_mcu.fork()
+        before = quiet_mcu.trace.now_us
+        clone.flash.erase_segment(0)
+        assert quiet_mcu.trace.now_us == before

@@ -1,0 +1,130 @@
+"""Tests for the 2-bit MLC flash variant."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    MLC_LEVELS_V,
+    MLC_READ_REFS_V,
+    MlcNorFlash,
+)
+from repro.device.errors import FlashCommandError
+from repro.phys import NoiseParams, PhysicalParams
+
+QUIET = PhysicalParams().with_overrides(
+    noise=NoiseParams(
+        read_sigma_v=0.0, erase_jitter_sigma=0.0, program_sigma_v=0.0
+    )
+)
+
+
+@pytest.fixture
+def chip():
+    return MlcNorFlash(seed=3, params=QUIET)
+
+
+class TestLevelPlacement:
+    def test_levels_roundtrip(self, chip):
+        rng = np.random.default_rng(0)
+        levels = rng.integers(0, 4, size=chip.cells_per_segment)
+        chip.erase_segment(0)
+        chip.program_levels(0, levels)
+        read = chip.read_levels(0)
+        np.testing.assert_array_equal(read.levels, levels)
+
+    def test_levels_and_refs_interleave(self):
+        assert len(MLC_LEVELS_V) == 4
+        assert len(MLC_READ_REFS_V) == 3
+        for i, ref in enumerate(MLC_READ_REFS_V):
+            assert MLC_LEVELS_V[i] < ref < MLC_LEVELS_V[i + 1]
+
+    def test_gray_coding_single_bit_per_level_step(self, chip):
+        chip.erase_segment(0)
+        n = chip.cells_per_segment
+        levels = np.arange(n) % 4
+        chip.program_levels(0, levels)
+        read = chip.read_levels(0)
+        pairs = list(zip(read.lsb, read.msb))
+        for level_a, level_b in ((0, 1), (1, 2), (2, 3)):
+            a = pairs[levels.tolist().index(level_a)]
+            b = pairs[levels.tolist().index(level_b)]
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_level_zero_means_erased(self, chip):
+        chip.erase_segment(0)
+        chip.program_levels(
+            0, np.zeros(chip.cells_per_segment, dtype=np.int64)
+        )
+        read = chip.read_levels(0)
+        assert (read.levels == 0).all()
+        assert read.lsb.all() and read.msb.all()
+
+    def test_bad_levels_rejected(self, chip):
+        with pytest.raises(FlashCommandError, match="0..3"):
+            chip.program_levels(
+                0, np.full(chip.cells_per_segment, 4, dtype=np.int64)
+            )
+
+    def test_wrong_shape_rejected(self, chip):
+        with pytest.raises(FlashCommandError, match="expected"):
+            chip.program_levels(0, np.zeros(3, dtype=np.int64))
+
+    def test_programming_only_raises_levels(self, chip):
+        """Reprogramming a level-3 cell to level 1 must not lower it."""
+        chip.erase_segment(0)
+        n = chip.cells_per_segment
+        chip.program_levels(0, np.full(n, 3, dtype=np.int64))
+        chip.program_levels(0, np.ones(n, dtype=np.int64))
+        assert (chip.read_levels(0).levels == 3).all()
+
+
+class TestPartialErase:
+    def test_levels_collapse_in_order(self, chip):
+        """A partial erase discharges top-level cells through the
+        references one by one: mean level decreases with t_PE."""
+        n = chip.cells_per_segment
+        means = []
+        for t in (0.0, 8.0, 14.0, 20.0, 40.0, 25_000.0):
+            chip.erase_segment(0)
+            chip.program_levels(0, np.full(n, 3, dtype=np.int64))
+            chip.partial_erase(0, t)
+            means.append(float(chip.read_levels(0).levels.mean()))
+        assert means[0] == 3.0
+        assert means[-1] == 0.0
+        assert all(b <= a + 1e-9 for a, b in zip(means, means[1:]))
+
+    def test_negative_time_rejected(self, chip):
+        with pytest.raises(ValueError, match="non-negative"):
+            chip.partial_erase(0, -1.0)
+
+
+class TestMlcFlashmark:
+    def test_imprint_extract_roundtrip(self):
+        chip = MlcNorFlash(seed=5)
+        n = chip.cells_per_segment
+        rng = np.random.default_rng(1)
+        wm = (rng.random(n) < 0.5).astype(np.uint8)
+        chip.imprint_flashmark(0, wm, 60_000)
+        best = min(
+            float(
+                (chip.extract_flashmark_bits(0, float(t)) != wm).mean()
+            )
+            for t in np.arange(20.0, 36.0, 1.0)
+        )
+        assert best < 0.06
+
+    def test_wear_lands_on_zero_bits(self, chip):
+        n = chip.cells_per_segment
+        wm = (np.arange(n) % 2).astype(np.uint8)
+        chip.imprint_flashmark(0, wm, 1_000)
+        sl = chip.geometry.segment_bit_slice(0)
+        pc = chip.array.program_cycles[sl]
+        assert np.all(pc[wm == 0] == 1_000)
+        assert np.all(pc[wm == 1] == 0)
+
+    def test_imprint_charges_device_time(self, chip):
+        t0 = chip.trace.now_us
+        chip.imprint_flashmark(
+            0, np.zeros(chip.cells_per_segment, dtype=np.uint8), 100
+        )
+        assert chip.trace.now_us - t0 > 100 * chip.timing.t_erase_us

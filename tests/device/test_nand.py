@@ -1,0 +1,78 @@
+"""Tests for the SLC NAND variant."""
+
+import pytest
+
+from repro.device import FlashBusyError, FlashCommandError, NandFlash
+from repro.phys import NoiseParams, PhysicalParams
+
+QUIET = PhysicalParams().with_overrides(
+    noise=NoiseParams(
+        read_sigma_v=0.0, erase_jitter_sigma=0.0, program_sigma_v=0.0
+    )
+)
+
+
+@pytest.fixture
+def nand():
+    return NandFlash(seed=4, params=QUIET)
+
+
+class TestPageOperations:
+    def test_fresh_page_reads_ff(self, nand):
+        assert nand.read_page(0, 0) == b"\xff" * nand.page_bytes
+
+    def test_program_and_read(self, nand):
+        data = bytes(range(256)) * 2
+        nand.program_page(0, 3, data)
+        assert nand.read_page(0, 3) == data
+
+    def test_pages_isolated(self, nand):
+        nand.program_page(0, 0, b"\x00" * nand.page_bytes)
+        assert nand.read_page(0, 1) == b"\xff" * nand.page_bytes
+
+    def test_wrong_size_rejected(self, nand):
+        with pytest.raises(FlashCommandError, match="exactly"):
+            nand.program_page(0, 0, b"\x00")
+
+    def test_bad_block_rejected(self, nand):
+        with pytest.raises(FlashCommandError, match="block"):
+            nand.program_page(nand.n_blocks, 0, b"\x00" * nand.page_bytes)
+
+    def test_bad_page_rejected(self, nand):
+        with pytest.raises(FlashCommandError, match="page"):
+            nand.read_page(0, nand.pages_per_block)
+
+
+class TestBlockErase:
+    def test_erase_clears_all_pages(self, nand):
+        for page in range(nand.pages_per_block):
+            nand.program_page(1, page, b"\x00" * nand.page_bytes)
+        nand.erase_block(1)
+        nand.wait_us(nand.controller.timing.t_erase_us + 1)
+        for page in range(nand.pages_per_block):
+            assert nand.read_page(1, page) == b"\xff" * nand.page_bytes
+
+    def test_busy_until_done(self, nand):
+        nand.erase_block(0)
+        assert nand.busy
+        with pytest.raises(FlashBusyError):
+            nand.read_page(0, 0)
+        nand.wait_us(nand.controller.timing.t_erase_us + 1)
+        assert not nand.busy
+
+    def test_reset_aborts_erase(self, nand):
+        for page in range(nand.pages_per_block):
+            nand.program_page(0, page, b"\x00" * nand.page_bytes)
+        nand.erase_block(0)
+        nand.wait_us(23.0)
+        elapsed = nand.reset()
+        assert elapsed == pytest.approx(23.0)
+        assert not nand.busy
+        data = b"".join(
+            nand.read_page(0, p) for p in range(nand.pages_per_block)
+        )
+        ones = sum(bin(b).count("1") for b in data)
+        assert 0 < ones < len(data) * 8
+
+    def test_reset_when_idle(self, nand):
+        assert nand.reset() == 0.0

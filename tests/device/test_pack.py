@@ -1,0 +1,76 @@
+"""Tests for word/bit packing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import bits_to_word, bits_to_words, word_to_bits, words_to_bits
+
+
+class TestScalar:
+    def test_word_to_bits_lsb_first(self):
+        bits = word_to_bits(0x0001, 16)
+        assert bits[0] == 1
+        assert bits[1:].sum() == 0
+
+    def test_known_value(self):
+        # "TC" watermark word from the paper: 0x5443.
+        bits = word_to_bits(0x5443, 16)
+        assert bits_to_word(bits) == 0x5443
+        # 0x43 = 'C' occupies the low byte in little-endian order.
+        assert list(bits[:8]) == [1, 1, 0, 0, 0, 0, 1, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            word_to_bits(0x10000, 16)
+        with pytest.raises(ValueError, match="fit"):
+            word_to_bits(-1, 16)
+
+
+class TestVector:
+    def test_words_to_bits_length(self):
+        bits = words_to_bits(np.array([1, 2, 3]), 16)
+        assert bits.shape == (48,)
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            words_to_bits(np.array([0x1FFFF]), 16)
+
+    def test_ragged_bits_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            bits_to_words(np.zeros(17, dtype=np.uint8), 16)
+
+    def test_byte_width(self):
+        bits = words_to_bits(np.array([0xA5]), 8)
+        assert bits_to_words(bits, 8)[0] == 0xA5
+
+
+class TestRoundtrips:
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=0xFFFF))
+    def test_scalar_roundtrip(self, value):
+        assert bits_to_word(word_to_bits(value, 16)) == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=0xFFFF),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_vector_roundtrip(self, values):
+        words = np.array(values, dtype=np.uint64)
+        back = bits_to_words(words_to_bits(words, 16), 16)
+        np.testing.assert_array_equal(back, words)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=64))
+    def test_vector_matches_scalar(self, data):
+        words = np.frombuffer(
+            data.ljust(len(data) + len(data) % 2, b"\0"), dtype=np.uint16
+        ).astype(np.uint64)
+        vector = words_to_bits(words, 16)
+        scalar = np.concatenate([word_to_bits(int(w), 16) for w in words])
+        np.testing.assert_array_equal(vector, scalar)

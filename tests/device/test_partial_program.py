@@ -1,0 +1,85 @@
+"""Tests for the device-level partial program operation."""
+
+import numpy as np
+import pytest
+
+from repro.device import make_mcu
+
+
+class TestPartialProgram:
+    def test_full_length_equals_program(self, quiet_mcu):
+        other = quiet_mcu.fork(seed=1)
+        pattern = (np.arange(4096) % 2).astype(np.uint8)
+        t_full = quiet_mcu.params.cell.program_t_full_us
+        quiet_mcu.flash.partial_program_segment(0, pattern, t_full)
+        other.flash.program_segment_bits(0, pattern)
+        np.testing.assert_array_equal(
+            quiet_mcu.flash.read_segment_bits(0),
+            other.flash.read_segment_bits(0),
+        )
+
+    def test_short_pulse_leaves_cells_erased_looking(self, quiet_mcu):
+        quiet_mcu.flash.partial_program_segment(
+            0, np.zeros(4096, dtype=np.uint8), 2.0
+        )
+        assert quiet_mcu.flash.read_segment_bits(0).all()
+
+    def test_monotone_in_duration(self, quiet_mcu):
+        counts = []
+        for t in (5.0, 10.0, 14.0, 16.0, 20.0, 75.0):
+            quiet_mcu.flash.erase_segment(0)
+            quiet_mcu.flash.partial_program_segment(
+                0, np.zeros(4096, dtype=np.uint8), t
+            )
+            counts.append(
+                int((quiet_mcu.flash.read_segment_bits(0) == 0).sum())
+            )
+        assert counts == sorted(counts)
+        assert counts[0] == 0
+        assert counts[-1] == 4096
+
+    def test_fractional_wear_charged(self, quiet_mcu):
+        t_full = quiet_mcu.params.cell.program_t_full_us
+        quiet_mcu.flash.partial_program_segment(
+            0, np.zeros(4096, dtype=np.uint8), t_full / 2
+        )
+        sl = quiet_mcu.geometry.segment_bit_slice(0)
+        assert np.all(quiet_mcu.array.program_cycles[sl] == 0.5)
+
+    def test_pattern_one_cells_untouched(self, quiet_mcu):
+        pattern = np.ones(4096, dtype=np.uint8)
+        pattern[:64] = 0
+        quiet_mcu.flash.partial_program_segment(0, pattern, 75.0)
+        bits = quiet_mcu.flash.read_segment_bits(0)
+        assert not bits[:64].any()
+        assert bits[64:].all()
+
+    def test_never_lowers_vth(self, quiet_mcu):
+        quiet_mcu.flash.program_segment_bits(
+            0, np.zeros(4096, dtype=np.uint8)
+        )
+        sl = quiet_mcu.geometry.segment_bit_slice(0)
+        before = quiet_mcu.array.vth[sl].copy()
+        quiet_mcu.flash.partial_program_segment(
+            0, np.zeros(4096, dtype=np.uint8), 5.0
+        )
+        assert np.all(quiet_mcu.array.vth[sl] >= before - 1e-12)
+
+    def test_negative_duration_rejected(self, quiet_mcu):
+        with pytest.raises(ValueError, match="non-negative"):
+            quiet_mcu.flash.partial_program_segment(
+                0, np.zeros(4096, dtype=np.uint8), -1.0
+            )
+
+    def test_wrong_size_rejected(self, quiet_mcu):
+        with pytest.raises(ValueError, match="expected 4096"):
+            quiet_mcu.flash.partial_program_segment(
+                0, np.zeros(5, dtype=np.uint8), 10.0
+            )
+
+    def test_timing_charged(self, quiet_mcu):
+        t0 = quiet_mcu.trace.now_us
+        quiet_mcu.flash.partial_program_segment(
+            0, np.zeros(4096, dtype=np.uint8), 12.0
+        )
+        assert quiet_mcu.trace.now_us - t0 >= 12.0

@@ -1,0 +1,161 @@
+"""Stateful property test of the flash register programming model.
+
+Drives :class:`FlashRegisterFile` with random (but legal-typed) register
+writes, waits, bus accesses and erase triggers, checking the machine's
+invariants after every step:
+
+* BUSY is set exactly while an initiated erase has neither elapsed nor
+  been aborted;
+* bus accesses while BUSY always raise;
+* LOCK always mirrors into the controller;
+* the password discipline holds (bad keys never change state, only set
+  KEYV).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.device import (
+    BUSY,
+    EMEX,
+    ERASE,
+    FCTL1,
+    FCTL3,
+    FWKEY,
+    KEYV,
+    LOCK,
+    WRT,
+    FlashBusyError,
+    FlashCommandError,
+    FlashLockedError,
+    make_mcu,
+)
+from repro.phys import NoiseParams, PhysicalParams
+
+QUIET = PhysicalParams().with_overrides(
+    noise=NoiseParams(
+        read_sigma_v=0.0, erase_jitter_sigma=0.0, program_sigma_v=0.0
+    )
+)
+
+
+class RegisterMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.mcu = make_mcu(seed=42, params=QUIET, n_segments=1)
+        self.regs = self.mcu.regs
+        # Align the register facade's power-up LOCK with the controller
+        # gate (the facade models LOCK=1 at reset; the controller is the
+        # host-driver convenience gate and starts open).
+        self.regs.write_register(FCTL3, FWKEY | LOCK)
+        self.expect_locked = True
+        self.erase_pending = False
+        self.erase_deadline = 0.0
+
+    # -- helpers ----------------------------------------------------
+
+    def _expected_busy(self):
+        if not self.erase_pending:
+            return False
+        return self.mcu.trace.now_us + 1e-9 < self.erase_deadline
+
+    # -- rules -------------------------------------------------------
+
+    @rule(lock=st.booleans())
+    def write_fctl3(self, lock):
+        value = FWKEY | (LOCK if lock else 0)
+        self.regs.write_register(FCTL3, value)
+        self.expect_locked = lock
+        # Writing FCTL3 without EMEX leaves a pending erase running.
+
+    @rule()
+    def write_bad_key(self):
+        self.regs.write_register(FCTL3, 0x1234)
+        assert self.regs.read_register(FCTL3) & KEYV
+
+    @rule(mode=st.sampled_from([0, ERASE, WRT]))
+    def write_fctl1(self, mode):
+        try:
+            self.regs.write_register(FCTL1, FWKEY | mode)
+        except FlashBusyError:
+            assert self._expected_busy()
+
+    @rule()
+    def trigger_erase(self):
+        try:
+            self.regs.dummy_write(0)
+        except FlashBusyError:
+            assert self._expected_busy()
+        except FlashLockedError:
+            assert self.expect_locked
+        except FlashCommandError:
+            mode = self.regs._fctl1
+            assert not mode & ERASE
+        else:
+            self.erase_pending = True
+            self.erase_deadline = (
+                self.mcu.trace.now_us + self.mcu.flash.timing.t_erase_us
+            )
+
+    @rule(duration=st.floats(min_value=1.0, max_value=40_000.0))
+    def wait(self, duration):
+        self.regs.wait_us(duration)
+        if self.erase_pending and not self._expected_busy():
+            self.erase_pending = False
+
+    @rule()
+    def emergency_exit(self):
+        self.regs.write_register(FCTL3, FWKEY | EMEX)
+        self.erase_pending = False
+        self.expect_locked = False
+
+    @rule(address=st.sampled_from([0x0, 0x10, 0x1FE]))
+    def read_word(self, address):
+        try:
+            self.regs.read_word(address)
+        except FlashBusyError:
+            assert self._expected_busy()
+        else:
+            assert not self._expected_busy()
+
+    @rule(address=st.sampled_from([0x0, 0x10]), value=st.integers(0, 0xFFFF))
+    def write_word(self, address, value):
+        try:
+            self.regs.write_word(address, value)
+        except FlashBusyError:
+            assert self._expected_busy()
+        except FlashCommandError:
+            assert not self.regs._fctl1 & WRT
+        except FlashLockedError:
+            assert self.expect_locked
+
+    # -- invariants ------------------------------------------------------
+
+    @invariant()
+    def busy_flag_consistent(self):
+        if not hasattr(self, "regs"):
+            return
+        flag = bool(self.regs.read_register(FCTL3) & BUSY)
+        # Reading FCTL3 completes elapsed erases, so recompute after.
+        if self.erase_pending and not self._expected_busy():
+            self.erase_pending = False
+        assert flag == self._expected_busy()
+
+    @invariant()
+    def lock_mirrors_controller(self):
+        if not hasattr(self, "regs"):
+            return
+        assert self.mcu.flash.locked == self.expect_locked
+
+
+TestRegisterMachine = RegisterMachine.TestCase
+TestRegisterMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

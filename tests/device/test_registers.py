@@ -1,0 +1,170 @@
+"""Tests for the MSP430-style register programming model."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    BUSY,
+    EMEX,
+    ERASE,
+    FCTL1,
+    FCTL3,
+    FRKEY,
+    FWKEY,
+    KEYV,
+    LOCK,
+    MERAS,
+    WRT,
+    FlashBusyError,
+    FlashCommandError,
+    FlashLockedError,
+)
+
+
+@pytest.fixture
+def regs(quiet_mcu):
+    return quiet_mcu.regs
+
+
+def unlock(regs):
+    regs.write_register(FCTL3, FWKEY)  # clear LOCK
+
+
+class TestPassword:
+    def test_bad_key_sets_keyv(self, regs):
+        regs.write_register(FCTL3, 0x1234)
+        assert regs.read_register(FCTL3) & KEYV
+
+    def test_bad_key_ignored(self, regs):
+        regs.write_register(FCTL3, 0x0000)  # would clear LOCK if accepted
+        assert regs.read_register(FCTL3) & LOCK
+
+    def test_good_key_clears_keyv(self, regs):
+        regs.write_register(FCTL3, 0x0000)
+        regs.write_register(FCTL3, FWKEY)
+        assert not regs.read_register(FCTL3) & KEYV
+
+    def test_reads_carry_read_key(self, regs):
+        assert regs.read_register(FCTL3) & 0xFF00 == FRKEY
+
+    def test_unknown_register_rejected(self, regs):
+        with pytest.raises(FlashCommandError, match="unknown"):
+            regs.read_register("FCTL9")
+
+
+class TestLockBit:
+    def test_starts_locked(self, regs):
+        assert regs.read_register(FCTL3) & LOCK
+
+    def test_locked_erase_trigger_rejected(self, regs):
+        regs.write_register(FCTL1, FWKEY | ERASE)
+        with pytest.raises(FlashLockedError):
+            regs.dummy_write(0)
+
+    def test_lock_propagates_to_controller(self, regs):
+        unlock(regs)
+        assert not regs.controller.locked
+        regs.write_register(FCTL3, FWKEY | LOCK)
+        assert regs.controller.locked
+
+
+class TestWordWrite:
+    def test_write_requires_wrt_mode(self, regs):
+        unlock(regs)
+        with pytest.raises(FlashCommandError, match="WRT"):
+            regs.write_word(0x10, 0xBEEF)
+
+    def test_write_and_read_back(self, regs):
+        unlock(regs)
+        regs.write_register(FCTL1, FWKEY | WRT)
+        regs.write_word(0x10, 0xCAFE)
+        assert regs.read_word(0x10) == 0xCAFE
+
+
+class TestEraseStateMachine:
+    def test_canonical_sequence(self, regs, quiet_mcu):
+        """The datasheet unlock-erase-trigger-wait sequence works."""
+        unlock(regs)
+        regs.write_register(FCTL1, FWKEY | WRT)
+        regs.write_word(0x10, 0x0000)
+        regs.write_register(FCTL1, FWKEY | ERASE)
+        regs.dummy_write(0x10)
+        assert regs.busy
+        regs.wait_us(quiet_mcu.flash.timing.t_erase_us + 1)
+        assert not regs.busy
+        assert regs.read_word(0x10) == 0xFFFF
+
+    def test_trigger_without_mode_rejected(self, regs):
+        unlock(regs)
+        with pytest.raises(FlashCommandError, match="ERASE or MERAS"):
+            regs.dummy_write(0)
+
+    def test_access_while_busy_rejected(self, regs):
+        unlock(regs)
+        regs.write_register(FCTL1, FWKEY | ERASE)
+        regs.dummy_write(0)
+        with pytest.raises(FlashBusyError):
+            regs.read_word(0)
+
+    def test_busy_flag_in_fctl3(self, regs):
+        unlock(regs)
+        regs.write_register(FCTL1, FWKEY | ERASE)
+        regs.dummy_write(0)
+        assert regs.read_register(FCTL3) & BUSY
+
+    def test_mass_erase(self, regs, quiet_mcu):
+        unlock(regs)
+        regs.write_register(FCTL1, FWKEY | WRT)
+        regs.write_word(0x10, 0x0000)
+        regs.write_word(512 + 0x10, 0x0000)
+        regs.write_register(FCTL1, FWKEY | MERAS)
+        regs.dummy_write(0)
+        regs.wait_us(quiet_mcu.flash.timing.t_erase_us + 1)
+        assert regs.read_word(0x10) == 0xFFFF
+        assert regs.read_word(512 + 0x10) == 0xFFFF
+
+
+class TestEmergencyExit:
+    def test_partial_erase_via_emex(self, regs, quiet_mcu):
+        """Initiate erase, wait t_PE, EMEX — the Fig. 3/8 primitive."""
+        unlock(regs)
+        regs.write_register(FCTL1, FWKEY | WRT)
+        for word in range(quiet_mcu.geometry.words_per_segment):
+            regs.write_word(word * 2, 0x0000)
+        regs.write_register(FCTL1, FWKEY | ERASE)
+        regs.dummy_write(0)
+        regs.wait_us(23.0)
+        regs.write_register(FCTL3, FWKEY | EMEX)
+        assert not regs.busy
+        bits = quiet_mcu.flash.read_segment_bits(0)
+        # A 23 us abort lands mid-transition on a fresh segment.
+        assert 0 < int(bits.sum()) < bits.size
+
+    def test_emex_when_idle_is_noop(self, regs):
+        regs.write_register(FCTL3, FWKEY | EMEX)
+        assert not regs.busy
+
+    def test_register_and_controller_partial_erase_agree(self, quiet_mcu):
+        """The EMEX path and partial_erase_segment produce the same
+        physical state (same duration, same jitter-free physics)."""
+        via_regs = quiet_mcu.fork(seed=3)
+        via_ctrl = quiet_mcu.fork(seed=3)
+        pattern = np.zeros(4096, dtype=np.uint8)
+
+        via_ctrl.flash.erase_segment(0)
+        via_ctrl.flash.program_segment_bits(0, pattern)
+        via_ctrl.flash.partial_erase_segment(0, 23.0)
+
+        regs = via_regs.regs
+        unlock(regs)
+        via_regs.flash.erase_segment(0)
+        via_regs.flash.program_segment_bits(0, pattern)
+        regs.write_register(FCTL1, FWKEY | ERASE)
+        regs.dummy_write(0)
+        regs.wait_us(23.0)
+        regs.write_register(FCTL3, FWKEY | EMEX)
+
+        np.testing.assert_array_equal(
+            via_ctrl.flash.read_segment_bits(0),
+            via_regs.flash.read_segment_bits(0),
+        )

@@ -1,0 +1,98 @@
+"""Tests for the stand-alone SPI NOR chip model."""
+
+import pytest
+
+from repro.device import FlashBusyError, FlashCommandError, SpiNorFlash
+from repro.phys import NoiseParams, PhysicalParams
+
+QUIET = PhysicalParams().with_overrides(
+    noise=NoiseParams(
+        read_sigma_v=0.0, erase_jitter_sigma=0.0, program_sigma_v=0.0
+    )
+)
+
+
+@pytest.fixture
+def chip():
+    return SpiNorFlash(seed=3, params=QUIET)
+
+
+class TestCommands:
+    def test_jedec_id(self, chip):
+        assert chip.read_jedec_id() == SpiNorFlash.JEDEC_ID
+
+    def test_fresh_chip_reads_ff(self, chip):
+        assert chip.read(0, 4) == b"\xff\xff\xff\xff"
+
+    def test_program_requires_wren(self, chip):
+        with pytest.raises(FlashCommandError, match="WREN"):
+            chip.page_program(0, b"\x00")
+
+    def test_program_and_read(self, chip):
+        chip.write_enable()
+        chip.page_program(0x100, bytes(range(16)))
+        assert chip.read(0x100, 16) == bytes(range(16))
+
+    def test_wel_clears_after_program(self, chip):
+        chip.write_enable()
+        chip.page_program(0, b"\x00")
+        assert not chip.read_status() & 0x02
+
+    def test_page_crossing_rejected(self, chip):
+        chip.write_enable()
+        with pytest.raises(FlashCommandError, match="cross"):
+            chip.page_program(0xF0, bytes(32))
+
+    def test_oversized_program_rejected(self, chip):
+        chip.write_enable()
+        with pytest.raises(FlashCommandError, match="1..256"):
+            chip.page_program(0, bytes(300))
+
+    def test_zero_read_rejected(self, chip):
+        with pytest.raises(ValueError, match="positive"):
+            chip.read(0, 0)
+
+
+class TestSectorErase:
+    def test_erase_completes_after_wait(self, chip):
+        chip.write_enable()
+        chip.page_program(0, b"\x00" * 16)
+        chip.write_enable()
+        chip.sector_erase(0)
+        assert chip.read_status() & 0x01  # WIP
+        chip.wait_us(chip.controller.timing.t_erase_us + 1)
+        assert not chip.read_status() & 0x01
+        assert chip.read(0, 16) == b"\xff" * 16
+
+    def test_read_while_busy_rejected(self, chip):
+        chip.write_enable()
+        chip.sector_erase(0)
+        with pytest.raises(FlashBusyError):
+            chip.read(0, 1)
+
+    def test_erase_suspend_aborts(self, chip):
+        chip.write_enable()
+        for page in range(16):
+            chip.write_enable()
+            chip.page_program(page * 256, b"\x00" * 256)
+        chip.write_enable()
+        chip.sector_erase(0)
+        chip.wait_us(23.0)
+        elapsed = chip.erase_suspend()
+        assert elapsed == pytest.approx(23.0)
+        data = chip.read(0, 4096)
+        ones = sum(bin(b).count("1") for b in data)
+        assert 0 < ones < 4096 * 8  # frozen mid-transition
+
+    def test_suspend_when_idle_returns_zero(self, chip):
+        assert chip.erase_suspend() == 0.0
+
+
+class TestTiming:
+    def test_faster_than_embedded_flash(self, chip):
+        from repro.device import MSP430F5438_TIMING
+
+        assert (
+            chip.controller.timing.t_erase_us
+            < MSP430F5438_TIMING.t_erase_us / 5
+        )

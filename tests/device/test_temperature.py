@@ -1,0 +1,56 @@
+"""Tests for the operating-temperature dependence of erase physics."""
+
+import numpy as np
+import pytest
+
+from repro.device import load_chip, make_mcu, save_chip
+
+
+def erased_at(chip, t_pe_us=23.0):
+    chip.flash.erase_segment(0)
+    chip.flash.program_segment_bits(0, np.zeros(4096, dtype=np.uint8))
+    chip.flash.partial_erase_segment(0, t_pe_us)
+    return int(chip.flash.read_segment_bits(0).sum())
+
+
+class TestTemperature:
+    def test_default_is_nominal(self, quiet_mcu):
+        assert quiet_mcu.temperature_c == pytest.approx(25.0)
+
+    def test_hot_erases_faster(self, quiet_mcu):
+        cold = quiet_mcu.fork(seed=1)
+        hot = quiet_mcu.fork(seed=1)
+        cold.set_temperature(-40.0)
+        hot.set_temperature(85.0)
+        assert erased_at(hot) > erased_at(cold)
+
+    def test_nominal_temperature_is_identity(self, quiet_mcu):
+        a = quiet_mcu.fork(seed=2)
+        b = quiet_mcu.fork(seed=2)
+        b.set_temperature(25.0)
+        assert erased_at(a) == erased_at(b)
+
+    def test_range_enforced(self, quiet_mcu):
+        with pytest.raises(ValueError, match="-55..150"):
+            quiet_mcu.set_temperature(200.0)
+
+    def test_crossing_times_shift(self, quiet_mcu):
+        quiet_mcu.flash.program_segment_bits(
+            0, np.zeros(4096, dtype=np.uint8)
+        )
+        sl = quiet_mcu.geometry.segment_bit_slice(0)
+        nominal = quiet_mcu.array.erase_crossing_times_us(sl).copy()
+        quiet_mcu.set_temperature(85.0)
+        hot = quiet_mcu.array.erase_crossing_times_us(sl)
+        ratio = float(np.median(hot / nominal))
+        assert ratio == pytest.approx(np.exp(-0.008 * 60.0), rel=1e-6)
+
+    def test_fork_carries_temperature(self, quiet_mcu):
+        quiet_mcu.set_temperature(85.0)
+        assert quiet_mcu.fork().temperature_c == pytest.approx(85.0)
+
+    def test_persistence_carries_temperature(self, quiet_mcu, tmp_path):
+        quiet_mcu.set_temperature(-20.0)
+        path = tmp_path / "chip.npz"
+        save_chip(quiet_mcu, path)
+        assert load_chip(path).temperature_c == pytest.approx(-20.0)

@@ -1,0 +1,58 @@
+"""Tests for the timing profiles."""
+
+import pytest
+
+from repro.device import (
+    FAST_SPI_NOR_TIMING,
+    MSP430F5438_TIMING,
+    SLC_NAND_TIMING,
+)
+
+
+class TestMsp430Profile:
+    def test_datasheet_ranges(self):
+        """The paper's Section II numbers: T_ERASE 23-35 ms, T_PROG
+        64-85 us per word."""
+        t = MSP430F5438_TIMING
+        assert 23_000 <= t.t_erase_us <= 35_000
+        assert 64 <= t.t_program_word_us <= 85
+
+    def test_block_write_is_about_10ms_per_segment(self):
+        """Section V: 'block writes (~10 ms)' per 512-byte segment."""
+        t = MSP430F5438_TIMING.segment_program_time_us(256)
+        assert 8_000 <= t <= 12_000
+
+    def test_block_mode_beats_word_mode(self):
+        t = MSP430F5438_TIMING
+        assert t.segment_program_time_us(
+            256, block=True
+        ) < t.segment_program_time_us(256, block=False)
+
+    def test_zero_words_free(self):
+        assert MSP430F5438_TIMING.segment_program_time_us(0) == 0.0
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MSP430F5438_TIMING.segment_program_time_us(-1)
+
+    def test_read_time_scales(self):
+        t = MSP430F5438_TIMING
+        assert t.segment_read_time_us(256, n_reads=3) == pytest.approx(
+            3 * t.segment_read_time_us(256, n_reads=1)
+        )
+
+
+class TestProfileComparison:
+    def test_spi_nor_faster_everywhere(self):
+        mcu, spi = MSP430F5438_TIMING, FAST_SPI_NOR_TIMING
+        assert spi.t_erase_us < mcu.t_erase_us
+        assert spi.t_program_word_block_us < mcu.t_program_word_block_us
+        assert spi.t_read_word_us < mcu.t_read_word_us
+
+    def test_nand_erase_much_faster_than_nor_mcu(self):
+        assert SLC_NAND_TIMING.t_erase_us < MSP430F5438_TIMING.t_erase_us / 5
+
+    def test_profiles_named(self):
+        assert MSP430F5438_TIMING.name == "MSP430F5438"
+        assert FAST_SPI_NOR_TIMING.name == "FAST_SPI_NOR"
+        assert SLC_NAND_TIMING.name == "SLC_NAND"

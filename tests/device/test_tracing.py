@@ -1,0 +1,71 @@
+"""Tests for the operation trace / device clock."""
+
+import pytest
+
+from repro.device import OperationTrace
+
+
+class TestCharging:
+    def test_clock_advances(self):
+        trace = OperationTrace()
+        trace.charge("op", 100.0)
+        trace.charge("op", 50.0)
+        assert trace.now_us == 150.0
+
+    def test_unit_conversions(self):
+        trace = OperationTrace()
+        trace.charge("op", 2_500_000.0)
+        assert trace.now_ms == pytest.approx(2500.0)
+        assert trace.now_s == pytest.approx(2.5)
+
+    def test_energy_accumulates(self):
+        trace = OperationTrace()
+        trace.charge("op", 1.0, energy_uj=3.0)
+        trace.charge("op", 1.0, energy_uj=4.0)
+        assert trace.energy_uj == 7.0
+
+    def test_op_counts_with_bulk(self):
+        trace = OperationTrace()
+        trace.charge("erase", 1.0, count=500)
+        trace.charge("erase", 1.0)
+        assert trace.op_counts["erase"] == 501
+
+    def test_negative_duration_rejected(self):
+        trace = OperationTrace()
+        with pytest.raises(ValueError, match="non-negative"):
+            trace.charge("op", -1.0)
+
+    def test_elapsed_since(self):
+        trace = OperationTrace()
+        trace.charge("op", 10.0)
+        mark = trace.now_us
+        trace.charge("op", 32.0)
+        assert trace.elapsed_since(mark) == 32.0
+
+
+class TestEventLog:
+    def test_events_off_by_default(self):
+        trace = OperationTrace()
+        trace.charge("op", 1.0)
+        assert list(trace.events()) == []
+        assert trace.last_event() is None
+
+    def test_events_recorded_when_enabled(self):
+        trace = OperationTrace(keep_events=True)
+        trace.charge("erase", 10.0, address=0x200)
+        trace.charge("read", 2.0, address=0x204)
+        events = list(trace.events())
+        assert [e.op for e in events] == ["erase", "read"]
+        assert events[0].start_us == 0.0
+        assert events[1].start_us == 10.0
+        assert events[1].end_us == 12.0
+        assert trace.last_event().address == 0x204
+
+    def test_reset(self):
+        trace = OperationTrace(keep_events=True)
+        trace.charge("op", 5.0, energy_uj=1.0)
+        trace.reset()
+        assert trace.now_us == 0.0
+        assert trace.energy_uj == 0.0
+        assert trace.op_counts == {}
+        assert list(trace.events()) == []

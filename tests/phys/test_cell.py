@@ -1,0 +1,106 @@
+"""Tests for the single-cell didactic model."""
+
+import numpy as np
+import pytest
+
+from repro.phys import FloatingGateCell, NoiseParams, PhysicalParams
+
+
+@pytest.fixture
+def cell(params):
+    return FloatingGateCell(params, np.random.default_rng(11))
+
+
+@pytest.fixture
+def quiet_cell(quiet_params):
+    return FloatingGateCell(quiet_params, np.random.default_rng(11))
+
+
+class TestBasicOperation:
+    def test_ships_erased(self, quiet_cell):
+        assert quiet_cell.read() == 1
+
+    def test_program_reads_zero(self, quiet_cell):
+        quiet_cell.program()
+        assert quiet_cell.read() == 0
+
+    def test_erase_restores_one(self, quiet_cell):
+        quiet_cell.program()
+        quiet_cell.erase_full()
+        assert quiet_cell.read() == 1
+
+    def test_program_counts(self, quiet_cell):
+        for _ in range(3):
+            quiet_cell.program()
+            quiet_cell.erase_full()
+        assert quiet_cell.program_cycles == 3
+
+    def test_erase_only_counts(self, quiet_cell):
+        for _ in range(4):
+            quiet_cell.erase_full()
+        assert quiet_cell.erase_only_cycles == 4
+        assert quiet_cell.program_cycles == 0
+
+
+class TestWearBehaviour:
+    def test_crossing_time_grows_with_stress(self, quiet_cell):
+        quiet_cell.program()
+        fresh_crossing = quiet_cell.erase_crossing_time_us()
+        quiet_cell.erase_full()
+        quiet_cell.program_cycles = 50_000  # bulk-equivalent shortcut
+        quiet_cell.program()
+        worn_crossing = quiet_cell.erase_crossing_time_us()
+        assert worn_crossing > 1.05 * fresh_crossing
+
+    def test_susceptible_cell_slows_dramatically(self, quiet_cell):
+        """A high-susceptibility cell (the wear-response tail that the
+        watermark contrast rides on) slows by multiples."""
+        quiet_cell._susceptibility = 8.0
+        quiet_cell.program()
+        fresh_crossing = quiet_cell.erase_crossing_time_us()
+        quiet_cell.erase_full()
+        quiet_cell.program_cycles = 50_000
+        quiet_cell.program()
+        worn_crossing = quiet_cell.erase_crossing_time_us()
+        assert worn_crossing > 2 * fresh_crossing
+
+    def test_partial_erase_leaves_programmed_state(self, quiet_cell):
+        quiet_cell.program()
+        quiet_cell.erase_partial(1.0)  # far below the crossing time
+        assert quiet_cell.read() == 0
+
+    def test_partial_erase_past_crossing_reads_erased(self, quiet_cell):
+        quiet_cell.program()
+        t_cross = quiet_cell.erase_crossing_time_us()
+        quiet_cell.erase_partial(t_cross * 3)
+        assert quiet_cell.read() == 1
+
+    def test_tau_grows_with_effective_cycles(self, quiet_cell):
+        tau_fresh = quiet_cell.tau_us
+        quiet_cell.program_cycles = 50_000
+        assert quiet_cell.tau_us > tau_fresh
+
+
+class TestMajorityRead:
+    def test_majority_stabilises_marginal_cell(self, params):
+        """A cell frozen right at the reference flips across single
+        reads but the 15-read majority is stable across trials."""
+        noisy = PhysicalParams().with_overrides(
+            noise=NoiseParams(
+                read_sigma_v=0.15, erase_jitter_sigma=0.0, program_sigma_v=0.0
+            )
+        )
+        cell = FloatingGateCell(noisy, np.random.default_rng(5))
+        cell.vth = noisy.cell.v_ref - 0.12  # just on the erased side
+        singles = [cell.read() for _ in range(200)]
+        assert 0 < sum(singles) < 200  # single reads flicker
+        majorities = [cell.read_majority(n_reads=25) for _ in range(20)]
+        assert sum(majorities) >= 18  # majority almost always correct
+
+    def test_even_reads_rejected(self, cell):
+        with pytest.raises(ValueError, match="odd"):
+            cell.read_majority(n_reads=4)
+
+    def test_zero_reads_rejected(self, cell):
+        with pytest.raises(ValueError, match="odd"):
+            cell.read_majority(n_reads=0)

@@ -1,0 +1,52 @@
+"""Tests for the physical parameter containers."""
+
+import dataclasses
+
+import pytest
+
+from repro.phys import CellParams, NoiseParams, PhysicalParams, WearParams
+
+
+class TestDefaults:
+    def test_programmed_level_above_reference(self, params):
+        assert params.cell.vth_programmed_mean > params.cell.v_ref
+
+    def test_erased_level_below_reference(self, params):
+        assert params.cell.vth_erased_mean < params.cell.v_ref
+
+    def test_wear_amplitude_positive(self, params):
+        assert params.wear.amplitude > 0
+
+    def test_erase_only_fraction_is_small(self, params):
+        assert 0 < params.wear.erase_only_fraction < 0.5
+
+    def test_sections_are_frozen(self, params):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.cell.v_ref = 1.0
+
+
+class TestWithOverrides:
+    def test_replaces_section(self, params):
+        new = params.with_overrides(noise=NoiseParams(read_sigma_v=0.0))
+        assert new.noise.read_sigma_v == 0.0
+        assert new.cell == params.cell
+
+    def test_original_untouched(self, params):
+        params.with_overrides(wear=WearParams(amplitude=9.0))
+        assert params.wear.amplitude != 9.0
+
+
+class TestDescribe:
+    def test_flattens_all_sections(self, params):
+        flat = params.describe()
+        assert flat["cell.v_ref"] == params.cell.v_ref
+        assert flat["wear.amplitude"] == params.wear.amplitude
+        assert flat["noise.read_sigma_v"] == params.noise.read_sigma_v
+
+    def test_covers_every_field(self, params):
+        flat = params.describe()
+        n_fields = sum(
+            len(dataclasses.fields(cls))
+            for cls in (CellParams, WearParams, NoiseParams)
+        )
+        assert len(flat) == n_fields

@@ -1,0 +1,121 @@
+"""Tests for the Fowler-Nordheim erase-transient math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phys import (
+    apply_erase_transient,
+    crossing_time_us,
+    erase_delta_v,
+    time_to_reach_us,
+)
+
+SLOPE = 3.0
+
+
+class TestDeltaV:
+    def test_zero_time_no_drop(self):
+        assert erase_delta_v(np.array([0.0]), np.array([5.0]), SLOPE)[0] == 0.0
+
+    def test_monotone_in_time(self):
+        t = np.array([1.0, 10.0, 100.0, 1000.0])
+        dv = erase_delta_v(t, np.full(4, 5.0), SLOPE)
+        assert np.all(np.diff(dv) > 0)
+
+    def test_one_decade_drops_one_slope(self):
+        # For t >> tau, dv(10 t) - dv(t) approaches the slope.
+        tau = np.array([1.0])
+        dv1 = erase_delta_v(np.array([1e3]), tau, SLOPE)
+        dv2 = erase_delta_v(np.array([1e4]), tau, SLOPE)
+        assert (dv2 - dv1)[0] == pytest.approx(SLOPE, rel=1e-3)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            erase_delta_v(np.array([-1.0]), np.array([1.0]), SLOPE)
+
+
+class TestTransient:
+    def test_clamps_at_floor(self):
+        vth = apply_erase_transient(
+            np.array([5.0]),
+            np.array([1e9]),
+            np.array([1.0]),
+            np.array([1.5]),
+            SLOPE,
+        )
+        assert vth[0] == 1.5
+
+    def test_partial_erase_between_start_and_floor(self):
+        vth = apply_erase_transient(
+            np.array([5.0]),
+            np.array([10.0]),
+            np.array([5.0]),
+            np.array([1.5]),
+            SLOPE,
+        )
+        assert 1.5 < vth[0] < 5.0
+
+    def test_consecutive_pulses_compound(self):
+        start = np.array([5.0])
+        tau = np.array([5.0])
+        floor = np.array([1.5])
+        once = apply_erase_transient(start, np.array([20.0]), tau, floor, SLOPE)
+        twice = apply_erase_transient(
+            once, np.array([20.0]), tau, floor, SLOPE
+        )
+        assert twice[0] < once[0]
+
+
+class TestCrossing:
+    def test_already_crossed_returns_zero(self):
+        t = crossing_time_us(np.array([2.0]), 3.2, np.array([5.0]), SLOPE)
+        assert t[0] == 0.0
+
+    def test_inverse_of_transient(self):
+        """Erasing for exactly the crossing time lands on the reference."""
+        start = np.array([5.2])
+        tau = np.array([5.8])
+        t_cross = crossing_time_us(start, 3.2, tau, SLOPE)
+        vth = apply_erase_transient(
+            start, t_cross, tau, np.array([0.0]), SLOPE
+        )
+        assert vth[0] == pytest.approx(3.2, abs=1e-9)
+
+    def test_scales_linearly_with_tau(self):
+        t1 = crossing_time_us(np.array([5.2]), 3.2, np.array([1.0]), SLOPE)
+        t3 = crossing_time_us(np.array([5.2]), 3.2, np.array([3.0]), SLOPE)
+        assert t3[0] == pytest.approx(3.0 * t1[0])
+
+
+class TestTimeToReachProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        start=st.floats(min_value=3.3, max_value=6.5),
+        target=st.floats(min_value=1.0, max_value=3.2),
+        tau=st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_roundtrip(self, start, target, tau):
+        """time_to_reach inverts apply_erase_transient exactly."""
+        t = time_to_reach_us(
+            np.array([start]), np.array([target]), np.array([tau]), SLOPE
+        )
+        vth = apply_erase_transient(
+            np.array([start]), t, np.array([tau]), np.array([-10.0]), SLOPE
+        )
+        assert vth[0] == pytest.approx(target, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        start=st.floats(min_value=3.3, max_value=6.5),
+        tau=st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_target_above_start_needs_no_time(self, start, tau):
+        t = time_to_reach_us(
+            np.array([start]),
+            np.array([start + 0.5]),
+            np.array([tau]),
+            SLOPE,
+        )
+        assert t[0] == 0.0

@@ -1,0 +1,44 @@
+"""Tests for the per-operation noise sources."""
+
+import numpy as np
+import pytest
+
+from repro.phys import (
+    NoiseParams,
+    erase_tau_jitter,
+    program_noise,
+    read_noise,
+)
+
+
+class TestZeroSigma:
+    def test_read_noise_zero(self, rng):
+        n = read_noise(100, NoiseParams(read_sigma_v=0.0), rng)
+        assert np.all(n == 0.0)
+
+    def test_jitter_one(self, rng):
+        j = erase_tau_jitter(100, NoiseParams(erase_jitter_sigma=0.0), rng)
+        assert np.all(j == 1.0)
+
+    def test_program_noise_zero(self, rng):
+        n = program_noise(100, NoiseParams(program_sigma_v=0.0), rng)
+        assert np.all(n == 0.0)
+
+
+class TestStatistics:
+    def test_read_noise_scale(self, params):
+        rng = np.random.default_rng(0)
+        n = read_noise(200_000, params.noise, rng)
+        assert n.std() == pytest.approx(params.noise.read_sigma_v, rel=0.02)
+        assert abs(n.mean()) < 3 * params.noise.read_sigma_v / np.sqrt(n.size)
+
+    def test_jitter_positive_and_median_one(self, params):
+        rng = np.random.default_rng(0)
+        j = erase_tau_jitter(200_000, params.noise, rng)
+        assert np.all(j > 0)
+        assert np.median(j) == pytest.approx(1.0, rel=0.01)
+
+    def test_shapes(self, params, rng):
+        assert read_noise(17, params.noise, rng).shape == (17,)
+        assert erase_tau_jitter(17, params.noise, rng).shape == (17,)
+        assert program_noise(17, params.noise, rng).shape == (17,)

@@ -1,0 +1,74 @@
+"""Tests for the program-transient physics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phys import apply_program_transient, program_progress
+
+T_FULL = 75.0
+TAU = 8.0
+
+
+class TestProgress:
+    def test_zero_at_start(self):
+        assert program_progress(np.array([0.0]), T_FULL, TAU)[0] == 0.0
+
+    def test_one_at_full_pulse(self):
+        assert program_progress(np.array([T_FULL]), T_FULL, TAU)[
+            0
+        ] == pytest.approx(1.0)
+
+    def test_clipped_beyond_full(self):
+        assert program_progress(np.array([10 * T_FULL]), T_FULL, TAU)[0] == 1.0
+
+    def test_monotone(self):
+        t = np.linspace(0, T_FULL, 50)
+        p = program_progress(t, T_FULL, TAU)
+        assert np.all(np.diff(p) > 0)
+
+    def test_front_loaded(self):
+        """Half the charge lands in well under half the pulse."""
+        p = program_progress(np.array([T_FULL / 2]), T_FULL, TAU)
+        assert p[0] > 0.6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            program_progress(np.array([1.0]), 0.0, TAU)
+        with pytest.raises(ValueError, match="non-negative"):
+            program_progress(np.array([-1.0]), T_FULL, TAU)
+
+
+class TestTransient:
+    def test_full_pulse_reaches_target(self):
+        vth = apply_program_transient(
+            np.array([1.5]), np.array([5.2]), np.array([T_FULL]), T_FULL, TAU
+        )
+        assert vth[0] == pytest.approx(5.2)
+
+    def test_partial_pulse_lands_between(self):
+        vth = apply_program_transient(
+            np.array([1.5]), np.array([5.2]), np.array([10.0]), T_FULL, TAU
+        )
+        assert 1.5 < vth[0] < 5.2
+
+    def test_never_lowers_vth(self):
+        """Programming a cell already above target does nothing."""
+        vth = apply_program_transient(
+            np.array([5.6]), np.array([5.2]), np.array([T_FULL]), T_FULL, TAU
+        )
+        assert vth[0] == 5.6
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        start=st.floats(min_value=1.0, max_value=5.5),
+        target=st.floats(min_value=1.0, max_value=5.5),
+        t=st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_result_bounded_property(self, start, target, t):
+        vth = apply_program_transient(
+            np.array([start]), np.array([target]), np.array([t]), T_FULL, TAU
+        )[0]
+        assert vth >= start - 1e-12
+        assert vth <= max(start, target) + 1e-12

@@ -1,0 +1,38 @@
+"""Tests for the charge-retention model."""
+
+import numpy as np
+import pytest
+
+from repro.phys import RetentionParams, retention_loss_v
+
+
+class TestRetentionLoss:
+    def test_zero_time_no_loss(self):
+        loss = retention_loss_v(0.0, np.array([0.0]), RetentionParams())
+        assert loss[0] == 0.0
+
+    def test_monotone_in_time(self):
+        params = RetentionParams()
+        cycles = np.array([0.0])
+        losses = [
+            retention_loss_v(t, cycles, params)[0]
+            for t in (1.0, 10.0, 100.0, 1000.0)
+        ]
+        assert all(b > a for a, b in zip(losses, losses[1:]))
+
+    def test_wear_accelerates_loss(self):
+        params = RetentionParams()
+        loss = retention_loss_v(
+            1000.0, np.array([0.0, 10_000.0, 50_000.0]), params
+        )
+        assert loss[0] < loss[1] < loss[2]
+
+    def test_log_time_law(self):
+        params = RetentionParams(rate_v_per_decade=0.05, t0_hours=1.0)
+        l1 = retention_loss_v(1e3, np.array([0.0]), params)[0]
+        l2 = retention_loss_v(1e4, np.array([0.0]), params)[0]
+        assert l2 - l1 == pytest.approx(0.05, rel=1e-2)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            retention_loss_v(-1.0, np.array([0.0]), RetentionParams())

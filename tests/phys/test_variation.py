@@ -1,0 +1,119 @@
+"""Tests for manufacture-time process variation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.phys import sample_static_cells
+
+
+class TestSampling:
+    def test_field_lengths_match(self, params, rng):
+        lot = sample_static_cells(1000, params, rng)
+        assert len(lot) == 1000
+        assert lot.tau0_us.shape == (1000,)
+        assert lot.wear_susceptibility.shape == (1000,)
+        assert lot.vth_programmed.shape == (1000,)
+        assert lot.vth_erased.shape == (1000,)
+
+    def test_reproducible_from_seed(self, params):
+        a = sample_static_cells(512, params, np.random.default_rng(3))
+        b = sample_static_cells(512, params, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.tau0_us, b.tau0_us)
+        np.testing.assert_array_equal(a.vth_programmed, b.vth_programmed)
+
+    def test_different_seeds_differ(self, params):
+        a = sample_static_cells(512, params, np.random.default_rng(3))
+        b = sample_static_cells(512, params, np.random.default_rng(4))
+        assert not np.array_equal(a.tau0_us, b.tau0_us)
+
+    def test_tau_positive(self, params, rng):
+        lot = sample_static_cells(10_000, params, rng)
+        assert np.all(lot.tau0_us > 0)
+
+    def test_tau_centred_on_nominal(self, params, rng):
+        lot = sample_static_cells(50_000, params, rng)
+        assert lot.tau0_us.mean() == pytest.approx(
+            params.cell.erase_tau_us, rel=0.02
+        )
+
+    def test_susceptibility_median_near_one(self, params, rng):
+        lot = sample_static_cells(50_000, params, rng)
+        assert np.median(lot.wear_susceptibility) == pytest.approx(
+            1.0, rel=0.05
+        )
+
+    def test_levels_screened_around_reference(self, params, rng):
+        lot = sample_static_cells(100_000, params, rng)
+        v_ref = params.cell.v_ref
+        assert np.all(lot.vth_programmed >= v_ref + 0.8)
+        assert np.all(lot.vth_erased <= v_ref - 0.8)
+
+    def test_zero_cells_rejected(self, params, rng):
+        with pytest.raises(ValueError, match="positive"):
+            sample_static_cells(0, params, rng)
+
+    def test_negative_cells_rejected(self, params, rng):
+        with pytest.raises(ValueError, match="positive"):
+            sample_static_cells(-5, params, rng)
+
+
+class TestLotValidation:
+    def test_mismatched_lengths_rejected(self, params, rng):
+        from repro.phys import StaticCellLot
+
+        lot = sample_static_cells(8, params, rng)
+        with pytest.raises(ValueError, match="length"):
+            StaticCellLot(
+                tau0_us=lot.tau0_us,
+                wear_susceptibility=lot.wear_susceptibility[:4],
+                vth_programmed=lot.vth_programmed,
+                vth_erased=lot.vth_erased,
+            )
+
+
+class TestSpatialCorrelation:
+    def test_iid_by_default(self, params, rng):
+        from repro.phys import sample_static_cells
+        import numpy as np
+
+        lot = sample_static_cells(50_000, params, rng)
+        w = np.log(lot.wear_susceptibility)
+        corr = np.corrcoef(w[:-8], w[8:])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_correlated_field(self, rng):
+        import dataclasses
+
+        import numpy as np
+
+        from repro.phys import PhysicalParams, sample_static_cells
+
+        params = PhysicalParams().with_overrides(
+            wear=dataclasses.replace(
+                PhysicalParams().wear,
+                susceptibility_correlation_cells=16.0,
+            )
+        )
+        lot = sample_static_cells(50_000, params, rng)
+        w = np.log(lot.wear_susceptibility)
+        corr = np.corrcoef(w[:-8], w[8:])[0, 1]
+        assert corr > 0.7
+
+    def test_marginal_sigma_preserved(self, rng):
+        import dataclasses
+
+        import numpy as np
+
+        from repro.phys import PhysicalParams, sample_static_cells
+
+        params = PhysicalParams().with_overrides(
+            wear=dataclasses.replace(
+                PhysicalParams().wear,
+                susceptibility_correlation_cells=16.0,
+            )
+        )
+        lot = sample_static_cells(200_000, params, rng)
+        sigma = float(np.log(lot.wear_susceptibility).std())
+        assert sigma == pytest.approx(
+            params.wear.susceptibility_sigma, rel=0.02
+        )

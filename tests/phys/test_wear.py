@@ -1,0 +1,76 @@
+"""Tests for the oxide wear model."""
+
+import numpy as np
+import pytest
+
+from repro.phys import (
+    WearParams,
+    effective_cycles,
+    programmed_level_shift,
+    tau_wear_multiplier,
+)
+
+
+class TestEffectiveCycles:
+    def test_full_cycles_count_fully(self, params):
+        n = effective_cycles(np.array([100.0]), np.array([0.0]), params.wear)
+        assert n[0] == 100.0
+
+    def test_erase_only_scaled_down(self, params):
+        n = effective_cycles(np.array([0.0]), np.array([100.0]), params.wear)
+        assert n[0] == pytest.approx(
+            100.0 * params.wear.erase_only_fraction
+        )
+
+    def test_combines_linearly(self, params):
+        n = effective_cycles(
+            np.array([50.0]), np.array([200.0]), params.wear
+        )
+        expected = 50.0 + 200.0 * params.wear.erase_only_fraction
+        assert n[0] == pytest.approx(expected)
+
+
+class TestTauMultiplier:
+    def test_fresh_cell_multiplier_is_one(self, params):
+        m = tau_wear_multiplier(np.array([0.0]), np.array([1.0]), params.wear)
+        assert m[0] == 1.0
+
+    def test_monotone_in_cycles(self, params):
+        cycles = np.array([0.0, 1e3, 1e4, 5e4, 1e5])
+        m = tau_wear_multiplier(cycles, np.ones(5), params.wear)
+        assert np.all(np.diff(m) > 0)
+
+    def test_monotone_in_susceptibility(self, params):
+        s = np.array([0.5, 1.0, 2.0, 4.0])
+        m = tau_wear_multiplier(np.full(4, 2e4), s, params.wear)
+        assert np.all(np.diff(m) > 0)
+
+    def test_power_law_exponent(self):
+        wear = WearParams(amplitude=1.0, exponent=0.5)
+        m1 = tau_wear_multiplier(np.array([1000.0]), np.array([1.0]), wear)
+        m4 = tau_wear_multiplier(np.array([4000.0]), np.array([1.0]), wear)
+        # (m - 1) scales as n**0.5: quadrupling n doubles the wear term.
+        assert (m4[0] - 1.0) == pytest.approx(2.0 * (m1[0] - 1.0))
+
+    def test_negative_cycles_rejected(self, params):
+        with pytest.raises(ValueError, match="non-negative"):
+            tau_wear_multiplier(
+                np.array([-1.0]), np.array([1.0]), params.wear
+            )
+
+
+class TestProgrammedLevelShift:
+    def test_fresh_cell_no_shift(self, params):
+        assert programmed_level_shift(np.array([0.0]), params.wear)[0] == 0.0
+
+    def test_monotone_then_saturates(self, params):
+        cycles = np.array([0.0, 1e4, 5e4, 1e7])
+        shift = programmed_level_shift(cycles, params.wear)
+        assert np.all(np.diff(shift) >= 0)
+        assert shift[-1] == params.wear.vth_programmed_drift_max
+
+    def test_linear_before_saturation(self, params):
+        shift = programmed_level_shift(np.array([2000.0]), params.wear)
+        assert shift[0] == pytest.approx(
+            2.0 * params.wear.vth_programmed_drift
+        )

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.device import load_chip
+
+
+@pytest.fixture
+def chip_file(tmp_path):
+    path = tmp_path / "chip.npz"
+    assert main(["make", str(path), "--seed", "3"]) == 0
+    return path
+
+
+class TestMake:
+    def test_creates_file(self, chip_file):
+        assert chip_file.exists()
+        chip = load_chip(chip_file)
+        assert chip.seed == 3
+
+    def test_model_and_segments(self, tmp_path):
+        path = tmp_path / "c.npz"
+        main(
+            [
+                "make",
+                str(path),
+                "--model",
+                "MSP430F5529",
+                "--segments",
+                "2",
+            ]
+        )
+        chip = load_chip(path)
+        assert chip.model == "MSP430F5529"
+        assert chip.geometry.n_segments == 2
+
+
+class TestLifecycle:
+    def test_imprint_wipe_verify(self, chip_file, capsys):
+        assert main(["imprint", str(chip_file)]) == 0
+        assert main(["wipe", str(chip_file)]) == 0
+        assert main(["verify", str(chip_file)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: authentic" in out
+        assert "status=ACCEPT" in out
+
+    def test_blank_chip_fails_verification(self, chip_file, capsys):
+        assert main(["verify", str(chip_file)]) == 2
+        assert "counterfeit" in capsys.readouterr().out
+
+    def test_reject_chip_fails_verification(self, chip_file, capsys):
+        main(["imprint", str(chip_file), "--status", "REJECT"])
+        assert main(["verify", str(chip_file)]) == 2
+        out = capsys.readouterr().out
+        assert "REJECT" in out
+
+    def test_info(self, chip_file, capsys):
+        main(["imprint", str(chip_file)])
+        assert main(["info", str(chip_file)]) == 0
+        out = capsys.readouterr().out
+        assert "die id" in out
+        assert "worn cells" in out
+
+    def test_characterize(self, chip_file, capsys):
+        assert main(["characterize", str(chip_file)]) == 0
+        out = capsys.readouterr().out
+        assert "full-erase time" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExtendedCommands:
+    def test_detect_on_blank_chip(self, chip_file, capsys):
+        assert main(["detect", str(chip_file)]) == 2
+        assert "watermark present: no" in capsys.readouterr().out
+
+    def test_detect_on_marked_chip(self, chip_file, capsys):
+        main(["imprint", str(chip_file)])
+        assert main(["detect", str(chip_file)]) == 0
+        assert "watermark present: yes" in capsys.readouterr().out
+
+    def test_age(self, chip_file, capsys):
+        assert main(["age", str(chip_file), "--years", "2"]) == 0
+        assert "aged 2.0 year(s)" in capsys.readouterr().out
+        chip = load_chip(chip_file)
+        assert chip.trace.now_s > 2 * 365 * 24 * 3000
+
+    def test_temp(self, chip_file, capsys):
+        assert main(["temp", str(chip_file), "85"]) == 0
+        assert load_chip(chip_file).temperature_c == 85.0
+
+    def test_estimate_wear(self, chip_file, capsys):
+        import numpy as np
+
+        chip = load_chip(chip_file)
+        chip.flash.bulk_pe_cycles(
+            0, np.zeros(4096, dtype=np.uint8), 30_000
+        )
+        from repro.device import save_chip
+
+        save_chip(chip, chip_file)
+        assert main(["estimate-wear", str(chip_file)]) == 0
+        out = capsys.readouterr().out
+        assert "estimated prior stress" in out
+
+
+class TestSignedCli:
+    KEY = "00112233445566778899aabbccddeeff"
+
+    def test_signed_imprint_and_verify(self, chip_file, capsys):
+        assert (
+            main(
+                ["imprint", str(chip_file), "--sign-key", self.KEY]
+            )
+            == 0
+        )
+        assert (
+            main(["verify", str(chip_file), "--sign-key", self.KEY]) == 0
+        )
+        assert "authentic" in capsys.readouterr().out
+
+    def test_wrong_key_fails(self, chip_file, capsys):
+        main(["imprint", str(chip_file), "--sign-key", self.KEY])
+        wrong = "ff" * 16
+        assert (
+            main(["verify", str(chip_file), "--sign-key", wrong]) == 2
+        )
+
+    def test_temperature_compensated_verify(self, chip_file, capsys):
+        main(["imprint", str(chip_file)])
+        main(["temp", str(chip_file), "85"])
+        assert (
+            main(["verify", str(chip_file), "--temperature", "85"]) == 0
+        )
+        assert "authentic" in capsys.readouterr().out

@@ -1,0 +1,19 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.device.spi_nor
+import repro.phys.cell
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.phys.cell, repro.device.spi_nor],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

@@ -1,0 +1,47 @@
+"""Tests for watermark generators."""
+
+import pytest
+
+from repro.workloads import (
+    balanced_random,
+    company_banner,
+    fig10_vector,
+    segment_filling_ascii,
+)
+
+
+class TestGenerators:
+    def test_segment_filling_size(self):
+        wm = segment_filling_ascii(4096)
+        assert wm.n_bits == 4096
+
+    def test_segment_filling_with_replicas(self):
+        wm = segment_filling_ascii(4096, n_replicas=7)
+        assert wm.n_bits * 7 <= 4096
+        assert wm.n_bits == 73 * 8
+
+    def test_too_many_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            segment_filling_ascii(16, n_replicas=10)
+
+    def test_reproducible(self):
+        import numpy as np
+
+        a = segment_filling_ascii(4096, seed=5)
+        b = segment_filling_ascii(4096, seed=5)
+        np.testing.assert_array_equal(a.bits, b.bits)
+
+    def test_fig10_size(self):
+        assert fig10_vector().n_bits == 30
+
+    def test_balanced_random_exact_balance(self):
+        wm = balanced_random(200, seed=1)
+        assert wm.is_balanced
+
+    def test_balanced_random_odd_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            balanced_random(33)
+
+    def test_company_banner(self):
+        wm = company_banner("TC")
+        assert wm.n_bits == 16

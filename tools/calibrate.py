@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Calibration checker: evaluate the physics constants against the paper.
+
+The frozen defaults in :mod:`repro.phys.constants` were derived by
+iterating this script's measurements against the DESIGN.md §5 target
+list (the paper's reported numbers).  Run it after touching any physics
+parameter; it prints each target with the current model's value and a
+pass/fail judgement under the reproduction's tolerance (shape-first:
+within ~2x for BER minima and transition times, a few percent for the
+datasheet-driven timing).
+
+Usage:  python tools/calibrate.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import extract_segment, imprint_watermark
+from repro.core.bits import bit_error_rate
+from repro.device import make_mcu
+from repro.workloads import segment_filling_ascii
+
+
+def measure_ber_minima() -> dict:
+    watermark = segment_filling_ascii(4096, seed=42)
+    out = {}
+    for stress_k in (20, 40, 60, 80):
+        chip = make_mcu(seed=90 + stress_k, n_segments=1)
+        imprint_watermark(chip.flash, 0, watermark, stress_k * 1000)
+        best = 1.0
+        for t in np.arange(16.0, 90.0, 1.0):
+            extraction = extract_segment(chip.flash, 0, float(t))
+            best = min(
+                best, bit_error_rate(watermark.bits, extraction.raw_bits)
+            )
+        out[stress_k] = 100 * best
+    return out
+
+
+def measure_fresh_transition() -> tuple:
+    chip = make_mcu(seed=1, n_segments=1)
+    chip.flash.erase_segment(0)
+    chip.flash.program_segment_bits(
+        0, np.zeros(4096, dtype=np.uint8)
+    )
+    crossings = chip.array.erase_crossing_times_us(
+        chip.geometry.segment_bit_slice(0)
+    )
+    return float(crossings.min()), float(crossings.max())
+
+
+def measure_imprint_times() -> dict:
+    out = {}
+    for stress_k in (40, 70):
+        for accelerated in (False, True):
+            chip = make_mcu(seed=2, n_segments=1)
+            chip.flash.bulk_pe_cycles(
+                0,
+                np.zeros(4096, dtype=np.uint8),
+                stress_k * 1000,
+                accelerated=accelerated,
+            )
+            key = (stress_k, "accel" if accelerated else "base")
+            out[key] = chip.trace.now_s
+    return out
+
+
+def main() -> int:
+    rows = []
+    failures = 0
+
+    def target(name, paper, measured, ok):
+        nonlocal failures
+        rows.append([name, paper, measured, "ok" if ok else "FAIL"])
+        if not ok:
+            failures += 1
+
+    lo, hi = measure_fresh_transition()
+    target("fresh onset [us]", 18.0, lo, 10.0 <= lo <= 22.0)
+    target("fresh full-erase [us]", 35.0, hi, 24.0 <= hi <= 50.0)
+
+    ber = measure_ber_minima()
+    for stress_k, paper in ((20, 19.9), (40, 11.8), (60, 7.6), (80, 2.3)):
+        measured = ber[stress_k]
+        target(
+            f"Fig.9 min BER @{stress_k}K [%]",
+            paper,
+            measured,
+            paper / 2 <= measured <= paper * 2,
+        )
+    target(
+        "BER strictly decreasing in N_PE",
+        "yes",
+        "yes" if list(ber.values()) == sorted(ber.values(), reverse=True) else "no",
+        list(ber.values()) == sorted(ber.values(), reverse=True),
+    )
+
+    times = measure_imprint_times()
+    for key, paper in (
+        ((40, "base"), 1380.0),
+        ((70, "base"), 2415.0),
+        ((40, "accel"), 387.0),
+        ((70, "accel"), 678.0),
+    ):
+        measured = times[key]
+        target(
+            f"imprint {key[0]}K {key[1]} [s]",
+            paper,
+            measured,
+            abs(measured - paper) / paper < 0.15,
+        )
+
+    print(
+        format_table(
+            ["target", "paper", "measured", "status"],
+            rows,
+            title="Flashmark physics calibration vs DESIGN.md §5 targets",
+        )
+    )
+    if failures:
+        print(f"\n{failures} target(s) out of tolerance")
+        return 1
+    print("\nall targets within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate every reproduced table/figure into results/.
+
+Thin wrapper over the benchmark suite: runs it with output capture
+disabled and splits the printed experiment blocks into one text file per
+experiment under ``results/``, plus a combined ``results/all.txt``.
+
+Usage:  python tools/run_experiments.py [results_dir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+
+def main() -> int:
+    out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/",
+            "--benchmark-only",
+            "-q",
+            "-s",
+        ],
+        cwd=repo,
+        capture_output=True,
+        text=True,
+    )
+    text = proc.stdout
+    (out_dir / "all.txt").write_text(text)
+
+    # Each experiment block is "=====\ntitle\n=====\nbody\n".
+    blocks = re.findall(
+        r"={10,}\n(.+?)\n={10,}\n(.*?)(?=\n={10,}\n|\Z)", text, re.S
+    )
+    for title, body in blocks:
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+        (out_dir / f"{slug}.txt").write_text(f"{title}\n\n{body.strip()}\n")
+    print(f"wrote {len(blocks)} experiment reports to {out_dir}/")
+    if proc.returncode != 0:
+        print("WARNING: benchmark suite reported failures", file=sys.stderr)
+        print(proc.stdout[-2000:], file=sys.stderr)
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
