@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples calibrate clean
+.PHONY: install test bench experiments examples calibrate telemetry-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ examples:
 
 calibrate:
 	$(PYTHON) tools/calibrate.py
+
+telemetry-demo:
+	$(PYTHON) -m repro telemetry --selftest
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

@@ -29,6 +29,24 @@ def report():
     return _report
 
 
+@pytest.fixture
+def telemetry(benchmark):
+    """A live telemetry context whose manifest rides along with the run.
+
+    On teardown the run manifest (stages, span stats, metrics) is
+    attached to pytest-benchmark's ``extra_info``, so ``BENCH_*.json``
+    trajectories carry the per-stage device/wall breakdown that explains
+    *why* a number moved — not just that it did.
+    """
+    from repro.telemetry import Telemetry, build_manifest
+
+    tel = Telemetry()
+    yield tel
+    benchmark.extra_info["run_manifest"] = build_manifest(
+        tel, kind="benchmark"
+    )
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark's timer.
 

@@ -29,7 +29,7 @@ PAPER_S = {
 PAPER_EXTRACT_MS = 170.0
 
 
-def test_timing_table(benchmark, report):
+def test_timing_table(benchmark, report, telemetry):
     watermark = segment_filling_ascii(4096, seed=7, n_replicas=7)
 
     def experiment():
@@ -37,22 +37,31 @@ def test_timing_table(benchmark, report):
         for stress_k in (40, 70):
             for accelerated in (False, True):
                 chip = make_mcu(seed=20 + stress_k, n_segments=1)
-                rep = imprint_watermark(
-                    chip.flash,
-                    0,
-                    watermark,
-                    stress_k * 1000,
-                    n_replicas=7,
-                    accelerated=accelerated,
-                )
                 mode = "accelerated" if accelerated else "baseline"
+                telemetry.bind_trace(chip.flash.trace)
+                with telemetry.span(f"imprint.{stress_k}k.{mode}"):
+                    rep = imprint_watermark(
+                        chip.flash,
+                        0,
+                        watermark,
+                        stress_k * 1000,
+                        n_replicas=7,
+                        accelerated=accelerated,
+                        telemetry=telemetry,
+                    )
                 times[(stress_k, mode)] = rep.duration_s
 
         # Extraction cost: one full round with 3-read majority voting
         # over the whole (replicated) segment.
         chip = make_mcu(seed=21, n_segments=1)
-        imprint_watermark(chip.flash, 0, watermark, 40_000, n_replicas=7)
-        extraction = extract_segment(chip.flash, 0, 26.0, n_reads=3)
+        telemetry.bind_trace(chip.flash.trace)
+        imprint_watermark(
+            chip.flash, 0, watermark, 40_000, n_replicas=7,
+            telemetry=telemetry,
+        )
+        extraction = extract_segment(
+            chip.flash, 0, 26.0, n_reads=3, telemetry=telemetry
+        )
         times["extract_ms"] = extraction.duration_ms
 
         # The paper's stand-alone NOR remark: compare per-byte imprint

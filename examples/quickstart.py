@@ -18,6 +18,7 @@ from repro import (
     WatermarkPayload,
     make_mcu,
 )
+from repro.telemetry import Telemetry, summarize_manifest
 
 
 def main() -> None:
@@ -27,7 +28,7 @@ def main() -> None:
     print(f"manufactured {chip!r}")
 
     # -- manufacturer side (die-sort) --------------------------------
-    session = FlashmarkSession(chip)
+    session = FlashmarkSession(chip, telemetry=Telemetry())
     payload = WatermarkPayload(
         manufacturer="TCMK",  # the paper's Trusted Chipmaker
         die_id=chip.die_id,
@@ -56,6 +57,10 @@ def main() -> None:
     print(f"recovered payload: {verification.payload}")
     assert verification.verdict.name == "AUTHENTIC"
     assert verification.payload.die_id == chip.die_id
+
+    # -- run manifest: the machine-readable record of the session -----
+    print()
+    print(summarize_manifest(session.run_manifest()))
 
 
 if __name__ == "__main__":

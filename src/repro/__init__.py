@@ -60,6 +60,7 @@ from .device import (
     make_mcu,
 )
 from .phys import PhysicalParams
+from .telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -92,4 +93,6 @@ __all__ = [
     "SpiNorFlash",
     "NandFlash",
     "PhysicalParams",
+    # observability
+    "Telemetry",
 ]

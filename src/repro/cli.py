@@ -14,11 +14,17 @@ The CLI plays both supply-chain roles on persisted chip state
     $ python -m repro verify chip.npz
     $ python -m repro characterize chip.npz --segment 0
     $ python -m repro info chip.npz
+    # observability
+    $ python -m repro imprint chip.npz --manifest run.json
+    $ python -m repro telemetry summarize run.json
+    $ python -m repro telemetry diff before.json after.json
+    $ python -m repro telemetry --selftest
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -41,6 +47,14 @@ from .core import (
 from .core.screening import detect_watermark_presence
 from .device import age_chip, make_mcu
 from .device.persistence import load_chip, save_chip
+from .telemetry import (
+    Telemetry,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    save_manifest,
+    summarize_manifest,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sign-key",
         help="hex-encoded manufacturer key; adds a keyed signature tag",
     )
+    p.add_argument(
+        "--manifest",
+        help="write the run manifest (JSON) to this path",
+    )
 
     p = sub.add_parser("wipe", help="erase a segment digitally")
     p.add_argument("chip")
@@ -93,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="die temperature [C]; compensates the extraction window",
+    )
+    p.add_argument(
+        "--manifest",
+        help="write the run manifest (JSON) to this path",
     )
 
     p = sub.add_parser("characterize", help="partial-erase sweep (Fig. 3)")
@@ -122,6 +144,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("temp", help="set the die junction temperature")
     p.add_argument("chip")
     p.add_argument("celsius", type=float)
+
+    p = sub.add_parser(
+        "telemetry", help="summarize / diff run manifests, or --selftest"
+    )
+    p.add_argument(
+        "action",
+        nargs="?",
+        choices=["summarize", "diff"],
+        help="summarize one manifest or diff two",
+    )
+    p.add_argument(
+        "manifests", nargs="*", help="manifest JSON file(s)"
+    )
+    p.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run a small imprint/verify session and check that its "
+        "manifest reconciles with the device clock",
+    )
     return parser
 
 
@@ -156,6 +197,9 @@ def _cmd_imprint(args) -> int:
         f"(die 0x{payload.die_id:012X}) with {report.n_pe} cycles in "
         f"{report.duration_s:.0f} s of device time"
     )
+    if args.manifest:
+        session.write_manifest(args.manifest)
+        print(f"run manifest -> {args.manifest}")
     return 0
 
 
@@ -194,13 +238,41 @@ def _published_verifier(
 def _cmd_verify(args) -> int:
     chip = load_chip(args.chip)
     sign_key = bytes.fromhex(args.sign_key) if args.sign_key else None
-    verifier = _published_verifier(
-        chip, args.n_pe, args.replicas, sign_key=sign_key
-    )
-    report = verifier.verify(
-        chip.flash, args.segment, temperature_c=args.temperature
-    )
+    telemetry = Telemetry()
+    chip.flash.attach_telemetry(telemetry)
+    with telemetry.span("calibration", n_pe=args.n_pe):
+        verifier = _published_verifier(
+            chip, args.n_pe, args.replicas, sign_key=sign_key
+        )
+    with telemetry.span("verify", segment=args.segment) as sp:
+        report = verifier.verify(
+            chip.flash,
+            args.segment,
+            temperature_c=args.temperature,
+            telemetry=telemetry,
+        )
+        sp.set("verdict", report.verdict.value)
     save_chip(chip, args.chip)  # extraction wears/rewrites the segment
+    if args.manifest:
+        if report.ber is not None:
+            telemetry.gauge("verify.ber", report.ber)
+        save_manifest(
+            build_manifest(
+                telemetry,
+                kind="verify",
+                parameters={
+                    "n_pe": args.n_pe,
+                    "n_replicas": args.replicas,
+                    "segment": args.segment,
+                    "temperature_c": args.temperature,
+                },
+                seeds={"chip_seed": chip.seed},
+                trace=chip.trace,
+                verdict=report.verdict.value,
+            ),
+            args.manifest,
+        )
+        print(f"run manifest -> {args.manifest}")
     print(f"verdict: {report.verdict.value}")
     print(f"reason:  {report.reason}")
     if report.payload is not None:
@@ -299,6 +371,86 @@ def _cmd_temp(args) -> int:
     return 0
 
 
+def _telemetry_selftest() -> int:
+    """End-to-end smoke check of the telemetry layer.
+
+    Imprints and verifies a default chip with a live telemetry context,
+    then asserts that the manifest's stage device times reconcile with
+    the chip's operation-trace clock.
+    """
+    chip = make_mcu(seed=11, n_segments=1)
+    session = FlashmarkSession(chip, telemetry=Telemetry())
+    payload = WatermarkPayload(
+        manufacturer="TCMK",
+        die_id=chip.die_id,
+        speed_grade=3,
+        status=ChipStatus.ACCEPT,
+    )
+    session.imprint_payload(payload, n_pe=40_000, n_replicas=7)
+    report = session.verify()
+    manifest = session.run_manifest()
+    print(summarize_manifest(manifest))
+    stage_us = sum(s["device_us"] for s in manifest["stages"])
+    clock_us = chip.trace.now_us
+    drift = abs(stage_us - clock_us)
+    tolerance = 1e-6 * max(clock_us, 1.0)
+    checks = {
+        "verdict is authentic": report.verdict.value == "authentic",
+        "stages present": {"imprint", "calibration", "verify"}
+        <= {s["name"] for s in manifest["stages"]},
+        "extract span recorded": any(
+            "extract" in p for p in manifest["span_stats"]
+        ),
+        f"stage/clock drift {drift:.3g} us within {tolerance:.3g} us":
+            drift <= tolerance,
+    }
+    ok = all(checks.values())
+    for label, passed in checks.items():
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+    print(f"telemetry selftest: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_telemetry(args) -> int:
+    if args.selftest:
+        return _telemetry_selftest()
+    if args.action == "summarize":
+        if len(args.manifests) != 1:
+            print(
+                "telemetry summarize takes exactly one manifest",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            manifest = load_manifest(args.manifests[0])
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"telemetry: {exc}", file=sys.stderr)
+            return 1
+        print(summarize_manifest(manifest))
+        return 0
+    if args.action == "diff":
+        if len(args.manifests) != 2:
+            print(
+                "telemetry diff takes exactly two manifests",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            a = load_manifest(args.manifests[0])
+            b = load_manifest(args.manifests[1])
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"telemetry: {exc}", file=sys.stderr)
+            return 1
+        print(diff_manifests(a, b))
+        return 0
+    print(
+        "usage: repro telemetry summarize <manifest> | "
+        "diff <a> <b> | --selftest",
+        file=sys.stderr,
+    )
+    return 1
+
+
 _COMMANDS = {
     "make": _cmd_make,
     "imprint": _cmd_imprint,
@@ -310,6 +462,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "estimate-wear": _cmd_estimate_wear,
     "temp": _cmd_temp,
+    "telemetry": _cmd_telemetry,
 }
 
 

@@ -22,6 +22,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..device.mcu import Microcontroller
+from ..telemetry import current as current_telemetry
 from .bits import bit_error_rate
 from .decoder import ErrorAsymmetry, measure_asymmetry
 from .extract import extract_watermark
@@ -73,6 +74,7 @@ def calibrate_family(
     window_tolerance: float = 0.25,
     seed0: int = 1000,
     operating_point: str = "safe",
+    telemetry=None,
 ) -> FamilyCalibration:
     """Find the best partial-erase window for a device family.
 
@@ -124,23 +126,39 @@ def calibrate_family(
     ber_sum = np.zeros(t_grid_us.size)
     asym_at: list = [None] * t_grid_us.size
     model = probe.model
-    for c in range(n_chips):
-        chip = probe if c == 0 else chip_factory(seed0 + c)
-        report = imprint_watermark(
-            chip.flash, segment, watermark, n_pe, n_replicas=n_replicas
-        )
-        for i, t in enumerate(t_grid_us):
-            decoded = extract_watermark(
-                chip.flash, segment, report.layout, float(t), n_reads=n_reads
-            )
-            ber_sum[i] += bit_error_rate(watermark.bits, decoded.bits)
-            if c == 0:
-                expected_matrix = np.tile(
-                    watermark.bits, (n_replicas, 1)
+    tel = telemetry if telemetry is not None else current_telemetry()
+    with tel.span(
+        "calibration.sweep",
+        model=model,
+        n_chips=n_chips,
+        grid_points=int(t_grid_us.size),
+        n_pe=n_pe,
+    ):
+        for c in range(n_chips):
+            chip = probe if c == 0 else chip_factory(seed0 + c)
+            with tel.span("calibration.chip", index=c):
+                report = imprint_watermark(
+                    chip.flash, segment, watermark, n_pe,
+                    n_replicas=n_replicas,
                 )
-                asym_at[i] = measure_asymmetry(
-                    expected_matrix, decoded.replica_matrix
-                )
+                for i, t in enumerate(t_grid_us):
+                    decoded = extract_watermark(
+                        chip.flash,
+                        segment,
+                        report.layout,
+                        float(t),
+                        n_reads=n_reads,
+                    )
+                    ber_sum[i] += bit_error_rate(
+                        watermark.bits, decoded.bits
+                    )
+                    if c == 0:
+                        expected_matrix = np.tile(
+                            watermark.bits, (n_replicas, 1)
+                        )
+                        asym_at[i] = measure_asymmetry(
+                            expected_matrix, decoded.replica_matrix
+                        )
     ber = ber_sum / n_chips
     best_idx = int(np.argmin(ber))
     threshold = ber[best_idx] + window_tolerance * (

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..device.controller import FlashController
+from ..telemetry import current as current_telemetry
 from .decoder import AsymmetricDecoder, majority_vote
 from .replication import ReplicaLayout
 
@@ -59,6 +60,7 @@ def extract_segment(
     segment: int,
     t_pew_us: float,
     n_reads: int = 1,
+    telemetry=None,
 ) -> ExtractionResult:
     """One ExtractFlashmark round (Fig. 8), returning the raw bit map.
 
@@ -67,20 +69,27 @@ def extract_segment(
     """
     if t_pew_us < 0:
         raise ValueError("t_pew_us must be non-negative")
+    tel = telemetry if telemetry is not None else current_telemetry()
     trace = flash.trace
-    t0 = trace.now_us
-    flash.erase_segment(segment)
-    flash.program_segment_bits(
-        segment, np.zeros(flash.geometry.bits_per_segment, dtype=np.uint8)
-    )
-    flash.partial_erase_segment(segment, t_pew_us)
-    raw = flash.read_segment_bits(segment, n_reads=n_reads)
+    with tel.span(
+        "extract", segment=segment, t_pew_us=t_pew_us, n_reads=n_reads
+    ) as sp:
+        t0 = trace.now_us
+        flash.erase_segment(segment)
+        flash.program_segment_bits(
+            segment,
+            np.zeros(flash.geometry.bits_per_segment, dtype=np.uint8),
+        )
+        flash.partial_erase_segment(segment, t_pew_us)
+        raw = flash.read_segment_bits(segment, n_reads=n_reads)
+        duration_ms = (trace.now_us - t0) / 1e3
+        sp.set("duration_ms", duration_ms)
     return ExtractionResult(
         segment=segment,
         t_pew_us=t_pew_us,
         n_reads=n_reads,
         raw_bits=raw,
-        duration_ms=(trace.now_us - t0) / 1e3,
+        duration_ms=duration_ms,
     )
 
 
@@ -91,6 +100,7 @@ def extract_watermark(
     t_pew_us: float,
     n_reads: int = 1,
     decoder: Optional[AsymmetricDecoder] = None,
+    telemetry=None,
 ) -> DecodedWatermark:
     """Extract and decode a replicated watermark.
 
@@ -99,7 +109,9 @@ def extract_watermark(
     procedure) or, if ``decoder`` is given, the asymmetry-aware
     maximum-likelihood vote.
     """
-    extraction = extract_segment(flash, segment, t_pew_us, n_reads=n_reads)
+    extraction = extract_segment(
+        flash, segment, t_pew_us, n_reads=n_reads, telemetry=telemetry
+    )
     matrix = layout.gather(extraction.raw_bits)
     if decoder is None:
         bits = majority_vote(matrix)

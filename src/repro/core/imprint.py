@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..device.controller import FlashController
+from ..telemetry import current as current_telemetry
 from .replication import ReplicaLayout
 from .watermark import Watermark
 
@@ -67,6 +68,7 @@ def imprint_pattern(
     n_pe: int,
     accelerated: bool = False,
     bulk: bool = True,
+    telemetry=None,
 ) -> tuple:
     """Imprint a raw segment-sized pattern; returns (duration_s, energy_mj).
 
@@ -78,21 +80,31 @@ def imprint_pattern(
     if n_pe < 0:
         raise ValueError("n_pe must be non-negative")
     pattern_bits = np.asarray(pattern_bits, dtype=np.uint8)
+    tel = telemetry if telemetry is not None else current_telemetry()
     trace = flash.trace
-    t0, e0 = trace.now_us, trace.energy_uj
-    if bulk:
-        flash.bulk_pe_cycles(
-            segment, pattern_bits, n_pe, accelerated=accelerated
-        )
-    else:
-        for _ in range(n_pe):
-            if accelerated:
-                flash.erase_segment_until_clean(segment)
-            else:
-                flash.erase_segment(segment)
-            flash.program_segment_bits(segment, pattern_bits)
-    duration_s = (trace.now_us - t0) / 1e6
-    energy_mj = (trace.energy_uj - e0) / 1e3
+    with tel.span(
+        "imprint.cycle_loop",
+        n_pe=n_pe,
+        accelerated=accelerated,
+        bulk=bulk,
+        segment=segment,
+    ) as sp:
+        t0, e0 = trace.now_us, trace.energy_uj
+        if bulk:
+            flash.bulk_pe_cycles(
+                segment, pattern_bits, n_pe, accelerated=accelerated
+            )
+        else:
+            for _ in range(n_pe):
+                if accelerated:
+                    flash.erase_segment_until_clean(segment)
+                else:
+                    flash.erase_segment(segment)
+                flash.program_segment_bits(segment, pattern_bits)
+        duration_s = (trace.now_us - t0) / 1e6
+        energy_mj = (trace.energy_uj - e0) / 1e3
+        sp.set("device_s", duration_s)
+        sp.set("energy_mj", energy_mj)
     return duration_s, energy_mj
 
 
@@ -105,6 +117,7 @@ def imprint_watermark(
     layout_style: str = "contiguous",
     accelerated: bool = False,
     bulk: bool = True,
+    telemetry=None,
 ) -> ImprintReport:
     """Imprint ``n_replicas`` copies of a watermark into ``segment``.
 
@@ -126,6 +139,9 @@ def imprint_watermark(
         Use premature erase exits (Section V's ~3.5x speed-up).
     bulk:
         Vectorised fast path (exact); pass False to simulate every cycle.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; defaults to the
+        ambient context (a no-op unless one is installed).
     """
     layout = ReplicaLayout(
         n_bits=watermark.n_bits,
@@ -135,7 +151,13 @@ def imprint_watermark(
     )
     pattern = layout.tile(watermark.bits)
     duration_s, energy_mj = imprint_pattern(
-        flash, segment, pattern, n_pe, accelerated=accelerated, bulk=bulk
+        flash,
+        segment,
+        pattern,
+        n_pe,
+        accelerated=accelerated,
+        bulk=bulk,
+        telemetry=telemetry,
     )
     return ImprintReport(
         segment=segment,

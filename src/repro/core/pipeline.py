@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..device.mcu import Microcontroller, make_mcu
+from ..telemetry import Telemetry, build_manifest, save_manifest
 from .calibration import FamilyCalibration, calibrate_family
 from .extract import DecodedWatermark, extract_watermark
 from .imprint import ImprintReport, imprint_watermark
@@ -56,6 +57,12 @@ class FlashmarkSession:
         Published family calibration.  When omitted, one is derived on
         demand from sibling chips of the same model (slower but
         self-contained).
+    telemetry:
+        Observability context.  A fresh enabled
+        :class:`~repro.telemetry.Telemetry` is created by default, so
+        every session yields a run manifest (:meth:`run_manifest`); pass
+        ``Telemetry(enabled=False)`` to opt out, or a shared context to
+        aggregate several sessions.
     """
 
     def __init__(
@@ -63,12 +70,16 @@ class FlashmarkSession:
         chip: Microcontroller,
         segment: int = 0,
         calibration: Optional[FamilyCalibration] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.chip = chip
         self.segment = segment
         self._calibration = calibration
         self._state: Optional[_SessionState] = None
         self._signature_scheme: Optional[SignatureScheme] = None
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        chip.flash.attach_telemetry(self.telemetry)
+        self._last_verdict: Optional[str] = None
 
     # -- manufacturer side ----------------------------------------------
 
@@ -85,14 +96,31 @@ class FlashmarkSession:
     ) -> ImprintReport:
         """Imprint a watermark and remember the format for later steps."""
         imprinted = watermark.balanced() if balanced else watermark
-        report = imprint_watermark(
-            self.chip.flash,
-            self.segment,
-            imprinted,
-            n_pe,
+        with self.telemetry.span(
+            "imprint",
+            n_pe=n_pe,
             n_replicas=n_replicas,
-            layout_style=layout_style,
+            balanced=balanced,
             accelerated=accelerated,
+            layout_style=layout_style,
+            ecc=ecc,
+        ) as sp:
+            report = imprint_watermark(
+                self.chip.flash,
+                self.segment,
+                imprinted,
+                n_pe,
+                n_replicas=n_replicas,
+                layout_style=layout_style,
+                accelerated=accelerated,
+                telemetry=self.telemetry,
+            )
+            sp.set("n_stressed_cells", report.n_stressed_cells)
+            sp.set("duration_s", report.duration_s)
+        self.telemetry.gauge("imprint.duration_s", report.duration_s)
+        self.telemetry.gauge("imprint.energy_mj", report.energy_mj)
+        self.telemetry.gauge(
+            "imprint.n_stressed_cells", report.n_stressed_cells
         )
         self._state = _SessionState(
             watermark=imprinted,
@@ -157,15 +185,29 @@ class FlashmarkSession:
         """The family calibration (derived on first use if not supplied)."""
         if self._calibration is None:
             state = self._require_state()
-            self._calibration = calibrate_family(
-                lambda seed: make_mcu(
-                    model=self.chip.model,
-                    seed=seed,
-                    params=self.chip.params,
-                    n_segments=1,
-                ),
+            with self.telemetry.span(
+                "calibration",
                 n_pe=state.imprint_report.n_pe,
                 n_replicas=state.format.n_replicas,
+            ) as sp:
+                self._calibration = calibrate_family(
+                    lambda seed: make_mcu(
+                        model=self.chip.model,
+                        seed=seed,
+                        params=self.chip.params,
+                        n_segments=1,
+                    ),
+                    n_pe=state.imprint_report.n_pe,
+                    n_replicas=state.format.n_replicas,
+                    telemetry=self.telemetry,
+                )
+                sp.set("t_pew_us", self._calibration.t_pew_us)
+                sp.set("expected_ber", self._calibration.expected_ber)
+            self.telemetry.gauge(
+                "calibration.t_pew_us", self._calibration.t_pew_us
+            )
+            self.telemetry.gauge(
+                "calibration.expected_ber", self._calibration.expected_ber
             )
         return self._calibration
 
@@ -182,12 +224,14 @@ class FlashmarkSession:
         layout = state.format.layout_for(
             self.chip.geometry.bits_per_segment
         )
+        t_pew_us = self.calibration.t_pew_us  # may open a calibration span
         return extract_watermark(
             self.chip.flash,
             self.segment,
             layout,
-            self.calibration.t_pew_us,
+            t_pew_us,
             n_reads=n_reads,
+            telemetry=self.telemetry,
         )
 
     def verify(
@@ -204,15 +248,80 @@ class FlashmarkSession:
         for the realistic knows-only-the-format flow.
         """
         state = self._require_state()
-        verifier = WatermarkVerifier(
-            self.calibration,
-            state.format,
-            expected=expected if expected is not None else state.watermark,
-            max_ber=max_ber,
-            use_asymmetric_decoder=use_asymmetric_decoder,
-            signature_scheme=self._signature_scheme,
+        calibration = self.calibration  # resolve outside the verify span
+        with self.telemetry.span("verify", max_ber=max_ber) as sp:
+            verifier = WatermarkVerifier(
+                calibration,
+                state.format,
+                expected=(
+                    expected if expected is not None else state.watermark
+                ),
+                max_ber=max_ber,
+                use_asymmetric_decoder=use_asymmetric_decoder,
+                signature_scheme=self._signature_scheme,
+            )
+            report = verifier.verify(
+                self.chip.flash, self.segment, telemetry=self.telemetry
+            )
+            sp.set("verdict", report.verdict.value)
+            sp.set("reason", report.reason)
+            if report.ber is not None:
+                sp.set("ber", report.ber)
+        self._last_verdict = report.verdict.value
+        if report.ber is not None:
+            self.telemetry.gauge("verify.ber", report.ber)
+        self.telemetry.gauge(
+            "verify.stressed_outliers", report.stressed_outliers
         )
-        return verifier.verify(self.chip.flash, self.segment)
+        self.telemetry.count(f"verify.verdict.{report.verdict.value}")
+        return report
+
+    # -- observability ----------------------------------------------------
+
+    def run_manifest(self) -> dict:
+        """The session's machine-readable run manifest.
+
+        Captures parameters, seeds, per-stage spans (imprint,
+        calibration, extract, verify), the metrics snapshot, the chip's
+        device-clock totals and the last verdict.  Stage device times
+        reconcile with ``chip.trace.now_us`` when every charged
+        operation ran inside a session stage.
+        """
+        parameters: dict = {
+            "model": self.chip.model,
+            "segment": self.segment,
+        }
+        if self._state is not None:
+            fmt = self._state.format
+            parameters.update(
+                n_pe=self._state.imprint_report.n_pe,
+                n_replicas=fmt.n_replicas,
+                layout_style=fmt.layout_style,
+                balanced=fmt.balanced,
+                structured=fmt.structured,
+                ecc=fmt.ecc,
+                accelerated=self._state.imprint_report.accelerated,
+            )
+        if self._calibration is not None:
+            parameters["t_pew_us"] = self._calibration.t_pew_us
+        seeds = {
+            "chip_seed": self.chip.seed,
+            "die_id": f"0x{self.chip.die_id:012X}",
+        }
+        return build_manifest(
+            self.telemetry,
+            kind="session",
+            parameters=parameters,
+            seeds=seeds,
+            trace=self.chip.trace,
+            verdict=self._last_verdict,
+        )
+
+    def write_manifest(self, path) -> dict:
+        """Build :meth:`run_manifest` and save it as JSON to ``path``."""
+        manifest = self.run_manifest()
+        save_manifest(manifest, path)
+        return manifest
 
     def _require_state(self) -> _SessionState:
         if self._state is None:

@@ -168,6 +168,7 @@ class WatermarkVerifier:
         segment: int = 0,
         n_reads: int = 1,
         temperature_c: Optional[float] = None,
+        telemetry=None,
     ) -> VerificationReport:
         """Extract, decode and classify one chip's watermark segment.
 
@@ -194,6 +195,7 @@ class WatermarkVerifier:
             t_pew,
             n_reads=n_reads,
             decoder=self._decoder,
+            telemetry=telemetry,
         )
         bits = decoded.bits
         balance_violations: Optional[int] = None

@@ -57,6 +57,22 @@ class FlashController:
         self.trace = trace if trace is not None else OperationTrace()
         #: Software write/erase protection (the LOCK bit of FCTL3).
         self.locked = False
+        #: Optional telemetry context (see :meth:`attach_telemetry`).
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> "FlashController":
+        """Bind a :class:`~repro.telemetry.Telemetry` context.
+
+        Points the telemetry's span accounting at this controller's
+        :class:`OperationTrace` and enables the controller's own metric
+        hooks (erase-convergence and bulk-cycle histograms).  The hooks
+        are guarded by a ``None`` check, so an unattached controller
+        pays nothing.
+        """
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_trace(self.trace)
+        return self
 
     @property
     def geometry(self) -> FlashGeometry:
@@ -267,6 +283,8 @@ class FlashController:
             energy_uj=self.timing.e_erase_uj
             * min(1.0, total_t / self.timing.t_erase_us),
         )
+        if self.telemetry is not None:
+            self.telemetry.observe("device.erase_until_clean_us", total_t)
         return total_t
 
     # -- read ---------------------------------------------------------------
@@ -357,6 +375,9 @@ class FlashController:
             ),
             count=n_cycles,
         )
+        if self.telemetry is not None:
+            self.telemetry.count("device.bulk_pe_cycles", n_cycles)
+            self.telemetry.observe("device.bulk_pe_batch", float(n_cycles))
 
     def _accelerated_erase_time_us(
         self, sl: slice, pattern_bits: np.ndarray, n_cycles: int

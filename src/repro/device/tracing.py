@@ -7,12 +7,16 @@ the tens of minutes a 40 K-cycle imprint takes on silicon.
 
 The event log is off by default — characterisation sweeps issue millions
 of operations — and can be enabled for debugging or example scripts.
+With ``keep_events`` on, ``max_events`` bounds the log so a forgotten
+flag cannot grow unbounded during a million-op sweep; operations past
+the cap are still fully accounted (clock, energy, counts) and tallied in
+``dropped_events``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "OperationTrace"]
 
@@ -46,7 +50,12 @@ class OperationTrace:
     #: Total energy charged [uJ].
     energy_uj: float = 0.0
     #: Count of operations by name.
-    op_counts: dict = field(default_factory=dict)
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    #: Cap on the event log (None = unbounded); ignored unless
+    #: ``keep_events`` is set.
+    max_events: Optional[int] = None
+    #: Events not logged because the ``max_events`` cap was reached.
+    dropped_events: int = 0
     _events: List[TraceEvent] = field(default_factory=list)
 
     def charge(
@@ -65,9 +74,15 @@ class OperationTrace:
         if duration_us < 0:
             raise ValueError("operation duration must be non-negative")
         if self.keep_events:
-            self._events.append(
-                TraceEvent(op, address, self.now_us, duration_us)
-            )
+            if (
+                self.max_events is not None
+                and len(self._events) >= self.max_events
+            ):
+                self.dropped_events += 1
+            else:
+                self._events.append(
+                    TraceEvent(op, address, self.now_us, duration_us)
+                )
         self.now_us += duration_us
         self.energy_uj += energy_uj
         self.op_counts[op] = self.op_counts.get(op, 0) + count
@@ -91,9 +106,41 @@ class OperationTrace:
     def last_event(self) -> Optional[TraceEvent]:
         return self._events[-1] if self._events else None
 
+    def merge(self, other: "OperationTrace") -> "OperationTrace":
+        """Fold another trace into this one; returns ``self``.
+
+        Aggregates per-socket traces from parallel production testers
+        into one batch trace: clocks and energy add (the merged clock is
+        total device-busy time across sockets, not wall-clock), op
+        counts accumulate, and — when this trace keeps events — the
+        other trace's events are appended with their timestamps offset
+        so the merged log stays monotone.
+        """
+        offset = self.now_us
+        if self.keep_events:
+            for e in other._events:
+                if (
+                    self.max_events is not None
+                    and len(self._events) >= self.max_events
+                ):
+                    self.dropped_events += 1
+                else:
+                    self._events.append(
+                        TraceEvent(
+                            e.op, e.address, e.start_us + offset, e.duration_us
+                        )
+                    )
+        self.now_us += other.now_us
+        self.energy_uj += other.energy_uj
+        for op, n in other.op_counts.items():
+            self.op_counts[op] = self.op_counts.get(op, 0) + n
+        self.dropped_events += other.dropped_events
+        return self
+
     def reset(self) -> None:
-        """Zero the clock, the energy meter and the log."""
+        """Zero the clock, the energy meter, the log and the drop count."""
         self.now_us = 0.0
         self.energy_uj = 0.0
         self.op_counts.clear()
+        self.dropped_events = 0
         self._events.clear()

@@ -1,0 +1,77 @@
+"""Unified telemetry: metrics, spans and run manifests.
+
+Observability layer for the imprint/extract/verify stack (and anything
+else built on the simulated devices):
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms, cheap enough to stay on during characterisation sweeps;
+* :class:`Telemetry` — hierarchical spans that bracket pipeline stages
+  and account device-clock time, wall time, energy and op-count deltas
+  against the bound :class:`~repro.device.tracing.OperationTrace`,
+  optionally streaming JSON-lines records to a sink;
+* :func:`build_manifest` and friends — machine-readable run manifests
+  (parameters, seeds, per-stage timings, metric snapshots, verdicts)
+  that ``repro telemetry summarize`` / ``diff`` render.
+
+Typical use::
+
+    from repro import FlashmarkSession, make_mcu
+    from repro.telemetry import Telemetry, summarize_manifest
+
+    session = FlashmarkSession(make_mcu(seed=7, n_segments=1),
+                               telemetry=Telemetry())
+    ...
+    print(summarize_manifest(session.run_manifest()))
+
+Library code that wants to be observable without forcing a telemetry
+object on its callers uses the ambient context: :func:`current` returns
+a disabled no-op by default, and ``with use(tel):`` installs a live one.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    sanitize,
+    save_manifest,
+    summarize_manifest,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import (
+    JsonlSink,
+    ListSink,
+    SpanRecord,
+    Telemetry,
+    current,
+    set_current,
+    use,
+)
+
+__all__ = [
+    "Telemetry",
+    "SpanRecord",
+    "JsonlSink",
+    "ListSink",
+    "current",
+    "set_current",
+    "use",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "save_manifest",
+    "load_manifest",
+    "summarize_manifest",
+    "diff_manifests",
+    "sanitize",
+]

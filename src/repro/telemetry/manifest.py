@@ -1,0 +1,350 @@
+"""Run manifests: the machine-readable record of one run.
+
+A manifest captures everything needed to interpret (and re-run) a
+measurement after the fact: the parameters and seeds, per-stage spans
+with device/wall time and op counts, the metrics snapshot, the device
+totals, and the outcome.  ``repro telemetry summarize`` renders one;
+``repro telemetry diff`` compares two — the before/after substrate every
+perf or scaling change should be judged on.
+
+Schema (``flashmark.run-manifest/v1``)::
+
+    {
+      "schema": "flashmark.run-manifest/v1",
+      "kind": "session" | "verify" | "production_batch" | ...,
+      "created_unix_s": 1738000000.0,
+      "parameters": {...},          # run inputs
+      "seeds": {...},               # everything needed to reproduce
+      "stages": [                   # top-level spans, aggregated by name
+        {"name": "imprint", "count": 1, "device_us": ..., "wall_s": ...,
+         "energy_uj": ..., "op_counts": {...}, "attrs": {...}}
+      ],
+      "span_stats": {"verify/extract": {"count": 1, ...}, ...},
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+      "device": {"now_us": ..., "energy_uj": ..., "op_counts": {...},
+                 "dropped_events": 0},
+      "verdict": "authentic" | null,
+      ...                           # kind-specific extras
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "sanitize",
+    "build_manifest",
+    "save_manifest",
+    "load_manifest",
+    "summarize_manifest",
+    "diff_manifests",
+]
+
+MANIFEST_SCHEMA = "flashmark.run-manifest/v1"
+
+
+def sanitize(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays and tuples into plain JSON types."""
+    if isinstance(obj, dict):
+        return {str(k): sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize(v) for v in obj]
+    if obj is None or isinstance(obj, (str, bool)):
+        return obj
+    # numpy scalars expose item(); check before int/float because
+    # np.float64 subclasses float but doesn't serialize everywhere.
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):
+        return obj.item()
+    if isinstance(obj, (int, float)):
+        return obj
+    if hasattr(obj, "tolist"):
+        return sanitize(obj.tolist())
+    if hasattr(obj, "name") and hasattr(obj, "value"):  # enums
+        return obj.value
+    return str(obj)
+
+
+def _aggregate_stages(telemetry) -> List[dict]:
+    """Top-level spans folded by name, preserving first-seen order."""
+    stages: Dict[str, dict] = {}
+    order: List[str] = []
+    for span in telemetry.root_spans():
+        st = stages.get(span.name)
+        if st is None:
+            st = stages[span.name] = {
+                "name": span.name,
+                "count": 0,
+                "device_us": 0.0,
+                "wall_s": 0.0,
+                "energy_uj": 0.0,
+                "op_counts": {},
+                "attrs": {},
+                "errors": 0,
+            }
+            order.append(span.name)
+        st["count"] += 1
+        st["device_us"] += span.device_us
+        st["wall_s"] += span.wall_s
+        st["energy_uj"] += span.energy_uj
+        for op, n in span.op_counts.items():
+            st["op_counts"][op] = st["op_counts"].get(op, 0) + n
+        st["attrs"].update(span.attrs)
+        if span.error is not None:
+            st["errors"] += 1
+    return [stages[name] for name in order]
+
+
+def build_manifest(
+    telemetry,
+    kind: str,
+    parameters: Optional[dict] = None,
+    seeds: Optional[dict] = None,
+    trace=None,
+    verdict: Optional[str] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble a run manifest from a telemetry context.
+
+    ``trace`` defaults to the telemetry's bound trace and fills the
+    ``device`` totals block; stage device times should reconcile with
+    ``trace.now_us`` whenever the spans covered every charged operation.
+    """
+    if trace is None:
+        trace = telemetry.trace
+    manifest: dict = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "created_unix_s": time.time(),
+        "parameters": parameters or {},
+        "seeds": seeds or {},
+        "stages": _aggregate_stages(telemetry),
+        "span_stats": telemetry.span_stats(),
+        "dropped_spans": telemetry.dropped_spans,
+        "metrics": telemetry.registry.snapshot(),
+        "verdict": verdict,
+    }
+    if trace is not None:
+        manifest["device"] = {
+            "now_us": trace.now_us,
+            "energy_uj": trace.energy_uj,
+            "op_counts": dict(trace.op_counts),
+            "dropped_events": trace.dropped_events,
+        }
+    if extra:
+        manifest.update(extra)
+    return sanitize(manifest)
+
+
+def save_manifest(manifest: dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(sanitize(manifest), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_manifest(path) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: not a run manifest (schema={schema!r}, "
+            f"expected {MANIFEST_SCHEMA!r})"
+        )
+    return manifest
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.2f} s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f} ms"
+    return f"{us:.1f} us"
+
+
+def _top_ops(op_counts: dict, n: int = 3) -> str:
+    items = sorted(op_counts.items(), key=lambda kv: -kv[1])[:n]
+    return ", ".join(f"{op}x{cnt}" for op, cnt in items) or "-"
+
+
+def summarize_manifest(manifest: dict) -> str:
+    """Human-readable report of one manifest."""
+    from ..analysis import format_table
+
+    lines: List[str] = []
+    lines.append(
+        f"run manifest [{manifest.get('kind', '?')}] "
+        f"schema={manifest.get('schema', '?')}"
+    )
+    params = manifest.get("parameters") or {}
+    if params:
+        lines.append(
+            "parameters: "
+            + ", ".join(f"{k}={v}" for k, v in params.items())
+        )
+    seeds = manifest.get("seeds") or {}
+    if seeds:
+        lines.append(
+            "seeds:      " + ", ".join(f"{k}={v}" for k, v in seeds.items())
+        )
+
+    stages = manifest.get("stages") or []
+    if stages:
+        rows = [
+            [
+                s["name"],
+                s["count"],
+                _fmt_us(s["device_us"]),
+                f"{s['wall_s'] * 1e3:.1f}",
+                f"{s['energy_uj'] / 1e3:.2f}",
+                _top_ops(s.get("op_counts", {})),
+            ]
+            for s in stages
+        ]
+        lines.append(
+            format_table(
+                ["stage", "n", "device", "wall [ms]", "energy [mJ]", "top ops"],
+                rows,
+                title="stages",
+            )
+        )
+
+    span_stats = manifest.get("span_stats") or {}
+    nested = {p: st for p, st in span_stats.items() if "/" in p}
+    if nested:
+        rows = [
+            [p, st["count"], _fmt_us(st["device_us"]), f"{st['wall_s'] * 1e3:.1f}"]
+            for p, st in sorted(nested.items())
+        ]
+        lines.append(
+            format_table(
+                ["span path", "n", "device", "wall [ms]"],
+                rows,
+                title="nested spans",
+            )
+        )
+
+    gauges = (manifest.get("metrics") or {}).get("gauges") or {}
+    if gauges:
+        rows = [[name, value] for name, value in gauges.items()]
+        lines.append(format_table(["gauge", "value"], rows, title="gauges"))
+    counters = (manifest.get("metrics") or {}).get("counters") or {}
+    if counters:
+        rows = [[name, value] for name, value in counters.items()]
+        lines.append(format_table(["counter", "value"], rows, title="counters"))
+
+    device = manifest.get("device")
+    if device:
+        lines.append(
+            f"device totals: clock {_fmt_us(device['now_us'])}, "
+            f"energy {device['energy_uj'] / 1e3:.2f} mJ, "
+            f"{sum(device['op_counts'].values())} ops"
+            + (
+                f", {device['dropped_events']} trace events dropped"
+                if device.get("dropped_events")
+                else ""
+            )
+        )
+        if stages:
+            covered = sum(s["device_us"] for s in stages)
+            total = device["now_us"]
+            pct = 100.0 * covered / total if total else 100.0
+            lines.append(
+                f"stage coverage: {_fmt_us(covered)} of "
+                f"{_fmt_us(total)} device time in stages ({pct:.1f}%)"
+            )
+    verdict = manifest.get("verdict")
+    if verdict is not None:
+        lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def diff_manifests(a: dict, b: dict) -> str:
+    """Compare two manifests stage-by-stage and gauge-by-gauge."""
+    from ..analysis import format_table
+
+    lines: List[str] = []
+    lines.append(
+        f"manifest diff: [{a.get('kind', '?')}] -> [{b.get('kind', '?')}]"
+    )
+
+    def _stage_map(m: dict) -> Dict[str, dict]:
+        return {s["name"]: s for s in m.get("stages") or []}
+
+    sa, sb = _stage_map(a), _stage_map(b)
+    names = list(sa)
+    names += [n for n in sb if n not in sa]
+    rows = []
+    for name in names:
+        da = sa.get(name, {}).get("device_us")
+        db = sb.get(name, {}).get("device_us")
+        wa = sa.get(name, {}).get("wall_s")
+        wb = sb.get(name, {}).get("wall_s")
+        if da is not None and db is not None:
+            delta = db - da
+            pct = f"{100.0 * delta / da:+.1f}%" if da else "n/a"
+            rows.append(
+                [name, _fmt_us(da), _fmt_us(db), _fmt_us(delta), pct,
+                 f"{(wb - wa) * 1e3:+.1f}"]
+            )
+        else:
+            rows.append(
+                [
+                    name,
+                    _fmt_us(da) if da is not None else "(absent)",
+                    _fmt_us(db) if db is not None else "(absent)",
+                    "-",
+                    "-",
+                    "-",
+                ]
+            )
+    if rows:
+        lines.append(
+            format_table(
+                ["stage", "device A", "device B", "delta", "delta %",
+                 "wall delta [ms]"],
+                rows,
+                title="stage device time",
+            )
+        )
+
+    ga = (a.get("metrics") or {}).get("gauges") or {}
+    gb = (b.get("metrics") or {}).get("gauges") or {}
+    names = list(ga)
+    names += [n for n in gb if n not in ga]
+    rows = []
+    for name in names:
+        va, vb = ga.get(name), gb.get(name)
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            rows.append([name, va, vb, vb - va])
+        else:
+            rows.append(
+                [
+                    name,
+                    va if va is not None else "(absent)",
+                    vb if vb is not None else "(absent)",
+                    "-",
+                ]
+            )
+    if rows:
+        lines.append(
+            format_table(["gauge", "A", "B", "delta"], rows, title="gauges")
+        )
+
+    va, vb = a.get("verdict"), b.get("verdict")
+    if va is not None or vb is not None:
+        lines.append(f"verdict: {va} -> {vb}")
+    da, db = a.get("device"), b.get("device")
+    if da and db:
+        lines.append(
+            f"device clock: {_fmt_us(da['now_us'])} -> "
+            f"{_fmt_us(db['now_us'])} "
+            f"({_fmt_us(db['now_us'] - da['now_us'])} delta)"
+        )
+    return "\n".join(lines)

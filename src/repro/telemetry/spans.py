@@ -1,0 +1,350 @@
+"""Hierarchical spans over the device clock and the wall clock.
+
+A span brackets one stage of work (``with telemetry.span("imprint")``)
+and records, on exit, the stage's wall time, the device-clock time and
+energy charged to the bound :class:`~repro.device.tracing.OperationTrace`,
+and the per-operation count deltas — so a manifest can answer "where did
+the time go and how many flash ops ran" per stage without any per-op
+bookkeeping on the hot path.
+
+Spans nest: the enclosing span's dotted path prefixes the child's, and
+aggregation by path keeps manifests compact even when a calibration
+sweep opens hundreds of identical child spans.  A disabled
+:class:`Telemetry` hands out one shared no-op span, so instrumented
+library code costs a ``None`` check and an empty context manager when
+observability is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "SpanRecord",
+    "Telemetry",
+    "JsonlSink",
+    "ListSink",
+    "current",
+    "set_current",
+    "use",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    #: Slash-joined path of enclosing span names, e.g. ``"verify/extract"``.
+    path: str
+    depth: int
+    wall_s: float
+    #: Device-clock time charged to the bound trace during the span [us].
+    device_us: float
+    energy_uj: float
+    #: Per-operation count deltas accrued during the span.
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Exception type name if the span exited via an exception.
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "wall_s": self.wall_s,
+            "device_us": self.device_us,
+            "energy_uj": self.energy_uj,
+            "op_counts": dict(self.op_counts),
+            "attrs": dict(self.attrs),
+            "error": self.error,
+        }
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span handle (context manager)."""
+
+    __slots__ = (
+        "_tel",
+        "name",
+        "path",
+        "depth",
+        "attrs",
+        "_t0_wall",
+        "_t0_us",
+        "_t0_uj",
+        "_t0_ops",
+    )
+
+    def __init__(self, tel: "Telemetry", name: str, attrs: Dict[str, Any]):
+        self._tel = tel
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self.attrs = attrs
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach a result attribute to the span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "_Span":
+        tel = self._tel
+        stack = tel._stack
+        if stack:
+            parent = stack[-1]
+            self.path = f"{parent.path}/{self.name}"
+            self.depth = parent.depth + 1
+        trace = tel.trace
+        if trace is not None:
+            self._t0_us = trace.now_us
+            self._t0_uj = trace.energy_uj
+            self._t0_ops = dict(trace.op_counts)
+        else:
+            self._t0_us = 0.0
+            self._t0_uj = 0.0
+            self._t0_ops = {}
+        stack.append(self)
+        self._t0_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall_s = time.perf_counter() - self._t0_wall
+        tel = self._tel
+        # Pop self even if inner spans leaked (exception unwinding).
+        stack = tel._stack
+        while stack:
+            if stack.pop() is self:
+                break
+        trace = tel.trace
+        if trace is not None:
+            device_us = trace.now_us - self._t0_us
+            energy_uj = trace.energy_uj - self._t0_uj
+            t0 = self._t0_ops
+            op_counts = {
+                k: v - t0.get(k, 0)
+                for k, v in trace.op_counts.items()
+                if v != t0.get(k, 0)
+            }
+        else:
+            device_us = 0.0
+            energy_uj = 0.0
+            op_counts = {}
+        tel._record(
+            SpanRecord(
+                name=self.name,
+                path=self.path,
+                depth=self.depth,
+                wall_s=wall_s,
+                device_us=device_us,
+                energy_uj=energy_uj,
+                op_counts=op_counts,
+                attrs=self.attrs,
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
+        )
+        return False
+
+
+class JsonlSink:
+    """Append-only JSON-lines sink (file path or open text handle)."""
+
+    def __init__(self, target):
+        import io
+
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._fh = open(target, "a", encoding="utf-8")
+            self._owns = True
+        elif isinstance(target, io.TextIOBase) or hasattr(target, "write"):
+            self._fh = target
+            self._owns = False
+        else:
+            raise TypeError(f"unsupported sink target {target!r}")
+
+    def emit(self, record: dict) -> None:
+        import json
+
+        from .manifest import sanitize
+
+        self._fh.write(json.dumps(sanitize(record)) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+
+class ListSink:
+    """In-memory sink (tests and programmatic consumers)."""
+
+    def __init__(self):
+        self.records: List[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class Telemetry:
+    """A run's observability context: spans + metrics + optional sink.
+
+    Parameters
+    ----------
+    enabled:
+        When False every entry point degenerates to a no-op; the module
+        default (:func:`current`) ships disabled so uninstrumented
+        programs pay nothing.
+    sink:
+        Optional :class:`JsonlSink` / :class:`ListSink`; every completed
+        span is emitted as one record.
+    trace:
+        The device :class:`~repro.device.tracing.OperationTrace` spans
+        measure against; bind later with :meth:`bind_trace`.
+    max_spans:
+        Retention cap on completed spans; excess spans still emit to the
+        sink and aggregate into :meth:`span_stats` via the running
+        totals, but their individual records are dropped (counted in
+        ``dropped_spans``).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sink=None,
+        registry: Optional[MetricsRegistry] = None,
+        trace=None,
+        max_spans: int = 100_000,
+    ):
+        self.enabled = enabled
+        self.sink = sink
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+        self.max_spans = max_spans
+        self.dropped_spans = 0
+        self.spans: List[SpanRecord] = []
+        self._stack: List[_Span] = []
+        self._stats: Dict[str, Dict[str, float]] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind_trace(self, trace) -> None:
+        """Point span device-time accounting at ``trace``."""
+        self.trace = trace
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def _record(self, rec: SpanRecord) -> None:
+        st = self._stats.get(rec.path)
+        if st is None:
+            st = self._stats[rec.path] = {
+                "count": 0,
+                "wall_s": 0.0,
+                "device_us": 0.0,
+                "energy_uj": 0.0,
+                "errors": 0,
+            }
+        st["count"] += 1
+        st["wall_s"] += rec.wall_s
+        st["device_us"] += rec.device_us
+        st["energy_uj"] += rec.energy_uj
+        if rec.error is not None:
+            st["errors"] += 1
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+        else:
+            self.spans.append(rec)
+        if self.sink is not None:
+            self.sink.emit({"type": "span", **rec.to_dict()})
+
+    def root_spans(self) -> List[SpanRecord]:
+        """Completed top-level spans, in completion order."""
+        return [s for s in self.spans if s.depth == 0]
+
+    def span_stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregated per-path span statistics (running totals)."""
+        return {p: dict(st) for p, st in self._stats.items()}
+
+    def device_time_total_us(self) -> float:
+        """Device time covered by top-level spans (children not double
+        counted)."""
+        return sum(s.device_us for s in self.root_spans())
+
+    # -- metric helpers (no-ops when disabled) ----------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.registry.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.registry.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        if self.enabled:
+            self.registry.histogram(name, buckets).observe(value)
+
+
+#: Module-level default telemetry: disabled, so library instrumentation
+#: is free unless a caller opts in.
+_current = Telemetry(enabled=False)
+
+
+def current() -> Telemetry:
+    """The ambient telemetry context instrumented code falls back to."""
+    return _current
+
+
+def set_current(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the ambient context; returns the old one."""
+    global _current
+    old = _current
+    _current = telemetry
+    return old
+
+
+class use:
+    """``with use(tel):`` — scoped installation of an ambient context."""
+
+    def __init__(self, telemetry: Telemetry):
+        self._telemetry = telemetry
+        self._old: Optional[Telemetry] = None
+
+    def __enter__(self) -> Telemetry:
+        self._old = set_current(self._telemetry)
+        return self._telemetry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_current(self._old)
+        return False

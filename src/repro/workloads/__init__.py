@@ -12,6 +12,7 @@ from .production import (
     DieSortSpec,
     ProducedChip,
     ProductionLine,
+    batch_manifest,
     run_die_sort,
 )
 from .watermarks import (
@@ -32,6 +33,7 @@ __all__ = [
     "DieSortResult",
     "ProducedChip",
     "ProductionLine",
+    "batch_manifest",
     "run_die_sort",
     "fig10_vector",
     "balanced_random",

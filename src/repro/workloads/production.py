@@ -25,9 +25,18 @@ from ..core.imprint import imprint_watermark
 from ..core.payload import ChipStatus, WatermarkPayload
 from ..core.watermark import Watermark
 from ..device.mcu import Microcontroller, make_mcu
+from ..device.tracing import OperationTrace
 from ..phys.constants import PhysicalParams
+from ..telemetry import build_manifest
+from ..telemetry import current as current_telemetry
 
-__all__ = ["DieSortSpec", "DieSortResult", "ProducedChip", "ProductionLine"]
+__all__ = [
+    "DieSortSpec",
+    "DieSortResult",
+    "ProducedChip",
+    "ProductionLine",
+    "batch_manifest",
+]
 
 
 @dataclass(frozen=True)
@@ -178,36 +187,72 @@ class ProductionLine:
         )
         return base.with_overrides(noise=noise)
 
-    def produce(self, n_chips: int, seed: int = 0) -> List[ProducedChip]:
-        """Manufacture, die-sort and watermark ``n_chips`` dies."""
+    def produce(
+        self, n_chips: int, seed: int = 0, telemetry=None
+    ) -> List[ProducedChip]:
+        """Manufacture, die-sort and watermark ``n_chips`` dies.
+
+        With a live ``telemetry`` context the batch emits one
+        ``production.batch`` span wrapping a ``production.die`` span per
+        die (pass/fail attrs, accept/reject counters) — the raw material
+        :func:`batch_manifest` aggregates into a production-line run
+        manifest.
+        """
+        tel = telemetry if telemetry is not None else current_telemetry()
         rng = np.random.default_rng(seed)
         out: List[ProducedChip] = []
-        for i in range(n_chips):
-            params = self._die_params(rng)
-            chip = make_mcu(
-                seed=seed * 100_003 + i, params=params, n_segments=2
-            )
-            result = run_die_sort(chip, self.spec, segment=1)
-            status = (
-                ChipStatus.ACCEPT if result.passed else ChipStatus.REJECT
-            )
-            payload = WatermarkPayload(
-                self.manufacturer,
-                die_id=chip.die_id,
-                speed_grade=int(rng.integers(0, 8)),
-                status=status,
-            )
-            imprint_watermark(
-                chip.flash,
-                0,
-                Watermark.from_payload(payload).balanced(),
-                self.n_pe,
-                n_replicas=self.n_replicas,
-                accelerated=True,
-            )
-            out.append(
-                ProducedChip(chip=chip, die_sort=result, payload=payload)
-            )
+        with tel.span(
+            "production.batch", n_chips=n_chips, seed=seed
+        ) as batch_span:
+            for i in range(n_chips):
+                params = self._die_params(rng)
+                chip = make_mcu(
+                    seed=seed * 100_003 + i, params=params, n_segments=2
+                )
+                with tel.span("production.die", index=i) as sp:
+                    result = run_die_sort(chip, self.spec, segment=1)
+                    status = (
+                        ChipStatus.ACCEPT
+                        if result.passed
+                        else ChipStatus.REJECT
+                    )
+                    payload = WatermarkPayload(
+                        self.manufacturer,
+                        die_id=chip.die_id,
+                        speed_grade=int(rng.integers(0, 8)),
+                        status=status,
+                    )
+                    imprint_watermark(
+                        chip.flash,
+                        0,
+                        Watermark.from_payload(payload).balanced(),
+                        self.n_pe,
+                        n_replicas=self.n_replicas,
+                        accelerated=True,
+                        telemetry=tel,
+                    )
+                    sp.set("passed", result.passed)
+                    sp.set("die_id", f"0x{chip.die_id:012X}")
+                    sp.set("reason", result.reason)
+                    # Each die has its own fresh trace, so its clock is
+                    # the die's total tester-occupancy time.
+                    sp.set("die_device_us", chip.trace.now_us)
+                tel.count("production.dies")
+                tel.count(
+                    "production.accepted"
+                    if result.passed
+                    else "production.rejected"
+                )
+                tel.observe(
+                    "production.die_test_us", chip.trace.now_us
+                )
+                out.append(
+                    ProducedChip(
+                        chip=chip, die_sort=result, payload=payload
+                    )
+                )
+            if out:
+                batch_span.set("yield", self.yield_fraction(out))
         return out
 
     @staticmethod
@@ -216,3 +261,54 @@ class ProductionLine:
         if not batch:
             raise ValueError("empty batch")
         return sum(p.die_sort.passed for p in batch) / len(batch)
+
+
+def batch_manifest(
+    batch: List[ProducedChip], telemetry=None, line: Optional[ProductionLine] = None
+) -> dict:
+    """Run manifest for one produced batch.
+
+    Merges the per-socket device traces (each die tester runs its own
+    clock) into one aggregate trace via
+    :meth:`~repro.device.tracing.OperationTrace.merge`, and folds in the
+    batch telemetry spans/counters recorded by
+    :meth:`ProductionLine.produce`.
+    """
+    if not batch:
+        raise ValueError("empty batch")
+    tel = telemetry if telemetry is not None else current_telemetry()
+    merged = OperationTrace()
+    for produced in batch:
+        merged.merge(produced.chip.trace)
+    parameters: dict = {"n_chips": len(batch)}
+    if line is not None:
+        parameters.update(
+            manufacturer=line.manufacturer,
+            outlier_fraction=line.outlier_fraction,
+            n_pe=line.n_pe,
+            n_replicas=line.n_replicas,
+        )
+    accepted = sum(p.die_sort.passed for p in batch)
+    dies = [
+        {
+            "die_id": f"0x{p.chip.die_id:012X}",
+            "passed": p.die_sort.passed,
+            "reason": p.die_sort.reason,
+            "status": p.payload.status.name,
+            "device_us": p.chip.trace.now_us,
+        }
+        for p in batch
+    ]
+    return build_manifest(
+        tel,
+        kind="production_batch",
+        parameters=parameters,
+        seeds={"chip_seeds": [p.chip.seed for p in batch]},
+        trace=merged,
+        extra={
+            "yield": accepted / len(batch),
+            "accepted": accepted,
+            "rejected": len(batch) - accepted,
+            "dies": dies,
+        },
+    )

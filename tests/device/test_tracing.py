@@ -69,3 +69,107 @@ class TestEventLog:
         assert trace.energy_uj == 0.0
         assert trace.op_counts == {}
         assert list(trace.events()) == []
+
+    def test_reset_clears_dropped_counter(self):
+        trace = OperationTrace(keep_events=True, max_events=1)
+        trace.charge("op", 1.0)
+        trace.charge("op", 1.0)
+        assert trace.dropped_events == 1
+        trace.reset()
+        assert trace.dropped_events == 0
+        # The cap applies to the log size, not a lifetime budget.
+        trace.charge("op", 1.0)
+        assert len(list(trace.events())) == 1
+
+
+class TestEventCap:
+    def test_cap_drops_but_still_accounts(self):
+        trace = OperationTrace(keep_events=True, max_events=3)
+        for i in range(10):
+            trace.charge("op", 1.0, energy_uj=2.0)
+        assert len(list(trace.events())) == 3
+        assert trace.dropped_events == 7
+        # Clock, energy and counts keep full fidelity past the cap.
+        assert trace.now_us == 10.0
+        assert trace.energy_uj == 20.0
+        assert trace.op_counts == {"op": 10}
+
+    def test_unbounded_by_default(self):
+        trace = OperationTrace(keep_events=True)
+        for _ in range(100):
+            trace.charge("op", 1.0)
+        assert len(list(trace.events())) == 100
+        assert trace.dropped_events == 0
+
+    def test_cap_ignored_when_events_off(self):
+        trace = OperationTrace(max_events=1)
+        trace.charge("op", 1.0)
+        trace.charge("op", 1.0)
+        assert trace.dropped_events == 0
+        assert list(trace.events()) == []
+
+
+class TestMerge:
+    def test_merge_accumulates_totals(self):
+        a = OperationTrace()
+        b = OperationTrace()
+        a.charge("erase", 10.0, energy_uj=1.0, count=2)
+        b.charge("erase", 5.0, energy_uj=2.0)
+        b.charge("read", 1.0)
+        a.merge(b)
+        assert a.now_us == 16.0
+        assert a.energy_uj == 3.0
+        assert a.op_counts == {"erase": 3, "read": 1}
+        # The merged-in trace is untouched.
+        assert b.now_us == 6.0
+
+    def test_merge_returns_self_for_chaining(self):
+        batch = OperationTrace()
+        sockets = []
+        for _ in range(3):
+            t = OperationTrace()
+            t.charge("op", 7.0)
+            sockets.append(t)
+        for t in sockets:
+            assert batch.merge(t) is batch
+        assert batch.now_us == 21.0
+        assert batch.op_counts == {"op": 3}
+
+    def test_merge_offsets_event_timestamps(self):
+        a = OperationTrace(keep_events=True)
+        b = OperationTrace(keep_events=True)
+        a.charge("first", 10.0)
+        b.charge("second", 2.0, address=0x100)
+        a.merge(b)
+        events = list(a.events())
+        assert [e.op for e in events] == ["first", "second"]
+        # b's event is shifted past a's clock: the log stays monotone.
+        assert events[1].start_us == 10.0
+        assert events[1].address == 0x100
+        assert a.last_event().op == "second"
+
+    def test_merge_respects_event_cap(self):
+        a = OperationTrace(keep_events=True, max_events=2)
+        a.charge("op", 1.0)
+        b = OperationTrace(keep_events=True)
+        b.charge("op", 1.0)
+        b.charge("op", 1.0)
+        a.merge(b)
+        assert len(list(a.events())) == 2
+        assert a.dropped_events == 1
+
+    def test_merge_carries_dropped_counts(self):
+        a = OperationTrace()
+        b = OperationTrace(keep_events=True, max_events=1)
+        b.charge("op", 1.0)
+        b.charge("op", 1.0)
+        a.merge(b)
+        assert a.dropped_events == 1
+
+    def test_merge_without_events_ignores_other_log(self):
+        a = OperationTrace()  # keep_events=False
+        b = OperationTrace(keep_events=True)
+        b.charge("op", 1.0)
+        a.merge(b)
+        assert list(a.events()) == []
+        assert a.now_us == 1.0

@@ -1,0 +1,201 @@
+"""Tests for run manifests: building, persisting, rendering, diffing."""
+
+import numpy as np
+import pytest
+
+from repro import ChipStatus, FlashmarkSession, WatermarkPayload, make_mcu
+from repro.device import OperationTrace
+from repro.telemetry import (
+    MANIFEST_SCHEMA,
+    Telemetry,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    sanitize,
+    save_manifest,
+    summarize_manifest,
+)
+
+
+def _small_manifest(device_scale=1.0, verdict="authentic"):
+    trace = OperationTrace()
+    tel = Telemetry(trace=trace)
+    with tel.span("imprint"):
+        trace.charge("bulk_pe_cycles", 1000.0 * device_scale, count=100)
+    with tel.span("verify"):
+        trace.charge("read_segment", 50.0 * device_scale)
+    tel.gauge("verify.ber", 0.01 * device_scale)
+    return build_manifest(
+        tel,
+        kind="session",
+        parameters={"n_pe": 100},
+        seeds={"chip_seed": 7},
+        verdict=verdict,
+    )
+
+
+class TestSanitize:
+    def test_numpy_and_tuples_become_json_types(self):
+        out = sanitize(
+            {
+                "f": np.float64(1.5),
+                "i": np.int64(3),
+                "arr": np.arange(3),
+                "t": (1, 2),
+                "nested": {"b": np.bool_(True)},
+            }
+        )
+        assert out == {
+            "f": 1.5,
+            "i": 3,
+            "arr": [0, 1, 2],
+            "t": [1, 2],
+            "nested": {"b": True},
+        }
+        assert type(out["f"]) is float
+        assert type(out["i"]) is int
+
+
+class TestBuildManifest:
+    def test_schema_and_blocks(self):
+        manifest = _small_manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["kind"] == "session"
+        assert manifest["parameters"] == {"n_pe": 100}
+        assert manifest["seeds"] == {"chip_seed": 7}
+        assert [s["name"] for s in manifest["stages"]] == [
+            "imprint",
+            "verify",
+        ]
+        assert manifest["device"]["now_us"] == pytest.approx(1050.0)
+        assert manifest["device"]["op_counts"] == {
+            "bulk_pe_cycles": 100,
+            "read_segment": 1,
+        }
+        assert manifest["verdict"] == "authentic"
+
+    def test_repeated_stages_aggregate(self):
+        trace = OperationTrace()
+        tel = Telemetry(trace=trace)
+        for _ in range(3):
+            with tel.span("extract"):
+                trace.charge("read_segment", 10.0)
+        manifest = build_manifest(tel, kind="sweep")
+        (stage,) = manifest["stages"]
+        assert stage["count"] == 3
+        assert stage["device_us"] == pytest.approx(30.0)
+
+    def test_stage_totals_reconcile_with_trace(self):
+        manifest = _small_manifest()
+        covered = sum(s["device_us"] for s in manifest["stages"])
+        assert covered == pytest.approx(manifest["device"]["now_us"])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        manifest = _small_manifest()
+        path = tmp_path / "run.json"
+        save_manifest(manifest, path)
+        assert load_manifest(path) == manifest
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something-else"}')
+        with pytest.raises(ValueError, match="not a run manifest"):
+            load_manifest(path)
+
+
+class TestRendering:
+    def test_summarize_mentions_stages_and_verdict(self):
+        text = summarize_manifest(_small_manifest())
+        assert "imprint" in text
+        assert "verify" in text
+        assert "verdict: authentic" in text
+        assert "stage coverage" in text
+
+    def test_diff_shows_deltas(self):
+        a = _small_manifest(device_scale=1.0)
+        b = _small_manifest(device_scale=2.0, verdict="counterfeit")
+        text = diff_manifests(a, b)
+        assert "imprint" in text
+        assert "+100.0%" in text
+        assert "authentic -> counterfeit" in text
+
+    def test_diff_handles_disjoint_stages(self):
+        a = _small_manifest()
+        b = _small_manifest()
+        b["stages"] = [dict(b["stages"][0], name="other")]
+        text = diff_manifests(a, b)
+        assert "(absent)" in text
+
+
+class TestSessionManifest:
+    @pytest.fixture(scope="class")
+    def session(self):
+        chip = make_mcu(seed=11, n_segments=1)
+        session = FlashmarkSession(chip, telemetry=Telemetry())
+        payload = WatermarkPayload(
+            manufacturer="TCMK",
+            die_id=chip.die_id,
+            speed_grade=3,
+            status=ChipStatus.ACCEPT,
+        )
+        session.imprint_payload(payload, n_pe=40_000, n_replicas=7)
+        session.verify()
+        return session
+
+    def test_stages_cover_the_whole_device_clock(self, session):
+        """Acceptance: per-stage device totals reconcile with now_us."""
+        manifest = session.run_manifest()
+        names = {s["name"] for s in manifest["stages"]}
+        assert {"imprint", "calibration", "verify"} <= names
+        assert any("extract" in p for p in manifest["span_stats"])
+        covered = sum(s["device_us"] for s in manifest["stages"])
+        total = session.chip.trace.now_us
+        assert covered == pytest.approx(total, rel=1e-9)
+        assert manifest["device"]["now_us"] == pytest.approx(total)
+
+    def test_manifest_carries_parameters_and_verdict(self, session):
+        manifest = session.run_manifest()
+        assert manifest["parameters"]["n_pe"] == 40_000
+        assert manifest["parameters"]["n_replicas"] == 7
+        assert manifest["parameters"]["model"] == "MSP430F5438"
+        assert manifest["seeds"]["chip_seed"] == 11
+        assert manifest["verdict"] == "authentic"
+        gauges = manifest["metrics"]["gauges"]
+        assert "verify.ber" in gauges
+        assert "calibration.t_pew_us" in gauges
+
+    def test_manifest_is_json_serializable(self, session, tmp_path):
+        import json
+
+        path = tmp_path / "m.json"
+        save_manifest(session.run_manifest(), path)
+        json.loads(path.read_text())
+
+    def test_summarize_renders_session_manifest(self, session):
+        text = summarize_manifest(session.run_manifest())
+        assert "imprint" in text
+        assert "calibration" in text
+        assert "stage coverage" in text
+
+    def test_write_manifest(self, session, tmp_path):
+        path = tmp_path / "run.json"
+        manifest = session.write_manifest(path)
+        assert load_manifest(path) == manifest
+
+
+class TestSessionWithoutTelemetryArg:
+    def test_default_session_still_yields_manifest(self):
+        chip = make_mcu(seed=5, n_segments=1)
+        session = FlashmarkSession(chip)
+        payload = WatermarkPayload(
+            manufacturer="TCMK",
+            die_id=chip.die_id,
+            speed_grade=0,
+            status=ChipStatus.ACCEPT,
+        )
+        session.imprint_payload(payload, n_pe=40_000, n_replicas=7)
+        manifest = session.run_manifest()
+        assert [s["name"] for s in manifest["stages"]] == ["imprint"]
+        assert manifest["verdict"] is None

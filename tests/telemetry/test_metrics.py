@@ -1,0 +1,93 @@
+"""Tests for the metrics primitives and registry."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("ops")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="gauge"):
+            Counter("ops").inc(-1)
+
+
+class TestGauge:
+    def test_set_moves_both_ways(self):
+        g = Gauge("ber")
+        assert g.value is None
+        g.set(0.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        h = Histogram("t", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_boundary_goes_to_lower_bucket(self):
+        h = Histogram("t", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("t", buckets=(10.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("t", buckets=())
+
+    def test_quantile(self):
+        h = Histogram("t", buckets=(1.0, 10.0, 100.0))
+        for _ in range(9):
+            h.observe(0.5)
+        h.observe(50.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert Histogram("t", buckets=(1.0,)).quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.gauge("ber").set(0.01)
+        reg.histogram("t", buckets=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"ops": 3}
+        assert snap["gauges"] == {"ber": 0.01}
+        hist = snap["histograms"]["t"]
+        assert hist["count"] == 1
+        assert hist["counts"] == [0, 1, 0]
+        assert hist["buckets"] == [1.0, 2.0]
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,178 @@
+"""Tests for hierarchical spans, sinks and the ambient context."""
+
+import json
+
+import pytest
+
+from repro.device import OperationTrace
+from repro.telemetry import (
+    JsonlSink,
+    ListSink,
+    Telemetry,
+    current,
+    set_current,
+    use,
+)
+
+
+class TestSpanAccounting:
+    def test_span_measures_trace_deltas(self):
+        trace = OperationTrace()
+        tel = Telemetry(trace=trace)
+        trace.charge("setup", 5.0)
+        with tel.span("stage"):
+            trace.charge("erase", 10.0, energy_uj=2.0)
+            trace.charge("erase", 10.0, energy_uj=2.0, count=3)
+            trace.charge("read", 1.0)
+        (span,) = tel.spans
+        assert span.device_us == pytest.approx(21.0)
+        assert span.energy_uj == pytest.approx(4.0)
+        assert span.op_counts == {"erase": 4, "read": 1}
+        assert span.wall_s >= 0.0
+        # Pre-span charges are excluded.
+        assert trace.now_us == pytest.approx(26.0)
+
+    def test_nesting_paths_and_depths(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                with tel.span("leaf"):
+                    pass
+            with tel.span("inner"):
+                pass
+        paths = [s.path for s in tel.spans]
+        assert paths == [
+            "outer/inner/leaf",
+            "outer/inner",
+            "outer/inner",
+            "outer",
+        ]
+        assert [s.depth for s in tel.spans] == [2, 1, 1, 0]
+        assert [s.name for s in tel.root_spans()] == ["outer"]
+        stats = tel.span_stats()
+        assert stats["outer/inner"]["count"] == 2
+
+    def test_exception_safety(self):
+        trace = OperationTrace()
+        tel = Telemetry(trace=trace)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tel.span("outer"):
+                with tel.span("failing"):
+                    trace.charge("op", 3.0)
+                    raise RuntimeError("boom")
+        # Both spans closed despite the exception, stack is clean, and
+        # the error is recorded on the failing span.
+        assert [s.name for s in tel.spans] == ["failing", "outer"]
+        assert tel.spans[0].error == "RuntimeError"
+        assert tel.spans[1].error == "RuntimeError"
+        assert tel.spans[0].device_us == pytest.approx(3.0)
+        assert tel._stack == []
+        assert tel.span_stats()["outer/failing"]["errors"] == 1
+        # The context is reusable afterwards.
+        with tel.span("next"):
+            pass
+        assert tel.spans[-1].path == "next"
+
+    def test_attrs_via_kwargs_and_set(self):
+        tel = Telemetry()
+        with tel.span("stage", n_pe=7) as sp:
+            sp.set("ber", 0.01)
+        assert tel.spans[0].attrs == {"n_pe": 7, "ber": 0.01}
+
+    def test_device_time_total_counts_roots_only(self):
+        trace = OperationTrace()
+        tel = Telemetry(trace=trace)
+        with tel.span("outer"):
+            with tel.span("inner"):
+                trace.charge("op", 10.0)
+            trace.charge("op", 5.0)
+        assert tel.device_time_total_us() == pytest.approx(15.0)
+
+    def test_max_spans_cap_keeps_stats(self):
+        tel = Telemetry(max_spans=2)
+        for _ in range(5):
+            with tel.span("s"):
+                pass
+        assert len(tel.spans) == 2
+        assert tel.dropped_spans == 3
+        assert tel.span_stats()["s"]["count"] == 5
+
+
+class TestDisabled:
+    def test_disabled_spans_and_metrics_are_noops(self):
+        tel = Telemetry(enabled=False)
+        with tel.span("stage") as sp:
+            sp.set("ignored", 1)
+        tel.count("ops")
+        tel.gauge("ber", 0.5)
+        tel.observe("t", 1.0)
+        assert tel.spans == []
+        assert tel.registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_disabled_span_is_shared(self):
+        tel = Telemetry(enabled=False)
+        assert tel.span("a") is tel.span("b")
+
+
+class TestAmbientContext:
+    def test_default_is_disabled(self):
+        assert current().enabled is False
+
+    def test_use_scopes_installation(self):
+        tel = Telemetry()
+        before = current()
+        with use(tel) as active:
+            assert active is tel
+            assert current() is tel
+        assert current() is before
+
+    def test_set_current_returns_old(self):
+        tel = Telemetry()
+        old = set_current(tel)
+        try:
+            assert current() is tel
+        finally:
+            set_current(old)
+
+
+class TestSinks:
+    def test_list_sink_records_span_events(self):
+        sink = ListSink()
+        tel = Telemetry(sink=sink)
+        with tel.span("stage", n=1):
+            pass
+        (rec,) = sink.records
+        assert rec["type"] == "span"
+        assert rec["name"] == "stage"
+        assert rec["attrs"] == {"n": 1}
+
+    def test_jsonl_sink_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path)
+        tel = Telemetry(sink=sink)
+        with tel.span("a"):
+            with tel.span("b"):
+                pass
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["path"] for r in records] == ["a/b", "a"]
+
+    def test_jsonl_sink_accepts_handle(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as fh:
+            sink = JsonlSink(fh)
+            tel = Telemetry(sink=sink)
+            with tel.span("x"):
+                pass
+            sink.close()  # does not close a borrowed handle
+            assert not fh.closed
+        assert json.loads(path.read_text())["name"] == "x"
+
+    def test_jsonl_sink_rejects_garbage(self):
+        with pytest.raises(TypeError, match="unsupported"):
+            JsonlSink(42)

@@ -113,6 +113,80 @@ class TestExtendedCommands:
         assert "estimated prior stress" in out
 
 
+class TestTelemetryCli:
+    def test_selftest(self, capsys):
+        assert main(["telemetry", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry selftest: OK" in out
+        assert "stage coverage" in out
+
+    def test_imprint_writes_manifest(self, chip_file, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert (
+            main(["imprint", str(chip_file), "--manifest", str(manifest)])
+            == 0
+        )
+        from repro.telemetry import load_manifest
+
+        data = load_manifest(manifest)
+        assert data["kind"] == "session"
+        assert "imprint" in {s["name"] for s in data["stages"]}
+
+    def test_verify_writes_manifest(self, chip_file, tmp_path, capsys):
+        main(["imprint", str(chip_file)])
+        manifest = tmp_path / "verify.json"
+        assert (
+            main(["verify", str(chip_file), "--manifest", str(manifest)])
+            == 0
+        )
+        from repro.telemetry import load_manifest
+
+        data = load_manifest(manifest)
+        assert data["kind"] == "verify"
+        assert data["verdict"] == "authentic"
+
+    def test_summarize(self, chip_file, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        main(["imprint", str(chip_file), "--manifest", str(manifest)])
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "imprint" in out
+
+    def test_diff(self, chip_file, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["imprint", str(chip_file), "--manifest", str(a)])
+        main(
+            [
+                "imprint",
+                str(chip_file),
+                "--n-pe",
+                "50000",
+                "--manifest",
+                str(b),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["telemetry", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest diff" in out
+        assert "imprint" in out
+
+    def test_summarize_arity_error(self, capsys):
+        assert main(["telemetry", "summarize"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_diff_arity_error(self, tmp_path, capsys):
+        assert main(["telemetry", "diff", "only-one.json"]) == 1
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_no_action_prints_usage(self, capsys):
+        assert main(["telemetry"]) == 1
+        assert "usage" in capsys.readouterr().err
+
+
 class TestSignedCli:
     KEY = "00112233445566778899aabbccddeeff"
 

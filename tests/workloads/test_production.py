@@ -7,11 +7,13 @@ import pytest
 from repro.core import ChipStatus, Verdict, WatermarkVerifier, calibrate_family
 from repro.device import make_mcu
 from repro.phys import PhysicalParams
+from repro.telemetry import Telemetry
 from repro.workloads import (
     DieSortSpec,
     ProductionLine,
     PopulationSpec,
     ChipKind,
+    batch_manifest,
     run_die_sort,
 )
 
@@ -81,6 +83,39 @@ class TestProductionLine:
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError, match="empty"):
             ProductionLine.yield_fraction([])
+
+    def test_batch_manifest_aggregates_sockets(self):
+        telemetry = Telemetry()
+        line = ProductionLine(outlier_fraction=0.4, n_pe=10_000)
+        batch = line.produce(4, seed=9, telemetry=telemetry)
+        manifest = batch_manifest(batch, telemetry=telemetry, line=line)
+
+        assert manifest["kind"] == "production_batch"
+        assert manifest["parameters"]["n_chips"] == 4
+        assert manifest["parameters"]["n_pe"] == 10_000
+        assert len(manifest["dies"]) == 4
+        assert manifest["accepted"] + manifest["rejected"] == 4
+        assert manifest["yield"] == ProductionLine.yield_fraction(batch)
+        # The merged batch trace sums every socket's device clock.
+        total_us = sum(p.chip.trace.now_us for p in batch)
+        assert manifest["device"]["now_us"] == pytest.approx(total_us)
+        # Spans and counters recorded one entry per die.
+        stats = manifest["span_stats"]
+        assert stats["production.batch/production.die"]["count"] == 4
+        assert manifest["metrics"]["counters"]["production.dies"] == 4
+
+    def test_batch_manifest_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            batch_manifest([])
+
+    def test_produce_without_telemetry_unchanged(self):
+        # The ambient default is disabled telemetry: no spans recorded.
+        line = ProductionLine(outlier_fraction=0.0, n_pe=5_000)
+        batch = line.produce(1, seed=3)
+        assert len(batch) == 1
+        manifest = batch_manifest(batch)
+        assert manifest["stages"] == []
+        assert manifest["device"]["now_us"] > 0
 
     def test_fallout_chips_fail_verification(self, batch):
         """The full story: a physically inferior die leaves the line
