@@ -11,7 +11,7 @@ an integrator's verification.
 Run:  python examples/production_line.py
 """
 
-from repro import WatermarkVerifier, calibrate_family, make_mcu
+from repro import McuFactory, WatermarkVerifier, calibrate_family
 from repro.analysis import format_table
 from repro.workloads import ChipKind, PopulationSpec, ProductionLine
 
@@ -19,7 +19,10 @@ from repro.workloads import ChipKind, PopulationSpec, ProductionLine
 def main() -> None:
     line = ProductionLine(outlier_fraction=0.35, n_pe=40_000)
     print("producing a batch of 10 dies (35 % degraded corners) ...")
-    batch = line.produce(10, seed=21)
+    # workers= fans dies across processes; the same seed produces a
+    # bit-identical batch at any worker count.
+    result = line.run(10, seed=21, workers=2)
+    batch = result.batch
 
     rows = []
     for i, produced in enumerate(batch):
@@ -46,7 +49,7 @@ def main() -> None:
             title="die-sort outcomes",
         )
     )
-    print(f"line yield: {100 * ProductionLine.yield_fraction(batch):.0f} %")
+    print(f"line yield: {100 * result.yield_fraction:.0f} %")
 
     # An integrator receives a scavenged reject die.
     rejects = [p for p in batch if not p.die_sort.passed]
@@ -56,10 +59,10 @@ def main() -> None:
     suspect = rejects[0]
     spec = PopulationSpec(counts={ChipKind.GENUINE: 1})
     calibration = calibrate_family(
-        lambda seed: make_mcu(seed=seed, n_segments=1),
-        n_pe=40_000,
+        McuFactory(n_segments=1),
+        40_000,
         n_replicas=7,
-    )
+    ).calibration
     verifier = WatermarkVerifier(calibration, spec.format)
     report = verifier.verify(suspect.chip.flash)
     print(

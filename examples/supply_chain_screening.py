@@ -12,7 +12,13 @@ Run:  python examples/supply_chain_screening.py
 
 from collections import Counter
 
-from repro import Verdict, WatermarkVerifier, calibrate_family, make_mcu
+from repro import (
+    McuFactory,
+    Verdict,
+    WatermarkVerifier,
+    calibrate_family,
+    verify_population,
+)
 from repro.analysis import format_table
 from repro.workloads import ChipKind, PopulationSpec, generate_population
 
@@ -31,16 +37,18 @@ def main() -> None:
 
     # The integrator has only the published family parameters.
     calibration = calibrate_family(
-        lambda seed: make_mcu(seed=seed, n_segments=1),
-        n_pe=spec.n_pe,
+        McuFactory(n_segments=1),
+        spec.n_pe,
         n_replicas=spec.n_replicas,
-    )
+    ).calibration
     verifier = WatermarkVerifier(calibration, spec.format)
+
+    # One verification job per chip, fanned across worker processes.
+    screened = verify_population(shipment, verifier, workers=2)
 
     rows = []
     tally = Counter()
-    for i, sample in enumerate(shipment):
-        report = verifier.verify(sample.chip.flash)
+    for i, (sample, report) in enumerate(zip(shipment, screened.results)):
         genuine_kinds = (ChipKind.GENUINE, ChipKind.RECYCLED)
         expected_ok = sample.kind in genuine_kinds
         got_ok = report.verdict is Verdict.AUTHENTIC

@@ -12,6 +12,11 @@ Milenkovic.  The package layers as follows (bottom up):
   characterisation procedures;
 * :mod:`repro.core` — Flashmark itself: watermark payloads, imprinting,
   extraction, replication/decoding, calibration and verification;
+* :mod:`repro.engine` — the parallel batch engine: chip-granular
+  fan-out (:class:`BatchExecutor`), memoized family calibrations
+  (:class:`CalibrationCache`) and the batch APIs
+  (:func:`calibrate_family`, :func:`verify_population`,
+  :meth:`repro.workloads.ProductionLine.run`);
 * :mod:`repro.attacks` — counterfeiter tampering models;
 * :mod:`repro.baselines` — metadata / ECID / PUF / recycled-detection
   alternatives;
@@ -47,22 +52,37 @@ from .core import (
     WatermarkFormat,
     WatermarkPayload,
     WatermarkVerifier,
-    calibrate_family,
     extract_segment,
     extract_watermark,
     imprint_watermark,
 )
 from .device import (
     FlashController,
+    McuFactory,
     Microcontroller,
     NandFlash,
     SpiNorFlash,
     make_mcu,
 )
+
+# The batch engine is the published calibration entry point:
+# `repro.calibrate_family` returns a CalibrationResult whose
+# `.calibration` is the FamilyCalibration the deprecated
+# `repro.core.calibrate_family` shim used to return directly.
+from .engine import (
+    BatchExecutor,
+    BatchResult,
+    CalibrationCache,
+    CalibrationResult,
+    JobFailure,
+    VerificationResult,
+    calibrate_family,
+    verify_population,
+)
 from .phys import PhysicalParams
 from .telemetry import Telemetry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -86,8 +106,17 @@ __all__ = [
     "ReplicaLayout",
     "AsymmetricDecoder",
     "ErrorAsymmetry",
+    # batch engine
+    "BatchExecutor",
+    "BatchResult",
+    "JobFailure",
+    "CalibrationCache",
+    "CalibrationResult",
+    "VerificationResult",
+    "verify_population",
     # devices
     "make_mcu",
+    "McuFactory",
     "Microcontroller",
     "FlashController",
     "SpiNorFlash",

@@ -8,6 +8,8 @@ The CLI plays both supply-chain roles on persisted chip state
     # manufacturer
     $ python -m repro make chip.npz --seed 7
     $ python -m repro imprint chip.npz --manufacturer TCMK --status ACCEPT
+    $ python -m repro produce --count 16 --workers 4 --out-dir dies/
+    $ python -m repro calibrate --workers 4 --cache calibrations.json
     # counterfeiter
     $ python -m repro wipe chip.npz
     # integrator
@@ -42,11 +44,11 @@ from .core import (
     WatermarkFormat,
     WatermarkPayload,
     WatermarkVerifier,
-    calibrate_family,
 )
 from .core.screening import detect_watermark_presence
-from .device import age_chip, make_mcu
+from .device import McuFactory, age_chip, make_mcu
 from .device.persistence import load_chip, save_chip
+from .engine import CacheError, CalibrationCache, calibrate_family
 from .telemetry import (
     Telemetry,
     build_manifest,
@@ -91,6 +93,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--manifest",
         help="write the run manifest (JSON) to this path",
+    )
+
+    p = sub.add_parser(
+        "produce", help="run a die-sort production batch (batch engine)"
+    )
+    p.add_argument("--count", type=int, default=8, help="dies to produce")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (same seed -> identical batch at any count)",
+    )
+    p.add_argument("--manufacturer", default="TCMK")
+    p.add_argument("--n-pe", type=int, default=40_000)
+    p.add_argument("--replicas", type=int, default=7)
+    p.add_argument(
+        "--outlier-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of dies drawn from a degraded process corner",
+    )
+    p.add_argument(
+        "--out-dir", help="save each produced chip here as die_<i>.npz"
+    )
+    p.add_argument(
+        "--manifest", help="write the batch run manifest (JSON) to this path"
+    )
+
+    p = sub.add_parser(
+        "calibrate",
+        help="derive the family t_PEW window (batch engine + cache)",
+    )
+    p.add_argument("--model", default="MSP430F5438")
+    p.add_argument("--n-pe", type=int, default=40_000)
+    p.add_argument("--replicas", type=int, default=7)
+    p.add_argument(
+        "--chips", type=int, default=1, help="sample chips to average"
+    )
+    p.add_argument("--seed", type=int, default=1000)
+    p.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the sweep"
+    )
+    p.add_argument(
+        "--cache",
+        help="calibration cache JSON; hit skips the sweep entirely",
+    )
+    p.add_argument(
+        "--manifest", help="write the run manifest (JSON) to this path"
     )
 
     p = sub.add_parser("wipe", help="erase a segment digitally")
@@ -203,11 +254,124 @@ def _cmd_imprint(args) -> int:
     return 0
 
 
+def _fail(context: str, exc: Exception) -> int:
+    """Uniform CLI error reporting: one line on stderr, exit code 1."""
+    print(f"{context}: {exc}", file=sys.stderr)
+    return 1
+
+
 def _cmd_wipe(args) -> int:
     chip = load_chip(args.chip)
     chip.flash.erase_segment(args.segment)
     save_chip(chip, args.chip)
     print(f"segment {args.segment} digitally erased (all 0xFFFF)")
+    return 0
+
+
+def _cmd_produce(args) -> int:
+    from pathlib import Path
+
+    from .workloads import ProductionLine
+
+    if args.count < 1:
+        return _fail("produce", ValueError("--count must be >= 1"))
+    line = ProductionLine(
+        manufacturer=args.manufacturer,
+        outlier_fraction=args.outlier_fraction,
+        n_pe=args.n_pe,
+        n_replicas=args.replicas,
+    )
+    telemetry = Telemetry()
+    result = line.run(
+        args.count,
+        seed=args.seed,
+        workers=args.workers,
+        telemetry=telemetry,
+    )
+    rows = [
+        [
+            i,
+            f"0x{p.chip.die_id:012X}",
+            "pass" if p.die_sort.passed else "FAIL",
+            p.die_sort.reason,
+        ]
+        for i, p in enumerate(result.results)
+        if p is not None
+    ]
+    print(
+        format_table(
+            ["die", "die id", "sort", "reason"],
+            rows,
+            title=f"production batch (seed {args.seed}, "
+            f"{result.workers} worker(s))",
+        )
+    )
+    batch = result.batch
+    if batch:
+        print(f"yield: {result.yield_fraction:.0%} of {len(batch)} die(s)")
+    for failure in result.failures:
+        print(
+            f"die {failure.index} failed after {failure.attempts} "
+            f"attempt(s): {failure.error.strip().splitlines()[-1]}",
+            file=sys.stderr,
+        )
+    if args.out_dir:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for i, p in enumerate(result.results):
+            if p is not None:
+                save_chip(p.chip, out / f"die_{i:03d}.npz")
+        print(f"saved {len(batch)} chip file(s) -> {out}")
+    if args.manifest and result.manifest is not None:
+        save_manifest(result.manifest, args.manifest)
+        print(f"run manifest -> {args.manifest}")
+    return 0 if result.ok else 1
+
+
+def _cmd_calibrate(args) -> int:
+    cache = None
+    if args.cache:
+        try:
+            cache = CalibrationCache(args.cache)
+        except CacheError as exc:
+            return _fail("calibrate", exc)
+    telemetry = Telemetry()
+    try:
+        result = calibrate_family(
+            McuFactory(model=args.model, n_segments=1),
+            args.n_pe,
+            n_replicas=args.replicas,
+            n_chips=args.chips,
+            seed=args.seed,
+            workers=args.workers,
+            cache=cache,
+            telemetry=telemetry,
+        )
+    except ValueError as exc:
+        return _fail("calibrate", exc)
+    cal = result.calibration
+    source = "cache hit" if result.cache_hit else (
+        f"swept {args.chips} chip(s) on {result.workers} worker(s)"
+    )
+    print(f"family calibration ({source}):")
+    print(f"  model:        {cal.model}")
+    print(f"  t_PEW:        {cal.t_pew_us:.1f} us")
+    print(
+        f"  window:       {cal.window_lo_us:.1f}..{cal.window_hi_us:.1f} us"
+    )
+    print(f"  N_PE:         {cal.n_pe}")
+    print(f"  replicas:     {cal.n_replicas}")
+    print(f"  expected BER: {cal.expected_ber:.4f}")
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"cache: {stats['entries']} entry(ies), "
+            f"{stats['hits']} hit(s), {stats['misses']} miss(es) "
+            f"at {stats['path']}"
+        )
+    if args.manifest:
+        save_manifest(result.manifest, args.manifest)
+        print(f"run manifest -> {args.manifest}")
     return 0
 
 
@@ -218,12 +382,10 @@ def _published_verifier(
     from .core import SignatureScheme
 
     calibration = calibrate_family(
-        lambda seed: make_mcu(
-            model=chip.model, seed=seed, params=chip.params, n_segments=1
-        ),
-        n_pe=n_pe,
+        McuFactory(model=chip.model, params=chip.params, n_segments=1),
+        n_pe,
         n_replicas=n_replicas,
-    )
+    ).calibration
     payload_bits = WatermarkPayload("XXXX", 0, 0, ChipStatus.ACCEPT).n_bits
     scheme = SignatureScheme(sign_key) if sign_key else None
     fmt = WatermarkFormat(
@@ -424,8 +586,7 @@ def _cmd_telemetry(args) -> int:
         try:
             manifest = load_manifest(args.manifests[0])
         except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"telemetry: {exc}", file=sys.stderr)
-            return 1
+            return _fail("telemetry", exc)
         print(summarize_manifest(manifest))
         return 0
     if args.action == "diff":
@@ -439,8 +600,7 @@ def _cmd_telemetry(args) -> int:
             a = load_manifest(args.manifests[0])
             b = load_manifest(args.manifests[1])
         except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"telemetry: {exc}", file=sys.stderr)
-            return 1
+            return _fail("telemetry", exc)
         print(diff_manifests(a, b))
         return 0
     print(
@@ -454,6 +614,8 @@ def _cmd_telemetry(args) -> int:
 _COMMANDS = {
     "make": _cmd_make,
     "imprint": _cmd_imprint,
+    "produce": _cmd_produce,
+    "calibrate": _cmd_calibrate,
     "wipe": _cmd_wipe,
     "verify": _cmd_verify,
     "characterize": _cmd_characterize,

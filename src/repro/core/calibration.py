@@ -7,29 +7,46 @@ time window) is determined by the manufacturer using the
 characterization process ... for each family of devices and can be
 publicly communicated to system integrators."
 
-:func:`calibrate_family` runs that process on sample chips: imprint a
-known watermark, sweep the partial-erase time, and locate the window
-minimising the decoded bit error rate.  The result — window, recommended
-N_PE, replica format and measured channel asymmetry — is exactly the
-data sheet a manufacturer would publish.
+The calibration process imprints a known watermark on sample chips,
+sweeps the partial-erase time, and locates the window minimising the
+decoded bit error rate.  The result — window, recommended N_PE, replica
+format and measured channel asymmetry — is exactly the data sheet a
+manufacturer would publish.
+
+This module holds the per-chip unit of work
+(:func:`run_calibration_sweep`, picklable so the batch engine can fan
+sample chips across worker processes) and the window-selection math;
+the batch-facing orchestration lives in
+:func:`repro.engine.calibrate_family`.  The module-level
+:func:`calibrate_family` here is the original single-process entry
+point, kept as a deprecated shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..device.mcu import Microcontroller
-from ..telemetry import current as current_telemetry
+from ..device.tracing import OperationTrace
+from ..telemetry import Telemetry
 from .bits import bit_error_rate
 from .decoder import ErrorAsymmetry, measure_asymmetry
 from .extract import extract_watermark
 from .imprint import imprint_watermark
 from .watermark import Watermark
 
-__all__ = ["FamilyCalibration", "calibrate_family"]
+__all__ = [
+    "FamilyCalibration",
+    "CalibrationSweepJob",
+    "ChipSweep",
+    "run_calibration_sweep",
+    "select_window",
+    "calibrate_family",
+]
 
 
 @dataclass(frozen=True)
@@ -62,104 +79,121 @@ class FamilyCalibration:
         return self.window_hi_us - self.window_lo_us
 
 
-def calibrate_family(
-    chip_factory: Callable[[int], Microcontroller],
-    n_pe: int,
-    n_replicas: int = 1,
-    watermark: Optional[Watermark] = None,
-    t_grid_us: Optional[Sequence[float]] = None,
-    n_reads: int = 1,
-    n_chips: int = 1,
-    segment: int = 0,
-    window_tolerance: float = 0.25,
-    seed0: int = 1000,
-    operating_point: str = "safe",
-    telemetry=None,
-) -> FamilyCalibration:
-    """Find the best partial-erase window for a device family.
+@dataclass(frozen=True)
+class CalibrationSweepJob:
+    """One sample chip's calibration sweep, as a picklable payload.
 
-    Parameters
-    ----------
-    chip_factory:
-        ``seed -> Microcontroller``; called for each calibration sample.
-    n_pe:
-        Imprint stress the family will use.
-    n_replicas:
-        Watermark replica count of the published format.
-    watermark:
-        Calibration pattern; defaults to a random uppercase-ASCII
-        watermark sized to fill the segment across the replicas.
-    t_grid_us:
-        Candidate partial-erase times (defaults to 16..80 us in 1 us
-        steps, widened automatically for heavy stress).
-    n_chips:
-        Calibration samples; BER curves are averaged across chips.
-    window_tolerance:
-        Window includes every time with
-        ``BER <= min_BER + tolerance * (max_BER - min_BER)`` — the
-        "time window" phrasing of Section IV.
-    operating_point:
-        ``"min"`` publishes the exact BER minimum; ``"safe"`` (default)
-        publishes the midpoint between the minimum and the window's
-        right edge.  Sitting right of the minimum is what the paper does
-        in Fig. 10 (t_PEW = 28 us at 50 K, past the Fig. 9 optimum):
-        virtually every fresh cell has crossed there, so the residual
-        errors are the asymmetric bad-reads-good kind that replication
-        and the asymmetric decoder handle well.
+    The job carries its own seed and every input the sweep needs, so a
+    worker process (or an inline fallback, or a retry) reproduces the
+    same chip and the same BER curve bit for bit.
     """
-    if operating_point not in ("min", "safe"):
-        raise ValueError("operating_point must be 'min' or 'safe'")
-    if n_chips < 1:
-        raise ValueError("n_chips must be >= 1")
-    probe = chip_factory(seed0)
-    segment_bits = probe.geometry.bits_per_segment
-    if watermark is None:
-        n_chars = segment_bits // n_replicas // 8
-        rng = np.random.default_rng(seed0)
-        watermark = Watermark.ascii_uppercase(n_chars, rng)
-    if t_grid_us is None:
-        # The optimum shifts right with stress (Fig. 9); scale the grid.
-        hi = 80.0 + 40.0 * max(0.0, (n_pe - 40_000) / 20_000.0)
-        t_grid_us = np.arange(16.0, hi, 1.0)
-    t_grid_us = np.asarray(t_grid_us, dtype=np.float64)
 
-    ber_sum = np.zeros(t_grid_us.size)
-    asym_at: list = [None] * t_grid_us.size
-    model = probe.model
-    tel = telemetry if telemetry is not None else current_telemetry()
-    with tel.span(
-        "calibration.sweep",
-        model=model,
-        n_chips=n_chips,
-        grid_points=int(t_grid_us.size),
-        n_pe=n_pe,
-    ):
-        for c in range(n_chips):
-            chip = probe if c == 0 else chip_factory(seed0 + c)
-            with tel.span("calibration.chip", index=c):
-                report = imprint_watermark(
-                    chip.flash, segment, watermark, n_pe,
-                    n_replicas=n_replicas,
+    #: Position of this sample in the calibration set (chip 0 also
+    #: measures the channel asymmetry, matching the original serial
+    #: procedure).
+    index: int
+    #: Die seed passed to the factory.
+    seed: int
+    #: Picklable ``seed -> Microcontroller`` factory (e.g.
+    #: :class:`~repro.device.mcu.McuFactory`).
+    factory: Callable[[int], Microcontroller]
+    #: Calibration pattern to imprint.
+    watermark: Watermark
+    n_pe: int
+    n_replicas: int
+    #: Candidate partial-erase times [us].
+    t_grid_us: Tuple[float, ...]
+    n_reads: int = 1
+    segment: int = 0
+    #: Measure per-grid-point channel asymmetry (chip 0 only).
+    want_asymmetry: bool = False
+
+
+@dataclass
+class ChipSweep:
+    """One chip's measured BER curve (a calibration job's result)."""
+
+    index: int
+    seed: int
+    model: str
+    #: Decoded BER at each grid point.
+    ber: np.ndarray
+    #: Channel asymmetry at each grid point (None unless requested).
+    asymmetry: Optional[List[ErrorAsymmetry]]
+    #: The sample chip's device trace (merged into the batch manifest).
+    trace: OperationTrace
+    #: Worker-side telemetry snapshot (spans + metrics) for absorption.
+    telemetry: dict = field(default_factory=dict)
+
+
+def run_calibration_sweep(job: CalibrationSweepJob) -> ChipSweep:
+    """Run one sample chip's imprint + partial-erase sweep.
+
+    Module-level and driven entirely by the job payload, so the batch
+    engine can run it in a worker process; the chip's own seeded rng
+    makes the result independent of where it executes.
+    """
+    tel = Telemetry()
+    chip = job.factory(job.seed)
+    tel.bind_trace(chip.trace)
+    grid = np.asarray(job.t_grid_us, dtype=np.float64)
+    ber = np.zeros(grid.size)
+    asym: Optional[List[ErrorAsymmetry]] = [] if job.want_asymmetry else None
+    with tel.span("calibration.chip", index=job.index, seed=job.seed):
+        report = imprint_watermark(
+            chip.flash,
+            job.segment,
+            job.watermark,
+            job.n_pe,
+            n_replicas=job.n_replicas,
+            telemetry=tel,
+        )
+        for i, t in enumerate(grid):
+            decoded = extract_watermark(
+                chip.flash,
+                job.segment,
+                report.layout,
+                float(t),
+                n_reads=job.n_reads,
+                telemetry=tel,
+            )
+            ber[i] = bit_error_rate(job.watermark.bits, decoded.bits)
+            if asym is not None:
+                expected_matrix = np.tile(
+                    job.watermark.bits, (job.n_replicas, 1)
                 )
-                for i, t in enumerate(t_grid_us):
-                    decoded = extract_watermark(
-                        chip.flash,
-                        segment,
-                        report.layout,
-                        float(t),
-                        n_reads=n_reads,
+                asym.append(
+                    measure_asymmetry(
+                        expected_matrix, decoded.replica_matrix
                     )
-                    ber_sum[i] += bit_error_rate(
-                        watermark.bits, decoded.bits
-                    )
-                    if c == 0:
-                        expected_matrix = np.tile(
-                            watermark.bits, (n_replicas, 1)
-                        )
-                        asym_at[i] = measure_asymmetry(
-                            expected_matrix, decoded.replica_matrix
-                        )
-    ber = ber_sum / n_chips
+                )
+    return ChipSweep(
+        index=job.index,
+        seed=job.seed,
+        model=chip.model,
+        ber=ber,
+        asymmetry=asym,
+        trace=chip.trace,
+        telemetry=tel.snapshot(),
+    )
+
+
+def select_window(
+    ber: np.ndarray,
+    t_grid_us: np.ndarray,
+    window_tolerance: float,
+    operating_point: str,
+) -> Tuple[int, int, int]:
+    """Locate the usable window on an averaged BER curve.
+
+    Returns ``(op_idx, lo_idx, hi_idx)`` — the published operating
+    point and the window edges, as grid indices.  The window includes
+    every time with ``BER <= min_BER + tolerance * (max_BER - min_BER)``
+    (the "time window" phrasing of Section IV); ``"safe"`` publishes the
+    midpoint between the minimum and the window's right edge, which is
+    what the paper does in Fig. 10 (t_PEW = 28 us at 50 K, past the
+    Fig. 9 optimum).
+    """
     best_idx = int(np.argmin(ber))
     threshold = ber[best_idx] + window_tolerance * (
         ber.max() - ber[best_idx]
@@ -175,15 +209,68 @@ def calibrate_family(
         op_idx = (best_idx + hi_idx) // 2
     else:
         op_idx = best_idx
-    return FamilyCalibration(
-        model=model,
-        t_pew_us=float(t_grid_us[op_idx]),
-        window_lo_us=float(t_grid_us[lo_idx]),
-        window_hi_us=float(t_grid_us[hi_idx]),
-        n_pe=n_pe,
+    return op_idx, lo_idx, hi_idx
+
+
+def default_t_grid_us(n_pe: int) -> np.ndarray:
+    """Default sweep grid; the optimum shifts right with stress (Fig. 9)."""
+    hi = 80.0 + 40.0 * max(0.0, (n_pe - 40_000) / 20_000.0)
+    return np.arange(16.0, hi, 1.0)
+
+
+def calibrate_family(
+    chip_factory: Callable[[int], Microcontroller],
+    n_pe: int,
+    n_replicas: int = 1,
+    watermark: Optional[Watermark] = None,
+    t_grid_us: Optional[Sequence[float]] = None,
+    n_reads: int = 1,
+    n_chips: int = 1,
+    segment: int = 0,
+    window_tolerance: float = 0.25,
+    seed0: int = 1000,
+    operating_point: str = "safe",
+    telemetry=None,
+    *,
+    workers: int = 1,
+    cache=None,
+) -> FamilyCalibration:
+    """Find the best partial-erase window for a device family.
+
+    .. deprecated::
+        This is the original single-result signature, kept as a thin
+        shim.  Use :func:`repro.engine.calibrate_family` (also exported
+        as :func:`repro.calibrate_family`), which adds ``workers=``,
+        ``cache=`` and the common batch result shape
+        (``.results`` / ``.failures`` / ``.manifest``); its
+        ``.calibration`` attribute is what this function returns.
+
+    The keyword-only ``workers=`` and ``cache=`` pass straight through
+    to the engine, so existing callers can already parallelize and
+    memoize without changing return-type expectations.
+    """
+    warnings.warn(
+        "repro.core.calibrate_family() is deprecated; use "
+        "repro.engine.calibrate_family() and read .calibration "
+        "from its result",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..engine.api import calibrate_family as engine_calibrate_family
+
+    return engine_calibrate_family(
+        chip_factory,
+        n_pe,
         n_replicas=n_replicas,
-        expected_ber=float(ber[op_idx]),
-        asymmetry=asym_at[op_idx],
+        watermark=watermark,
+        t_grid_us=t_grid_us,
+        n_reads=n_reads,
+        n_chips=n_chips,
+        segment=segment,
         window_tolerance=window_tolerance,
         operating_point=operating_point,
-    )
+        seed=seed0,
+        telemetry=telemetry,
+        workers=workers,
+        cache=cache,
+    ).calibration

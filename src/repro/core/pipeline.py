@@ -20,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..device.mcu import Microcontroller, make_mcu
+from ..device.mcu import McuFactory, Microcontroller
 from ..telemetry import Telemetry, build_manifest, save_manifest
-from .calibration import FamilyCalibration, calibrate_family
+from .calibration import FamilyCalibration
 from .extract import DecodedWatermark, extract_watermark
 from .imprint import ImprintReport, imprint_watermark
 from .payload import WatermarkPayload
@@ -63,6 +63,12 @@ class FlashmarkSession:
         every session yields a run manifest (:meth:`run_manifest`); pass
         ``Telemetry(enabled=False)`` to opt out, or a shared context to
         aggregate several sessions.
+    calibration_workers / calibration_cache:
+        Passed through to :func:`repro.engine.calibrate_family` when the
+        session derives a calibration on demand: worker processes for
+        the sample-chip sweep, and an optional
+        :class:`~repro.engine.CalibrationCache` so repeated sessions
+        reuse the published window instead of re-deriving it.
     """
 
     def __init__(
@@ -71,6 +77,9 @@ class FlashmarkSession:
         segment: int = 0,
         calibration: Optional[FamilyCalibration] = None,
         telemetry: Optional[Telemetry] = None,
+        *,
+        calibration_workers: int = 1,
+        calibration_cache=None,
     ):
         self.chip = chip
         self.segment = segment
@@ -80,6 +89,8 @@ class FlashmarkSession:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         chip.flash.attach_telemetry(self.telemetry)
         self._last_verdict: Optional[str] = None
+        self.calibration_workers = calibration_workers
+        self.calibration_cache = calibration_cache
 
     # -- manufacturer side ----------------------------------------------
 
@@ -184,25 +195,31 @@ class FlashmarkSession:
     def calibration(self) -> FamilyCalibration:
         """The family calibration (derived on first use if not supplied)."""
         if self._calibration is None:
+            from ..engine.api import calibrate_family
+
             state = self._require_state()
+            factory = McuFactory(
+                model=self.chip.model,
+                params=self.chip.params,
+                n_segments=1,
+            )
             with self.telemetry.span(
                 "calibration",
                 n_pe=state.imprint_report.n_pe,
                 n_replicas=state.format.n_replicas,
             ) as sp:
-                self._calibration = calibrate_family(
-                    lambda seed: make_mcu(
-                        model=self.chip.model,
-                        seed=seed,
-                        params=self.chip.params,
-                        n_segments=1,
-                    ),
-                    n_pe=state.imprint_report.n_pe,
+                result = calibrate_family(
+                    factory,
+                    state.imprint_report.n_pe,
                     n_replicas=state.format.n_replicas,
                     telemetry=self.telemetry,
+                    workers=self.calibration_workers,
+                    cache=self.calibration_cache,
                 )
+                self._calibration = result.calibration
                 sp.set("t_pew_us", self._calibration.t_pew_us)
                 sp.set("expected_ber", self._calibration.expected_ber)
+                sp.set("cache_hit", result.cache_hit)
             self.telemetry.gauge(
                 "calibration.t_pew_us", self._calibration.t_pew_us
             )

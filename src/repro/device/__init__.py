@@ -28,7 +28,7 @@ from .geometry import (
     MSP430F5529_GEOMETRY,
     FlashGeometry,
 )
-from .mcu import SUPPORTED_MODELS, Microcontroller, make_mcu
+from .mcu import SUPPORTED_MODELS, McuFactory, Microcontroller, make_mcu
 from .persistence import CHIP_FILE_VERSION, load_chip, save_chip
 from .mlc import MLC_GEOMETRY, MLC_LEVELS_V, MLC_READ_REFS_V, MlcNorFlash
 from .nand import NAND_GEOMETRY, NandFlash
@@ -67,6 +67,7 @@ __all__ = [
     "FlashController",
     "FlashRegisterFile",
     "Microcontroller",
+    "McuFactory",
     "make_mcu",
     "SUPPORTED_MODELS",
     "SpiNorFlash",

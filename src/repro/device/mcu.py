@@ -12,6 +12,7 @@ paper's evaluation (MSP430F5438 and MSP430F5529).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -28,7 +29,7 @@ from .registers import FlashRegisterFile
 from .timing import MSP430F5438_TIMING, TimingProfile
 from .tracing import OperationTrace
 
-__all__ = ["Microcontroller", "make_mcu", "SUPPORTED_MODELS"]
+__all__ = ["Microcontroller", "McuFactory", "make_mcu", "SUPPORTED_MODELS"]
 
 #: model name -> (geometry, timing)
 SUPPORTED_MODELS: Dict[str, Tuple[FlashGeometry, TimingProfile]] = {
@@ -132,6 +133,37 @@ class Microcontroller:
         return (
             f"Microcontroller(model={self.model!r}, "
             f"die_id=0x{self.die_id:012X}, flash={size})"
+        )
+
+
+@dataclass(frozen=True)
+class McuFactory:
+    """A picklable ``seed -> Microcontroller`` chip factory.
+
+    Workflows that fan chip builds across worker processes (family
+    calibration, wear-reference building) need a factory that survives
+    pickling — a lambda closing over ``make_mcu`` does not.  This
+    dataclass captures the same intent declaratively::
+
+        factory = McuFactory(model="MSP430F5438", n_segments=1)
+        chip = factory(seed=7)     # == make_mcu(model=..., seed=7, ...)
+
+    Two factories with equal fields produce physically identical chips
+    for the same seed, on any process.
+    """
+
+    model: str = "MSP430F5438"
+    params: Optional[PhysicalParams] = None
+    n_segments: Optional[int] = 1
+    keep_trace_events: bool = False
+
+    def __call__(self, seed: int) -> Microcontroller:
+        return make_mcu(
+            model=self.model,
+            seed=seed,
+            params=self.params,
+            keep_trace_events=self.keep_trace_events,
+            n_segments=self.n_segments,
         )
 
 

@@ -1,0 +1,51 @@
+"""Parallel batch engine: executor, calibration cache, batch APIs.
+
+Flashmark's workloads are chip-granular and embarrassingly parallel —
+producing and imprinting a die, sweeping one sample chip's calibration
+grid, verifying one fielded chip are all independent jobs.  This package
+provides the shared machinery:
+
+* :class:`BatchExecutor` — fans picklable jobs across a process pool
+  with deterministic per-job seeding, chunked submission, per-job
+  timeout, bounded retry and a graceful single-process fallback;
+* :class:`CalibrationCache` — memoizes published family calibrations
+  keyed by a content hash of the family physics and settings, in memory
+  and optionally on disk (versioned JSON);
+* :func:`calibrate_family` / :func:`verify_population` — the
+  batch-facing API surface (one calling convention, one result shape),
+  alongside :meth:`repro.workloads.ProductionLine.run`.
+
+Workers record their own telemetry; the engine folds the snapshots back
+into the parent context so merged manifests reconcile device-clock
+totals exactly like single-process runs.
+"""
+
+from .api import (
+    CalibrationError,
+    CalibrationResult,
+    VerificationResult,
+    calibrate_family,
+    verify_population,
+)
+from .cache import CACHE_SCHEMA, CacheError, CalibrationCache
+from .executor import (
+    BatchExecutor,
+    BatchResult,
+    JobFailure,
+    default_workers,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "JobFailure",
+    "default_workers",
+    "CalibrationCache",
+    "CacheError",
+    "CACHE_SCHEMA",
+    "CalibrationError",
+    "CalibrationResult",
+    "VerificationResult",
+    "calibrate_family",
+    "verify_population",
+]

@@ -1,0 +1,496 @@
+"""The batch-facing API: parallel calibration and population verification.
+
+Every batch entry point shares one calling convention (keyword-only
+``workers=``, ``seed=``, ``telemetry=``) and one result shape
+(``.results`` aligned with the submitted jobs, ``.failures``,
+``.manifest``):
+
+* :func:`calibrate_family` — the family-calibration sweep of Section
+  IV, fanned across sample chips, optionally memoized through a
+  :class:`~repro.engine.cache.CalibrationCache`;
+* :func:`verify_population` — population-scale verification (the
+  deployment scenario of Section I), one chip per job;
+* :meth:`repro.workloads.ProductionLine.run` — die-sort production
+  (lives with the production line but follows the same convention).
+
+Worker processes record their own telemetry and device traces; the
+engine folds them back via :meth:`Telemetry.absorb` and
+:meth:`OperationTrace.merge`, so merged manifests still reconcile
+device-clock totals exactly as single-process runs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import copy
+
+import numpy as np
+
+from ..core.calibration import (
+    CalibrationSweepJob,
+    ChipSweep,
+    FamilyCalibration,
+    default_t_grid_us,
+    run_calibration_sweep,
+    select_window,
+)
+from ..core.verifier import (
+    VerificationReport,
+    WatermarkFormat,
+    WatermarkVerifier,
+)
+from ..core.watermark import Watermark
+from ..device.mcu import Microcontroller
+from ..device.tracing import OperationTrace
+from ..telemetry import Telemetry, build_manifest
+from ..telemetry import current as current_telemetry
+from .cache import CalibrationCache, calibration_to_dict
+from .executor import BatchExecutor, BatchResult, JobFailure
+
+__all__ = [
+    "CalibrationResult",
+    "VerificationResult",
+    "CalibrationError",
+    "calibrate_family",
+    "verify_population",
+]
+
+
+class CalibrationError(RuntimeError):
+    """A calibration batch lost sample chips and cannot publish a window."""
+
+
+@dataclass
+class CalibrationResult(BatchResult):
+    """Batch result of :func:`calibrate_family`.
+
+    ``results`` holds the per-chip
+    :class:`~repro.core.calibration.ChipSweep` curves (empty on a cache
+    hit); ``calibration`` is the published
+    :class:`~repro.core.calibration.FamilyCalibration`.
+    """
+
+    calibration: Optional[FamilyCalibration] = None
+    #: Whether the calibration came from the cache without sweeping.
+    cache_hit: bool = False
+    #: Content-hash key the cache used (None when no cache was given).
+    cache_key: Optional[str] = None
+
+
+@dataclass
+class VerificationResult(BatchResult):
+    """Batch result of :func:`verify_population`.
+
+    ``results`` holds one
+    :class:`~repro.core.verifier.VerificationReport` per input chip
+    (``None`` where a job failed).
+    """
+
+    @property
+    def verdicts(self) -> List[Optional[str]]:
+        """Verdict string per chip (None for failed jobs)."""
+        return [
+            r.verdict.value if r is not None else None for r in self.results
+        ]
+
+    @property
+    def verdict_counts(self) -> dict:
+        """Histogram of verdicts across the population."""
+        counts: dict = {}
+        for v in self.verdicts:
+            if v is not None:
+                counts[v] = counts.get(v, 0) + 1
+        return counts
+
+
+# -- family calibration ----------------------------------------------------
+
+
+def calibrate_family(
+    chip_factory: Callable[[int], Microcontroller],
+    n_pe: int,
+    *,
+    n_replicas: int = 1,
+    watermark: Optional[Watermark] = None,
+    t_grid_us: Optional[Sequence[float]] = None,
+    n_reads: int = 1,
+    n_chips: int = 1,
+    segment: int = 0,
+    window_tolerance: float = 0.25,
+    operating_point: str = "safe",
+    workers: int = 1,
+    seed: int = 1000,
+    telemetry=None,
+    cache: Optional[CalibrationCache] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    chunk_size: Optional[int] = None,
+) -> CalibrationResult:
+    """Find (or recall) the best partial-erase window for a family.
+
+    The batch-engine form of the Section IV characterization process:
+    each sample chip's imprint + sweep is one job, fanned across
+    ``workers`` processes with deterministic per-chip seeding
+    (``seed + chip_index``), so any worker count — including the
+    inline ``workers=1`` path — publishes bit-identical windows.
+
+    With a ``cache``, the sweep is skipped entirely when an entry keyed
+    by the family physics and every calibration setting exists; the
+    result then reports ``cache_hit=True``.
+
+    Raises :class:`CalibrationError` if any sample chip's job failed
+    after retries — a published window must average every sample.
+    """
+    if operating_point not in ("min", "safe"):
+        raise ValueError("operating_point must be 'min' or 'safe'")
+    if n_chips < 1:
+        raise ValueError("n_chips must be >= 1")
+    tel = telemetry if telemetry is not None else current_telemetry()
+    probe = chip_factory(seed)
+    segment_bits = probe.geometry.bits_per_segment
+    if watermark is None:
+        n_chars = segment_bits // n_replicas // 8
+        rng = np.random.default_rng(seed)
+        watermark = Watermark.ascii_uppercase(n_chars, rng)
+    if t_grid_us is None:
+        t_grid_us = default_t_grid_us(n_pe)
+    grid = np.asarray(t_grid_us, dtype=np.float64)
+    model = probe.model
+
+    cache_key = None
+    if cache is not None:
+        cache_key = CalibrationCache.key_for(
+            model=model,
+            params=probe.params.describe(),
+            n_pe=n_pe,
+            n_replicas=n_replicas,
+            watermark_bits=watermark.bits,
+            t_grid_us=grid,
+            n_reads=n_reads,
+            n_chips=n_chips,
+            segment=segment,
+            window_tolerance=window_tolerance,
+            seed=seed,
+            operating_point=operating_point,
+        )
+        cached = cache.get(cache_key)
+        if cached is not None:
+            tel.count("calibration.cache_hits")
+            manifest = build_manifest(
+                tel,
+                kind="calibration",
+                parameters=_calibration_parameters(
+                    model, n_pe, n_replicas, grid, n_reads, n_chips,
+                    segment, window_tolerance, operating_point, workers,
+                ),
+                seeds={"seed": seed},
+                trace=OperationTrace(),
+                extra={
+                    "calibration": calibration_to_dict(cached),
+                    "cache": {**cache.stats(), "hit": True, "key": cache_key},
+                },
+            )
+            return CalibrationResult(
+                results=[],
+                failures=[],
+                manifest=manifest,
+                workers=1,
+                calibration=cached,
+                cache_hit=True,
+                cache_key=cache_key,
+            )
+        tel.count("calibration.cache_misses")
+
+    jobs = [
+        CalibrationSweepJob(
+            index=c,
+            seed=seed + c,
+            factory=chip_factory,
+            watermark=watermark,
+            n_pe=n_pe,
+            n_replicas=n_replicas,
+            t_grid_us=tuple(float(t) for t in grid),
+            n_reads=n_reads,
+            segment=segment,
+            want_asymmetry=(c == 0),
+        )
+        for c in range(n_chips)
+    ]
+    executor = BatchExecutor(
+        workers,
+        chunk_size=chunk_size,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    with tel.span(
+        "calibration.sweep",
+        model=model,
+        n_chips=n_chips,
+        grid_points=int(grid.size),
+        n_pe=n_pe,
+        workers=workers,
+    ) as sweep_span:
+        batch = executor.map(run_calibration_sweep, jobs, telemetry=tel)
+        prefix = getattr(sweep_span, "path", None)
+        for sweep in batch.successes():
+            tel.absorb(sweep.telemetry, prefix=prefix)
+    if batch.failures:
+        detail = "; ".join(
+            f"chip {f.index}: {f.error.strip().splitlines()[-1]}"
+            for f in batch.failures
+        )
+        raise CalibrationError(
+            f"calibration lost {len(batch.failures)} of {n_chips} "
+            f"sample chip(s): {detail}"
+        )
+
+    sweeps: List[ChipSweep] = batch.results
+    # Sequential accumulation keeps float order identical to the
+    # original serial procedure (sum over chips, then divide).
+    ber_sum = np.zeros(grid.size)
+    for sweep in sweeps:
+        ber_sum += sweep.ber
+    ber = ber_sum / n_chips
+    op_idx, lo_idx, hi_idx = select_window(
+        ber, grid, window_tolerance, operating_point
+    )
+    calibration = FamilyCalibration(
+        model=model,
+        t_pew_us=float(grid[op_idx]),
+        window_lo_us=float(grid[lo_idx]),
+        window_hi_us=float(grid[hi_idx]),
+        n_pe=n_pe,
+        n_replicas=n_replicas,
+        expected_ber=float(ber[op_idx]),
+        asymmetry=sweeps[0].asymmetry[op_idx],
+        window_tolerance=window_tolerance,
+        operating_point=operating_point,
+    )
+    if cache is not None and cache_key is not None:
+        cache.put(
+            cache_key,
+            calibration,
+            key_fields={"model": model, "n_pe": n_pe, "seed": seed},
+        )
+    tel.gauge("calibration.t_pew_us", calibration.t_pew_us)
+    tel.gauge("calibration.expected_ber", calibration.expected_ber)
+
+    merged = OperationTrace()
+    for sweep in sweeps:
+        merged.merge(sweep.trace)
+    extra: dict = {"calibration": calibration_to_dict(calibration)}
+    if cache is not None:
+        extra["cache"] = {**cache.stats(), "hit": False, "key": cache_key}
+    manifest = build_manifest(
+        tel,
+        kind="calibration",
+        parameters=_calibration_parameters(
+            model, n_pe, n_replicas, grid, n_reads, n_chips,
+            segment, window_tolerance, operating_point, batch.workers,
+        ),
+        seeds={"seed": seed, "chip_seeds": [s.seed for s in sweeps]},
+        trace=merged,
+        extra=extra,
+    )
+    return CalibrationResult(
+        results=sweeps,
+        failures=batch.failures,
+        manifest=manifest,
+        workers=batch.workers,
+        wall_s=batch.wall_s,
+        calibration=calibration,
+        cache_hit=False,
+        cache_key=cache_key,
+    )
+
+
+def _calibration_parameters(
+    model, n_pe, n_replicas, grid, n_reads, n_chips,
+    segment, window_tolerance, operating_point, workers,
+) -> dict:
+    return {
+        "model": model,
+        "n_pe": n_pe,
+        "n_replicas": n_replicas,
+        "grid_points": int(grid.size),
+        "n_reads": n_reads,
+        "n_chips": n_chips,
+        "segment": segment,
+        "window_tolerance": window_tolerance,
+        "operating_point": operating_point,
+        "workers": workers,
+    }
+
+
+# -- population verification ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerifyJob:
+    """One chip's verification, as a picklable payload."""
+
+    index: int
+    chip: Microcontroller
+    verifier: WatermarkVerifier
+    segment: int = 0
+    n_reads: int = 1
+    temperature_c: Optional[float] = None
+
+
+@dataclass
+class VerifiedChip:
+    """Worker-side outcome of one verification job."""
+
+    index: int
+    report: VerificationReport
+    #: Device trace of the verification alone (the job's chip copy is
+    #: reset before extraction, so this is pure verification cost).
+    trace: OperationTrace
+    telemetry: dict = field(default_factory=dict)
+
+
+def run_verify_job(job: VerifyJob) -> VerifiedChip:
+    """Verify one chip (module-level so the pool can run it)."""
+    chip = job.chip
+    chip.trace.reset()
+    tel = Telemetry()
+    tel.bind_trace(chip.trace)
+    with tel.span("verify.chip", index=job.index) as sp:
+        report = job.verifier.verify(
+            chip.flash,
+            job.segment,
+            n_reads=job.n_reads,
+            temperature_c=job.temperature_c,
+            telemetry=tel,
+        )
+        sp.set("verdict", report.verdict.value)
+    return VerifiedChip(
+        index=job.index,
+        report=report,
+        trace=chip.trace,
+        telemetry=tel.snapshot(),
+    )
+
+
+def verify_population(
+    chips: Sequence[Union[Microcontroller, object]],
+    verifier: Optional[WatermarkVerifier] = None,
+    *,
+    calibration: Optional[FamilyCalibration] = None,
+    format: Optional[WatermarkFormat] = None,
+    segment: int = 0,
+    n_reads: int = 1,
+    temperature_c: Optional[float] = None,
+    workers: int = 1,
+    seed: Optional[int] = None,
+    telemetry=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    chunk_size: Optional[int] = None,
+) -> VerificationResult:
+    """Verify a population of chips against published family parameters.
+
+    The deployment-scale counterpart of
+    :meth:`~repro.core.FlashmarkSession.verify`: one job per chip,
+    fanned across ``workers`` processes.  ``chips`` may be
+    :class:`Microcontroller` objects or any wrapper exposing a ``.chip``
+    attribute (:class:`~repro.workloads.ChipSample`,
+    :class:`~repro.workloads.ProducedChip`).
+
+    Input chips are never mutated: every job verifies a private copy
+    (extraction physically rewrites the watermark segment), so the
+    inline and pooled paths return bit-identical reports.
+
+    Pass either a ready ``verifier`` or ``calibration`` + ``format`` to
+    build one.  ``seed`` is accepted for calling-convention uniformity;
+    verification is deterministic given each chip's recorded state, so
+    it is currently unused.
+    """
+    if verifier is None:
+        if calibration is None or format is None:
+            raise ValueError(
+                "pass a verifier, or calibration= and format= to build one"
+            )
+        verifier = WatermarkVerifier(calibration, format)
+    del seed  # reserved: verification derives no randomness of its own
+    tel = telemetry if telemetry is not None else current_telemetry()
+    bare = [getattr(c, "chip", c) for c in chips]
+    jobs = [
+        VerifyJob(
+            index=i,
+            chip=copy.deepcopy(chip),
+            verifier=verifier,
+            segment=segment,
+            n_reads=n_reads,
+            temperature_c=temperature_c,
+        )
+        for i, chip in enumerate(bare)
+    ]
+    executor = BatchExecutor(
+        workers,
+        chunk_size=chunk_size,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    with tel.span(
+        "verify.population", n_chips=len(jobs), workers=workers
+    ) as pop_span:
+        batch = executor.map(run_verify_job, jobs, telemetry=tel)
+        prefix = getattr(pop_span, "path", None)
+        for verified in batch.successes():
+            tel.absorb(verified.telemetry, prefix=prefix)
+        reports: List[Optional[VerificationReport]] = [None] * len(jobs)
+        merged = OperationTrace()
+        for verified in batch.successes():
+            reports[verified.index] = verified.report
+            merged.merge(verified.trace)
+            tel.count(f"verify.verdict.{verified.report.verdict.value}")
+        if any(r is not None for r in reports):
+            pop_span.set(
+                "verdicts",
+                {
+                    v: sum(
+                        1
+                        for r in reports
+                        if r is not None and r.verdict.value == v
+                    )
+                    for v in {
+                        r.verdict.value for r in reports if r is not None
+                    }
+                },
+            )
+    result = VerificationResult(
+        results=reports,
+        failures=batch.failures,
+        workers=batch.workers,
+        wall_s=batch.wall_s,
+    )
+    result.manifest = build_manifest(
+        tel,
+        kind="verification_batch",
+        parameters={
+            "n_chips": len(jobs),
+            "segment": segment,
+            "n_reads": n_reads,
+            "temperature_c": temperature_c,
+            "workers": batch.workers,
+        },
+        seeds={"chip_seeds": [c.seed for c in bare]},
+        trace=merged,
+        extra={
+            "verdicts": result.verdict_counts,
+            "chips": [
+                {
+                    "index": i,
+                    "die_id": f"0x{bare[i].die_id:012X}",
+                    "verdict": r.verdict.value if r is not None else None,
+                    "ber": r.ber if r is not None else None,
+                    "reason": r.reason if r is not None else "job failed",
+                }
+                for i, r in enumerate(reports)
+            ],
+        },
+    )
+    return result

@@ -1,0 +1,242 @@
+"""CalibrationCache: memoized family calibrations, in memory and on disk.
+
+Section IV publishes one t_PEW window per device family — "determined
+by the manufacturer ... and can be publicly communicated to system
+integrators".  Deriving it is the single most expensive step of every
+session, benchmark and CLI verification (a full imprint plus a
+~100-point partial-erase sweep per sample chip), yet the answer depends
+only on the family physics and the calibration settings.  The cache
+keys calibrations by a stable content hash of exactly those inputs, so
+repeated sessions stop re-deriving the same published window.
+
+Disk format (versioned)::
+
+    {
+      "schema": "flashmark.calibration-cache/v1",
+      "entries": {
+        "<sha256 key>": {
+          "created_unix_s": ...,
+          "key_fields": {...},        # human-readable key provenance
+          "calibration": {...}        # FamilyCalibration fields
+        }
+      }
+    }
+
+Any change to a keyed field — family :class:`~repro.phys.PhysicalParams`,
+imprint stress, replica format, probe grid, sample count, tolerance,
+seed or operating point — changes the hash and misses the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..core.calibration import FamilyCalibration
+from ..core.decoder import ErrorAsymmetry
+
+__all__ = ["CACHE_SCHEMA", "CacheError", "CalibrationCache"]
+
+CACHE_SCHEMA = "flashmark.calibration-cache/v1"
+
+
+class CacheError(ValueError):
+    """A cache file is unreadable, unversioned or structurally invalid."""
+
+
+def _canonical(obj: Any) -> Any:
+    """Make a key field JSON-canonical (tuples -> lists, numpy -> float)."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if hasattr(obj, "tolist"):
+        return _canonical(obj.tolist())
+    if hasattr(obj, "item"):
+        return obj.item()
+    return obj
+
+
+def calibration_to_dict(calibration: FamilyCalibration) -> dict:
+    """Serialize a :class:`FamilyCalibration` for the cache file."""
+    return {
+        "model": calibration.model,
+        "t_pew_us": calibration.t_pew_us,
+        "window_lo_us": calibration.window_lo_us,
+        "window_hi_us": calibration.window_hi_us,
+        "n_pe": calibration.n_pe,
+        "n_replicas": calibration.n_replicas,
+        "expected_ber": calibration.expected_ber,
+        "asymmetry": {
+            "p_bad_reads_good": calibration.asymmetry.p_bad_reads_good,
+            "p_good_reads_bad": calibration.asymmetry.p_good_reads_bad,
+        },
+        "window_tolerance": calibration.window_tolerance,
+        "operating_point": calibration.operating_point,
+    }
+
+
+def calibration_from_dict(raw: dict) -> FamilyCalibration:
+    """Inverse of :func:`calibration_to_dict`."""
+    try:
+        asym = raw["asymmetry"]
+        return FamilyCalibration(
+            model=raw["model"],
+            t_pew_us=float(raw["t_pew_us"]),
+            window_lo_us=float(raw["window_lo_us"]),
+            window_hi_us=float(raw["window_hi_us"]),
+            n_pe=int(raw["n_pe"]),
+            n_replicas=int(raw["n_replicas"]),
+            expected_ber=float(raw["expected_ber"]),
+            asymmetry=ErrorAsymmetry(
+                p_bad_reads_good=float(asym["p_bad_reads_good"]),
+                p_good_reads_bad=float(asym["p_good_reads_bad"]),
+            ),
+            window_tolerance=float(raw["window_tolerance"]),
+            operating_point=raw["operating_point"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError(f"malformed cached calibration: {exc}") from exc
+
+
+class CalibrationCache:
+    """Hash-keyed store of :class:`FamilyCalibration` results.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file backing the cache.  An existing file is
+        loaded eagerly (raising :class:`CacheError` on a bad file); new
+        entries are written back on every :meth:`put` when ``autosave``
+        is on.
+    autosave:
+        Persist after each :meth:`put` (default).  With it off, call
+        :meth:`save` explicitly.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        autosave: bool = True,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.autosave = autosave
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # -- keying -----------------------------------------------------------
+
+    @staticmethod
+    def key_for(**fields: Any) -> str:
+        """Stable content hash of the calibration inputs.
+
+        Callers pass every input that influences the published window
+        (model, flattened physical parameters, stress, format, grid,
+        settings); the key is the SHA-256 of their canonical JSON.
+        """
+        blob = json.dumps(
+            _canonical(fields), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[FamilyCalibration]:
+        """The cached calibration for ``key``, or None (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return calibration_from_dict(entry["calibration"])
+
+    def put(
+        self,
+        key: str,
+        calibration: FamilyCalibration,
+        key_fields: Optional[dict] = None,
+    ) -> None:
+        """Store ``calibration`` under ``key`` (and autosave if backed)."""
+        self._entries[key] = {
+            "created_unix_s": time.time(),
+            "key_fields": _canonical(key_fields or {}),
+            "calibration": calibration_to_dict(calibration),
+        }
+        if self.autosave and self.path is not None:
+            self.save()
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        existed = self._entries.pop(key, None) is not None
+        if existed and self.autosave and self.path is not None:
+            self.save()
+        return existed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        if self.autosave and self.path is not None:
+            self.save()
+
+    # -- persistence ------------------------------------------------------
+
+    def load(self, path: Optional[Union[str, Path]] = None) -> int:
+        """Load entries from ``path`` (merging over in-memory entries).
+
+        Returns the number of entries loaded; raises :class:`CacheError`
+        on an unreadable or unversioned file.
+        """
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise CacheError("no cache path configured")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except OSError as exc:
+            raise CacheError(f"cannot read cache {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CacheError(f"{path}: not valid JSON ({exc})") from exc
+        schema = raw.get("schema") if isinstance(raw, dict) else None
+        if schema != CACHE_SCHEMA:
+            raise CacheError(
+                f"{path}: not a calibration cache "
+                f"(schema={schema!r}, expected {CACHE_SCHEMA!r})"
+            )
+        entries = raw.get("entries")
+        if not isinstance(entries, dict):
+            raise CacheError(f"{path}: missing 'entries' table")
+        self._entries.update(entries)
+        return len(entries)
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> None:
+        """Write the cache as versioned JSON to ``path`` (or ``self.path``)."""
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise CacheError("no cache path configured")
+        payload = {"schema": CACHE_SCHEMA, "entries": self._entries}
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        tmp.replace(path)
+
+    def stats(self) -> dict:
+        """Hit/miss counters and entry count (for manifests and the CLI)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "path": str(self.path) if self.path is not None else None,
+        }

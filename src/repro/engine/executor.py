@@ -1,0 +1,359 @@
+"""BatchExecutor: deterministic chip-granular fan-out over a process pool.
+
+Flashmark's heavy workflows are embarrassingly parallel at the die
+level — the paper imprints "during the die-sort testing phase" across
+whole wafers, and family calibration sweeps t_PE over many sample
+chips.  The executor fans such jobs across a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping the
+results bit-identical to a serial run:
+
+* **determinism** — a job is a picklable payload carrying its own seed;
+  the job function derives every random draw from that payload, so
+  results do not depend on scheduling, worker count or retry history;
+* **chunked submission** — jobs are grouped into chunks to amortise
+  pickling and process round-trips;
+* **timeouts and retries** — each chunk's drain is bounded by
+  ``timeout_s``; jobs of failed or timed-out chunks are retried inline
+  (in the parent) up to ``retries`` times before being reported as
+  :class:`JobFailure` entries;
+* **graceful fallback** — with ``max_workers=1``, an unpicklable
+  payload, or a pool that cannot start, the executor runs every job
+  inline in submission order; callers observe the same
+  :class:`BatchResult` either way.
+
+The executor is workload-agnostic: the production line, family
+calibration and population verification all submit their per-chip job
+functions through :meth:`BatchExecutor.map`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+import warnings
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..telemetry import current as current_telemetry
+
+__all__ = ["BatchExecutor", "BatchResult", "JobFailure", "default_workers"]
+
+
+def default_workers() -> int:
+    """CPUs available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job that failed every attempt."""
+
+    #: Index of the job in the submitted sequence.
+    index: int
+    #: The job payload as submitted.
+    job: Any
+    #: Formatted error (exception repr or traceback) of the last attempt.
+    error: str
+    #: Total attempts made (first run + retries).
+    attempts: int
+    #: Whether the final attempt timed out rather than raised.
+    timed_out: bool = False
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch: the common ``.results`` / ``.failures`` /
+    ``.manifest`` shape every batch-facing API returns.
+
+    ``results`` is aligned with the submitted jobs (``None`` at failed
+    indices); ``manifest`` is filled by workload-level wrappers
+    (production, calibration, verification), not by the executor.
+    """
+
+    results: List[Any]
+    failures: List[JobFailure] = field(default_factory=list)
+    manifest: Optional[dict] = None
+    #: Worker processes the batch actually used (1 = inline/serial).
+    workers: int = 1
+    #: Parent-side wall time of the whole batch [s].
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced a result."""
+        return not self.failures
+
+    def successes(self) -> List[Any]:
+        """The non-failed results, in submission order."""
+        return [r for r in self.results if r is not None]
+
+
+class _PoolUnavailable(Exception):
+    """Internal: the process pool cannot be used for this batch."""
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: List) -> List:
+    """Worker-side: run one chunk of (index, job) pairs.
+
+    Per-job exceptions are captured so one bad die does not poison its
+    chunk-mates; the parent decides whether to retry.
+    """
+    out = []
+    for index, job in chunk:
+        try:
+            out.append((index, True, fn(job), None))
+        except Exception:
+            out.append((index, False, None, traceback.format_exc()))
+    return out
+
+
+class BatchExecutor:
+    """Fans picklable jobs across worker processes, deterministically.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``None`` uses the CPUs available to this
+        process, ``1`` runs every job inline (no pool, no pickling).
+    chunk_size:
+        Jobs per worker task; ``None`` auto-sizes to roughly four
+        chunks per worker so stragglers still load-balance.
+    timeout_s:
+        Bound on draining each chunk once the engine starts waiting on
+        it.  A hung worker cannot be killed portably, so a timed-out
+        chunk's jobs are retried inline and the stuck process is left
+        to the pool's shutdown.  ``None`` waits forever.
+    retries:
+        Inline re-attempts for jobs whose chunk failed, timed out, or
+        whose own execution raised.  Retries are deterministic: a job's
+        result depends only on its payload, so a retry after a
+        transient worker crash reproduces exactly what the worker would
+        have returned.
+    mp_context:
+        Multiprocessing start-method name (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or ``None`` for the platform default.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = 1,
+        *,
+        chunk_size: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        mp_context: Optional[str] = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None for auto)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for auto)")
+        self.max_workers = (
+            max_workers if max_workers is not None else default_workers()
+        )
+        self.chunk_size = chunk_size
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.mp_context = mp_context
+
+    # -- public API -------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        telemetry=None,
+    ) -> BatchResult:
+        """Run ``fn`` over ``jobs``; results keep submission order.
+
+        ``fn`` must be a module-level callable and each job a picklable
+        payload when a pool is used; otherwise the batch silently runs
+        inline (with a ``RuntimeWarning`` naming the reason).
+        """
+        tel = telemetry if telemetry is not None else current_telemetry()
+        jobs = list(jobs)
+        t0 = time.perf_counter()
+        workers = min(self.max_workers, max(1, len(jobs)))
+        tel.count("engine.batches")
+        tel.count("engine.jobs", len(jobs))
+        if workers <= 1 or not jobs:
+            results, failures = self._run_inline(fn, jobs, tel)
+            used = 1
+        else:
+            try:
+                self._preflight(fn, jobs)
+                results, failures = self._run_pool(fn, jobs, workers, tel)
+                used = workers
+            except _PoolUnavailable as exc:
+                tel.count("engine.serial_fallbacks")
+                warnings.warn(
+                    f"engine: process pool unavailable ({exc}); "
+                    f"running {len(jobs)} job(s) inline",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                results, failures = self._run_inline(fn, jobs, tel)
+                used = 1
+        if failures:
+            tel.count("engine.failures", len(failures))
+        return BatchResult(
+            results=results,
+            failures=sorted(failures, key=lambda f: f.index),
+            workers=used,
+            wall_s=time.perf_counter() - t0,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _auto_chunk(self, n_jobs: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, n_jobs // (4 * workers))
+
+    @staticmethod
+    def _preflight(fn: Callable, jobs: List) -> None:
+        """Fail fast (to the inline path) on unpicklable work."""
+        try:
+            pickle.dumps(fn)
+            if jobs:
+                pickle.dumps(jobs[0])
+        except Exception as exc:
+            raise _PoolUnavailable(f"unpicklable job: {exc!r}") from exc
+
+    def _attempt_inline(self, fn, index, job, tel, first_error, attempts):
+        """Retry a job in the parent until it succeeds or runs dry."""
+        error = first_error
+        timed_out = error == "timeout"
+        for _ in range(self.retries):
+            attempts += 1
+            tel.count("engine.retries")
+            try:
+                return fn(job), None
+            except Exception:
+                error = traceback.format_exc()
+                timed_out = False
+        return None, JobFailure(
+            index=index,
+            job=job,
+            error=error,
+            attempts=attempts,
+            timed_out=timed_out,
+        )
+
+    def _run_inline(self, fn, jobs, tel):
+        results: List[Any] = [None] * len(jobs)
+        failures: List[JobFailure] = []
+        for index, job in enumerate(jobs):
+            try:
+                results[index] = fn(job)
+            except Exception:
+                value, failure = self._attempt_inline(
+                    fn, index, job, tel, traceback.format_exc(), 1
+                )
+                if failure is None:
+                    results[index] = value
+                else:
+                    failures.append(failure)
+        return results, failures
+
+    def _run_pool(self, fn, jobs, workers, tel):
+        try:
+            import multiprocessing
+
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else None
+            )
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        except Exception as exc:
+            raise _PoolUnavailable(f"pool start failed: {exc!r}") from exc
+
+        chunk_size = self._auto_chunk(len(jobs), workers)
+        indexed = list(enumerate(jobs))
+        chunks = [
+            indexed[i : i + chunk_size]
+            for i in range(0, len(indexed), chunk_size)
+        ]
+        results: List[Any] = [None] * len(jobs)
+        failures: List[JobFailure] = []
+        pending: List = []  # (future, chunk) in submission order
+        broken = False
+        hung = False
+        try:
+            for chunk in chunks:
+                pending.append((pool.submit(_run_chunk, fn, chunk), chunk))
+            for future, chunk in pending:
+                if broken:
+                    self._finish_chunk_inline(
+                        fn, chunk, "pool broken", results, failures, tel
+                    )
+                    continue
+                try:
+                    outcome = future.result(timeout=self.timeout_s)
+                except FutureTimeoutError:
+                    tel.count("engine.timeouts")
+                    hung = True
+                    future.cancel()
+                    self._finish_chunk_inline(
+                        fn, chunk, "timeout", results, failures, tel
+                    )
+                    continue
+                except BrokenExecutor:
+                    broken = True
+                    self._finish_chunk_inline(
+                        fn, chunk, "pool broken", results, failures, tel
+                    )
+                    continue
+                except Exception:
+                    self._finish_chunk_inline(
+                        fn,
+                        chunk,
+                        traceback.format_exc(),
+                        results,
+                        failures,
+                        tel,
+                    )
+                    continue
+                for index, ok, value, error in outcome:
+                    if ok:
+                        results[index] = value
+                    else:
+                        value, failure = self._attempt_inline(
+                            fn, index, jobs[index], tel, error, 1
+                        )
+                        if failure is None:
+                            results[index] = value
+                        else:
+                            failures.append(failure)
+        finally:
+            # A timed-out chunk may leave a worker wedged mid-job; don't
+            # block teardown on it.  Otherwise join cleanly so no pool
+            # plumbing outlives the batch.
+            pool.shutdown(wait=not hung, cancel_futures=True)
+        return results, failures
+
+    def _finish_chunk_inline(self, fn, chunk, error, results, failures, tel):
+        """Drain a failed/timed-out chunk's jobs in the parent."""
+        for index, job in chunk:
+            value, failure = self._attempt_inline(
+                fn, index, job, tel, error, 1
+            )
+            if failure is None:
+                results[index] = value
+            else:
+                failures.append(failure)

@@ -154,6 +154,32 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Used to aggregate metrics recorded in worker processes into the
+        parent run's registry: counters add, gauges take the incoming
+        value (last write wins), histograms require identical bucket
+        bounds and add their counts.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, dump in (snapshot.get("histograms") or {}).items():
+            bounds = tuple(float(b) for b in dump["buckets"])
+            h = self.histogram(name, bounds)
+            if h.buckets != bounds:
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge mismatched "
+                    f"bucket bounds"
+                )
+            for i, c in enumerate(dump["counts"]):
+                h.counts[i] += int(c)
+            h.count += int(dump["count"])
+            h.sum += float(dump["sum"])
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()

@@ -286,6 +286,58 @@ class Telemetry:
         if self.sink is not None:
             self.sink.emit({"type": "span", **rec.to_dict()})
 
+    def snapshot(self) -> dict:
+        """A picklable dump of this context: span records + metrics.
+
+        Worker processes hand this back to the parent run, which folds
+        it in with :meth:`absorb`.
+        """
+        return {
+            "spans": [s.to_dict() for s in self.spans],
+            "dropped_spans": self.dropped_spans,
+            "metrics": self.registry.snapshot(),
+        }
+
+    def absorb(
+        self,
+        snapshot: dict,
+        prefix: Optional[str] = None,
+    ) -> None:
+        """Merge a worker context's :meth:`snapshot` into this one.
+
+        ``prefix`` re-roots the absorbed span paths (e.g. a worker's
+        ``production.die`` span becomes
+        ``production.batch/production.die`` when absorbed with prefix
+        ``"production.batch"``), so merged manifests aggregate exactly
+        as if the spans had been recorded in-process under the batch
+        span.  Counters add; gauges take the worker value; histograms
+        merge bucket-wise.
+        """
+        if not self.enabled:
+            return
+        depth_shift = prefix.count("/") + 1 if prefix else 0
+        for rec in snapshot.get("spans", ()):
+            path = rec["path"]
+            if prefix:
+                path = f"{prefix}/{path}"
+            self._record(
+                SpanRecord(
+                    name=rec["name"],
+                    path=path,
+                    depth=rec["depth"] + depth_shift,
+                    wall_s=rec["wall_s"],
+                    device_us=rec["device_us"],
+                    energy_uj=rec["energy_uj"],
+                    op_counts=dict(rec.get("op_counts") or {}),
+                    attrs=dict(rec.get("attrs") or {}),
+                    error=rec.get("error"),
+                )
+            )
+        self.dropped_spans += snapshot.get("dropped_spans", 0)
+        metrics = snapshot.get("metrics")
+        if metrics:
+            self.registry.merge_snapshot(metrics)
+
     def root_spans(self) -> List[SpanRecord]:
         """Completed top-level spans, in completion order."""
         return [s for s in self.spans if s.depth == 0]

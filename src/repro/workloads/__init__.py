@@ -8,11 +8,15 @@ from .chips import (
     make_chip_sample,
 )
 from .production import (
+    DieJob,
+    DieOutcome,
     DieSortResult,
     DieSortSpec,
     ProducedChip,
     ProductionLine,
+    ProductionResult,
     batch_manifest,
+    run_die_job,
     run_die_sort,
 )
 from .watermarks import (
@@ -32,7 +36,11 @@ __all__ = [
     "DieSortSpec",
     "DieSortResult",
     "ProducedChip",
+    "DieJob",
+    "DieOutcome",
+    "run_die_job",
     "ProductionLine",
+    "ProductionResult",
     "batch_manifest",
     "run_die_sort",
     "fig10_vector",

@@ -11,11 +11,19 @@ not just arbitrarily labelled.
 Die-to-die variation: each die draws quality multipliers (erase speed,
 oxide wear rate, read noise) around the family nominal; a configurable
 fraction of dies are outliers.
+
+Die sockets are independent, so :meth:`ProductionLine.run` fans dies
+across the batch engine: the line pre-draws every die's process corner
+and speed grade from the batch seed (in the exact order the original
+serial loop consumed them), packs each die into a picklable
+:class:`DieJob`, and lets :class:`~repro.engine.BatchExecutor` place
+them — any worker count produces bit-identical batches.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -26,14 +34,19 @@ from ..core.payload import ChipStatus, WatermarkPayload
 from ..core.watermark import Watermark
 from ..device.mcu import Microcontroller, make_mcu
 from ..device.tracing import OperationTrace
+from ..engine.executor import BatchExecutor, BatchResult
 from ..phys.constants import PhysicalParams
-from ..telemetry import build_manifest
+from ..telemetry import Telemetry, build_manifest
 from ..telemetry import current as current_telemetry
 
 __all__ = [
     "DieSortSpec",
     "DieSortResult",
     "ProducedChip",
+    "DieJob",
+    "DieOutcome",
+    "run_die_job",
+    "ProductionResult",
     "ProductionLine",
     "batch_manifest",
 ]
@@ -76,6 +89,104 @@ class ProducedChip:
     chip: Microcontroller
     die_sort: DieSortResult
     payload: WatermarkPayload
+
+
+@dataclass(frozen=True)
+class DieJob:
+    """One die's production, as a picklable payload.
+
+    The parent line pre-draws everything the serial loop used to take
+    from the shared batch rng — the die's process corner and its speed
+    grade — so a worker (or an inline fallback, or a retry) needs no
+    shared state and the batch is deterministic under any scheduling.
+    """
+
+    #: Position of the die in the batch.
+    index: int
+    #: Die seed (``batch_seed * 100_003 + index``, as the serial loop).
+    seed: int
+    #: Pre-drawn process corner for this die.
+    params: PhysicalParams
+    #: Pre-drawn speed grade (0..7).
+    speed_grade: int
+    manufacturer: str
+    n_pe: int
+    n_replicas: int
+    spec: DieSortSpec = field(default_factory=DieSortSpec)
+
+
+@dataclass
+class DieOutcome:
+    """Worker-side result of one :class:`DieJob`."""
+
+    produced: ProducedChip
+    #: Worker telemetry snapshot (spans + metrics) for absorption.
+    telemetry: dict = field(default_factory=dict)
+
+
+def run_die_job(job: DieJob) -> DieOutcome:
+    """Manufacture, die-sort and watermark one die (pool-runnable).
+
+    Records its own ``production.die`` span and accept/reject counters
+    into a fresh telemetry context bound to the die's trace; the parent
+    batch absorbs the snapshot under its ``production.batch`` span.
+    """
+    tel = Telemetry()
+    chip = make_mcu(seed=job.seed, params=job.params, n_segments=2)
+    tel.bind_trace(chip.trace)
+    with tel.span("production.die", index=job.index) as sp:
+        result = run_die_sort(chip, job.spec, segment=1)
+        status = ChipStatus.ACCEPT if result.passed else ChipStatus.REJECT
+        payload = WatermarkPayload(
+            job.manufacturer,
+            die_id=chip.die_id,
+            speed_grade=job.speed_grade,
+            status=status,
+        )
+        imprint_watermark(
+            chip.flash,
+            0,
+            Watermark.from_payload(payload).balanced(),
+            job.n_pe,
+            n_replicas=job.n_replicas,
+            accelerated=True,
+            telemetry=tel,
+        )
+        sp.set("passed", result.passed)
+        sp.set("die_id", f"0x{chip.die_id:012X}")
+        sp.set("reason", result.reason)
+        # Each die has its own fresh trace, so its clock is the die's
+        # total tester-occupancy time.
+        sp.set("die_device_us", chip.trace.now_us)
+    tel.count("production.dies")
+    tel.count(
+        "production.accepted" if result.passed else "production.rejected"
+    )
+    tel.observe("production.die_test_us", chip.trace.now_us)
+    return DieOutcome(
+        produced=ProducedChip(chip=chip, die_sort=result, payload=payload),
+        telemetry=tel.snapshot(),
+    )
+
+
+@dataclass
+class ProductionResult(BatchResult):
+    """Batch result of :meth:`ProductionLine.run`.
+
+    ``results`` holds one :class:`ProducedChip` per die (``None`` where
+    a die's job failed every attempt); ``manifest`` is the merged
+    production-batch run manifest.
+    """
+
+    @property
+    def batch(self) -> List[ProducedChip]:
+        """The successfully produced chips, in die order."""
+        return [p for p in self.results if p is not None]
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of produced dies that passed die sort."""
+        return ProductionLine.yield_fraction(self.batch)
 
 
 def run_die_sort(
@@ -187,73 +298,104 @@ class ProductionLine:
         )
         return base.with_overrides(noise=noise)
 
+    def jobs_for(self, n_chips: int, seed: int = 0) -> List[DieJob]:
+        """Pre-draw one batch's die jobs from the batch seed.
+
+        The batch rng is consumed in the exact order the original
+        serial loop did (each die's process corner, then its speed
+        grade), so a batch's dies are identical whichever executor —
+        or worker count — runs them.
+        """
+        rng = np.random.default_rng(seed)
+        jobs: List[DieJob] = []
+        for i in range(n_chips):
+            params = self._die_params(rng)
+            jobs.append(
+                DieJob(
+                    index=i,
+                    seed=seed * 100_003 + i,
+                    params=params,
+                    speed_grade=int(rng.integers(0, 8)),
+                    manufacturer=self.manufacturer,
+                    n_pe=self.n_pe,
+                    n_replicas=self.n_replicas,
+                    spec=self.spec,
+                )
+            )
+        return jobs
+
+    def run(
+        self,
+        n_chips: int,
+        *,
+        seed: int = 0,
+        workers: int = 1,
+        telemetry=None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> ProductionResult:
+        """Manufacture, die-sort and watermark ``n_chips`` dies.
+
+        Dies fan across ``workers`` processes through the batch engine;
+        with the same ``seed``, any worker count — including the inline
+        ``workers=1`` path — produces bit-identical chips.
+
+        With a live ``telemetry`` context the batch emits one
+        ``production.batch`` span wrapping a (worker-recorded, then
+        absorbed) ``production.die`` span per die, plus accept/reject
+        counters; ``.manifest`` is the merged production-batch run
+        manifest (:func:`batch_manifest`).
+        """
+        tel = telemetry if telemetry is not None else current_telemetry()
+        jobs = self.jobs_for(n_chips, seed)
+        executor = BatchExecutor(
+            workers,
+            chunk_size=chunk_size,
+            timeout_s=timeout_s,
+            retries=retries,
+        )
+        with tel.span(
+            "production.batch", n_chips=n_chips, seed=seed, workers=workers
+        ) as batch_span:
+            batch = executor.map(run_die_job, jobs, telemetry=tel)
+            prefix = getattr(batch_span, "path", None)
+            for outcome in batch.successes():
+                tel.absorb(outcome.telemetry, prefix=prefix)
+            produced: List[Optional[ProducedChip]] = [
+                o.produced if o is not None else None for o in batch.results
+            ]
+            chips = [p for p in produced if p is not None]
+            if chips:
+                batch_span.set("yield", self.yield_fraction(chips))
+        result = ProductionResult(
+            results=produced,
+            failures=batch.failures,
+            workers=batch.workers,
+            wall_s=batch.wall_s,
+        )
+        if chips:
+            result.manifest = batch_manifest(chips, telemetry=tel, line=self)
+        return result
+
     def produce(
         self, n_chips: int, seed: int = 0, telemetry=None
     ) -> List[ProducedChip]:
-        """Manufacture, die-sort and watermark ``n_chips`` dies.
+        """Manufacture a batch and return the bare chip list.
 
-        With a live ``telemetry`` context the batch emits one
-        ``production.batch`` span wrapping a ``production.die`` span per
-        die (pass/fail attrs, accept/reject counters) — the raw material
-        :func:`batch_manifest` aggregates into a production-line run
-        manifest.
+        .. deprecated::
+            This is the original list-returning signature, kept as a
+            thin shim over :meth:`run`, which adds ``workers=`` and the
+            common batch result shape
+            (``.results`` / ``.failures`` / ``.manifest``).
         """
-        tel = telemetry if telemetry is not None else current_telemetry()
-        rng = np.random.default_rng(seed)
-        out: List[ProducedChip] = []
-        with tel.span(
-            "production.batch", n_chips=n_chips, seed=seed
-        ) as batch_span:
-            for i in range(n_chips):
-                params = self._die_params(rng)
-                chip = make_mcu(
-                    seed=seed * 100_003 + i, params=params, n_segments=2
-                )
-                with tel.span("production.die", index=i) as sp:
-                    result = run_die_sort(chip, self.spec, segment=1)
-                    status = (
-                        ChipStatus.ACCEPT
-                        if result.passed
-                        else ChipStatus.REJECT
-                    )
-                    payload = WatermarkPayload(
-                        self.manufacturer,
-                        die_id=chip.die_id,
-                        speed_grade=int(rng.integers(0, 8)),
-                        status=status,
-                    )
-                    imprint_watermark(
-                        chip.flash,
-                        0,
-                        Watermark.from_payload(payload).balanced(),
-                        self.n_pe,
-                        n_replicas=self.n_replicas,
-                        accelerated=True,
-                        telemetry=tel,
-                    )
-                    sp.set("passed", result.passed)
-                    sp.set("die_id", f"0x{chip.die_id:012X}")
-                    sp.set("reason", result.reason)
-                    # Each die has its own fresh trace, so its clock is
-                    # the die's total tester-occupancy time.
-                    sp.set("die_device_us", chip.trace.now_us)
-                tel.count("production.dies")
-                tel.count(
-                    "production.accepted"
-                    if result.passed
-                    else "production.rejected"
-                )
-                tel.observe(
-                    "production.die_test_us", chip.trace.now_us
-                )
-                out.append(
-                    ProducedChip(
-                        chip=chip, die_sort=result, payload=payload
-                    )
-                )
-            if out:
-                batch_span.set("yield", self.yield_fraction(out))
-        return out
+        warnings.warn(
+            "ProductionLine.produce() is deprecated; use "
+            "ProductionLine.run() and read .batch from its result",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(n_chips, seed=seed, telemetry=telemetry).batch
 
     @staticmethod
     def yield_fraction(batch: List[ProducedChip]) -> float:

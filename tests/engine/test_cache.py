@@ -1,0 +1,161 @@
+"""CalibrationCache: keying, hit/miss accounting, disk round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import FamilyCalibration
+from repro.core.decoder import ErrorAsymmetry
+from repro.engine import CACHE_SCHEMA, CacheError, CalibrationCache
+from repro.engine.cache import calibration_from_dict, calibration_to_dict
+from repro.phys import PhysicalParams
+
+
+@pytest.fixture
+def calibration():
+    return FamilyCalibration(
+        model="MSP430F5438",
+        t_pew_us=28.0,
+        window_lo_us=24.0,
+        window_hi_us=33.0,
+        n_pe=40_000,
+        n_replicas=7,
+        expected_ber=0.0125,
+        asymmetry=ErrorAsymmetry(
+            p_bad_reads_good=0.02, p_good_reads_bad=0.3
+        ),
+        window_tolerance=0.25,
+        operating_point="safe",
+    )
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        params = PhysicalParams().describe()
+        k1 = CalibrationCache.key_for(model="A", params=params, n_pe=1000)
+        k2 = CalibrationCache.key_for(model="A", params=params, n_pe=1000)
+        assert k1 == k2
+
+    def test_key_order_insensitive(self):
+        k1 = CalibrationCache.key_for(a=1, b=2)
+        k2 = CalibrationCache.key_for(b=2, a=1)
+        assert k1 == k2
+
+    def test_any_parameter_change_invalidates(self, calibration):
+        base = dict(
+            model="MSP430F5438",
+            params=PhysicalParams().describe(),
+            n_pe=40_000,
+            n_replicas=7,
+            t_grid_us=np.arange(16.0, 80.0, 1.0),
+            seed=1000,
+        )
+        reference = CalibrationCache.key_for(**base)
+        for change in (
+            {"n_pe": 50_000},
+            {"n_replicas": 5},
+            {"seed": 1001},
+            {"model": "MSP430F5529"},
+            {"t_grid_us": np.arange(16.0, 80.0, 2.0)},
+            {
+                "params": PhysicalParams()
+                .with_overrides()
+                .describe()
+                | {"cell.erase_tau_us": 99.0}
+            },
+        ):
+            assert CalibrationCache.key_for(**{**base, **change}) != reference
+
+    def test_numpy_and_tuple_canonicalisation(self):
+        k1 = CalibrationCache.key_for(grid=np.array([1.0, 2.0]))
+        k2 = CalibrationCache.key_for(grid=(1.0, 2.0))
+        assert k1 == k2
+
+
+class TestRoundTrip:
+    def test_calibration_dict_round_trip(self, calibration):
+        assert (
+            calibration_from_dict(calibration_to_dict(calibration))
+            == calibration
+        )
+
+    def test_malformed_calibration_raises(self):
+        with pytest.raises(CacheError):
+            calibration_from_dict({"model": "X"})
+
+    def test_memory_hit_miss_counters(self, calibration):
+        cache = CalibrationCache()
+        key = CalibrationCache.key_for(x=1)
+        assert cache.get(key) is None
+        cache.put(key, calibration)
+        assert cache.get(key) == calibration
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+        assert key in cache
+
+    def test_disk_round_trip(self, tmp_path, calibration):
+        path = tmp_path / "cal.json"
+        cache = CalibrationCache(path)
+        key = CalibrationCache.key_for(x=1)
+        cache.put(key, calibration, key_fields={"x": 1})
+        assert path.exists()
+
+        reloaded = CalibrationCache(path)
+        assert reloaded.get(key) == calibration
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == CACHE_SCHEMA
+        assert raw["entries"][key]["key_fields"] == {"x": 1}
+
+    def test_invalidate(self, tmp_path, calibration):
+        cache = CalibrationCache(tmp_path / "cal.json")
+        key = CalibrationCache.key_for(x=1)
+        cache.put(key, calibration)
+        assert cache.invalidate(key)
+        assert not cache.invalidate(key)
+        assert CalibrationCache(tmp_path / "cal.json").get(key) is None
+
+    def test_autosave_off(self, tmp_path, calibration):
+        path = tmp_path / "cal.json"
+        cache = CalibrationCache(path, autosave=False)
+        cache.put(CalibrationCache.key_for(x=1), calibration)
+        assert not path.exists()
+        cache.save()
+        assert path.exists()
+
+    def test_stats(self, calibration):
+        cache = CalibrationCache()
+        cache.put(CalibrationCache.key_for(x=1), calibration)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["path"] is None
+
+
+class TestBadFiles:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("not json at all")
+        with pytest.raises(CacheError, match="not valid JSON"):
+            CalibrationCache(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps({"schema": "other/v9", "entries": {}}))
+        with pytest.raises(CacheError, match="schema"):
+            CalibrationCache(path)
+
+    def test_missing_entries(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps({"schema": CACHE_SCHEMA}))
+        with pytest.raises(CacheError, match="entries"):
+            CalibrationCache(path)
+
+    def test_no_path_configured(self):
+        cache = CalibrationCache()
+        with pytest.raises(CacheError, match="no cache path"):
+            cache.save()
+        with pytest.raises(CacheError, match="no cache path"):
+            cache.load()

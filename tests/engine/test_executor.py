@@ -1,0 +1,154 @@
+"""BatchExecutor: fan-out, fallback, timeout and retry behaviour.
+
+Job functions live at module level so the process pool can pickle them;
+``REPRO_ENGINE_TEST_WORKERS`` (default 2) sets the pool width so CI can
+exercise real multi-process runs explicitly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.engine import BatchExecutor, BatchResult, JobFailure
+from repro.engine.executor import default_workers
+from repro.telemetry import Telemetry
+
+WORKERS = int(os.environ.get("REPRO_ENGINE_TEST_WORKERS", "2"))
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd job {x}")
+    return x
+
+
+def _sleep_in_worker(x):
+    # Sleeps only inside a pool worker; the parent's inline retry after
+    # the timeout returns immediately, keeping the test fast.
+    if multiprocessing.current_process().name != "MainProcess":
+        time.sleep(30.0)
+    return x + 1
+
+
+class TestValidation:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(1, retries=-1)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(1, timeout_s=0.0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(1, chunk_size=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestInline:
+    def test_maps_in_order(self):
+        result = BatchExecutor(1).map(_square, [3, 1, 2])
+        assert result.results == [9, 1, 4]
+        assert result.ok
+        assert result.workers == 1
+
+    def test_empty_batch(self):
+        result = BatchExecutor(1).map(_square, [])
+        assert result.results == []
+        assert result.ok
+
+    def test_failures_leave_none_at_index(self):
+        result = BatchExecutor(1, retries=0).map(_fail_on_odd, [0, 1, 2, 3])
+        assert result.results == [0, None, 2, None]
+        assert [f.index for f in result.failures] == [1, 3]
+        assert not result.ok
+        assert result.successes() == [0, 2]
+
+    def test_deterministic_failure_exhausts_retries(self):
+        result = BatchExecutor(1, retries=2).map(_fail_on_odd, [1])
+        (failure,) = result.failures
+        assert isinstance(failure, JobFailure)
+        assert failure.attempts == 3  # first run + 2 retries
+        assert "odd job 1" in failure.error
+        assert not failure.timed_out
+
+    def test_counts_jobs_and_failures(self):
+        tel = Telemetry()
+        BatchExecutor(1, retries=1).map(_fail_on_odd, [0, 1, 2], telemetry=tel)
+        counters = tel.registry.snapshot()["counters"]
+        assert counters["engine.batches"] == 1
+        assert counters["engine.jobs"] == 3
+        assert counters["engine.failures"] == 1
+        assert counters["engine.retries"] == 1
+
+
+class TestPool:
+    def test_parallel_matches_inline(self):
+        jobs = list(range(20))
+        serial = BatchExecutor(1).map(_square, jobs)
+        parallel = BatchExecutor(WORKERS).map(_square, jobs)
+        assert parallel.results == serial.results
+        assert parallel.ok
+
+    def test_unpicklable_falls_back_inline(self):
+        tel = Telemetry()
+        with pytest.warns(RuntimeWarning, match="pool unavailable"):
+            result = BatchExecutor(WORKERS).map(
+                lambda x: x + 1, [1, 2, 3], telemetry=tel
+            )
+        assert result.results == [2, 3, 4]
+        assert result.workers == 1
+        counters = tel.registry.snapshot()["counters"]
+        assert counters["engine.serial_fallbacks"] == 1
+
+    def test_worker_count_capped_by_jobs(self):
+        result = BatchExecutor(16).map(_square, [5])
+        assert result.results == [25]
+        assert result.workers == 1  # one job -> inline path
+
+    @pytest.mark.skipif(WORKERS < 2, reason="needs a real pool")
+    def test_timeout_retries_inline(self):
+        tel = Telemetry()
+        result = BatchExecutor(WORKERS, timeout_s=1.0, retries=1).map(
+            _sleep_in_worker, [1, 2], telemetry=tel
+        )
+        assert result.results == [2, 3]
+        assert result.ok
+        counters = tel.registry.snapshot()["counters"]
+        assert counters["engine.timeouts"] >= 1
+        assert counters["engine.retries"] >= 1
+
+    @pytest.mark.skipif(WORKERS < 2, reason="needs a real pool")
+    def test_timeout_without_retries_reports_failure(self):
+        result = BatchExecutor(WORKERS, timeout_s=1.0, retries=0).map(
+            _sleep_in_worker, [1]
+        )
+        # workers=min(2, 1 job) -> inline; force two jobs so a pool runs
+        result = BatchExecutor(WORKERS, timeout_s=1.0, retries=0).map(
+            _sleep_in_worker, [1, 2]
+        )
+        assert not result.ok
+        assert all(f.timed_out for f in result.failures)
+        assert all(f.error == "timeout" for f in result.failures)
+
+    def test_batch_result_shape(self):
+        result = BatchExecutor(1).map(_square, [2])
+        assert isinstance(result, BatchResult)
+        assert hasattr(result, "results")
+        assert hasattr(result, "failures")
+        assert hasattr(result, "manifest")
+        assert result.wall_s >= 0.0
