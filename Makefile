@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples calibrate telemetry-demo clean
+.PHONY: install test bench experiments examples calibrate telemetry-demo serve-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,9 @@ calibrate:
 
 telemetry-demo:
 	$(PYTHON) -m repro telemetry --selftest
+
+serve-demo:
+	$(PYTHON) examples/verification_service.py
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

@@ -21,7 +21,11 @@ Milenkovic.  The package layers as follows (bottom up):
 * :mod:`repro.baselines` — metadata / ECID / PUF / recycled-detection
   alternatives;
 * :mod:`repro.workloads` and :mod:`repro.analysis` — experiment inputs
-  and statistics.
+  and statistics;
+* :mod:`repro.service` — the online deployment: a persistent
+  published-family registry (SQLite), an asyncio verification server
+  with bounded-queue backpressure and micro-batching, and a load
+  generator measuring latency percentiles and throughput.
 
 Quickstart::
 
@@ -80,9 +84,16 @@ from .engine import (
     verify_population,
 )
 from .phys import PhysicalParams
+from .service import (
+    LoadClient,
+    LoadReport,
+    ServerConfig,
+    VerificationServer,
+    WatermarkRegistry,
+)
 from .telemetry import Telemetry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -124,4 +135,10 @@ __all__ = [
     "PhysicalParams",
     # observability
     "Telemetry",
+    # verification service
+    "WatermarkRegistry",
+    "VerificationServer",
+    "ServerConfig",
+    "LoadClient",
+    "LoadReport",
 ]

@@ -16,6 +16,11 @@ The CLI plays both supply-chain roles on persisted chip state
     $ python -m repro verify chip.npz
     $ python -m repro characterize chip.npz --segment 0
     $ python -m repro info chip.npz
+    # verification service
+    $ python -m repro registry publish --registry reg.db --family msp430
+    $ python -m repro serve --registry reg.db --port 7433
+    $ python -m repro verify chip.npz --registry reg.db --family msp430
+    $ python -m repro loadgen --port 7433 --family msp430 --requests 200
     # observability
     $ python -m repro imprint chip.npz --manifest run.json
     $ python -m repro telemetry summarize run.json
@@ -164,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="die temperature [C]; compensates the extraction window",
     )
     p.add_argument(
+        "--registry",
+        help="verify against a family published in this registry "
+        "instead of re-deriving the calibration",
+    )
+    p.add_argument(
+        "--family",
+        help="family id in the registry (requires --registry)",
+    )
+    p.add_argument(
         "--manifest",
         help="write the run manifest (JSON) to this path",
     )
@@ -213,6 +227,109 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run a small imprint/verify session and check that its "
         "manifest reconciles with the device clock",
+    )
+
+    p = sub.add_parser(
+        "registry",
+        help="manage the published-family registry (SQLite)",
+    )
+    p.add_argument(
+        "action", choices=["init", "publish", "history", "audit"]
+    )
+    p.add_argument(
+        "--registry", required=True, help="registry database file"
+    )
+    p.add_argument(
+        "--family", help="family id (publish/history filter)"
+    )
+    p.add_argument("--model", default="MSP430F5438")
+    p.add_argument("--n-pe", type=int, default=40_000)
+    p.add_argument("--replicas", type=int, default=7)
+    p.add_argument(
+        "--chips", type=int, default=1, help="sample chips to average"
+    )
+    p.add_argument("--seed", type=int, default=1000)
+    p.add_argument(
+        "--workers", type=int, default=1, help="calibration sweep workers"
+    )
+    p.add_argument(
+        "--cache", help="calibration cache JSON used by publish"
+    )
+    p.add_argument(
+        "--sign-key",
+        help="hex manufacturer key; publishes its fingerprint",
+    )
+    p.add_argument(
+        "--replace",
+        action="store_true",
+        help="allow re-publishing an existing family",
+    )
+    p.add_argument("--die", help="die id filter for history")
+    p.add_argument("--limit", type=int, default=20)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the watermark verification service (NDJSON + HTTP)",
+    )
+    p.add_argument(
+        "--registry", required=True, help="registry database file"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 binds an ephemeral port and prints it)",
+    )
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument(
+        "--workers", type=int, default=1, help="engine workers per batch"
+    )
+    p.add_argument(
+        "--rate-capacity",
+        type=float,
+        default=None,
+        help="per-client token-bucket size (default: no rate limit)",
+    )
+    p.add_argument(
+        "--rate-refill",
+        type=float,
+        default=50.0,
+        help="per-client token refill per second",
+    )
+    p.add_argument(
+        "--sign-key",
+        help="hex signing key, checked against family fingerprints",
+    )
+    p.add_argument(
+        "--manifest",
+        help="write the service run manifest here on shutdown",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="replay verification traffic and measure latency",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--family", required=True)
+    p.add_argument("--requests", type=int, default=100)
+    p.add_argument(
+        "--mode", choices=["closed", "open"], default="closed"
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop workers"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="open-loop arrival rate [req/s]",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--manifest", help="write the loadgen manifest (JSON) here"
     )
     return parser
 
@@ -375,6 +492,23 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _published_format(
+    n_replicas: int, tag_bits: int = 0
+) -> WatermarkFormat:
+    """The published watermark format for a payload-carrying family.
+
+    The width comes from :meth:`WatermarkPayload.bit_length` — the
+    packed record layout itself — so it holds for any manufacturer id,
+    not just 4-character ones.
+    """
+    return WatermarkFormat(
+        n_bits=WatermarkPayload.bit_length() + tag_bits,
+        n_replicas=n_replicas,
+        balanced=True,
+        structured=True,
+    )
+
+
 def _published_verifier(
     chip, n_pe: int, n_replicas: int, sign_key: Optional[bytes] = None
 ) -> WatermarkVerifier:
@@ -386,26 +520,66 @@ def _published_verifier(
         n_pe,
         n_replicas=n_replicas,
     ).calibration
-    payload_bits = WatermarkPayload("XXXX", 0, 0, ChipStatus.ACCEPT).n_bits
     scheme = SignatureScheme(sign_key) if sign_key else None
-    fmt = WatermarkFormat(
-        n_bits=payload_bits + (scheme.tag_bits if scheme else 0),
-        n_replicas=n_replicas,
-        balanced=True,
-        structured=True,
+    fmt = _published_format(
+        n_replicas, tag_bits=scheme.tag_bits if scheme else 0
     )
     return WatermarkVerifier(calibration, fmt, signature_scheme=scheme)
 
 
+def _registry_verifier(
+    registry_path: str, family: str, sign_key: Optional[bytes] = None
+) -> WatermarkVerifier:
+    """Build the verifier from a family published in a registry."""
+    from .core import SignatureScheme
+    from .service import RegistryError, WatermarkRegistry
+
+    with WatermarkRegistry(registry_path, create=False) as registry:
+        record = registry.get_family(family)
+        scheme = None
+        if sign_key is not None:
+            if record.sign_key_fingerprint is None:
+                raise RegistryError(
+                    f"family {family!r} was published unsigned"
+                )
+            if (
+                WatermarkRegistry.fingerprint(sign_key)
+                != record.sign_key_fingerprint
+            ):
+                raise RegistryError(
+                    f"signing key does not match the fingerprint "
+                    f"published for family {family!r}"
+                )
+            scheme = SignatureScheme(sign_key)
+        return WatermarkVerifier(
+            record.calibration, record.format, signature_scheme=scheme
+        )
+
+
 def _cmd_verify(args) -> int:
+    if bool(args.registry) != bool(args.family):
+        return _fail(
+            "verify",
+            ValueError("--registry and --family go together"),
+        )
     chip = load_chip(args.chip)
     sign_key = bytes.fromhex(args.sign_key) if args.sign_key else None
     telemetry = Telemetry()
     chip.flash.attach_telemetry(telemetry)
     with telemetry.span("calibration", n_pe=args.n_pe):
-        verifier = _published_verifier(
-            chip, args.n_pe, args.replicas, sign_key=sign_key
-        )
+        if args.registry:
+            from .service import RegistryError
+
+            try:
+                verifier = _registry_verifier(
+                    args.registry, args.family, sign_key=sign_key
+                )
+            except RegistryError as exc:
+                return _fail("verify", exc)
+        else:
+            verifier = _published_verifier(
+                chip, args.n_pe, args.replicas, sign_key=sign_key
+            )
     with telemetry.span("verify", segment=args.segment) as sp:
         report = verifier.verify(
             chip.flash,
@@ -427,6 +601,8 @@ def _cmd_verify(args) -> int:
                     "n_replicas": args.replicas,
                     "segment": args.segment,
                     "temperature_c": args.temperature,
+                    "registry": args.registry,
+                    "family": args.family,
                 },
                 seeds={"chip_seed": chip.seed},
                 trace=chip.trace,
@@ -611,6 +787,218 @@ def _cmd_telemetry(args) -> int:
     return 1
 
 
+def _cmd_registry(args) -> int:
+    from .service import RegistryError, WatermarkRegistry
+
+    try:
+        if args.action == "init":
+            with WatermarkRegistry(args.registry) as registry:
+                counts = registry.counts()
+            print(f"registry ready at {args.registry}")
+            print(
+                f"  families: {counts['families']}, "
+                f"verifications: {counts['verifications']}"
+            )
+            return 0
+        if args.action == "publish":
+            if not args.family:
+                raise RegistryError("publish requires --family")
+            cache = CalibrationCache(args.cache) if args.cache else None
+            sign_key = (
+                bytes.fromhex(args.sign_key) if args.sign_key else None
+            )
+            result = calibrate_family(
+                McuFactory(model=args.model, n_segments=1),
+                args.n_pe,
+                n_replicas=args.replicas,
+                n_chips=args.chips,
+                seed=args.seed,
+                workers=args.workers,
+                cache=cache,
+            )
+            from .core import SignatureScheme
+
+            tag_bits = (
+                SignatureScheme(sign_key).tag_bits if sign_key else 0
+            )
+            fmt = _published_format(args.replicas, tag_bits=tag_bits)
+            with WatermarkRegistry(args.registry) as registry:
+                record = registry.publish_family(
+                    args.family,
+                    result.calibration,
+                    fmt,
+                    sign_key=sign_key,
+                    replace=args.replace,
+                )
+            cal = record.calibration
+            print(
+                f"published family {record.family_id!r} "
+                f"({'cache hit' if result.cache_hit else 'fresh sweep'})"
+            )
+            print(f"  model:  {cal.model}")
+            print(f"  t_PEW:  {cal.t_pew_us:.1f} us")
+            print(f"  format: {record.format.n_bits} bits "
+                  f"x {record.format.n_replicas} replicas")
+            if record.sign_key_fingerprint:
+                print(
+                    "  key fp: "
+                    f"{record.sign_key_fingerprint[:16]}..."
+                )
+            return 0
+        with WatermarkRegistry(args.registry, create=False) as registry:
+            if args.action == "history":
+                records = registry.history(
+                    args.die, family_id=args.family, limit=args.limit
+                )
+                rows = [
+                    [
+                        r.seq,
+                        r.family_id,
+                        r.die_id,
+                        r.verdict,
+                        "-" if r.ber is None else f"{r.ber:.4f}",
+                        r.client or "-",
+                    ]
+                    for r in records
+                ]
+                print(
+                    format_table(
+                        ["seq", "family", "die id", "verdict", "ber",
+                         "client"],
+                        rows,
+                        title=f"verification history ({args.registry})",
+                    )
+                )
+                return 0
+            # audit
+            n = registry.verify_audit_chain()
+            for entry in registry.audit_entries():
+                print(
+                    f"  #{entry['seq']:<4} {entry['actor']:<14} "
+                    f"{entry['action']:<22} {entry['detail']}"
+                )
+            print(f"audit chain intact: {n} entr(ies) verified")
+            return 0
+    except (RegistryError, CacheError, ValueError) as exc:
+        return _fail("registry", exc)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import (
+        RegistryError,
+        ServerConfig,
+        VerificationServer,
+        WatermarkRegistry,
+    )
+
+    try:
+        registry = WatermarkRegistry(args.registry, create=False)
+    except RegistryError as exc:
+        return _fail("serve", exc)
+    families = registry.families()
+    if not families:
+        return _fail(
+            "serve",
+            RegistryError(
+                "registry has no published families; run "
+                "'repro registry publish' first"
+            ),
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        rate_capacity=args.rate_capacity,
+        rate_refill_per_s=args.rate_refill,
+    )
+    sign_keys = {}
+    if args.sign_key:
+        key = bytes.fromhex(args.sign_key)
+        fp = WatermarkRegistry.fingerprint(key)
+        sign_keys = {
+            f.family_id: key
+            for f in families
+            if f.sign_key_fingerprint == fp
+        }
+
+    async def _serve() -> None:
+        server = VerificationServer(
+            registry, config=config, sign_keys=sign_keys
+        )
+        async with server:
+            print(
+                f"serving {len(families)} family(ies) on "
+                f"{args.host}:{server.port} "
+                f"(queue {config.queue_depth}, batch {config.max_batch})"
+            )
+            for record in families:
+                print(
+                    f"  {record.family_id}: {record.model}, "
+                    f"t_PEW {record.calibration.t_pew_us:.1f} us"
+                )
+            sys.stdout.flush()
+            try:
+                await asyncio.Event().wait()  # until interrupted
+            finally:
+                if args.manifest:
+                    save_manifest(server.build_manifest(), args.manifest)
+                    print(f"run manifest -> {args.manifest}")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped")
+    finally:
+        registry.close()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .service import LoadClient, ServiceError
+
+    load = LoadClient(args.host, args.port, args.family)
+
+    async def _run():
+        if args.mode == "closed":
+            return await load.run_closed_loop(
+                args.requests, concurrency=args.concurrency
+            )
+        return await load.run_open_loop(
+            args.requests, args.rate, connections=args.concurrency
+        )
+
+    try:
+        report = asyncio.run(_run())
+    except (ConnectionError, OSError, ServiceError) as exc:
+        return _fail("loadgen", exc)
+    summary = report.latency_summary()
+    print(
+        f"{report.mode}-loop load: {report.completed}/{report.requests} "
+        f"completed, {report.rejected} rejected, "
+        f"{len(report.mismatches)} verdict mismatch(es)"
+    )
+    if summary.get("count"):
+        print(
+            f"latency: p50 {summary['p50_ms']:.1f} ms, "
+            f"p95 {summary['p95_ms']:.1f} ms, "
+            f"p99 {summary['p99_ms']:.1f} ms "
+            f"(mean {summary['mean_ms']:.1f} ms)"
+        )
+    print(f"throughput: {report.throughput_rps:.1f} req/s")
+    for code, count in sorted(report.errors.items()):
+        print(f"  {count} response(s) with error code {code}")
+    if args.manifest:
+        save_manifest(load.build_manifest(report), args.manifest)
+        print(f"run manifest -> {args.manifest}")
+    return 0 if report.completed == report.requests else 2
+
+
 _COMMANDS = {
     "make": _cmd_make,
     "imprint": _cmd_imprint,
@@ -625,6 +1013,9 @@ _COMMANDS = {
     "estimate-wear": _cmd_estimate_wear,
     "temp": _cmd_temp,
     "telemetry": _cmd_telemetry,
+    "registry": _cmd_registry,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

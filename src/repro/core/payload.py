@@ -8,7 +8,7 @@ recover the fields and detect forgery/tampering after decoding.
 
 Record layout (little-endian, 12 bytes / 96 bits)::
 
-    bytes 0-3   manufacturer id (4 ASCII characters)
+    bytes 0-3   manufacturer id (1-4 ASCII characters, space-padded)
     bytes 4-9   die id (48-bit integer: lot / wafer / x / y encodings)
     byte  10    bits 0-3 speed grade (0-15), bits 4-7 status code
     bytes 11-12 CRC-16/CCITT over bytes 0-10  -> total 13 bytes
@@ -30,9 +30,13 @@ from .crc import crc16_ccitt
 
 __all__ = ["ChipStatus", "WatermarkPayload", "PayloadError", "PAYLOAD_BYTES"]
 
-#: Packed record size including CRC [bytes].
-PAYLOAD_BYTES = 13
 _BODY = struct.Struct("<4s6sB")
+_CRC_BYTES = 2
+#: Packed record size including CRC [bytes] — derived from the actual
+#: field layout (vendor + die id + grade/status + CRC), not hard-coded.
+PAYLOAD_BYTES = _BODY.size + _CRC_BYTES
+#: Maximum manufacturer-id length the vendor field holds.
+MANUFACTURER_FIELD_CHARS = 4
 
 
 class PayloadError(ValueError):
@@ -51,8 +55,10 @@ class ChipStatus(enum.IntEnum):
 class WatermarkPayload:
     """Manufacturing metadata carried by a Flashmark watermark."""
 
-    #: Manufacturer identifier, exactly 4 ASCII characters (e.g. "TCMK"
-    #: for the paper's virtual Trusted Chipmaker).
+    #: Manufacturer identifier, 1-4 ASCII characters (e.g. "TCMK" for
+    #: the paper's virtual Trusted Chipmaker, or a short "TI"-style
+    #: vendor code).  Shorter ids are space-padded in the packed record
+    #: and stripped back on parse.
     manufacturer: str
     #: 48-bit die identifier.
     die_id: int
@@ -62,10 +68,14 @@ class WatermarkPayload:
     status: ChipStatus
 
     def __post_init__(self) -> None:
-        if len(self.manufacturer) != 4 or not self.manufacturer.isascii():
+        if (
+            not 1 <= len(self.manufacturer) <= MANUFACTURER_FIELD_CHARS
+            or not self.manufacturer.isascii()
+            or self.manufacturer != self.manufacturer.strip()
+        ):
             raise PayloadError(
-                "manufacturer must be exactly 4 ASCII characters, "
-                f"got {self.manufacturer!r}"
+                "manufacturer must be 1-4 ASCII characters with no "
+                f"surrounding whitespace, got {self.manufacturer!r}"
             )
         if not 0 <= self.die_id < 2**48:
             raise PayloadError(f"die_id out of 48-bit range: {self.die_id}")
@@ -80,12 +90,13 @@ class WatermarkPayload:
 
     def to_bytes(self) -> bytes:
         """Pack to the 13-byte CRC-protected record."""
+        vendor = self.manufacturer.ljust(MANUFACTURER_FIELD_CHARS)
         body = _BODY.pack(
-            self.manufacturer.encode("ascii"),
+            vendor.encode("ascii"),
             self.die_id.to_bytes(6, "little"),
             (self.status.value << 4) | self.speed_grade,
         )
-        return body + crc16_ccitt(body).to_bytes(2, "little")
+        return body + crc16_ccitt(body).to_bytes(_CRC_BYTES, "little")
 
     def to_bits(self) -> np.ndarray:
         """Pack to a 104-bit flash bit vector."""
@@ -99,12 +110,12 @@ class WatermarkPayload:
                 f"payload record must be {PAYLOAD_BYTES} bytes, "
                 f"got {len(data)}"
             )
-        body, crc_bytes = data[:-2], data[-2:]
+        body, crc_bytes = data[:-_CRC_BYTES], data[-_CRC_BYTES:]
         if crc16_ccitt(body) != int.from_bytes(crc_bytes, "little"):
             raise PayloadError("payload CRC mismatch")
         manufacturer_raw, die_raw, grade_status = _BODY.unpack(body)
         try:
-            manufacturer = manufacturer_raw.decode("ascii")
+            manufacturer = manufacturer_raw.decode("ascii").rstrip(" ")
         except UnicodeDecodeError as exc:
             raise PayloadError("manufacturer field is not ASCII") from exc
         status_code = grade_status >> 4
@@ -128,4 +139,15 @@ class WatermarkPayload:
 
     @property
     def n_bits(self) -> int:
-        return PAYLOAD_BYTES * 8
+        return self.bit_length()
+
+    @classmethod
+    def bit_length(cls) -> int:
+        """Packed record width in bits, derived from the field layout.
+
+        Use this (not a placeholder payload) when publishing a
+        :class:`~repro.core.verifier.WatermarkFormat`: the width follows
+        from the vendor/die/grade struct plus the CRC, so it is correct
+        for every legal manufacturer-id length.
+        """
+        return (_BODY.size + _CRC_BYTES) * 8

@@ -29,7 +29,13 @@ from .geometry import (
     FlashGeometry,
 )
 from .mcu import SUPPORTED_MODELS, McuFactory, Microcontroller, make_mcu
-from .persistence import CHIP_FILE_VERSION, load_chip, save_chip
+from .persistence import (
+    CHIP_FILE_VERSION,
+    chip_from_bytes,
+    chip_to_bytes,
+    load_chip,
+    save_chip,
+)
 from .mlc import MLC_GEOMETRY, MLC_LEVELS_V, MLC_READ_REFS_V, MlcNorFlash
 from .nand import NAND_GEOMETRY, NandFlash
 from .pack import bits_to_word, bits_to_words, word_to_bits, words_to_bits
@@ -63,6 +69,8 @@ __all__ = [
     "data_retention_margin_v",
     "save_chip",
     "load_chip",
+    "chip_to_bytes",
+    "chip_from_bytes",
     "CHIP_FILE_VERSION",
     "FlashController",
     "FlashRegisterFile",

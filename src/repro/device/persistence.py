@@ -12,6 +12,7 @@ The file format is versioned; loading checks it.
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Union
@@ -33,7 +34,13 @@ from .registers import FlashRegisterFile
 from .timing import MSP430F5438_TIMING
 from .tracing import OperationTrace
 
-__all__ = ["save_chip", "load_chip", "CHIP_FILE_VERSION"]
+__all__ = [
+    "save_chip",
+    "load_chip",
+    "chip_to_bytes",
+    "chip_from_bytes",
+    "CHIP_FILE_VERSION",
+]
 
 CHIP_FILE_VERSION = 1
 
@@ -57,8 +64,14 @@ def _params_from_json(blob: str) -> PhysicalParams:
     )
 
 
-def save_chip(chip: Microcontroller, path: Union[str, Path]) -> None:
-    """Write a chip's complete state to ``path`` (.npz, compressed)."""
+def save_chip(
+    chip: Microcontroller, path: Union[str, Path, io.IOBase]
+) -> None:
+    """Write a chip's complete state to ``path`` (.npz, compressed).
+
+    ``path`` may also be a binary file-like object — the wire protocol
+    of :mod:`repro.service` streams chips through :class:`io.BytesIO`.
+    """
     geometry = chip.geometry
     meta = {
         "version": CHIP_FILE_VERSION,
@@ -76,8 +89,9 @@ def save_chip(chip: Microcontroller, path: Union[str, Path]) -> None:
         },
         "params": _params_to_json(chip.params),
     }
+    target = Path(path) if isinstance(path, (str, Path)) else path
     np.savez_compressed(
-        Path(path),
+        target,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         vth=chip.array.vth,
         program_cycles=chip.array.program_cycles,
@@ -94,9 +108,10 @@ def save_chip(chip: Microcontroller, path: Union[str, Path]) -> None:
     )
 
 
-def load_chip(path: Union[str, Path]) -> Microcontroller:
+def load_chip(path: Union[str, Path, io.IOBase]) -> Microcontroller:
     """Reload a chip saved with :func:`save_chip`."""
-    with np.load(Path(path)) as data:
+    source = Path(path) if isinstance(path, (str, Path)) else path
+    with np.load(source) as data:
         meta = json.loads(bytes(data["meta"]).decode())
         if meta.get("version") != CHIP_FILE_VERSION:
             raise ValueError(
@@ -143,3 +158,19 @@ def load_chip(path: Union[str, Path]) -> Microcontroller:
         chip.flash = FlashController(array, timing, chip.trace)
         chip.regs = FlashRegisterFile(chip.flash)
         return chip
+
+
+def chip_to_bytes(chip: Microcontroller) -> bytes:
+    """Serialize a chip to the compressed ``.npz`` byte stream.
+
+    The in-memory twin of :func:`save_chip`: the service wire protocol
+    ships chips as these bytes (base64-wrapped inside JSON frames).
+    """
+    buf = io.BytesIO()
+    save_chip(chip, buf)
+    return buf.getvalue()
+
+
+def chip_from_bytes(data: bytes) -> Microcontroller:
+    """Inverse of :func:`chip_to_bytes`."""
+    return load_chip(io.BytesIO(data))

@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -109,12 +111,18 @@ class CalibrationCache:
     ----------
     path:
         Optional JSON file backing the cache.  An existing file is
-        loaded eagerly (raising :class:`CacheError` on a bad file); new
-        entries are written back on every :meth:`put` when ``autosave``
-        is on.
+        loaded eagerly; new entries are written back on every
+        :meth:`put` when ``autosave`` is on.
     autosave:
         Persist after each :meth:`put` (default).  With it off, call
         :meth:`save` explicitly.
+    strict:
+        With the default ``strict=False``, a truncated or corrupted
+        backing file degrades to an empty cache (every lookup misses)
+        with a :class:`RuntimeWarning` — a damaged memo file must never
+        take down a calibration run.  ``strict=True`` restores the old
+        fail-fast behaviour and raises :class:`CacheError` instead.
+        Explicit :meth:`load` calls always raise.
     """
 
     def __init__(
@@ -122,14 +130,27 @@ class CalibrationCache:
         path: Optional[Union[str, Path]] = None,
         *,
         autosave: bool = True,
+        strict: bool = False,
     ):
         self.path = Path(path) if path is not None else None
         self.autosave = autosave
         self.hits = 0
         self.misses = 0
+        #: The load error a non-strict constructor recovered from, if any.
+        self.recovered_error: Optional[str] = None
         self._entries: Dict[str, dict] = {}
         if self.path is not None and self.path.exists():
-            self.load(self.path)
+            try:
+                self.load(self.path)
+            except CacheError as exc:
+                if strict:
+                    raise
+                self.recovered_error = str(exc)
+                warnings.warn(
+                    f"ignoring unreadable calibration cache: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -221,7 +242,12 @@ class CalibrationCache:
         return len(entries)
 
     def save(self, path: Optional[Union[str, Path]] = None) -> None:
-        """Write the cache as versioned JSON to ``path`` (or ``self.path``)."""
+        """Write the cache as versioned JSON to ``path`` (or ``self.path``).
+
+        Crash-safe: the payload is written to a sibling temp file,
+        flushed and fsynced, then atomically renamed over the target —
+        a reader never observes a half-written cache.
+        """
         path = Path(path) if path is not None else self.path
         if path is None:
             raise CacheError("no cache path configured")
@@ -230,7 +256,9 @@ class CalibrationCache:
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
-        tmp.replace(path)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     def stats(self) -> dict:
         """Hit/miss counters and entry count (for manifests and the CLI)."""

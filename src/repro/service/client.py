@@ -1,0 +1,462 @@
+"""Service clients: a request/response client and a load generator.
+
+:class:`VerificationClient` is the integrator's side of the wire
+protocol — connect, stream chips, collect verdicts.
+
+:class:`LoadClient` replays configurable traffic against a running
+:class:`~repro.service.server.VerificationServer` and measures the
+serving story the ROADMAP asks for: closed-loop (N workers, each
+waiting for its verdict before sending the next chip — models N
+inspection stations) or open-loop (fixed arrival rate regardless of
+completions — models a flash-crowd) traffic, with a latency histogram
+(p50/p95/p99), throughput, verdict-vs-ground-truth scoring, and a run
+manifest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry import Telemetry, build_manifest
+from ..workloads.traffic import TrafficGenerator, TrafficItem
+from . import protocol
+
+__all__ = [
+    "ServiceError",
+    "VerificationClient",
+    "LoadReport",
+    "LoadClient",
+    "percentile",
+]
+
+
+class ServiceError(RuntimeError):
+    """An error frame from the server."""
+
+    def __init__(self, code: int, reason: str):
+        super().__init__(f"[{code}] {reason}")
+        self.code = code
+        self.reason = reason
+
+
+class VerificationClient:
+    """One NDJSON connection to a verification server."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int
+    ) -> "VerificationClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "VerificationClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def request(self, req: dict) -> dict:
+        """Send one frame and await its response frame."""
+        self._writer.write(protocol.encode_frame(req))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_frame(line)
+
+    async def call(self, req: dict) -> dict:
+        """Like :meth:`request` but unwraps: returns the ``result``
+        payload or raises :class:`ServiceError`."""
+        resp = await self.request(req)
+        if resp.get("ok"):
+            return resp.get("result", {})
+        err = resp.get("error") or {}
+        raise ServiceError(
+            int(err.get("code", protocol.INTERNAL_ERROR)),
+            str(err.get("reason", "unknown error")),
+        )
+
+    async def verify_chip(
+        self,
+        chip,
+        family: str,
+        *,
+        request_id: Any = None,
+        client: Optional[str] = None,
+        segment: int = 0,
+        n_reads: int = 1,
+        temperature_c: Optional[float] = None,
+    ) -> dict:
+        return await self.call(
+            protocol.verify_request(
+                chip,
+                family,
+                request_id=request_id,
+                client=client,
+                segment=segment,
+                n_reads=n_reads,
+                temperature_c=temperature_c,
+            )
+        )
+
+    async def ping(self) -> dict:
+        return await self.call({"op": "ping"})
+
+    async def stats(self) -> dict:
+        return await self.call({"op": "stats"})
+
+    async def families(self) -> List[dict]:
+        return (await self.call({"op": "families"}))["families"]
+
+    async def history(
+        self, die_id: Optional[str] = None, *, limit: int = 20
+    ) -> List[dict]:
+        req: dict = {"op": "history", "limit": limit}
+        if die_id is not None:
+            req["die_id"] = die_id
+        return (await self.call(req))["history"]
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in 0..100)."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    mode: str
+    family: str
+    requests: int
+    #: Client-observed latency per completed request [s].
+    latencies_s: List[float] = field(default_factory=list)
+    #: Verdict string histogram over OK responses.
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    #: Per-request verdict, keyed by traffic-item index — lets a caller
+    #: compare the served verdicts one-to-one against a direct
+    #: :func:`repro.engine.verify_population` run on the same chips.
+    verdict_by_index: Dict[int, str] = field(default_factory=dict)
+    #: Error-code histogram over rejected/errored requests.
+    errors: Dict[int, int] = field(default_factory=dict)
+    #: (index, got, expected) for verdicts outside the ground truth.
+    mismatches: List[Tuple[int, str, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    wall_s: float = 0.0
+    concurrency: int = 1
+    rate_hz: Optional[float] = None
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies_s)
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_summary(self) -> dict:
+        """p50/p95/p99 (and friends) in milliseconds."""
+        lat = sorted(self.latencies_s)
+        if not lat:
+            return {"count": 0}
+        return {
+            "count": len(lat),
+            "mean_ms": 1e3 * sum(lat) / len(lat),
+            "p50_ms": 1e3 * percentile(lat, 50),
+            "p95_ms": 1e3 * percentile(lat, 95),
+            "p99_ms": 1e3 * percentile(lat, 99),
+            "max_ms": 1e3 * lat[-1],
+        }
+
+    def to_dict(self) -> dict:
+        """The manifest/JSON-artifact form of this report."""
+        return {
+            "mode": self.mode,
+            "family": self.family,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors_by_code": {
+                str(k): v for k, v in sorted(self.errors.items())
+            },
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "mismatches": len(self.mismatches),
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency_summary(),
+            "concurrency": self.concurrency,
+            "rate_hz": self.rate_hz,
+        }
+
+
+class LoadClient:
+    """Replay traffic against a verification server and measure it.
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    family:
+        Published family id every request verifies against.
+    traffic:
+        A seeded :class:`~repro.workloads.TrafficGenerator`; the same
+        generator state replayed against the engine directly yields the
+        reference verdicts.
+    client_id:
+        Wire-protocol client id (the rate limiter keys on it).
+    telemetry:
+        Receives ``loadgen.*`` metrics and backs the run manifest.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        family: str,
+        *,
+        traffic: Optional[TrafficGenerator] = None,
+        client_id: str = "loadgen",
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.family = family
+        self.traffic = (
+            traffic if traffic is not None else TrafficGenerator()
+        )
+        self.client_id = client_id
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry()
+        )
+
+    # -- traffic ----------------------------------------------------------
+
+    def draw_items(self, n: int) -> List[TrafficItem]:
+        """Manufacture the next ``n`` chips of the traffic stream."""
+        with self.telemetry.span("loadgen.manufacture", n=n):
+            return self.traffic.draw(n)
+
+    # -- closed loop ------------------------------------------------------
+
+    async def run_closed_loop(
+        self,
+        n_requests: int,
+        *,
+        concurrency: int = 4,
+        items: Optional[List[TrafficItem]] = None,
+        segment: int = 0,
+        n_reads: int = 1,
+    ) -> LoadReport:
+        """``concurrency`` workers, each sending its next chip only
+        after the previous verdict arrived (incoming-inspection model).
+        """
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if items is None:
+            items = self.draw_items(n_requests)
+        report = LoadReport(
+            mode="closed",
+            family=self.family,
+            requests=len(items),
+            concurrency=concurrency,
+        )
+        queue: "asyncio.Queue[TrafficItem]" = asyncio.Queue()
+        for item in items:
+            queue.put_nowait(item)
+        loop = asyncio.get_running_loop()
+
+        async def worker(worker_id: int) -> None:
+            client = await VerificationClient.connect(
+                self.host, self.port
+            )
+            try:
+                while True:
+                    try:
+                        item = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    await self._one_request(
+                        client, item, report, loop, segment, n_reads
+                    )
+            finally:
+                await client.close()
+
+        t0 = loop.time()
+        with self.telemetry.span(
+            "loadgen.closed_loop",
+            requests=len(items),
+            concurrency=concurrency,
+        ):
+            await asyncio.gather(
+                *(worker(i) for i in range(concurrency))
+            )
+        report.wall_s = loop.time() - t0
+        self._observe(report)
+        return report
+
+    # -- open loop --------------------------------------------------------
+
+    async def run_open_loop(
+        self,
+        n_requests: int,
+        rate_hz: float,
+        *,
+        items: Optional[List[TrafficItem]] = None,
+        segment: int = 0,
+        n_reads: int = 1,
+        connections: int = 4,
+    ) -> LoadReport:
+        """Fixed arrival rate, independent of completions.
+
+        Sends are paced at ``rate_hz`` across a small connection pool;
+        responses are collected as they come.  When the offered rate
+        exceeds capacity the server's queue bound turns the excess into
+        429 rejections — counted, never hung on.
+        """
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if items is None:
+            items = self.draw_items(n_requests)
+        report = LoadReport(
+            mode="open",
+            family=self.family,
+            requests=len(items),
+            concurrency=connections,
+            rate_hz=rate_hz,
+        )
+        loop = asyncio.get_running_loop()
+        clients = [
+            await VerificationClient.connect(self.host, self.port)
+            for _ in range(connections)
+        ]
+        locks = [asyncio.Lock() for _ in range(connections)]
+
+        async def fire(i: int, item: TrafficItem) -> None:
+            # One in-flight request per pooled connection at a time
+            # (the wire protocol is request/response per stream).
+            async with locks[i % connections]:
+                await self._one_request(
+                    clients[i % connections],
+                    item,
+                    report,
+                    loop,
+                    segment,
+                    n_reads,
+                )
+
+        interval = 1.0 / rate_hz
+        t0 = loop.time()
+        tasks = []
+        with self.telemetry.span(
+            "loadgen.open_loop", requests=len(items), rate_hz=rate_hz
+        ):
+            for i, item in enumerate(items):
+                target = t0 + i * interval
+                delay = target - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(loop.create_task(fire(i, item)))
+            await asyncio.gather(*tasks)
+        report.wall_s = loop.time() - t0
+        for client in clients:
+            await client.close()
+        self._observe(report)
+        return report
+
+    # -- internals --------------------------------------------------------
+
+    async def _one_request(
+        self,
+        client: VerificationClient,
+        item: TrafficItem,
+        report: LoadReport,
+        loop,
+        segment: int,
+        n_reads: int,
+    ) -> None:
+        req = protocol.verify_request(
+            item.chip,
+            self.family,
+            request_id=item.index,
+            client=self.client_id,
+            segment=segment,
+            n_reads=n_reads,
+        )
+        t0 = loop.time()
+        try:
+            result = await client.call(req)
+        except ServiceError as exc:
+            report.errors[exc.code] = report.errors.get(exc.code, 0) + 1
+            self.telemetry.count(f"loadgen.error.{exc.code}")
+            return
+        latency = loop.time() - t0
+        report.latencies_s.append(latency)
+        verdict = result["verdict"]
+        report.verdicts[verdict] = report.verdicts.get(verdict, 0) + 1
+        report.verdict_by_index[item.index] = verdict
+        if verdict not in item.expected_verdicts:
+            report.mismatches.append(
+                (item.index, verdict, item.expected_verdicts)
+            )
+        self.telemetry.count("loadgen.responses")
+        self.telemetry.observe("loadgen.latency_s", latency)
+
+    def _observe(self, report: LoadReport) -> None:
+        summary = report.latency_summary()
+        if summary.get("count"):
+            self.telemetry.gauge(
+                "loadgen.p50_ms", summary["p50_ms"]
+            )
+            self.telemetry.gauge(
+                "loadgen.p95_ms", summary["p95_ms"]
+            )
+            self.telemetry.gauge(
+                "loadgen.p99_ms", summary["p99_ms"]
+            )
+        self.telemetry.gauge(
+            "loadgen.throughput_rps", report.throughput_rps
+        )
+
+    def build_manifest(self, report: LoadReport) -> dict:
+        """Run manifest (``kind="loadgen"``) with the load block."""
+        return build_manifest(
+            self.telemetry,
+            kind="loadgen",
+            parameters={
+                "host": self.host,
+                "port": self.port,
+                "family": self.family,
+                "mode": report.mode,
+                "requests": report.requests,
+                "concurrency": report.concurrency,
+                "rate_hz": report.rate_hz,
+                "traffic_seed": self.traffic.seed,
+                "traffic_mix": dict(self.traffic.spec.mix),
+            },
+            seeds={"traffic_seed": self.traffic.seed},
+            extra={"load": report.to_dict()},
+        )

@@ -1,0 +1,152 @@
+"""The service wire protocol: newline-delimited JSON frames.
+
+One request or response per line (``flashmark.wire/v1``).  Chips travel
+inside verify requests as base64 of their compressed ``.npz`` state
+(:func:`repro.device.chip_to_bytes`), so the server verifies exactly
+the die the client holds — the same challenge–response shape SIGNED
+uses for its interrogation flow.
+
+Requests::
+
+    {"v": "flashmark.wire/v1", "id": 7, "op": "verify",
+     "client": "lab-3", "family": "msp430-default",
+     "chip_b64": "...", "segment": 0, "n_reads": 1}
+
+    {"op": "ping"} · {"op": "stats"} · {"op": "families"}
+    {"op": "history", "die_id": "0x00000000002A"}
+
+Responses::
+
+    {"id": 7, "ok": true, "result": {"verdict": "authentic", ...}}
+    {"id": 7, "ok": false, "error": {"code": 429, "reason": "..."}}
+
+Error codes follow HTTP idiom: 400 malformed request, 404 unknown
+family, 429 backpressure (queue full) or rate limit, 500 internal.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Optional
+
+from ..device.mcu import Microcontroller
+from ..device.persistence import chip_from_bytes, chip_to_bytes
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "OK",
+    "BAD_REQUEST",
+    "NOT_FOUND",
+    "TOO_MANY_REQUESTS",
+    "INTERNAL_ERROR",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "verify_request",
+    "chip_from_b64",
+    "chip_from_request",
+    "ok_response",
+    "error_response",
+]
+
+WIRE_SCHEMA = "flashmark.wire/v1"
+
+#: Upper bound on one frame; a compressed small-die chip blob is ~100 KB
+#: so this leaves generous headroom without letting a rogue client
+#: buffer unbounded garbage.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+OK = 200
+BAD_REQUEST = 400
+NOT_FOUND = 404
+TOO_MANY_REQUESTS = 429
+INTERNAL_ERROR = 500
+
+
+class ProtocolError(ValueError):
+    """A frame violates the wire schema."""
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialize one message to its wire line."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+# -- request construction --------------------------------------------------
+
+
+def verify_request(
+    chip: Microcontroller,
+    family: str,
+    *,
+    request_id: Any = None,
+    client: Optional[str] = None,
+    segment: int = 0,
+    n_reads: int = 1,
+    temperature_c: Optional[float] = None,
+) -> dict:
+    """Build a verify request carrying the chip's full state."""
+    req = {
+        "v": WIRE_SCHEMA,
+        "op": "verify",
+        "family": family,
+        "chip_b64": base64.b64encode(chip_to_bytes(chip)).decode("ascii"),
+        "segment": int(segment),
+        "n_reads": int(n_reads),
+    }
+    if request_id is not None:
+        req["id"] = request_id
+    if client is not None:
+        req["client"] = client
+    if temperature_c is not None:
+        req["temperature_c"] = float(temperature_c)
+    return req
+
+
+def chip_from_b64(blob: str) -> Microcontroller:
+    """Decode a base64 chip blob (CPU-bound — call off the event loop)."""
+    try:
+        raw = base64.b64decode(blob.encode("ascii"), validate=True)
+        return chip_from_bytes(raw)
+    except Exception as exc:  # corrupt base64 or npz
+        raise ProtocolError(f"undecodable chip blob: {exc}") from exc
+
+
+def chip_from_request(req: dict) -> Microcontroller:
+    """Decode the chip blob of a verify request."""
+    blob = req.get("chip_b64")
+    if not isinstance(blob, str) or not blob:
+        raise ProtocolError("verify request is missing 'chip_b64'")
+    return chip_from_b64(blob)
+
+
+# -- responses -------------------------------------------------------------
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, code: int, reason: str) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": int(code), "reason": reason},
+    }

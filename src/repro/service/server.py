@@ -1,0 +1,761 @@
+"""VerificationServer: the online watermark verification authority.
+
+A long-running asyncio service that turns one-shot library verification
+into the supply-chain deployment of Section V: integrators connect,
+stream chips in (``flashmark.wire/v1`` frames), and get verdicts back,
+while the server records history into the
+:class:`~repro.service.registry.WatermarkRegistry`.
+
+Throughput architecture::
+
+    connections ──> admission ──> bounded queue ──> micro-batcher
+                    (rate limit,    (backpressure:     (drains up to
+                     400/404        queue full ->       max_batch, groups
+                     checks)        429, never hangs)   compatible requests,
+                                                        one engine call)
+                                          │
+                                          v
+                       engine.verify_population(workers=N)
+
+Admission control is synchronous with the reader loop, so a client that
+floods past the queue bound gets an immediate 429-style rejection frame
+per excess request — the queue never grows beyond ``queue_depth`` and
+accepted requests are never dropped.  The micro-batcher amortizes the
+engine's fan-out across concurrent clients: requests against the same
+family/segment settings that arrive within ``batch_window_s`` of each
+other share one :func:`~repro.engine.verify_population` call.
+
+The same port also answers plain HTTP ``GET /healthz`` and
+``GET /metrics`` (Prometheus text format), detected by protocol
+sniffing on the first line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.signature import SignatureScheme
+from ..core.verifier import WatermarkVerifier
+from ..engine import verify_population
+from ..telemetry import Telemetry, build_manifest
+from . import protocol
+from .registry import RegistryError, WatermarkRegistry
+
+__all__ = ["ServerConfig", "VerificationServer"]
+
+#: Latency histogram buckets [s] — service-scale, not device-scale.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of a :class:`VerificationServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back from ``server.port``).
+    port: int = 0
+    #: Bound on queued-but-unbatched requests; admission past this is
+    #: rejected with a 429-style frame.
+    queue_depth: int = 64
+    #: Most requests one engine call may absorb.
+    max_batch: int = 16
+    #: How long the batcher lingers for companions after the first
+    #: request of a batch arrives.
+    batch_window_s: float = 0.002
+    #: Worker processes per engine call (1 = inline, deterministic
+    #: either way).
+    workers: int = 1
+    #: Token-bucket size per client id (None disables rate limiting).
+    rate_capacity: Optional[float] = None
+    #: Token refill rate per second per client.
+    rate_refill_per_s: float = 50.0
+    #: Record each verification into the registry history.
+    record_history: bool = True
+
+
+class _TokenBucket:
+    """Per-client token bucket (monotonic-clock refill)."""
+
+    __slots__ = ("capacity", "refill_per_s", "tokens", "stamp")
+
+    def __init__(self, capacity: float, refill_per_s: float, now: float):
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self.tokens = capacity
+        self.stamp = now
+
+    def allow(self, now: float) -> bool:
+        self.tokens = min(
+            self.capacity,
+            self.tokens + (now - self.stamp) * self.refill_per_s,
+        )
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class _Pending:
+    """One admitted verify request waiting for its batch.
+
+    Carries the still-encoded chip blob: decoding an ``.npz`` chip costs
+    milliseconds, so it happens in the batch executor thread rather
+    than on the event loop during admission.
+    """
+
+    request_id: Any
+    chip_b64: str
+    family: str
+    segment: int
+    n_reads: int
+    temperature_c: Optional[float]
+    client: str
+    enqueued_at: float
+    future: "asyncio.Future[dict]" = field(repr=False, default=None)
+
+    @property
+    def batch_key(self) -> Tuple:
+        return (self.family, self.segment, self.n_reads, self.temperature_c)
+
+
+class VerificationServer:
+    """Serve watermark verification over asyncio streams.
+
+    Parameters
+    ----------
+    registry:
+        The published-family store; also receives verification history.
+    config:
+        Queueing/batching/rate-limit tunables.
+    telemetry:
+        Receives ``service.*`` counters, latency histograms and
+        absorbed per-batch verification spans.  A fresh enabled context
+        by default.
+    sign_keys:
+        ``family_id -> key bytes`` for families published with a
+        signing-key fingerprint; the key is checked against the
+        registry fingerprint before use.  Families whose key the server
+        does not hold still verify, with ``signature_checked: false``
+        in each result.
+    """
+
+    def __init__(
+        self,
+        registry: WatermarkRegistry,
+        *,
+        config: Optional[ServerConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        sign_keys: Optional[Dict[str, bytes]] = None,
+    ):
+        self.registry = registry
+        self.config = config if config is not None else ServerConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.sign_keys = dict(sign_keys or {})
+        self._verifiers: Dict[str, Tuple[WatermarkVerifier, bool]] = {}
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at: Optional[float] = None
+        self._max_queue_depth = 0
+        self._open_connections = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the micro-batcher."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._server = await asyncio.start_server(
+            self._handle_stream,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self._batcher = self._loop.create_task(self._batch_loop())
+        self._started_at = self._loop.time()
+        self.telemetry.count("service.starts")
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the batcher, fail queued requests."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                pending: _Pending = self._queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.set_result(
+                        protocol.error_response(
+                            pending.request_id,
+                            protocol.INTERNAL_ERROR,
+                            "server shutting down",
+                        )
+                    )
+
+    async def __aenter__(self) -> "VerificationServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.config.host, self.port)
+
+    # -- verifier construction -------------------------------------------
+
+    def _verifier_for(self, family: str) -> Tuple[WatermarkVerifier, bool]:
+        """The cached verifier for a family + whether signatures are
+        actually checked."""
+        cached = self._verifiers.get(family)
+        if cached is not None:
+            return cached
+        record = self.registry.get_family(family)
+        scheme = None
+        checked = False
+        if record.sign_key_fingerprint is not None:
+            key = self.sign_keys.get(family)
+            if key is not None:
+                if (
+                    WatermarkRegistry.fingerprint(key)
+                    != record.sign_key_fingerprint
+                ):
+                    raise RegistryError(
+                        f"signing key for family {family!r} does not "
+                        "match the published fingerprint"
+                    )
+                scheme = SignatureScheme(key)
+                checked = True
+        verifier = WatermarkVerifier(
+            record.calibration, record.format, signature_scheme=scheme
+        )
+        self._verifiers[family] = (verifier, checked)
+        return verifier, checked
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_stream(self, reader, writer) -> None:
+        self._open_connections += 1
+        self.telemetry.count("service.connections")
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            first = await reader.readline()
+            if first.split(b" ", 1)[0] in (b"GET", b"HEAD"):
+                await self._handle_http(first, reader, writer)
+                return
+            line = first
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    await self._dispatch_line(
+                        stripped, writer, write_lock, tasks
+                    )
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._write_frame(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            None,
+                            protocol.BAD_REQUEST,
+                            "frame too large",
+                        ),
+                    )
+                    break
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._open_connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_line(
+        self, line: bytes, writer, write_lock, tasks: set
+    ) -> None:
+        try:
+            req = protocol.decode_frame(line)
+        except protocol.ProtocolError as exc:
+            await self._write_frame(
+                writer,
+                write_lock,
+                protocol.error_response(
+                    None, protocol.BAD_REQUEST, str(exc)
+                ),
+            )
+            return
+        self.telemetry.count("service.requests")
+        op = req.get("op")
+        request_id = req.get("id")
+        if op == "verify":
+            outcome = self._admit(req, writer)
+            if isinstance(outcome, dict):  # rejected at admission
+                await self._write_frame(writer, write_lock, outcome)
+                return
+            task = self._loop.create_task(
+                self._finish_verify(outcome, writer, write_lock)
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+            return
+        response = self._handle_query(op, request_id, req)
+        await self._write_frame(writer, write_lock, response)
+
+    def _handle_query(self, op, request_id, req: dict) -> dict:
+        """Synchronous (non-verify) operations."""
+        try:
+            if op == "ping":
+                return protocol.ok_response(request_id, {"pong": True})
+            if op == "stats":
+                return protocol.ok_response(request_id, self.stats())
+            if op == "families":
+                return protocol.ok_response(
+                    request_id,
+                    {
+                        "families": [
+                            {
+                                "family_id": fam.family_id,
+                                "model": fam.model,
+                                "t_pew_us": fam.calibration.t_pew_us,
+                                "signed": fam.sign_key_fingerprint
+                                is not None,
+                            }
+                            for fam in self.registry.families()
+                        ]
+                    },
+                )
+            if op == "history":
+                records = self.registry.history(
+                    req.get("die_id"),
+                    family_id=req.get("family"),
+                    limit=int(req.get("limit", 20)),
+                )
+                return protocol.ok_response(
+                    request_id,
+                    {
+                        "history": [
+                            {
+                                "seq": r.seq,
+                                "family": r.family_id,
+                                "die_id": r.die_id,
+                                "verdict": r.verdict,
+                                "ber": r.ber,
+                                "client": r.client,
+                                "created_unix_s": r.created_unix_s,
+                            }
+                            for r in records
+                        ]
+                    },
+                )
+            return protocol.error_response(
+                request_id, protocol.BAD_REQUEST, f"unknown op {op!r}"
+            )
+        except (RegistryError, ValueError) as exc:
+            return protocol.error_response(
+                request_id, protocol.BAD_REQUEST, str(exc)
+            )
+
+    # -- admission --------------------------------------------------------
+
+    def _client_id(self, req: dict, writer) -> str:
+        client = req.get("client")
+        if isinstance(client, str) and client:
+            return client
+        peer = writer.get_extra_info("peername")
+        return f"{peer[0]}:{peer[1]}" if peer else "anonymous"
+
+    def _admit(self, req: dict, writer):
+        """Admission control: returns a queued :class:`_Pending`, or an
+        error-response dict (rate limited, overloaded, malformed)."""
+        request_id = req.get("id")
+        client = self._client_id(req, writer)
+        now = self._loop.time()
+        if self.config.rate_capacity is not None:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = _TokenBucket(
+                    self.config.rate_capacity,
+                    self.config.rate_refill_per_s,
+                    now,
+                )
+            if not bucket.allow(now):
+                self.telemetry.count("service.rejected.rate")
+                return protocol.error_response(
+                    request_id,
+                    protocol.TOO_MANY_REQUESTS,
+                    f"rate limit exceeded for client {client!r}",
+                )
+        family = req.get("family")
+        if not isinstance(family, str) or not family:
+            self.telemetry.count("service.rejected.bad_request")
+            return protocol.error_response(
+                request_id,
+                protocol.BAD_REQUEST,
+                "verify request is missing 'family'",
+            )
+        try:
+            self._verifier_for(family)
+        except RegistryError as exc:
+            self.telemetry.count("service.rejected.unknown_family")
+            return protocol.error_response(
+                request_id, protocol.NOT_FOUND, str(exc)
+            )
+        blob = req.get("chip_b64")
+        if not isinstance(blob, str) or not blob:
+            self.telemetry.count("service.rejected.bad_request")
+            return protocol.error_response(
+                request_id,
+                protocol.BAD_REQUEST,
+                "verify request is missing 'chip_b64'",
+            )
+        pending = _Pending(
+            request_id=request_id,
+            chip_b64=blob,
+            family=family,
+            segment=int(req.get("segment", 0)),
+            n_reads=int(req.get("n_reads", 1)),
+            temperature_c=(
+                float(req["temperature_c"])
+                if req.get("temperature_c") is not None
+                else None
+            ),
+            client=client,
+            enqueued_at=now,
+            future=self._loop.create_future(),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.telemetry.count("service.rejected.overload")
+            return protocol.error_response(
+                request_id,
+                protocol.TOO_MANY_REQUESTS,
+                f"server overloaded: queue of "
+                f"{self.config.queue_depth} requests is full",
+            )
+        self._max_queue_depth = max(
+            self._max_queue_depth, self._queue.qsize()
+        )
+        self.telemetry.count("service.admitted")
+        return pending
+
+    async def _finish_verify(
+        self, pending: _Pending, writer, write_lock
+    ) -> None:
+        response = await pending.future
+        latency = self._loop.time() - pending.enqueued_at
+        self.telemetry.observe(
+            "service.latency_s", latency, buckets=LATENCY_BUCKETS
+        )
+        await self._write_frame(writer, write_lock, response)
+
+    @staticmethod
+    async def _write_frame(writer, write_lock, obj: dict) -> None:
+        async with write_lock:
+            writer.write(protocol.encode_frame(obj))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- micro-batching ---------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Drain the queue into grouped engine calls, forever."""
+        while True:
+            first: _Pending = await self._queue.get()
+            batch = [first]
+            deadline = self._loop.time() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(
+                            self._queue.get(), timeout=remaining
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self.telemetry.count("service.batches")
+            self.telemetry.observe(
+                "service.batch_size",
+                len(batch),
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            )
+            groups: Dict[Tuple, List[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(pending.batch_key, []).append(pending)
+            for group in groups.values():
+                await self._run_group(group)
+
+    async def _run_group(self, group: List[_Pending]) -> None:
+        """One engine call for a same-settings group of requests."""
+        head = group[0]
+        verifier, signature_checked = self._verifier_for(head.family)
+        batch_tel = Telemetry()
+
+        def _work():
+            # Decode chip blobs here, in the executor thread: each .npz
+            # decode costs milliseconds, which would otherwise stall
+            # admission on the event loop.  A corrupt blob fails only
+            # its own request, never the group.
+            chips, errors = [], {}
+            for i, pending in enumerate(group):
+                try:
+                    chips.append(protocol.chip_from_b64(pending.chip_b64))
+                except protocol.ProtocolError as exc:
+                    chips.append(None)
+                    errors[i] = str(exc)
+            good = [c for c in chips if c is not None]
+            result = (
+                verify_population(
+                    good,
+                    verifier,
+                    segment=head.segment,
+                    n_reads=head.n_reads,
+                    temperature_c=head.temperature_c,
+                    workers=self.config.workers,
+                    telemetry=batch_tel,
+                )
+                if good
+                else None
+            )
+            return chips, errors, result
+
+        try:
+            chips, decode_errors, result = await self._loop.run_in_executor(
+                None, _work
+            )
+        except Exception as exc:  # engine-level failure: fail the group
+            self.telemetry.count("service.errors", len(group))
+            for pending in group:
+                if not pending.future.done():
+                    pending.future.set_result(
+                        protocol.error_response(
+                            pending.request_id,
+                            protocol.INTERNAL_ERROR,
+                            f"verification failed: {exc}",
+                        )
+                    )
+            return
+        self.telemetry.absorb(
+            batch_tel.snapshot(), prefix="service.batch"
+        )
+        failures = (
+            {f.index: f for f in result.failures} if result else {}
+        )
+        verified = 0  # index into result.results (decodable chips only)
+        for i, pending in enumerate(group):
+            if i in decode_errors:
+                self.telemetry.count("service.rejected.bad_request")
+                if not pending.future.done():
+                    pending.future.set_result(
+                        protocol.error_response(
+                            pending.request_id,
+                            protocol.BAD_REQUEST,
+                            decode_errors[i],
+                        )
+                    )
+                continue
+            chip = chips[i]
+            job_index = verified
+            verified += 1
+            if pending.future.done():
+                continue
+            report = result.results[job_index]
+            if report is None:
+                failure = failures.get(job_index)
+                detail = (
+                    failure.error.strip().splitlines()[-1]
+                    if failure is not None
+                    else "job failed"
+                )
+                self.telemetry.count("service.errors")
+                pending.future.set_result(
+                    protocol.error_response(
+                        pending.request_id,
+                        protocol.INTERNAL_ERROR,
+                        detail,
+                    )
+                )
+                continue
+            payload = None
+            if report.payload is not None:
+                payload = {
+                    "manufacturer": report.payload.manufacturer,
+                    "die_id": f"0x{report.payload.die_id:012X}",
+                    "speed_grade": report.payload.speed_grade,
+                    "status": report.payload.status.name,
+                }
+            seq = None
+            if self.config.record_history:
+                seq = self.registry.record_verification(
+                    head.family,
+                    chip.die_id,
+                    report.verdict.value,
+                    ber=report.ber,
+                    reason=report.reason,
+                    client=pending.client,
+                )
+            self.telemetry.count(
+                f"service.verdict.{report.verdict.value}"
+            )
+            pending.future.set_result(
+                protocol.ok_response(
+                    pending.request_id,
+                    {
+                        "family": head.family,
+                        "die_id": f"0x{chip.die_id:012X}",
+                        "verdict": report.verdict.value,
+                        "ber": report.ber,
+                        "reason": report.reason,
+                        "payload": payload,
+                        "signature_checked": signature_checked,
+                        "history_seq": seq,
+                    },
+                )
+            )
+
+    # -- HTTP sidecar -----------------------------------------------------
+
+    async def _handle_http(self, first_line, reader, writer) -> None:
+        try:
+            while True:  # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = first_line.decode("latin-1").split()
+            path = parts[1] if len(parts) > 1 else "/"
+            if path == "/healthz":
+                body = json.dumps(
+                    {
+                        "status": "ok",
+                        "uptime_s": round(
+                            self._loop.time() - self._started_at, 3
+                        ),
+                        "queue_depth": self._queue.qsize(),
+                        **self.registry.counts(),
+                    }
+                ).encode()
+                content_type = "application/json"
+                status = "200 OK"
+            elif path == "/metrics":
+                body = self._render_metrics().encode()
+                content_type = "text/plain; version=0.0.4"
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                content_type = "text/plain"
+                status = "404 Not Found"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    def _render_metrics(self) -> str:
+        """Prometheus text exposition of the telemetry registry."""
+        snap = self.telemetry.registry.snapshot()
+        lines: List[str] = []
+
+        def _name(metric: str) -> str:
+            return "flashmark_" + metric.replace(".", "_").replace(
+                "-", "_"
+            )
+
+        for name, value in snap["counters"].items():
+            lines.append(f"# TYPE {_name(name)} counter")
+            lines.append(f"{_name(name)} {value}")
+        for name, value in snap["gauges"].items():
+            if value is not None:
+                lines.append(f"# TYPE {_name(name)} gauge")
+                lines.append(f"{_name(name)} {value}")
+        for name, dump in snap["histograms"].items():
+            base = _name(name)
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, count in zip(dump["buckets"], dump["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{base}_bucket{{le="{bound}"}} {cumulative}'
+                )
+            lines.append(f'{base}_bucket{{le="+Inf"}} {dump["count"]}')
+            lines.append(f"{base}_count {dump['count']}")
+            lines.append(f"{base}_sum {dump['sum']}")
+        lines.append(f"flashmark_service_queue_depth {self._queue.qsize()}")
+        lines.append(
+            f"flashmark_service_open_connections {self._open_connections}"
+        )
+        return "\n".join(lines) + "\n"
+
+    # -- stats / manifest -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters for the ``stats`` op and the run manifest."""
+        counters = self.telemetry.registry.snapshot()["counters"]
+        service = {
+            k: v for k, v in counters.items() if k.startswith("service.")
+        }
+        return {
+            "wire_schema": protocol.WIRE_SCHEMA,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "max_queue_depth": self._max_queue_depth,
+            "open_connections": self._open_connections,
+            "counters": service,
+            "registry": self.registry.counts(),
+        }
+
+    def build_manifest(self) -> dict:
+        """Run manifest of this server session (``kind="service"``)."""
+        from dataclasses import asdict
+
+        return build_manifest(
+            self.telemetry,
+            kind="service",
+            parameters=asdict(self.config),
+            seeds={},
+            extra={"service": self.stats()},
+        )

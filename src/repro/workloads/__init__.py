@@ -19,6 +19,12 @@ from .production import (
     run_die_job,
     run_die_sort,
 )
+from .traffic import (
+    DEFAULT_MIX,
+    TrafficGenerator,
+    TrafficItem,
+    TrafficSpec,
+)
 from .watermarks import (
     balanced_random,
     company_banner,
@@ -46,4 +52,8 @@ __all__ = [
     "fig10_vector",
     "balanced_random",
     "company_banner",
+    "DEFAULT_MIX",
+    "TrafficGenerator",
+    "TrafficItem",
+    "TrafficSpec",
 ]

@@ -1,0 +1,176 @@
+"""Traffic mixes for the verification service and its load generator.
+
+Incoming inspection at a system integrator sees a stream of chips whose
+provenance is unknown: mostly genuine parts, salted with the
+counterfeiting pathways of Section I (rebranded inferior silicon,
+recycled parts, die-sort fall-out) and, adversarially, stress-tampered
+genuine chips (Section IV).  :class:`TrafficGenerator` manufactures a
+seeded, weighted stream of exactly these, each item carrying its ground
+truth so a load run can score the service's verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..attacks.tamper import stress_tamper
+from ..core.payload import WatermarkPayload
+from ..device.mcu import Microcontroller
+from .chips import ChipKind, PopulationSpec, make_chip_sample
+
+__all__ = [
+    "DEFAULT_MIX",
+    "TrafficItem",
+    "TrafficSpec",
+    "TrafficGenerator",
+]
+
+#: Default inspection-lot composition: mostly genuine, every
+#: counterfeiting pathway represented.
+DEFAULT_MIX: Dict[str, float] = {
+    "genuine": 0.70,
+    "counterfeit": 0.10,
+    "recycled": 0.10,
+    "fallout": 0.05,
+    "tampered": 0.05,
+}
+
+#: Traffic kind -> how the chip is manufactured and which verdicts a
+#: published verifier may legitimately return for it.
+_KIND_TABLE: Dict[str, Tuple[ChipKind, Tuple[str, ...]]] = {
+    "genuine": (ChipKind.GENUINE, ("authentic",)),
+    # Rebranded inferior silicon carries no physical watermark.
+    "counterfeit": (ChipKind.REBRANDED, ("counterfeit",)),
+    # The recycler's digital wipe cannot remove the physical mark
+    # (stress is irreversible), so Flashmark correctly reads the chip
+    # as a genuine ACCEPT part — catching *recycling* is the wear
+    # estimator's job, aided by the registry's die-id history (the same
+    # die showing up at two integrators).
+    "recycled": (ChipKind.RECYCLED, ("authentic",)),
+    "fallout": (ChipKind.FALLOUT, ("counterfeit",)),
+    # Layout-aware pair stressing on a genuine part: the balanced
+    # format turns it into (0,0) Manchester pairs, the tamper verdict.
+    "tampered": (ChipKind.GENUINE, ("tampered",)),
+}
+
+
+@dataclass
+class TrafficItem:
+    """One chip of service traffic, with ground truth attached."""
+
+    index: int
+    #: Traffic kind: genuine / counterfeit / recycled / fallout / tampered.
+    kind: str
+    chip: Microcontroller
+    #: The genuinely imprinted payload (None when there is none).
+    payload: Optional[WatermarkPayload]
+    #: Verdict strings a correct verifier should return for this chip.
+    #: Marginal genuine dies can still fail extraction (the paper's
+    #: false-rejection fallout), so load runs score deviations as
+    #: mismatches and bound their *rate* rather than forbidding them.
+    expected_verdicts: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Composition and physics of a verification traffic stream."""
+
+    #: Relative weights per kind (normalized internally).
+    mix: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    #: Family parameters the genuine chips are imprinted with.
+    population: PopulationSpec = field(
+        default_factory=lambda: PopulationSpec(counts={})
+    )
+    #: Manchester pairs the tampering attacker stresses per chip
+    #: (every replica copy of each pair, as a layout-aware attacker
+    #: would).  Must exceed the verifier's ``balance_tolerance`` to be
+    #: detectable.
+    tamper_pairs: int = 6
+    #: P/E cycles the attacker spends per tampered chip.
+    tamper_n_pe: int = 40_000
+
+    def __post_init__(self) -> None:
+        unknown = set(self.mix) - set(_KIND_TABLE)
+        if unknown:
+            raise ValueError(
+                f"unknown traffic kind(s) {sorted(unknown)}; "
+                f"choose from {sorted(_KIND_TABLE)}"
+            )
+        if not self.mix or sum(self.mix.values()) <= 0:
+            raise ValueError("traffic mix needs at least one positive weight")
+        if any(w < 0 for w in self.mix.values()):
+            raise ValueError("traffic mix weights must be non-negative")
+
+
+class TrafficGenerator:
+    """Seeded infinite stream of mixed-provenance chips.
+
+    The same ``(spec, seed)`` always produces the same sequence of
+    chips, byte for byte — the load generator leans on this to compare
+    service verdicts against direct
+    :func:`repro.engine.verify_population` calls on an identical
+    population.
+    """
+
+    def __init__(self, spec: Optional[TrafficSpec] = None, seed: int = 0):
+        self.spec = spec if spec is not None else TrafficSpec()
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._index = 0
+        kinds = sorted(self.spec.mix)
+        weights = np.array([self.spec.mix[k] for k in kinds], dtype=float)
+        self._kinds = kinds
+        self._probs = weights / weights.sum()
+
+    def draw(self, n: int) -> List[TrafficItem]:
+        """Manufacture the next ``n`` traffic items."""
+        return [self._next_item() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[TrafficItem]:
+        while True:
+            yield self._next_item()
+
+    def _next_item(self) -> TrafficItem:
+        index = self._index
+        self._index += 1
+        kind = str(self._rng.choice(self._kinds, p=self._probs))
+        chip_kind, expected = _KIND_TABLE[kind]
+        # Chip seeds advance with the stream index (never reused), so a
+        # mix change reshuffles kinds without perturbing chip physics.
+        sample = make_chip_sample(
+            chip_kind, self.seed + 1 + index, self.spec.population
+        )
+        if kind == "tampered":
+            self._tamper(sample.chip)
+        return TrafficItem(
+            index=index,
+            kind=kind,
+            chip=sample.chip,
+            payload=sample.payload,
+            expected_verdicts=expected,
+        )
+
+    def _tamper(self, chip: Microcontroller) -> None:
+        """Stress whole Manchester pairs, Section IV's worst case.
+
+        The attacker knows the published layout, so they hit the same
+        pair in every replica — exactly the one-directional physical
+        push the balanced format was designed to expose as (0,0) pairs.
+        """
+        segment_bits = chip.geometry.bits_per_segment
+        layout = self.spec.population.format.layout_for(segment_bits)
+        positions = layout.positions()  # (n_replicas, encoded bits)
+        n_pairs = layout.n_bits // 2
+        victims = self._rng.choice(
+            n_pairs,
+            size=min(self.spec.tamper_pairs, n_pairs),
+            replace=False,
+        )
+        target = np.ones(segment_bits, dtype=np.uint8)
+        for k in victims:
+            target[positions[:, 2 * int(k)]] = 0
+            target[positions[:, 2 * int(k) + 1]] = 0
+        stress_tamper(chip.flash, 0, target, self.spec.tamper_n_pe)

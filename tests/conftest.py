@@ -45,3 +45,30 @@ def mcu():
 def quiet_mcu(quiet_params):
     """A small chip with per-operation noise disabled."""
     return make_mcu(seed=7, n_segments=2, params=quiet_params)
+
+
+@pytest.fixture(scope="session")
+def traffic_spec():
+    """The default verification-service traffic composition."""
+    from repro.workloads.traffic import TrafficSpec
+
+    return TrafficSpec()
+
+
+@pytest.fixture(scope="session")
+def family_calibration(traffic_spec):
+    """One shared family calibration matching ``traffic_spec``.
+
+    The partial-erase sweep is the slow part of every service test, so
+    it runs once per session.
+    """
+    from repro.engine import calibrate_family
+
+    pop = traffic_spec.population
+    return calibrate_family(
+        lambda seed: make_mcu(seed=seed, n_segments=1),
+        pop.n_pe,
+        n_replicas=pop.format.n_replicas,
+        n_chips=1,
+        seed=77,
+    ).calibration

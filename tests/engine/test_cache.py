@@ -135,23 +135,66 @@ class TestRoundTrip:
 
 
 class TestBadFiles:
-    def test_not_json(self, tmp_path):
+    """A damaged backing file degrades to misses; strict mode raises."""
+
+    def test_not_json_recovers_with_warning(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("not json at all")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            cache = CalibrationCache(path)
+        assert len(cache) == 0
+        assert cache.recovered_error is not None
+        assert cache.get("deadbeef") is None  # miss, not crash
+
+    def test_not_json_strict_raises(self, tmp_path):
         path = tmp_path / "cal.json"
         path.write_text("not json at all")
         with pytest.raises(CacheError, match="not valid JSON"):
-            CalibrationCache(path)
+            CalibrationCache(path, strict=True)
 
-    def test_wrong_schema(self, tmp_path):
+    def test_truncated_file_recovers(self, tmp_path, calibration):
+        path = tmp_path / "cal.json"
+        cache = CalibrationCache(path)
+        cache.put(CalibrationCache.key_for(x=1), calibration)
+        blob = path.read_text()
+        path.write_text(blob[: len(blob) // 2])  # simulate a torn write
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            recovered = CalibrationCache(path)
+        assert len(recovered) == 0
+        # The next put heals the file in place.
+        recovered.put(CalibrationCache.key_for(x=2), calibration)
+        healed = CalibrationCache(path)
+        assert len(healed) == 1
+        assert healed.recovered_error is None
+
+    def test_wrong_schema_strict_raises(self, tmp_path):
         path = tmp_path / "cal.json"
         path.write_text(json.dumps({"schema": "other/v9", "entries": {}}))
         with pytest.raises(CacheError, match="schema"):
-            CalibrationCache(path)
+            CalibrationCache(path, strict=True)
 
-    def test_missing_entries(self, tmp_path):
+    def test_missing_entries_strict_raises(self, tmp_path):
         path = tmp_path / "cal.json"
         path.write_text(json.dumps({"schema": CACHE_SCHEMA}))
         with pytest.raises(CacheError, match="entries"):
-            CalibrationCache(path)
+            CalibrationCache(path, strict=True)
+
+    def test_explicit_load_always_raises(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("garbage")
+        cache = CalibrationCache()
+        with pytest.raises(CacheError):
+            cache.load(path)
+
+    def test_save_leaves_no_temp_file(self, tmp_path, calibration):
+        path = tmp_path / "cal.json"
+        cache = CalibrationCache(path)
+        cache.put(CalibrationCache.key_for(x=1), calibration)
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+        assert json.loads(path.read_text())["schema"] == CACHE_SCHEMA
 
     def test_no_path_configured(self):
         cache = CalibrationCache()

@@ -1,0 +1,96 @@
+"""Tests for the NDJSON wire protocol."""
+
+import numpy as np
+import pytest
+
+from repro.device import make_mcu
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    chip_from_request,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    verify_request,
+)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        frame = encode_frame({"op": "ping", "id": 3})
+        assert frame.endswith(b"\n")
+        assert decode_frame(frame) == {"op": "ping", "id": 3}
+
+    def test_single_line(self):
+        assert encode_frame({"a": "b"}).count(b"\n") == 1
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(b"{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1, 2]")
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(b" " * (MAX_FRAME_BYTES + 1))
+
+
+class TestVerifyRequest:
+    def test_chip_roundtrip(self):
+        chip = make_mcu(seed=5, n_segments=2)
+        req = decode_frame(
+            encode_frame(verify_request(chip, "fam", request_id=9))
+        )
+        assert req["op"] == "verify"
+        assert req["family"] == "fam"
+        assert req["id"] == 9
+        restored = chip_from_request(req)
+        assert restored.die_id == chip.die_id
+        np.testing.assert_array_equal(
+            restored.flash.read_segment_bits(0),
+            chip.flash.read_segment_bits(0),
+        )
+
+    def test_optional_fields(self):
+        chip = make_mcu(seed=5, n_segments=1)
+        req = verify_request(
+            chip, "fam", client="lab", temperature_c=85.0, n_reads=3
+        )
+        assert req["client"] == "lab"
+        assert req["temperature_c"] == 85.0
+        assert req["n_reads"] == 3
+        bare = verify_request(chip, "fam")
+        assert "client" not in bare and "temperature_c" not in bare
+
+    def test_missing_blob_rejected(self):
+        with pytest.raises(ProtocolError, match="chip_b64"):
+            chip_from_request({"op": "verify", "family": "fam"})
+
+    def test_corrupt_blob_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            chip_from_request(
+                {"op": "verify", "chip_b64": "bm90IGEgY2hpcA=="}
+            )
+
+    def test_invalid_base64_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            protocol.chip_from_b64("!!! not base64 !!!")
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        resp = ok_response(4, {"verdict": "authentic"})
+        assert resp == {
+            "id": 4,
+            "ok": True,
+            "result": {"verdict": "authentic"},
+        }
+
+    def test_error_shape(self):
+        resp = error_response(None, protocol.TOO_MANY_REQUESTS, "busy")
+        assert resp["ok"] is False
+        assert resp["error"] == {"code": 429, "reason": "busy"}

@@ -1,0 +1,155 @@
+"""Tests for the persistent watermark registry."""
+
+import sqlite3
+
+import pytest
+
+from repro.service import (
+    REGISTRY_SCHEMA,
+    FamilyRecord,
+    RegistryError,
+    WatermarkRegistry,
+)
+from tests.service.conftest import FAMILY
+
+
+class TestLifecycle:
+    def test_creates_schema(self, tmp_path):
+        path = tmp_path / "reg.db"
+        with WatermarkRegistry(path) as reg:
+            counts = reg.counts()
+        assert path.exists()
+        assert counts["families"] == 0
+        assert counts["verifications"] == 0
+        assert counts["audit_entries"] == 1  # registry.init
+
+    def test_reopen_persists(self, registry, family_calibration):
+        path = registry.path
+        registry.close()
+        with WatermarkRegistry(path, create=False) as reg:
+            record = reg.get_family(FAMILY)
+        assert record.calibration.t_pew_us == pytest.approx(
+            family_calibration.t_pew_us
+        )
+
+    def test_missing_file_without_create_raises(self, tmp_path):
+        with pytest.raises(RegistryError):
+            WatermarkRegistry(tmp_path / "nope.db", create=False)
+
+    def test_foreign_database_rejected(self, tmp_path):
+        path = tmp_path / "foreign.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE meta (key TEXT, value TEXT)")
+        conn.execute(
+            "INSERT INTO meta VALUES ('schema', 'something/else')"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(RegistryError, match=REGISTRY_SCHEMA):
+            WatermarkRegistry(path)
+
+
+class TestFamilies:
+    def test_publish_roundtrip(self, registry, traffic_spec):
+        record = registry.get_family(FAMILY)
+        assert isinstance(record, FamilyRecord)
+        assert record.format == traffic_spec.population.format
+        assert record.sign_key_fingerprint is None
+
+    def test_duplicate_publish_rejected(
+        self, registry, family_calibration, traffic_spec
+    ):
+        with pytest.raises(RegistryError, match="already published"):
+            registry.publish_family(
+                FAMILY, family_calibration, traffic_spec.population.format
+            )
+
+    def test_replace_supersedes(
+        self, registry, family_calibration, traffic_spec
+    ):
+        registry.publish_family(
+            FAMILY,
+            family_calibration,
+            traffic_spec.population.format,
+            sign_key=b"new key",
+            replace=True,
+        )
+        record = registry.get_family(FAMILY)
+        assert record.sign_key_fingerprint == WatermarkRegistry.fingerprint(
+            b"new key"
+        )
+
+    def test_unknown_family_raises(self, registry):
+        with pytest.raises(RegistryError, match="unknown family"):
+            registry.get_family("never-published")
+
+    def test_families_listing(self, registry):
+        assert [f.family_id for f in registry.families()] == [FAMILY]
+
+    def test_sign_key_fingerprint_published(
+        self, registry, family_calibration, traffic_spec
+    ):
+        record = registry.publish_family(
+            "signed-family",
+            family_calibration,
+            traffic_spec.population.format,
+            sign_key=bytes.fromhex("deadbeef"),
+        )
+        assert record.sign_key_fingerprint == WatermarkRegistry.fingerprint(
+            bytes.fromhex("deadbeef")
+        )
+
+
+class TestHistory:
+    def test_record_and_filter(self, registry):
+        registry.record_verification(
+            FAMILY, 0xA1, "authentic", ber=0.01, client="lab-1"
+        )
+        registry.record_verification(
+            FAMILY, 0xB2, "counterfeit", client="lab-2"
+        )
+        registry.record_verification(FAMILY, 0xA1, "authentic")
+        by_die = registry.history(0xA1)
+        assert len(by_die) == 2
+        assert all(r.die_id == "0x0000000000A1" for r in by_die)
+        # Newest first.
+        assert by_die[0].seq > by_die[1].seq
+        assert len(registry.history(family_id=FAMILY)) == 3
+        assert registry.history(0xA1, limit=1)[0].seq == by_die[0].seq
+
+    def test_string_die_id(self, registry):
+        registry.record_verification(FAMILY, "0x0000000000C3", "tampered")
+        assert registry.history("0x0000000000C3")[0].verdict == "tampered"
+
+
+class TestAuditChain:
+    def test_chain_verifies(self, registry):
+        registry.record_verification(FAMILY, 1, "authentic")
+        n = registry.verify_audit_chain()
+        assert n == registry.counts()["audit_entries"]
+        actions = [e["action"] for e in registry.audit_entries()]
+        assert "registry.init" in actions
+        assert "family.publish" in actions
+        assert "verification.record" in actions
+
+    def test_tampered_entry_detected(self, registry):
+        registry.record_verification(FAMILY, 1, "authentic")
+        # An attacker rewrites history: flip a recorded verdict behind
+        # the registry's back.
+        registry._conn.execute(
+            "UPDATE audit_log SET detail_json = "
+            "replace(detail_json, 'authentic', 'counterfeit')"
+            " WHERE action = 'verification.record'"
+        )
+        registry._conn.commit()
+        with pytest.raises(RegistryError, match="audit"):
+            registry.verify_audit_chain()
+
+    def test_deleted_entry_detected(self, registry):
+        registry.record_verification(FAMILY, 1, "authentic")
+        registry._conn.execute(
+            "DELETE FROM audit_log WHERE seq = 2"
+        )
+        registry._conn.commit()
+        with pytest.raises(RegistryError):
+            registry.verify_audit_chain()

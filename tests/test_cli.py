@@ -216,3 +216,210 @@ class TestSignedCli:
             main(["verify", str(chip_file), "--temperature", "85"]) == 0
         )
         assert "authentic" in capsys.readouterr().out
+
+
+class TestBatchEngineCli:
+    """`produce --workers` and `calibrate --cache` paths."""
+
+    def test_produce_workers_deterministic(self, tmp_path, capsys):
+        args = ["produce", "--count", "4", "--seed", "5"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        serial_ids = [l for l in serial.splitlines() if "0x" in l]
+        parallel_ids = [l for l in parallel.splitlines() if "0x" in l]
+        assert serial_ids == parallel_ids
+        assert "2 worker(s)" in parallel
+
+    def test_produce_out_dir_and_manifest(self, tmp_path, capsys):
+        out = tmp_path / "dies"
+        manifest = tmp_path / "batch.json"
+        assert (
+            main(
+                [
+                    "produce",
+                    "--count",
+                    "2",
+                    "--out-dir",
+                    str(out),
+                    "--manifest",
+                    str(manifest),
+                ]
+            )
+            == 0
+        )
+        assert sorted(p.name for p in out.glob("*.npz")) == [
+            "die_000.npz",
+            "die_001.npz",
+        ]
+        assert manifest.exists()
+
+    def test_produce_bad_count(self, capsys):
+        assert main(["produce", "--count", "0"]) == 1
+        assert "count" in capsys.readouterr().err
+
+    def test_calibrate_cache_hit_on_second_run(self, tmp_path, capsys):
+        cache = tmp_path / "cal.json"
+        args = ["calibrate", "--cache", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "swept 1 chip(s)" in first
+        assert "1 miss(es)" in first
+        assert cache.exists()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        assert "1 hit(s)" in second
+
+    def test_calibrate_corrupt_cache_recovers(self, tmp_path, capsys):
+        cache = tmp_path / "cal.json"
+        cache.write_text("{garbage")
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert main(["calibrate", "--cache", str(cache)]) == 0
+        assert "family calibration" in capsys.readouterr().out
+
+
+class TestServiceCli:
+    """registry / loadgen commands and registry-backed verify."""
+
+    @pytest.fixture
+    def published(self, tmp_path):
+        reg = tmp_path / "reg.db"
+        assert (
+            main(
+                [
+                    "registry",
+                    "publish",
+                    "--registry",
+                    str(reg),
+                    "--family",
+                    "msp430",
+                ]
+            )
+            == 0
+        )
+        return reg
+
+    def test_registry_init(self, tmp_path, capsys):
+        reg = tmp_path / "reg.db"
+        assert main(["registry", "init", "--registry", str(reg)]) == 0
+        assert "registry ready" in capsys.readouterr().out
+        assert reg.exists()
+
+    def test_registry_publish_and_audit(self, published, capsys):
+        capsys.readouterr()
+        assert (
+            main(["registry", "audit", "--registry", str(published)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "family.publish" in out
+        assert "audit chain intact" in out
+
+    def test_registry_publish_requires_family(self, tmp_path, capsys):
+        reg = tmp_path / "reg.db"
+        assert main(["registry", "publish", "--registry", str(reg)]) == 1
+        assert "--family" in capsys.readouterr().err
+
+    def test_registry_duplicate_publish_fails(self, published, capsys):
+        assert (
+            main(
+                [
+                    "registry",
+                    "publish",
+                    "--registry",
+                    str(published),
+                    "--family",
+                    "msp430",
+                ]
+            )
+            == 1
+        )
+        assert "already published" in capsys.readouterr().err
+
+    def test_registry_history_empty(self, published, capsys):
+        capsys.readouterr()
+        assert (
+            main(["registry", "history", "--registry", str(published)])
+            == 0
+        )
+        assert "verification history" in capsys.readouterr().out
+
+    def test_registry_missing_file_fails(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "registry",
+                    "history",
+                    "--registry",
+                    str(tmp_path / "nope.db"),
+                ]
+            )
+            == 1
+        )
+        assert "registry" in capsys.readouterr().err
+
+    def test_verify_against_registry(
+        self, chip_file, published, capsys
+    ):
+        assert main(["imprint", str(chip_file)]) == 0
+        assert (
+            main(
+                [
+                    "verify",
+                    str(chip_file),
+                    "--registry",
+                    str(published),
+                    "--family",
+                    "msp430",
+                ]
+            )
+            == 0
+        )
+        assert "verdict: authentic" in capsys.readouterr().out
+
+    def test_verify_registry_unknown_family(
+        self, chip_file, published, capsys
+    ):
+        assert (
+            main(
+                [
+                    "verify",
+                    str(chip_file),
+                    "--registry",
+                    str(published),
+                    "--family",
+                    "never-published",
+                ]
+            )
+            == 1
+        )
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_verify_registry_requires_family(self, chip_file, capsys):
+        assert (
+            main(["verify", str(chip_file), "--registry", "reg.db"])
+            == 1
+        )
+        assert "go together" in capsys.readouterr().err
+
+    def test_loadgen_unreachable_server_fails(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--port",
+                    "9",
+                    "--family",
+                    "msp430",
+                    "--requests",
+                    "1",
+                ]
+            )
+            == 1
+        )
+        assert "loadgen" in capsys.readouterr().err
