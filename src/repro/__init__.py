@@ -25,7 +25,11 @@ Milenkovic.  The package layers as follows (bottom up):
 * :mod:`repro.service` — the online deployment: a persistent
   published-family registry (SQLite), an asyncio verification server
   with bounded-queue backpressure and micro-batching, and a load
-  generator measuring latency percentiles and throughput.
+  generator measuring latency percentiles and throughput;
+* :mod:`repro.faults` — seeded deterministic fault injection: declarative
+  :class:`FaultPlan` schedules armed over named points in persistence,
+  engine and service, plus the chaos soak harness behind
+  ``python -m repro chaos`` (see ``docs/robustness.md``).
 
 Quickstart::
 
@@ -83,6 +87,7 @@ from .engine import (
     calibrate_family,
     verify_population,
 )
+from .faults import FaultInjector, FaultPlan, FaultSpec
 from .phys import PhysicalParams
 from .service import (
     LoadClient,
@@ -93,7 +98,7 @@ from .service import (
 )
 from .telemetry import Telemetry
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -141,4 +146,8 @@ __all__ = [
     "ServerConfig",
     "LoadClient",
     "LoadReport",
+    # fault injection
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
 ]

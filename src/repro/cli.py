@@ -21,6 +21,7 @@ The CLI plays both supply-chain roles on persisted chip state
     $ python -m repro serve --registry reg.db --port 7433
     $ python -m repro verify chip.npz --registry reg.db --family msp430
     $ python -m repro loadgen --port 7433 --family msp430 --requests 200
+    $ python -m repro chaos --seed 7 --requests 12 --manifest chaos.json
     # observability
     $ python -m repro imprint chip.npz --manifest run.json
     $ python -m repro telemetry summarize run.json
@@ -305,6 +306,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--manifest",
         help="write the service run manifest here on shutdown",
+    )
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection soak of the full stack",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--requests", type=int, default=12, help="traffic items to replay"
+    )
+    p.add_argument(
+        "--plan", help="replay a saved fault-plan JSON instead of "
+        "the seeded coverage plan"
+    )
+    p.add_argument(
+        "--save-plan", help="write the effective fault plan (JSON) here"
+    )
+    p.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sample N random faults over all points instead of the "
+        "coverage plan",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        help="whole-soak wall-clock bound [s] (invariant)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request bound [s] (invariant)",
+    )
+    p.add_argument(
+        "--manifest", help="write the chaos run manifest (JSON) here"
     )
 
     p = sub.add_parser(
@@ -957,6 +997,95 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .faults import FaultPlan, all_points, sample_plan
+    from .faults.soak import coverage_plan, run_chaos_soak
+    from .service import WatermarkRegistry
+    from .workloads.traffic import TrafficGenerator
+
+    if args.requests < 1:
+        return _fail("chaos", ValueError("--requests must be >= 1"))
+    if args.plan:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail("chaos", exc)
+    elif args.sample is not None:
+        plan = sample_plan(args.seed, all_points(), n_faults=args.sample)
+    else:
+        plan = coverage_plan(args.seed)
+    if args.save_plan:
+        plan.save(args.save_plan)
+        print(f"fault plan -> {args.save_plan}")
+    traffic = TrafficGenerator(seed=args.seed)
+    pop = traffic.spec.population
+    telemetry = Telemetry()
+    print(
+        f"chaos soak: {len(plan)} scheduled fault(s), "
+        f"{args.requests} request(s), seed {args.seed}"
+    )
+    print("calibrating the soak family ...")
+    calibration = calibrate_family(
+        McuFactory(n_segments=1),
+        pop.n_pe,
+        n_replicas=pop.format.n_replicas,
+        n_chips=1,
+        seed=77,
+    ).calibration
+    family = "chaos-family"
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        with WatermarkRegistry(Path(tmp) / "registry.db") as registry:
+            registry.publish_family(family, calibration, pop.format)
+            report = run_chaos_soak(
+                registry,
+                family,
+                traffic.draw(args.requests),
+                plan,
+                telemetry=telemetry,
+                deadline_s=args.deadline,
+                request_timeout_s=args.timeout,
+            )
+    print(
+        f"injected {len(report.injected)}/{len(plan)} scheduled fault(s) "
+        f"in {report.wall_s:.2f} s:"
+    )
+    for point, kind, occurrence in report.injected:
+        print(f"  {point} [{kind}] at occurrence {occurrence}")
+    print(
+        f"responses: {report.completed} ok, "
+        f"{sum(report.errors.values())} error(s), "
+        f"{report.local_rejects} local reject(s), "
+        f"{report.reconnects} reconnect(s), "
+        f"{report.retry_evidence()} counted retr(ies)"
+    )
+    for code, count in sorted(report.errors.items()):
+        print(f"  {count} response(s) with error code {code}")
+    for label, passed in report.invariants().items():
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+    if args.manifest:
+        save_manifest(
+            build_manifest(
+                telemetry,
+                kind="chaos",
+                parameters={
+                    "requests": args.requests,
+                    "deadline_s": args.deadline,
+                    "request_timeout_s": args.timeout,
+                    "plan_specs": len(plan),
+                },
+                seeds={"seed": args.seed, "plan_seed": plan.seed},
+                extra={"chaos": report.to_dict()},
+            ),
+            args.manifest,
+        )
+        print(f"run manifest -> {args.manifest}")
+    print(f"chaos soak: {'OK' if report.passed else 'FAILED'}")
+    return 0 if report.passed else 1
+
+
 def _cmd_loadgen(args) -> int:
     import asyncio
 
@@ -1015,6 +1144,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "registry": _cmd_registry,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "loadgen": _cmd_loadgen,
 }
 

@@ -31,6 +31,7 @@ from .geometry import (
 from .mcu import SUPPORTED_MODELS, McuFactory, Microcontroller, make_mcu
 from .persistence import (
     CHIP_FILE_VERSION,
+    ChipPersistenceError,
     chip_from_bytes,
     chip_to_bytes,
     load_chip,
@@ -71,6 +72,7 @@ __all__ = [
     "load_chip",
     "chip_to_bytes",
     "chip_from_bytes",
+    "ChipPersistenceError",
     "CHIP_FILE_VERSION",
     "FlashController",
     "FlashRegisterFile",

@@ -19,6 +19,7 @@ from typing import Union
 
 import numpy as np
 
+from ..faults import fault_point
 from ..phys.constants import (
     CellParams,
     NoiseParams,
@@ -39,10 +40,22 @@ __all__ = [
     "load_chip",
     "chip_to_bytes",
     "chip_from_bytes",
+    "ChipPersistenceError",
     "CHIP_FILE_VERSION",
 ]
 
 CHIP_FILE_VERSION = 1
+
+
+class ChipPersistenceError(ValueError):
+    """A chip file/blob is truncated, corrupt, or of a foreign version.
+
+    Every decode failure — a short read, a damaged ``.npz`` archive,
+    missing arrays, unparseable metadata — surfaces as this one type,
+    so callers (the CLI, the service wire protocol) can map "bad chip
+    state" to a clean client-facing error instead of leaking
+    ``zipfile``/``json``/``KeyError`` internals.
+    """
 
 
 def _params_to_json(params: PhysicalParams) -> str:
@@ -90,8 +103,7 @@ def save_chip(
         "params": _params_to_json(chip.params),
     }
     target = Path(path) if isinstance(path, (str, Path)) else path
-    np.savez_compressed(
-        target,
+    arrays = dict(
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         vth=chip.array.vth,
         program_cycles=chip.array.program_cycles,
@@ -106,15 +118,47 @@ def save_chip(
             dtype=np.uint8,
         ),
     )
+    # Injection point: a scheduled "error" models a failed write (raises
+    # from fault_point); truncate/corrupt model a partial write that the
+    # next load must reject with a typed ChipPersistenceError.
+    action = fault_point("device.save_chip")
+    if action is not None:
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        data = action.apply_bytes(buf.getvalue())
+        if isinstance(target, Path):
+            target.write_bytes(data)
+        else:
+            target.write(data)
+        return
+    np.savez_compressed(target, **arrays)
 
 
 def load_chip(path: Union[str, Path, io.IOBase]) -> Microcontroller:
-    """Reload a chip saved with :func:`save_chip`."""
+    """Reload a chip saved with :func:`save_chip`.
+
+    Raises :class:`ChipPersistenceError` when the file is truncated,
+    corrupt, missing arrays, or of an unsupported version — never a raw
+    ``zipfile``/``json`` exception.
+    """
     source = Path(path) if isinstance(path, (str, Path)) else path
+    try:
+        return _load_chip_raw(source)
+    except ChipPersistenceError:
+        raise
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise ChipPersistenceError(
+            f"corrupt or truncated chip state: {exc}"
+        ) from exc
+
+
+def _load_chip_raw(source) -> Microcontroller:
     with np.load(source) as data:
         meta = json.loads(bytes(data["meta"]).decode())
         if meta.get("version") != CHIP_FILE_VERSION:
-            raise ValueError(
+            raise ChipPersistenceError(
                 f"unsupported chip file version {meta.get('version')!r}"
             )
         params = _params_from_json(meta["params"])
@@ -168,9 +212,21 @@ def chip_to_bytes(chip: Microcontroller) -> bytes:
     """
     buf = io.BytesIO()
     save_chip(chip, buf)
-    return buf.getvalue()
+    data = buf.getvalue()
+    # Injection point: "error" models a read-back failure, the payload
+    # kinds hand downstream consumers a damaged blob.
+    action = fault_point("device.chip_to_bytes")
+    if action is not None:
+        data = action.apply_bytes(data)
+    return data
 
 
 def chip_from_bytes(data: bytes) -> Microcontroller:
-    """Inverse of :func:`chip_to_bytes`."""
+    """Inverse of :func:`chip_to_bytes`.
+
+    Raises :class:`ChipPersistenceError` on a damaged blob.
+    """
+    action = fault_point("device.chip_from_bytes")
+    if action is not None:
+        data = action.apply_bytes(data)
     return load_chip(io.BytesIO(data))

@@ -41,9 +41,24 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
+from ..faults import fault_point
 from ..telemetry import current as current_telemetry
 
 __all__ = ["BatchExecutor", "BatchResult", "JobFailure", "default_workers"]
+
+
+class _FailedMarker:
+    """Internal placeholder distinguishing "job failed" from a job whose
+    function legitimately returned ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<failed>"
+
+
+#: Private sentinel stored at failed indices while a batch accumulates.
+_FAILED = _FailedMarker()
 
 
 def default_workers() -> int:
@@ -76,8 +91,12 @@ class BatchResult:
     ``.manifest`` shape every batch-facing API returns.
 
     ``results`` is aligned with the submitted jobs (``None`` at failed
-    indices); ``manifest`` is filled by workload-level wrappers
-    (production, calibration, verification), not by the executor.
+    indices).  A job function may itself legitimately return ``None`` —
+    use :meth:`successes` / :meth:`failure_indices`, which are driven by
+    the ``failures`` records rather than by the stored values, to tell
+    the two cases apart.  ``manifest`` is filled by workload-level
+    wrappers (production, calibration, verification), not by the
+    executor.
     """
 
     results: List[Any]
@@ -93,9 +112,21 @@ class BatchResult:
         """True when every job produced a result."""
         return not self.failures
 
+    def failure_indices(self) -> set:
+        """Indices of jobs that failed every attempt."""
+        return {f.index for f in self.failures}
+
     def successes(self) -> List[Any]:
-        """The non-failed results, in submission order."""
-        return [r for r in self.results if r is not None]
+        """The non-failed results, in submission order.
+
+        Failure-index-aware: a job that returned ``None`` successfully
+        is included (as ``None``), only jobs with a recorded
+        :class:`JobFailure` are dropped.
+        """
+        failed = self.failure_indices()
+        return [
+            r for i, r in enumerate(self.results) if i not in failed
+        ]
 
 
 class _PoolUnavailable(Exception):
@@ -210,6 +241,9 @@ class BatchExecutor:
                 used = 1
         if failures:
             tel.count("engine.failures", len(failures))
+        # The public contract stores None at failed indices; the private
+        # sentinel only disambiguates internally while accumulating.
+        results = [None if r is _FAILED else r for r in results]
         return BatchResult(
             results=results,
             failures=sorted(failures, key=lambda f: f.index),
@@ -228,6 +262,9 @@ class BatchExecutor:
     def _preflight(fn: Callable, jobs: List) -> None:
         """Fail fast (to the inline path) on unpicklable work."""
         try:
+            # Injection point: an "error" here (PicklingError) models an
+            # unpicklable payload slipping past the caller.
+            fault_point("engine.preflight")
             pickle.dumps(fn)
             if jobs:
                 pickle.dumps(jobs[0])
@@ -242,6 +279,9 @@ class BatchExecutor:
             attempts += 1
             tel.count("engine.retries")
             try:
+                action = fault_point("engine.job")
+                if action is not None and action.kind == "hang":
+                    time.sleep(action.hang_s)
                 return fn(job), None
             except Exception:
                 error = traceback.format_exc()
@@ -255,10 +295,15 @@ class BatchExecutor:
         )
 
     def _run_inline(self, fn, jobs, tel):
-        results: List[Any] = [None] * len(jobs)
+        results: List[Any] = [_FAILED] * len(jobs)
         failures: List[JobFailure] = []
         for index, job in enumerate(jobs):
             try:
+                # Injection point: per-job "error" exercises the retry
+                # path, "hang" a slow job, deterministically.
+                action = fault_point("engine.job")
+                if action is not None and action.kind == "hang":
+                    time.sleep(action.hang_s)
                 results[index] = fn(job)
             except Exception:
                 value, failure = self._attempt_inline(
@@ -289,7 +334,7 @@ class BatchExecutor:
             indexed[i : i + chunk_size]
             for i in range(0, len(indexed), chunk_size)
         ]
-        results: List[Any] = [None] * len(jobs)
+        results: List[Any] = [_FAILED] * len(jobs)
         failures: List[JobFailure] = []
         pending: List = []  # (future, chunk) in submission order
         broken = False
@@ -303,7 +348,38 @@ class BatchExecutor:
                         fn, chunk, "pool broken", results, failures, tel
                     )
                     continue
+                if hung:
+                    # The pool already wedged once: never wait another
+                    # timeout_s per remaining chunk (worst case used to
+                    # be n_chunks * timeout_s against a dead pool).
+                    # Harvest chunks that happen to be done, drain the
+                    # rest inline immediately.
+                    future.cancel()
+                    outcome = None
+                    error = "timeout"
+                    if future.done() and not future.cancelled():
+                        try:
+                            outcome = future.result(timeout=0)
+                        except BrokenExecutor:
+                            broken = True
+                            error = "pool broken"
+                        except Exception:
+                            outcome = None
+                    if outcome is None:
+                        tel.count("engine.hung_skips")
+                        self._finish_chunk_inline(
+                            fn, chunk, error, results, failures, tel
+                        )
+                        continue
+                    self._consume_outcome(
+                        fn, jobs, outcome, results, failures, tel
+                    )
+                    continue
                 try:
+                    # Injection point: a scheduled TimeoutError or
+                    # BrokenExecutor here simulates a hung worker or a
+                    # crashed pool on exactly this chunk drain.
+                    fault_point("engine.chunk")
                     outcome = future.result(timeout=self.timeout_s)
                 except FutureTimeoutError:
                     tel.count("engine.timeouts")
@@ -329,23 +405,29 @@ class BatchExecutor:
                         tel,
                     )
                     continue
-                for index, ok, value, error in outcome:
-                    if ok:
-                        results[index] = value
-                    else:
-                        value, failure = self._attempt_inline(
-                            fn, index, jobs[index], tel, error, 1
-                        )
-                        if failure is None:
-                            results[index] = value
-                        else:
-                            failures.append(failure)
+                self._consume_outcome(
+                    fn, jobs, outcome, results, failures, tel
+                )
         finally:
             # A timed-out chunk may leave a worker wedged mid-job; don't
             # block teardown on it.  Otherwise join cleanly so no pool
             # plumbing outlives the batch.
             pool.shutdown(wait=not hung, cancel_futures=True)
         return results, failures
+
+    def _consume_outcome(self, fn, jobs, outcome, results, failures, tel):
+        """Fold one worker chunk's (index, ok, value, error) rows in."""
+        for index, ok, value, error in outcome:
+            if ok:
+                results[index] = value
+            else:
+                value, failure = self._attempt_inline(
+                    fn, index, jobs[index], tel, error, 1
+                )
+                if failure is None:
+                    results[index] = value
+                else:
+                    failures.append(failure)
 
     def _finish_chunk_inline(self, fn, chunk, error, results, failures, tel):
         """Drain a failed/timed-out chunk's jobs in the parent."""

@@ -1,0 +1,85 @@
+"""repro.faults — seeded, deterministic fault injection.
+
+The chaos layer that certifies the stack's failure semantics: a
+:class:`FaultPlan` declares *which* injection point fails, at *which*
+occurrence, with *which* fault kind; a :class:`FaultInjector` arms the
+plan over the named points the device persistence, batch engine and
+verification service expose; and the soak harness (``tests/faults/``,
+``python -m repro chaos``) replays plans and asserts the invariants
+documented in ``docs/robustness.md``:
+
+* nothing hangs past its deadline,
+* every injected fault surfaces as a typed error or a counted retry,
+* verdicts for uninjected dies are byte-identical to a fault-free run,
+* the same seed reproduces the identical injection sequence.
+
+Quick start::
+
+    from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+    plan = FaultPlan([
+        FaultSpec("device.chip_from_bytes", "truncate", at=1),
+        FaultSpec("service.registry", "error", at=2,
+                  params={"exception": "sqlite3.OperationalError",
+                          "message": "database is locked"}),
+    ])
+    with FaultInjector(plan) as chaos:
+        run_workload()
+    print(chaos.sequence())   # [(point, kind, occurrence), ...]
+
+Injection points are zero-cost when disarmed (one module-global check)
+and report ``faults.injected.*`` counters through the ambient
+:mod:`repro.telemetry` context.
+"""
+
+from .injector import (
+    FaultAction,
+    FaultInjector,
+    InjectedFault,
+    InjectionRecord,
+    current_injector,
+    fault_point,
+)
+from .plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_SCHEMA,
+    POINT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    sample_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_SCHEMA",
+    "POINT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "sample_plan",
+    "FaultAction",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectionRecord",
+    "current_injector",
+    "fault_point",
+    "INJECTION_POINTS",
+    "all_points",
+]
+
+def _by_layer() -> dict:
+    layers: dict = {}
+    for point in POINT_KINDS:
+        layers.setdefault(point.split(".", 1)[0], []).append(point)
+    return {layer: tuple(points) for layer, points in layers.items()}
+
+
+#: Every injection point the stack currently arms, by layer — derived
+#: from :data:`repro.faults.plan.POINT_KINDS` (the single source of
+#: truth, which also records the kinds each site applies).  The chaos
+#: CLI samples plans over these; tests assert the list stays honest.
+INJECTION_POINTS = _by_layer()
+
+
+def all_points() -> list:
+    """Flat list of every known injection point."""
+    return [p for layer in INJECTION_POINTS.values() for p in layer]

@@ -1,0 +1,300 @@
+"""The fault injector: armed injection points and typed injected faults.
+
+Library code marks its failure-prone seams with
+
+.. code-block:: python
+
+    from ..faults import fault_point
+
+    action = fault_point("device.chip_from_bytes")
+    if action is not None:
+        data = action.apply_bytes(data)
+
+When no injector is armed — the production case — :func:`fault_point`
+is a single module-global ``None`` check and returns immediately; the
+instrumented hot paths pay nothing.  Under ``with FaultInjector(plan):``
+each call counts one *occurrence* of its point, and when the plan
+schedules a fault at that occurrence the injector fires it:
+
+* raising kinds (``error``) raise a typed exception **from inside**
+  :func:`fault_point`, so the site's real error handling runs;
+* every other kind returns a :class:`FaultAction` the call site
+  applies: payload kinds (``truncate`` / ``corrupt`` / ``garbage`` /
+  ``oversize``) via :meth:`FaultAction.apply_bytes`, ``drop`` by
+  severing the site's connection, and ``hang`` by sleeping
+  :attr:`FaultAction.hang_s` — synchronously in worker-pool code,
+  ``await asyncio.sleep`` on the event loop — so an injected stall
+  never deadlocks the harness itself.
+
+Raised exceptions always subclass :class:`InjectedFault` *and* the
+realistic class the site would see in production (``OSError``,
+``sqlite3.OperationalError``, ``concurrent.futures.TimeoutError``, ...)
+so existing ``except`` clauses catch them while the soak harness can
+still tell injected failures from organic ones.
+
+Every firing increments ``faults.injected`` and
+``faults.injected.<point>`` on the injector's telemetry and appends an
+:class:`InjectionRecord` to ``injector.records`` — the ground truth the
+chaos harness reconciles observed errors against.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from ..telemetry import Telemetry
+from ..telemetry import current as current_telemetry
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "InjectedFault",
+    "InjectionRecord",
+    "FaultAction",
+    "FaultInjector",
+    "fault_point",
+    "current_injector",
+]
+
+#: Default byte size of an ``oversize`` payload: one past the wire
+#: frame cap (kept in sync with :data:`repro.service.protocol.MAX_FRAME_BYTES`
+#: by a test, not an import — faults must not depend on the service).
+_OVERSIZE_DEFAULT = 16 * 1024 * 1024 + 1
+
+#: Bytes that are neither valid UTF-8 nor valid JSON.
+_GARBAGE = b'\xff\xfe{"unterminated: garbage'
+
+
+class InjectedFault(RuntimeError):
+    """Base of every exception raised by an armed fault point."""
+
+    def __init__(self, message: str, *, point: str = "", kind: str = "",
+                 occurrence: int = 0):
+        super().__init__(message)
+        self.point = point
+        self.kind = kind
+        self.occurrence = occurrence
+
+
+#: Exception classes an ``error`` fault may masquerade as.  Each raised
+#: instance subclasses both :class:`InjectedFault` and the named class.
+_EXCEPTION_BASES: Dict[str, Type[BaseException]] = {
+    "InjectedFault": RuntimeError,
+    "OSError": OSError,
+    "ValueError": ValueError,
+    "ConnectionResetError": ConnectionResetError,
+    "BrokenPipeError": BrokenPipeError,
+    "TimeoutError": FutureTimeoutError,
+    "BrokenExecutor": BrokenExecutor,
+    "PicklingError": pickle.PicklingError,
+    "sqlite3.OperationalError": sqlite3.OperationalError,
+}
+
+_HYBRID_CACHE: Dict[str, Type[InjectedFault]] = {}
+
+
+def _exception_class(name: str) -> Type[InjectedFault]:
+    """The injected-fault class masquerading as exception ``name``."""
+    cls = _HYBRID_CACHE.get(name)
+    if cls is None:
+        base = _EXCEPTION_BASES.get(name)
+        if base is None:
+            raise ValueError(
+                f"fault plan names unknown exception {name!r}; "
+                f"expected one of {sorted(_EXCEPTION_BASES)}"
+            )
+        cls = _HYBRID_CACHE[name] = type(
+            f"Injected_{name.replace('.', '_')}", (InjectedFault, base), {}
+        )
+    return cls
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault that actually fired."""
+
+    #: 0-based position in the injector's firing sequence.
+    index: int
+    point: str
+    kind: str
+    #: The occurrence of the point at which the fault fired (1-based).
+    occurrence: int
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """A payload-level fault the call site must apply itself."""
+
+    spec: FaultSpec
+    occurrence: int
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def hang_s(self) -> float:
+        """Seconds a ``hang`` fault asks the site to stall for."""
+        return float(self.param("seconds", 0.05))
+
+    def param(self, key: str, default=None):
+        return self.spec.params.get(key, default)
+
+    def apply_bytes(self, data: bytes) -> bytes:
+        """The faulted version of a byte payload.
+
+        ``drop`` returns the payload unchanged — severing the transport
+        is the site's job (it knows what its connection object is).
+        """
+        kind = self.spec.kind
+        if kind == "truncate":
+            keep = float(self.param("keep_fraction", 0.5))
+            return data[: max(0, int(len(data) * keep))]
+        if kind == "corrupt":
+            n = int(self.param("n_bytes", 8))
+            if not data:
+                return data
+            offset = int(self.param("offset", len(data) // 3))
+            offset = min(max(offset, 0), max(len(data) - 1, 0))
+            buf = bytearray(data)
+            for i in range(offset, min(offset + n, len(buf))):
+                buf[i] ^= 0xA5
+            return bytes(buf)
+        if kind == "garbage":
+            return _GARBAGE
+        if kind == "oversize":
+            size = int(self.param("size", _OVERSIZE_DEFAULT))
+            return b"\x41" * size
+        return data
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` over the process's injection points.
+
+    Use as a context manager::
+
+        plan = FaultPlan([FaultSpec("engine.chunk", "error", at=2)])
+        with FaultInjector(plan, telemetry=tel) as chaos:
+            ...  # run the workload
+        assert chaos.records  # what actually fired
+
+    Arming is per-process: a point reached inside a forked pool worker
+    stays disarmed, so the injection sequence does not depend on worker
+    scheduling.  Hit counting is thread-safe — the verification server
+    reaches fault points from executor threads and the event loop.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.plan = plan
+        self.telemetry = telemetry
+        self._schedule: Dict[str, Dict[int, FaultSpec]] = {
+            point: plan.for_point(point) for point in plan.points()
+        }
+        self._hits: Dict[str, int] = {}
+        self.records: List[InjectionRecord] = []
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._prev: Optional["FaultInjector"] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        global _ACTIVE
+        if self.telemetry is None:
+            self.telemetry = current_telemetry()
+        self._prev = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._prev
+        self._prev = None
+        return False
+
+    # -- introspection ----------------------------------------------------
+
+    def hits(self, point: str) -> int:
+        """Times ``point`` has been reached (fired or not)."""
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    def injected_counts(self) -> Dict[str, int]:
+        """``point -> fired count`` over the armed lifetime."""
+        counts: Dict[str, int] = {}
+        for rec in self.records:
+            counts[rec.point] = counts.get(rec.point, 0) + 1
+        return counts
+
+    def sequence(self) -> List[tuple]:
+        """The firing sequence as comparable ``(point, kind, occurrence)``
+        tuples — two same-seed runs must produce equal sequences."""
+        return [(r.point, r.kind, r.occurrence) for r in self.records]
+
+    # -- the hot path -----------------------------------------------------
+
+    def _hit(self, point: str) -> Optional[FaultAction]:
+        if os.getpid() != self._pid:
+            return None
+        with self._lock:
+            occurrence = self._hits.get(point, 0) + 1
+            self._hits[point] = occurrence
+            spec = self._schedule.get(point, {}).get(occurrence)
+            if spec is None:
+                return None
+            record = InjectionRecord(
+                index=len(self.records),
+                point=point,
+                kind=spec.kind,
+                occurrence=occurrence,
+            )
+            self.records.append(record)
+        tel = self.telemetry
+        if tel is not None:
+            tel.count("faults.injected")
+            tel.count(f"faults.injected.{point}")
+        if spec.kind == "error":
+            name = str(spec.params.get("exception", "InjectedFault"))
+            message = str(
+                spec.params.get(
+                    "message",
+                    f"injected {name} at {point} (occurrence {occurrence})",
+                )
+            )
+            raise _exception_class(name)(
+                message, point=point, kind="error", occurrence=occurrence
+            )
+        return FaultAction(spec=spec, occurrence=occurrence)
+
+
+#: The armed injector, or None (the production state).
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def current_injector() -> Optional[FaultInjector]:
+    """The armed :class:`FaultInjector`, if any."""
+    return _ACTIVE
+
+
+def fault_point(name: str) -> Optional[FaultAction]:
+    """Mark an injection point; zero-cost unless an injector is armed.
+
+    Returns ``None`` (nothing scheduled here), returns a
+    :class:`FaultAction` (payload fault for the site to apply), or
+    raises an :class:`InjectedFault` subclass (scheduled ``error``).
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    return injector._hit(name)

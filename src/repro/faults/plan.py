@@ -1,0 +1,255 @@
+"""Declarative fault plans: which injection point fails, when, and how.
+
+A :class:`FaultPlan` is a seeded, ordered schedule of
+:class:`FaultSpec` entries.  Each spec names an injection point (a
+dotted string like ``"engine.chunk"``), the 1-based *occurrence* of
+that point at which to fire, a fault *kind*, and kind-specific
+parameters.  Because the schedule is data — not monkeypatching — the
+same plan replayed against the same workload reproduces the identical
+injection sequence, which is what lets the soak harness assert
+"re-running this seed injects exactly these faults again".
+
+Plans serialize to JSON (``flashmark.fault-plan/v1``) so a failing
+chaos run can ship its schedule in the run manifest and a developer can
+replay it from a file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FAULT_PLAN_SCHEMA",
+    "FAULT_KINDS",
+    "POINT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "sample_plan",
+]
+
+FAULT_PLAN_SCHEMA = "flashmark.fault-plan/v1"
+
+#: Every fault kind an injection point may be asked to perform.
+#:
+#: * ``error``     — raise a typed exception (``exception`` / ``message``
+#:   params pick the class; defaults to :class:`InjectedFault`);
+#: * ``hang``      — sleep ``seconds`` (default 0.05) before continuing,
+#:   simulating a wedged worker or a slow-writing client;
+#: * ``truncate``  — cut a byte payload to ``keep_fraction`` (default
+#:   0.5) of its length;
+#: * ``corrupt``   — XOR ``n_bytes`` (default 8) of a byte payload at a
+#:   deterministic offset;
+#: * ``garbage``   — replace a byte payload with non-JSON garbage;
+#: * ``oversize``  — replace a byte payload with one larger than the
+#:   wire frame cap (``size`` param, default cap + 1);
+#: * ``drop``      — signal the call site to sever its connection.
+FAULT_KINDS: Tuple[str, ...] = (
+    "error",
+    "hang",
+    "truncate",
+    "corrupt",
+    "garbage",
+    "oversize",
+    "drop",
+)
+
+#: The kinds each *known* injection point can actually apply.  A site
+#: only honours the kinds its code consumes (a byte-payload fault at a
+#: site with no payload would inject silently and break the "every
+#: fault surfaces" invariant), so :class:`FaultSpec` rejects
+#: unsupported combinations up front and :func:`sample_plan` never
+#: draws them.  Points not listed here (e.g. test-local ones) accept
+#: any kind.  This table is also the canonical registry of armed
+#: points — ``repro.faults.INJECTION_POINTS`` is derived from it.
+POINT_KINDS: Dict[str, Tuple[str, ...]] = {
+    "device.chip_to_bytes": (
+        "error", "truncate", "corrupt", "garbage", "oversize",
+    ),
+    "device.chip_from_bytes": (
+        "error", "truncate", "corrupt", "garbage", "oversize",
+    ),
+    "device.save_chip": (
+        "error", "truncate", "corrupt", "garbage", "oversize",
+    ),
+    "engine.preflight": ("error",),
+    "engine.chunk": ("error",),
+    "engine.job": ("error", "hang"),
+    "service.read": (
+        "error", "drop", "truncate", "corrupt", "garbage", "oversize",
+    ),
+    "service.write": ("error", "hang", "drop"),
+    "service.registry": ("error",),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` at occurrence ``at`` of ``point``."""
+
+    #: Dotted injection-point name, e.g. ``"device.chip_from_bytes"``.
+    point: str
+    #: Fault kind (one of :data:`FAULT_KINDS`).
+    kind: str
+    #: 1-based occurrence of the point at which to fire.
+    at: int = 1
+    #: Kind-specific parameters (exception name, sleep seconds, ...).
+    params: Dict[str, Union[str, int, float]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.point:
+            raise ValueError("fault point name must be non-empty")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.at < 1:
+            raise ValueError("occurrence 'at' is 1-based and must be >= 1")
+        supported = POINT_KINDS.get(self.point)
+        if supported is not None and self.kind not in supported:
+            raise ValueError(
+                f"point {self.point!r} does not apply kind "
+                f"{self.kind!r}; supported kinds: {supported}"
+            )
+
+    def to_dict(self) -> dict:
+        d = {"point": self.point, "kind": self.kind, "at": self.at}
+        if self.params:
+            d["params"] = dict(self.params)
+        return d
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSpec":
+        return cls(
+            point=raw["point"],
+            kind=raw["kind"],
+            at=int(raw.get("at", 1)),
+            params=dict(raw.get("params") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seeded schedule of faults.
+
+    ``seed`` documents how the plan was drawn (``None`` for hand-written
+    plans); it does not affect matching — the specs themselves are the
+    schedule.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def points(self) -> List[str]:
+        """Distinct injection points the plan touches, in spec order."""
+        seen: List[str] = []
+        for spec in self.specs:
+            if spec.point not in seen:
+                seen.append(spec.point)
+        return seen
+
+    def for_point(self, point: str) -> Dict[int, FaultSpec]:
+        """``occurrence -> spec`` lookup for one injection point.
+
+        A later spec for the same ``(point, at)`` pair wins, matching
+        "last declaration overrides" config semantics.
+        """
+        return {s.at: s for s in self.specs if s.point == point}
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FAULT_PLAN_SCHEMA,
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        schema = raw.get("schema", FAULT_PLAN_SCHEMA)
+        if schema != FAULT_PLAN_SCHEMA:
+            raise ValueError(
+                f"fault plan schema {schema!r} is not {FAULT_PLAN_SCHEMA!r}"
+            )
+        return cls(
+            specs=tuple(
+                FaultSpec.from_dict(s) for s in raw.get("specs", ())
+            ),
+            seed=raw.get("seed"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(blob))
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def sample_plan(
+    seed: int,
+    points: Sequence[str],
+    *,
+    n_faults: int = 8,
+    kinds: Optional[Iterable[str]] = None,
+    max_occurrence: int = 4,
+) -> FaultPlan:
+    """Draw a random-but-reproducible plan over ``points``.
+
+    The same ``(seed, points, n_faults, kinds, max_occurrence)`` always
+    yields byte-identical specs — the chaos soak leans on this to rerun
+    a failing schedule from nothing but its seed.
+    """
+    if n_faults < 1:
+        raise ValueError("n_faults must be >= 1")
+    if not points:
+        raise ValueError("sample_plan needs at least one injection point")
+    pool = tuple(kinds) if kinds is not None else FAULT_KINDS
+    for kind in pool:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    # Per point, only draw kinds the site actually applies.
+    per_point = {
+        p: tuple(k for k in pool if k in POINT_KINDS.get(p, FAULT_KINDS))
+        for p in points
+    }
+    eligible = tuple(p for p in points if per_point[p])
+    if not eligible:
+        raise ValueError(
+            "no injection point supports any of the requested kinds"
+        )
+    rng = np.random.default_rng(seed)
+    specs = []
+    for _ in range(n_faults):
+        point = eligible[int(rng.integers(len(eligible)))]
+        kind_pool = per_point[point]
+        specs.append(
+            FaultSpec(
+                point=point,
+                kind=kind_pool[int(rng.integers(len(kind_pool)))],
+                at=int(rng.integers(1, max_occurrence + 1)),
+            )
+        )
+    return FaultPlan(specs=tuple(specs), seed=seed)

@@ -41,6 +41,8 @@ from .client import (
 from .protocol import (
     MAX_FRAME_BYTES,
     WIRE_SCHEMA,
+    FrameReader,
+    FrameTooLarge,
     ProtocolError,
     decode_frame,
     encode_frame,
@@ -61,6 +63,8 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "RegistryError",
     "ProtocolError",
+    "FrameReader",
+    "FrameTooLarge",
     "ServiceError",
     "FamilyRecord",
     "VerificationRecord",

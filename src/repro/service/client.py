@@ -48,6 +48,7 @@ class VerificationClient:
     def __init__(self, reader, writer):
         self._reader = reader
         self._writer = writer
+        self._frames = protocol.FrameReader(reader)
 
     @classmethod
     async def connect(
@@ -72,10 +73,19 @@ class VerificationClient:
         await self.close()
 
     async def request(self, req: dict) -> dict:
-        """Send one frame and await its response frame."""
-        self._writer.write(protocol.encode_frame(req))
+        """Send one frame and await its response frame.
+
+        A request past :data:`~repro.service.protocol.MAX_FRAME_BYTES`
+        raises :class:`~repro.service.protocol.FrameTooLarge` *before*
+        any bytes hit the wire — the server would reject it anyway, so
+        failing locally saves shipping megabytes to earn a ``400``.
+        """
+        frame = protocol.encode_frame(req)
+        if len(frame) > protocol.MAX_FRAME_BYTES:
+            raise protocol.FrameTooLarge(len(frame))
+        self._writer.write(frame)
         await self._writer.drain()
-        line = await self._reader.readline()
+        line = await self._frames.read_frame()
         if not line:
             raise ConnectionError("server closed the connection")
         return protocol.decode_frame(line)

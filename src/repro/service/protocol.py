@@ -42,6 +42,8 @@ __all__ = [
     "TOO_MANY_REQUESTS",
     "INTERNAL_ERROR",
     "ProtocolError",
+    "FrameTooLarge",
+    "FrameReader",
     "encode_frame",
     "decode_frame",
     "verify_request",
@@ -67,6 +69,81 @@ INTERNAL_ERROR = 500
 
 class ProtocolError(ValueError):
     """A frame violates the wire schema."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame exceeded :data:`MAX_FRAME_BYTES` on the read path."""
+
+    def __init__(self, n_bytes: int, max_bytes: int = MAX_FRAME_BYTES):
+        super().__init__(
+            f"frame of >= {n_bytes} bytes exceeds the "
+            f"{max_bytes}-byte cap"
+        )
+        self.n_bytes = n_bytes
+        self.max_bytes = max_bytes
+
+
+class FrameReader:
+    """Read newline-delimited frames with the size cap enforced *while*
+    reading, not after.
+
+    ``asyncio.StreamReader.readline`` only fails once its internal
+    buffer limit overflows, surfacing as a bare ``ValueError`` /
+    ``LimitOverrunError`` and leaving the stream unusable — an
+    oversized frame used to kill the connection instead of producing a
+    ``400``.  This wrapper buffers at most ``max_bytes`` plus one read
+    chunk, raises a typed :class:`FrameTooLarge` as soon as the cap is
+    crossed, and *drains* the offending frame through its terminating
+    newline so the connection stays framed and can answer the next
+    request normally.
+    """
+
+    _CHUNK = 65536
+
+    def __init__(self, reader, *, max_bytes: int = MAX_FRAME_BYTES):
+        self._reader = reader
+        self._buf = bytearray()
+        self.max_bytes = max_bytes
+
+    async def read_frame(self) -> bytes:
+        """The next frame (including its newline), or ``b""`` at EOF.
+
+        Raises :class:`FrameTooLarge` for a frame past the cap; the
+        oversized bytes are consumed, so the caller may keep reading.
+        """
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                line = bytes(self._buf[: nl + 1])
+                del self._buf[: nl + 1]
+                if len(line) > self.max_bytes:
+                    raise FrameTooLarge(len(line), self.max_bytes)
+                return line
+            if len(self._buf) > self.max_bytes:
+                dropped = await self._drain_oversized()
+                raise FrameTooLarge(dropped, self.max_bytes)
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                # EOF: hand back any unterminated tail once.
+                tail = bytes(self._buf)
+                self._buf.clear()
+                return tail
+            self._buf += chunk
+
+    async def _drain_oversized(self) -> int:
+        """Discard up to and including the frame's newline; keep any
+        bytes after it (they begin the next frame)."""
+        dropped = len(self._buf)
+        self._buf.clear()
+        while True:
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                return dropped
+            nl = chunk.find(b"\n")
+            if nl >= 0:
+                self._buf += chunk[nl + 1 :]
+                return dropped + nl + 1
+            dropped += len(chunk)
 
 
 def encode_frame(obj: dict) -> bytes:

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Union
 from ..core.calibration import FamilyCalibration
 from ..core.verifier import WatermarkFormat
 from ..engine.cache import calibration_from_dict, calibration_to_dict
+from ..faults import fault_point
 
 __all__ = [
     "REGISTRY_SCHEMA",
@@ -303,7 +304,16 @@ class WatermarkRegistry:
         reason: Optional[str] = None,
         client: Optional[str] = None,
     ) -> int:
-        """Append one verification outcome; returns its sequence number."""
+        """Append one verification outcome; returns its sequence number.
+
+        May raise ``sqlite3.OperationalError`` (e.g. ``database is
+        locked``) under concurrent writers; the verification server
+        retries with backoff and degrades to unrecorded history rather
+        than failing the verdict.
+        """
+        # Injection point: a scheduled sqlite3.OperationalError here
+        # reproduces a locked registry deterministically.
+        fault_point("service.registry")
         die = (
             f"0x{die_id:012X}" if isinstance(die_id, int) else str(die_id)
         )

@@ -34,12 +34,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import sqlite3
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.signature import SignatureScheme
 from ..core.verifier import WatermarkVerifier
 from ..engine import verify_population
+from ..faults import InjectedFault, fault_point
 from ..telemetry import Telemetry, build_manifest
 from . import protocol
 from .registry import RegistryError, WatermarkRegistry
@@ -262,36 +264,46 @@ class VerificationServer:
 
     # -- connection handling ----------------------------------------------
 
+    async def _read_frame(self, frames, writer, write_lock) -> bytes:
+        """One guarded frame read: the size cap is enforced while
+        reading, and an oversized frame answers ``400`` instead of
+        killing the connection (the reader drains it, so framing
+        survives).  Returns ``b"\\n"`` after a rejected frame so the
+        caller's loop keeps serving."""
+        try:
+            return await frames.read_frame()
+        except protocol.FrameTooLarge as exc:
+            self.telemetry.count("service.rejected.oversized")
+            await self._write_frame(
+                writer,
+                write_lock,
+                protocol.error_response(
+                    None, protocol.BAD_REQUEST, str(exc)
+                ),
+            )
+            return b"\n"
+
     async def _handle_stream(self, reader, writer) -> None:
         self._open_connections += 1
         self.telemetry.count("service.connections")
         write_lock = asyncio.Lock()
         tasks: set = set()
+        frames = protocol.FrameReader(reader)
         try:
-            first = await reader.readline()
+            first = await self._read_frame(frames, writer, write_lock)
             if first.split(b" ", 1)[0] in (b"GET", b"HEAD"):
-                await self._handle_http(first, reader, writer)
+                await self._handle_http(first, frames, writer)
                 return
             line = first
             while line:
                 stripped = line.strip()
                 if stripped:
-                    await self._dispatch_line(
+                    dropped = await self._dispatch_line(
                         stripped, writer, write_lock, tasks
                     )
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    await self._write_frame(
-                        writer,
-                        write_lock,
-                        protocol.error_response(
-                            None,
-                            protocol.BAD_REQUEST,
-                            "frame too large",
-                        ),
-                    )
-                    break
+                    if dropped:
+                        break
+                line = await self._read_frame(frames, writer, write_lock)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
         except (ConnectionResetError, BrokenPipeError):
@@ -306,10 +318,28 @@ class VerificationServer:
 
     async def _dispatch_line(
         self, line: bytes, writer, write_lock, tasks: set
-    ) -> None:
+    ) -> bool:
+        """Handle one frame; returns True when the connection must be
+        severed (injected transport fault)."""
+        try:
+            # Injection point: payload kinds hand the parser a damaged
+            # frame, "drop" severs the connection mid-stream, "error"
+            # models a transport read failure.
+            action = fault_point("service.read")
+        except InjectedFault:
+            self.telemetry.count("service.read_aborts")
+            return True
+        if action is not None:
+            if action.kind == "drop":
+                self.telemetry.count("service.read_aborts")
+                return True
+            line = action.apply_bytes(line).strip()
+            if not line:
+                return False
         try:
             req = protocol.decode_frame(line)
         except protocol.ProtocolError as exc:
+            self.telemetry.count("service.rejected.bad_request")
             await self._write_frame(
                 writer,
                 write_lock,
@@ -317,7 +347,7 @@ class VerificationServer:
                     None, protocol.BAD_REQUEST, str(exc)
                 ),
             )
-            return
+            return False
         self.telemetry.count("service.requests")
         op = req.get("op")
         request_id = req.get("id")
@@ -325,15 +355,16 @@ class VerificationServer:
             outcome = self._admit(req, writer)
             if isinstance(outcome, dict):  # rejected at admission
                 await self._write_frame(writer, write_lock, outcome)
-                return
+                return False
             task = self._loop.create_task(
                 self._finish_verify(outcome, writer, write_lock)
             )
             tasks.add(task)
             task.add_done_callback(tasks.discard)
-            return
+            return False
         response = self._handle_query(op, request_id, req)
         await self._write_frame(writer, write_lock, response)
+        return False
 
     def _handle_query(self, op, request_id, req: dict) -> dict:
         """Synchronous (non-verify) operations."""
@@ -483,9 +514,24 @@ class VerificationServer:
         )
         await self._write_frame(writer, write_lock, response)
 
-    @staticmethod
-    async def _write_frame(writer, write_lock, obj: dict) -> None:
+    async def _write_frame(self, writer, write_lock, obj: dict) -> None:
         async with write_lock:
+            try:
+                # Injection point: "hang" models a slow-draining client
+                # socket, "error"/"drop" a client that vanished while a
+                # response was in flight.
+                action = fault_point("service.write")
+            except InjectedFault:
+                self.telemetry.count("service.write_aborts")
+                writer.close()
+                return
+            if action is not None:
+                if action.kind == "hang":
+                    await asyncio.sleep(action.hang_s)
+                elif action.kind == "drop":
+                    self.telemetry.count("service.write_aborts")
+                    writer.close()
+                    return
             writer.write(protocol.encode_frame(obj))
             try:
                 await writer.drain()
@@ -522,7 +568,24 @@ class VerificationServer:
             for pending in batch:
                 groups.setdefault(pending.batch_key, []).append(pending)
             for group in groups.values():
-                await self._run_group(group)
+                try:
+                    await self._run_group(group)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    # The batcher must never die: an escaped exception
+                    # here would orphan every future request on the
+                    # queue.  Fail this group and keep draining.
+                    self.telemetry.count("service.errors", len(group))
+                    for pending in group:
+                        if not pending.future.done():
+                            pending.future.set_result(
+                                protocol.error_response(
+                                    pending.request_id,
+                                    protocol.INTERNAL_ERROR,
+                                    f"verification failed: {exc}",
+                                )
+                            )
 
     async def _run_group(self, group: List[_Pending]) -> None:
         """One engine call for a same-settings group of requests."""
@@ -625,13 +688,8 @@ class VerificationServer:
                 }
             seq = None
             if self.config.record_history:
-                seq = self.registry.record_verification(
-                    head.family,
-                    chip.die_id,
-                    report.verdict.value,
-                    ber=report.ber,
-                    reason=report.reason,
-                    client=pending.client,
+                seq = await self._record_history(
+                    head.family, chip, report, pending.client
                 )
             self.telemetry.count(
                 f"service.verdict.{report.verdict.value}"
@@ -652,12 +710,43 @@ class VerificationServer:
                 )
             )
 
+    async def _record_history(
+        self, family: str, chip, report, client: str
+    ) -> Optional[int]:
+        """Record one verification, riding out transient registry
+        failures (``sqlite3.OperationalError: database is locked``).
+
+        Retries with backoff, counting ``service.registry_retries``;
+        after the attempts are exhausted the verdict is still served,
+        just unrecorded (``history_seq: null``) — a degraded registry
+        must never fail a verification the engine already completed.
+        """
+        delay = 0.005
+        for attempt in range(3):
+            try:
+                return self.registry.record_verification(
+                    family,
+                    chip.die_id,
+                    report.verdict.value,
+                    ber=report.ber,
+                    reason=report.reason,
+                    client=client,
+                )
+            except sqlite3.OperationalError:
+                if attempt == 2:
+                    break
+                self.telemetry.count("service.registry_retries")
+                await asyncio.sleep(delay)
+                delay *= 4
+        self.telemetry.count("service.errors.registry")
+        return None
+
     # -- HTTP sidecar -----------------------------------------------------
 
-    async def _handle_http(self, first_line, reader, writer) -> None:
+    async def _handle_http(self, first_line, frames, writer) -> None:
         try:
             while True:  # drain headers
-                header = await reader.readline()
+                header = await frames.read_frame()
                 if header in (b"\r\n", b"\n", b""):
                     break
             parts = first_line.decode("latin-1").split()

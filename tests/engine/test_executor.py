@@ -152,3 +152,72 @@ class TestPool:
         assert hasattr(result, "failures")
         assert hasattr(result, "manifest")
         assert result.wall_s >= 0.0
+
+
+def _return_none(x):
+    return None
+
+
+def _none_unless_odd(x):
+    if x % 2:
+        raise ValueError(f"odd job {x}")
+    return None
+
+
+class TestNoneResults:
+    """Regression: a job legitimately returning ``None`` must not be
+    mistaken for a failed job (they used to alias in ``successes``)."""
+
+    def test_none_results_are_successes(self):
+        result = BatchExecutor(1).map(_return_none, [1, 2, 3])
+        assert result.ok
+        assert result.results == [None, None, None]
+        assert result.successes() == [None, None, None]
+        assert result.failure_indices() == set()
+
+    def test_none_successes_distinct_from_failures(self):
+        result = BatchExecutor(1, retries=0).map(
+            _none_unless_odd, [0, 1, 2]
+        )
+        assert result.results == [None, None, None]
+        assert result.failure_indices() == {1}
+        # Only the real failure is dropped; the legitimate Nones stay.
+        assert result.successes() == [None, None]
+
+    @pytest.mark.skipif(WORKERS < 2, reason="needs a real pool")
+    def test_none_results_survive_the_pool(self):
+        result = BatchExecutor(WORKERS).map(_return_none, list(range(8)))
+        assert result.ok
+        assert result.successes() == [None] * 8
+
+
+class TestHungPool:
+    """Regression: a wedged pool used to pay ``timeout_s`` per remaining
+    chunk; once hung, the rest must drain inline immediately."""
+
+    @pytest.mark.skipif(WORKERS < 2, reason="needs a real pool")
+    def test_hung_pool_wall_time_is_bounded(self):
+        tel = Telemetry()
+        n_jobs = 8
+        t0 = time.perf_counter()
+        result = BatchExecutor(
+            WORKERS, timeout_s=1.0, retries=0, chunk_size=1
+        ).map(_sleep_in_worker, list(range(n_jobs)), telemetry=tel)
+        wall = time.perf_counter() - t0
+        # One timeout window, not one per chunk.
+        assert wall < 0.5 * n_jobs * 1.0
+        assert not result.ok
+        counters = tel.registry.snapshot()["counters"]
+        assert counters["engine.timeouts"] >= 1
+        assert counters["engine.hung_skips"] >= 1
+
+    @pytest.mark.skipif(WORKERS < 2, reason="needs a real pool")
+    def test_hung_pool_still_recovers_results_inline(self):
+        # With a retry budget the drained jobs re-run in the parent
+        # (where _sleep_in_worker returns immediately), so the batch
+        # still completes.
+        result = BatchExecutor(
+            WORKERS, timeout_s=1.0, retries=1, chunk_size=1
+        ).map(_sleep_in_worker, list(range(6)))
+        assert result.results == [x + 1 for x in range(6)]
+        assert result.ok

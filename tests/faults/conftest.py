@@ -1,0 +1,24 @@
+"""Shared fixtures for the fault-injection tests.
+
+``traffic_spec`` and ``family_calibration`` come from the top-level
+conftest (session scoped — the calibration sweep runs once).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import WatermarkRegistry
+
+FAMILY = "msp430-test"
+
+
+@pytest.fixture
+def registry(tmp_path, family_calibration, traffic_spec):
+    """A fresh on-disk registry with the test family published."""
+    reg = WatermarkRegistry(tmp_path / "registry.db")
+    reg.publish_family(
+        FAMILY, family_calibration, traffic_spec.population.format
+    )
+    yield reg
+    reg.close()

@@ -1,0 +1,250 @@
+"""FaultInjector: arming, occurrence counting, hybrid exceptions, and
+the device / engine layers actually honouring their injection points."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import sqlite3
+from concurrent.futures import BrokenExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.device import ChipPersistenceError, make_mcu
+from repro.device.persistence import (
+    chip_from_bytes,
+    chip_to_bytes,
+    load_chip,
+    save_chip,
+)
+from repro.engine import BatchExecutor
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    all_points,
+    current_injector,
+    fault_point,
+)
+from repro.telemetry import Telemetry
+
+
+def _plan(*specs) -> FaultPlan:
+    return FaultPlan(specs=tuple(specs))
+
+
+class TestDisarmed:
+    def test_fault_point_is_inert(self):
+        assert current_injector() is None
+        assert fault_point("engine.job") is None
+
+
+class TestArming:
+    def test_occurrence_counting_and_sequence(self):
+        plan = _plan(FaultSpec("p.x", "error", at=2))
+        with FaultInjector(plan, telemetry=Telemetry()) as chaos:
+            assert fault_point("p.x") is None  # occurrence 1
+            with pytest.raises(InjectedFault) as err:
+                fault_point("p.x")  # occurrence 2 fires
+            assert fault_point("p.x") is None  # occurrence 3
+            assert chaos.hits("p.x") == 3
+        assert err.value.point == "p.x"
+        assert err.value.occurrence == 2
+        assert chaos.sequence() == [("p.x", "error", 2)]
+        assert chaos.injected_counts() == {"p.x": 1}
+        assert current_injector() is None
+
+    @pytest.mark.parametrize(
+        "name,base",
+        [
+            ("OSError", OSError),
+            ("ValueError", ValueError),
+            ("ConnectionResetError", ConnectionResetError),
+            ("BrokenExecutor", BrokenExecutor),
+            ("PicklingError", pickle.PicklingError),
+            ("sqlite3.OperationalError", sqlite3.OperationalError),
+        ],
+    )
+    def test_hybrid_exception_masquerades(self, name, base):
+        plan = _plan(
+            FaultSpec("p", "error", params={"exception": name})
+        )
+        with FaultInjector(plan, telemetry=Telemetry()):
+            with pytest.raises(base) as err:
+                fault_point("p")
+        # Real except-clauses catch it; the harness can still tell.
+        assert isinstance(err.value, InjectedFault)
+
+    def test_unknown_exception_name_rejected(self):
+        plan = _plan(
+            FaultSpec("p", "error", params={"exception": "Nope"})
+        )
+        with FaultInjector(plan, telemetry=Telemetry()):
+            with pytest.raises(ValueError, match="unknown exception"):
+                fault_point("p")
+
+    def test_firings_counted_in_telemetry(self):
+        tel = Telemetry()
+        plan = _plan(FaultSpec("p", "drop", at=1))
+        with FaultInjector(plan, telemetry=tel):
+            action = fault_point("p")
+        assert action.kind == "drop"
+        counters = tel.registry.snapshot()["counters"]
+        assert counters["faults.injected"] == 1
+        assert counters["faults.injected.p"] == 1
+
+    def test_forked_worker_stays_disarmed(self):
+        plan = _plan(FaultSpec("p", "error", at=1))
+        with FaultInjector(plan, telemetry=Telemetry()) as chaos:
+            chaos._pid = os.getpid() + 1  # pose as a forked child
+            assert fault_point("p") is None
+            assert chaos.hits("p") == 0
+
+    def test_nesting_restores_previous_injector(self):
+        outer = FaultInjector(_plan(), telemetry=Telemetry())
+        inner = FaultInjector(_plan(), telemetry=Telemetry())
+        with outer:
+            with inner:
+                assert current_injector() is inner
+            assert current_injector() is outer
+        assert current_injector() is None
+
+    def test_same_plan_same_sequence(self):
+        def one_run():
+            plan = _plan(
+                FaultSpec("a", "error", at=2),
+                FaultSpec("b", "drop", at=1),
+            )
+            with FaultInjector(plan, telemetry=Telemetry()) as chaos:
+                for _ in range(3):
+                    try:
+                        fault_point("a")
+                    except InjectedFault:
+                        pass
+                    fault_point("b")
+            return chaos.sequence()
+
+        assert one_run() == one_run()
+
+
+class TestFaultAction:
+    def _action(self, kind, **params):
+        plan = _plan(FaultSpec("p", kind, params=params))
+        with FaultInjector(plan, telemetry=Telemetry()):
+            return fault_point("p")
+
+    def test_truncate_keeps_fraction(self):
+        data = bytes(range(100))
+        assert self._action("truncate").apply_bytes(data) == data[:50]
+        short = self._action("truncate", keep_fraction=0.1)
+        assert short.apply_bytes(data) == data[:10]
+
+    def test_corrupt_flips_bytes_at_offset(self):
+        data = bytes(100)
+        out = self._action("corrupt", offset=0, n_bytes=4).apply_bytes(data)
+        assert len(out) == 100
+        assert out[:4] == bytes([0xA5] * 4)
+        assert out[4:] == data[4:]
+
+    def test_garbage_is_not_json(self):
+        out = self._action("garbage").apply_bytes(b'{"op":"ping"}')
+        with pytest.raises(UnicodeDecodeError):
+            out.decode("utf-8")
+
+    def test_oversize_exceeds_wire_cap(self):
+        from repro.service.protocol import MAX_FRAME_BYTES
+
+        out = self._action("oversize").apply_bytes(b"x")
+        assert len(out) > MAX_FRAME_BYTES
+        small = self._action("oversize", size=32).apply_bytes(b"x")
+        assert len(small) == 32
+
+    def test_hang_reads_seconds_param(self):
+        assert self._action("hang").hang_s == pytest.approx(0.05)
+        assert self._action("hang", seconds=0.2).hang_s == pytest.approx(0.2)
+
+    def test_drop_leaves_payload_alone(self):
+        assert self._action("drop").apply_bytes(b"abc") == b"abc"
+
+
+class TestPointRegistryHonest:
+    def test_every_armed_point_is_listed(self):
+        """INJECTION_POINTS must track what the source actually arms."""
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        armed = set()
+        for path in src.rglob("*.py"):
+            armed.update(
+                re.findall(
+                    r"fault_point\(\s*\"([^\"]+)\"",
+                    path.read_text(encoding="utf-8"),
+                )
+            )
+        assert armed == set(all_points())
+
+
+class TestDeviceLayer:
+    def test_truncated_save_is_a_typed_load_failure(self, tmp_path):
+        chip = make_mcu(seed=1, n_segments=1)
+        path = tmp_path / "chip.npz"
+        plan = _plan(FaultSpec("device.save_chip", "truncate"))
+        with FaultInjector(plan, telemetry=Telemetry()):
+            save_chip(chip, path)
+        with pytest.raises(ChipPersistenceError):
+            load_chip(path)
+
+    def test_corrupt_blob_is_a_typed_decode_failure(self):
+        chip = make_mcu(seed=2, n_segments=1)
+        blob = chip_to_bytes(chip)
+        plan = _plan(
+            FaultSpec(
+                "device.chip_from_bytes", "corrupt", params={"offset": 0}
+            )
+        )
+        with FaultInjector(plan, telemetry=Telemetry()):
+            with pytest.raises(ChipPersistenceError):
+                chip_from_bytes(blob)
+        # The fault was one-shot: the clean blob still decodes.
+        assert chip_from_bytes(blob).die_id == chip.die_id
+
+    def test_truncated_serialization_fails_roundtrip(self):
+        chip = make_mcu(seed=3, n_segments=1)
+        plan = _plan(FaultSpec("device.chip_to_bytes", "truncate"))
+        with FaultInjector(plan, telemetry=Telemetry()):
+            data = chip_to_bytes(chip)
+        with pytest.raises(ChipPersistenceError):
+            chip_from_bytes(data)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestEngineLayer:
+    def test_injected_job_error_is_retried(self):
+        tel = Telemetry()
+        plan = _plan(FaultSpec("engine.job", "error", at=2))
+        with FaultInjector(plan, telemetry=tel):
+            result = BatchExecutor(1, retries=1).map(
+                _double, [1, 2, 3], telemetry=tel
+            )
+        assert result.ok
+        assert result.results == [2, 4, 6]
+        counters = tel.registry.snapshot()["counters"]
+        assert counters["engine.retries"] == 1
+        assert counters["faults.injected.engine.job"] == 1
+
+    def test_injected_errors_exhaust_retries_into_failure(self):
+        plan = _plan(
+            FaultSpec("engine.job", "error", at=1),
+            FaultSpec("engine.job", "error", at=2),
+        )
+        with FaultInjector(plan, telemetry=Telemetry()):
+            result = BatchExecutor(1, retries=1).map(_double, [5])
+        assert not result.ok
+        assert result.results == [None]
+        assert result.failure_indices() == {0}
+        (failure,) = result.failures
+        assert "injected" in failure.error

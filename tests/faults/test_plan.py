@@ -1,0 +1,138 @@
+"""FaultPlan / FaultSpec: validation, serialization, seeded sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_PLAN_SCHEMA,
+    POINT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    all_points,
+    sample_plan,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("engine.job", "explode")
+
+    def test_empty_point_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultSpec("", "error")
+
+    def test_zero_occurrence_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("engine.job", "error", at=0)
+
+    def test_every_documented_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec("p", kind).kind == kind
+
+    def test_unsupported_kind_at_known_point_rejected(self):
+        # A byte-payload fault at a site with no payload would inject
+        # silently; the capability table refuses it up front.
+        with pytest.raises(ValueError, match="does not apply"):
+            FaultSpec("engine.job", "corrupt")
+        with pytest.raises(ValueError, match="does not apply"):
+            FaultSpec("service.registry", "hang")
+        with pytest.raises(ValueError, match="does not apply"):
+            FaultSpec("service.write", "garbage")
+
+    def test_unknown_point_accepts_any_kind(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec("custom.site", kind).kind == kind
+
+    def test_capability_table_covers_every_point(self):
+        assert set(POINT_KINDS) == set(all_points())
+        for point, kinds in POINT_KINDS.items():
+            assert kinds, point
+            assert set(kinds) <= set(FAULT_KINDS)
+            # Every site can at least raise.
+            assert "error" in kinds
+
+
+class TestPlan:
+    def test_points_in_spec_order_without_duplicates(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("b", "drop"),
+                FaultSpec("a", "error"),
+                FaultSpec("b", "hang", at=2),
+            ]
+        )
+        assert plan.points() == ["b", "a"]
+        assert len(plan) == 3
+
+    def test_for_point_last_declaration_wins(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("p", "error", at=1),
+                FaultSpec("p", "drop", at=1),
+                FaultSpec("p", "hang", at=3),
+            ]
+        )
+        schedule = plan.for_point("p")
+        assert schedule[1].kind == "drop"
+        assert schedule[3].kind == "hang"
+        assert plan.for_point("other") == {}
+
+    def test_dict_roundtrip(self):
+        plan = FaultPlan(
+            [FaultSpec("p", "corrupt", at=2, params={"n_bytes": 4})],
+            seed=9,
+        )
+        raw = plan.to_dict()
+        assert raw["schema"] == FAULT_PLAN_SCHEMA
+        assert FaultPlan.from_dict(raw) == plan
+
+    def test_json_roundtrip(self):
+        plan = sample_plan(3, all_points())
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_file_roundtrip(self, tmp_path):
+        plan = sample_plan(4, all_points(), n_faults=5)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            FaultPlan.from_dict({"schema": "flashmark.fault-plan/v0"})
+
+
+class TestSamplePlan:
+    def test_same_seed_same_plan(self):
+        a = sample_plan(7, all_points())
+        b = sample_plan(7, all_points())
+        assert a == b
+
+    def test_different_seed_differs(self):
+        assert sample_plan(1, all_points()) != sample_plan(2, all_points())
+
+    def test_respects_kind_subset(self):
+        plan = sample_plan(0, all_points(), kinds=("error", "drop"))
+        assert {s.kind for s in plan} <= {"error", "drop"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            sample_plan(0, all_points(), kinds=("explode",))
+
+    def test_needs_points_and_faults(self):
+        with pytest.raises(ValueError, match="n_faults"):
+            sample_plan(0, all_points(), n_faults=0)
+        with pytest.raises(ValueError, match="injection point"):
+            sample_plan(0, [])
+
+    def test_only_draws_supported_combinations(self):
+        for seed in range(6):
+            for spec in sample_plan(seed, all_points(), n_faults=16):
+                assert spec.kind in POINT_KINDS[spec.point]
+
+    def test_no_point_supports_requested_kinds(self):
+        # "hang" is only applied by engine.job / service.write.
+        with pytest.raises(ValueError, match="supports"):
+            sample_plan(0, ["service.registry"], kinds=("hang",))

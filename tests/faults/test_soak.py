@@ -1,0 +1,177 @@
+"""The chaos soak: replaying seeded fault plans against the live stack.
+
+These are the subsystem's acceptance tests: one seeded plan injecting at
+least one fault of every supported kind across device, engine and
+service, finishing with no invariant violations, and reproducing the
+identical injection sequence and counters when rerun with the same
+seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    all_points,
+    sample_plan,
+)
+from repro.faults.soak import coverage_plan, run_chaos_soak
+from repro.telemetry import Telemetry
+from repro.workloads.traffic import TrafficGenerator
+from tests.faults.conftest import FAMILY
+
+
+def _soak(registry, traffic_spec, plan, *, seed=3, n=10, tel=None):
+    traffic = TrafficGenerator(traffic_spec, seed=seed)
+    return run_chaos_soak(
+        registry,
+        FAMILY,
+        traffic.draw(n),
+        plan,
+        telemetry=tel if tel is not None else Telemetry(),
+        deadline_s=30.0,
+        request_timeout_s=10.0,
+    )
+
+
+class TestCoveragePlan:
+    def test_schedules_every_kind(self):
+        assert {s.kind for s in coverage_plan(0)} == set(FAULT_KINDS)
+
+    def test_touches_every_layer(self):
+        layers = {s.point.split(".")[0] for s in coverage_plan(0)}
+        assert layers == {"device", "engine", "service"}
+
+    def test_points_are_armed_points(self):
+        assert {s.point for s in coverage_plan(1)} <= set(all_points())
+
+    def test_seed_determines_parameters(self):
+        assert coverage_plan(4) == coverage_plan(4)
+        assert coverage_plan(4) != coverage_plan(5)
+
+
+class TestSoakInvariants:
+    def test_coverage_soak_fires_everything_and_passes(
+        self, registry, traffic_spec
+    ):
+        plan = coverage_plan(3)
+        report = _soak(registry, traffic_spec, plan)
+        assert report.passed, report.invariants()
+        # Every scheduled fault fired, covering all kinds and layers.
+        assert len(report.injected) == len(plan)
+        assert {kind for _, kind, _ in report.injected} == set(FAULT_KINDS)
+        layers = {point.split(".")[0] for point, _, _ in report.injected}
+        assert layers == {"device", "engine", "service"}
+        # Each fault surfaced exactly where the plan says it should:
+        # three damaged payloads -> 400s, the oversize -> local reject,
+        # the drop -> one reconnect, the two errors -> counted retries.
+        assert report.errors == {400: 3}
+        assert report.local_rejects == 1
+        assert report.reconnects == 1
+        assert report.retry_evidence() == 2
+        assert report.request_timeouts == 0
+
+    def test_same_seed_reproduces_sequence_and_counters(
+        self, registry, traffic_spec
+    ):
+        a = _soak(registry, traffic_spec, coverage_plan(9), seed=9)
+        b = _soak(registry, traffic_spec, coverage_plan(9), seed=9)
+        assert a.injected == b.injected
+        fa = {k: v for k, v in a.counters.items() if k.startswith("faults.")}
+        fb = {k: v for k, v in b.counters.items() if k.startswith("faults.")}
+        assert fa == fb
+        assert a.errors == b.errors
+        assert a.verdicts == b.verdicts
+        assert a.local_rejects == b.local_rejects
+        assert a.reconnects == b.reconnects
+
+    def test_uninjected_requests_keep_their_verdicts(
+        self, registry, traffic_spec
+    ):
+        """Faults must stay confined: dies the plan never touched verify
+        exactly as in a fault-free run."""
+        traffic = TrafficGenerator(traffic_spec, seed=21)
+        items = traffic.draw(6)
+        baseline = run_chaos_soak(
+            registry,
+            FAMILY,
+            items,
+            FaultPlan(),  # nothing armed
+            telemetry=Telemetry(),
+            deadline_s=30.0,
+        )
+        assert baseline.injected == []
+        assert baseline.completed == 6
+
+        faulted = _soak(
+            registry,
+            traffic_spec,
+            FaultPlan([FaultSpec("service.read", "drop", at=2)]),
+            seed=21,
+            n=6,
+        )
+        assert faulted.reconnects == 1
+        assert faulted.completed == 5  # the dropped request is lost
+        for index, verdict in faulted.verdicts.items():
+            assert baseline.verdicts[index] == verdict
+
+    def test_registry_outage_degrades_to_unrecorded_history(
+        self, registry, traffic_spec
+    ):
+        """Three consecutive locked-database errors exhaust the retry
+        budget; the verdict is still served, just without a history
+        row — a degraded registry never fails a completed
+        verification."""
+        locked = {
+            "exception": "sqlite3.OperationalError",
+            "message": "database is locked",
+        }
+        plan = FaultPlan(
+            [
+                FaultSpec("service.registry", "error", at=i, params=locked)
+                for i in (1, 2, 3)
+            ]
+        )
+        report = _soak(registry, traffic_spec, plan, seed=11, n=3)
+        assert report.passed, report.invariants()
+        assert len(report.injected) == 3
+        assert report.completed == 3  # every verdict still served
+        assert report.counters.get("service.registry_retries") == 2
+        assert report.counters.get("service.errors.registry") == 1
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_sampled_plan_soak_surfaces_every_fired_fault(
+        self, registry, traffic_spec, seed
+    ):
+        """Randomly drawn plans stay within the capability table, so
+        even a fuzzed schedule never injects silently (the ``repro
+        chaos --sample`` path)."""
+        plan = sample_plan(seed, all_points(), n_faults=5)
+        report = _soak(registry, traffic_spec, plan, seed=seed)
+        assert report.passed, report.invariants()
+
+    def test_transient_lock_is_retried_and_recorded(
+        self, registry, traffic_spec
+    ):
+        """A single locked-database error is absorbed by one retry."""
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "service.registry",
+                    "error",
+                    at=1,
+                    params={"exception": "sqlite3.OperationalError"},
+                )
+            ]
+        )
+        before = registry.counts()["verifications"]
+        report = _soak(registry, traffic_spec, plan, seed=13, n=2)
+        assert report.passed
+        assert report.completed == 2
+        assert report.counters.get("service.registry_retries") == 1
+        assert "service.errors.registry" not in report.counters
+        # Both verifications still made it into history.
+        assert registry.counts()["verifications"] == before + 2

@@ -89,6 +89,70 @@ class TestCrossing:
         assert t3[0] == pytest.approx(3.0 * t1[0])
 
 
+class TestCrossingInversionProperty:
+    """crossing_time_us must invert apply_erase_transient at the read
+    reference — including the tau extremes of heavily worn (fast) and
+    pristine (slow) cells, and the degenerate already-crossed case."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        start=st.floats(min_value=3.3, max_value=6.5),
+        v_ref=st.floats(min_value=1.5, max_value=3.2),
+        tau=st.floats(min_value=1e-3, max_value=1e4),
+    )
+    def test_erasing_for_crossing_time_lands_on_reference(
+        self, start, v_ref, tau
+    ):
+        t_cross = crossing_time_us(
+            np.array([start]), v_ref, np.array([tau]), SLOPE
+        )
+        vth = apply_erase_transient(
+            np.array([start]),
+            t_cross,
+            np.array([tau]),
+            np.array([-10.0]),
+            SLOPE,
+        )
+        assert vth[0] == pytest.approx(v_ref, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        start=st.floats(min_value=0.0, max_value=3.2),
+        tau=st.floats(min_value=1e-3, max_value=1e4),
+    )
+    def test_already_crossed_cell_needs_zero_time(self, start, tau):
+        v_ref = 3.2
+        t_cross = crossing_time_us(
+            np.array([start]), v_ref, np.array([tau]), SLOPE
+        )
+        assert t_cross[0] == 0.0
+        # t = 0 is a no-op: the cell keeps its threshold voltage.
+        vth = apply_erase_transient(
+            np.array([start]),
+            t_cross,
+            np.array([tau]),
+            np.array([-10.0]),
+            SLOPE,
+        )
+        assert vth[0] == start
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_population_inversion_across_wear_spread(self, seed):
+        """A seeded population spanning seven decades of tau (worn to
+        pristine) all lands on the reference simultaneously."""
+        rng = np.random.default_rng(seed)
+        n = 256
+        start = rng.uniform(3.3, 6.5, n)
+        tau = 10.0 ** rng.uniform(-3.0, 4.0, n)
+        v_ref = 3.2
+        t_cross = crossing_time_us(start, v_ref, tau, SLOPE)
+        assert np.all(t_cross > 0)
+        vth = apply_erase_transient(
+            start, t_cross, tau, np.full(n, -10.0), SLOPE
+        )
+        np.testing.assert_allclose(vth, v_ref, atol=1e-6)
+
+
 class TestTimeToReachProperty:
     @settings(max_examples=60, deadline=None)
     @given(

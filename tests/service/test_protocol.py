@@ -1,5 +1,7 @@
 """Tests for the NDJSON wire protocol."""
 
+import asyncio
+
 import numpy as np
 import pytest
 
@@ -37,6 +39,75 @@ class TestFrames:
     def test_oversized_frame_rejected(self):
         with pytest.raises(ProtocolError, match="exceeds"):
             decode_frame(b" " * (MAX_FRAME_BYTES + 1))
+
+
+def _read_frames(data: bytes, max_bytes: int, n_reads: int) -> list:
+    """Feed ``data`` through a FrameReader; each entry is the frame
+    bytes or the :class:`~repro.service.protocol.FrameTooLarge` it
+    raised.  (StreamReader needs a running loop, so everything happens
+    inside one coroutine.)"""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = protocol.FrameReader(reader, max_bytes=max_bytes)
+        out = []
+        for _ in range(n_reads):
+            try:
+                out.append(await frames.read_frame())
+            except protocol.FrameTooLarge as exc:
+                out.append(exc)
+        return out
+
+    return asyncio.run(go())
+
+
+class TestFrameReader:
+    """The cap is enforced *while* reading, and an oversized frame is
+    drained so the connection stays framed."""
+
+    def test_reads_frames_then_eof(self):
+        assert _read_frames(b"one\ntwo\n", 64, 3) == [
+            b"one\n",
+            b"two\n",
+            b"",
+        ]
+
+    def test_unterminated_tail_returned_once(self):
+        assert _read_frames(b"one\ntail", 64, 3) == [
+            b"one\n",
+            b"tail",
+            b"",
+        ]
+
+    def test_oversized_frame_raises_typed_error(self):
+        (err,) = _read_frames(b"A" * 200 + b"\n", 64, 1)
+        assert isinstance(err, protocol.FrameTooLarge)
+        assert isinstance(err, ProtocolError)
+        assert err.n_bytes >= 64
+        assert err.max_bytes == 64
+
+    def test_next_frame_survives_an_oversized_one(self):
+        err, after, eof = _read_frames(b"A" * 200 + b"\nafter\n", 64, 3)
+        # Framing survives: the offender is consumed through its
+        # newline and the following frame reads normally.
+        assert isinstance(err, protocol.FrameTooLarge)
+        assert after == b"after\n"
+        assert eof == b""
+
+    def test_oversized_terminated_within_buffer(self):
+        # The newline is already buffered when the cap check runs.
+        err, ok = _read_frames(b"B" * 100 + b"\nok\n", 64, 2)
+        assert isinstance(err, protocol.FrameTooLarge)
+        assert ok == b"ok\n"
+
+    def test_frame_at_exact_cap_passes(self):
+        line = b"C" * 63 + b"\n"  # 64 bytes with the newline
+        assert _read_frames(line + b"next\n", 64, 2) == [
+            line,
+            b"next\n",
+        ]
 
 
 class TestVerifyRequest:

@@ -15,6 +15,7 @@ import pytest
 
 from repro.core import WatermarkVerifier
 from repro.engine import verify_population
+from repro.service import protocol
 from repro.service import (
     LoadClient,
     ServerConfig,
@@ -352,3 +353,50 @@ class TestAcceptance:
             )
             == 500
         )
+
+
+class TestOversizedFrames:
+    """The frame cap is enforced at read time: an oversized frame earns
+    a 400 response and the connection keeps serving (it used to
+    overflow the asyncio stream limit and die)."""
+
+    def test_oversized_frame_answers_400_and_survives(self, registry):
+        async def fn(server):
+            reader, writer = await asyncio.open_connection(
+                *server.address
+            )
+            writer.write(
+                b"x" * (protocol.MAX_FRAME_BYTES + 10) + b"\n"
+            )
+            await writer.drain()
+            rejection = json.loads(await reader.readline())
+            writer.write(b'{"op":"ping"}\n')
+            await writer.drain()
+            pong = json.loads(await reader.readline())
+            writer.close()
+            stats = server.stats()
+            return rejection, pong, stats
+
+        rejection, pong, stats = serve(registry, fn)
+        assert rejection["ok"] is False
+        assert rejection["error"]["code"] == 400
+        assert "cap" in rejection["error"]["reason"]
+        assert pong["result"] == {"pong": True}
+        assert stats["counters"]["service.rejected.oversized"] == 1
+
+    def test_client_rejects_oversized_request_before_send(self, registry):
+        async def fn(server):
+            async with await VerificationClient.connect(
+                *server.address
+            ) as client:
+                too_big = {
+                    "op": "verify",
+                    "family": FAMILY,
+                    "chip_b64": "A" * (protocol.MAX_FRAME_BYTES + 1),
+                }
+                with pytest.raises(protocol.FrameTooLarge):
+                    await client.request(too_big)
+                # Nothing hit the wire; the connection still works.
+                return await client.ping()
+
+        assert serve(registry, fn) == {"pong": True}
