@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Export the performance baseline (``BENCH_perf.json``).
+
+Thin wrapper over :func:`repro.bench.run_bench` so CI (and anyone
+without the package on PATH) can run the exporter directly::
+
+    PYTHONPATH=src python benchmarks/export_bench.py --quick --out BENCH_perf.json
+
+Equivalent to ``python -m repro bench``; lives here because the numbers
+it records are the machine-readable form of this benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    from repro.bench import run_bench
+
+    doc = run_bench(quick=args.quick, workers=args.workers)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"bench baseline -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

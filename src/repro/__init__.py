@@ -97,8 +97,9 @@ from .service import (
     WatermarkRegistry,
 )
 from .telemetry import Telemetry
+from .trace import TraceContext
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -140,6 +141,7 @@ __all__ = [
     "PhysicalParams",
     # observability
     "Telemetry",
+    "TraceContext",
     # verification service
     "WatermarkRegistry",
     "VerificationServer",

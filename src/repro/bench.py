@@ -1,0 +1,272 @@
+"""Performance-baseline exporter (``repro bench``).
+
+Runs the same workloads the benchmark suite exercises — simulator
+primitive microbenchmarks, the engine-scaling comparison, and a
+traced-vs-untraced verification pass — and writes one
+``flashmark.bench/v1`` JSON document.  CI uploads the file per commit,
+so a throughput regression shows up as a diffable artifact trail
+(``BENCH_perf.json``) rather than a feeling.
+
+The document is self-describing::
+
+    {"schema": "flashmark.bench/v1",
+     "created_unix_s": ..., "git_sha": "...", "quick": false,
+     "host": {"python": "3.11.7", "numpy": "1.26.1", "cpus": 8},
+     "ops": [{"name": "erase_pulse", "n": 200,
+              "p50_ms": ..., "p95_ms": ..., "mean_ms": ...,
+              "throughput_per_s": ...}, ...],
+     "engine_scaling": {"serial_s": ..., "parallel_s": ...,
+                        "workers": 4, "speedup": ...},
+     "tracing_overhead": {"untraced_s": ..., "traced_s": ...,
+                          "ratio": ...}}
+
+Op latencies are host wall-clock (the regression question), not
+device-clock — the simulated device time of these ops is fixed by the
+physics and cannot regress.
+"""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import sys
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = ["BENCH_SCHEMA", "run_bench"]
+
+BENCH_SCHEMA = "flashmark.bench/v1"
+
+SEGMENT_BITS = 4096
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _time_op(
+    name: str, fn: Callable[[], object], *, repeats: int, warmup: int = 2
+) -> dict:
+    """Latency distribution of ``fn`` over ``repeats`` runs."""
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    mean = sum(samples) / len(samples)
+    return {
+        "name": name,
+        "n": len(samples),
+        "p50_ms": 1e3 * _percentile(samples, 50),
+        "p95_ms": 1e3 * _percentile(samples, 95),
+        "mean_ms": 1e3 * mean,
+        "throughput_per_s": (1.0 / mean) if mean > 0 else float("inf"),
+    }
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _simulator_ops(quick: bool) -> List[dict]:
+    """The primitive-operation microbenchmarks of
+    ``benchmarks/test_simulator_performance.py``, as data."""
+    from .device import make_mcu
+
+    repeats = 20 if quick else 100
+    ops: List[dict] = []
+
+    chip = make_mcu(seed=1, n_segments=2)
+    ops.append(
+        _time_op(
+            "erase_pulse",
+            lambda: chip.flash.partial_erase_segment(0, 23.0),
+            repeats=repeats,
+        )
+    )
+
+    chip2 = make_mcu(seed=2, n_segments=2)
+    pattern = np.zeros(SEGMENT_BITS, dtype=np.uint8)
+    chip2.flash.erase_segment(0)
+    ops.append(
+        _time_op(
+            "program_segment",
+            lambda: chip2.flash.program_segment_bits(0, pattern),
+            repeats=repeats,
+        )
+    )
+
+    chip3 = make_mcu(seed=3, n_segments=2)
+    ops.append(
+        _time_op(
+            "majority_read_x3",
+            lambda: chip3.flash.read_segment_bits(0, n_reads=3),
+            repeats=repeats,
+        )
+    )
+
+    stripes = (np.arange(SEGMENT_BITS) % 2).astype(np.uint8)
+    n_cycles = 4_000 if quick else 40_000
+    seeds = iter(range(10, 100_000))
+
+    def bulk_imprint():
+        fresh = make_mcu(seed=next(seeds), n_segments=1)
+        fresh.flash.bulk_pe_cycles(0, stripes, n_cycles)
+
+    ops.append(
+        _time_op(
+            f"bulk_imprint_{n_cycles // 1000}k",
+            bulk_imprint,
+            repeats=max(3, repeats // 10),
+            warmup=1,
+        )
+    )
+
+    mk_seeds = iter(range(200_000, 300_000))
+    ops.append(
+        _time_op(
+            "chip_manufacture",
+            lambda: make_mcu(seed=next(mk_seeds), n_segments=1),
+            repeats=repeats,
+        )
+    )
+    return ops
+
+
+def _engine_scaling(quick: bool, workers: Optional[int]) -> dict:
+    """Serial vs parallel die-sort production (wall clock + speedup)."""
+    from .engine.executor import default_workers
+    from .workloads import ProductionLine
+
+    if workers is None:
+        workers = max(2, min(4, default_workers()))
+    n_dies = 4 if quick else 8
+    n_pe = 1_000 if quick else 4_000
+    line = ProductionLine(n_pe=n_pe)
+
+    t0 = time.perf_counter()
+    serial = line.run(n_dies, seed=9, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = line.run(n_dies, seed=9, workers=workers)
+    parallel_s = time.perf_counter() - t0
+
+    return {
+        "n_dies": n_dies,
+        "n_pe": n_pe,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "workers": parallel.workers,
+        "speedup": (serial_s / parallel_s) if parallel_s > 0 else None,
+        "deterministic": bool(
+            serial.ok
+            and parallel.ok
+            and all(
+                a.chip.die_id == b.chip.die_id
+                and a.die_sort == b.die_sort
+                for a, b in zip(serial.batch, parallel.batch)
+            )
+        ),
+    }
+
+
+def _tracing_overhead(quick: bool) -> dict:
+    """Wall cost of trace-context propagation on the engine path.
+
+    Verifies the same chips with and without per-chip trace contexts
+    (``workers=1``, telemetry enabled both times, so the only delta is
+    the context plumbing).  The ratio backs the design claim that
+    tracing is effectively free on the hot path.
+    """
+    from .core import WatermarkVerifier
+    from .device import make_mcu
+    from .engine import calibrate_family, verify_population
+    from .telemetry import Telemetry
+    from .trace import TraceContext
+    from .workloads.traffic import TrafficGenerator
+
+    gen = TrafficGenerator(seed=5)
+    pop = gen.spec.population
+    calibration = calibrate_family(
+        lambda seed: make_mcu(seed=seed, n_segments=1),
+        pop.n_pe,
+        n_replicas=pop.format.n_replicas,
+        n_chips=1,
+        seed=77,
+    ).calibration
+    verifier = WatermarkVerifier(calibration, pop.format)
+    items = [
+        it for it in gen.draw(6 if quick else 10) if it.chip is not None
+    ]
+    chips = [it.chip for it in items]
+    tps = [TraceContext.new_root().to_traceparent() for _ in chips]
+
+    def run(trace_contexts):
+        return verify_population(
+            chips,
+            verifier,
+            workers=1,
+            telemetry=Telemetry(),
+            trace_contexts=trace_contexts,
+        )
+
+    run(None)  # warmup
+    best_plain = min(
+        _timed(lambda: run(None)) for _ in range(3)
+    )
+    best_traced = min(
+        _timed(lambda: run(tps)) for _ in range(3)
+    )
+    return {
+        "n_chips": len(chips),
+        "untraced_s": best_plain,
+        "traced_s": best_traced,
+        "ratio": (best_traced / best_plain) if best_plain > 0 else None,
+    }
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def run_bench(
+    *, quick: bool = False, workers: Optional[int] = None
+) -> dict:
+    """Run every section and return the ``flashmark.bench/v1`` document."""
+    import os
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix_s": time.time(),
+        "git_sha": _git_sha(),
+        "quick": bool(quick),
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "ops": _simulator_ops(quick),
+        "engine_scaling": _engine_scaling(quick, workers),
+        "tracing_overhead": _tracing_overhead(quick),
+    }

@@ -27,6 +27,14 @@ The CLI plays both supply-chain roles on persisted chip state
     $ python -m repro telemetry summarize run.json
     $ python -m repro telemetry diff before.json after.json
     $ python -m repro telemetry --selftest
+    # distributed tracing + perf baseline
+    $ python -m repro serve --registry reg.db --trace-log server.jsonl
+    $ python -m repro loadgen --port 7433 --family msp430 \
+          --trace --trace-log client.jsonl
+    $ python -m repro trace critical-path server.jsonl client.jsonl
+    $ python -m repro trace export server.jsonl client.jsonl \
+          --flame flame.txt --chrome chrome.json
+    $ python -m repro bench --quick --out BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -307,6 +315,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest",
         help="write the service run manifest here on shutdown",
     )
+    p.add_argument(
+        "--trace-log",
+        help="append span records (JSONL) here — the server half of "
+        "'repro trace' input",
+    )
+    p.add_argument(
+        "--trace-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the trace log once it would exceed N bytes",
+    )
+    p.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="skip per-request trace spans entirely",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -370,6 +395,82 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--manifest", help="write the loadgen manifest (JSON) here"
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="send a fresh trace context with every request and record "
+        "client.request spans",
+    )
+    p.add_argument(
+        "--trace-log",
+        help="append client span records (JSONL) here — the client "
+        "half of 'repro trace' input",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help="assemble span logs into distributed traces and analyse",
+    )
+    p.add_argument(
+        "action",
+        choices=["show", "critical-path", "export"],
+        help="show: span trees; critical-path: per-stage breakdown; "
+        "export: flamegraph / Chrome trace files",
+    )
+    p.add_argument(
+        "logs", nargs="+", help="span JSONL files (server + client)"
+    )
+    p.add_argument(
+        "--trace-id", help="restrict to trace ids with this prefix"
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=5,
+        help="most traces to render (show / critical-path)",
+    )
+    p.add_argument(
+        "--flame",
+        help="write collapsed-stack lines here (flamegraph.pl input)",
+    )
+    p.add_argument(
+        "--chrome",
+        help="write Chrome trace_event JSON here (chrome://tracing)",
+    )
+    p.add_argument(
+        "--json",
+        dest="json_out",
+        help="write the assembled flashmark.trace/v1 documents here",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 3 unless every assembled trace is complete "
+        "(zero orphan spans)",
+    )
+
+    p = sub.add_parser(
+        "bench",
+        help="run the performance-baseline suite and export "
+        "BENCH_perf.json",
+    )
+    p.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="output path (flashmark.bench/v1 JSON)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller repetition counts (CI-friendly)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the engine-scaling section "
+        "(default: up to 4, bounded by CPUs)",
     )
     return parser
 
@@ -954,7 +1055,16 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         rate_capacity=args.rate_capacity,
         rate_refill_per_s=args.rate_refill,
+        tracing=not args.no_tracing,
     )
+    sink = None
+    if args.trace_log:
+        from .telemetry import JsonlSink
+
+        sink = JsonlSink(
+            args.trace_log, max_bytes=args.trace_log_max_bytes
+        )
+    telemetry = Telemetry(sink=sink)
     sign_keys = {}
     if args.sign_key:
         key = bytes.fromhex(args.sign_key)
@@ -967,7 +1077,10 @@ def _cmd_serve(args) -> int:
 
     async def _serve() -> None:
         server = VerificationServer(
-            registry, config=config, sign_keys=sign_keys
+            registry,
+            config=config,
+            sign_keys=sign_keys,
+            telemetry=telemetry,
         )
         async with server:
             print(
@@ -994,6 +1107,8 @@ def _cmd_serve(args) -> int:
         print("interrupted; server stopped")
     finally:
         registry.close()
+        if sink is not None:
+            sink.close()
     return 0
 
 
@@ -1091,7 +1206,21 @@ def _cmd_loadgen(args) -> int:
 
     from .service import LoadClient, ServiceError
 
-    load = LoadClient(args.host, args.port, args.family)
+    sink = None
+    if args.trace_log:
+        from .telemetry import JsonlSink
+
+        sink = JsonlSink(args.trace_log)
+    from .workloads.traffic import TrafficGenerator
+
+    load = LoadClient(
+        args.host,
+        args.port,
+        args.family,
+        traffic=TrafficGenerator(seed=args.seed),
+        telemetry=Telemetry(sink=sink),
+        trace=bool(args.trace or args.trace_log),
+    )
 
     async def _run():
         if args.mode == "closed":
@@ -1106,6 +1235,9 @@ def _cmd_loadgen(args) -> int:
         report = asyncio.run(_run())
     except (ConnectionError, OSError, ServiceError) as exc:
         return _fail("loadgen", exc)
+    finally:
+        if sink is not None:
+            sink.close()
     summary = report.latency_summary()
     print(
         f"{report.mode}-loop load: {report.completed}/{report.requests} "
@@ -1122,10 +1254,105 @@ def _cmd_loadgen(args) -> int:
     print(f"throughput: {report.throughput_rps:.1f} req/s")
     for code, count in sorted(report.errors.items()):
         print(f"  {count} response(s) with error code {code}")
+    if load.trace:
+        print(f"traced: {len(report.trace_by_index)} request(s)")
+        if args.trace_log:
+            print(f"client spans -> {args.trace_log}")
     if args.manifest:
         save_manifest(load.build_manifest(report), args.manifest)
         print(f"run manifest -> {args.manifest}")
     return 0 if report.completed == report.requests else 2
+
+
+def _cmd_trace(args) -> int:
+    from .trace import (
+        assemble_traces,
+        dump_chrome_trace,
+        format_critical_path,
+        format_trace,
+        read_span_records,
+        to_collapsed_stacks,
+    )
+
+    try:
+        records = read_span_records(args.logs)
+    except OSError as exc:
+        return _fail("trace", exc)
+    docs = assemble_traces(records)
+    if args.trace_id:
+        docs = [
+            d for d in docs if d["trace_id"].startswith(args.trace_id)
+        ]
+    if not docs:
+        print("no traces found in the given span log(s)")
+        return 1
+    complete = sum(1 for d in docs if d["complete"])
+    orphans = sum(len(d["orphans"]) for d in docs)
+    print(
+        f"{len(docs)} trace(s) assembled from "
+        f"{sum(d['n_spans'] for d in docs)} span(s): "
+        f"{complete} complete, {orphans} orphan span(s)"
+    )
+    if args.action == "show":
+        for doc in docs[: args.limit]:
+            print()
+            print(format_trace(doc))
+    elif args.action == "critical-path":
+        for doc in docs[: args.limit]:
+            print()
+            print(format_critical_path(doc))
+    else:  # export
+        if not (args.flame or args.chrome or args.json_out):
+            return _fail(
+                "trace",
+                ValueError(
+                    "export needs --flame, --chrome and/or --json"
+                ),
+            )
+        if args.flame:
+            with open(args.flame, "w", encoding="utf-8") as fh:
+                fh.write(to_collapsed_stacks(docs))
+            print(f"collapsed stacks -> {args.flame}")
+        if args.chrome:
+            dump_chrome_trace(docs, args.chrome)
+            print(f"chrome trace -> {args.chrome}")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(docs, fh, indent=1)
+                fh.write("\n")
+            print(f"trace documents -> {args.json_out}")
+    if args.check and (complete != len(docs) or orphans):
+        print(
+            f"CHECK FAILED: {len(docs) - complete} incomplete trace(s), "
+            f"{orphans} orphan span(s)"
+        )
+        return 3
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import run_bench
+
+    doc = run_bench(quick=args.quick, workers=args.workers)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    for op in doc["ops"]:
+        print(
+            f"  {op['name']:<28} p50 {op['p50_ms']:8.2f} ms   "
+            f"p95 {op['p95_ms']:8.2f} ms   "
+            f"{op['throughput_per_s']:10.1f} /s"
+        )
+    scaling = doc.get("engine_scaling")
+    if scaling:
+        print(
+            f"  engine scaling: serial {scaling['serial_s']:.2f} s, "
+            f"parallel(x{scaling['workers']}) "
+            f"{scaling['parallel_s']:.2f} s "
+            f"-> speedup {scaling['speedup']:.2f}x"
+        )
+    print(f"bench baseline -> {args.out}")
+    return 0
 
 
 _COMMANDS = {
@@ -1146,6 +1373,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
     "loadgen": _cmd_loadgen,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

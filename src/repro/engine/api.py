@@ -337,6 +337,10 @@ class VerifyJob:
     segment: int = 0
     n_reads: int = 1
     temperature_c: Optional[float] = None
+    #: Optional distributed-trace context (traceparent string form) the
+    #: worker's spans re-parent under; carried as a string so the
+    #: payload pickles identically with tracing on or off.
+    traceparent: Optional[str] = None
 
 
 @dataclass
@@ -352,20 +356,26 @@ class VerifiedChip:
 
 
 def run_verify_job(job: VerifyJob) -> VerifiedChip:
-    """Verify one chip (module-level so the pool can run it)."""
+    """Verify one chip (module-level so the pool can run it).
+
+    When the job carries a ``traceparent``, the worker's spans record
+    distributed-trace ids parented under it, so the snapshot absorbed
+    back into the parent process re-threads into the request's trace.
+    """
     chip = job.chip
     chip.trace.reset()
     tel = Telemetry()
     tel.bind_trace(chip.trace)
-    with tel.span("verify.chip", index=job.index) as sp:
-        report = job.verifier.verify(
-            chip.flash,
-            job.segment,
-            n_reads=job.n_reads,
-            temperature_c=job.temperature_c,
-            telemetry=tel,
-        )
-        sp.set("verdict", report.verdict.value)
+    with tel.trace_scope(job.traceparent):
+        with tel.span("verify.chip", index=job.index) as sp:
+            report = job.verifier.verify(
+                chip.flash,
+                job.segment,
+                n_reads=job.n_reads,
+                temperature_c=job.temperature_c,
+                telemetry=tel,
+            )
+            sp.set("verdict", report.verdict.value)
     return VerifiedChip(
         index=job.index,
         report=report,
@@ -389,6 +399,7 @@ def verify_population(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     chunk_size: Optional[int] = None,
+    trace_contexts: Optional[Sequence[Optional[str]]] = None,
 ) -> VerificationResult:
     """Verify a population of chips against published family parameters.
 
@@ -407,6 +418,10 @@ def verify_population(
     build one.  ``seed`` is accepted for calling-convention uniformity;
     verification is deterministic given each chip's recorded state, so
     it is currently unused.
+
+    ``trace_contexts`` optionally carries one traceparent string (or
+    ``None``) per chip; each worker's ``verify.chip`` span then records
+    distributed-trace ids under the matching request's context.
     """
     if verifier is None:
         if calibration is None or format is None:
@@ -417,6 +432,11 @@ def verify_population(
     del seed  # reserved: verification derives no randomness of its own
     tel = telemetry if telemetry is not None else current_telemetry()
     bare = [getattr(c, "chip", c) for c in chips]
+    if trace_contexts is not None and len(trace_contexts) != len(bare):
+        raise ValueError(
+            f"trace_contexts has {len(trace_contexts)} entries for "
+            f"{len(bare)} chip(s)"
+        )
     jobs = [
         VerifyJob(
             index=i,
@@ -425,6 +445,9 @@ def verify_population(
             segment=segment,
             n_reads=n_reads,
             temperature_c=temperature_c,
+            traceparent=(
+                trace_contexts[i] if trace_contexts is not None else None
+            ),
         )
         for i, chip in enumerate(bare)
     ]

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import asyncio
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..telemetry import Telemetry, build_manifest
+from ..trace.context import TraceContext
 from ..workloads.traffic import TrafficGenerator, TrafficItem
 from . import protocol
 
@@ -112,7 +114,13 @@ class VerificationClient:
         segment: int = 0,
         n_reads: int = 1,
         temperature_c: Optional[float] = None,
+        trace: Optional[Any] = None,
     ) -> dict:
+        """Verify one chip.  ``trace`` optionally carries distributed-
+        trace context (a :class:`~repro.trace.context.TraceContext` or
+        traceparent string) for the server to thread its spans under."""
+        if trace is not None and not isinstance(trace, str):
+            trace = trace.to_traceparent()
         return await self.call(
             protocol.verify_request(
                 chip,
@@ -122,6 +130,7 @@ class VerificationClient:
                 segment=segment,
                 n_reads=n_reads,
                 temperature_c=temperature_c,
+                trace=trace,
             )
         )
 
@@ -172,6 +181,9 @@ class LoadReport:
     mismatches: List[Tuple[int, str, Tuple[str, ...]]] = field(
         default_factory=list
     )
+    #: Distributed-trace id per traffic-item index (tracing runs only);
+    #: keys into the trace documents :mod:`repro.trace` assembles.
+    trace_by_index: Dict[int, str] = field(default_factory=dict)
     wall_s: float = 0.0
     concurrency: int = 1
     rate_hz: Optional[float] = None
@@ -220,6 +232,7 @@ class LoadReport:
             "latency": self.latency_summary(),
             "concurrency": self.concurrency,
             "rate_hz": self.rate_hz,
+            "traced": len(self.trace_by_index),
         }
 
 
@@ -240,6 +253,12 @@ class LoadClient:
         Wire-protocol client id (the rate limiter keys on it).
     telemetry:
         Receives ``loadgen.*`` metrics and backs the run manifest.
+    trace:
+        When True, every request mints a fresh
+        :class:`~repro.trace.context.TraceContext` root, sends it on
+        the wire and records a ``client.request`` span against it —
+        the client end of the distributed traces :mod:`repro.trace`
+        assembles.  Trace ids land in ``LoadReport.trace_by_index``.
     """
 
     def __init__(
@@ -251,6 +270,7 @@ class LoadClient:
         traffic: Optional[TrafficGenerator] = None,
         client_id: str = "loadgen",
         telemetry: Optional[Telemetry] = None,
+        trace: bool = False,
     ):
         self.host = host
         self.port = port
@@ -262,6 +282,7 @@ class LoadClient:
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry()
         )
+        self.trace = trace
 
     # -- traffic ----------------------------------------------------------
 
@@ -408,6 +429,7 @@ class LoadClient:
         segment: int,
         n_reads: int,
     ) -> None:
+        root = TraceContext.new_root() if self.trace else None
         req = protocol.verify_request(
             item.chip,
             self.family,
@@ -415,15 +437,36 @@ class LoadClient:
             client=self.client_id,
             segment=segment,
             n_reads=n_reads,
+            trace=root.to_traceparent() if root is not None else None,
         )
+        t0_unix = time.time()
         t0 = loop.time()
         try:
             result = await client.call(req)
         except ServiceError as exc:
             report.errors[exc.code] = report.errors.get(exc.code, 0) + 1
             self.telemetry.count(f"loadgen.error.{exc.code}")
+            if root is not None:
+                report.trace_by_index[item.index] = root.trace_id
+                self.telemetry.record_span(
+                    "client.request",
+                    loop.time() - t0,
+                    t0_unix_s=t0_unix,
+                    ctx=root,
+                    attrs={"index": item.index},
+                    error=str(exc.code),
+                )
             return
         latency = loop.time() - t0
+        if root is not None:
+            report.trace_by_index[item.index] = root.trace_id
+            self.telemetry.record_span(
+                "client.request",
+                latency,
+                t0_unix_s=t0_unix,
+                ctx=root,
+                attrs={"index": item.index},
+            )
         report.latencies_s.append(latency)
         verdict = result["verdict"]
         report.verdicts[verdict] = report.verdicts.get(verdict, 0) + 1
@@ -466,6 +509,7 @@ class LoadClient:
                 "rate_hz": report.rate_hz,
                 "traffic_seed": self.traffic.seed,
                 "traffic_mix": dict(self.traffic.spec.mix),
+                "trace": self.trace,
             },
             seeds={"traffic_seed": self.traffic.seed},
             extra={"load": report.to_dict()},

@@ -10,7 +10,12 @@ Requests::
 
     {"v": "flashmark.wire/v1", "id": 7, "op": "verify",
      "client": "lab-3", "family": "msp430-default",
-     "chip_b64": "...", "segment": 0, "n_reads": 1}
+     "chip_b64": "...", "segment": 0, "n_reads": 1,
+     "trace": "00-<32 hex>-<16 hex>-01"}
+
+``trace`` is optional distributed-trace context in W3C-traceparent
+form (see :mod:`repro.trace.context`); absent or malformed, the server
+serves the request identically and starts its own root trace.
 
     {"op": "ping"} · {"op": "stats"} · {"op": "families"}
     {"op": "history", "die_id": "0x00000000002A"}
@@ -178,8 +183,14 @@ def verify_request(
     segment: int = 0,
     n_reads: int = 1,
     temperature_c: Optional[float] = None,
+    trace: Optional[str] = None,
 ) -> dict:
-    """Build a verify request carrying the chip's full state."""
+    """Build a verify request carrying the chip's full state.
+
+    ``trace`` is an optional traceparent string; servers thread their
+    stage spans under it so the request assembles into one distributed
+    trace (:mod:`repro.trace`).
+    """
     req = {
         "v": WIRE_SCHEMA,
         "op": "verify",
@@ -194,6 +205,8 @@ def verify_request(
         req["client"] = client
     if temperature_c is not None:
         req["temperature_c"] = float(temperature_c)
+    if trace is not None:
+        req["trace"] = str(trace)
     return req
 
 

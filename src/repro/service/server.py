@@ -28,6 +28,17 @@ other share one :func:`~repro.engine.verify_population` call.
 The same port also answers plain HTTP ``GET /healthz`` and
 ``GET /metrics`` (Prometheus text format), detected by protocol
 sniffing on the first line.
+
+Distributed tracing: a verify request may carry a ``trace`` field
+(traceparent form, see :mod:`repro.trace.context`).  With tracing
+enabled the server records one ``server.request`` span per request plus
+stage spans (``server.queue_wait`` / ``server.batch_wait`` /
+``server.decode`` / ``server.engine`` / ``server.registry``) against the
+request's context, and threads a per-request child context into the
+engine so pool-worker ``verify.chip`` spans land in the same trace.
+Requests without the field get a server-minted root, so every request
+is traceable; stage wall times also feed ``service.stage.*_s``
+histograms either way.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import json
 import sqlite3
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -43,6 +55,8 @@ from ..core.verifier import WatermarkVerifier
 from ..engine import verify_population
 from ..faults import InjectedFault, fault_point
 from ..telemetry import Telemetry, build_manifest
+from ..telemetry.prometheus import render_prometheus
+from ..trace.context import TraceContext, parse_traceparent
 from . import protocol
 from .registry import RegistryError, WatermarkRegistry
 
@@ -79,6 +93,10 @@ class ServerConfig:
     rate_refill_per_s: float = 50.0
     #: Record each verification into the registry history.
     record_history: bool = True
+    #: Record distributed-trace spans for verify requests (the wire
+    #: ``trace`` field is honored either way; off skips span recording
+    #: entirely for zero per-request overhead).
+    tracing: bool = True
 
 
 class _TokenBucket:
@@ -122,6 +140,15 @@ class _Pending:
     client: str
     enqueued_at: float
     future: "asyncio.Future[dict]" = field(repr=False, default=None)
+    #: This request's trace context (``server.request`` identity);
+    #: None when tracing is disabled.
+    trace: Optional[TraceContext] = None
+    #: Unix-clock admission stamp (span start times; monotonic
+    #: ``enqueued_at`` stays the latency authority).
+    enqueued_unix: float = 0.0
+    #: When the batcher dequeued this request (monotonic + unix).
+    picked_at: Optional[float] = None
+    picked_unix: float = 0.0
 
     @property
     def batch_key(self) -> Tuple:
@@ -473,6 +500,17 @@ class VerificationServer:
                 protocol.BAD_REQUEST,
                 "verify request is missing 'chip_b64'",
             )
+        trace = None
+        if self.config.tracing:
+            # A request-carried context becomes the parent of this
+            # server's spans; absent or malformed, mint a root so the
+            # request is traceable anyway.  Never a 400: the field is
+            # advisory metadata.
+            parsed = parse_traceparent(req.get("trace"))
+            trace = (
+                parsed.child() if parsed is not None
+                else TraceContext.new_root()
+            )
         pending = _Pending(
             request_id=request_id,
             chip_b64=blob,
@@ -487,6 +525,8 @@ class VerificationServer:
             client=client,
             enqueued_at=now,
             future=self._loop.create_future(),
+            trace=trace,
+            enqueued_unix=time.time(),
         )
         try:
             self._queue.put_nowait(pending)
@@ -512,6 +552,20 @@ class VerificationServer:
         self.telemetry.observe(
             "service.latency_s", latency, buckets=LATENCY_BUCKETS
         )
+        if pending.trace is not None:
+            error = None
+            if not response.get("ok", False):
+                error = str(
+                    (response.get("error") or {}).get("code", "error")
+                )
+            self.telemetry.record_span(
+                "server.request",
+                latency,
+                t0_unix_s=pending.enqueued_unix,
+                ctx=pending.trace,
+                attrs={"client": pending.client, "family": pending.family},
+                error=error,
+            )
         await self._write_frame(writer, write_lock, response)
 
     async def _write_frame(self, writer, write_lock, obj: dict) -> None:
@@ -564,6 +618,7 @@ class VerificationServer:
                 len(batch),
                 buckets=(1, 2, 4, 8, 16, 32, 64),
             )
+            self._mark_picked(batch)
             groups: Dict[Tuple, List[_Pending]] = {}
             for pending in batch:
                 groups.setdefault(pending.batch_key, []).append(pending)
@@ -587,11 +642,54 @@ class VerificationServer:
                                 )
                             )
 
+    def _mark_picked(self, batch: List[_Pending]) -> None:
+        """Stamp batcher pickup on each request and close its
+        ``queue_wait`` stage (admission -> dequeue)."""
+        now = self._loop.time()
+        now_unix = time.time()
+        for pending in batch:
+            pending.picked_at = now
+            pending.picked_unix = now_unix
+            wait = now - pending.enqueued_at
+            self.telemetry.observe(
+                "service.stage.queue_wait_s", wait, buckets=LATENCY_BUCKETS
+            )
+            if pending.trace is not None:
+                self.telemetry.record_span(
+                    "server.queue_wait",
+                    wait,
+                    t0_unix_s=pending.enqueued_unix,
+                    ctx=pending.trace.child(),
+                )
+
     async def _run_group(self, group: List[_Pending]) -> None:
         """One engine call for a same-settings group of requests."""
         head = group[0]
         verifier, signature_checked = self._verifier_for(head.family)
         batch_tel = Telemetry()
+        work_started = self._loop.time()
+        for pending in group:
+            # batch_wait: dequeue -> this group's work starting (window
+            # linger + any same-batch groups that ran first).
+            if pending.picked_at is None:
+                continue
+            wait = work_started - pending.picked_at
+            self.telemetry.observe(
+                "service.stage.batch_wait_s", wait, buckets=LATENCY_BUCKETS
+            )
+            if pending.trace is not None:
+                self.telemetry.record_span(
+                    "server.batch_wait",
+                    wait,
+                    t0_unix_s=pending.picked_unix,
+                    ctx=pending.trace.child(),
+                )
+        # Engine contexts are minted on the event loop so their ids are
+        # known before the executor runs; the worker re-parents its
+        # verify.chip span under the matching one.
+        engine_ctxs = [
+            p.trace.child() if p.trace is not None else None for p in group
+        ]
 
         def _work():
             # Decode chip blobs here, in the executor thread: each .npz
@@ -599,13 +697,27 @@ class VerificationServer:
             # admission on the event loop.  A corrupt blob fails only
             # its own request, never the group.
             chips, errors = [], {}
+            decode_meta: List[Tuple[float, float]] = []
             for i, pending in enumerate(group):
+                t0_unix = time.time()
+                t0 = time.perf_counter()
                 try:
                     chips.append(protocol.chip_from_b64(pending.chip_b64))
                 except protocol.ProtocolError as exc:
                     chips.append(None)
                     errors[i] = str(exc)
-            good = [c for c in chips if c is not None]
+                decode_meta.append((t0_unix, time.perf_counter() - t0))
+            good, good_tps = [], []
+            for i, chip in enumerate(chips):
+                if chip is not None:
+                    good.append(chip)
+                    good_tps.append(
+                        engine_ctxs[i].to_traceparent()
+                        if engine_ctxs[i] is not None
+                        else None
+                    )
+            engine_t0_unix = time.time()
+            engine_t0 = time.perf_counter()
             result = (
                 verify_population(
                     good,
@@ -615,16 +727,24 @@ class VerificationServer:
                     temperature_c=head.temperature_c,
                     workers=self.config.workers,
                     telemetry=batch_tel,
+                    trace_contexts=good_tps,
                 )
                 if good
                 else None
             )
-            return chips, errors, result
+            engine_wall = time.perf_counter() - engine_t0
+            return chips, errors, result, decode_meta, (
+                engine_t0_unix, engine_wall,
+            )
 
         try:
-            chips, decode_errors, result = await self._loop.run_in_executor(
-                None, _work
-            )
+            (
+                chips,
+                decode_errors,
+                result,
+                decode_meta,
+                engine_meta,
+            ) = await self._loop.run_in_executor(None, _work)
         except Exception as exc:  # engine-level failure: fail the group
             self.telemetry.count("service.errors", len(group))
             for pending in group:
@@ -640,6 +760,41 @@ class VerificationServer:
         self.telemetry.absorb(
             batch_tel.snapshot(), prefix="service.batch"
         )
+        engine_t0_unix, engine_wall = engine_meta
+        for i, pending in enumerate(group):
+            t0_unix, decode_wall = decode_meta[i]
+            self.telemetry.observe(
+                "service.stage.decode_s",
+                decode_wall,
+                buckets=LATENCY_BUCKETS,
+            )
+            if pending.trace is not None:
+                self.telemetry.record_span(
+                    "server.decode",
+                    decode_wall,
+                    t0_unix_s=t0_unix,
+                    ctx=pending.trace.child(),
+                    error=("ProtocolError" if i in decode_errors else None),
+                )
+            if i not in decode_errors:
+                # The engine wall is shared by the whole group — each
+                # request's engine stage reports the call it waited on.
+                self.telemetry.observe(
+                    "service.stage.engine_s",
+                    engine_wall,
+                    buckets=LATENCY_BUCKETS,
+                )
+                if engine_ctxs[i] is not None:
+                    self.telemetry.record_span(
+                        "server.engine",
+                        engine_wall,
+                        t0_unix_s=engine_t0_unix,
+                        ctx=engine_ctxs[i],
+                        attrs={
+                            "group_size": len(group),
+                            "workers": self.config.workers,
+                        },
+                    )
         failures = (
             {f.index: f for f in result.failures} if result else {}
         )
@@ -688,26 +843,45 @@ class VerificationServer:
                 }
             seq = None
             if self.config.record_history:
+                reg_t0_unix = time.time()
+                reg_t0 = self._loop.time()
                 seq = await self._record_history(
                     head.family, chip, report, pending.client
                 )
+                reg_wall = self._loop.time() - reg_t0
+                self.telemetry.observe(
+                    "service.stage.registry_s",
+                    reg_wall,
+                    buckets=LATENCY_BUCKETS,
+                )
+                if pending.trace is not None:
+                    self.telemetry.record_span(
+                        "server.registry",
+                        reg_wall,
+                        t0_unix_s=reg_t0_unix,
+                        ctx=pending.trace.child(),
+                        attrs={"seq": seq},
+                        error=None if seq is not None else "RegistryError",
+                    )
             self.telemetry.count(
                 f"service.verdict.{report.verdict.value}"
             )
+            response_body = {
+                "family": head.family,
+                "die_id": f"0x{chip.die_id:012X}",
+                "verdict": report.verdict.value,
+                "ber": report.ber,
+                "reason": report.reason,
+                "payload": payload,
+                "signature_checked": signature_checked,
+                "history_seq": seq,
+            }
+            if pending.trace is not None:
+                # Echo the request's trace identity so clients that sent
+                # no context can still find their trace.
+                response_body["trace"] = pending.trace.to_traceparent()
             pending.future.set_result(
-                protocol.ok_response(
-                    pending.request_id,
-                    {
-                        "family": head.family,
-                        "die_id": f"0x{chip.die_id:012X}",
-                        "verdict": report.verdict.value,
-                        "ber": report.ber,
-                        "reason": report.reason,
-                        "payload": payload,
-                        "signature_checked": signature_checked,
-                        "history_seq": seq,
-                    },
-                )
+                protocol.ok_response(pending.request_id, response_body)
             )
 
     async def _record_history(
@@ -786,39 +960,22 @@ class VerificationServer:
             pass
 
     def _render_metrics(self) -> str:
-        """Prometheus text exposition of the telemetry registry."""
-        snap = self.telemetry.registry.snapshot()
-        lines: List[str] = []
+        """Prometheus text exposition of the telemetry registry.
 
-        def _name(metric: str) -> str:
-            return "flashmark_" + metric.replace(".", "_").replace(
-                "-", "_"
-            )
-
-        for name, value in snap["counters"].items():
-            lines.append(f"# TYPE {_name(name)} counter")
-            lines.append(f"{_name(name)} {value}")
-        for name, value in snap["gauges"].items():
-            if value is not None:
-                lines.append(f"# TYPE {_name(name)} gauge")
-                lines.append(f"{_name(name)} {value}")
-        for name, dump in snap["histograms"].items():
-            base = _name(name)
-            lines.append(f"# TYPE {base} histogram")
-            cumulative = 0
-            for bound, count in zip(dump["buckets"], dump["counts"]):
-                cumulative += count
-                lines.append(
-                    f'{base}_bucket{{le="{bound}"}} {cumulative}'
-                )
-            lines.append(f'{base}_bucket{{le="+Inf"}} {dump["count"]}')
-            lines.append(f"{base}_count {dump['count']}")
-            lines.append(f"{base}_sum {dump['sum']}")
-        lines.append(f"flashmark_service_queue_depth {self._queue.qsize()}")
-        lines.append(
-            f"flashmark_service_open_connections {self._open_connections}"
+        Everything the registry holds is exposed — ``service.*``
+        counters and stage histograms, but also absorbed engine counters
+        (``engine.hung_skips``, ``service.batch.*``), fault-injection
+        counters (``faults.injected.*``) and ``telemetry.sink.rotations``
+        — normalized through
+        :func:`repro.telemetry.prometheus.metric_name`.
+        """
+        return render_prometheus(
+            self.telemetry.registry.snapshot(),
+            extra_gauges={
+                "service.queue_depth": self._queue.qsize(),
+                "service.open_connections": self._open_connections,
+            },
         )
-        return "\n".join(lines) + "\n"
 
     # -- stats / manifest -------------------------------------------------
 

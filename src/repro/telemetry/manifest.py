@@ -259,10 +259,77 @@ def summarize_manifest(manifest: dict) -> str:
                 f"stage coverage: {_fmt_us(covered)} of "
                 f"{_fmt_us(total)} device time in stages ({pct:.1f}%)"
             )
+    kind_block = _summarize_kind(manifest)
+    if kind_block:
+        lines.append(kind_block)
     verdict = manifest.get("verdict")
     if verdict is not None:
         lines.append(f"verdict: {verdict}")
     return "\n".join(lines)
+
+
+def _summarize_kind(manifest: dict) -> Optional[str]:
+    """Kind-specific section: manifests that carry a structured result
+    block (loadgen's ``load``, chaos's ``chaos``) render it instead of
+    leaving the reader to dig through raw JSON."""
+    from ..analysis import format_table
+
+    kind = manifest.get("kind")
+    if kind == "loadgen" and isinstance(manifest.get("load"), dict):
+        load = manifest["load"]
+        latency = load.get("latency") or {}
+        rows = [
+            ["mode", load.get("mode", "?")],
+            [
+                "requests",
+                f"{load.get('completed', 0)}/{load.get('requests', 0)} "
+                f"completed, {load.get('rejected', 0)} rejected",
+            ],
+            ["throughput", f"{load.get('throughput_rps', 0.0):.1f} req/s"],
+        ]
+        if latency.get("count"):
+            rows.append(
+                [
+                    "latency",
+                    f"p50 {latency['p50_ms']:.1f} ms, "
+                    f"p95 {latency['p95_ms']:.1f} ms, "
+                    f"p99 {latency['p99_ms']:.1f} ms",
+                ]
+            )
+        for code, count in (load.get("errors_by_code") or {}).items():
+            rows.append([f"error {code}", count])
+        if load.get("mismatches"):
+            rows.append(["verdict mismatches", load["mismatches"]])
+        if load.get("traced"):
+            rows.append(["traced requests", load["traced"]])
+        return format_table(["load", "value"], rows, title="load run")
+    if kind == "chaos" and isinstance(manifest.get("chaos"), dict):
+        chaos = manifest["chaos"]
+        rows = [
+            [
+                "responses",
+                f"{chaos.get('completed', 0)}/{chaos.get('requests', 0)} "
+                f"ok, {sum((chaos.get('errors_by_code') or {}).values())} "
+                "error(s)",
+            ],
+            [
+                "faults injected",
+                f"{len(chaos.get('injected') or [])} of "
+                f"{len((chaos.get('plan') or {}).get('specs') or [])} "
+                "scheduled",
+            ],
+            ["reconnects", chaos.get("reconnects", 0)],
+            ["divergences", len(chaos.get("divergences") or [])],
+        ]
+        for code, count in (chaos.get("errors_by_code") or {}).items():
+            rows.append([f"error {code}", count])
+        for label, passed in (chaos.get("invariants") or {}).items():
+            rows.append([f"invariant: {label}", "ok" if passed else "FAIL"])
+        rows.append(
+            ["outcome", "passed" if chaos.get("passed") else "FAILED"]
+        )
+        return format_table(["chaos", "value"], rows, title="chaos soak")
+    return None
 
 
 def diff_manifests(a: dict, b: dict) -> str:
@@ -337,6 +404,10 @@ def diff_manifests(a: dict, b: dict) -> str:
             format_table(["gauge", "A", "B", "delta"], rows, title="gauges")
         )
 
+    kind_block = _diff_kind(a, b)
+    if kind_block:
+        lines.append(kind_block)
+
     va, vb = a.get("verdict"), b.get("verdict")
     if va is not None or vb is not None:
         lines.append(f"verdict: {va} -> {vb}")
@@ -348,3 +419,79 @@ def diff_manifests(a: dict, b: dict) -> str:
             f"({_fmt_us(db['now_us'] - da['now_us'])} delta)"
         )
     return "\n".join(lines)
+
+
+def _diff_kind(a: dict, b: dict) -> Optional[str]:
+    """Kind-specific diff rows for two manifests of the same kind."""
+    from ..analysis import format_table
+
+    if a.get("kind") != b.get("kind"):
+        return None
+    kind = a.get("kind")
+    if (
+        kind == "loadgen"
+        and isinstance(a.get("load"), dict)
+        and isinstance(b.get("load"), dict)
+    ):
+        la, lb = a["load"], b["load"]
+        rows = [
+            [
+                "throughput [req/s]",
+                f"{la.get('throughput_rps', 0.0):.1f}",
+                f"{lb.get('throughput_rps', 0.0):.1f}",
+                f"{lb.get('throughput_rps', 0.0) - la.get('throughput_rps', 0.0):+.1f}",
+            ],
+            [
+                "completed",
+                la.get("completed", 0),
+                lb.get("completed", 0),
+                lb.get("completed", 0) - la.get("completed", 0),
+            ],
+            [
+                "rejected",
+                la.get("rejected", 0),
+                lb.get("rejected", 0),
+                lb.get("rejected", 0) - la.get("rejected", 0),
+            ],
+        ]
+        for q in ("p50_ms", "p95_ms", "p99_ms"):
+            qa = (la.get("latency") or {}).get(q)
+            qb = (lb.get("latency") or {}).get(q)
+            if qa is not None and qb is not None:
+                rows.append(
+                    [f"latency {q}", f"{qa:.1f}", f"{qb:.1f}",
+                     f"{qb - qa:+.1f}"]
+                )
+        return format_table(
+            ["load", "A", "B", "delta"], rows, title="load run"
+        )
+    if (
+        kind == "chaos"
+        and isinstance(a.get("chaos"), dict)
+        and isinstance(b.get("chaos"), dict)
+    ):
+        ca, cb = a["chaos"], b["chaos"]
+        rows = [
+            [
+                "faults injected",
+                len(ca.get("injected") or []),
+                len(cb.get("injected") or []),
+            ],
+            [
+                "responses ok",
+                ca.get("completed", 0),
+                cb.get("completed", 0),
+            ],
+            [
+                "errors",
+                sum((ca.get("errors_by_code") or {}).values()),
+                sum((cb.get("errors_by_code") or {}).values()),
+            ],
+            [
+                "outcome",
+                "passed" if ca.get("passed") else "FAILED",
+                "passed" if cb.get("passed") else "FAILED",
+            ],
+        ]
+        return format_table(["chaos", "A", "B"], rows, title="chaos soak")
+    return None

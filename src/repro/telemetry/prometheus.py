@@ -1,0 +1,76 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry` snapshot.
+
+One renderer shared by the verification server's ``/metrics`` endpoint
+and by tests: internal metric names are dotted
+(``service.rejected.rate``, ``faults.injected.service.read``) while
+Prometheus names admit only ``[a-zA-Z0-9_:]``, so every name is
+normalized through :func:`metric_name` — dots and dashes become
+underscores, anything else illegal is dropped, and the ``flashmark_``
+prefix namespaces the exposition.  The mapping is stable: two distinct
+internal names never collide unless they already differed only in
+punctuation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["metric_name", "render_prometheus"]
+
+PREFIX = "flashmark_"
+
+_ALLOWED = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def metric_name(name: str, prefix: str = PREFIX) -> str:
+    """Normalize an internal dotted metric name for Prometheus.
+
+    ``service.rejected.bad_request`` -> ``flashmark_service_rejected_bad_request``.
+    """
+    translated = "".join(
+        c if c in _ALLOWED else "_" for c in name.replace(".", "_")
+    )
+    out = prefix + translated
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def render_prometheus(
+    snapshot: dict,
+    *,
+    extra_gauges: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text
+    format (version 0.0.4).
+
+    ``extra_gauges`` carries live values that are not registry metrics
+    (queue depth, open connections) — exposed as plain gauges.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        pname = metric_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is not None:
+            pname = metric_name(name)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {value}")
+    for name, dump in snapshot.get("histograms", {}).items():
+        base = metric_name(name)
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        for bound, count in zip(dump["buckets"], dump["counts"]):
+            cumulative += count
+            lines.append(f'{base}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{base}_bucket{{le="+Inf"}} {dump["count"]}')
+        lines.append(f"{base}_count {dump['count']}")
+        lines.append(f"{base}_sum {dump['sum']}")
+    for name, value in (extra_gauges or {}).items():
+        pname = metric_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {value}")
+    return "\n".join(lines) + "\n"

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from ..trace.context import TraceContext
 from .metrics import MetricsRegistry
 
 __all__ = [
@@ -51,9 +52,17 @@ class SpanRecord:
     attrs: Dict[str, Any] = field(default_factory=dict)
     #: Exception type name if the span exited via an exception.
     error: Optional[str] = None
+    #: Wall-clock (unix) start time; 0.0 on legacy records.  Distributed
+    #: trace assembly orders spans from different processes by this.
+    t0_unix_s: float = 0.0
+    #: Distributed-trace identity (None when recorded outside any
+    #: :meth:`Telemetry.trace_scope`).
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "path": self.path,
             "depth": self.depth,
@@ -63,7 +72,13 @@ class SpanRecord:
             "op_counts": dict(self.op_counts),
             "attrs": dict(self.attrs),
             "error": self.error,
+            "t0_unix_s": self.t0_unix_s,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            out["parent_id"] = self.parent_id
+        return out
 
 
 class _NullSpan:
@@ -84,6 +99,28 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _TraceScope:
+    """Scoped installation of a trace context on a :class:`Telemetry`."""
+
+    __slots__ = ("_tel", "_ctx", "_base")
+
+    def __init__(self, tel: "Telemetry", ctx: Optional[TraceContext]):
+        self._tel = tel
+        self._ctx = ctx
+        self._base = 0
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self._ctx is not None:
+            self._base = len(self._tel._ctx_stack)
+            self._tel._ctx_stack.append(self._ctx)
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._ctx is not None:
+            del self._tel._ctx_stack[self._base :]
+        return False
+
+
 class _Span:
     """Live span handle (context manager)."""
 
@@ -94,9 +131,12 @@ class _Span:
         "depth",
         "attrs",
         "_t0_wall",
+        "_t0_unix",
         "_t0_us",
         "_t0_uj",
         "_t0_ops",
+        "_ctx",
+        "_ctx_base",
     )
 
     def __init__(self, tel: "Telemetry", name: str, attrs: Dict[str, Any]):
@@ -105,6 +145,8 @@ class _Span:
         self.path = name
         self.depth = 0
         self.attrs = attrs
+        self._ctx: Optional[TraceContext] = None
+        self._ctx_base = 0
 
     def set(self, key: str, value: Any) -> None:
         """Attach a result attribute to the span."""
@@ -117,6 +159,13 @@ class _Span:
             parent = stack[-1]
             self.path = f"{parent.path}/{self.name}"
             self.depth = parent.depth + 1
+        # Under an active trace scope the span gets its own identity in
+        # the distributed trace, parented to the enclosing unit of work.
+        ctx_stack = tel._ctx_stack
+        self._ctx_base = len(ctx_stack)
+        if ctx_stack:
+            self._ctx = ctx_stack[-1].child()
+            ctx_stack.append(self._ctx)
         trace = tel.trace
         if trace is not None:
             self._t0_us = trace.now_us
@@ -127,6 +176,7 @@ class _Span:
             self._t0_uj = 0.0
             self._t0_ops = {}
         stack.append(self)
+        self._t0_unix = time.time()
         self._t0_wall = time.perf_counter()
         return self
 
@@ -138,6 +188,8 @@ class _Span:
         while stack:
             if stack.pop() is self:
                 break
+        if self._ctx is not None:
+            del tel._ctx_stack[self._ctx_base :]
         trace = tel.trace
         if trace is not None:
             device_us = trace.now_us - self._t0_us
@@ -163,23 +215,47 @@ class _Span:
                 op_counts=op_counts,
                 attrs=self.attrs,
                 error=exc_type.__name__ if exc_type is not None else None,
+                t0_unix_s=self._t0_unix,
+                trace_id=self._ctx.trace_id if self._ctx else None,
+                span_id=self._ctx.span_id if self._ctx else None,
+                parent_id=self._ctx.parent_id if self._ctx else None,
             )
         )
         return False
 
 
 class JsonlSink:
-    """Append-only JSON-lines sink (file path or open text handle)."""
+    """Append-only JSON-lines sink (file path or open text handle).
 
-    def __init__(self, target):
+    With ``max_bytes`` set and a *path* target, the file rotates once it
+    would cross the cap: ``spans.jsonl`` is renamed to
+    ``spans.jsonl.1`` (replacing any previous rotation) and a fresh file
+    continues — so a week-long chaos soak or loadgen run keeps at most
+    ``2 * max_bytes`` of span log on disk instead of growing without
+    bound.  ``rotations`` counts completed rotations; a
+    :class:`Telemetry` wired to the sink mirrors it into the
+    ``telemetry.sink.rotations`` counter.  Handle targets never rotate
+    (the caller owns the handle's lifecycle).
+    """
+
+    def __init__(self, target, *, max_bytes: Optional[int] = None):
         import io
+        import os
 
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
+        self.rotations = 0
+        self.max_bytes = max_bytes
+        self._path = None
         if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
-            self._fh = open(target, "a", encoding="utf-8")
+            self._path = os.fspath(target)
+            self._fh = open(self._path, "a", encoding="utf-8")
             self._owns = True
+            self._n_bytes = self._fh.tell()
         elif isinstance(target, io.TextIOBase) or hasattr(target, "write"):
             self._fh = target
             self._owns = False
+            self._n_bytes = 0
         else:
             raise TypeError(f"unsupported sink target {target!r}")
 
@@ -188,8 +264,26 @@ class JsonlSink:
 
         from .manifest import sanitize
 
-        self._fh.write(json.dumps(sanitize(record)) + "\n")
+        line = json.dumps(sanitize(record)) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._path is not None
+            and self._n_bytes > 0
+            and self._n_bytes + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._fh.write(line)
+        self._n_bytes += len(line)
         self._fh.flush()
+
+    def _rotate(self) -> None:
+        import os
+
+        self._fh.close()
+        os.replace(self._path, f"{self._path}.1")
+        self._fh = open(self._path, "a", encoding="utf-8")
+        self._n_bytes = 0
+        self.rotations += 1
 
     def close(self) -> None:
         if self._owns:
@@ -247,7 +341,9 @@ class Telemetry:
         self.dropped_spans = 0
         self.spans: List[SpanRecord] = []
         self._stack: List[_Span] = []
+        self._ctx_stack: List[TraceContext] = []
         self._stats: Dict[str, Dict[str, float]] = {}
+        self._sink_rotations_seen = 0
 
     # -- wiring -----------------------------------------------------------
 
@@ -262,6 +358,66 @@ class Telemetry:
         if not self.enabled:
             return _NULL_SPAN
         return _Span(self, name, attrs)
+
+    # -- distributed tracing ----------------------------------------------
+
+    def trace_scope(self, ctx: Union["TraceContext", str, None]):
+        """``with tel.trace_scope(ctx):`` — spans opened inside carry
+        distributed-trace ids parented under ``ctx``.
+
+        ``ctx`` may be a :class:`~repro.trace.context.TraceContext`, a
+        traceparent string (as carried in the wire ``trace`` field), or
+        ``None`` — the latter makes the scope a no-op so propagating
+        call sites need no conditional.
+        """
+        if isinstance(ctx, str):
+            ctx = TraceContext.from_traceparent(ctx)
+        return _TraceScope(self, ctx if self.enabled else None)
+
+    def current_trace(self) -> Optional[TraceContext]:
+        """The innermost active trace context, or ``None``."""
+        return self._ctx_stack[-1] if self._ctx_stack else None
+
+    def record_span(
+        self,
+        name: str,
+        wall_s: float,
+        *,
+        t0_unix_s: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
+        path: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        device_us: float = 0.0,
+        energy_uj: float = 0.0,
+    ) -> None:
+        """Record an externally timed span.
+
+        Async code (the verification server) interleaves many requests
+        on one event loop, so context-manager nesting cannot express a
+        request's stage structure; stages are timed explicitly and
+        recorded here, each against its request's :class:`TraceContext`.
+        """
+        if not self.enabled:
+            return
+        self._record(
+            SpanRecord(
+                name=name,
+                path=path if path is not None else name,
+                depth=0,
+                wall_s=wall_s,
+                device_us=device_us,
+                energy_uj=energy_uj,
+                attrs=dict(attrs or {}),
+                error=error,
+                t0_unix_s=(
+                    t0_unix_s if t0_unix_s is not None else time.time()
+                ),
+                trace_id=ctx.trace_id if ctx else None,
+                span_id=ctx.span_id if ctx else None,
+                parent_id=ctx.parent_id if ctx else None,
+            )
+        )
 
     def _record(self, rec: SpanRecord) -> None:
         st = self._stats.get(rec.path)
@@ -285,6 +441,12 @@ class Telemetry:
             self.spans.append(rec)
         if self.sink is not None:
             self.sink.emit({"type": "span", **rec.to_dict()})
+            rotations = getattr(self.sink, "rotations", 0)
+            if rotations > self._sink_rotations_seen:
+                self.registry.counter("telemetry.sink.rotations").inc(
+                    rotations - self._sink_rotations_seen
+                )
+                self._sink_rotations_seen = rotations
 
     def snapshot(self) -> dict:
         """A picklable dump of this context: span records + metrics.
@@ -331,6 +493,13 @@ class Telemetry:
                     op_counts=dict(rec.get("op_counts") or {}),
                     attrs=dict(rec.get("attrs") or {}),
                     error=rec.get("error"),
+                    # Trace identity survives the process hop untouched:
+                    # worker spans were already parented under the
+                    # engine context their job carried.
+                    t0_unix_s=rec.get("t0_unix_s", 0.0),
+                    trace_id=rec.get("trace_id"),
+                    span_id=rec.get("span_id"),
+                    parent_id=rec.get("parent_id"),
                 )
             )
         self.dropped_spans += snapshot.get("dropped_spans", 0)

@@ -1,0 +1,47 @@
+"""Distributed tracing for the verification pipeline.
+
+Built on :mod:`repro.telemetry` spans: a :class:`TraceContext` names a
+request (W3C-traceparent-style string form on the wire), the client,
+server, engine workers and registry writer record their stages against
+it, and :mod:`repro.trace.assemble` re-threads the scattered span
+records into ``flashmark.trace/v1`` documents with critical-path and
+per-stage breakdowns.  ``repro trace`` (see :mod:`repro.cli`) renders,
+analyses and exports them (collapsed-stack flamegraph and Chrome
+``trace_event`` formats).
+
+This package deliberately has no dependency on the rest of ``repro`` —
+the telemetry layer imports :mod:`repro.trace.context`, never the
+reverse — so the assembler also works on span logs from foreign
+processes as long as they carry ``trace_id``/``span_id``/``parent_id``.
+"""
+
+from .assemble import (
+    SERVER_STAGES,
+    STAGE_OF_SPAN,
+    TRACE_SCHEMA,
+    assemble_trace,
+    assemble_traces,
+    collect_traces,
+    format_critical_path,
+    format_trace,
+    read_span_records,
+)
+from .context import TraceContext, parse_traceparent
+from .export import dump_chrome_trace, to_chrome_trace, to_collapsed_stacks
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "STAGE_OF_SPAN",
+    "SERVER_STAGES",
+    "TraceContext",
+    "parse_traceparent",
+    "read_span_records",
+    "collect_traces",
+    "assemble_trace",
+    "assemble_traces",
+    "format_trace",
+    "format_critical_path",
+    "to_collapsed_stacks",
+    "to_chrome_trace",
+    "dump_chrome_trace",
+]

@@ -1,0 +1,136 @@
+"""TraceContext: the identity a request carries across process hops.
+
+One verification request touches four execution contexts — the client,
+the server's event loop, an engine pool worker, and the registry writer.
+A :class:`TraceContext` names the request (``trace_id``), the current
+unit of work within it (``span_id``) and the unit that caused it
+(``parent_id``), so spans recorded in any of those contexts can later be
+re-threaded into one tree by :mod:`repro.trace.assemble`.
+
+The string form follows the W3C ``traceparent`` header layout
+(``00-<trace_id>-<span_id>-<flags>``) so the wire field is recognisable
+to anyone who has read an HTTP trace header, and so ids survive any
+transport that can carry an ASCII string.  This module is dependency-
+free on purpose: the telemetry layer imports it, never the reverse.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["TraceContext", "parse_traceparent"]
+
+_VERSION = "00"
+_FLAG_SAMPLED = "01"
+_TRACE_ID_CHARS = 32
+_SPAN_ID_CHARS = 16
+_HEX = set("0123456789abcdef")
+
+
+def _rand_hex(n_chars: int) -> str:
+    return os.urandom(n_chars // 2).hex()
+
+
+def _is_hex_id(value: str, n_chars: int) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == n_chars
+        and set(value) <= _HEX
+        and set(value) != {"0"}
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable (trace_id, span_id, parent_id) triple.
+
+    ``span_id`` identifies the unit of work *currently being described*;
+    a span recorded against this context uses ``span_id`` as its own id
+    and ``parent_id`` as its parent pointer.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    sampled: bool = True
+
+    def __post_init__(self):
+        if not _is_hex_id(self.trace_id, _TRACE_ID_CHARS):
+            raise ValueError(
+                f"trace_id must be {_TRACE_ID_CHARS} lowercase hex chars, "
+                f"got {self.trace_id!r}"
+            )
+        if not _is_hex_id(self.span_id, _SPAN_ID_CHARS):
+            raise ValueError(
+                f"span_id must be {_SPAN_ID_CHARS} lowercase hex chars, "
+                f"got {self.span_id!r}"
+            )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def new_root(cls) -> "TraceContext":
+        """A fresh trace: new trace_id, new span_id, no parent."""
+        return cls(
+            trace_id=_rand_hex(_TRACE_ID_CHARS),
+            span_id=_rand_hex(_SPAN_ID_CHARS),
+            parent_id=None,
+        )
+
+    def child(self) -> "TraceContext":
+        """A child unit of work: same trace, new span under this one."""
+        return replace(
+            self, span_id=_rand_hex(_SPAN_ID_CHARS), parent_id=self.span_id
+        )
+
+    # -- wire form --------------------------------------------------------
+
+    def to_traceparent(self) -> str:
+        """``00-<trace_id>-<span_id>-01`` (W3C traceparent layout).
+
+        The parent pointer is *not* carried — a receiver derives its own
+        child context, so the sender's ``span_id`` becomes the
+        receiver's ``parent_id`` exactly as in W3C context propagation.
+        """
+        flags = _FLAG_SAMPLED if self.sampled else "00"
+        return f"{_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> "TraceContext":
+        """Parse a traceparent string; raises :class:`ValueError` on a
+        malformed header."""
+        if not isinstance(header, str):
+            raise ValueError(f"traceparent must be a string, got {header!r}")
+        parts = header.strip().split("-")
+        if len(parts) != 4:
+            raise ValueError(
+                f"traceparent needs 4 dash-separated fields: {header!r}"
+            )
+        version, trace_id, span_id, flags = parts
+        if version != _VERSION:
+            raise ValueError(f"unsupported traceparent version {version!r}")
+        if len(flags) != 2 or set(flags) - _HEX:
+            raise ValueError(f"malformed traceparent flags {flags!r}")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=None,
+            sampled=bool(int(flags, 16) & 1),
+        )
+
+
+def parse_traceparent(header) -> Optional[TraceContext]:
+    """Lenient parse: ``None`` for absent or malformed headers.
+
+    The server uses this at admission — a request carrying a damaged
+    ``trace`` field must still verify (the field is advisory metadata),
+    so parse failures degrade to "start a new root" rather than a 400.
+    """
+    if not header:
+        return None
+    try:
+        return TraceContext.from_traceparent(header)
+    except ValueError:
+        return None

@@ -1,0 +1,113 @@
+"""Trace exporters: collapsed-stack (flamegraph) and Chrome trace_event.
+
+Two interchange formats cover the common viewers:
+
+* :func:`to_collapsed_stacks` — one ``root;child;leaf <value>`` line
+  per stack, the format ``flamegraph.pl`` and speedscope ingest.
+  Values are *self* microseconds (wall time not covered by children),
+  so frame widths sum correctly.
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON that
+  ``chrome://tracing`` / Perfetto load: one complete ``"X"`` event per
+  span, one timeline row (tid) per trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+__all__ = ["to_collapsed_stacks", "to_chrome_trace"]
+
+
+def _tree(doc: dict):
+    by_id = {rec["span_id"]: rec for rec in doc["spans"]}
+    children: Dict[str, List[dict]] = {}
+    roots: List[dict] = []
+    for rec in doc["spans"]:
+        parent = rec.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(rec)
+        else:
+            roots.append(rec)
+    return roots, children
+
+
+def to_collapsed_stacks(docs: Iterable[dict]) -> str:
+    """Collapsed-stack lines for a set of trace documents.
+
+    Identical stacks across traces aggregate (semicolon-joined frame
+    names are the identity), so a 500-request load run folds into a
+    handful of wide frames instead of 500 near-identical ones.
+    """
+    weights: Dict[str, int] = {}
+
+    def _walk(rec: dict, children: Dict[str, List[dict]], stack: str):
+        frame = str(rec.get("name", "?")).replace(";", "_")
+        stack = f"{stack};{frame}" if stack else frame
+        kids = children.get(rec["span_id"], [])
+        child_wall = sum(k.get("wall_s", 0.0) for k in kids)
+        self_us = max(0.0, rec.get("wall_s", 0.0) - child_wall) * 1e6
+        weights[stack] = weights.get(stack, 0) + int(round(self_us))
+        for kid in kids:
+            _walk(kid, children, stack)
+
+    for doc in docs:
+        roots, children = _tree(doc)
+        for rec in roots:
+            _walk(rec, children, "")
+    return "\n".join(
+        f"{stack} {weight}"
+        for stack, weight in sorted(weights.items())
+        if weight > 0
+    ) + ("\n" if weights else "")
+
+
+def to_chrome_trace(docs: Iterable[dict]) -> dict:
+    """Chrome ``trace_event`` JSON for a set of trace documents.
+
+    Each trace gets its own thread row; timestamps are the recorded
+    unix starts in microseconds, so concurrent requests line up the way
+    they actually overlapped on the server.
+    """
+    events: List[dict] = []
+    for tid, doc in enumerate(docs, start=1):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"trace {doc['trace_id'][:8]}"},
+            }
+        )
+        for rec in doc["spans"]:
+            args = {
+                "span_id": rec["span_id"],
+                "trace_id": rec.get("trace_id"),
+            }
+            if rec.get("device_us"):
+                args["device_us"] = rec["device_us"]
+            if rec.get("attrs"):
+                args.update(
+                    {f"attr.{k}": v for k, v in rec["attrs"].items()}
+                )
+            events.append(
+                {
+                    "name": rec.get("name", "?"),
+                    "cat": "flashmark",
+                    "ph": "X",
+                    "ts": rec.get("t0_unix_s", 0.0) * 1e6,
+                    "dur": rec.get("wall_s", 0.0) * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(docs: Iterable[dict], path) -> None:
+    """Write :func:`to_chrome_trace` output as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(docs), fh, indent=1)
+        fh.write("\n")

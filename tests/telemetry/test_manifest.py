@@ -199,3 +199,102 @@ class TestSessionWithoutTelemetryArg:
         manifest = session.run_manifest()
         assert [s["name"] for s in manifest["stages"]] == ["imprint"]
         assert manifest["verdict"] is None
+
+
+def _loadgen_manifest(**overrides):
+    load = {
+        "mode": "closed",
+        "requests": 40,
+        "completed": 40,
+        "rejected": 0,
+        "throughput_rps": 120.5,
+        "latency": {
+            "count": 40, "p50_ms": 8.1, "p95_ms": 14.2, "p99_ms": 22.0,
+        },
+        "errors_by_code": {},
+        "mismatches": [],
+        "traced": 40,
+    }
+    load.update(overrides)
+    return build_manifest(Telemetry(), kind="loadgen", extra={"load": load})
+
+
+def _chaos_manifest(**overrides):
+    chaos = {
+        "requests": 12,
+        "completed": 10,
+        "errors_by_code": {"ENGINE_FAILURE": 2},
+        "injected": ["service.read", "engine.hang", "registry.lock"],
+        "plan": {"specs": [{}, {}, {}, {}]},
+        "reconnects": 1,
+        "divergences": [],
+        "invariants": {"audit_chain": True, "no_drops": False},
+        "passed": False,
+    }
+    chaos.update(overrides)
+    return build_manifest(Telemetry(), kind="chaos", extra={"chaos": chaos})
+
+
+class TestKindSections:
+    """Non-run manifest kinds render kind-specific sections rather than
+    falling through to the generic stage/metrics dump."""
+
+    def test_loadgen_summary_renders_load_table(self):
+        text = summarize_manifest(_loadgen_manifest())
+        assert "load run" in text
+        assert "40/40 completed, 0 rejected" in text
+        assert "120.5 req/s" in text
+        assert "p95 14.2 ms" in text
+        assert "traced requests" in text
+
+    def test_loadgen_summary_surfaces_errors_and_mismatches(self):
+        text = summarize_manifest(
+            _loadgen_manifest(
+                completed=38,
+                errors_by_code={"429": 2},
+                mismatches=[{"index": 3}],
+            )
+        )
+        assert "error 429" in text
+        assert "verdict mismatches" in text
+
+    def test_chaos_summary_renders_soak_table(self):
+        text = summarize_manifest(_chaos_manifest())
+        assert "chaos soak" in text
+        assert "10/12 ok, 2 error(s)" in text
+        assert "3 of 4 scheduled" in text
+        assert "invariant: audit_chain" in text
+        assert "invariant: no_drops" in text
+        assert "FAIL" in text
+        assert "FAILED" in text
+
+    def test_session_manifest_has_no_kind_table(self):
+        text = summarize_manifest(_small_manifest())
+        assert "load run" not in text
+        assert "chaos soak" not in text
+
+    def test_loadgen_diff_shows_regression_deltas(self):
+        a = _loadgen_manifest()
+        b = _loadgen_manifest(
+            throughput_rps=98.0, completed=38,
+            latency={"count": 38, "p50_ms": 8.3, "p95_ms": 19.9,
+                     "p99_ms": 30.0},
+        )
+        text = diff_manifests(a, b)
+        assert "load run" in text
+        assert "-22.5" in text        # throughput delta
+        assert "+5.7" in text         # p95 delta
+        assert "-2" in text           # completed delta
+
+    def test_chaos_diff_compares_outcomes(self):
+        a = _chaos_manifest(passed=True)
+        b = _chaos_manifest(injected=["service.read"])
+        text = diff_manifests(a, b)
+        assert "chaos soak" in text
+        assert "passed" in text
+        assert "FAILED" in text
+
+    def test_mixed_kind_diff_omits_kind_table(self):
+        text = diff_manifests(_loadgen_manifest(), _chaos_manifest())
+        assert "load run" not in text
+        assert "chaos soak" not in text

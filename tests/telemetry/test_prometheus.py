@@ -1,0 +1,99 @@
+"""Tests for the Prometheus text renderer and metric-name mapping."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.prometheus import metric_name, render_prometheus
+
+
+class TestMetricName:
+    @pytest.mark.parametrize(
+        "internal,expected",
+        [
+            ("service.requests", "flashmark_service_requests"),
+            (
+                "service.rejected.bad_request",
+                "flashmark_service_rejected_bad_request",
+            ),
+            (
+                "faults.injected.service.read",
+                "flashmark_faults_injected_service_read",
+            ),
+            ("engine.hung_skips", "flashmark_engine_hung_skips"),
+            ("loadgen.error.429", "flashmark_loadgen_error_429"),
+        ],
+    )
+    def test_dotted_names_normalize(self, internal, expected):
+        assert metric_name(internal) == expected
+
+    def test_illegal_characters_become_underscores(self):
+        assert metric_name("a-b c%d") == "flashmark_a_b_c_d"
+
+    def test_leading_digit_guarded(self):
+        name = metric_name("429.rejections", prefix="")
+        assert name == "_429_rejections"
+        assert name[0] == "_"
+
+    def test_distinct_names_stay_distinct(self):
+        # the mapping's stability promise: dots/dashes collapse to the
+        # same underscore, anything else distinct stays distinct
+        names = [
+            "service.requests",
+            "service.requests.total",
+            "engine.hung_skips",
+            "engine.hungskips",
+        ]
+        assert len({metric_name(n) for n in names}) == len(names)
+
+
+class TestRender:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("faults.injected.service.read").inc(3)
+        reg.counter("engine.hung_skips").inc(1)
+        reg.counter("service.registry_retries").inc(2)
+        reg.gauge("service.inflight").set(5)
+        reg.histogram(
+            "service.stage.engine_s", buckets=(0.01, 0.1, 1.0)
+        ).observe(0.05)
+        return reg
+
+    def test_operational_counters_exposed(self):
+        text = render_prometheus(self._registry().snapshot())
+        assert "flashmark_faults_injected_service_read 3" in text
+        assert "flashmark_engine_hung_skips 1" in text
+        assert "flashmark_service_registry_retries 2" in text
+        assert (
+            "# TYPE flashmark_engine_hung_skips counter" in text
+        )
+
+    def test_gauges_and_extra_gauges(self):
+        text = render_prometheus(
+            self._registry().snapshot(),
+            extra_gauges={"service.queue_depth": 7},
+        )
+        assert "flashmark_service_inflight 5" in text
+        assert "flashmark_service_queue_depth 7" in text
+        assert "# TYPE flashmark_service_queue_depth gauge" in text
+
+    def test_histogram_rendering(self):
+        text = render_prometheus(self._registry().snapshot())
+        name = "flashmark_service_stage_engine_s"
+        assert f"# TYPE {name} histogram" in text
+        # cumulative buckets, one sample below 0.1
+        assert f'{name}_bucket{{le="0.01"}} 0' in text
+        assert f'{name}_bucket{{le="0.1"}} 1' in text
+        assert f'{name}_bucket{{le="+Inf"}} 1' in text
+        assert f"{name}_count 1" in text
+        assert f"{name}_sum 0.05" in text
+
+    def test_every_line_is_wellformed(self):
+        text = render_prometheus(
+            self._registry().snapshot(),
+            extra_gauges={"service.open_connections": 0},
+        )
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or " " in line
+            if not line.startswith("#"):
+                name = line.split(" ")[0].split("{")[0]
+                assert name.startswith("flashmark_")

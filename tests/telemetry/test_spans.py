@@ -176,3 +176,71 @@ class TestSinks:
     def test_jsonl_sink_rejects_garbage(self):
         with pytest.raises(TypeError, match="unsupported"):
             JsonlSink(42)
+
+
+class TestRotation:
+    def _fill(self, sink, tel, n):
+        for _ in range(n):
+            with tel.span("stage", pad="x" * 64):
+                pass
+
+    def test_rotates_at_max_bytes(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path, max_bytes=400)
+        tel = Telemetry(sink=sink)
+        self._fill(sink, tel, 8)
+        sink.close()
+        rotated = tmp_path / "spans.jsonl.1"
+        assert rotated.exists()
+        assert sink.rotations >= 1
+        # every surviving line is intact JSON (rotation happens on
+        # line boundaries, never mid-record)
+        for p in (path, rotated):
+            for line in p.read_text().strip().splitlines():
+                assert json.loads(line)["name"] == "stage"
+        assert path.stat().st_size <= 400
+        assert rotated.stat().st_size <= 400
+
+    def test_second_rotation_replaces_first(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path, max_bytes=200)
+        tel = Telemetry(sink=sink)
+        self._fill(sink, tel, 12)
+        sink.close()
+        assert sink.rotations >= 2
+        # only one .1 file ever exists; older rotations are replaced
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "spans.jsonl",
+            "spans.jsonl.1",
+        ]
+
+    def test_rotations_mirrored_into_counter(self, tmp_path):
+        sink = JsonlSink(tmp_path / "spans.jsonl", max_bytes=200)
+        tel = Telemetry(sink=sink)
+        self._fill(sink, tel, 12)
+        sink.close()
+        counters = tel.registry.snapshot()["counters"]
+        assert counters.get("telemetry.sink.rotations") == sink.rotations
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path)
+        tel = Telemetry(sink=sink)
+        self._fill(sink, tel, 12)
+        sink.close()
+        assert sink.rotations == 0
+        assert not (tmp_path / "spans.jsonl.1").exists()
+
+    def test_handle_targets_never_rotate(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as fh:
+            sink = JsonlSink(fh, max_bytes=100)
+            tel = Telemetry(sink=sink)
+            self._fill(sink, tel, 8)
+            sink.close()
+        assert sink.rotations == 0
+        assert not (tmp_path / "spans.jsonl.1").exists()
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(tmp_path / "s.jsonl", max_bytes=0)

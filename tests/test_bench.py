@@ -1,0 +1,55 @@
+"""Tests for the performance-baseline exporter internals.
+
+``run_bench`` itself is exercised by CI (``repro bench --quick``); the
+unit tests here cover the measurement arithmetic so the exported
+numbers mean what the schema says they mean.
+"""
+
+import math
+
+from repro.bench import BENCH_SCHEMA, _git_sha, _percentile, _time_op
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 50) == 2.0
+        assert _percentile(values, 95) == 4.0
+        assert _percentile(values, 100) == 4.0
+        assert _percentile(values, 1) == 1.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(_percentile([], 50))
+
+
+class TestTimeOp:
+    def test_shape_and_consistency(self):
+        calls = []
+        result = _time_op(
+            "noop", lambda: calls.append(1), repeats=10, warmup=2
+        )
+        assert len(calls) == 12  # warmup runs excluded from samples
+        assert result["name"] == "noop"
+        assert result["n"] == 10
+        assert result["p50_ms"] <= result["p95_ms"]
+        assert result["mean_ms"] > 0
+        # throughput is the reciprocal of the mean latency
+        assert result["throughput_per_s"] * result["mean_ms"] / 1e3 == (
+            1.0
+        ) or abs(
+            result["throughput_per_s"] - 1e3 / result["mean_ms"]
+        ) < 1e-6
+
+
+class TestGitSha:
+    def test_in_repo_returns_hex(self):
+        sha = _git_sha()
+        # this test runs inside the repo; outside one, None is valid
+        if sha is not None:
+            assert len(sha) == 40
+            assert set(sha) <= set("0123456789abcdef")
+
+
+class TestSchema:
+    def test_schema_name(self):
+        assert BENCH_SCHEMA == "flashmark.bench/v1"

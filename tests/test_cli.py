@@ -423,3 +423,104 @@ class TestServiceCli:
             == 1
         )
         assert "loadgen" in capsys.readouterr().err
+
+
+class TestTraceCli:
+    @pytest.fixture
+    def span_log(self, tmp_path):
+        """A synthetic one-request span log (client + server sides)."""
+        import json as _json
+
+        tid = "ab" * 16
+        spans = [
+            ("client.request", "c" * 16, None, 0.0, 0.100),
+            ("server.request", "5" * 16, "c" * 16, 0.005, 0.090),
+            ("server.engine", "e" * 16, "5" * 16, 0.020, 0.060),
+            ("verify.chip", "f" * 16, "e" * 16, 0.021, 0.055),
+        ]
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as fh:
+            for name, sid, parent, t0, wall in spans:
+                fh.write(
+                    _json.dumps(
+                        {
+                            "type": "span",
+                            "name": name,
+                            "trace_id": tid,
+                            "span_id": sid,
+                            "parent_id": parent,
+                            "t0_unix_s": t0,
+                            "wall_s": wall,
+                        }
+                    )
+                    + "\n"
+                )
+        return path
+
+    def test_show(self, span_log, capsys):
+        assert main(["trace", "show", str(span_log)]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s) assembled from 4 span(s)" in out
+        assert "1 complete, 0 orphan span(s)" in out
+        assert "verify.chip" in out
+
+    def test_critical_path_check_passes(self, span_log, capsys):
+        assert (
+            main(["trace", "critical-path", str(span_log), "--check"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "stage breakdown" in out
+
+    def test_check_fails_on_orphans(self, span_log, tmp_path, capsys):
+        import json as _json
+
+        broken = tmp_path / "broken.jsonl"
+        kept = [
+            _json.loads(line)
+            for line in span_log.read_text().splitlines()
+        ]
+        with open(broken, "w") as fh:
+            for rec in kept:
+                if rec["name"] != "server.request":
+                    fh.write(_json.dumps(rec) + "\n")
+        assert main(["trace", "show", str(broken), "--check"]) == 3
+        assert "CHECK FAILED" in capsys.readouterr().out
+
+    def test_export_writes_artifacts(self, span_log, tmp_path, capsys):
+        import json as _json
+
+        flame = tmp_path / "flame.txt"
+        chrome = tmp_path / "chrome.json"
+        docs = tmp_path / "docs.json"
+        assert (
+            main(
+                [
+                    "trace", "export", str(span_log),
+                    "--flame", str(flame),
+                    "--chrome", str(chrome),
+                    "--json", str(docs),
+                ]
+            )
+            == 0
+        )
+        assert "client.request;server.request" in flame.read_text()
+        assert _json.loads(chrome.read_text())["traceEvents"]
+        loaded = _json.loads(docs.read_text())
+        assert loaded[0]["schema"] == "flashmark.trace/v1"
+
+    def test_export_without_output_fails(self, span_log, capsys):
+        assert main(["trace", "export", str(span_log)]) == 1
+        assert "export needs" in capsys.readouterr().err
+
+    def test_trace_id_filter_no_match(self, span_log, capsys):
+        assert (
+            main(["trace", "show", str(span_log), "--trace-id", "ffff"])
+            == 1
+        )
+        assert "no traces" in capsys.readouterr().out
+
+    def test_missing_log_fails(self, tmp_path, capsys):
+        assert main(["trace", "show", str(tmp_path / "nope.jsonl")]) == 1
+        assert "trace" in capsys.readouterr().err

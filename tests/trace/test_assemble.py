@@ -1,0 +1,201 @@
+"""Tests for trace assembly: grouping, tree-threading, stage breakdown
+and critical-path extraction over synthetic span records."""
+
+import json
+
+from repro.trace import (
+    SERVER_STAGES,
+    STAGE_OF_SPAN,
+    TRACE_SCHEMA,
+    assemble_trace,
+    assemble_traces,
+    collect_traces,
+    format_critical_path,
+    format_trace,
+    read_span_records,
+)
+
+TID = "ab" * 16
+
+
+def _span(
+    name,
+    span_id,
+    parent_id=None,
+    t0=0.0,
+    wall=0.01,
+    device_us=0.0,
+    trace_id=TID,
+):
+    return {
+        "type": "span",
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "t0_unix_s": t0,
+        "wall_s": wall,
+        "device_us": device_us,
+    }
+
+
+def _request_spans():
+    """One full request: client -> server -> stages -> worker."""
+    return [
+        _span("client.request", "c" * 16, None, t0=0.0, wall=0.100),
+        _span("server.request", "s" * 16, "c" * 16, t0=0.005, wall=0.090),
+        _span("server.queue_wait", "q" * 16, "s" * 16, t0=0.005, wall=0.010),
+        _span("server.batch_wait", "b" * 16, "s" * 16, t0=0.015, wall=0.005),
+        _span("server.decode", "d" * 16, "s" * 16, t0=0.020, wall=0.004),
+        _span("server.engine", "e" * 16, "s" * 16, t0=0.024, wall=0.060),
+        _span(
+            "verify.chip", "f" * 16, "e" * 16,
+            t0=0.025, wall=0.055, device_us=1234.0,
+        ),
+        _span("server.registry", "1" * 16, "s" * 16, t0=0.085, wall=0.008),
+    ]
+
+
+class TestGrouping:
+    def test_collect_by_trace_id(self):
+        other = "cd" * 16
+        records = _request_spans() + [
+            _span("client.request", "9" * 16, trace_id=other)
+        ]
+        traces = collect_traces(records)
+        assert set(traces) == {TID, other}
+        assert len(traces[TID]) == 8
+
+    def test_records_without_ids_skipped(self):
+        records = [{"name": "x"}, {"trace_id": TID}, _span("a", "2" * 16)]
+        traces = collect_traces(records)
+        assert len(traces[TID]) == 1
+
+    def test_read_span_records_skips_junk(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        lines = [
+            json.dumps(_span("client.request", "c" * 16)),
+            json.dumps({"type": "metric", "name": "not.a.span"}),
+            json.dumps({"type": "span", "name": "untraced"}),  # no ids
+            "{truncated",
+            "[1, 2]",
+            "",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        records = read_span_records([path])
+        assert len(records) == 1
+        assert records[0]["name"] == "client.request"
+
+
+class TestAssembly:
+    def test_complete_trace(self):
+        doc = assemble_trace(TID, _request_spans())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["complete"]
+        assert doc["orphans"] == []
+        assert doc["n_spans"] == 8
+        assert doc["root"]["name"] == "client.request"
+        assert doc["wall_s"] == 0.100
+        assert doc["device_us"] == 1234.0
+
+    def test_duplicate_spans_deduped(self):
+        spans = _request_spans()
+        doc = assemble_trace(TID, spans + [dict(spans[0])])
+        assert doc["n_spans"] == 8
+        assert doc["complete"]
+
+    def test_orphan_detected(self):
+        spans = [
+            s for s in _request_spans() if s["name"] != "server.request"
+        ]
+        doc = assemble_trace(TID, spans)
+        assert not doc["complete"]
+        # every stage span pointed at the missing server.request
+        assert len(doc["orphans"]) == 5
+
+    def test_stage_breakdown(self):
+        doc = assemble_trace(TID, _request_spans())
+        stages = doc["stages"]
+        assert set(stages) == {
+            "client", "server", "queue_wait", "batch_wait",
+            "decode", "engine", "registry", "engine_worker",
+        }
+        assert stages["engine_worker"]["device_us"] == 1234.0
+        attributed = sum(stages[s]["wall_s"] for s in SERVER_STAGES)
+        # server stages partition the server wall up to unattributed
+        assert doc["unattributed_s"] == (
+            stages["server"]["wall_s"] - attributed
+        )
+        assert doc["unattributed_s"] >= 0
+
+    def test_unknown_span_names_have_no_stage(self):
+        spans = _request_spans() + [
+            _span("custom.thing", "7" * 16, "s" * 16, t0=0.03, wall=0.001)
+        ]
+        doc = assemble_trace(TID, spans)
+        assert doc["complete"]
+        assert "custom.thing" not in STAGE_OF_SPAN
+        assert set(doc["stages"]) == {
+            "client", "server", "queue_wait", "batch_wait",
+            "decode", "engine", "registry", "engine_worker",
+        }
+
+    def test_assemble_traces_one_doc_per_trace(self):
+        other = "cd" * 16
+        records = _request_spans() + [
+            _span("client.request", "9" * 16, trace_id=other)
+        ]
+        docs = assemble_traces(records)
+        assert [d["trace_id"] for d in docs] == [TID, other]
+        assert docs[1]["complete"]  # single root, no orphans
+
+
+class TestCriticalPath:
+    def test_descends_into_latest_ending_child(self):
+        doc = assemble_trace(TID, _request_spans())
+        names = [hop["name"] for hop in doc["critical_path"]]
+        # registry ends last among server.request's children (0.093);
+        # the path follows the span the parent waited on.
+        assert names == [
+            "client.request", "server.request", "server.registry",
+        ]
+
+    def test_self_time_excludes_children(self):
+        doc = assemble_trace(TID, _request_spans())
+        by_name = {h["name"]: h for h in doc["critical_path"]}
+        client = by_name["client.request"]
+        assert client["wall_s"] == 0.100
+        assert abs(client["self_s"] - 0.010) < 1e-9  # 0.100 - 0.090
+
+    def test_cycle_terminates(self):
+        spans = [
+            _span("a", "3" * 16, "4" * 16, wall=0.01),
+            _span("b", "4" * 16, "3" * 16, wall=0.01),
+        ]
+        doc = assemble_trace(TID, spans)  # must not hang
+        assert not doc["complete"]
+
+
+class TestRendering:
+    def test_format_trace(self):
+        text = format_trace(assemble_trace(TID, _request_spans()))
+        assert TID in text
+        assert "complete" in text
+        assert "verify.chip" in text
+        # nesting: worker span is indented deeper than engine span
+        engine_line = next(
+            l for l in text.splitlines() if "server.engine" in l
+        )
+        worker_line = next(
+            l for l in text.splitlines() if "verify.chip" in l
+        )
+        assert len(worker_line) - len(worker_line.lstrip()) > (
+            len(engine_line) - len(engine_line.lstrip())
+        )
+
+    def test_format_critical_path(self):
+        text = format_critical_path(assemble_trace(TID, _request_spans()))
+        assert "critical path" in text
+        assert "stage breakdown" in text
+        assert "engine_worker" in text
+        assert "% of server wall" in text

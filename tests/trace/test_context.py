@@ -1,0 +1,104 @@
+"""Tests for TraceContext construction, derivation and the wire form."""
+
+import pytest
+
+from repro.trace import TraceContext, parse_traceparent
+
+
+class TestConstruction:
+    def test_new_root_has_no_parent(self):
+        ctx = TraceContext.new_root()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+        assert ctx.sampled
+
+    def test_roots_are_distinct(self):
+        a, b = TraceContext.new_root(), TraceContext.new_root()
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_child_keeps_trace_and_parents_under_self(self):
+        root = TraceContext.new_root()
+        kid = root.child()
+        assert kid.trace_id == root.trace_id
+        assert kid.parent_id == root.span_id
+        assert kid.span_id != root.span_id
+        grandkid = kid.child()
+        assert grandkid.parent_id == kid.span_id
+
+    @pytest.mark.parametrize(
+        "trace_id,span_id",
+        [
+            ("x" * 32, "a" * 16),  # non-hex
+            ("a" * 31, "a" * 16),  # wrong length
+            ("0" * 32, "a" * 16),  # all-zero forbidden
+            ("a" * 32, "0" * 16),
+            ("A" * 32, "a" * 16),  # uppercase rejected
+        ],
+    )
+    def test_invalid_ids_raise(self, trace_id, span_id):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+class TestWireForm:
+    def test_roundtrip(self):
+        ctx = TraceContext.new_root()
+        header = ctx.to_traceparent()
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        back = TraceContext.from_traceparent(header)
+        assert back.trace_id == ctx.trace_id
+        # The sender's span becomes the receiver's parent only after
+        # .child(); the parsed context itself carries no parent.
+        assert back.span_id == ctx.span_id
+        assert back.parent_id is None
+
+    def test_receiver_child_parents_under_sender_span(self):
+        sender = TraceContext.new_root()
+        received = TraceContext.from_traceparent(sender.to_traceparent())
+        server_ctx = received.child()
+        assert server_ctx.trace_id == sender.trace_id
+        assert server_ctx.parent_id == sender.span_id
+
+    def test_unsampled_flag_roundtrips(self):
+        ctx = TraceContext.new_root()
+        unsampled = TraceContext(
+            ctx.trace_id, ctx.span_id, sampled=False
+        )
+        header = unsampled.to_traceparent()
+        assert header.endswith("-00")
+        assert not TraceContext.from_traceparent(header).sampled
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "00-abc-def-01",  # short ids
+            "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # bad version
+            "00-" + "a" * 32 + "-" + "b" * 16 + "-zz",  # bad flags
+            "00-" + "a" * 32 + "-" + "b" * 16,  # missing field
+            42,
+            None,
+        ],
+    )
+    def test_strict_parse_raises(self, header):
+        with pytest.raises(ValueError):
+            TraceContext.from_traceparent(header)
+
+
+class TestLenientParse:
+    def test_absent_is_none(self):
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("") is None
+
+    def test_malformed_is_none_not_error(self):
+        assert parse_traceparent("not-a-traceparent") is None
+        assert parse_traceparent("00-zz-zz-01") is None
+
+    def test_valid_parses(self):
+        ctx = TraceContext.new_root()
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id

@@ -1,0 +1,98 @@
+"""Tests for the flamegraph (collapsed-stack) and Chrome trace exports."""
+
+import json
+
+from repro.trace import (
+    assemble_trace,
+    dump_chrome_trace,
+    to_chrome_trace,
+    to_collapsed_stacks,
+)
+
+TID_A = "ab" * 16
+TID_B = "cd" * 16
+
+
+def _doc(trace_id, *, wall=0.010, child_wall=0.004):
+    spans = [
+        {
+            "name": "client.request",
+            "trace_id": trace_id,
+            "span_id": "c" * 16,
+            "parent_id": None,
+            "t0_unix_s": 0.0,
+            "wall_s": wall,
+            "device_us": 0.0,
+        },
+        {
+            "name": "server.request",
+            "trace_id": trace_id,
+            "span_id": "s" * 16,
+            "parent_id": "c" * 16,
+            "t0_unix_s": 0.001,
+            "wall_s": child_wall,
+            "device_us": 99.0,
+            "attrs": {"family": "fam"},
+        },
+    ]
+    return assemble_trace(trace_id, spans)
+
+
+class TestCollapsedStacks:
+    def test_self_time_weights(self):
+        out = to_collapsed_stacks([_doc(TID_A)])
+        lines = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in out.strip().splitlines()
+        )
+        # root self = 10ms - 4ms child = 6000 us; child self = 4000 us
+        assert lines["client.request"] == 6000
+        assert lines["client.request;server.request"] == 4000
+
+    def test_identical_stacks_aggregate_across_traces(self):
+        out = to_collapsed_stacks([_doc(TID_A), _doc(TID_B)])
+        lines = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in out.strip().splitlines()
+        )
+        assert lines["client.request"] == 12000
+        assert lines["client.request;server.request"] == 8000
+
+    def test_zero_self_frames_dropped(self):
+        # child wall == parent wall: parent self-time is 0 and must
+        # not emit a zero-width frame
+        out = to_collapsed_stacks([_doc(TID_A, wall=0.004)])
+        stacks = [line.rsplit(" ", 1)[0] for line in out.strip().splitlines()]
+        assert "client.request" not in stacks
+        assert "client.request;server.request" in stacks
+
+    def test_empty_input(self):
+        assert to_collapsed_stacks([]) == ""
+
+
+class TestChromeTrace:
+    def test_events_shape(self):
+        doc = to_chrome_trace([_doc(TID_A)])
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1
+        assert meta[0]["args"]["name"] == f"trace {TID_A[:8]}"
+        assert len(slices) == 2
+        server = next(e for e in slices if e["name"] == "server.request")
+        assert server["ts"] == 0.001 * 1e6
+        assert server["dur"] == 0.004 * 1e6
+        assert server["args"]["device_us"] == 99.0
+        assert server["args"]["attr.family"] == "fam"
+
+    def test_one_thread_row_per_trace(self):
+        doc = to_chrome_trace([_doc(TID_A), _doc(TID_B)])
+        tids = {e["tid"] for e in doc["traceEvents"]}
+        assert tids == {1, 2}
+
+    def test_dump_is_valid_json(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        dump_chrome_trace([_doc(TID_A)], path)
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == 3
