@@ -29,7 +29,12 @@ Milenkovic.  The package layers as follows (bottom up):
 * :mod:`repro.faults` — seeded deterministic fault injection: declarative
   :class:`FaultPlan` schedules armed over named points in persistence,
   engine and service, plus the chaos soak harness behind
-  ``python -m repro chaos`` (see ``docs/robustness.md``).
+  ``python -m repro chaos`` (see ``docs/robustness.md``);
+* :mod:`repro.monitor` — fleet-health monitoring over the service's
+  verification-outcome stream: EWMA/CUSUM drift detection on the
+  decision statistic, declarative SLOs (``flashmark.slo/v1``) with
+  burn-rate alerting, the ``flashmark.alerts/v1`` stream, and the
+  ``repro monitor`` dashboard/report (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -88,6 +93,13 @@ from .engine import (
     verify_population,
 )
 from .faults import FaultInjector, FaultPlan, FaultSpec
+from .monitor import (
+    CUSUMDetector,
+    EWMADetector,
+    FleetMonitor,
+    MonitorConfig,
+    SLOSpec,
+)
 from .phys import PhysicalParams
 from .service import (
     LoadClient,
@@ -99,7 +111,7 @@ from .service import (
 from .telemetry import Telemetry
 from .trace import TraceContext
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -152,4 +164,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultInjector",
+    # fleet-health monitoring
+    "FleetMonitor",
+    "MonitorConfig",
+    "EWMADetector",
+    "CUSUMDetector",
+    "SLOSpec",
 ]

@@ -35,6 +35,12 @@ The CLI plays both supply-chain roles on persisted chip state
     $ python -m repro trace export server.jsonl client.jsonl \
           --flame flame.txt --chrome chrome.json
     $ python -m repro bench --quick --out BENCH_perf.json
+    # fleet-health monitoring
+    $ python -m repro serve --registry reg.db --alerts-log alerts.jsonl
+    $ python -m repro loadgen --port 7433 --family msp430 --wear-drift
+    $ python -m repro monitor watch --port 7433
+    $ python -m repro monitor report alerts.jsonl -o report.html
+    $ python -m repro chaos --seed 7 --requests 24 --monitor
 """
 
 from __future__ import annotations
@@ -332,6 +338,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip per-request trace spans entirely",
     )
+    p.add_argument(
+        "--alerts-log",
+        help="append flashmark.alerts/v1 transitions (JSONL) here — "
+        "the input of 'repro monitor report'",
+    )
+    p.add_argument(
+        "--slo",
+        help="flashmark.slo/v1 JSON spec (default: built-in SLOs)",
+    )
+    p.add_argument(
+        "--no-monitor",
+        action="store_true",
+        help="disable the fleet-health monitor entirely",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -371,6 +391,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--manifest", help="write the chaos run manifest (JSON) here"
     )
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="attach a fleet monitor to the soak server and check that "
+        "faults trip an alert which clears after recovery",
+    )
+    p.add_argument(
+        "--alerts-log",
+        help="append the soak's alert transitions (JSONL) here "
+        "(implies --monitor)",
+    )
 
     p = sub.add_parser(
         "loadgen",
@@ -406,6 +437,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-log",
         help="append client span records (JSONL) here — the client "
         "half of 'repro trace' input",
+    )
+    p.add_argument(
+        "--wear-drift",
+        action="store_true",
+        help="age the watermarked chips linearly along the stream "
+        "(fleet wear drift the server-side monitor should detect)",
+    )
+    p.add_argument(
+        "--wear-start",
+        type=int,
+        default=16,
+        metavar="N",
+        help="stream index the wear ramp starts at",
+    )
+    p.add_argument(
+        "--wear-ramp",
+        type=int,
+        default=48,
+        metavar="N",
+        help="items over which wear ramps to its ceiling",
+    )
+    p.add_argument(
+        "--wear-max-pe",
+        type=int,
+        default=600,
+        metavar="N",
+        help="extra accelerated P/E cycles at full ramp",
+    )
+    p.add_argument(
+        "--genuine-only",
+        action="store_true",
+        help="all-genuine traffic mix (clean drift-detection baseline)",
+    )
+
+    p = sub.add_parser(
+        "monitor",
+        help="fleet-health: live dashboard / post-run report",
+    )
+    p.add_argument(
+        "action",
+        choices=["watch", "report"],
+        help="watch: poll a live server's monitor snapshot; "
+        "report: digest an alerts JSONL into markdown/HTML",
+    )
+    p.add_argument(
+        "alerts",
+        nargs="?",
+        help="flashmark.alerts/v1 JSONL file (report)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=None, help="server port (watch)"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between dashboard refreshes (watch)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N refreshes (watch; default: until Ctrl-C)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (same as --iterations 1)",
+    )
+    p.add_argument(
+        "--manifest",
+        help="loadgen/chaos run manifest folded into the report",
+    )
+    p.add_argument(
+        "-o",
+        "--out",
+        help="write the report here ('.html' selects HTML, anything "
+        "else markdown; default: markdown on stdout)",
+    )
+    p.add_argument(
+        "--title", default="Fleet-health report", help="report title"
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 3 unless at least one drift alert fired and a final "
+        "SLO snapshot is present (CI gate)",
     )
 
     p = sub.add_parser(
@@ -1056,6 +1176,7 @@ def _cmd_serve(args) -> int:
         rate_capacity=args.rate_capacity,
         rate_refill_per_s=args.rate_refill,
         tracing=not args.no_tracing,
+        monitoring=not args.no_monitor,
     )
     sink = None
     if args.trace_log:
@@ -1065,6 +1186,31 @@ def _cmd_serve(args) -> int:
             args.trace_log, max_bytes=args.trace_log_max_bytes
         )
     telemetry = Telemetry(sink=sink)
+    monitor = None
+    alerts_fh = None
+    if not args.no_monitor:
+        from .monitor import FleetMonitor, MonitorConfig, load_slo
+
+        slo = None
+        if args.slo:
+            try:
+                slo = load_slo(args.slo)
+            except (OSError, ValueError, KeyError) as exc:
+                registry.close()
+                return _fail("serve", exc)
+        if args.alerts_log:
+            alerts_fh = open(args.alerts_log, "a", encoding="utf-8")
+        monitor = FleetMonitor(
+            MonitorConfig(slo=slo),
+            telemetry=telemetry,
+            alert_sink=alerts_fh,
+        )
+    elif args.slo or args.alerts_log:
+        registry.close()
+        return _fail(
+            "serve",
+            ValueError("--slo/--alerts-log conflict with --no-monitor"),
+        )
     sign_keys = {}
     if args.sign_key:
         key = bytes.fromhex(args.sign_key)
@@ -1076,12 +1222,27 @@ def _cmd_serve(args) -> int:
         }
 
     async def _serve() -> None:
+        import signal
+
         server = VerificationServer(
             registry,
             config=config,
             sign_keys=sign_keys,
             telemetry=telemetry,
+            monitor=monitor,
         )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # Graceful shutdown on the signals supervisors actually send
+        # (SIGTERM from systemd/CI, SIGINT from a terminal), so the
+        # manifest and the final alert-stream snapshot still get
+        # written.  Platforms without signal support fall back to the
+        # KeyboardInterrupt path below.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
         async with server:
             print(
                 f"serving {len(families)} family(ies) on "
@@ -1095,11 +1256,16 @@ def _cmd_serve(args) -> int:
                 )
             sys.stdout.flush()
             try:
-                await asyncio.Event().wait()  # until interrupted
+                await stop.wait()  # until SIGINT/SIGTERM
             finally:
                 if args.manifest:
                     save_manifest(server.build_manifest(), args.manifest)
                     print(f"run manifest -> {args.manifest}")
+                if monitor is not None and alerts_fh is not None:
+                    # A final snapshot record gives 'repro monitor
+                    # report' the end-of-run SLO burn and family state.
+                    monitor.alerts.emit_snapshot(monitor.snapshot())
+                    print(f"alert stream -> {args.alerts_log}")
 
     try:
         asyncio.run(_serve())
@@ -1109,6 +1275,8 @@ def _cmd_serve(args) -> int:
         registry.close()
         if sink is not None:
             sink.close()
+        if alerts_fh is not None:
+            alerts_fh.close()
     return 0
 
 
@@ -1151,18 +1319,30 @@ def _cmd_chaos(args) -> int:
         seed=77,
     ).calibration
     family = "chaos-family"
-    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
-        with WatermarkRegistry(Path(tmp) / "registry.db") as registry:
-            registry.publish_family(family, calibration, pop.format)
-            report = run_chaos_soak(
-                registry,
-                family,
-                traffic.draw(args.requests),
-                plan,
-                telemetry=telemetry,
-                deadline_s=args.deadline,
-                request_timeout_s=args.timeout,
-            )
+    monitored = bool(args.monitor or args.alerts_log)
+    alerts_fh = (
+        open(args.alerts_log, "a", encoding="utf-8")
+        if args.alerts_log
+        else None
+    )
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            with WatermarkRegistry(Path(tmp) / "registry.db") as registry:
+                registry.publish_family(family, calibration, pop.format)
+                report = run_chaos_soak(
+                    registry,
+                    family,
+                    traffic.draw(args.requests),
+                    plan,
+                    telemetry=telemetry,
+                    deadline_s=args.deadline,
+                    request_timeout_s=args.timeout,
+                    monitor=monitored,
+                    alert_sink=alerts_fh,
+                )
+    finally:
+        if alerts_fh is not None:
+            alerts_fh.close()
     print(
         f"injected {len(report.injected)}/{len(plan)} scheduled fault(s) "
         f"in {report.wall_s:.2f} s:"
@@ -1178,6 +1358,15 @@ def _cmd_chaos(args) -> int:
     )
     for code, count in sorted(report.errors.items()):
         print(f"  {count} response(s) with error code {code}")
+    if report.monitored:
+        print(
+            f"monitor: status {report.monitor_status}, "
+            f"alert(s) fired {sorted(set(report.alerts_fired))}, "
+            f"resolved {sorted(set(report.alerts_resolved))}, "
+            f"still firing {sorted(report.alerts_firing_at_end)}"
+        )
+        if args.alerts_log:
+            print(f"alert stream -> {args.alerts_log}")
     for label, passed in report.invariants().items():
         print(f"  [{'ok' if passed else 'FAIL'}] {label}")
     if args.manifest:
@@ -1211,13 +1400,41 @@ def _cmd_loadgen(args) -> int:
         from .telemetry import JsonlSink
 
         sink = JsonlSink(args.trace_log)
-    from .workloads.traffic import TrafficGenerator
+    from .workloads.traffic import (
+        TrafficGenerator,
+        TrafficSpec,
+        WearDriftSpec,
+    )
+
+    spec = None
+    if args.wear_drift or args.genuine_only:
+        try:
+            drift = (
+                WearDriftSpec(
+                    start_index=args.wear_start,
+                    ramp_items=args.wear_ramp,
+                    max_extra_pe=args.wear_max_pe,
+                )
+                if args.wear_drift
+                else None
+            )
+            kwargs = {"wear_drift": drift}
+            if args.genuine_only:
+                kwargs["mix"] = {"genuine": 1.0}
+            spec = TrafficSpec(**kwargs)
+        except ValueError as exc:
+            return _fail("loadgen", exc)
+        if args.wear_drift:
+            print(
+                f"wear drift: +{args.wear_max_pe} P/E over "
+                f"{args.wear_ramp} item(s) from index {args.wear_start}"
+            )
 
     load = LoadClient(
         args.host,
         args.port,
         args.family,
-        traffic=TrafficGenerator(seed=args.seed),
+        traffic=TrafficGenerator(spec, seed=args.seed),
         telemetry=Telemetry(sink=sink),
         trace=bool(args.trace or args.trace_log),
     )
@@ -1262,6 +1479,83 @@ def _cmd_loadgen(args) -> int:
         save_manifest(load.build_manifest(report), args.manifest)
         print(f"run manifest -> {args.manifest}")
     return 0 if report.completed == report.requests else 2
+
+
+def _cmd_monitor(args) -> int:
+    if args.action == "watch":
+        import asyncio
+
+        from .monitor import watch
+
+        if args.port is None:
+            return _fail(
+                "monitor", ValueError("watch requires --port")
+            )
+        iterations = 1 if args.once else args.iterations
+        try:
+            asyncio.run(
+                watch(
+                    args.host,
+                    args.port,
+                    interval_s=args.interval,
+                    iterations=iterations,
+                )
+            )
+        except KeyboardInterrupt:
+            print()
+        except (ConnectionError, OSError, RuntimeError) as exc:
+            return _fail("monitor", exc)
+        return 0
+    # report
+    from .monitor import (
+        load_manifest_file,
+        read_alert_records,
+        render_html,
+        render_markdown,
+        summarize_alert_records,
+    )
+
+    if not args.alerts:
+        return _fail(
+            "monitor", ValueError("report takes an alerts JSONL file")
+        )
+    try:
+        records = read_alert_records(args.alerts)
+        manifest = (
+            load_manifest_file(args.manifest) if args.manifest else None
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return _fail("monitor", exc)
+    summary = summarize_alert_records(records, manifest)
+    if args.out:
+        render = render_html if args.out.endswith(".html") else (
+            render_markdown
+        )
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(render(summary, title=args.title))
+        print(f"report -> {args.out}")
+        print(
+            f"alerts: {summary['fired']} fired, "
+            f"{summary['resolved']} resolved, "
+            f"{len(summary['unresolved'])} unresolved"
+        )
+    else:
+        print(render_markdown(summary, title=args.title))
+    if args.check:
+        drift_fired = bool(summary.get("drift_alerts"))
+        slo_reported = bool(
+            summary.get("slo_alerts")
+            or (summary.get("snapshot") or {}).get("slo")
+        )
+        if not (drift_fired and slo_reported):
+            print(
+                f"CHECK FAILED: drift alerts fired={drift_fired}, "
+                f"slo burn reported={slo_reported}",
+                file=sys.stderr,
+            )
+            return 3
+        print("check: drift alert fired and SLO burn reported")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -1373,6 +1667,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
     "loadgen": _cmd_loadgen,
+    "monitor": _cmd_monitor,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
 }

@@ -124,6 +124,15 @@ class ChaosReport:
         default_factory=list
     )
     wall_s: float = 0.0
+    #: True when a fleet monitor rode along (adds two invariants).
+    monitored: bool = False
+    #: Alert keys that fired / resolved during the soak, in order.
+    alerts_fired: List[str] = field(default_factory=list)
+    alerts_resolved: List[str] = field(default_factory=list)
+    #: Alert keys still firing when the soak ended.
+    alerts_firing_at_end: List[str] = field(default_factory=list)
+    #: Monitor rollup (``ok``/``degraded``/``alerting``) at soak end.
+    monitor_status: Optional[str] = None
 
     @property
     def completed(self) -> int:
@@ -158,7 +167,7 @@ class ChaosReport:
         n_injected = len(self.injected)
         n_hangs = sum(1 for _, kind, _ in self.injected if kind == "hang")
         benign = self.counters.get("faults.injected.device.save_chip", 0)
-        return {
+        out = {
             "finished_before_deadline": self.wall_s <= self.deadline_s,
             "no_request_timed_out": self.request_timeouts == 0,
             # hang faults surface only as (bounded) latency; save_chip
@@ -171,6 +180,16 @@ class ChaosReport:
                 for _, got, expected in self.divergences
             ),
         }
+        if self.monitored:
+            # The alerting contract: injected faults must burn the
+            # error-budget SLO into a *fired* alert, and once the fault
+            # schedule is exhausted the clean request tail must let
+            # every alert resolve again.
+            out["faults_tripped_alert"] = bool(self.alerts_fired)
+            out["alerts_cleared_after_recovery"] = (
+                not self.alerts_firing_at_end
+            )
+        return out
 
     @property
     def passed(self) -> bool:
@@ -197,6 +216,11 @@ class ChaosReport:
             ],
             "wall_s": self.wall_s,
             "deadline_s": self.deadline_s,
+            "monitored": self.monitored,
+            "alerts_fired": list(self.alerts_fired),
+            "alerts_resolved": list(self.alerts_resolved),
+            "alerts_firing_at_end": list(self.alerts_firing_at_end),
+            "monitor_status": self.monitor_status,
             "invariants": self.invariants(),
             "passed": self.passed,
         }
@@ -212,6 +236,8 @@ def run_chaos_soak(
     deadline_s: float = 60.0,
     request_timeout_s: float = 10.0,
     workers: int = 1,
+    monitor: bool = False,
+    alert_sink=None,
 ) -> ChaosReport:
     """Replay ``items`` through a live server with ``plan`` armed.
 
@@ -221,6 +247,15 @@ def run_chaos_soak(
     always meets the same occurrence numbers.  A severed connection is
     re-opened and the dropped request is *not* retried (it counts as
     that fault's surface).
+
+    With ``monitor=True`` a :class:`~repro.monitor.FleetMonitor` (in
+    its tight :func:`~repro.monitor.soak_config`) rides along and two
+    alerting invariants join the contract: the injected faults must
+    burn an SLO alert into existence, and the clean tail of the run
+    must let every alert resolve.  Give the run enough trailing clean
+    requests (~24 total with the coverage plan) for the second clause.
+    ``alert_sink`` optionally receives the ``flashmark.alerts/v1``
+    stream.
     """
     tel = telemetry if telemetry is not None else Telemetry()
     report = ChaosReport(
@@ -228,6 +263,7 @@ def run_chaos_soak(
         plan=plan,
         requests=len(items),
         deadline_s=deadline_s,
+        monitored=monitor,
     )
 
     async def _soak() -> None:
@@ -242,8 +278,19 @@ def run_chaos_soak(
         )
 
         loop = asyncio.get_running_loop()
-        config = ServerConfig(workers=workers)
-        server = VerificationServer(registry, config=config, telemetry=tel)
+        fleet_monitor = None
+        if monitor:
+            from ..monitor import FleetMonitor, soak_config
+
+            fleet_monitor = FleetMonitor(
+                soak_config(), telemetry=tel, alert_sink=alert_sink
+            )
+        # Without the ride-along monitor the server runs unmonitored,
+        # keeping the classic soak's behavior (and counters) unchanged.
+        config = ServerConfig(workers=workers, monitoring=monitor)
+        server = VerificationServer(
+            registry, config=config, telemetry=tel, monitor=fleet_monitor
+        )
         t0 = loop.time()
         async with server:
             client = await VerificationClient.connect(*server.address)
@@ -299,6 +346,21 @@ def run_chaos_soak(
                     report.injected = chaos.sequence()
             finally:
                 await client.close()
+            if fleet_monitor is not None:
+                alerts = fleet_monitor.alerts
+                report.alerts_fired = [
+                    a.key for a in alerts.history
+                ] + [a.key for a in alerts.firing()]
+                report.alerts_resolved = [a.key for a in alerts.history]
+                report.alerts_firing_at_end = [
+                    a.key for a in alerts.firing()
+                ]
+                report.monitor_status = fleet_monitor.status()
+                # Close the alert stream with a summary record so
+                # 'repro monitor report' sees the end-of-soak state.
+                fleet_monitor.alerts.emit_snapshot(
+                    fleet_monitor.snapshot()
+                )
         report.wall_s = loop.time() - t0
 
     asyncio.run(_soak())

@@ -1,0 +1,88 @@
+"""Fleet-health monitoring: drift detection, SLOs, and alerting.
+
+``repro.monitor`` watches the *fleet*, not one chip: it consumes the
+per-verification outcome events a
+:class:`~repro.service.server.VerificationServer` emits and answers
+"is the population of deployed watermarks still healthy?".
+
+Layers (each usable standalone):
+
+* :mod:`~repro.monitor.events` — the :class:`VerificationEvent` record
+  the service emits per verification outcome.
+* :mod:`~repro.monitor.window` — sliding-window aggregates
+  (:class:`NumericWindow`, :class:`CategoryWindow`).
+* :mod:`~repro.monitor.detectors` — sequential change detectors over
+  the decision statistic (:class:`EWMADetector`, :class:`CUSUMDetector`).
+* :mod:`~repro.monitor.slo` — declarative ``flashmark.slo/v1``
+  objectives with multi-window error-budget burn-rate evaluation.
+* :mod:`~repro.monitor.alerts` — alert lifecycle with hysteresis and
+  the ``flashmark.alerts/v1`` JSONL transition stream.
+* :mod:`~repro.monitor.monitor` — :class:`FleetMonitor`, the per-family
+  rollup gluing the above together for the server.
+* :mod:`~repro.monitor.dashboard` / :mod:`~repro.monitor.report` —
+  the live ``repro monitor`` terminal view and the post-run report.
+
+The package deliberately does **not** import :mod:`repro.service` at
+module scope (the server imports the monitor lazily; keeping this side
+dependency-free avoids the cycle and keeps detectors usable offline).
+"""
+
+from .alerts import ALERTS_SCHEMA, Alert, AlertManager, read_alert_records
+from .dashboard import fetch_snapshot, render_dashboard, watch
+from .detectors import CUSUMDetector, DriftAlarm, EWMADetector
+from .events import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_REJECTED,
+    VerificationEvent,
+)
+from .monitor import FamilyHealth, FleetMonitor, MonitorConfig, soak_config
+from .report import (
+    load_manifest_file,
+    render_html,
+    render_markdown,
+    summarize_alert_records,
+)
+from .slo import (
+    SLO_SCHEMA,
+    SLOEngine,
+    SLObjective,
+    SLOSpec,
+    default_slo,
+    load_slo,
+)
+from .window import CategoryWindow, NumericWindow, nearest_rank
+
+__all__ = [
+    "ALERTS_SCHEMA",
+    "Alert",
+    "AlertManager",
+    "CUSUMDetector",
+    "CategoryWindow",
+    "DriftAlarm",
+    "EWMADetector",
+    "FamilyHealth",
+    "FleetMonitor",
+    "MonitorConfig",
+    "NumericWindow",
+    "OUTCOME_ERROR",
+    "OUTCOME_OK",
+    "OUTCOME_REJECTED",
+    "SLOEngine",
+    "SLOSpec",
+    "SLO_SCHEMA",
+    "SLObjective",
+    "VerificationEvent",
+    "default_slo",
+    "fetch_snapshot",
+    "load_manifest_file",
+    "load_slo",
+    "nearest_rank",
+    "read_alert_records",
+    "render_dashboard",
+    "render_html",
+    "render_markdown",
+    "soak_config",
+    "summarize_alert_records",
+    "watch",
+]

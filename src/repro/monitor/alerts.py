@@ -1,0 +1,263 @@
+"""Alert lifecycle and the ``flashmark.alerts/v1`` JSONL stream.
+
+Detectors and SLO evaluations produce instantaneous *conditions*; the
+:class:`AlertManager` turns them into stable *alerts* with hysteresis:
+
+* a condition that starts holding **fires** an alert immediately (low
+  detection latency is the point of the monitor);
+* a firing alert **resolves** only after ``clear_after`` consecutive
+  healthy evaluations — one quiet sample is not recovery, and CUSUM
+  detectors legitimately strobe (they re-arm after each alarm) while
+  the underlying drift persists.
+
+Every transition is appended to the alert sink as one JSON line::
+
+    {"schema": "flashmark.alerts/v1", "event": "fired" | "resolved",
+     "alert": {"key": ..., "name": ..., "severity": ..., "family": ...,
+               "source": "drift" | "slo", "value": ..., "threshold": ...,
+               "message": ..., "opened_unix_s": ..., ...}}
+
+The same records drive ``repro monitor report`` after the run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Union
+
+__all__ = ["ALERTS_SCHEMA", "Alert", "AlertManager", "read_alert_records"]
+
+ALERTS_SCHEMA = "flashmark.alerts/v1"
+
+
+@dataclass
+class Alert:
+    """One alert through its lifecycle."""
+
+    #: Stable identity of the condition ("slo:availability",
+    #: "drift:ewma:statistic:fam-a", ...).
+    key: str
+    #: Human name ("availability burn", "EWMA drift on fam-a").
+    name: str
+    #: "warning" or "critical".
+    severity: str
+    #: Where it came from: "slo" or "drift".
+    source: str
+    #: Family scope (None = fleet-wide).
+    family: Optional[str]
+    #: "firing" or "resolved".
+    state: str
+    opened_unix_s: float
+    resolved_unix_s: Optional[float] = None
+    #: Condition value / threshold at the *worst* point seen so far.
+    value: float = 0.0
+    threshold: float = 0.0
+    message: str = ""
+    #: Healthy evaluations seen in a row while firing.
+    healthy_streak: int = field(default=0, repr=False)
+    #: Times the condition re-asserted while already firing.
+    re_fires: int = 0
+
+    @property
+    def firing(self) -> bool:
+        return self.state == "firing"
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "severity": self.severity,
+            "source": self.source,
+            "family": self.family,
+            "state": self.state,
+            "opened_unix_s": self.opened_unix_s,
+            "resolved_unix_s": self.resolved_unix_s,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+            "re_fires": self.re_fires,
+        }
+
+
+class AlertManager:
+    """Track alert state transitions and stream them to a sink.
+
+    Parameters
+    ----------
+    sink:
+        Optional file-like object (or anything with ``write``) that
+        receives one JSON line per transition.  The caller owns its
+        lifetime (the server passes an opened alerts log).
+    clear_after:
+        Consecutive healthy :meth:`update` calls before a firing alert
+        resolves.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; receives
+        ``monitor.alerts.fired`` / ``monitor.alerts.resolved`` counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        sink: Optional[Union[IO[str], Any]] = None,
+        clear_after: int = 8,
+        telemetry=None,
+        max_history: int = 256,
+    ):
+        if clear_after < 1:
+            raise ValueError("clear_after must be >= 1")
+        self.sink = sink
+        self.clear_after = clear_after
+        self.telemetry = telemetry
+        self.max_history = max_history
+        self._alerts: Dict[str, Alert] = {}
+        #: Resolved alerts, most recent last (bounded).
+        self.history: List[Alert] = []
+        self.fired_total = 0
+        self.resolved_total = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def update(
+        self,
+        key: str,
+        holding: bool,
+        *,
+        name: str,
+        severity: str,
+        source: str,
+        family: Optional[str] = None,
+        value: float = 0.0,
+        threshold: float = 0.0,
+        message: str = "",
+        unix_s: float = 0.0,
+    ) -> Optional[Alert]:
+        """Feed one evaluation of a condition; returns the alert on a
+        state *transition* (fired or resolved), else None."""
+        alert = self._alerts.get(key)
+        if holding:
+            if alert is None:
+                alert = Alert(
+                    key=key,
+                    name=name,
+                    severity=severity,
+                    source=source,
+                    family=family,
+                    state="firing",
+                    opened_unix_s=unix_s,
+                    value=value,
+                    threshold=threshold,
+                    message=message,
+                )
+                self._alerts[key] = alert
+                self.fired_total += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("monitor.alerts.fired")
+                self._emit("fired", alert)
+                return alert
+            # Already firing: refresh the worst observed value.
+            alert.healthy_streak = 0
+            alert.re_fires += 1
+            if abs(value - threshold) >= abs(alert.value - alert.threshold):
+                alert.value = value
+                alert.threshold = threshold
+                alert.message = message or alert.message
+            return None
+        if alert is None:
+            return None
+        alert.healthy_streak += 1
+        if alert.healthy_streak < self.clear_after:
+            return None
+        alert.state = "resolved"
+        alert.resolved_unix_s = unix_s
+        del self._alerts[key]
+        self.history.append(alert)
+        if len(self.history) > self.max_history:
+            del self.history[: len(self.history) - self.max_history]
+        self.resolved_total += 1
+        if self.telemetry is not None:
+            self.telemetry.count("monitor.alerts.resolved")
+        self._emit("resolved", alert)
+        return alert
+
+    def _emit(self, event: str, alert: Alert) -> None:
+        if self.sink is None:
+            return
+        record = {
+            "schema": ALERTS_SCHEMA,
+            "event": event,
+            "alert": alert.to_dict(),
+        }
+        self.sink.write(json.dumps(record, sort_keys=True) + "\n")
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def emit_snapshot(self, snapshot: dict) -> None:
+        """Append a non-transition record (run summary) to the stream."""
+        if self.sink is None:
+            return
+        self.sink.write(
+            json.dumps(
+                {"schema": ALERTS_SCHEMA, "event": "snapshot",
+                 "snapshot": snapshot},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    # -- queries ----------------------------------------------------------
+
+    def firing(self) -> List[Alert]:
+        """Currently firing alerts, most severe first."""
+        order = {"critical": 0, "warning": 1}
+        return sorted(
+            self._alerts.values(),
+            key=lambda a: (order.get(a.severity, 2), a.opened_unix_s),
+        )
+
+    def firing_count(self, severity: Optional[str] = None) -> int:
+        if severity is None:
+            return len(self._alerts)
+        return sum(
+            1 for a in self._alerts.values() if a.severity == severity
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "firing": [a.to_dict() for a in self.firing()],
+            "fired_total": self.fired_total,
+            "resolved_total": self.resolved_total,
+            "clear_after": self.clear_after,
+        }
+
+
+def read_alert_records(source) -> List[dict]:
+    """Read a ``flashmark.alerts/v1`` JSONL stream, skipping junk lines.
+
+    ``source`` is a filesystem path or any iterable of lines (an open
+    file, an ``io.StringIO`` capture from a soak run).
+    """
+    if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _parse_alert_lines(fh)
+    return _parse_alert_lines(source)
+
+
+def _parse_alert_lines(lines) -> List[dict]:
+    records: List[dict] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("schema") == ALERTS_SCHEMA:
+            records.append(record)
+    return records

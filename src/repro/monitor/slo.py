@@ -1,0 +1,434 @@
+"""Declarative service-level objectives (``flashmark.slo/v1``).
+
+An SLO spec is a JSON document naming the service's promises::
+
+    {
+      "schema": "flashmark.slo/v1",
+      "name": "flashmark-default",
+      "objectives": [
+        {"name": "availability", "kind": "availability",
+         "target": 0.995, "fast_window": 24, "slow_window": 96,
+         "fast_burn": 6.0, "slow_burn": 2.0, "severity": "critical"},
+        {"name": "latency-p95", "kind": "latency_p95",
+         "target_ms": 2000.0, "window": 48, "severity": "warning"},
+        {"name": "drift-budget", "kind": "drift_alarms",
+         "max_alarms": 4, "window": 256, "severity": "critical"}
+      ]
+    }
+
+Objective kinds
+---------------
+
+``availability`` / ``error_rate`` / ``drop_rate``
+    Budget-burn objectives over the outcome stream.  ``target`` is the
+    promised success fraction; its complement is the error budget.  The
+    engine measures the failure fraction over a *fast* and a *slow*
+    event window and converts each to a burn rate (observed failure
+    rate / budget).  The objective fires only when **both** windows
+    burn past their thresholds — the classic multi-window rule: the
+    fast window gives low detection latency, the slow window stops a
+    single bad event from paging.  Failures per kind: ``availability``
+    counts 5xx responses, ``error_rate`` any non-OK outcome,
+    ``drop_rate`` admission rejections (429).
+
+``latency_p95``
+    The p95 of OK-response latency over ``window`` events must stay
+    under ``target_ms``; evaluated once ``min_events`` latencies are in
+    the window.
+
+``drift_alarms``
+    A budget on detector alarms: more than ``max_alarms`` drift alarms
+    (all families, EWMA + CUSUM) within the last ``window`` events
+    escalates — sustained statistical drift is a fleet-health page, not
+    a per-family curiosity.
+
+Windows are event counts (see :mod:`repro.monitor.window` for why).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SLO_SCHEMA",
+    "SLObjective",
+    "SLOSpec",
+    "ObjectiveStatus",
+    "SLOEngine",
+    "default_slo",
+    "load_slo",
+]
+
+SLO_SCHEMA = "flashmark.slo/v1"
+
+_BURN_KINDS = ("availability", "error_rate", "drop_rate")
+_KINDS = _BURN_KINDS + ("latency_p95", "drift_alarms")
+_SEVERITIES = ("warning", "critical")
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One promise inside an SLO spec."""
+
+    name: str
+    kind: str
+    severity: str = "warning"
+    #: Burn kinds: promised success fraction (error budget = 1-target).
+    target: Optional[float] = None
+    fast_window: int = 24
+    slow_window: int = 96
+    fast_burn: float = 6.0
+    slow_burn: float = 2.0
+    #: latency_p95 only.
+    target_ms: Optional[float] = None
+    #: latency_p95 / drift_alarms shared single window.
+    window: int = 48
+    #: Fewest in-window samples before latency_p95 evaluates.
+    min_events: int = 8
+    #: drift_alarms only: alarms tolerated inside ``window``.
+    max_alarms: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; choose from {_KINDS}"
+            )
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"choose from {_SEVERITIES}"
+            )
+        if self.kind in _BURN_KINDS:
+            if self.target is None or not 0.0 < self.target < 1.0:
+                raise ValueError(
+                    f"objective {self.name!r}: burn kinds need a "
+                    "'target' success fraction in (0, 1)"
+                )
+            if self.fast_window < 1 or self.slow_window < self.fast_window:
+                raise ValueError(
+                    f"objective {self.name!r}: need "
+                    "1 <= fast_window <= slow_window"
+                )
+        if self.kind == "latency_p95" and (
+            self.target_ms is None or self.target_ms <= 0
+        ):
+            raise ValueError(
+                f"objective {self.name!r}: latency_p95 needs a "
+                "positive 'target_ms'"
+            )
+        if self.kind == "drift_alarms" and self.max_alarms < 0:
+            raise ValueError(
+                f"objective {self.name!r}: max_alarms must be >= 0"
+            )
+
+    def to_dict(self) -> dict:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "severity": self.severity,
+        }
+        if self.kind in _BURN_KINDS:
+            out.update(
+                target=self.target,
+                fast_window=self.fast_window,
+                slow_window=self.slow_window,
+                fast_burn=self.fast_burn,
+                slow_burn=self.slow_burn,
+            )
+        elif self.kind == "latency_p95":
+            out.update(
+                target_ms=self.target_ms,
+                window=self.window,
+                min_events=self.min_events,
+            )
+        else:
+            out.update(window=self.window, max_alarms=self.max_alarms)
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SLObjective":
+        known = {
+            k: raw[k]
+            for k in (
+                "name",
+                "kind",
+                "severity",
+                "target",
+                "fast_window",
+                "slow_window",
+                "fast_burn",
+                "slow_burn",
+                "target_ms",
+                "window",
+                "min_events",
+                "max_alarms",
+            )
+            if k in raw
+        }
+        if "name" not in known or "kind" not in known:
+            raise ValueError("SLO objective needs 'name' and 'kind'")
+        return cls(**known)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A named set of objectives (the ``flashmark.slo/v1`` document)."""
+
+    name: str = "flashmark-default"
+    objectives: Tuple[SLObjective, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("SLO objective names must be unique")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SLO_SCHEMA,
+            "name": self.name,
+            "objectives": [o.to_dict() for o in self.objectives],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SLOSpec":
+        schema = raw.get("schema")
+        if schema != SLO_SCHEMA:
+            raise ValueError(
+                f"not a {SLO_SCHEMA} document (schema={schema!r})"
+            )
+        objectives = tuple(
+            SLObjective.from_dict(o) for o in raw.get("objectives", [])
+        )
+        return cls(name=str(raw.get("name", "unnamed")), objectives=objectives)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+
+
+def load_slo(path) -> SLOSpec:
+    """Load and validate a ``flashmark.slo/v1`` JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    return SLOSpec.from_dict(raw)
+
+
+def default_slo(
+    *,
+    fast_window: int = 24,
+    slow_window: int = 96,
+    latency_target_ms: float = 2000.0,
+) -> SLOSpec:
+    """The stock fleet SLO: availability, failures, drops, latency,
+    and a drift-alarm budget."""
+    return SLOSpec(
+        name="flashmark-default",
+        objectives=(
+            SLObjective(
+                "availability",
+                kind="availability",
+                target=0.995,
+                fast_window=fast_window,
+                slow_window=slow_window,
+                fast_burn=6.0,
+                slow_burn=2.0,
+                severity="critical",
+            ),
+            SLObjective(
+                "error-rate",
+                kind="error_rate",
+                target=0.95,
+                fast_window=fast_window,
+                slow_window=slow_window,
+                fast_burn=4.0,
+                slow_burn=2.0,
+                severity="warning",
+            ),
+            SLObjective(
+                "drop-rate",
+                kind="drop_rate",
+                target=0.99,
+                fast_window=fast_window,
+                slow_window=slow_window,
+                fast_burn=4.0,
+                slow_burn=2.0,
+                severity="warning",
+            ),
+            SLObjective(
+                "latency-p95",
+                kind="latency_p95",
+                target_ms=latency_target_ms,
+                window=2 * fast_window,
+                severity="warning",
+            ),
+            SLObjective(
+                "drift-budget",
+                kind="drift_alarms",
+                max_alarms=4,
+                window=max(256, slow_window),
+                severity="critical",
+            ),
+        ),
+    )
+
+
+@dataclass
+class ObjectiveStatus:
+    """One objective's current evaluation."""
+
+    objective: SLObjective
+    firing: bool
+    #: Burn kinds: (fast_burn, slow_burn) observed; latency: p95_ms;
+    #: drift: alarms in window.
+    value: float
+    threshold: float
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.objective.name,
+            "kind": self.objective.kind,
+            "severity": self.objective.severity,
+            "firing": self.firing,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": dict(self.detail),
+        }
+
+
+class SLOEngine:
+    """Evaluate an :class:`SLOSpec` against the live event stream.
+
+    The engine keeps one bounded deque per signal (failure indicators,
+    latencies, drift-alarm stamps) sized to the largest window any
+    objective asks for, and re-evaluates every objective per event.
+    """
+
+    def __init__(self, spec: SLOSpec):
+        from .window import CategoryWindow, NumericWindow
+
+        self.spec = spec
+        burn = [o for o in spec.objectives if o.kind in _BURN_KINDS]
+        outcome_span = max(
+            [o.slow_window for o in burn], default=1
+        )
+        self._outcomes = CategoryWindow(max(outcome_span, 1))
+        # Per-objective 0/1 failure-indicator windows at each horizon.
+        self._burn_objectives: Dict[str, SLObjective] = {
+            o.name: o for o in burn
+        }
+        self._burn_windows: Dict[str, Tuple[NumericWindow, NumericWindow]] = {}
+        for o in burn:
+            self._burn_windows[o.name] = (
+                NumericWindow(o.fast_window),
+                NumericWindow(o.slow_window),
+            )
+        latency = [o for o in spec.objectives if o.kind == "latency_p95"]
+        self._latency_windows: Dict[str, NumericWindow] = {
+            o.name: NumericWindow(o.window) for o in latency
+        }
+        drift = [o for o in spec.objectives if o.kind == "drift_alarms"]
+        # Event-indexed alarm bookkeeping: a deque of the event index at
+        # which each alarm arrived, trimmed against the window.
+        self._drift_objectives = drift
+        self._alarm_events: List[int] = []
+        self._event_index = 0
+
+    @staticmethod
+    def _fails(kind: str, event) -> bool:
+        if kind == "availability":
+            return event.is_server_error
+        if kind == "error_rate":
+            return event.is_failure
+        return event.is_dropped
+
+    def observe(self, event) -> None:
+        """Fold one :class:`~repro.monitor.events.VerificationEvent` in."""
+        self._event_index += 1
+        self._outcomes.push(event.outcome)
+        for name, (fast, slow) in self._burn_windows.items():
+            objective = self._burn_objectives[name]
+            failed = 1.0 if self._fails(objective.kind, event) else 0.0
+            fast.push(failed)
+            slow.push(failed)
+        if event.outcome == "ok" and event.latency_s is not None:
+            for window in self._latency_windows.values():
+                window.push(event.latency_s * 1e3)
+
+    def observe_alarm(self) -> None:
+        """Record one drift-detector alarm (any family, any detector)."""
+        self._alarm_events.append(self._event_index)
+
+    def _alarms_within(self, window: int) -> int:
+        floor = self._event_index - window
+        # Trim against the widest drift window to bound memory.
+        widest = max(
+            [o.window for o in self._drift_objectives], default=window
+        )
+        cutoff = self._event_index - widest
+        while self._alarm_events and self._alarm_events[0] <= cutoff:
+            self._alarm_events.pop(0)
+        return sum(1 for e in self._alarm_events if e > floor)
+
+    def evaluate(self) -> List[ObjectiveStatus]:
+        """Current status of every objective."""
+        statuses: List[ObjectiveStatus] = []
+        for objective in self.spec.objectives:
+            if objective.kind in _BURN_KINDS:
+                fast, slow = self._burn_windows[objective.name]
+                budget = 1.0 - objective.target
+                fast_rate = fast.mean if fast.n else 0.0
+                slow_rate = slow.mean if slow.n else 0.0
+                fast_burn = fast_rate / budget
+                slow_burn = slow_rate / budget
+                firing = (
+                    fast.n >= objective.fast_window // 2
+                    and fast_burn >= objective.fast_burn
+                    and slow_burn >= objective.slow_burn
+                )
+                statuses.append(
+                    ObjectiveStatus(
+                        objective,
+                        firing,
+                        value=fast_burn,
+                        threshold=objective.fast_burn,
+                        detail={
+                            "fast_burn": fast_burn,
+                            "slow_burn": slow_burn,
+                            "fast_rate": fast_rate,
+                            "slow_rate": slow_rate,
+                            "budget": budget,
+                        },
+                    )
+                )
+            elif objective.kind == "latency_p95":
+                window = self._latency_windows[objective.name]
+                p95 = window.percentile(95) if window.n else 0.0
+                firing = (
+                    window.n >= objective.min_events
+                    and p95 > objective.target_ms
+                )
+                statuses.append(
+                    ObjectiveStatus(
+                        objective,
+                        firing,
+                        value=p95,
+                        threshold=objective.target_ms,
+                        detail={"n": float(window.n)},
+                    )
+                )
+            else:  # drift_alarms
+                alarms = self._alarms_within(objective.window)
+                statuses.append(
+                    ObjectiveStatus(
+                        objective,
+                        alarms > objective.max_alarms,
+                        value=float(alarms),
+                        threshold=float(objective.max_alarms),
+                        detail={"window": float(objective.window)},
+                    )
+                )
+        return statuses

@@ -1,0 +1,157 @@
+"""Sliding-window aggregates over the verification event stream.
+
+Per-family health is a *windowed* property: the fleet cares about the
+last few hundred verifications, not the lifetime average (a family that
+drifted last week but was re-calibrated is healthy today).  These
+windows are bounded deques with O(1) push and O(window) summaries —
+cheap enough to update on every event at service rates.
+
+Windows are sized in **events**, not seconds.  The whole stack runs on
+a simulated device clock at test time, so event-count windows keep
+every detector and SLO evaluation bit-reproducible for a seeded traffic
+stream; a wall-clock deployment would map them through the arrival
+rate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["nearest_rank", "NumericWindow", "CategoryWindow"]
+
+
+def nearest_rank(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (``q`` in 0..100).
+
+    Well-defined for every sample size: NaN on an empty list, the sole
+    element for ``n == 1``, and ``q`` clamped into [0, 100].
+    """
+    if not sorted_values:
+        return float("nan")
+    q = min(100.0, max(0.0, q))
+    rank = max(1, min(len(sorted_values), math.ceil(q / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+class NumericWindow:
+    """A bounded window of floats with streaming mean/variance.
+
+    Mean and sum-of-squares are maintained incrementally (push and
+    evict), so :attr:`mean` / :attr:`std` are O(1); percentiles sort on
+    demand (windows are small — hundreds of events).
+    """
+
+    __slots__ = ("size", "_values", "_sum", "_sumsq")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        self._values: Deque[float] = deque()
+        self._sum = 0.0
+        self._sumsq = 0.0
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        self._values.append(value)
+        self._sum += value
+        self._sumsq += value * value
+        if len(self._values) > self.size:
+            old = self._values.popleft()
+            self._sum -= old
+            self._sumsq -= old * old
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def n(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._values) if self._values else 0.0
+
+    @property
+    def variance(self) -> float:
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        # Eviction arithmetic can leave a tiny negative residue.
+        return max(0.0, (self._sumsq - self._sum * self._sum / n) / (n - 1))
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self._values[-1] if self._values else None
+
+    def percentile(self, q: float) -> float:
+        return nearest_rank(sorted(self._values), q)
+
+    def summary(self) -> dict:
+        """The dashboard/healthz block for this window."""
+        if not self._values:
+            return {"n": 0}
+        values = sorted(self._values)
+        return {
+            "n": len(values),
+            "mean": self.mean,
+            "std": self.std,
+            "min": values[0],
+            "max": values[-1],
+            "p50": nearest_rank(values, 50),
+            "p95": nearest_rank(values, 95),
+        }
+
+
+class CategoryWindow:
+    """A bounded window of labels with live counts (verdict mix)."""
+
+    __slots__ = ("size", "_labels", "_counts")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        self._labels: Deque[str] = deque()
+        self._counts: Counter = Counter()
+
+    def push(self, label: str) -> None:
+        self._labels.append(label)
+        self._counts[label] += 1
+        if len(self._labels) > self.size:
+            old = self._labels.popleft()
+            self._counts[old] -= 1
+            if self._counts[old] <= 0:
+                del self._counts[old]
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    @property
+    def n(self) -> int:
+        return len(self._labels)
+
+    def count(self, label: str) -> int:
+        return self._counts.get(label, 0)
+
+    def fraction(self, label: str) -> float:
+        n = len(self._labels)
+        return self._counts.get(label, 0) / n if n else 0.0
+
+    def mix(self) -> Dict[str, float]:
+        n = len(self._labels)
+        if not n:
+            return {}
+        return {
+            label: count / n
+            for label, count in sorted(self._counts.items())
+        }
+
+    def counts(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))

@@ -151,13 +151,24 @@ class VerificationClient:
             req["die_id"] = die_id
         return (await self.call(req))["history"]
 
+    async def monitor(self) -> dict:
+        """The server's fleet-monitor snapshot (``monitor`` op)."""
+        return await self.call({"op": "monitor"})
+
 
 def percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (q in 0..100)."""
+    """Nearest-rank percentile of an ascending list.
+
+    Robust at the edges: an empty list yields NaN, ``q`` is clamped to
+    [0, 100] (so ``q=0`` is the minimum, ``q=100`` the maximum), and
+    the rank is clamped into the list — tiny samples (n=1, 2) return a
+    real element instead of raising.
+    """
     if not sorted_values:
         return float("nan")
+    q = min(100.0, max(0.0, q))
     rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
-    return sorted_values[rank - 1]
+    return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
 @dataclass
@@ -201,13 +212,22 @@ class LoadReport:
         return self.completed / self.wall_s if self.wall_s > 0 else 0.0
 
     def latency_summary(self) -> dict:
-        """p50/p95/p99 (and friends) in milliseconds."""
+        """p50/p95/p99 (and friends) in milliseconds.
+
+        Well-defined for any sample size: with no completions only the
+        counts are reported; with one or two the percentiles degrade to
+        the nearest real sample (never interpolated, never an error).
+        ``n`` duplicates ``count`` under the name the monitor's window
+        summaries use, so the two read alike in manifests.
+        """
         lat = sorted(self.latencies_s)
         if not lat:
-            return {"count": 0}
+            return {"count": 0, "n": 0}
         return {
             "count": len(lat),
+            "n": len(lat),
             "mean_ms": 1e3 * sum(lat) / len(lat),
+            "min_ms": 1e3 * lat[0],
             "p50_ms": 1e3 * percentile(lat, 50),
             "p95_ms": 1e3 * percentile(lat, 95),
             "p99_ms": 1e3 * percentile(lat, 99),

@@ -18,7 +18,7 @@ form (see :mod:`repro.trace.context`); absent or malformed, the server
 serves the request identically and starts its own root trace.
 
     {"op": "ping"} · {"op": "stats"} · {"op": "families"}
-    {"op": "history", "die_id": "0x00000000002A"}
+    {"op": "history", "die_id": "0x00000000002A"} · {"op": "monitor"}
 
 Responses::
 

@@ -97,6 +97,10 @@ class ServerConfig:
     #: ``trace`` field is honored either way; off skips span recording
     #: entirely for zero per-request overhead).
     tracing: bool = True
+    #: Feed per-request outcome events to a fleet monitor
+    #: (:class:`~repro.monitor.FleetMonitor`): drift detection, SLO
+    #: burn alerting, the ``monitor`` wire op and ``monitor.*`` gauges.
+    monitoring: bool = True
 
 
 class _TokenBucket:
@@ -174,6 +178,12 @@ class VerificationServer:
         registry fingerprint before use.  Families whose key the server
         does not hold still verify, with ``signature_checked: false``
         in each result.
+    monitor:
+        A pre-configured :class:`~repro.monitor.FleetMonitor` (e.g. one
+        wired to an alerts log).  With ``config.monitoring`` on and no
+        monitor given, the server builds a default one sharing its
+        telemetry; ``config.monitoring=False`` disables the event feed
+        entirely.
     """
 
     def __init__(
@@ -183,11 +193,21 @@ class VerificationServer:
         config: Optional[ServerConfig] = None,
         telemetry: Optional[Telemetry] = None,
         sign_keys: Optional[Dict[str, bytes]] = None,
+        monitor=None,
     ):
         self.registry = registry
         self.config = config if config is not None else ServerConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.sign_keys = dict(sign_keys or {})
+        self.monitor = None
+        if self.config.monitoring:
+            if monitor is None:
+                # Imported lazily: repro/__init__ imports .service, so a
+                # module-scope import of repro.monitor here would cycle.
+                from ..monitor import FleetMonitor
+
+                monitor = FleetMonitor(telemetry=self.telemetry)
+            self.monitor = monitor
         self._verifiers: Dict[str, Tuple[WatermarkVerifier, bool]] = {}
         self._buckets: Dict[str, _TokenBucket] = {}
         self._queue: Optional[asyncio.Queue] = None
@@ -381,6 +401,7 @@ class VerificationServer:
         if op == "verify":
             outcome = self._admit(req, writer)
             if isinstance(outcome, dict):  # rejected at admission
+                self._monitor_admission(req, outcome)
                 await self._write_frame(writer, write_lock, outcome)
                 return False
             task = self._loop.create_task(
@@ -438,6 +459,16 @@ class VerificationServer:
                             for r in records
                         ]
                     },
+                )
+            if op == "monitor":
+                if self.monitor is None:
+                    return protocol.error_response(
+                        request_id,
+                        protocol.BAD_REQUEST,
+                        "monitoring is disabled on this server",
+                    )
+                return protocol.ok_response(
+                    request_id, self.monitor.snapshot()
                 )
             return protocol.error_response(
                 request_id, protocol.BAD_REQUEST, f"unknown op {op!r}"
@@ -552,6 +583,7 @@ class VerificationServer:
         self.telemetry.observe(
             "service.latency_s", latency, buckets=LATENCY_BUCKETS
         )
+        self._monitor_response(pending, response, latency)
         if pending.trace is not None:
             error = None
             if not response.get("ok", False):
@@ -567,6 +599,73 @@ class VerificationServer:
                 error=error,
             )
         await self._write_frame(writer, write_lock, response)
+
+    # -- fleet-monitor event feed -----------------------------------------
+
+    def _monitor_admission(self, req: dict, response: dict) -> None:
+        """Feed one admission rejection to the fleet monitor.
+
+        429s (overload / rate limit) are *drops* — load the fleet shed;
+        other admission failures (400 / 404) are plain errors.
+        """
+        if self.monitor is None:
+            return
+        from ..monitor import (
+            OUTCOME_ERROR,
+            OUTCOME_REJECTED,
+            VerificationEvent,
+        )
+
+        code = (response.get("error") or {}).get("code")
+        family = req.get("family")
+        self.monitor.record(
+            VerificationEvent(
+                family=family if isinstance(family, str) else "",
+                outcome=(
+                    OUTCOME_REJECTED
+                    if code == protocol.TOO_MANY_REQUESTS
+                    else OUTCOME_ERROR
+                ),
+                error_code=code,
+                client=(
+                    req.get("client")
+                    if isinstance(req.get("client"), str)
+                    else None
+                ),
+                unix_s=time.time(),
+            )
+        )
+
+    def _monitor_response(
+        self, pending: _Pending, response: dict, latency: float
+    ) -> None:
+        """Feed one completed verify response to the fleet monitor."""
+        if self.monitor is None:
+            return
+        from ..monitor import OUTCOME_ERROR, OUTCOME_OK, VerificationEvent
+
+        if response.get("ok", False):
+            result = response.get("result") or {}
+            event = VerificationEvent(
+                family=pending.family,
+                outcome=OUTCOME_OK,
+                verdict=result.get("verdict"),
+                statistic=result.get("statistic"),
+                latency_s=latency,
+                registry_seq=result.get("history_seq"),
+                client=pending.client,
+                unix_s=time.time(),
+            )
+        else:
+            event = VerificationEvent(
+                family=pending.family,
+                outcome=OUTCOME_ERROR,
+                error_code=(response.get("error") or {}).get("code"),
+                latency_s=latency,
+                client=pending.client,
+                unix_s=time.time(),
+            )
+        self.monitor.record(event)
 
     async def _write_frame(self, writer, write_lock, obj: dict) -> None:
         async with write_lock:
@@ -871,6 +970,12 @@ class VerificationServer:
                 "die_id": f"0x{chip.die_id:012X}",
                 "verdict": report.verdict.value,
                 "ber": report.ber,
+                # Normalized decision statistic: raw stressed outliers
+                # over the calibrated limit.  Unlike ``ber`` (None when
+                # no expected watermark is pinned) this is always
+                # available, so fleet monitors can watch wear drift.
+                "statistic": report.stressed_outliers
+                / max(1, report.stressed_outlier_limit),
                 "reason": report.reason,
                 "payload": payload,
                 "signature_checked": signature_checked,
@@ -926,16 +1031,27 @@ class VerificationServer:
             parts = first_line.decode("latin-1").split()
             path = parts[1] if len(parts) > 1 else "/"
             if path == "/healthz":
-                body = json.dumps(
-                    {
-                        "status": "ok",
-                        "uptime_s": round(
-                            self._loop.time() - self._started_at, 3
-                        ),
-                        "queue_depth": self._queue.qsize(),
-                        **self.registry.counts(),
-                    }
-                ).encode()
+                from .. import __version__
+
+                payload = {
+                    # With a monitor attached, health reflects the
+                    # fleet: ok / degraded / alerting.  Liveness is
+                    # still "we answered at all".
+                    "status": (
+                        self.monitor.status()
+                        if self.monitor is not None
+                        else "ok"
+                    ),
+                    "version": __version__,
+                    "uptime_s": round(
+                        self._loop.time() - self._started_at, 3
+                    ),
+                    "queue_depth": self._queue.qsize(),
+                    **self.registry.counts(),
+                }
+                if self.monitor is not None:
+                    payload["monitor"] = self.monitor.healthz_block()
+                body = json.dumps(payload).encode()
                 content_type = "application/json"
                 status = "200 OK"
             elif path == "/metrics":
@@ -969,12 +1085,16 @@ class VerificationServer:
         — normalized through
         :func:`repro.telemetry.prometheus.metric_name`.
         """
+        extra_gauges = {
+            "service.queue_depth": self._queue.qsize(),
+            "service.max_queue_depth": self._max_queue_depth,
+            "service.open_connections": self._open_connections,
+        }
+        if self.monitor is not None:
+            extra_gauges.update(self.monitor.gauges())
         return render_prometheus(
             self.telemetry.registry.snapshot(),
-            extra_gauges={
-                "service.queue_depth": self._queue.qsize(),
-                "service.open_connections": self._open_connections,
-            },
+            extra_gauges=extra_gauges,
         )
 
     # -- stats / manifest -------------------------------------------------
@@ -990,6 +1110,7 @@ class VerificationServer:
             "queue_depth": self._queue.qsize() if self._queue else 0,
             "max_queue_depth": self._max_queue_depth,
             "open_connections": self._open_connections,
+            "monitoring": self.monitor is not None,
             "counters": service,
             "registry": self.registry.counts(),
         }

@@ -24,6 +24,7 @@ from .traffic import (
     TrafficGenerator,
     TrafficItem,
     TrafficSpec,
+    WearDriftSpec,
 )
 from .watermarks import (
     balanced_random,
@@ -56,4 +57,5 @@ __all__ = [
     "TrafficGenerator",
     "TrafficItem",
     "TrafficSpec",
+    "WearDriftSpec",
 ]

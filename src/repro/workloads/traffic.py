@@ -24,6 +24,7 @@ from .chips import ChipKind, PopulationSpec, make_chip_sample
 __all__ = [
     "DEFAULT_MIX",
     "TrafficItem",
+    "WearDriftSpec",
     "TrafficSpec",
     "TrafficGenerator",
 ]
@@ -75,6 +76,49 @@ class TrafficItem:
 
 
 @dataclass(frozen=True)
+class WearDriftSpec:
+    """Gradual fleet-wide wear applied along the traffic stream.
+
+    Models a fleet aging in the field: physically watermarked chips
+    (genuine and recycled silicon) arrive with extra uniform P/E wear
+    on the watermark segment that ramps linearly with the stream index.
+    The calibrated ``stressed_outlier_limit`` stays fixed, so the
+    verifier's decision statistic creeps toward it — at the default
+    600-cycle ceiling the typical die still lands ``authentic`` (only
+    marginal dies flip near full ramp), which is exactly the *silent*
+    margin erosion the fleet monitor's EWMA/CUSUM detectors exist to
+    surface before verdicts start flipping.
+
+    Wear is a pure function of the item index — no extra RNG draws —
+    so a drifting stream stays byte-identical on replay and the
+    underlying chip sequence matches the undrifted stream.
+    """
+
+    #: First stream index the ramp starts at (items before it are
+    #: unworn — the monitor's warmup/baseline window).
+    start_index: int = 0
+    #: Items over which wear ramps from 0 to ``max_extra_pe``.
+    ramp_items: int = 200
+    #: Extra accelerated P/E cycles at full ramp.
+    max_extra_pe: int = 600
+
+    def __post_init__(self) -> None:
+        if self.start_index < 0:
+            raise ValueError("start_index must be >= 0")
+        if self.ramp_items < 1:
+            raise ValueError("ramp_items must be >= 1")
+        if self.max_extra_pe < 0:
+            raise ValueError("max_extra_pe must be >= 0")
+
+    def extra_pe(self, index: int) -> int:
+        """Extra P/E cycles the chip at ``index`` arrives with."""
+        if index < self.start_index:
+            return 0
+        ramp = min(1.0, (index - self.start_index) / self.ramp_items)
+        return int(round(ramp * self.max_extra_pe))
+
+
+@dataclass(frozen=True)
 class TrafficSpec:
     """Composition and physics of a verification traffic stream."""
 
@@ -91,6 +135,8 @@ class TrafficSpec:
     tamper_pairs: int = 6
     #: P/E cycles the attacker spends per tampered chip.
     tamper_n_pe: int = 40_000
+    #: Optional fleet-aging scenario (None: chips arrive unworn).
+    wear_drift: Optional[WearDriftSpec] = None
 
     def __post_init__(self) -> None:
         unknown = set(self.mix) - set(_KIND_TABLE)
@@ -143,6 +189,23 @@ class TrafficGenerator:
         sample = make_chip_sample(
             chip_kind, self.seed + 1 + index, self.spec.population
         )
+        drift = self.spec.wear_drift
+        if drift is not None and chip_kind in (
+            ChipKind.GENUINE,
+            ChipKind.RECYCLED,
+        ):
+            # Deterministic index-driven wear on the watermarked
+            # segment; unwatermarked silicon (rebranded, fall-out) has
+            # no mark to erode, so drifting it would only add noise.
+            extra = drift.extra_pe(index)
+            if extra > 0:
+                segment_bits = sample.chip.geometry.bits_per_segment
+                sample.chip.flash.bulk_pe_cycles(
+                    0,
+                    np.zeros(segment_bits, dtype=np.uint8),
+                    extra,
+                    accelerated=True,
+                )
         if kind == "tampered":
             self._tamper(sample.chip)
         return TrafficItem(

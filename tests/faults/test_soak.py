@@ -175,3 +175,51 @@ class TestSoakInvariants:
         assert "service.errors.registry" not in report.counters
         # Both verifications still made it into history.
         assert registry.counts()["verifications"] == before + 2
+
+
+class TestMonitoredSoak:
+    def test_alerting_invariants_and_stream(self, registry, traffic_spec):
+        """A monitored soak must turn the injected faults into a fired
+        SLO alert, resolve everything over the clean tail, and leave a
+        complete ``flashmark.alerts/v1`` stream behind."""
+        import io
+
+        from repro.monitor import read_alert_records
+
+        sink = io.StringIO()
+        traffic = TrafficGenerator(traffic_spec, seed=3)
+        report = run_chaos_soak(
+            registry,
+            FAMILY,
+            traffic.draw(24),
+            coverage_plan(3),
+            telemetry=Telemetry(),
+            deadline_s=60.0,
+            request_timeout_s=10.0,
+            monitor=True,
+            alert_sink=sink,
+        )
+        invariants = report.invariants()
+        assert report.monitored
+        assert invariants["faults_tripped_alert"]
+        assert invariants["alerts_cleared_after_recovery"]
+        assert report.passed, invariants
+        assert report.alerts_fired and not report.alerts_firing_at_end
+        assert set(report.alerts_resolved) >= set(report.alerts_fired)
+        assert report.monitor_status == "ok"
+        assert report.to_dict()["invariants"]["faults_tripped_alert"]
+
+        records = read_alert_records(io.StringIO(sink.getvalue()))
+        events = [r["event"] for r in records]
+        assert "fired" in events and "resolved" in events
+        # The stream closes with a full monitor snapshot.
+        assert events[-1] == "snapshot"
+        assert records[-1]["snapshot"]["status"] == "ok"
+
+    def test_unmonitored_soak_has_no_alert_invariants(
+        self, registry, traffic_spec
+    ):
+        report = _soak(registry, traffic_spec, coverage_plan(3))
+        assert not report.monitored
+        assert "faults_tripped_alert" not in report.invariants()
+        assert report.monitor_status is None

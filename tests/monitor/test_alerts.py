@@ -1,0 +1,126 @@
+"""Tests for the alert lifecycle and the flashmark.alerts/v1 stream."""
+
+import io
+import json
+
+import pytest
+
+from repro.monitor import (
+    ALERTS_SCHEMA,
+    AlertManager,
+    read_alert_records,
+)
+
+
+def update(manager, key, holding, severity="warning", **kw):
+    return manager.update(
+        key,
+        holding,
+        name=kw.pop("name", key),
+        severity=severity,
+        source=kw.pop("source", "drift"),
+        **kw,
+    )
+
+
+class TestLifecycle:
+    def test_fires_immediately(self):
+        manager = AlertManager(clear_after=3)
+        alert = update(manager, "a", True, value=1.0, threshold=0.5)
+        assert alert is not None and alert.firing
+        assert manager.firing_count() == 1
+        assert manager.fired_total == 1
+
+    def test_resolve_needs_hysteresis(self):
+        manager = AlertManager(clear_after=3)
+        update(manager, "a", True)
+        assert update(manager, "a", False) is None
+        assert update(manager, "a", False) is None
+        assert manager.firing_count() == 1  # still firing: streak < 3
+        resolved = update(manager, "a", False)
+        assert resolved is not None and resolved.state == "resolved"
+        assert manager.firing_count() == 0
+        assert manager.resolved_total == 1
+        assert manager.history[-1].key == "a"
+
+    def test_reassert_resets_streak(self):
+        manager = AlertManager(clear_after=2)
+        update(manager, "a", True)
+        update(manager, "a", False)
+        update(manager, "a", True)  # healthy streak back to 0
+        update(manager, "a", False)
+        assert manager.firing_count() == 1
+        update(manager, "a", False)
+        assert manager.firing_count() == 0
+        assert manager.history[-1].re_fires == 1
+
+    def test_worst_value_kept(self):
+        manager = AlertManager(clear_after=2)
+        update(manager, "a", True, value=1.0, threshold=0.5)
+        update(manager, "a", True, value=3.0, threshold=0.5)
+        update(manager, "a", True, value=2.0, threshold=0.5)
+        (alert,) = manager.firing()
+        assert alert.value == 3.0
+
+    def test_healthy_unknown_key_is_noop(self):
+        manager = AlertManager()
+        assert update(manager, "never-fired", False) is None
+        assert manager.firing_count() == 0
+
+    def test_severity_ordering(self):
+        manager = AlertManager()
+        update(manager, "w", True, severity="warning")
+        update(manager, "c", True, severity="critical")
+        assert [a.key for a in manager.firing()] == ["c", "w"]
+        assert manager.firing_count("critical") == 1
+
+    def test_clear_after_validated(self):
+        with pytest.raises(ValueError):
+            AlertManager(clear_after=0)
+
+
+class TestStream:
+    def test_transitions_written_as_jsonl(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        with open(path, "w", encoding="utf-8") as sink:
+            manager = AlertManager(sink=sink, clear_after=1)
+            update(manager, "a", True, value=2.0)
+            update(manager, "a", False)
+            manager.emit_snapshot({"status": "ok"})
+        records = read_alert_records(path)
+        assert [r["event"] for r in records] == [
+            "fired", "resolved", "snapshot",
+        ]
+        assert all(r["schema"] == ALERTS_SCHEMA for r in records)
+        assert records[0]["alert"]["key"] == "a"
+        assert records[1]["alert"]["state"] == "resolved"
+        assert records[2]["snapshot"] == {"status": "ok"}
+
+    def test_reader_skips_junk_lines(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        path.write_text(
+            "not json\n"
+            "\n"
+            + json.dumps({"schema": "other/v9", "event": "fired"}) + "\n"
+            + json.dumps(
+                {"schema": ALERTS_SCHEMA, "event": "fired", "alert": {}}
+            )
+            + "\n"
+        )
+        records = read_alert_records(path)
+        assert len(records) == 1
+
+    def test_no_sink_is_fine(self):
+        manager = AlertManager()
+        update(manager, "a", True)
+        manager.emit_snapshot({})  # no sink: silently skipped
+
+    def test_history_bounded(self):
+        manager = AlertManager(clear_after=1, max_history=4)
+        sink = io.StringIO()
+        manager.sink = sink
+        for i in range(10):
+            update(manager, f"k{i}", True)
+            update(manager, f"k{i}", False)
+        assert len(manager.history) == 4
+        assert manager.resolved_total == 10

@@ -1,0 +1,189 @@
+"""Tests for FleetMonitor on synthetic event streams."""
+
+import io
+
+import numpy as np
+
+from repro.monitor import (
+    FleetMonitor,
+    MonitorConfig,
+    VerificationEvent,
+    read_alert_records,
+    soak_config,
+)
+from repro.telemetry import Telemetry
+
+MU, SIGMA = 0.5, 0.07
+
+
+def ok_event(statistic, family="fam-a", verdict="authentic", seq=None):
+    return VerificationEvent(
+        family=family,
+        outcome="ok",
+        verdict=verdict,
+        statistic=float(statistic),
+        latency_s=0.05,
+        registry_seq=seq,
+    )
+
+
+def feed_stationary(monitor, n, seed=0, family="fam-a"):
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        monitor.record(
+            ok_event(rng.normal(MU, SIGMA), family=family, seq=i + 1)
+        )
+
+
+class TestStationary:
+    def test_healthy_stream_stays_ok(self):
+        """The acceptance criterion's negative control: an authentic
+        stationary stream produces zero alerts."""
+        monitor = FleetMonitor()
+        feed_stationary(monitor, 600, seed=1)
+        assert monitor.status() == "ok"
+        assert monitor.alerts.fired_total == 0
+        fam = monitor.families["fam-a"]
+        assert fam.events == 600
+        assert fam.registry_seq == 600
+        assert fam.margin_mean is not None and fam.margin_mean > 0.3
+
+    def test_healthz_block_shape(self):
+        monitor = FleetMonitor()
+        feed_stationary(monitor, 40)
+        block = monitor.healthz_block()
+        assert block["status"] == "ok"
+        assert block["events"] == 40
+        assert block["alerts"]["firing"] == []
+        fam = block["families"]["fam-a"]
+        assert fam["verdict_mix"] == {"authentic": 1.0}
+        assert 0.0 < fam["statistic_mean"] < 1.0
+        assert fam["drift_alarms"] == 0
+
+
+class TestDriftDetection:
+    def drifted_monitor(self, sink=None):
+        monitor = FleetMonitor(
+            MonitorConfig(warmup=24, clear_after=4), alert_sink=sink
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            monitor.record(ok_event(rng.normal(MU, SIGMA)))
+        # Wear drift: the statistic ramps toward the decision threshold.
+        for i in range(120):
+            monitor.record(
+                ok_event(rng.normal(MU + 0.004 * i, SIGMA))
+            )
+        return monitor
+
+    def test_drift_fires_alerts_and_escalates(self):
+        sink = io.StringIO()
+        monitor = self.drifted_monitor(sink)
+        fam = monitor.families["fam-a"]
+        assert fam.drift_alarm_count() >= 1
+        keys = {a.key for a in monitor.alerts.firing()}
+        assert any(k.startswith("drift:") for k in keys)
+        # >4 alarms inside the window exhausts the drift budget, which
+        # is a critical SLO -> the fleet status escalates to alerting.
+        assert monitor.status() in ("degraded", "alerting")
+        assert sink.getvalue()  # transitions streamed
+
+    def test_snapshot_carries_detector_state(self):
+        monitor = self.drifted_monitor()
+        snap = monitor.snapshot()
+        drift = snap["families"]["fam-a"]["drift"]
+        assert drift["ewma"]["warmed_up"]
+        assert drift["ewma"]["alarms"] + drift["cusum"]["alarms"] >= 1
+        assert snap["slo"]["objectives"]
+        assert snap["config"]["warmup"] == 24
+
+    def test_non_authentic_statistics_do_not_feed_detectors(self):
+        """A counterfeit influx must not poison the wear detectors —
+        its wild statistic is informative for the verdict-mix chart
+        only."""
+        monitor = FleetMonitor(MonitorConfig(warmup=24))
+        feed_stationary(monitor, 100, seed=2)
+        n_before = monitor.families["fam-a"].statistic.n
+        ewma_alarms = len(monitor.families["fam-a"].ewma.alarms)
+        for _ in range(30):
+            monitor.record(
+                ok_event(3.0, verdict="counterfeit")
+            )
+        fam = monitor.families["fam-a"]
+        assert fam.statistic.n == n_before  # not pushed
+        assert len(fam.ewma.alarms) == ewma_alarms
+
+
+class TestOutcomesAndSLO:
+    def test_server_error_burst_burns_availability(self):
+        monitor = FleetMonitor(MonitorConfig(warmup=24))
+        feed_stationary(monitor, 100, seed=3)
+        for _ in range(12):
+            monitor.record(
+                VerificationEvent(
+                    family="fam-a", outcome="error", error_code=500
+                )
+            )
+        keys = {a.key for a in monitor.alerts.firing()}
+        assert "slo:availability" in keys
+        assert monitor.status() == "alerting"  # availability is critical
+
+    def test_rejected_events_have_no_family_stats(self):
+        monitor = FleetMonitor()
+        monitor.record(
+            VerificationEvent(family="", outcome="rejected", error_code=429)
+        )
+        assert monitor.families == {}
+        assert monitor.events_total == 1
+        assert monitor.outcomes.counts() == {"rejected": 1}
+
+
+class TestGaugesAndTelemetry:
+    def test_gauges_exported(self):
+        monitor = FleetMonitor()
+        feed_stationary(monitor, 50, seed=4)
+        gauges = monitor.gauges()
+        assert gauges["monitor.events_total"] == 50.0
+        assert gauges["monitor.status_code"] == 0.0
+        assert gauges["monitor.alerts.firing"] == 0.0
+        assert 0.0 < gauges["monitor.family.fam-a.statistic_mean"] < 1.0
+        assert gauges["monitor.family.fam-a.authentic_fraction"] == 1.0
+        assert any(k.startswith("monitor.slo.") for k in gauges)
+
+    def test_telemetry_counters(self):
+        tel = Telemetry()
+        monitor = FleetMonitor(telemetry=tel)
+        feed_stationary(monitor, 10, seed=5)
+        counters = tel.registry.snapshot()["counters"]
+        assert counters["monitor.events"] == 10
+        assert counters["monitor.outcome.ok"] == 10
+
+
+class TestSoakConfig:
+    def test_soak_windows_are_tight_but_warmup_is_long(self):
+        config = soak_config()
+        assert config.window <= 32
+        assert config.clear_after <= 4
+        # Drift baselines must outlast a short soak (see docstring).
+        assert config.warmup >= 24
+        names = [o.name for o in config.resolved_slo().objectives]
+        assert "error-rate" in names
+
+
+class TestAlertStreamEndToEnd:
+    def test_fire_then_recover_resolves(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        with open(path, "w", encoding="utf-8") as sink:
+            monitor = FleetMonitor(
+                MonitorConfig(warmup=24, clear_after=4), alert_sink=sink
+            )
+            rng = np.random.default_rng(9)
+            feed_stationary(monitor, 60, seed=9)
+            for _ in range(20):  # step out ...
+                monitor.record(ok_event(rng.normal(MU + 5 * SIGMA, SIGMA)))
+            assert monitor.alerts.firing_count() >= 1
+            for _ in range(200):  # ... and back: EWMA recovers
+                monitor.record(ok_event(rng.normal(MU, SIGMA)))
+        records = read_alert_records(path)
+        events = [r["event"] for r in records]
+        assert "fired" in events and "resolved" in events

@@ -1,0 +1,131 @@
+"""Tests for the post-run report and the text dashboard."""
+
+import io
+
+import numpy as np
+
+from repro.monitor import (
+    FleetMonitor,
+    MonitorConfig,
+    render_dashboard,
+    render_html,
+    render_markdown,
+    summarize_alert_records,
+)
+from repro.monitor.alerts import ALERTS_SCHEMA
+
+
+def alert_record(event, key, severity="warning", source="drift", **kw):
+    alert = {
+        "key": key,
+        "name": kw.pop("name", key),
+        "severity": severity,
+        "source": source,
+        "family": kw.pop("family", "fam-a"),
+        "state": "resolved" if event == "resolved" else "firing",
+        "opened_unix_s": kw.pop("opened_unix_s", 100.0),
+        "resolved_unix_s": kw.pop("resolved_unix_s", None),
+        "value": kw.pop("value", 1.0),
+        "threshold": kw.pop("threshold", 0.5),
+        "message": "",
+        "re_fires": 0,
+    }
+    return {"schema": ALERTS_SCHEMA, "event": event, "alert": alert}
+
+
+class TestSummarize:
+    def test_counts_and_lifecycle_preference(self):
+        records = [
+            alert_record("fired", "drift:ewma:statistic:fam-a"),
+            alert_record("fired", "slo:availability",
+                         severity="critical", source="slo"),
+            alert_record("resolved", "drift:ewma:statistic:fam-a",
+                         resolved_unix_s=160.0),
+            {"schema": ALERTS_SCHEMA, "event": "snapshot",
+             "snapshot": {"status": "ok", "events": 42, "slo": {}}},
+        ]
+        summary = summarize_alert_records(records)
+        assert summary["fired"] == 2
+        assert summary["resolved"] == 1
+        assert [a["key"] for a in summary["unresolved"]] == [
+            "slo:availability"
+        ]
+        # The resolved record (with close stamp) wins for its key.
+        drift = summary["drift_alerts"]
+        assert drift[0]["resolved_unix_s"] == 160.0
+        assert summary["slo_alerts"][0]["key"] == "slo:availability"
+        # Critical sorts first in the merged list.
+        assert summary["alerts"][0]["severity"] == "critical"
+        assert summary["snapshot"]["events"] == 42
+
+    def test_manifest_passthrough(self):
+        summary = summarize_alert_records(
+            [], manifest={"kind": "chaos", "extra": {"chaos": {"passed": True}}}
+        )
+        assert summary["manifest_kind"] == "chaos"
+        assert summary["chaos"] == {"passed": True}
+
+    def test_empty(self):
+        summary = summarize_alert_records([])
+        assert summary["fired"] == 0
+        assert summary["snapshot"] is None
+
+
+class TestRenderers:
+    def summary(self):
+        return summarize_alert_records(
+            [
+                alert_record("fired", "drift:cusum:statistic:fam-a",
+                             name="CUSUM statistic drift"),
+                {"schema": ALERTS_SCHEMA, "event": "snapshot",
+                 "snapshot": {
+                     "status": "degraded",
+                     "events": 80,
+                     "slo": {"name": "s", "objectives": [
+                         {"name": "availability", "kind": "availability",
+                          "value": 0.0, "threshold": 6.0, "firing": False},
+                     ]},
+                     "families": {"fam-a": {
+                         "events": 80,
+                         "statistic": {"n": 80, "mean": 0.61},
+                         "margin_mean": 0.39,
+                         "verdict_mix": {"authentic": 1.0},
+                         "drift": {"ewma": {"alarms": 2},
+                                   "cusum": {"alarms": 3}},
+                     }},
+                 }},
+            ]
+        )
+
+    def test_markdown(self):
+        md = render_markdown(self.summary(), title="T")
+        assert md.startswith("# T")
+        assert "CUSUM statistic drift" in md
+        assert "fam-a" in md
+        assert "availability" in md
+        assert "degraded" in md
+
+    def test_html_self_contained(self):
+        html = render_html(self.summary(), title="T")
+        assert html.lstrip().lower().startswith("<!doctype html>")
+        assert "<table>" in html
+        assert "CUSUM statistic drift" in html
+        assert "</html>" in html.lower()
+
+
+class TestDashboard:
+    def test_renders_live_snapshot(self):
+        monitor = FleetMonitor(MonitorConfig(warmup=24))
+        rng = np.random.default_rng(2)
+        from tests.monitor.test_monitor import ok_event
+
+        for _ in range(40):
+            monitor.record(ok_event(rng.normal(0.5, 0.07)))
+        text = render_dashboard(monitor.snapshot())
+        assert "fleet health: [OK]" in text
+        assert "fam-a" in text
+        assert "alerts: 0 firing" in text
+
+    def test_empty_snapshot(self):
+        text = render_dashboard({})
+        assert "no family traffic" in text

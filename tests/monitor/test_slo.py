@@ -1,0 +1,185 @@
+"""Tests for the flashmark.slo/v1 spec and the burn-rate engine."""
+
+import pytest
+
+from repro.monitor import (
+    SLO_SCHEMA,
+    SLOEngine,
+    SLOSpec,
+    SLObjective,
+    VerificationEvent,
+    default_slo,
+    load_slo,
+)
+
+
+def ok(latency_s=0.05, family="fam"):
+    return VerificationEvent(
+        family=family, outcome="ok", verdict="authentic",
+        statistic=0.5, latency_s=latency_s,
+    )
+
+
+def server_error():
+    return VerificationEvent(family="fam", outcome="error", error_code=500)
+
+
+def rejected():
+    return VerificationEvent(family="", outcome="rejected", error_code=429)
+
+
+class TestSchema:
+    def test_roundtrip(self, tmp_path):
+        spec = default_slo()
+        path = tmp_path / "slo.json"
+        spec.save(path)
+        loaded = load_slo(path)
+        assert loaded == spec
+        assert loaded.to_dict()["schema"] == SLO_SCHEMA
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="flashmark.slo/v1"):
+            SLOSpec.from_dict({"schema": "nope", "objectives": []})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLObjective("x", kind="availabilty", target=0.99)
+
+    def test_burn_kind_needs_target(self):
+        with pytest.raises(ValueError, match="success fraction"):
+            SLObjective("x", kind="availability")
+        with pytest.raises(ValueError, match="success fraction"):
+            SLObjective("x", kind="availability", target=1.0)
+
+    def test_latency_needs_target_ms(self):
+        with pytest.raises(ValueError, match="target_ms"):
+            SLObjective("x", kind="latency_p95")
+
+    def test_duplicate_names_rejected(self):
+        o = SLObjective("same", kind="drift_alarms", max_alarms=1)
+        with pytest.raises(ValueError, match="unique"):
+            SLOSpec(objectives=(o, o))
+
+    def test_severity_validated(self):
+        with pytest.raises(ValueError, match="severity"):
+            SLObjective("x", kind="drift_alarms", severity="page")
+
+
+class TestBurnRates:
+    def spec(self):
+        return SLOSpec(
+            name="t",
+            objectives=(
+                SLObjective(
+                    "availability", kind="availability", target=0.9,
+                    fast_window=10, slow_window=20,
+                    fast_burn=3.0, slow_burn=1.5, severity="critical",
+                ),
+            ),
+        )
+
+    def test_healthy_stream_never_fires(self):
+        engine = SLOEngine(self.spec())
+        for _ in range(50):
+            engine.observe(ok())
+        (status,) = engine.evaluate()
+        assert not status.firing
+        assert status.value == 0.0
+
+    def test_multi_window_rule(self):
+        """The fast window alone firing is not enough — a long healthy
+        history keeps the slow burn below threshold."""
+        engine = SLOEngine(self.spec())
+        # Slow window fully healthy first (20 events), then 3 errors:
+        # fast rate 3/10 = 0.3 -> burn 3.0 >= 3.0, slow rate 3/20 =
+        # 0.15 -> burn 1.5 >= 1.5: fires only once BOTH cross.
+        for _ in range(20):
+            engine.observe(ok())
+        for _ in range(2):
+            engine.observe(server_error())
+        (status,) = engine.evaluate()
+        assert not status.firing  # slow burn 2/20/0.1 = 1.0 < 1.5
+        engine.observe(server_error())
+        (status,) = engine.evaluate()
+        assert status.firing
+        assert status.detail["fast_burn"] >= 3.0
+        assert status.detail["slow_burn"] >= 1.5
+
+    def test_too_few_events_never_fire(self):
+        engine = SLOEngine(self.spec())
+        engine.observe(server_error())  # 100% failure but n=1 < fast/2
+        (status,) = engine.evaluate()
+        assert not status.firing
+
+    def test_availability_ignores_client_errors(self):
+        engine = SLOEngine(self.spec())
+        for _ in range(20):
+            engine.observe(
+                VerificationEvent(family="f", outcome="error", error_code=400)
+            )
+        (status,) = engine.evaluate()
+        assert status.value == 0.0  # 4xx is not an availability burn
+
+
+class TestDropAndLatency:
+    def test_drop_rate_counts_rejections(self):
+        spec = SLOSpec(
+            objectives=(
+                SLObjective(
+                    "drops", kind="drop_rate", target=0.9,
+                    fast_window=4, slow_window=8,
+                    fast_burn=2.0, slow_burn=2.0,
+                ),
+            )
+        )
+        engine = SLOEngine(spec)
+        for _ in range(8):
+            engine.observe(rejected())
+        (status,) = engine.evaluate()
+        assert status.firing
+
+    def test_latency_p95(self):
+        spec = SLOSpec(
+            objectives=(
+                SLObjective(
+                    "lat", kind="latency_p95", target_ms=100.0,
+                    window=16, min_events=4,
+                ),
+            )
+        )
+        engine = SLOEngine(spec)
+        for _ in range(8):
+            engine.observe(ok(latency_s=0.010))
+        (status,) = engine.evaluate()
+        assert not status.firing
+        for _ in range(8):
+            engine.observe(ok(latency_s=0.500))
+        (status,) = engine.evaluate()
+        assert status.firing
+        assert status.value > 100.0
+
+
+class TestDriftBudget:
+    def test_alarm_budget_over_window(self):
+        spec = SLOSpec(
+            objectives=(
+                SLObjective(
+                    "drift", kind="drift_alarms", max_alarms=2, window=10,
+                ),
+            )
+        )
+        engine = SLOEngine(spec)
+        for _ in range(5):
+            engine.observe(ok())
+        for _ in range(2):
+            engine.observe_alarm()
+        (status,) = engine.evaluate()
+        assert not status.firing  # within budget
+        engine.observe_alarm()
+        (status,) = engine.evaluate()
+        assert status.firing
+        # Alarms age out of the event window.
+        for _ in range(12):
+            engine.observe(ok())
+        (status,) = engine.evaluate()
+        assert not status.firing

@@ -1,0 +1,84 @@
+"""Tests for the sliding-window aggregates."""
+
+import math
+
+import pytest
+
+from repro.monitor import CategoryWindow, NumericWindow, nearest_rank
+
+
+class TestNearestRank:
+    def test_empty_is_nan(self):
+        assert math.isnan(nearest_rank([], 50))
+
+    def test_singleton(self):
+        assert nearest_rank([3.0], 0) == 3.0
+        assert nearest_rank([3.0], 50) == 3.0
+        assert nearest_rank([3.0], 100) == 3.0
+
+    def test_two_samples(self):
+        assert nearest_rank([1.0, 2.0], 50) == 1.0
+        assert nearest_rank([1.0, 2.0], 51) == 2.0
+        assert nearest_rank([1.0, 2.0], 95) == 2.0
+
+    def test_quantile_clamped(self):
+        assert nearest_rank([1.0, 2.0, 3.0], -10) == 1.0
+        assert nearest_rank([1.0, 2.0, 3.0], 250) == 3.0
+
+
+class TestNumericWindow:
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            NumericWindow(0)
+
+    def test_streaming_moments_match_batch(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        values = rng.normal(5.0, 2.0, size=200)
+        window = NumericWindow(64)
+        for v in values:
+            window.push(v)
+        tail = values[-64:]
+        assert window.n == 64
+        assert window.mean == pytest.approx(tail.mean(), rel=1e-9)
+        assert window.std == pytest.approx(tail.std(ddof=1), rel=1e-9)
+        assert window.last == pytest.approx(values[-1])
+
+    def test_empty_summary(self):
+        assert NumericWindow(8).summary() == {"n": 0}
+        assert NumericWindow(8).mean == 0.0
+        assert NumericWindow(8).last is None
+
+    def test_summary_fields(self):
+        window = NumericWindow(8)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            window.push(v)
+        s = window.summary()
+        assert s["n"] == 4
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["p50"] == 2.0
+        assert s["p95"] == 4.0
+
+
+class TestCategoryWindow:
+    def test_mix_and_eviction(self):
+        window = CategoryWindow(3)
+        for label in ["a", "a", "b", "c"]:
+            window.push(label)
+        # "a" x1 evicted; remaining a, b, c.
+        assert window.n == 3
+        assert window.mix() == {
+            "a": pytest.approx(1 / 3),
+            "b": pytest.approx(1 / 3),
+            "c": pytest.approx(1 / 3),
+        }
+        assert window.count("a") == 1
+        assert window.fraction("z") == 0.0
+
+    def test_empty(self):
+        window = CategoryWindow(4)
+        assert window.mix() == {}
+        assert window.counts() == {}
+        assert window.fraction("a") == 0.0

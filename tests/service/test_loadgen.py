@@ -28,6 +28,22 @@ class TestPercentile:
 
         assert math.isnan(percentile([], 50))
 
+    def test_q_clamped_to_range(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, -5) == 1.0
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 150) == 3.0
+
+    def test_tiny_samples_return_real_elements(self):
+        # n=1: every q degrades to the single sample.
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+        # n=2: p50 is the lower sample, the tail the upper one.
+        assert percentile([1.0, 9.0], 50) == 1.0
+        assert percentile([1.0, 9.0], 95) == 9.0
+        assert percentile([1.0, 9.0], 99) == 9.0
+
 
 class TestLoadReport:
     def test_derived_quantities(self):
@@ -53,7 +69,28 @@ class TestLoadReport:
     def test_empty_latency_summary(self):
         assert LoadReport(
             mode="open", family="f", requests=0
-        ).latency_summary() == {"count": 0}
+        ).latency_summary() == {"count": 0, "n": 0}
+
+    def test_summary_fields_and_tiny_samples(self):
+        summary = LoadReport(
+            mode="open", family="f", requests=1, latencies_s=[0.004]
+        ).latency_summary()
+        # n duplicates count (the monitor windows' field name) and
+        # every percentile degrades to the lone sample.
+        assert summary["n"] == summary["count"] == 1
+        assert summary["min_ms"] == pytest.approx(4.0)
+        assert summary["p50_ms"] == pytest.approx(4.0)
+        assert summary["p99_ms"] == pytest.approx(4.0)
+        assert summary["max_ms"] == pytest.approx(4.0)
+
+        two = LoadReport(
+            mode="open", family="f", requests=2,
+            latencies_s=[0.010, 0.002],
+        ).latency_summary()
+        assert two["min_ms"] == pytest.approx(2.0)
+        assert two["p50_ms"] == pytest.approx(2.0)
+        assert two["p95_ms"] == pytest.approx(10.0)
+        assert two["mean_ms"] == pytest.approx(6.0)
 
 
 class TestOpenLoop:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -524,3 +526,86 @@ class TestTraceCli:
     def test_missing_log_fails(self, tmp_path, capsys):
         assert main(["trace", "show", str(tmp_path / "nope.jsonl")]) == 1
         assert "trace" in capsys.readouterr().err
+
+
+class TestMonitorCommand:
+    def alerts_file(self, tmp_path, with_drift=True):
+        from repro.monitor.alerts import ALERTS_SCHEMA
+
+        def rec(event, key, source, severity="warning"):
+            return {
+                "schema": ALERTS_SCHEMA,
+                "event": event,
+                "alert": {
+                    "key": key, "name": key, "severity": severity,
+                    "source": source, "family": "fam-a",
+                    "state": "resolved" if event == "resolved" else "firing",
+                    "opened_unix_s": 10.0, "resolved_unix_s": None,
+                    "value": 1.0, "threshold": 0.5, "message": "",
+                    "re_fires": 0,
+                },
+            }
+
+        records = [rec("fired", "slo:error-rate", "slo", "critical")]
+        if with_drift:
+            records.append(
+                rec("fired", "drift:ewma:statistic:fam-a", "drift")
+            )
+        records.append({
+            "schema": ALERTS_SCHEMA, "event": "snapshot",
+            "snapshot": {"status": "degraded", "events": 50,
+                         "slo": {"objectives": []}},
+        })
+        path = tmp_path / "alerts.jsonl"
+        path.write_text(
+            "junk line\n"
+            + "\n".join(json.dumps(r) for r in records)
+            + "\n"
+        )
+        return path
+
+    def test_report_markdown_to_stdout(self, tmp_path, capsys):
+        path = self.alerts_file(tmp_path)
+        assert main(["monitor", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "drift:ewma:statistic:fam-a" in out
+        assert "slo:error-rate" in out
+
+    def test_report_html_artifact_and_check_pass(self, tmp_path, capsys):
+        path = self.alerts_file(tmp_path)
+        out_html = tmp_path / "report.html"
+        assert main([
+            "monitor", "report", str(path),
+            "-o", str(out_html), "--check",
+        ]) == 0
+        assert out_html.read_text().lstrip().lower().startswith(
+            "<!doctype html>"
+        )
+        assert "check: drift alert fired" in capsys.readouterr().out
+
+    def test_check_fails_without_drift_alerts(self, tmp_path, capsys):
+        path = self.alerts_file(tmp_path, with_drift=False)
+        assert main(["monitor", "report", str(path), "--check"]) == 3
+        assert "CHECK FAILED" in capsys.readouterr().err
+
+    def test_report_with_manifest(self, tmp_path, capsys):
+        path = self.alerts_file(tmp_path)
+        manifest = tmp_path / "load.json"
+        manifest.write_text(json.dumps(
+            {"kind": "loadgen", "requests": 50}
+        ))
+        assert main([
+            "monitor", "report", str(path),
+            "--manifest", str(manifest),
+        ]) == 0
+        assert "loadgen" in capsys.readouterr().out
+
+    def test_watch_requires_port(self, capsys):
+        assert main(["monitor", "watch"]) == 1
+        assert "requires --port" in capsys.readouterr().err
+
+    def test_missing_alerts_file_fails(self, tmp_path, capsys):
+        assert main([
+            "monitor", "report", str(tmp_path / "nope.jsonl")
+        ]) == 1
+        assert "monitor" in capsys.readouterr().err

@@ -10,6 +10,7 @@ from repro.workloads import (
     TrafficGenerator,
     TrafficItem,
     TrafficSpec,
+    WearDriftSpec,
 )
 
 
@@ -104,3 +105,69 @@ class TestGroundTruth:
             "tampered",
             "tampered",
         ]
+
+
+class TestWearDrift:
+    def spec(self):
+        return WearDriftSpec(start_index=10, ramp_items=20, max_extra_pe=600)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WearDriftSpec(start_index=-1)
+        with pytest.raises(ValueError):
+            WearDriftSpec(ramp_items=0)
+        with pytest.raises(ValueError):
+            WearDriftSpec(max_extra_pe=-5)
+
+    def test_extra_pe_ramp(self):
+        drift = self.spec()
+        assert drift.extra_pe(0) == 0
+        assert drift.extra_pe(9) == 0
+        assert drift.extra_pe(10) == 0  # ramp starts at zero wear
+        assert drift.extra_pe(20) == 300  # halfway up
+        assert drift.extra_pe(30) == 600  # full ramp
+        assert drift.extra_pe(500) == 600  # clamps at the ceiling
+        # Monotone non-decreasing along the stream.
+        values = [drift.extra_pe(i) for i in range(40)]
+        assert values == sorted(values)
+
+    def test_drifted_stream_deterministic(self):
+        spec = TrafficSpec(mix={"genuine": 1.0}, wear_drift=self.spec())
+        a = TrafficGenerator(spec, seed=21).draw(16)
+        b = TrafficGenerator(spec, seed=21).draw(16)
+        for x, y in zip(a, b):
+            assert x.chip.die_id == y.chip.die_id
+            np.testing.assert_array_equal(
+                x.chip.flash.array.program_cycles,
+                y.chip.flash.array.program_cycles,
+            )
+
+    def test_wear_rides_on_the_same_chip_sequence(self):
+        """Drift perturbs chip physics only: kinds, indices and die ids
+        match the undrifted stream item-for-item."""
+        base = TrafficGenerator(TrafficSpec(), seed=33).draw(24)
+        drifted = TrafficGenerator(
+            TrafficSpec(wear_drift=self.spec()), seed=33
+        ).draw(24)
+        assert [i.kind for i in base] == [i.kind for i in drifted]
+        assert [i.chip.die_id for i in base] == [
+            i.chip.die_id for i in drifted
+        ]
+
+    def test_wear_applied_to_watermarked_chips_only(self):
+        drift = self.spec()
+        base = TrafficGenerator(TrafficSpec(), seed=33).draw(24)
+        drifted = TrafficGenerator(
+            TrafficSpec(wear_drift=drift), seed=33
+        ).draw(24)
+        for b, d in zip(base, drifted):
+            extra_cycles = float(
+                (d.chip.flash.array.program_cycles
+                 - b.chip.flash.array.program_cycles).max()
+            )
+            if d.kind in ("genuine", "recycled") and drift.extra_pe(
+                d.index
+            ) > 0:
+                assert extra_cycles > 0, f"item {d.index} ({d.kind})"
+            else:
+                assert extra_cycles == 0, f"item {d.index} ({d.kind})"
