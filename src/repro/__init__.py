@@ -34,7 +34,12 @@ Milenkovic.  The package layers as follows (bottom up):
   verification-outcome stream: EWMA/CUSUM drift detection on the
   decision statistic, declarative SLOs (``flashmark.slo/v1``) with
   burn-rate alerting, the ``flashmark.alerts/v1`` stream, and the
-  ``repro monitor`` dashboard/report (see ``docs/observability.md``).
+  ``repro monitor`` dashboard/report (see ``docs/observability.md``);
+* :mod:`repro.fleet` — horizontal scale-out: a consistent-hashing
+  :class:`FleetRouter` over N shard servers with health-based
+  eviction/readmission, per-shard registries reconciled into a
+  ``flashmark.fleet-audit/v1`` view, and the parity/chaos soak behind
+  ``python -m repro fleet`` (see ``docs/service.md``).
 
 Quickstart::
 
@@ -93,6 +98,14 @@ from .engine import (
     verify_population,
 )
 from .faults import FaultInjector, FaultPlan, FaultSpec
+from .fleet import (
+    FleetRouter,
+    HashRing,
+    InProcessShardManager,
+    ProcessShardManager,
+    RouterConfig,
+    reconcile_fleet,
+)
 from .monitor import (
     CUSUMDetector,
     EWMADetector,
@@ -102,6 +115,8 @@ from .monitor import (
 )
 from .phys import PhysicalParams
 from .service import (
+    Endpoint,
+    HealthReport,
     LoadClient,
     LoadReport,
     ServerConfig,
@@ -111,7 +126,7 @@ from .service import (
 from .telemetry import Telemetry
 from .trace import TraceContext
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -158,8 +173,17 @@ __all__ = [
     "WatermarkRegistry",
     "VerificationServer",
     "ServerConfig",
+    "Endpoint",
+    "HealthReport",
     "LoadClient",
     "LoadReport",
+    # fleet
+    "FleetRouter",
+    "RouterConfig",
+    "HashRing",
+    "ProcessShardManager",
+    "InProcessShardManager",
+    "reconcile_fleet",
     # fault injection
     "FaultPlan",
     "FaultSpec",

@@ -41,6 +41,13 @@ The CLI plays both supply-chain roles on persisted chip state
     $ python -m repro monitor watch --port 7433
     $ python -m repro monitor report alerts.jsonl -o report.html
     $ python -m repro chaos --seed 7 --requests 24 --monitor
+    # fleet: router + N shard processes
+    $ python -m repro fleet up --registry reg.db --shards 4 --port 7500
+    $ python -m repro loadgen --endpoint 127.0.0.1:7500 \
+          --family msp430 --requests 400
+    $ python -m repro monitor watch --endpoint 127.0.0.1:7500
+    $ python -m repro fleet topology --endpoint 127.0.0.1:7500
+    $ python -m repro fleet soak --shards 4 --requests 40 --chaos
 """
 
 from __future__ import annotations
@@ -352,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the fleet-health monitor entirely",
     )
+    p.add_argument(
+        "--port-file",
+        help="write the bound port (one line) here once listening — "
+        "how supervisors such as 'repro fleet up' discover an "
+        "ephemeral-port shard",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -407,8 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
         "loadgen",
         help="replay verification traffic and measure latency",
     )
+    p.add_argument(
+        "--endpoint",
+        help="target 'host:port' (a server or a fleet router); "
+        "preferred over --host/--port",
+    )
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--port", type=int, default=None)
     p.add_argument("--family", required=True)
     p.add_argument("--requests", type=int, default=100)
     p.add_argument(
@@ -486,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help="flashmark.alerts/v1 JSONL file (report)",
     )
+    p.add_argument(
+        "--endpoint",
+        help="target 'host:port' (watch; a server or a fleet router); "
+        "preferred over --host/--port",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument(
         "--port", type=int, default=None, help="server port (watch)"
@@ -526,6 +549,83 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 3 unless at least one drift alert fired and a final "
         "SLO snapshot is present (CI gate)",
+    )
+
+    p = sub.add_parser(
+        "fleet",
+        help="shard fleet: run a router topology, soak it, inspect it",
+    )
+    p.add_argument(
+        "action",
+        choices=["up", "soak", "topology"],
+        help="up: spawn N shard processes behind a router; "
+        "soak: parity/chaos harness over an in-process fleet; "
+        "topology: query a live router's shard map",
+    )
+    p.add_argument(
+        "--registry", help="source registry with published families (up)"
+    )
+    p.add_argument(
+        "--shards", type=int, default=4, help="shard count (up/soak)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="router port (up; 0 binds an ephemeral port and prints it)",
+    )
+    p.add_argument(
+        "--endpoint", help="router 'host:port' to query (topology)"
+    )
+    p.add_argument(
+        "--dir",
+        help="shard working directory — registries, port files, logs "
+        "(up; default: a temp dir)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="engine workers per shard"
+    )
+    p.add_argument(
+        "--requests", type=int, default=100, help="traffic items (soak)"
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop soak workers (parity mode)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="arm the fleet coverage fault plan "
+        "(shard_kill/shard_rejoin) during the soak",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the direct single-server parity baseline (soak)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=300.0,
+        help="whole-soak wall-clock bound [s] (invariant)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request bound [s] (invariant)",
+    )
+    p.add_argument(
+        "--audit-out",
+        help="write the flashmark.fleet-audit/v1 reconcile JSON here "
+        "(soak; up writes it on shutdown)",
+    )
+    p.add_argument(
+        "--report", help="write the full soak report JSON here (soak)"
     )
 
     p = sub.add_parser(
@@ -1244,6 +1344,12 @@ def _cmd_serve(args) -> int:
             except (NotImplementedError, RuntimeError, ValueError):
                 pass
         async with server:
+            if args.port_file:
+                # Written atomically-enough (tiny single write) once
+                # the socket is bound: supervisors poll this file to
+                # learn an ephemeral port.
+                with open(args.port_file, "w", encoding="utf-8") as fh:
+                    fh.write(f"{server.port}\n")
             print(
                 f"serving {len(families)} family(ies) on "
                 f"{args.host}:{server.port} "
@@ -1430,9 +1536,22 @@ def _cmd_loadgen(args) -> int:
                 f"{args.wear_ramp} item(s) from index {args.wear_start}"
             )
 
+    from .service import Endpoint
+
+    if args.endpoint:
+        try:
+            endpoint = Endpoint.parse(args.endpoint)
+        except ValueError as exc:
+            return _fail("loadgen", exc)
+    elif args.port is not None:
+        endpoint = Endpoint(args.host, args.port)
+    else:
+        return _fail(
+            "loadgen",
+            ValueError("give --endpoint host:port (or --port)"),
+        )
     load = LoadClient(
-        args.host,
-        args.port,
+        endpoint,
         args.family,
         traffic=TrafficGenerator(spec, seed=args.seed),
         telemetry=Telemetry(sink=sink),
@@ -1486,17 +1605,27 @@ def _cmd_monitor(args) -> int:
         import asyncio
 
         from .monitor import watch
+        from .service import Endpoint
 
-        if args.port is None:
+        if args.endpoint:
+            try:
+                target = Endpoint.parse(args.endpoint)
+            except ValueError as exc:
+                return _fail("monitor", exc)
+        elif args.port is not None:
+            target = Endpoint(args.host, args.port)
+        else:
             return _fail(
-                "monitor", ValueError("watch requires --port")
+                "monitor",
+                ValueError(
+                    "watch requires --endpoint host:port (or --port)"
+                ),
             )
         iterations = 1 if args.once else args.iterations
         try:
             asyncio.run(
                 watch(
-                    args.host,
-                    args.port,
+                    target,
                     interval_s=args.interval,
                     iterations=iterations,
                 )
@@ -1649,6 +1778,230 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _print_topology(topo: dict) -> None:
+    print(
+        f"fleet topology: {topo.get('routable', 0)}/"
+        f"{topo.get('n_shards', 0)} shard(s) routable, "
+        f"{topo.get('evicted', 0)} evicted "
+        f"(ring x{topo.get('ring_replicas', '?')})"
+    )
+    for shard in topo.get("shards", []):
+        flags = []
+        if not shard.get("routable"):
+            flags.append("UNROUTABLE")
+        if shard.get("evicted"):
+            flags.append("evicted")
+        print(
+            f"  {shard.get('shard_id', '?'):<10s} "
+            f"{shard.get('endpoint') or '-':<22s} "
+            f"state={shard.get('state', '?'):<5s} "
+            f"evictions={shard.get('evictions', 0)} "
+            f"readmissions={shard.get('readmissions', 0)}"
+            + (f"  [{' '.join(flags)}]" if flags else "")
+        )
+
+
+def _cmd_fleet(args) -> int:
+    import asyncio
+
+    if args.action == "topology":
+        from .service import ServiceError, VerificationClient, protocol
+
+        if not args.endpoint:
+            return _fail(
+                "fleet", ValueError("topology requires --endpoint")
+            )
+
+        async def _query() -> dict:
+            client = await VerificationClient.connect(args.endpoint)
+            try:
+                return await client.call(
+                    {
+                        "v": protocol.WIRE_SCHEMA,
+                        "id": 1,
+                        "op": "topology",
+                    }
+                )
+            finally:
+                await client.close()
+
+        try:
+            topo = asyncio.run(_query())
+        except (ConnectionError, OSError, ServiceError, ValueError) as exc:
+            return _fail("fleet", exc)
+        _print_topology(topo)
+        return 0
+
+    if args.action == "soak":
+        import tempfile
+        from pathlib import Path
+
+        from .fleet import fleet_coverage_plan, run_fleet_soak
+        from .service import WatermarkRegistry
+        from .workloads.traffic import TrafficGenerator
+
+        if args.requests < 1:
+            return _fail("fleet", ValueError("--requests must be >= 1"))
+        traffic = TrafficGenerator(seed=args.seed)
+        pop = traffic.spec.population
+        plan = fleet_coverage_plan(args.seed) if args.chaos else None
+        mode = "chaos" if args.chaos else "parity"
+        print(
+            f"fleet {mode} soak: {args.shards} shard(s), "
+            f"{args.requests} request(s), seed {args.seed}"
+            + (f", {len(plan)} scheduled fault(s)" if plan else "")
+        )
+        print("calibrating the soak family ...")
+        calibration = calibrate_family(
+            McuFactory(n_segments=1),
+            pop.n_pe,
+            n_replicas=pop.format.n_replicas,
+            n_chips=1,
+            seed=77,
+        ).calibration
+        family = "fleet-family"
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+            with WatermarkRegistry(Path(tmp) / "registry.db") as registry:
+                registry.publish_family(family, calibration, pop.format)
+                report = run_fleet_soak(
+                    registry,
+                    family,
+                    traffic.draw(args.requests),
+                    n_shards=args.shards,
+                    plan=plan,
+                    baseline=not args.no_baseline,
+                    concurrency=args.concurrency,
+                    workers=args.workers,
+                    telemetry=Telemetry(),
+                    deadline_s=args.deadline,
+                    request_timeout_s=args.timeout,
+                )
+        print(
+            f"fleet answered {report.answered}/{report.requests} "
+            f"({report.completed} OK, "
+            f"{sum(report.errors.values())} typed error(s), "
+            f"{report.drops} drop(s)) in {report.wall_s:.1f}s"
+        )
+        if report.baseline_verdicts:
+            print(
+                f"parity baseline: {len(report.baseline_verdicts)} "
+                "direct verdict(s) compared"
+            )
+        for code, count in sorted(report.errors.items()):
+            print(f"  {count} response(s) with error code {code}")
+        if report.injected:
+            print(f"injected {len(report.injected)} fault(s):")
+            for point, kind, at in report.injected:
+                print(f"  {point} {kind} @ occurrence {at}")
+        for label, passed in report.invariants().items():
+            print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+        if args.audit_out:
+            from .fleet import write_fleet_audit
+
+            write_fleet_audit(report.fleet_audit, args.audit_out)
+            print(f"fleet audit -> {args.audit_out}")
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"soak report -> {args.report}")
+        print(f"fleet soak: {'OK' if report.passed else 'FAILED'}")
+        return 0 if report.passed else 1
+
+    # up
+    import signal
+    import tempfile
+
+    from .fleet import (
+        FleetError,
+        FleetRouter,
+        ProcessShardManager,
+        RouterConfig,
+        reconcile_fleet,
+        write_fleet_audit,
+    )
+    from .service import RegistryError, WatermarkRegistry
+
+    if not args.registry:
+        return _fail("fleet", ValueError("up requires --registry"))
+    if args.shards < 1:
+        return _fail("fleet", ValueError("--shards must be >= 1"))
+    try:
+        registry = WatermarkRegistry(args.registry, create=False)
+    except RegistryError as exc:
+        return _fail("fleet", exc)
+    if not registry.families():
+        registry.close()
+        return _fail(
+            "fleet",
+            RegistryError(
+                "registry has no published families; run "
+                "'repro registry publish' first"
+            ),
+        )
+
+    async def _up(workdir: str) -> None:
+        manager = ProcessShardManager(
+            registry,
+            args.shards,
+            workdir,
+            host=args.host,
+            workers=args.workers,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        print(
+            f"starting {args.shards} shard process(es) under "
+            f"{workdir} ..."
+        )
+        with manager:
+            router = FleetRouter(
+                manager,
+                config=RouterConfig(host=args.host, port=args.port),
+                telemetry=Telemetry(),
+            )
+            async with router:
+                print(f"fleet router on {router.endpoint}")
+                _print_topology(router.topology())
+                sys.stdout.flush()
+                try:
+                    await stop.wait()  # until SIGINT/SIGTERM
+                finally:
+                    paths = {
+                        info.shard_id: info.registry_path
+                        for info in manager.infos()
+                    }
+        # Shards are down; their registries are free to reconcile.
+        if args.audit_out:
+            audit = reconcile_fleet(paths, timeline_limit=200)
+            write_fleet_audit(audit, args.audit_out)
+            print(
+                f"fleet audit ({audit['fleet_digest'][:16]}...) -> "
+                f"{args.audit_out}"
+            )
+
+    try:
+        if args.dir:
+            asyncio.run(_up(args.dir))
+        else:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-fleet-"
+            ) as tmp:
+                asyncio.run(_up(tmp))
+    except KeyboardInterrupt:
+        print("interrupted; fleet stopped")
+    except FleetError as exc:
+        return _fail("fleet", exc)
+    finally:
+        registry.close()
+    return 0
+
+
 _COMMANDS = {
     "make": _cmd_make,
     "imprint": _cmd_imprint,
@@ -1668,6 +2021,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "loadgen": _cmd_loadgen,
     "monitor": _cmd_monitor,
+    "fleet": _cmd_fleet,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
 }

@@ -84,6 +84,12 @@ POINT_KINDS: Dict[str, Tuple[str, ...]] = {
     ),
     "service.write": ("error", "hang", "drop"),
     "service.registry": ("error",),
+    # Fleet-layer seams (repro.fleet.router).  ``drop`` at shard_kill
+    # hard-kills the request's owner shard mid-traffic; ``drop`` at
+    # shard_rejoin restarts a down shard on the next probe round.
+    # ``error`` injects a routing fault / aborts a probe round.
+    "fleet.shard_kill": ("error", "drop"),
+    "fleet.shard_rejoin": ("error", "drop"),
 }
 
 

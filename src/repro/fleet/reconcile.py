@@ -1,0 +1,180 @@
+"""Stitch per-shard audit logs into one fleet-level audit view.
+
+Each shard owns an independent SQLite registry whose audit log is
+hash-chained from its own genesis — tamper-evidence is *per shard*.
+The fleet needs a single answer to "what happened, in order, and has
+anything been rewritten?", so the reconciler:
+
+1. re-verifies every shard chain (``verify_audit_chain``) and records
+   its head hash — a rewritten shard fails here, a truncated one
+   shows up as a head-hash / entry-count regression between reports;
+2. merges the per-shard entries into one timeline ordered by
+   ``(created_unix_s, shard, seq)`` — deterministic for identical
+   inputs, so two reconcile runs over the same fleet byte-agree;
+3. folds the sorted head hashes into a single *fleet digest*: one
+   hex string that changes iff any shard's audit history changed;
+4. cross-checks family consistency — every shard must serve the same
+   published family set (the router hashes dies across all of them),
+   so a drifted shard is a routing-correctness bug, not a style issue.
+
+The output is a ``flashmark.fleet-audit/v1`` document; ``repro fleet
+soak`` writes it as its reconcile artifact and CI asserts
+``chains_ok`` + ``families["consistent"]`` on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..service.registry import RegistryError, WatermarkRegistry
+
+__all__ = [
+    "FLEET_AUDIT_SCHEMA",
+    "reconcile_fleet",
+    "fleet_digest",
+    "write_fleet_audit",
+]
+
+FLEET_AUDIT_SCHEMA = "flashmark.fleet-audit/v1"
+
+#: Head hash of an empty / unreadable chain in the digest fold.
+_EMPTY_HEAD = hashlib.sha256(b"flashmark.fleet-audit/empty").hexdigest()
+
+
+def fleet_digest(head_hashes: Dict[str, str]) -> str:
+    """One hex digest over a ``shard_id -> head_hash`` map.
+
+    Folding ``sha256`` over the ``(shard_id, head_hash)`` pairs in
+    shard-id order makes the digest order-independent of dict layout
+    but sensitive to *which* shard a history lives on — two fleets
+    with swapped registries reconcile to different digests.
+    """
+    h = hashlib.sha256()
+    for shard_id in sorted(head_hashes):
+        h.update(shard_id.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(head_hashes[shard_id].encode("ascii"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _shard_summary(shard_id: str, registry: WatermarkRegistry) -> dict:
+    summary = {
+        "shard_id": shard_id,
+        "path": registry.path,
+        "chain_ok": False,
+        "chain_error": None,
+        "entries": 0,
+        "head_hash": _EMPTY_HEAD,
+        "counts": {},
+        "families": [],
+    }
+    try:
+        summary["entries"] = registry.verify_audit_chain()
+        summary["chain_ok"] = True
+    except RegistryError as exc:
+        summary["chain_error"] = str(exc)
+        return summary
+    entries = registry.audit_entries()
+    if entries:
+        summary["head_hash"] = entries[-1]["entry_hash"]
+    summary["counts"] = registry.counts()
+    summary["families"] = sorted(
+        record.family_id for record in registry.families()
+    )
+    return summary
+
+
+def reconcile_fleet(
+    registries: Dict[str, Union[str, Path, WatermarkRegistry]],
+    *,
+    timeline_limit: Optional[int] = None,
+) -> dict:
+    """Build the ``flashmark.fleet-audit/v1`` view of a shard set.
+
+    Parameters
+    ----------
+    registries:
+        ``shard_id -> registry`` map; values may be open
+        :class:`WatermarkRegistry` objects or database paths (paths
+        are opened read-style with ``create=False`` and closed again).
+    timeline_limit:
+        Keep only the newest N merged timeline entries (the summary
+        blocks still cover everything).
+    """
+    if not registries:
+        raise ValueError("reconcile needs at least one shard registry")
+    shards: List[dict] = []
+    timeline: List[dict] = []
+    heads: Dict[str, str] = {}
+    for shard_id in sorted(registries):
+        value = registries[shard_id]
+        opened = None
+        if not isinstance(value, WatermarkRegistry):
+            opened = WatermarkRegistry(value, create=False)
+            registry = opened
+        else:
+            registry = value
+        try:
+            summary = _shard_summary(shard_id, registry)
+            if summary["chain_ok"]:
+                for entry in registry.audit_entries():
+                    entry = dict(entry)
+                    entry["shard"] = shard_id
+                    timeline.append(entry)
+        finally:
+            if opened is not None:
+                opened.close()
+        shards.append(summary)
+        heads[shard_id] = summary["head_hash"]
+    timeline.sort(
+        key=lambda e: (e["created_unix_s"], e["shard"], e["seq"])
+    )
+    truncated = 0
+    if timeline_limit is not None and len(timeline) > timeline_limit:
+        truncated = len(timeline) - timeline_limit
+        timeline = timeline[-timeline_limit:]
+
+    family_sets = {s["shard_id"]: set(s["families"]) for s in shards}
+    union = sorted(set().union(*family_sets.values()))
+    missing = {
+        shard_id: sorted(set(union) - families)
+        for shard_id, families in family_sets.items()
+        if set(union) - families
+    }
+    chains_ok = all(s["chain_ok"] for s in shards)
+    totals = {
+        "entries": sum(s["entries"] for s in shards),
+        "verifications": sum(
+            int(s["counts"].get("verifications", 0)) for s in shards
+        ),
+        "families": len(union),
+    }
+    return {
+        "schema": FLEET_AUDIT_SCHEMA,
+        "generated_unix_s": time.time(),
+        "n_shards": len(shards),
+        "chains_ok": chains_ok,
+        "fleet_digest": fleet_digest(heads),
+        "shards": shards,
+        "families": {
+            "consistent": not missing and bool(union),
+            "union": union,
+            "missing": missing,
+        },
+        "totals": totals,
+        "timeline": timeline,
+        "timeline_truncated": truncated,
+    }
+
+
+def write_fleet_audit(report: dict, path: Union[str, Path]) -> Path:
+    """Persist a reconcile report as pretty-printed JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,946 @@
+"""FleetRouter: one wire endpoint in front of N verification shards.
+
+The router speaks ``flashmark.wire/v1`` on both sides: downstream it
+looks exactly like a :class:`~repro.service.server.VerificationServer`
+(same frame cap, same error codes, same HTTP ``/healthz`` +
+``/metrics`` sidecar), upstream it is an ordinary client of each
+shard.  A verify request is consistent-hashed on ``(family, die)``
+(:mod:`repro.fleet.hashing`) to its owner shard; if the owner is
+evicted or the forward fails, the request walks the ring to the next
+healthy shard — bounded by ``retry_shards`` — and only then surfaces a
+``503``.
+
+Health-based eviction: a background probe fetches each shard's
+``/healthz`` (the shared :class:`~repro.service.health.HealthReport`
+schema) every ``probe_interval_s``.  A shard is *evicted* after
+``evict_after`` consecutive failures — unreachable, un-parseable, a
+growing ``engine.hung_skips`` counter (a wedged worker pool answers
+HTTP fine while serving nothing), or ``status: alerting`` when
+``evict_on_alerting`` is set — and *readmitted* after ``readmit_after``
+consecutive healthy probes.  Forward failures feed the same counters,
+so a crashed shard stops receiving traffic at the next request, not
+the next probe tick.
+
+Observability rides through: a request-carried traceparent is
+re-parented onto a ``router.request`` span whose child context is
+forwarded upstream, so one distributed trace covers client → router →
+shard → engine worker.  Relayed outcomes feed the router's own
+:class:`~repro.monitor.FleetMonitor`, making ``repro monitor watch``
+against the router a whole-fleet dashboard.
+
+Chaos seams: ``fault_point("fleet.shard_kill")`` fires on the verify
+forward path (kind ``drop`` hard-kills the owner shard mid-traffic,
+``error`` injects a routing fault) and
+``fault_point("fleet.shard_rejoin")`` fires on each probe tick (kind
+``drop`` restarts a killed shard, ``error`` aborts the probe round) —
+the harness :mod:`repro.fleet.soak` arms them to prove the fleet
+degrades but never wedges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import inspect
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..faults import InjectedFault, fault_point
+from ..telemetry import Telemetry, build_manifest
+from ..telemetry.prometheus import render_prometheus
+from ..trace.context import TraceContext, parse_traceparent
+from ..service import protocol
+from ..service.client import VerificationClient
+from ..service.endpoint import Endpoint
+from ..service.health import HealthReport, engine_counters
+from .hashing import DEFAULT_REPLICAS, HashRing, routing_key
+
+__all__ = ["RouterConfig", "FleetRouter"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunables of a :class:`FleetRouter`."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back from ``router.port``).
+    port: int = 0
+    #: Virtual nodes per shard on the hash ring.
+    ring_replicas: int = DEFAULT_REPLICAS
+    #: Seconds between health-probe rounds.
+    probe_interval_s: float = 0.5
+    #: Run the background probe task.  The chaos soak turns this off
+    #: and drives :meth:`FleetRouter.probe_once` itself, so the
+    #: ``fleet.shard_rejoin`` seam advances deterministically with the
+    #: request stream instead of a wall-clock timer.
+    auto_probe: bool = True
+    #: Consecutive probe/forward failures before eviction.
+    evict_after: int = 2
+    #: Consecutive healthy probes before readmission.
+    readmit_after: int = 2
+    #: Treat a shard whose monitor went ``alerting`` as failing.
+    evict_on_alerting: bool = False
+    #: Additional ring-walk shards tried after the owner fails; the
+    #: request 503s only once 1 + retry_shards attempts are exhausted.
+    retry_shards: int = 1
+    #: Pooled upstream connections kept per shard.
+    connections_per_shard: int = 8
+    #: Upstream dial / per-forward / probe timeouts [s].
+    dial_timeout_s: float = 5.0
+    forward_timeout_s: float = 30.0
+    probe_timeout_s: float = 3.0
+    #: Record ``router.request`` spans and propagate child contexts.
+    tracing: bool = True
+    #: Feed relayed outcomes to a fleet monitor (the ``monitor`` op).
+    monitoring: bool = True
+
+
+class _ShardLink:
+    """The router's view of one shard: health counters + connection pool."""
+
+    __slots__ = (
+        "shard_id",
+        "consecutive_failures",
+        "consecutive_successes",
+        "evicted",
+        "evictions",
+        "readmissions",
+        "last_status",
+        "last_error",
+        "last_engine",
+        "last_registry",
+        "pool",
+    )
+
+    def __init__(self, shard_id: str):
+        self.shard_id = shard_id
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.evicted = False
+        self.evictions = 0
+        self.readmissions = 0
+        self.last_status: Optional[str] = None
+        self.last_error: Optional[str] = None
+        self.last_engine: Dict[str, float] = {}
+        self.last_registry: Dict[str, int] = {}
+        self.pool: List = []  # (VerificationClient, Endpoint) stack
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "evicted": self.evicted,
+            "consecutive_failures": self.consecutive_failures,
+            "consecutive_successes": self.consecutive_successes,
+            "evictions": self.evictions,
+            "readmissions": self.readmissions,
+            "last_status": self.last_status,
+            "last_error": self.last_error,
+        }
+
+
+class FleetRouter:
+    """Route ``flashmark.wire/v1`` traffic across a shard set.
+
+    Parameters
+    ----------
+    shards:
+        A shard manager/set from :mod:`repro.fleet.shards` — anything
+        with ``shard_ids()`` / ``endpoint()`` / ``alive()`` (and, for
+        the chaos seams, ``kill()`` / ``rejoin()``).
+    config:
+        Routing, eviction and timeout tunables.
+    telemetry:
+        Receives ``fleet.*`` counters and ``router.request`` spans.
+    monitor:
+        A pre-built :class:`~repro.monitor.FleetMonitor`; with
+        ``config.monitoring`` on and none given, a default one is
+        built sharing the router's telemetry.
+    """
+
+    def __init__(
+        self,
+        shards,
+        *,
+        config: Optional[RouterConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        monitor=None,
+    ):
+        self.shards = shards
+        self.config = config if config is not None else RouterConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.monitor = None
+        if self.config.monitoring:
+            if monitor is None:
+                from ..monitor import FleetMonitor
+
+                monitor = FleetMonitor(telemetry=self.telemetry)
+            self.monitor = monitor
+        self.ring = HashRing(
+            shards.shard_ids(), replicas=self.config.ring_replicas
+        )
+        self._links: Dict[str, _ShardLink] = {
+            shard_id: _ShardLink(shard_id)
+            for shard_id in shards.shard_ids()
+        }
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._prober: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at: Optional[float] = None
+        self._open_connections = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("router already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_stream,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self._started_at = self._loop.time()
+        if self.config.auto_probe:
+            self._prober = self._loop.create_task(self._probe_loop())
+        self.telemetry.count("fleet.router_starts")
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._prober is not None:
+            self._prober.cancel()
+            try:
+                await self._prober
+            except asyncio.CancelledError:
+                pass
+            self._prober = None
+        for link in self._links.values():
+            while link.pool:
+                client, _ = link.pool.pop()
+                await client.close()
+
+    async def __aenter__(self) -> "FleetRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("router not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(self.config.host, self.port)
+
+    # -- shard health -----------------------------------------------------
+
+    def routable(self, shard_id: str) -> bool:
+        """Whether the router will currently send traffic to a shard."""
+        link = self._links[shard_id]
+        return (
+            not link.evicted
+            and self.shards.alive(shard_id)
+            and self.shards.endpoint(shard_id) is not None
+        )
+
+    def _note_failure(self, shard_id: str, error: str) -> None:
+        link = self._links[shard_id]
+        link.consecutive_failures += 1
+        link.consecutive_successes = 0
+        link.last_error = error
+        if (
+            not link.evicted
+            and link.consecutive_failures >= self.config.evict_after
+        ):
+            link.evicted = True
+            link.evictions += 1
+            self.telemetry.count("fleet.evictions")
+            self.telemetry.count(f"fleet.evictions.{shard_id}")
+
+    def _note_success(self, shard_id: str) -> None:
+        link = self._links[shard_id]
+        link.consecutive_successes += 1
+        link.consecutive_failures = 0
+        link.last_error = None
+        if (
+            link.evicted
+            and link.consecutive_successes >= self.config.readmit_after
+        ):
+            link.evicted = False
+            link.readmissions += 1
+            self.telemetry.count("fleet.readmissions")
+            self.telemetry.count(f"fleet.readmissions.{shard_id}")
+
+    async def probe_once(self) -> None:
+        """Run one health-probe round now (the ``auto_probe=False``
+        driving mode)."""
+        await self._probe_round()
+
+    async def _probe_loop(self) -> None:
+        while True:
+            try:
+                await self._probe_round()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # The prober must never die; a broken round is one
+                # missed health sample, not a dead fleet.
+                self.telemetry.count("fleet.probe_rounds_failed")
+            await asyncio.sleep(self.config.probe_interval_s)
+
+    async def _probe_round(self) -> None:
+        # Chaos seam: "drop" restarts the first down shard (the rejoin
+        # half of the kill/rejoin cycle), "error" aborts this round —
+        # readmission is delayed, surfaced as a counted probe abort.
+        try:
+            action = fault_point("fleet.shard_rejoin")
+        except InjectedFault:
+            self.telemetry.count("fleet.probe_aborts")
+            return
+        if action is not None and action.kind == "drop":
+            await self._chaos_rejoin()
+        self.telemetry.count("fleet.probe_rounds")
+        await asyncio.gather(
+            *(self._probe_shard(s) for s in self.shards.shard_ids())
+        )
+
+    async def _probe_shard(self, shard_id: str) -> None:
+        endpoint = self.shards.endpoint(shard_id)
+        if endpoint is None or not self.shards.alive(shard_id):
+            self._note_failure(shard_id, "shard process down")
+            self._links[shard_id].last_status = None
+            return
+        try:
+            report = await asyncio.wait_for(
+                self._fetch_healthz(endpoint),
+                timeout=self.config.probe_timeout_s,
+            )
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            ValueError,
+            ConnectionError,
+        ) as exc:
+            self._note_failure(shard_id, f"healthz probe failed: {exc}")
+            return
+        link = self._links[shard_id]
+        link.last_status = report.status
+        link.last_registry = dict(report.registry)
+        hung_now = sum(
+            v
+            for k, v in report.engine.items()
+            if k.endswith("hung_skips")
+        )
+        hung_before = sum(
+            v
+            for k, v in link.last_engine.items()
+            if k.endswith("hung_skips")
+        )
+        link.last_engine = dict(report.engine)
+        if hung_now > hung_before:
+            self._note_failure(
+                shard_id,
+                f"engine hung_skips grew to {hung_now:g} "
+                "(wedged worker pool)",
+            )
+            return
+        if report.status == "alerting" and self.config.evict_on_alerting:
+            self._note_failure(shard_id, "shard monitor is alerting")
+            return
+        self._note_success(shard_id)
+
+    @staticmethod
+    async def _fetch_healthz(endpoint: Endpoint) -> HealthReport:
+        reader, writer = await asyncio.open_connection(
+            endpoint.host, endpoint.port
+        )
+        try:
+            writer.write(
+                f"GET /healthz HTTP/1.1\r\nHost: {endpoint.host}\r\n"
+                "Connection: close\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0]
+        if b"200" not in status_line:
+            raise ValueError(
+                f"healthz answered {status_line.decode('latin-1')!r}"
+            )
+        return HealthReport.from_dict(json.loads(body.decode("utf-8")))
+
+    async def _chaos_kill(self, shard_id: str) -> None:
+        """Hard-kill a shard through its manager (chaos seam)."""
+        self.telemetry.count("fleet.chaos_kills")
+        result = self.shards.kill(shard_id)
+        if inspect.isawaitable(result):
+            await result
+
+    async def _chaos_rejoin(self) -> None:
+        """Restart the first down shard, if any (chaos seam)."""
+        for shard_id in self.shards.shard_ids():
+            if not self.shards.alive(shard_id):
+                self.telemetry.count("fleet.chaos_rejoins")
+                result = self.shards.rejoin(shard_id)
+                if inspect.isawaitable(result):
+                    await result
+                return
+
+    # -- upstream connection pool -----------------------------------------
+
+    async def _lease(self, shard_id: str):
+        endpoint = self.shards.endpoint(shard_id)
+        if endpoint is None:
+            raise ConnectionError(f"shard {shard_id} has no endpoint")
+        link = self._links[shard_id]
+        while link.pool:
+            client, pooled_endpoint = link.pool.pop()
+            if pooled_endpoint == endpoint:
+                return client, endpoint
+            await client.close()  # stale: shard rejoined elsewhere
+        client = await asyncio.wait_for(
+            VerificationClient.connect(endpoint),
+            timeout=self.config.dial_timeout_s,
+        )
+        return client, endpoint
+
+    async def _release(self, shard_id: str, client, endpoint) -> None:
+        link = self._links[shard_id]
+        if len(link.pool) < self.config.connections_per_shard:
+            link.pool.append((client, endpoint))
+        else:
+            await client.close()
+
+    async def _forward(self, shard_id: str, req: dict) -> dict:
+        """One request/response exchange with a shard; the connection
+        returns to the pool only on success."""
+        client, endpoint = await self._lease(shard_id)
+        try:
+            resp = await asyncio.wait_for(
+                client.request(req),
+                timeout=self.config.forward_timeout_s,
+            )
+        except BaseException:
+            await client.close()
+            raise
+        await self._release(shard_id, client, endpoint)
+        return resp
+
+    # -- downstream connection handling ------------------------------------
+
+    async def _read_frame(self, frames, writer, write_lock) -> bytes:
+        """Mirror of the server's guarded read: an oversized frame
+        answers 400 and the connection keeps serving."""
+        try:
+            return await frames.read_frame()
+        except protocol.FrameTooLarge as exc:
+            self.telemetry.count("fleet.rejected.oversized")
+            await self._write_frame(
+                writer,
+                write_lock,
+                protocol.error_response(
+                    None, protocol.BAD_REQUEST, str(exc)
+                ),
+            )
+            return b"\n"
+
+    async def _handle_stream(self, reader, writer) -> None:
+        self._open_connections += 1
+        self.telemetry.count("fleet.connections")
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        frames = protocol.FrameReader(reader)
+        try:
+            first = await self._read_frame(frames, writer, write_lock)
+            if first.split(b" ", 1)[0] in (b"GET", b"HEAD"):
+                await self._handle_http(first, frames, writer)
+                return
+            line = first
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    await self._dispatch_line(
+                        stripped, writer, write_lock, tasks
+                    )
+                line = await self._read_frame(frames, writer, write_lock)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._open_connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_line(
+        self, line: bytes, writer, write_lock, tasks: set
+    ) -> None:
+        try:
+            req = protocol.decode_frame(line)
+        except protocol.ProtocolError as exc:
+            self.telemetry.count("fleet.rejected.bad_request")
+            await self._write_frame(
+                writer,
+                write_lock,
+                protocol.error_response(
+                    None, protocol.BAD_REQUEST, str(exc)
+                ),
+            )
+            return
+        self.telemetry.count("fleet.requests")
+        op = req.get("op")
+        if op == "verify":
+            task = self._loop.create_task(
+                self._serve_verify(req, writer, write_lock)
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+            return
+        response = await self._handle_query(op, req.get("id"), req)
+        await self._write_frame(writer, write_lock, response)
+
+    async def _write_frame(self, writer, write_lock, obj: dict) -> None:
+        async with write_lock:
+            writer.write(protocol.encode_frame(obj))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- verify routing ----------------------------------------------------
+
+    def _routing_key(self, req: dict) -> str:
+        family = req.get("family") or ""
+        die_id = req.get("die_id")
+        if isinstance(die_id, str) and die_id:
+            return routing_key(family, die_id)
+        # Legacy client without the die_id field: hash the blob itself.
+        # Identical chips still pin to identical shards.
+        blob = req.get("chip_b64") or ""
+        digest = hashlib.sha256(blob.encode("ascii")).hexdigest()[:16]
+        return routing_key(family, f"blob:{digest}")
+
+    async def _serve_verify(self, req: dict, writer, write_lock) -> None:
+        request_id = req.get("id")
+        t0 = self._loop.time()
+        t0_unix = time.time()
+        ctx = None
+        upstream = dict(req)
+        if self.config.tracing:
+            parsed = parse_traceparent(req.get("trace"))
+            ctx = (
+                parsed.child() if parsed is not None
+                else TraceContext.new_root()
+            )
+            upstream["trace"] = ctx.to_traceparent()
+        response, shard_id = await self._route_verify(upstream, request_id)
+        latency = self._loop.time() - t0
+        self.telemetry.observe("fleet.latency_s", latency)
+        self._monitor_relay(req, response, latency)
+        if ctx is not None:
+            error = None
+            if not response.get("ok", False):
+                error = str(
+                    (response.get("error") or {}).get("code", "error")
+                )
+            self.telemetry.record_span(
+                "router.request",
+                latency,
+                t0_unix_s=t0_unix,
+                ctx=ctx,
+                attrs={
+                    "shard": shard_id,
+                    "family": req.get("family"),
+                },
+                error=error,
+            )
+        await self._write_frame(writer, write_lock, response)
+
+    async def _route_verify(self, req: dict, request_id: Any):
+        """Pick the owner shard, forward with bounded ring-walk retry;
+        returns ``(response, shard_id_or_None)``."""
+        family = req.get("family")
+        if not isinstance(family, str) or not family:
+            self.telemetry.count("fleet.rejected.bad_request")
+            return (
+                protocol.error_response(
+                    request_id,
+                    protocol.BAD_REQUEST,
+                    "verify request is missing 'family'",
+                ),
+                None,
+            )
+        if not isinstance(req.get("chip_b64"), str) or not req["chip_b64"]:
+            self.telemetry.count("fleet.rejected.bad_request")
+            return (
+                protocol.error_response(
+                    request_id,
+                    protocol.BAD_REQUEST,
+                    "verify request is missing 'chip_b64'",
+                ),
+                None,
+            )
+        candidates = self.ring.candidates(self._routing_key(req))
+        # Chaos seam: "drop" hard-kills the request's owner shard just
+        # before the forward — the crash-mid-traffic scenario; "error"
+        # injects a routing failure, surfaced as a typed 503.
+        try:
+            action = fault_point("fleet.shard_kill")
+        except InjectedFault as exc:
+            self.telemetry.count("fleet.injected_route_errors")
+            return (
+                protocol.error_response(
+                    request_id,
+                    protocol.SERVICE_UNAVAILABLE,
+                    f"injected routing fault: {exc}",
+                ),
+                None,
+            )
+        if action is not None and action.kind == "drop":
+            victim = next(
+                (s for s in candidates if self.routable(s)),
+                candidates[0],
+            )
+            await self._chaos_kill(victim)
+        attempts = [s for s in candidates if self.routable(s)]
+        attempts = attempts[: 1 + max(0, self.config.retry_shards)]
+        last_error: Optional[str] = None
+        for n, shard_id in enumerate(attempts):
+            try:
+                response = await self._forward(shard_id, req)
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                protocol.ProtocolError,
+            ) as exc:
+                last_error = f"{shard_id}: {exc or type(exc).__name__}"
+                self.telemetry.count("fleet.forward_failures")
+                self._note_failure(shard_id, str(exc) or repr(exc))
+                continue
+            self._note_success(shard_id)
+            self.telemetry.count("fleet.forwarded")
+            if n > 0:
+                self.telemetry.count("fleet.rerouted")
+            return response, shard_id
+        self.telemetry.count("fleet.rejected.unavailable")
+        detail = (
+            f"no healthy shard for family {family!r} "
+            f"({len(attempts)} of {len(candidates)} tried"
+            + (f"; last error: {last_error}" if last_error else "")
+            + ")"
+        )
+        return (
+            protocol.error_response(
+                request_id, protocol.SERVICE_UNAVAILABLE, detail
+            ),
+            None,
+        )
+
+    # -- monitor feed ------------------------------------------------------
+
+    def _monitor_relay(
+        self, req: dict, response: dict, latency: float
+    ) -> None:
+        """Feed one relayed outcome to the router's fleet monitor."""
+        if self.monitor is None:
+            return
+        from ..monitor import (
+            OUTCOME_ERROR,
+            OUTCOME_OK,
+            OUTCOME_REJECTED,
+            VerificationEvent,
+        )
+
+        family = req.get("family")
+        family = family if isinstance(family, str) else ""
+        client = req.get("client")
+        client = client if isinstance(client, str) else None
+        if response.get("ok", False):
+            result = response.get("result") or {}
+            event = VerificationEvent(
+                family=family,
+                outcome=OUTCOME_OK,
+                verdict=result.get("verdict"),
+                statistic=result.get("statistic"),
+                latency_s=latency,
+                registry_seq=result.get("history_seq"),
+                client=client,
+                unix_s=time.time(),
+            )
+        else:
+            code = (response.get("error") or {}).get("code")
+            event = VerificationEvent(
+                family=family,
+                outcome=(
+                    OUTCOME_REJECTED
+                    if code
+                    in (
+                        protocol.TOO_MANY_REQUESTS,
+                        protocol.SERVICE_UNAVAILABLE,
+                    )
+                    else OUTCOME_ERROR
+                ),
+                error_code=code,
+                latency_s=latency,
+                client=client,
+                unix_s=time.time(),
+            )
+        self.monitor.record(event)
+
+    # -- queries -----------------------------------------------------------
+
+    async def _handle_query(self, op, request_id, req: dict) -> dict:
+        if op == "ping":
+            return protocol.ok_response(
+                request_id, {"pong": True, "role": "router"}
+            )
+        if op == "topology":
+            return protocol.ok_response(request_id, self.topology())
+        if op == "stats":
+            return protocol.ok_response(request_id, self.stats())
+        if op == "monitor":
+            if self.monitor is None:
+                return protocol.error_response(
+                    request_id,
+                    protocol.BAD_REQUEST,
+                    "monitoring is disabled on this router",
+                )
+            snapshot = self.monitor.snapshot()
+            snapshot["fleet"] = self._fleet_block()
+            return protocol.ok_response(request_id, snapshot)
+        if op == "families":
+            return await self._relay_query(request_id, req)
+        if op == "history":
+            return await self._merged_history(request_id, req)
+        return protocol.error_response(
+            request_id, protocol.BAD_REQUEST, f"unknown op {op!r}"
+        )
+
+    async def _relay_query(self, request_id, req: dict) -> dict:
+        """Forward a query to the first routable shard."""
+        for shard_id in self.shards.shard_ids():
+            if not self.routable(shard_id):
+                continue
+            try:
+                return await self._forward(shard_id, req)
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                protocol.ProtocolError,
+            ) as exc:
+                self._note_failure(shard_id, str(exc) or repr(exc))
+        return protocol.error_response(
+            request_id,
+            protocol.SERVICE_UNAVAILABLE,
+            "no healthy shard to answer the query",
+        )
+
+    async def _merged_history(self, request_id, req: dict) -> dict:
+        """Fan a history query out to every routable shard and merge
+        newest-first — each die's records live on one shard, so the
+        union is the fleet's history."""
+        limit = int(req.get("limit", 20))
+        merged: List[dict] = []
+        answered = 0
+        for shard_id in self.shards.shard_ids():
+            if not self.routable(shard_id):
+                continue
+            try:
+                resp = await self._forward(shard_id, req)
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                protocol.ProtocolError,
+            ) as exc:
+                self._note_failure(shard_id, str(exc) or repr(exc))
+                continue
+            if not resp.get("ok", False):
+                return resp
+            answered += 1
+            for record in (resp.get("result") or {}).get("history", []):
+                record = dict(record)
+                record["shard"] = shard_id
+                merged.append(record)
+        if answered == 0:
+            return protocol.error_response(
+                request_id,
+                protocol.SERVICE_UNAVAILABLE,
+                "no healthy shard to answer the query",
+            )
+        merged.sort(
+            key=lambda r: (r.get("created_unix_s", 0), r.get("seq", 0)),
+            reverse=True,
+        )
+        return protocol.ok_response(
+            request_id, {"history": merged[:limit]}
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def _fleet_block(self) -> dict:
+        shards = []
+        for info in self.shards.infos():
+            entry = info.to_dict()
+            entry.update(self._links[info.shard_id].to_dict())
+            entry["routable"] = self.routable(info.shard_id)
+            shards.append(entry)
+        return {
+            "shards": shards,
+            "n_shards": len(shards),
+            "routable": sum(1 for s in shards if s["routable"]),
+            "evicted": sum(1 for s in shards if s["evicted"]),
+            "ring_replicas": self.ring.replicas,
+        }
+
+    def topology(self) -> dict:
+        """The shard map the ``topology`` wire op serves."""
+        return {
+            "role": "router",
+            "wire_schema": protocol.WIRE_SCHEMA,
+            "endpoint": (
+                str(self.endpoint) if self._server is not None else None
+            ),
+            **self._fleet_block(),
+        }
+
+    def stats(self) -> dict:
+        counters = self.telemetry.registry.snapshot()["counters"]
+        fleet = {
+            k: v for k, v in counters.items() if k.startswith("fleet.")
+        }
+        return {
+            "wire_schema": protocol.WIRE_SCHEMA,
+            "role": "router",
+            "open_connections": self._open_connections,
+            "monitoring": self.monitor is not None,
+            "counters": fleet,
+            "fleet": self._fleet_block(),
+        }
+
+    def health_report(self) -> HealthReport:
+        """The router's ``/healthz`` in the shared schema.
+
+        ``status`` degrades with the shard map: no routable shard is
+        ``alerting`` (the fleet serves nothing), a partial fleet is
+        ``degraded``; otherwise the router's own monitor status (or
+        ``ok``).  The registry block sums the counts each shard last
+        reported, so one probe of the router sizes the whole fleet.
+        """
+        from .. import __version__
+
+        fleet = self._fleet_block()
+        if fleet["routable"] == 0:
+            status = "alerting"
+        elif fleet["routable"] < fleet["n_shards"]:
+            status = "degraded"
+        elif self.monitor is not None:
+            status = self.monitor.status()
+        else:
+            status = "ok"
+        totals: Dict[str, int] = {}
+        for link in self._links.values():
+            for key, value in link.last_registry.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        counters = self.telemetry.registry.snapshot()["counters"]
+        return HealthReport(
+            status=status,
+            version=__version__,
+            role="router",
+            uptime_s=(
+                self._loop.time() - self._started_at
+                if self._loop is not None and self._started_at is not None
+                else 0.0
+            ),
+            queue_depth=0,
+            registry=totals,
+            engine=engine_counters(counters),
+            monitor=(
+                self.monitor.healthz_block()
+                if self.monitor is not None
+                else None
+            ),
+            fleet=fleet,
+        )
+
+    # -- HTTP sidecar ------------------------------------------------------
+
+    async def _handle_http(self, first_line, frames, writer) -> None:
+        try:
+            while True:  # drain headers
+                header = await frames.read_frame()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = first_line.decode("latin-1").split()
+            path = parts[1] if len(parts) > 1 else "/"
+            if path == "/healthz":
+                body = json.dumps(
+                    self.health_report().to_dict()
+                ).encode()
+                content_type = "application/json"
+                status = "200 OK"
+            elif path == "/metrics":
+                extra_gauges = {
+                    "fleet.open_connections": self._open_connections,
+                    "fleet.routable_shards": self._fleet_block()[
+                        "routable"
+                    ],
+                }
+                if self.monitor is not None:
+                    extra_gauges.update(self.monitor.gauges())
+                body = render_prometheus(
+                    self.telemetry.registry.snapshot(),
+                    extra_gauges=extra_gauges,
+                ).encode()
+                content_type = "text/plain; version=0.0.4"
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                content_type = "text/plain"
+                status = "404 Not Found"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # -- manifest ----------------------------------------------------------
+
+    def build_manifest(self) -> dict:
+        """Run manifest of this router session (``kind="fleet"``)."""
+        from dataclasses import asdict
+
+        return build_manifest(
+            self.telemetry,
+            kind="fleet",
+            parameters=asdict(self.config),
+            seeds={},
+            extra={"fleet": self.stats()},
+        )

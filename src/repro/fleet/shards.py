@@ -1,0 +1,518 @@
+"""Shard lifecycle: N verification servers, each with its own registry.
+
+A *shard* is one :class:`~repro.service.server.VerificationServer`
+over one private SQLite :class:`~repro.service.registry.WatermarkRegistry`.
+The fleet replicates the published family parameters into every shard
+registry up front (:func:`replicate_families`), then the router's
+consistent hashing guarantees each die's verification history
+accumulates on exactly one shard — the per-shard audit chains stay
+independent and :mod:`repro.fleet.reconcile` stitches them back into
+one fleet view.
+
+Two managers implement the same small surface:
+
+:class:`ProcessShardManager`
+    Spawns each shard as a ``python -m repro serve`` subprocess
+    (ephemeral port read back through ``--port-file``).  This is the
+    production topology ``repro fleet up`` runs: real process
+    isolation, real sockets, a shard crash cannot take the router
+    down.
+
+:class:`InProcessShardManager`
+    Runs the shard servers inside the caller's event loop.  Same wire
+    protocol, same registries — but deterministic and fast, which is
+    what the fleet chaos soak needs to replay identical fault
+    schedules.
+
+Both support :meth:`~ProcessShardManager.kill` (hard death: SIGKILL /
+abrupt stop, the registry file survives) and
+:meth:`~ProcessShardManager.rejoin` (restart over the same registry,
+usually on a new port) — the primitives behind the
+``fleet.shard_kill`` / ``fleet.shard_rejoin`` fault points.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..service.endpoint import Endpoint
+from ..service.registry import WatermarkRegistry
+
+__all__ = [
+    "FleetError",
+    "ShardInfo",
+    "StaticShardSet",
+    "ProcessShardManager",
+    "InProcessShardManager",
+    "replicate_families",
+    "shard_id_for",
+]
+
+
+class FleetError(RuntimeError):
+    """A fleet-level lifecycle failure (spawn, readiness, topology)."""
+
+
+def shard_id_for(index: int) -> str:
+    """Canonical shard naming: ``shard-0``, ``shard-1``, ..."""
+    return f"shard-{index}"
+
+
+@dataclass
+class ShardInfo:
+    """One shard's identity and current lifecycle state."""
+
+    shard_id: str
+    #: Where the shard listens; None while down.
+    endpoint: Optional[Endpoint]
+    #: ``"up"`` (process/server running) or ``"down"`` (killed, not
+    #: yet rejoined).  Health — whether "up" actually serves — is the
+    #: router's judgement, not the manager's.
+    state: str = "up"
+    #: The shard's private registry database (survives kills).
+    registry_path: Optional[str] = None
+    pid: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "endpoint": (
+                str(self.endpoint) if self.endpoint is not None else None
+            ),
+            "state": self.state,
+            "registry_path": self.registry_path,
+            "pid": self.pid,
+        }
+
+
+def replicate_families(
+    source: WatermarkRegistry,
+    dest_path: Union[str, Path],
+    *,
+    actor: str = "fleet-replicator",
+) -> WatermarkRegistry:
+    """Create a shard registry seeded with every family ``source``
+    publishes.
+
+    Re-publication is by value (calibration + format); signing keys are
+    never stored in a registry, so signed families replicate *unsigned*
+    — distribute the key to each shard via ``serve --sign-key`` if
+    signature checking must survive sharding.  Each replication is its
+    own audit-chain genesis: shard chains are independent by design.
+
+    Returns the open destination registry (caller closes).
+    """
+    dest = WatermarkRegistry(dest_path)
+    for record in source.families():
+        dest.publish_family(
+            record.family_id,
+            record.calibration,
+            record.format,
+            actor=actor,
+            replace=True,
+        )
+    return dest
+
+
+class StaticShardSet:
+    """A fixed, externally-managed shard map (no kill/rejoin).
+
+    For pointing a router at shards something else runs — e.g.
+    ``repro fleet up`` against pre-started ``repro serve`` processes.
+    """
+
+    def __init__(self, endpoints: Dict[str, Endpoint]):
+        if not endpoints:
+            raise FleetError("a shard set needs at least one shard")
+        self._infos = {
+            shard_id: ShardInfo(
+                shard_id=shard_id,
+                endpoint=Endpoint.from_any(endpoint),
+            )
+            for shard_id, endpoint in endpoints.items()
+        }
+
+    def shard_ids(self) -> Tuple[str, ...]:
+        return tuple(self._infos)
+
+    def info(self, shard_id: str) -> ShardInfo:
+        try:
+            return self._infos[shard_id]
+        except KeyError:
+            raise FleetError(f"unknown shard {shard_id!r}") from None
+
+    def infos(self) -> List[ShardInfo]:
+        return [self._infos[s] for s in self._infos]
+
+    def endpoint(self, shard_id: str) -> Optional[Endpoint]:
+        return self.info(shard_id).endpoint
+
+    def alive(self, shard_id: str) -> bool:
+        return self.info(shard_id).state == "up"
+
+    def registry_paths(self) -> List[str]:
+        return []
+
+    def kill(self, shard_id: str) -> None:
+        raise FleetError(
+            f"shard {shard_id!r} is not managed by this process; "
+            "kill/rejoin need a ProcessShardManager or "
+            "InProcessShardManager"
+        )
+
+    def rejoin(self, shard_id: str) -> None:
+        self.kill(shard_id)
+
+
+class ProcessShardManager:
+    """Spawn and supervise shard subprocesses.
+
+    Each shard runs ``python -m repro serve`` over its replicated
+    registry, binds an ephemeral port, and reports it back through
+    ``--port-file`` (stdout stays human logs).  ``stop()`` terminates
+    gracefully (SIGTERM — the serve CLI flushes manifests on it);
+    ``kill()`` is deliberately abrupt (SIGKILL) because it models a
+    crashed shard, not an drained one.
+    """
+
+    def __init__(
+        self,
+        source: WatermarkRegistry,
+        n_shards: int,
+        directory: Union[str, Path],
+        *,
+        host: str = "127.0.0.1",
+        workers: int = 1,
+        queue_depth: int = 64,
+        monitoring: bool = True,
+        ready_timeout_s: float = 30.0,
+    ):
+        if n_shards < 1:
+            raise FleetError("n_shards must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.monitoring = monitoring
+        self.ready_timeout_s = ready_timeout_s
+        self._infos: Dict[str, ShardInfo] = {}
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._logs: Dict[str, object] = {}
+        for i in range(n_shards):
+            shard_id = shard_id_for(i)
+            path = self.directory / f"{shard_id}.db"
+            replicate_families(source, path).close()
+            self._infos[shard_id] = ShardInfo(
+                shard_id=shard_id,
+                endpoint=None,
+                state="down",
+                registry_path=str(path),
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        for shard_id in self._infos:
+            self._spawn(shard_id)
+        deadline = time.monotonic() + self.ready_timeout_s
+        for shard_id in self._infos:
+            self._await_ready(shard_id, deadline)
+
+    def stop(self) -> None:
+        for shard_id, proc in list(self._procs.items()):
+            if proc.poll() is None:
+                proc.terminate()
+        for shard_id, proc in list(self._procs.items()):
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            self._infos[shard_id].state = "down"
+            self._infos[shard_id].pid = None
+        self._procs.clear()
+        for fh in self._logs.values():
+            fh.close()
+        self._logs.clear()
+
+    def __enter__(self) -> "ProcessShardManager":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- chaos primitives --------------------------------------------------
+
+    def kill(self, shard_id: str) -> None:
+        """Hard-kill one shard (SIGKILL): no drain, no goodbye frame —
+        the failure mode eviction exists for."""
+        info = self.info(shard_id)
+        proc = self._procs.get(shard_id)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        info.state = "down"
+        info.endpoint = None
+        info.pid = None
+
+    def rejoin(self, shard_id: str) -> None:
+        """Restart a killed shard over its surviving registry (new
+        ephemeral port — the router re-reads endpoints per probe)."""
+        info = self.info(shard_id)
+        if info.state == "up":
+            return
+        self._spawn(shard_id)
+        self._await_ready(
+            shard_id, time.monotonic() + self.ready_timeout_s
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def shard_ids(self) -> Tuple[str, ...]:
+        return tuple(self._infos)
+
+    def info(self, shard_id: str) -> ShardInfo:
+        try:
+            return self._infos[shard_id]
+        except KeyError:
+            raise FleetError(f"unknown shard {shard_id!r}") from None
+
+    def infos(self) -> List[ShardInfo]:
+        return [self._infos[s] for s in self._infos]
+
+    def endpoint(self, shard_id: str) -> Optional[Endpoint]:
+        return self.info(shard_id).endpoint
+
+    def alive(self, shard_id: str) -> bool:
+        info = self.info(shard_id)
+        proc = self._procs.get(shard_id)
+        if info.state == "up" and proc is not None:
+            if proc.poll() is not None:  # died behind our back
+                info.state = "down"
+                info.endpoint = None
+                info.pid = None
+        return info.state == "up"
+
+    def registry_paths(self) -> List[str]:
+        return [
+            info.registry_path
+            for info in self._infos.values()
+            if info.registry_path
+        ]
+
+    # -- internals ---------------------------------------------------------
+
+    def _port_file(self, shard_id: str) -> Path:
+        return self.directory / f"{shard_id}.port"
+
+    def _spawn(self, shard_id: str) -> None:
+        info = self._infos[shard_id]
+        port_file = self._port_file(shard_id)
+        try:
+            port_file.unlink()
+        except FileNotFoundError:
+            pass
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--registry",
+            info.registry_path,
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--workers",
+            str(self.workers),
+            "--queue-depth",
+            str(self.queue_depth),
+        ]
+        if not self.monitoring:
+            cmd.append("--no-monitor")
+        env = dict(os.environ)
+        # The shard must import the same repro this process runs.
+        src_dir = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing
+            else src_dir + os.pathsep + existing
+        )
+        log = open(
+            self.directory / f"{shard_id}.log", "a", encoding="utf-8"
+        )
+        old_log = self._logs.pop(shard_id, None)
+        if old_log is not None:
+            old_log.close()
+        self._logs[shard_id] = log
+        proc = subprocess.Popen(
+            cmd, stdout=log, stderr=subprocess.STDOUT, env=env
+        )
+        self._procs[shard_id] = proc
+        info.pid = proc.pid
+        info.state = "starting"
+
+    def _await_ready(self, shard_id: str, deadline: float) -> None:
+        info = self._infos[shard_id]
+        proc = self._procs[shard_id]
+        port_file = self._port_file(shard_id)
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise FleetError(
+                    f"shard {shard_id} exited with code "
+                    f"{proc.returncode} before binding; see "
+                    f"{self.directory / (shard_id + '.log')}"
+                )
+            try:
+                text = port_file.read_text(encoding="utf-8").strip()
+            except FileNotFoundError:
+                text = ""
+            if text:
+                info.endpoint = Endpoint(self.host, int(text))
+                info.state = "up"
+                return
+            time.sleep(0.05)
+        raise FleetError(
+            f"shard {shard_id} did not report its port within "
+            f"{self.ready_timeout_s}s"
+        )
+
+
+class InProcessShardManager:
+    """Shard servers inside the current event loop.
+
+    The deterministic twin of :class:`ProcessShardManager`: identical
+    wire behavior and registry layout, but kills and rejoins are
+    synchronous server stops/starts, so a seeded chaos schedule meets
+    the same fleet state on every replay.  ``start``/``stop``/
+    ``kill``/``rejoin`` are coroutines; the query surface matches the
+    process manager.
+    """
+
+    def __init__(
+        self,
+        source: WatermarkRegistry,
+        n_shards: int,
+        directory: Union[str, Path],
+        *,
+        host: str = "127.0.0.1",
+        workers: int = 1,
+        queue_depth: int = 64,
+        monitoring: bool = False,
+        telemetry=None,
+    ):
+        if n_shards < 1:
+            raise FleetError("n_shards must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.monitoring = monitoring
+        self.telemetry = telemetry
+        self._infos: Dict[str, ShardInfo] = {}
+        self._servers: Dict[str, object] = {}
+        self._registries: Dict[str, WatermarkRegistry] = {}
+        for i in range(n_shards):
+            shard_id = shard_id_for(i)
+            path = self.directory / f"{shard_id}.db"
+            self._registries[shard_id] = replicate_families(source, path)
+            self._infos[shard_id] = ShardInfo(
+                shard_id=shard_id,
+                endpoint=None,
+                state="down",
+                registry_path=str(path),
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        for shard_id in self._infos:
+            await self._start_one(shard_id)
+
+    async def stop(self) -> None:
+        for shard_id in list(self._servers):
+            await self._stop_one(shard_id)
+        for registry in self._registries.values():
+            registry.close()
+
+    async def __aenter__(self) -> "InProcessShardManager":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    async def kill(self, shard_id: str) -> None:
+        await self._stop_one(shard_id)
+
+    async def rejoin(self, shard_id: str) -> None:
+        if self.info(shard_id).state != "up":
+            await self._start_one(shard_id)
+
+    # -- queries -----------------------------------------------------------
+
+    def shard_ids(self) -> Tuple[str, ...]:
+        return tuple(self._infos)
+
+    def info(self, shard_id: str) -> ShardInfo:
+        try:
+            return self._infos[shard_id]
+        except KeyError:
+            raise FleetError(f"unknown shard {shard_id!r}") from None
+
+    def infos(self) -> List[ShardInfo]:
+        return [self._infos[s] for s in self._infos]
+
+    def endpoint(self, shard_id: str) -> Optional[Endpoint]:
+        return self.info(shard_id).endpoint
+
+    def alive(self, shard_id: str) -> bool:
+        return self.info(shard_id).state == "up"
+
+    def registry_paths(self) -> List[str]:
+        return [
+            info.registry_path
+            for info in self._infos.values()
+            if info.registry_path
+        ]
+
+    # -- internals ---------------------------------------------------------
+
+    async def _start_one(self, shard_id: str) -> None:
+        from ..service.server import ServerConfig, VerificationServer
+
+        info = self._infos[shard_id]
+        server = VerificationServer(
+            self._registries[shard_id],
+            config=ServerConfig(
+                host=self.host,
+                port=0,
+                queue_depth=self.queue_depth,
+                workers=self.workers,
+                monitoring=self.monitoring,
+            ),
+            telemetry=self.telemetry,
+        )
+        await server.start()
+        self._servers[shard_id] = server
+        info.endpoint = server.endpoint
+        info.state = "up"
+
+    async def _stop_one(self, shard_id: str) -> None:
+        info = self._infos[shard_id]
+        server = self._servers.pop(shard_id, None)
+        if server is not None:
+            await server.stop()
+        info.state = "down"
+        info.endpoint = None

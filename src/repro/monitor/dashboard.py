@@ -41,6 +41,22 @@ def render_dashboard(snapshot: dict) -> str:
         f"events={snapshot.get('events', 0)}  "
         f"outcomes={json.dumps(snapshot.get('outcomes', {}), sort_keys=True)}"
     )
+    fleet = snapshot.get("fleet") or {}
+    if fleet:
+        # Watching a FleetRouter: one extra line sizes the shard map.
+        lines.append(
+            f"fleet: {fleet.get('routable', 0)}/"
+            f"{fleet.get('n_shards', 0)} shard(s) routable, "
+            f"{fleet.get('evicted', 0)} evicted"
+        )
+        for shard in fleet.get("shards") or []:
+            if shard.get("routable"):
+                continue
+            lines.append(
+                f"  !! shard {shard.get('shard_id', '?')} "
+                f"[{shard.get('state', '?')}] "
+                f"{shard.get('last_error') or 'evicted'}"
+            )
     alerts = snapshot.get("alerts") or {}
     firing = alerts.get("firing") or []
     lines.append(
@@ -96,11 +112,25 @@ def render_dashboard(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
-async def fetch_snapshot(host: str, port: int, *, timeout: float = 10.0) -> dict:
-    """Query one ``monitor`` snapshot over the wire protocol."""
-    from ..service import protocol
+async def fetch_snapshot(
+    endpoint, port: Optional[int] = None, *, timeout: float = 10.0
+) -> dict:
+    """Query one ``monitor`` snapshot over the wire protocol.
 
-    reader, writer = await asyncio.open_connection(host, port)
+    ``endpoint`` is anything :class:`~repro.service.Endpoint` accepts
+    (an Endpoint, ``"host:port"``, a 2-tuple); a server *or* a fleet
+    router answers it.  The ``(host, port)`` two-argument form is
+    deprecated.
+    """
+    from ..service import protocol
+    from ..service.endpoint import coerce_endpoint
+
+    target = coerce_endpoint(
+        endpoint, port, what="fetch_snapshot(host, port)"
+    )
+    reader, writer = await asyncio.open_connection(
+        target.host, target.port
+    )
     try:
         writer.write(
             protocol.encode_frame(
@@ -124,8 +154,8 @@ async def fetch_snapshot(host: str, port: int, *, timeout: float = 10.0) -> dict
 
 
 async def watch(
-    host: str,
-    port: int,
+    endpoint,
+    port: Optional[int] = None,
     *,
     interval_s: float = 2.0,
     iterations: Optional[int] = None,
@@ -133,16 +163,21 @@ async def watch(
 ) -> dict:
     """Poll the server and redraw the dashboard until interrupted.
 
+    ``endpoint`` follows the same spec as :func:`fetch_snapshot` (the
+    two-argument ``(host, port)`` form is deprecated).
     ``iterations=None`` runs until Ctrl-C; a finite count makes the
     loop testable.  Returns the last snapshot rendered.
     """
     import sys
 
+    from ..service.endpoint import coerce_endpoint
+
+    target = coerce_endpoint(endpoint, port, what="watch(host, port)")
     stream = out if out is not None else sys.stdout
     snapshot: dict = {}
     n = 0
     while iterations is None or n < iterations:
-        snapshot = await fetch_snapshot(host, port)
+        snapshot = await fetch_snapshot(target)
         body = render_dashboard(snapshot)
         # ANSI home+clear keeps the dashboard in place on real
         # terminals; harmless noise in piped output.

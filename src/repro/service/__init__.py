@@ -20,11 +20,15 @@ Quick start::
         registry = WatermarkRegistry("registry.db")
         # ... registry.publish_family("msp430", calibration, fmt) ...
         async with VerificationServer(registry) as server:
-            load = LoadClient("127.0.0.1", server.port, "msp430")
+            load = LoadClient(server.endpoint, "msp430")
             report = await load.run_closed_loop(100, concurrency=8)
             print(report.latency_summary())
 
     asyncio.run(main())
+
+Every client surface addresses a server, a shard, or the fleet router
+(:mod:`repro.fleet`) through one :class:`Endpoint` spec — an
+``"host:port"`` string parses to the same value object.
 
 ``python -m repro serve`` / ``registry`` / ``loadgen`` wrap the same
 objects for the shell; see ``docs/service.md`` for the wire protocol
@@ -38,6 +42,8 @@ from .client import (
     VerificationClient,
     percentile,
 )
+from .endpoint import Endpoint, EndpointLike, coerce_endpoint
+from .health import HEALTH_SCHEMA, HealthReport, engine_counters
 from .protocol import (
     MAX_FRAME_BYTES,
     WIRE_SCHEMA,
@@ -60,7 +66,13 @@ from .server import ServerConfig, VerificationServer
 __all__ = [
     "REGISTRY_SCHEMA",
     "WIRE_SCHEMA",
+    "HEALTH_SCHEMA",
     "MAX_FRAME_BYTES",
+    "Endpoint",
+    "EndpointLike",
+    "coerce_endpoint",
+    "HealthReport",
+    "engine_counters",
     "RegistryError",
     "ProtocolError",
     "FrameReader",

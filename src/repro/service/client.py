@@ -25,6 +25,7 @@ from ..telemetry import Telemetry, build_manifest
 from ..trace.context import TraceContext
 from ..workloads.traffic import TrafficGenerator, TrafficItem
 from . import protocol
+from .endpoint import Endpoint, EndpointLike, coerce_endpoint
 
 __all__ = [
     "ServiceError",
@@ -36,12 +37,23 @@ __all__ = [
 
 
 class ServiceError(RuntimeError):
-    """An error frame from the server."""
+    """An error frame from the server.
 
-    def __init__(self, code: int, reason: str):
-        super().__init__(f"[{code}] {reason}")
+    Carries the server-assigned ``request_id`` when the error frame
+    echoed one, so a load run's failures correlate back to the request
+    that drew them.
+    """
+
+    def __init__(
+        self, code: int, reason: str, request_id: Any = None
+    ):
+        message = f"[{code}] {reason}"
+        if request_id is not None:
+            message += f" (request {request_id!r})"
+        super().__init__(message)
         self.code = code
         self.reason = reason
+        self.request_id = request_id
 
 
 class VerificationClient:
@@ -54,10 +66,19 @@ class VerificationClient:
 
     @classmethod
     async def connect(
-        cls, host: str, port: int
+        cls, endpoint: EndpointLike, port: Optional[int] = None
     ) -> "VerificationClient":
+        """Open a connection to ``endpoint`` — an
+        :class:`~repro.service.endpoint.Endpoint`, a ``"host:port"``
+        string, or a ``(host, port)`` tuple.  The old two-argument
+        ``connect(host, port)`` form still works but is deprecated
+        (removal in v2.0).
+        """
+        endpoint = coerce_endpoint(
+            endpoint, port, what="VerificationClient.connect(...)"
+        )
         reader, writer = await asyncio.open_connection(
-            host, port, limit=protocol.MAX_FRAME_BYTES
+            endpoint.host, endpoint.port, limit=protocol.MAX_FRAME_BYTES
         )
         return cls(reader, writer)
 
@@ -102,6 +123,7 @@ class VerificationClient:
         raise ServiceError(
             int(err.get("code", protocol.INTERNAL_ERROR)),
             str(err.get("reason", "unknown error")),
+            request_id=resp.get("id"),
         )
 
     async def verify_chip(
@@ -261,8 +283,13 @@ class LoadClient:
 
     Parameters
     ----------
-    host, port:
-        The server address.
+    endpoint:
+        Where to send traffic — a lone server, a shard, or the fleet
+        router, all addressed identically: an
+        :class:`~repro.service.endpoint.Endpoint`, a ``"host:port"``
+        string, or a ``(host, port)`` tuple.  The old
+        ``LoadClient(host, port, family)`` form still works but is
+        deprecated (removal in v2.0).
     family:
         Published family id every request verifies against.
     traffic:
@@ -283,17 +310,36 @@ class LoadClient:
 
     def __init__(
         self,
-        host: str,
-        port: int,
-        family: str,
-        *,
+        endpoint: EndpointLike,
+        family: Any = None,
+        *legacy_family,
         traffic: Optional[TrafficGenerator] = None,
         client_id: str = "loadgen",
         telemetry: Optional[Telemetry] = None,
         trace: bool = False,
     ):
-        self.host = host
-        self.port = port
+        if legacy_family:
+            # Deprecated LoadClient(host, port, family, ...) form:
+            # the second positional was the port, the third the family.
+            if len(legacy_family) != 1:
+                raise TypeError(
+                    "LoadClient takes (endpoint, family) — got "
+                    f"{2 + len(legacy_family)} positional arguments"
+                )
+            endpoint = coerce_endpoint(
+                endpoint, int(family), what="LoadClient(...)"
+            )
+            family = legacy_family[0]
+        else:
+            endpoint = Endpoint.from_any(endpoint)
+        if not isinstance(family, str) or not family:
+            raise TypeError(
+                "LoadClient needs a non-empty family id, got "
+                f"{family!r}"
+            )
+        self.endpoint = endpoint
+        self.host = endpoint.host
+        self.port = endpoint.port
         self.family = family
         self.traffic = (
             traffic if traffic is not None else TrafficGenerator()
@@ -341,9 +387,7 @@ class LoadClient:
         loop = asyncio.get_running_loop()
 
         async def worker(worker_id: int) -> None:
-            client = await VerificationClient.connect(
-                self.host, self.port
-            )
+            client = await VerificationClient.connect(self.endpoint)
             try:
                 while True:
                     try:
@@ -401,7 +445,7 @@ class LoadClient:
         )
         loop = asyncio.get_running_loop()
         clients = [
-            await VerificationClient.connect(self.host, self.port)
+            await VerificationClient.connect(self.endpoint)
             for _ in range(connections)
         ]
         locks = [asyncio.Lock() for _ in range(connections)]
@@ -520,6 +564,7 @@ class LoadClient:
             self.telemetry,
             kind="loadgen",
             parameters={
+                "endpoint": str(self.endpoint),
                 "host": self.host,
                 "port": self.port,
                 "family": self.family,

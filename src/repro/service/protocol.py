@@ -19,6 +19,13 @@ serves the request identically and starts its own root trace.
 
     {"op": "ping"} · {"op": "stats"} · {"op": "families"}
     {"op": "history", "die_id": "0x00000000002A"} · {"op": "monitor"}
+    {"op": "topology"}                      # fleet router only
+
+Verify requests also carry ``die_id`` (the chip's die id in hex) next
+to the blob: the fleet router consistent-hashes ``(family, die)`` to
+pick a shard, and the field lets it route without decoding megabytes
+of chip state.  Servers ignore it — the authoritative die id is always
+read from the decoded chip.
 
 Responses::
 
@@ -26,7 +33,8 @@ Responses::
     {"id": 7, "ok": false, "error": {"code": 429, "reason": "..."}}
 
 Error codes follow HTTP idiom: 400 malformed request, 404 unknown
-family, 429 backpressure (queue full) or rate limit, 500 internal.
+family, 429 backpressure (queue full) or rate limit, 500 internal,
+503 no healthy shard (fleet router only).
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ __all__ = [
     "NOT_FOUND",
     "TOO_MANY_REQUESTS",
     "INTERNAL_ERROR",
+    "SERVICE_UNAVAILABLE",
     "ProtocolError",
     "FrameTooLarge",
     "FrameReader",
@@ -70,6 +79,9 @@ BAD_REQUEST = 400
 NOT_FOUND = 404
 TOO_MANY_REQUESTS = 429
 INTERNAL_ERROR = 500
+#: The fleet router exhausted its healthy shards for a request (all
+#: evicted, or the bounded re-route retries failed).
+SERVICE_UNAVAILABLE = 503
 
 
 class ProtocolError(ValueError):
@@ -190,11 +202,15 @@ def verify_request(
     ``trace`` is an optional traceparent string; servers thread their
     stage spans under it so the request assembles into one distributed
     trace (:mod:`repro.trace`).
+
+    The chip's die id rides along in ``die_id`` so the fleet router can
+    consistent-hash ``(family, die)`` without decoding the blob.
     """
     req = {
         "v": WIRE_SCHEMA,
         "op": "verify",
         "family": family,
+        "die_id": f"0x{chip.die_id:012X}",
         "chip_b64": base64.b64encode(chip_to_bytes(chip)).decode("ascii"),
         "segment": int(segment),
         "n_reads": int(n_reads),

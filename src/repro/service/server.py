@@ -58,6 +58,8 @@ from ..telemetry import Telemetry, build_manifest
 from ..telemetry.prometheus import render_prometheus
 from ..trace.context import TraceContext, parse_traceparent
 from . import protocol
+from .endpoint import Endpoint
+from .health import HealthReport, engine_counters
 from .registry import RegistryError, WatermarkRegistry
 
 __all__ = ["ServerConfig", "VerificationServer"]
@@ -278,6 +280,12 @@ class VerificationServer:
     @property
     def address(self) -> Tuple[str, int]:
         return (self.config.host, self.port)
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """The bound address as an :class:`Endpoint` — the value every
+        client entry point accepts directly."""
+        return Endpoint(self.config.host, self.port)
 
     # -- verifier construction -------------------------------------------
 
@@ -1031,27 +1039,9 @@ class VerificationServer:
             parts = first_line.decode("latin-1").split()
             path = parts[1] if len(parts) > 1 else "/"
             if path == "/healthz":
-                from .. import __version__
-
-                payload = {
-                    # With a monitor attached, health reflects the
-                    # fleet: ok / degraded / alerting.  Liveness is
-                    # still "we answered at all".
-                    "status": (
-                        self.monitor.status()
-                        if self.monitor is not None
-                        else "ok"
-                    ),
-                    "version": __version__,
-                    "uptime_s": round(
-                        self._loop.time() - self._started_at, 3
-                    ),
-                    "queue_depth": self._queue.qsize(),
-                    **self.registry.counts(),
-                }
-                if self.monitor is not None:
-                    payload["monitor"] = self.monitor.healthz_block()
-                body = json.dumps(payload).encode()
+                body = json.dumps(
+                    self.health_report().to_dict()
+                ).encode()
                 content_type = "application/json"
                 status = "200 OK"
             elif path == "/metrics":
@@ -1074,6 +1064,38 @@ class VerificationServer:
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+    def health_report(self) -> HealthReport:
+        """The ``/healthz`` payload as the shared
+        :class:`~repro.service.health.HealthReport` model.
+
+        The fleet router builds the same model for its own ``/healthz``
+        and parses this one when probing shards — one schema, both
+        roles.  With a monitor attached, ``status`` reflects the fleet:
+        ok / degraded / alerting; liveness is still "we answered at
+        all".
+        """
+        from .. import __version__
+
+        counters = self.telemetry.registry.snapshot()["counters"]
+        return HealthReport(
+            status=(
+                self.monitor.status()
+                if self.monitor is not None
+                else "ok"
+            ),
+            version=__version__,
+            role="server",
+            uptime_s=self._loop.time() - self._started_at,
+            queue_depth=self._queue.qsize(),
+            registry=self.registry.counts(),
+            engine=engine_counters(counters),
+            monitor=(
+                self.monitor.healthz_block()
+                if self.monitor is not None
+                else None
+            ),
+        )
 
     def _render_metrics(self) -> str:
         """Prometheus text exposition of the telemetry registry.

@@ -1,0 +1,35 @@
+"""Shared fixtures for the fleet (router + shards) tests.
+
+``traffic_spec`` and ``family_calibration`` come from the top-level
+conftest (session scoped — the calibration sweep runs once).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import WatermarkRegistry
+from repro.workloads.traffic import TrafficGenerator
+
+FAMILY = "msp430-fleet"
+
+
+@pytest.fixture
+def registry(tmp_path, family_calibration, traffic_spec):
+    """A fresh source registry with the test family published."""
+    reg = WatermarkRegistry(tmp_path / "registry.db")
+    reg.publish_family(
+        FAMILY, family_calibration, traffic_spec.population.format
+    )
+    yield reg
+    reg.close()
+
+
+@pytest.fixture
+def draw_items(traffic_spec):
+    """``draw_items(n, seed)`` -> n seeded TrafficItems."""
+
+    def draw(n, seed=90):
+        return TrafficGenerator(traffic_spec, seed=seed).draw(n)
+
+    return draw

@@ -1,0 +1,90 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.fleet import DEFAULT_REPLICAS, HashRing, routing_key
+
+SHARDS = ["shard-0", "shard-1", "shard-2", "shard-3"]
+KEYS = [routing_key("msp430", f"0x{die:012X}") for die in range(1000)]
+
+
+class TestConstruction:
+    def test_needs_shards(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_needs_unique_ids(self):
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+
+    def test_needs_positive_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"], replicas=0)
+
+    def test_len_counts_shards(self):
+        assert len(HashRing(SHARDS)) == 4
+
+
+class TestDeterminism:
+    def test_same_inputs_same_owners(self):
+        a, b = HashRing(SHARDS), HashRing(SHARDS)
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_shard_order_is_irrelevant(self):
+        a = HashRing(SHARDS)
+        b = HashRing(list(reversed(SHARDS)))
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_routing_key_form(self):
+        assert routing_key("fam", "0x00000000002A") == "fam|0x00000000002A"
+
+
+class TestCandidates:
+    def test_walk_covers_every_shard_once(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS[:50]:
+            walk = ring.candidates(key)
+            assert sorted(walk) == sorted(SHARDS)
+            assert walk[0] == ring.owner(key)
+
+    def test_route_skips_unhealthy(self):
+        ring = HashRing(SHARDS)
+        key = KEYS[0]
+        owner = ring.owner(key)
+        rerouted = ring.route(key, healthy=lambda s: s != owner)
+        assert rerouted == ring.candidates(key)[1]
+        assert ring.route(key, healthy=lambda s: False) is None
+
+    def test_route_without_predicate_is_owner(self):
+        ring = HashRing(SHARDS)
+        assert ring.route(KEYS[1]) == ring.owner(KEYS[1])
+
+
+class TestBalanceAndStability:
+    def test_load_roughly_balanced(self):
+        counts = HashRing(SHARDS).load_map(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        # 1000 keys over 4 shards at 128 vnodes: each within 2x of fair.
+        for shard, n in counts.items():
+            assert 125 <= n <= 500, (shard, n)
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        full = HashRing(SHARDS)
+        smaller = HashRing([s for s in SHARDS if s != "shard-2"])
+        moved = 0
+        for key in KEYS:
+            before, after = full.owner(key), smaller.owner(key)
+            if before != "shard-2":
+                # Consistent hashing: surviving shards keep their keys.
+                assert after == before
+            else:
+                moved += 1
+                # Evicted keys land on the next shard in walk order.
+                walk = [
+                    s for s in full.candidates(key) if s != "shard-2"
+                ]
+                assert after == walk[0]
+        assert 0 < moved < len(KEYS) // 2
+
+    def test_default_replica_count(self):
+        assert HashRing(SHARDS).replicas == DEFAULT_REPLICAS

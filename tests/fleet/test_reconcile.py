@@ -1,0 +1,146 @@
+"""Tests for the fleet audit reconciler (``flashmark.fleet-audit/v1``)."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.fleet import (
+    FLEET_AUDIT_SCHEMA,
+    fleet_digest,
+    reconcile_fleet,
+    replicate_families,
+    write_fleet_audit,
+)
+from repro.service import WatermarkRegistry
+from tests.fleet.conftest import FAMILY
+
+
+@pytest.fixture
+def shard_paths(tmp_path, registry):
+    """Two shard registries replicated from the source family set,
+    each with one extra verification recorded."""
+    paths = {}
+    for i in range(2):
+        path = tmp_path / f"shard-{i}.db"
+        shard = replicate_families(registry, path)
+        shard.record_verification(
+            FAMILY, 0x2A + i, "authentic", client="test"
+        )
+        shard.close()
+        paths[f"shard-{i}"] = path
+    return paths
+
+
+class TestReconcile:
+    def test_happy_path(self, shard_paths):
+        report = reconcile_fleet(shard_paths)
+        assert report["schema"] == FLEET_AUDIT_SCHEMA
+        assert report["n_shards"] == 2
+        assert report["chains_ok"] is True
+        assert report["families"]["consistent"] is True
+        assert report["families"]["union"] == [FAMILY]
+        assert report["totals"]["verifications"] == 2
+        assert [s["shard_id"] for s in report["shards"]] == [
+            "shard-0",
+            "shard-1",
+        ]
+        # Timeline is globally ordered and tagged with its shard.
+        stamps = [
+            (e["created_unix_s"], e["shard"], e["seq"])
+            for e in report["timeline"]
+        ]
+        assert stamps == sorted(stamps)
+        assert {e["shard"] for e in report["timeline"]} == set(
+            shard_paths
+        )
+
+    def test_accepts_open_registries(self, shard_paths):
+        open_regs = {
+            sid: WatermarkRegistry(path, create=False)
+            for sid, path in shard_paths.items()
+        }
+        try:
+            report = reconcile_fleet(open_regs)
+        finally:
+            for reg in open_regs.values():
+                reg.close()
+        assert report["chains_ok"] is True
+
+    def test_timeline_limit(self, shard_paths):
+        full = reconcile_fleet(shard_paths)
+        capped = reconcile_fleet(shard_paths, timeline_limit=2)
+        assert len(capped["timeline"]) == 2
+        assert capped["timeline_truncated"] == (
+            len(full["timeline"]) - 2
+        )
+        assert capped["timeline"] == full["timeline"][-2:]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            reconcile_fleet({})
+
+    def test_tampered_chain_detected(self, shard_paths):
+        conn = sqlite3.connect(shard_paths["shard-1"])
+        conn.execute(
+            "UPDATE audit_log SET detail_json = '\"rewritten\"' "
+            "WHERE seq = (SELECT MIN(seq) FROM audit_log)"
+        )
+        conn.commit()
+        conn.close()
+        report = reconcile_fleet(shard_paths)
+        assert report["chains_ok"] is False
+        by_id = {s["shard_id"]: s for s in report["shards"]}
+        assert by_id["shard-0"]["chain_ok"] is True
+        assert by_id["shard-1"]["chain_ok"] is False
+        assert by_id["shard-1"]["chain_error"]
+        # A broken shard contributes nothing to the merged timeline.
+        assert {e["shard"] for e in report["timeline"]} == {"shard-0"}
+
+    def test_family_drift_flagged(self, tmp_path, shard_paths, registry):
+        bare = tmp_path / "shard-bare.db"
+        WatermarkRegistry(bare).close()
+        report = reconcile_fleet({**shard_paths, "shard-bare": bare})
+        assert report["families"]["consistent"] is False
+        assert report["families"]["missing"] == {
+            "shard-bare": [FAMILY]
+        }
+
+
+class TestFleetDigest:
+    def test_insensitive_to_dict_order(self):
+        heads = {"a": "1" * 64, "b": "2" * 64}
+        assert fleet_digest(heads) == fleet_digest(
+            dict(reversed(list(heads.items())))
+        )
+
+    def test_sensitive_to_placement(self):
+        # Same histories on swapped shards is a different fleet.
+        assert fleet_digest(
+            {"a": "1" * 64, "b": "2" * 64}
+        ) != fleet_digest({"a": "2" * 64, "b": "1" * 64})
+
+    def test_changes_with_any_head(self, shard_paths):
+        before = reconcile_fleet(shard_paths)
+        shard = WatermarkRegistry(
+            shard_paths["shard-0"], create=False
+        )
+        shard.record_verification(FAMILY, 0x999, "counterfeit")
+        shard.close()
+        after = reconcile_fleet(shard_paths)
+        assert after["fleet_digest"] != before["fleet_digest"]
+
+    def test_reconcile_is_deterministic(self, shard_paths):
+        a = reconcile_fleet(shard_paths)
+        b = reconcile_fleet(shard_paths)
+        assert a["fleet_digest"] == b["fleet_digest"]
+        assert a["timeline"] == b["timeline"]
+
+
+class TestWriteArtifact:
+    def test_round_trips_as_json(self, tmp_path, shard_paths):
+        report = reconcile_fleet(shard_paths)
+        out = write_fleet_audit(report, tmp_path / "out" / "audit.json")
+        loaded = json.loads(out.read_text())
+        assert loaded["schema"] == FLEET_AUDIT_SCHEMA
+        assert loaded["fleet_digest"] == report["fleet_digest"]

@@ -1,0 +1,315 @@
+"""End-to-end tests for the fleet router tier.
+
+Covers the wire contract shared with a direct server (same error
+frames either way), the router-only ops, the parity soak (byte-equal
+verdicts vs a single server) and the chaos soak (kill / rejoin
+schedule is bounded, surfaced, recovered, and reproducible).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.fleet import (
+    FleetRouter,
+    InProcessShardManager,
+    RouterConfig,
+    fleet_coverage_plan,
+    run_fleet_soak,
+)
+from repro.service import (
+    ServerConfig,
+    ServiceError,
+    VerificationClient,
+    VerificationServer,
+    protocol,
+)
+from tests.fleet.conftest import FAMILY
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_fleet(registry, workdir, fn, *, n_shards=2, config=None):
+    """Run ``fn(router)`` against a router over in-process shards."""
+    cfg = config or RouterConfig(monitoring=False)
+    async with InProcessShardManager(
+        registry, n_shards, str(workdir)
+    ) as shards:
+        async with FleetRouter(shards, config=cfg) as router:
+            return await fn(router)
+
+
+def fleet(registry, tmp_path, fn, **kwargs):
+    return run(_with_fleet(registry, tmp_path / "fleet", fn, **kwargs))
+
+
+async def _with_server(registry, fn):
+    async with VerificationServer(
+        registry, config=ServerConfig()
+    ) as server:
+        return await fn(server)
+
+
+@pytest.fixture(params=["direct", "fleet"])
+def endpoint_runner(request, registry, tmp_path):
+    """Run ``fn(endpoint)`` against either a lone server or a routed
+    fleet — the wire error contract must be identical through both."""
+
+    def runner(fn):
+        if request.param == "direct":
+            return run(
+                _with_server(registry, lambda s: fn(s.endpoint))
+            )
+        return fleet(
+            registry, tmp_path, lambda r: fn(r.endpoint)
+        )
+
+    return runner
+
+
+class TestSharedWireContract:
+    """Satellite: the router speaks the exact server error dialect."""
+
+    def test_unknown_op_same_reason(self, endpoint_runner):
+        async def fn(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                with pytest.raises(ServiceError) as err:
+                    await client.call({"op": "frobnicate"})
+            return err.value
+
+        err = endpoint_runner(fn)
+        assert err.code == 400
+        assert err.reason == "unknown op 'frobnicate'"
+
+    def test_garbage_line_rejected(self, endpoint_runner):
+        async def fn(endpoint):
+            reader, writer = await asyncio.open_connection(
+                endpoint.host, endpoint.port
+            )
+            writer.write(b"{not json\n")
+            await writer.drain()
+            frame = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return frame
+
+        frame = endpoint_runner(fn)
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == 400
+
+    def test_oversized_frame_400_and_connection_survives(
+        self, endpoint_runner
+    ):
+        async def fn(endpoint):
+            reader, writer = await asyncio.open_connection(
+                endpoint.host, endpoint.port
+            )
+            writer.write(
+                b"x" * (protocol.MAX_FRAME_BYTES + 10) + b"\n"
+            )
+            await writer.drain()
+            rejection = json.loads(await reader.readline())
+            writer.write(b'{"op":"ping"}\n')
+            await writer.drain()
+            pong = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return rejection, pong
+
+        rejection, pong = endpoint_runner(fn)
+        assert rejection["ok"] is False
+        assert rejection["error"]["code"] == 400
+        assert "cap" in rejection["error"]["reason"]
+        assert pong["result"]["pong"] is True
+
+    def test_malformed_trace_still_serves(
+        self, endpoint_runner, draw_items
+    ):
+        item = draw_items(1, seed=91)[0]
+
+        async def fn(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                req = protocol.verify_request(
+                    item.chip, FAMILY, request_id=1
+                )
+                req["trace"] = "not-a-traceparent"
+                return await client.call(req)
+
+        result = endpoint_runner(fn)
+        assert result["verdict"] in item.expected_verdicts
+        assert result["family"] == FAMILY
+
+    def test_missing_family_same_reason(self, endpoint_runner):
+        async def fn(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                with pytest.raises(ServiceError) as err:
+                    await client.call({"op": "verify", "chip_b64": "x"})
+            return err.value
+
+        err = endpoint_runner(fn)
+        assert err.code == 400
+        assert err.reason == "verify request is missing 'family'"
+
+
+class TestRouterOps:
+    def test_ping_identifies_role(self, registry, tmp_path):
+        async def fn(router):
+            async with await VerificationClient.connect(
+                router.endpoint
+            ) as client:
+                return await client.ping()
+
+        pong = fleet(registry, tmp_path, fn)
+        assert pong == {"pong": True, "role": "router"}
+
+    def test_topology_op(self, registry, tmp_path):
+        async def fn(router):
+            async with await VerificationClient.connect(
+                router.endpoint
+            ) as client:
+                return await client.call({"op": "topology"})
+
+        topo = fleet(registry, tmp_path, fn, n_shards=3)
+        assert topo["n_shards"] == 3
+        assert topo["routable"] == 3
+        assert topo["evicted"] == 0
+        assert len(topo["shards"]) == 3
+        assert all(s["routable"] for s in topo["shards"])
+
+    def test_families_relayed_from_shard(self, registry, tmp_path):
+        async def fn(router):
+            async with await VerificationClient.connect(
+                router.endpoint
+            ) as client:
+                return await client.families()
+
+        families = fleet(registry, tmp_path, fn)
+        assert [f["family_id"] for f in families] == [FAMILY]
+
+    def test_monitor_op_rejected_when_disabled(
+        self, registry, tmp_path
+    ):
+        async def fn(router):
+            async with await VerificationClient.connect(
+                router.endpoint
+            ) as client:
+                with pytest.raises(ServiceError) as err:
+                    await client.call({"op": "monitor"})
+            return err.value
+
+        err = fleet(registry, tmp_path, fn)
+        assert err.code == 400
+        assert "monitoring is disabled" in err.reason
+
+    def test_verify_result_identical_to_direct(
+        self, registry, tmp_path, draw_items
+    ):
+        """Satellite: a verdict through the fleet is byte-identical to
+        the direct server's (transport metadata aside)."""
+        item = draw_items(1, seed=92)[0]
+
+        async def ask(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                return await client.verify_chip(
+                    item.chip, FAMILY, request_id=7
+                )
+
+        direct = run(_with_server(registry, lambda s: ask(s.endpoint)))
+        routed = fleet(
+            registry, tmp_path, lambda r: ask(r.endpoint)
+        )
+        transport_keys = {"trace", "history_seq"}
+        strip = lambda d: json.dumps(
+            {k: v for k, v in d.items() if k not in transport_keys},
+            sort_keys=True,
+        )
+        assert strip(routed) == strip(direct)
+
+
+class TestParitySoak:
+    def test_small_parity_soak_passes(self, registry, draw_items):
+        report = run_fleet_soak(
+            registry,
+            FAMILY,
+            draw_items(10, seed=93),
+            n_shards=2,
+            concurrency=4,
+            deadline_s=120.0,
+        )
+        invariants = report.invariants()
+        assert report.passed, invariants
+        assert invariants["verdict_parity"] is True
+        assert report.answered == report.requests == 10
+        assert report.drops == 0
+        # Both shards saw traffic recorded in the reconciled audit.
+        assert report.fleet_audit["chains_ok"] is True
+        assert (
+            report.fleet_audit["totals"]["verifications"]
+            == report.completed
+        )
+
+
+class TestChaosSoak:
+    def _run(self, registry, items):
+        return run_fleet_soak(
+            registry,
+            FAMILY,
+            items,
+            n_shards=3,
+            plan=fleet_coverage_plan(seed=5),
+            baseline=False,
+            deadline_s=180.0,
+        )
+
+    def test_chaos_soak_bounded_surfaced_recovered(
+        self, registry, draw_items
+    ):
+        report = self._run(registry, draw_items(14, seed=94))
+        invariants = report.invariants()
+        assert report.passed, invariants
+        assert invariants["fleet_recovered"] is True
+        assert invariants["every_fault_surfaced"] is True
+        # The schedule fired completely, in its planned order.
+        assert report.injected == [
+            ("fleet.shard_rejoin", "error", 2),
+            ("fleet.shard_kill", "drop", 4),
+            ("fleet.shard_rejoin", "drop", 7),
+            ("fleet.shard_kill", "error", 11),
+        ]
+        counters = report.counters
+        assert counters.get("fleet.chaos_kills") == 1
+        assert counters.get("fleet.chaos_rejoins") == 1
+        assert counters.get("fleet.probe_aborts") == 1
+        assert counters.get("fleet.injected_route_errors") == 1
+        # The injected routing error surfaced as exactly one 503.
+        assert report.errors.get(protocol.SERVICE_UNAVAILABLE) == 1
+        # Eviction and readmission both completed for the killed shard.
+        assert sum(
+            v
+            for k, v in counters.items()
+            if k.startswith("fleet.evictions.")
+        ) == 1
+        assert sum(
+            v
+            for k, v in counters.items()
+            if k.startswith("fleet.readmissions.")
+        ) == 1
+
+    def test_chaos_soak_is_reproducible(self, registry, draw_items):
+        first = self._run(registry, draw_items(14, seed=94))
+        second = self._run(registry, draw_items(14, seed=94))
+        assert first.injected == second.injected
+        assert first.verdicts == second.verdicts
+        assert first.statistics == second.statistics
+        assert first.errors == second.errors

@@ -600,9 +600,10 @@ class TestMonitorCommand:
         ]) == 0
         assert "loadgen" in capsys.readouterr().out
 
-    def test_watch_requires_port(self, capsys):
+    def test_watch_requires_endpoint(self, capsys):
         assert main(["monitor", "watch"]) == 1
-        assert "requires --port" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "requires --endpoint host:port (or --port)" in err
 
     def test_missing_alerts_file_fails(self, tmp_path, capsys):
         assert main([
