@@ -39,7 +39,12 @@ Milenkovic.  The package layers as follows (bottom up):
   :class:`FleetRouter` over N shard servers with health-based
   eviction/readmission, per-shard registries reconciled into a
   ``flashmark.fleet-audit/v1`` view, and the parity/chaos soak behind
-  ``python -m repro fleet`` (see ``docs/service.md``).
+  ``python -m repro fleet`` (see ``docs/service.md``);
+* :mod:`repro.receipts` — publicly verifiable verdicts: every verify
+  can carry a signed ``flashmark.receipt/v1`` anchored in the
+  registry's hash-chained audit log, checkable offline with
+  ``python -m repro receipt verify``, plus hashcash proof-of-work
+  tickets metering anonymous access (see ``docs/service.md``).
 
 Quickstart::
 
@@ -114,6 +119,14 @@ from .monitor import (
     SLOSpec,
 )
 from .phys import PhysicalParams
+from .receipts import (
+    PowGate,
+    ReceiptSigner,
+    build_receipt,
+    mint_ticket,
+    verify_receipt,
+    verify_receipts_offline,
+)
 from .service import (
     Endpoint,
     HealthReport,
@@ -126,7 +139,7 @@ from .service import (
 from .telemetry import Telemetry
 from .trace import TraceContext
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -184,6 +197,13 @@ __all__ = [
     "ProcessShardManager",
     "InProcessShardManager",
     "reconcile_fleet",
+    # receipts + proof-of-work
+    "ReceiptSigner",
+    "PowGate",
+    "build_receipt",
+    "verify_receipt",
+    "verify_receipts_offline",
+    "mint_ticket",
     # fault injection
     "FaultPlan",
     "FaultSpec",

@@ -48,6 +48,15 @@ The CLI plays both supply-chain roles on persisted chip state
     $ python -m repro monitor watch --endpoint 127.0.0.1:7500
     $ python -m repro fleet topology --endpoint 127.0.0.1:7500
     $ python -m repro fleet soak --shards 4 --requests 40 --chaos
+    # signed receipts + PoW-metered open access
+    $ python -m repro registry publish --registry reg.db \
+          --family msp430 --receipt-key <hex secret>
+    $ python -m repro serve --registry reg.db \
+          --receipt-key <hex secret> --pow-difficulty 12
+    $ python -m repro loadgen --port 7433 --family msp430 \
+          --receipts-out receipts.jsonl --pow-difficulty 12
+    $ python -m repro receipt verify receipts.jsonl --registry reg.db
+    $ python -m repro registry audit --registry reg.db --check
 """
 
 from __future__ import annotations
@@ -286,8 +295,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="allow re-publishing an existing family",
     )
+    p.add_argument(
+        "--receipt-key",
+        help="hex receipt-issuer secret; publish derives and stores "
+        "the public verifying key next to the family",
+    )
+    p.add_argument(
+        "--receipt-algorithm",
+        choices=["ed25519", "hmac-sha256"],
+        default=None,
+        help="receipt signature algorithm (default: ed25519 when "
+        "available, else hmac-sha256)",
+    )
     p.add_argument("--die", help="die id filter for history")
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="audit: exit 3 (instead of 1) when the hash chain is "
+        "broken — CI-gate idiom shared with 'repro trace --check'",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -364,6 +391,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the bound port (one line) here once listening — "
         "how supervisors such as 'repro fleet up' discover an "
         "ephemeral-port shard",
+    )
+    p.add_argument(
+        "--receipt-key",
+        help="hex receipt-issuer secret; verify responses asking for "
+        "a receipt get one signed with this key",
+    )
+    p.add_argument(
+        "--receipt-algorithm",
+        choices=["ed25519", "hmac-sha256"],
+        default=None,
+        help="receipt signature algorithm (default: ed25519 when "
+        "available, else hmac-sha256)",
+    )
+    p.add_argument(
+        "--pow-difficulty",
+        type=int,
+        default=0,
+        metavar="BITS",
+        help="require hashcash tickets with this many leading zero "
+        "bits on verify requests (0: disabled)",
     )
 
     p = sub.add_parser(
@@ -487,6 +534,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--genuine-only",
         action="store_true",
         help="all-genuine traffic mix (clean drift-detection baseline)",
+    )
+    p.add_argument(
+        "--receipts",
+        action="store_true",
+        help="ask for a signed receipt with every verify",
+    )
+    p.add_argument(
+        "--receipts-out",
+        metavar="JSONL",
+        help="write collected receipts here (implies --receipts) — "
+        "the input of 'repro receipt verify'",
+    )
+    p.add_argument(
+        "--pow-difficulty",
+        type=int,
+        default=None,
+        metavar="BITS",
+        help="mint a hashcash ticket of this difficulty per request "
+        "(matching a server's --pow-difficulty gate)",
     )
 
     p = sub.add_parser(
@@ -627,6 +693,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--report", help="write the full soak report JSON here (soak)"
     )
+    p.add_argument(
+        "--receipt-key",
+        help="hex receipt-issuer secret shared by every shard (up)",
+    )
+    p.add_argument(
+        "--pow-difficulty",
+        type=int,
+        default=0,
+        metavar="BITS",
+        help="hashcash difficulty each shard enforces (up; 0: off)",
+    )
 
     p = sub.add_parser(
         "trace",
@@ -691,6 +768,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the engine-scaling section "
         "(default: up to 4, bounded by CPUs)",
+    )
+
+    p = sub.add_parser(
+        "receipt",
+        help="verify / inspect signed verdict receipts offline",
+    )
+    p.add_argument(
+        "action",
+        choices=["verify", "show"],
+        help="verify: check signatures + audit-chain anchors with "
+        "zero network access; show: tabulate a receipts file",
+    )
+    p.add_argument(
+        "receipts", help="flashmark.receipt/v1 JSONL file"
+    )
+    p.add_argument(
+        "--registry",
+        help="registry snapshot: supplies verifying keys, published "
+        "params and the audit chain to anchor against",
+    )
+    p.add_argument(
+        "--fleet-audit",
+        help="flashmark.fleet-audit/v1 JSON: anchor each receipt "
+        "against its shard's merged timeline",
+    )
+    p.add_argument(
+        "--key",
+        help="hex verifying key, used for every family without a "
+        "registry entry (ed25519 public key, or the hmac secret)",
+    )
+    p.add_argument(
+        "--algorithm",
+        choices=["ed25519", "hmac-sha256"],
+        default="ed25519",
+        help="algorithm --key belongs to (default: ed25519)",
+    )
+    p.add_argument(
+        "--report", help="write the receipt-check report JSON here"
+    )
+
+    p = sub.add_parser(
+        "pow",
+        help="mint hashcash tickets for PoW-gated verify endpoints",
+    )
+    p.add_argument("action", choices=["mint"])
+    p.add_argument(
+        "body",
+        nargs="?",
+        help="request-body JSON file the ticket binds to "
+        "(default: an empty body)",
+    )
+    p.add_argument(
+        "--client", required=True, help="client id the ticket binds to"
+    )
+    p.add_argument(
+        "--difficulty",
+        type=int,
+        required=True,
+        metavar="BITS",
+        help="leading zero bits the server demands",
     )
     return parser
 
@@ -1183,6 +1320,14 @@ def _cmd_registry(args) -> int:
                 SignatureScheme(sign_key).tag_bits if sign_key else 0
             )
             fmt = _published_format(args.replicas, tag_bits=tag_bits)
+            verify_key = verify_algorithm = None
+            if args.receipt_key:
+                from .receipts import keypair_for
+
+                verify_algorithm, verify_key = keypair_for(
+                    bytes.fromhex(args.receipt_key),
+                    args.receipt_algorithm,
+                )
             with WatermarkRegistry(args.registry) as registry:
                 record = registry.publish_family(
                     args.family,
@@ -1190,6 +1335,8 @@ def _cmd_registry(args) -> int:
                     fmt,
                     sign_key=sign_key,
                     replace=args.replace,
+                    verify_key=verify_key,
+                    verify_algorithm=verify_algorithm,
                 )
             cal = record.calibration
             print(
@@ -1204,6 +1351,11 @@ def _cmd_registry(args) -> int:
                 print(
                     "  key fp: "
                     f"{record.sign_key_fingerprint[:16]}..."
+                )
+            if record.verify_key is not None:
+                print(
+                    f"  receipts: {record.verify_algorithm}, verify "
+                    f"key {record.verify_key.hex()[:16]}..."
                 )
             return 0
         with WatermarkRegistry(args.registry, create=False) as registry:
@@ -1232,7 +1384,15 @@ def _cmd_registry(args) -> int:
                 )
                 return 0
             # audit
-            n = registry.verify_audit_chain()
+            try:
+                n = registry.verify_audit_chain()
+            except RegistryError as exc:
+                if args.check:
+                    # CI-gate idiom: 3 means "the artifact failed the
+                    # check", distinct from 1's usage/IO errors.
+                    print(f"CHECK FAILED: {exc}", file=sys.stderr)
+                    return 3
+                raise
             for entry in registry.audit_entries():
                 print(
                     f"  #{entry['seq']:<4} {entry['actor']:<14} "
@@ -1277,7 +1437,20 @@ def _cmd_serve(args) -> int:
         rate_refill_per_s=args.rate_refill,
         tracing=not args.no_tracing,
         monitoring=not args.no_monitor,
+        pow_difficulty=args.pow_difficulty,
     )
+    receipt_signer = None
+    if args.receipt_key:
+        from .receipts import ReceiptKeyError, ReceiptSigner
+
+        try:
+            receipt_signer = ReceiptSigner(
+                bytes.fromhex(args.receipt_key),
+                algorithm=args.receipt_algorithm,
+            )
+        except (ValueError, ReceiptKeyError) as exc:
+            registry.close()
+            return _fail("serve", exc)
     sink = None
     if args.trace_log:
         from .telemetry import JsonlSink
@@ -1330,6 +1503,7 @@ def _cmd_serve(args) -> int:
             sign_keys=sign_keys,
             telemetry=telemetry,
             monitor=monitor,
+            receipt_signer=receipt_signer,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -1360,6 +1534,13 @@ def _cmd_serve(args) -> int:
                     f"  {record.family_id}: {record.model}, "
                     f"t_PEW {record.calibration.t_pew_us:.1f} us"
                 )
+            if receipt_signer is not None:
+                print(
+                    f"  receipts: {receipt_signer.algorithm} "
+                    f"(key id {receipt_signer.key_id[:16]}...)"
+                )
+            if args.pow_difficulty > 0:
+                print(f"  pow gate: {args.pow_difficulty} bit(s)")
             sys.stdout.flush()
             try:
                 await stop.wait()  # until SIGINT/SIGTERM
@@ -1556,6 +1737,8 @@ def _cmd_loadgen(args) -> int:
         traffic=TrafficGenerator(spec, seed=args.seed),
         telemetry=Telemetry(sink=sink),
         trace=bool(args.trace or args.trace_log),
+        receipts=bool(args.receipts or args.receipts_out),
+        pow_difficulty=args.pow_difficulty,
     )
 
     async def _run():
@@ -1594,6 +1777,13 @@ def _cmd_loadgen(args) -> int:
         print(f"traced: {len(report.trace_by_index)} request(s)")
         if args.trace_log:
             print(f"client spans -> {args.trace_log}")
+    if load.receipts:
+        print(f"receipts: {len(report.receipts)} collected")
+        if args.receipts_out:
+            from .receipts import write_receipts
+
+            write_receipts(report.receipts, args.receipts_out)
+            print(f"receipts -> {args.receipts_out}")
     if args.manifest:
         save_manifest(load.build_manifest(report), args.manifest)
         print(f"run manifest -> {args.manifest}")
@@ -1778,6 +1968,167 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_receipt(args) -> int:
+    from .receipts import read_receipts
+
+    try:
+        receipts = read_receipts(args.receipts)
+    except (OSError, json.JSONDecodeError) as exc:
+        return _fail("receipt", exc)
+    if args.action == "show":
+        rows = [
+            [
+                r.get("family", "?"),
+                r.get("die_id", "?"),
+                r.get("decision", "?"),
+                (
+                    f"{r['statistic']:.4f}"
+                    if isinstance(r.get("statistic"), (int, float))
+                    else "-"
+                ),
+                "-" if r.get("history_seq") is None else r["history_seq"],
+                r.get("algorithm", "?"),
+                str(r.get("key_id", ""))[:12],
+            ]
+            for r in receipts
+        ]
+        print(
+            format_table(
+                ["family", "die id", "decision", "stat", "seq",
+                 "algorithm", "key id"],
+                rows,
+                title=f"receipts ({args.receipts})",
+            )
+        )
+        return 0
+
+    # verify — entirely offline: keys and chains come from the given
+    # snapshot/artifact files, never from the issuing service.
+    keys = {}
+    params_hashes = None
+    audit_entries = None
+    timeline = None
+    if args.registry:
+        from dataclasses import asdict
+
+        from .engine.cache import calibration_to_dict
+        from .receipts import params_hash
+        from .service import RegistryError, WatermarkRegistry
+
+        try:
+            with WatermarkRegistry(
+                args.registry, create=False
+            ) as registry:
+                params_hashes = {}
+                for record in registry.families():
+                    if record.verify_key is not None:
+                        keys[record.family_id] = (
+                            record.verify_algorithm,
+                            record.verify_key,
+                        )
+                    params_hashes[record.family_id] = params_hash(
+                        record.family_id,
+                        record.model,
+                        calibration_to_dict(record.calibration),
+                        asdict(record.format),
+                    )
+                audit_entries = registry.audit_entries()
+        except RegistryError as exc:
+            return _fail("receipt", exc)
+    if args.fleet_audit:
+        try:
+            with open(args.fleet_audit, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            return _fail("receipt", exc)
+        timeline = doc.get("timeline") or []
+    if args.key:
+        try:
+            fallback = (args.algorithm, bytes.fromhex(args.key))
+        except ValueError as exc:
+            return _fail("receipt", exc)
+        for r in receipts:
+            family = r.get("family") if isinstance(r, dict) else None
+            if family and family not in keys:
+                keys[family] = fallback
+    if not keys:
+        return _fail(
+            "receipt",
+            ValueError(
+                "verify needs keys: --registry with published verify "
+                "keys, and/or an explicit --key"
+            ),
+        )
+
+    from .receipts import verify_receipts_offline
+
+    report = verify_receipts_offline(
+        receipts,
+        keys=keys,
+        audit_entries=audit_entries,
+        params_hashes=params_hashes,
+    )
+    anchor_failures = []
+    if timeline is not None:
+        from .fleet import check_fleet_anchors
+
+        block = check_fleet_anchors(receipts, timeline)
+        report["fleet_anchor"] = block
+        report["anchored"] = True
+        anchor_failures = block["failures"]
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"receipt-check report -> {args.report}")
+    print(
+        f"receipts: {report['ok']}/{report['checked']} verified "
+        f"({'anchored' if report['anchored'] else 'signature only'})"
+    )
+    for failure in report["failures"]:
+        print(
+            f"  FAIL #{failure['index']} {failure['die_id'] or '?'}: "
+            f"{failure['error']}",
+            file=sys.stderr,
+        )
+    for failure in anchor_failures:
+        print(
+            f"  FAIL #{failure['index']} {failure['die_id'] or '?'}: "
+            f"{'; '.join(failure['errors'])}",
+            file=sys.stderr,
+        )
+    if report["failures"] or anchor_failures:
+        print(
+            f"CHECK FAILED: "
+            f"{len(report['failures']) + len(anchor_failures)} "
+            "receipt(s) failed verification",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_pow(args) -> int:
+    from .receipts import mint_ticket
+
+    body = {}
+    if args.body:
+        try:
+            with open(args.body, encoding="utf-8") as fh:
+                body = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            return _fail("pow", exc)
+        if not isinstance(body, dict):
+            return _fail(
+                "pow", ValueError("body must be a JSON object")
+            )
+    if args.difficulty < 0:
+        return _fail("pow", ValueError("--difficulty must be >= 0"))
+    ticket = mint_ticket(args.client, body, args.difficulty)
+    print(json.dumps(ticket, sort_keys=True))
+    return 0
+
+
 def _print_topology(topo: dict) -> None:
     print(
         f"fleet topology: {topo.get('routable', 0)}/"
@@ -1940,6 +2291,10 @@ def _cmd_fleet(args) -> int:
             ),
         )
 
+    receipt_key = (
+        bytes.fromhex(args.receipt_key) if args.receipt_key else None
+    )
+
     async def _up(workdir: str) -> None:
         manager = ProcessShardManager(
             registry,
@@ -1947,6 +2302,8 @@ def _cmd_fleet(args) -> int:
             workdir,
             host=args.host,
             workers=args.workers,
+            receipt_key=receipt_key,
+            pow_difficulty=args.pow_difficulty,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -2024,6 +2381,8 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "receipt": _cmd_receipt,
+    "pow": _cmd_pow,
 }
 
 

@@ -39,6 +39,7 @@ reconcile semantics.
 from .hashing import DEFAULT_REPLICAS, HashRing, routing_key
 from .reconcile import (
     FLEET_AUDIT_SCHEMA,
+    check_fleet_anchors,
     fleet_digest,
     reconcile_fleet,
     write_fleet_audit,
@@ -67,6 +68,7 @@ __all__ = [
     "RouterConfig",
     "ShardInfo",
     "StaticShardSet",
+    "check_fleet_anchors",
     "fleet_coverage_plan",
     "fleet_digest",
     "reconcile_fleet",

@@ -36,6 +36,7 @@ __all__ = [
     "FLEET_AUDIT_SCHEMA",
     "reconcile_fleet",
     "fleet_digest",
+    "check_fleet_anchors",
     "write_fleet_audit",
 ]
 
@@ -89,10 +90,66 @@ def _shard_summary(shard_id: str, registry: WatermarkRegistry) -> dict:
     return summary
 
 
+def check_fleet_anchors(
+    receipts: List[dict], timeline: List[dict]
+) -> dict:
+    """Anchor each receipt against exactly one shard's chain.
+
+    Audit ``seq`` numbers restart per shard, so a merged
+    :class:`~repro.receipts.AnchorIndex` could pair shard A's head
+    with shard B's record.  Indexing per shard and requiring head +
+    ``history_seq`` to check out against the *same* shard closes that
+    hole; a receipt anchors if any one shard accepts it (the shard
+    that actually served the verify).
+    """
+    from ..receipts import AnchorIndex, ReceiptError, check_anchor
+
+    by_shard: Dict[str, List[dict]] = {}
+    for entry in timeline:
+        by_shard.setdefault(entry["shard"], []).append(entry)
+    indexes = {
+        shard: AnchorIndex(entries)
+        for shard, entries in by_shard.items()
+    }
+    anchored: Dict[str, int] = {}
+    failures: List[dict] = []
+    for i, receipt in enumerate(receipts):
+        errors = []
+        home = None
+        for shard in sorted(indexes):
+            try:
+                check_anchor(receipt, indexes[shard])
+            except ReceiptError as exc:
+                errors.append(f"{shard}: {exc}")
+            else:
+                home = shard
+                break
+        if home is not None:
+            anchored[home] = anchored.get(home, 0) + 1
+        else:
+            failures.append(
+                {
+                    "index": i,
+                    "family": receipt.get("family"),
+                    "die_id": receipt.get("die_id"),
+                    "errors": errors
+                    or ["no shard timeline to anchor against"],
+                }
+            )
+    return {
+        "checked": len(receipts),
+        "anchored": sum(anchored.values()),
+        "by_shard": anchored,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
 def reconcile_fleet(
     registries: Dict[str, Union[str, Path, WatermarkRegistry]],
     *,
     timeline_limit: Optional[int] = None,
+    receipts: Optional[List[dict]] = None,
 ) -> dict:
     """Build the ``flashmark.fleet-audit/v1`` view of a shard set.
 
@@ -105,6 +162,14 @@ def reconcile_fleet(
     timeline_limit:
         Keep only the newest N merged timeline entries (the summary
         blocks still cover everything).
+    receipts:
+        ``flashmark.receipt/v1`` documents to cross-check against the
+        merged timeline: every receipt's ``audit_head`` must be a real
+        entry hash of some shard's (re-verified) chain, and its
+        ``history_seq`` must match a recorded verification.  The
+        verdict lands in the report's ``receipts`` block — signature
+        checking stays with ``repro receipt verify`` (the reconciler
+        holds no keys, it anchors).
     """
     if not registries:
         raise ValueError("reconcile needs at least one shard registry")
@@ -134,6 +199,12 @@ def reconcile_fleet(
     timeline.sort(
         key=lambda e: (e["created_unix_s"], e["shard"], e["seq"])
     )
+    receipts_block = None
+    if receipts is not None:
+        # Anchor against the *full* merged timeline, before any
+        # timeline_limit trim — a receipt's head may be older than the
+        # window the report keeps for display.
+        receipts_block = check_fleet_anchors(receipts, timeline)
     truncated = 0
     if timeline_limit is not None and len(timeline) > timeline_limit:
         truncated = len(timeline) - timeline_limit
@@ -169,6 +240,7 @@ def reconcile_fleet(
         "totals": totals,
         "timeline": timeline,
         "timeline_truncated": truncated,
+        "receipts": receipts_block,
     }
 
 

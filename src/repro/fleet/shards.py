@@ -103,8 +103,10 @@ def replicate_families(
     Re-publication is by value (calibration + format); signing keys are
     never stored in a registry, so signed families replicate *unsigned*
     — distribute the key to each shard via ``serve --sign-key`` if
-    signature checking must survive sharding.  Each replication is its
-    own audit-chain genesis: shard chains are independent by design.
+    signature checking must survive sharding.  Receipt *verifying* keys
+    are public material and DO replicate, so receipts issued by any
+    shard name the same published key.  Each replication is its own
+    audit-chain genesis: shard chains are independent by design.
 
     Returns the open destination registry (caller closes).
     """
@@ -114,6 +116,8 @@ def replicate_families(
             record.family_id,
             record.calibration,
             record.format,
+            verify_key=record.verify_key,
+            verify_algorithm=record.verify_algorithm,
             actor=actor,
             replace=True,
         )
@@ -192,6 +196,8 @@ class ProcessShardManager:
         queue_depth: int = 64,
         monitoring: bool = True,
         ready_timeout_s: float = 30.0,
+        receipt_key: Optional[bytes] = None,
+        pow_difficulty: int = 0,
     ):
         if n_shards < 1:
             raise FleetError("n_shards must be >= 1")
@@ -202,6 +208,11 @@ class ProcessShardManager:
         self.queue_depth = queue_depth
         self.monitoring = monitoring
         self.ready_timeout_s = ready_timeout_s
+        #: Issuer secret every shard signs receipts with (one fleet,
+        #: one published verifying key).
+        self.receipt_key = receipt_key
+        #: Hashcash gate every shard enforces (0: open, no tickets).
+        self.pow_difficulty = pow_difficulty
         self._infos: Dict[str, ShardInfo] = {}
         self._procs: Dict[str, subprocess.Popen] = {}
         self._logs: Dict[str, object] = {}
@@ -340,6 +351,10 @@ class ProcessShardManager:
         ]
         if not self.monitoring:
             cmd.append("--no-monitor")
+        if self.receipt_key is not None:
+            cmd.extend(["--receipt-key", self.receipt_key.hex()])
+        if self.pow_difficulty > 0:
+            cmd.extend(["--pow-difficulty", str(self.pow_difficulty)])
         env = dict(os.environ)
         # The shard must import the same repro this process runs.
         src_dir = str(Path(__file__).resolve().parents[2])
@@ -410,6 +425,8 @@ class InProcessShardManager:
         queue_depth: int = 64,
         monitoring: bool = False,
         telemetry=None,
+        receipt_key: Optional[bytes] = None,
+        pow_difficulty: int = 0,
     ):
         if n_shards < 1:
             raise FleetError("n_shards must be >= 1")
@@ -420,6 +437,8 @@ class InProcessShardManager:
         self.queue_depth = queue_depth
         self.monitoring = monitoring
         self.telemetry = telemetry
+        self.receipt_key = receipt_key
+        self.pow_difficulty = pow_difficulty
         self._infos: Dict[str, ShardInfo] = {}
         self._servers: Dict[str, object] = {}
         self._registries: Dict[str, WatermarkRegistry] = {}
@@ -493,6 +512,11 @@ class InProcessShardManager:
         from ..service.server import ServerConfig, VerificationServer
 
         info = self._infos[shard_id]
+        receipt_signer = None
+        if self.receipt_key is not None:
+            from ..receipts import ReceiptSigner
+
+            receipt_signer = ReceiptSigner(self.receipt_key)
         server = VerificationServer(
             self._registries[shard_id],
             config=ServerConfig(
@@ -501,8 +525,10 @@ class InProcessShardManager:
                 queue_depth=self.queue_depth,
                 workers=self.workers,
                 monitoring=self.monitoring,
+                pow_difficulty=self.pow_difficulty,
             ),
             telemetry=self.telemetry,
+            receipt_signer=receipt_signer,
         )
         await server.start()
         self._servers[shard_id] = server

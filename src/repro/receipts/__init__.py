@@ -1,0 +1,97 @@
+"""repro.receipts — publicly verifiable verdicts + PoW metering.
+
+The trust layer over the verification service: every verify verdict
+can be issued as a signed **receipt** anchored in the registry's
+hash-chained audit log (:mod:`repro.receipts.receipt`), checkable
+offline by anyone holding the family's published verifying key
+(:mod:`repro.receipts.keys` — Ed25519, HMAC fallback with a
+shared-secret caveat).  Anonymous open-loop traffic is metered with
+hashcash-style proof-of-work tickets (:mod:`repro.receipts.pow`)
+answered with the dedicated ``428 POW_REQUIRED`` wire code.
+
+Quick start (offline check, zero network access)::
+
+    from repro.receipts import read_receipts, verify_receipts_offline
+
+    receipts = read_receipts("receipts.jsonl")
+    report = verify_receipts_offline(
+        receipts,
+        keys={"msp430-default": ("ed25519", verify_key_bytes)},
+        audit_entries=registry.audit_entries(),
+    )
+    assert report["ok"] == report["checked"], report["failures"]
+
+``python -m repro receipt {verify,show}`` and ``repro pow mint`` wrap
+the same functions for the shell; see ``docs/service.md`` for the
+trust-boundary diagram.
+"""
+
+from .keys import (
+    ALGORITHMS,
+    ED25519,
+    HMAC_SHA256,
+    KEY_BYTES,
+    ReceiptKeyError,
+    ReceiptSigner,
+    best_algorithm,
+    ed25519_available,
+    generate_key,
+    key_fingerprint,
+    keypair_for,
+    verify_signature,
+)
+from .pow import (
+    POW_ENDPOINT_VERIFY,
+    PowGate,
+    body_hash,
+    check_ticket,
+    leading_zero_bits,
+    mint_ticket,
+    ticket_digest,
+)
+from .receipt import (
+    RECEIPT_SCHEMA,
+    AnchorIndex,
+    ReceiptError,
+    build_receipt,
+    check_anchor,
+    params_hash,
+    read_receipts,
+    signing_bytes,
+    verify_receipt,
+    verify_receipts_offline,
+    write_receipts,
+)
+
+__all__ = [
+    "RECEIPT_SCHEMA",
+    "ALGORITHMS",
+    "ED25519",
+    "HMAC_SHA256",
+    "KEY_BYTES",
+    "POW_ENDPOINT_VERIFY",
+    "ReceiptKeyError",
+    "ReceiptError",
+    "ReceiptSigner",
+    "AnchorIndex",
+    "PowGate",
+    "best_algorithm",
+    "ed25519_available",
+    "generate_key",
+    "key_fingerprint",
+    "keypair_for",
+    "verify_signature",
+    "body_hash",
+    "check_ticket",
+    "leading_zero_bits",
+    "mint_ticket",
+    "ticket_digest",
+    "build_receipt",
+    "check_anchor",
+    "params_hash",
+    "read_receipts",
+    "signing_bytes",
+    "verify_receipt",
+    "verify_receipts_offline",
+    "write_receipts",
+]

@@ -1,0 +1,190 @@
+"""Receipt signing keys: Ed25519 when available, HMAC as a fallback.
+
+A receipt is only *publicly* verifiable when checking it needs no
+secret.  Ed25519 gives that: the manufacturer holds a 32-byte seed,
+publishes the 32-byte verifying key in the registry, and anyone holding
+the registry snapshot can check signatures offline.  The implementation
+comes from the ``cryptography`` package when it is importable.
+
+When ``cryptography`` is absent the module degrades to HMAC-SHA256
+with a documented trust caveat: the "verifying key" is the secret
+itself, so whoever can verify a receipt can also forge one.  That
+reduces the trust model from *publicly verifiable* back to *shared
+secret* — fine for an integrator who already trusts the operator,
+useless for customs screening.  :data:`best_algorithm` reports which
+world the process is in; servers degrade rather than fail
+(``docs/robustness.md``).
+
+Keys never enter the registry in private form: the registry stores the
+*verifying* key (next to the watermark signing-key fingerprint it
+already keeps), and :func:`key_fingerprint` of that verifying key is
+the ``key_id`` stamped into every receipt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Optional, Tuple
+
+__all__ = [
+    "ED25519",
+    "HMAC_SHA256",
+    "ALGORITHMS",
+    "ReceiptKeyError",
+    "ed25519_available",
+    "best_algorithm",
+    "generate_key",
+    "key_fingerprint",
+    "ReceiptSigner",
+    "verify_signature",
+    "keypair_for",
+]
+
+ED25519 = "ed25519"
+#: Symmetric fallback: verification needs the signing secret, so a
+#: verifier can forge — not publicly verifiable, only tamper-evident
+#: between parties that already share the key.
+HMAC_SHA256 = "hmac-sha256"
+
+ALGORITHMS = (ED25519, HMAC_SHA256)
+
+#: Both algorithms take a 32-byte private input.
+KEY_BYTES = 32
+
+
+class ReceiptKeyError(ValueError):
+    """A key or algorithm argument is unusable."""
+
+
+def _ed25519():
+    """The cryptography Ed25519 module, or None when unavailable."""
+    try:
+        from cryptography.hazmat.primitives.asymmetric import ed25519
+
+        return ed25519
+    except Exception:  # pragma: no cover - depends on environment
+        return None
+
+
+def ed25519_available() -> bool:
+    return _ed25519() is not None
+
+
+def best_algorithm() -> str:
+    """The strongest algorithm this process can sign with."""
+    return ED25519 if ed25519_available() else HMAC_SHA256
+
+
+def generate_key() -> bytes:
+    """A fresh 32-byte private key (Ed25519 seed / HMAC secret)."""
+    return os.urandom(KEY_BYTES)
+
+
+def key_fingerprint(verify_key: bytes) -> str:
+    """SHA-256 hex of a verifying key — the ``key_id`` in receipts.
+
+    Matches :meth:`repro.service.WatermarkRegistry.fingerprint` so the
+    two key surfaces read alike in audit output.
+    """
+    return hashlib.sha256(bytes(verify_key)).hexdigest()
+
+
+def _check_algorithm(algorithm: str) -> str:
+    if algorithm not in ALGORITHMS:
+        raise ReceiptKeyError(
+            f"unknown receipt algorithm {algorithm!r} "
+            f"(expected one of {', '.join(ALGORITHMS)})"
+        )
+    if algorithm == ED25519 and not ed25519_available():
+        raise ReceiptKeyError(
+            "ed25519 requested but the 'cryptography' package is not "
+            "importable; use hmac-sha256 (shared-secret trust) instead"
+        )
+    return algorithm
+
+
+class ReceiptSigner:
+    """Sign receipt bytes with a 32-byte private key.
+
+    Parameters
+    ----------
+    key:
+        The private input — an Ed25519 seed or an HMAC secret,
+        exactly 32 bytes.
+    algorithm:
+        ``"ed25519"`` or ``"hmac-sha256"``; defaults to the best one
+        available in this process.
+    """
+
+    def __init__(self, key: bytes, algorithm: Optional[str] = None):
+        if len(key) != KEY_BYTES:
+            raise ReceiptKeyError(
+                f"receipt key must be {KEY_BYTES} bytes, got {len(key)}"
+            )
+        self.algorithm = _check_algorithm(
+            algorithm if algorithm is not None else best_algorithm()
+        )
+        self._key = bytes(key)
+        if self.algorithm == ED25519:
+            ed = _ed25519()
+            self._private = ed.Ed25519PrivateKey.from_private_bytes(
+                self._key
+            )
+            from cryptography.hazmat.primitives import serialization
+
+            self.verify_key = self._private.public_key().public_bytes(
+                serialization.Encoding.Raw,
+                serialization.PublicFormat.Raw,
+            )
+        else:
+            self._private = None
+            # HMAC caveat: the "verifying key" is the secret itself.
+            self.verify_key = self._key
+
+    @property
+    def key_id(self) -> str:
+        return key_fingerprint(self.verify_key)
+
+    def sign(self, message: bytes) -> bytes:
+        if self.algorithm == ED25519:
+            return self._private.sign(message)
+        return hmac.new(self._key, message, hashlib.sha256).digest()
+
+
+def verify_signature(
+    algorithm: str,
+    verify_key: bytes,
+    message: bytes,
+    signature: bytes,
+) -> bool:
+    """Check one signature; False rather than raising on mismatch."""
+    if algorithm == HMAC_SHA256:
+        expected = hmac.new(
+            bytes(verify_key), message, hashlib.sha256
+        ).digest()
+        return hmac.compare_digest(expected, bytes(signature))
+    if algorithm == ED25519:
+        ed = _ed25519()
+        if ed is None:
+            raise ReceiptKeyError(
+                "cannot verify ed25519 signatures: the 'cryptography' "
+                "package is not importable"
+            )
+        try:
+            ed.Ed25519PublicKey.from_public_bytes(
+                bytes(verify_key)
+            ).verify(bytes(signature), message)
+            return True
+        except Exception:
+            return False
+    raise ReceiptKeyError(f"unknown receipt algorithm {algorithm!r}")
+
+
+def keypair_for(
+    key: bytes, algorithm: Optional[str] = None
+) -> Tuple[str, bytes]:
+    """``(algorithm, verify_key)`` a private key would publish."""
+    signer = ReceiptSigner(key, algorithm)
+    return signer.algorithm, signer.verify_key

@@ -1,0 +1,348 @@
+"""Signed verify-verdict receipts (``flashmark.receipt/v1``).
+
+A receipt turns one verify response into a claim anyone can check
+offline, against nothing but the manufacturer's published verifying
+key and a registry (or fleet-audit) snapshot::
+
+    {"schema": "flashmark.receipt/v1",
+     "family": "msp430-default", "die_id": "0x00000000002A",
+     "decision": "authentic", "statistic": 0.125,
+     "params_hash": "<sha256 of the published calibration+format>",
+     "history_seq": 17,
+     "audit_head": "<entry_hash of the audit chain head at issuance>",
+     "issued_unix_s": 1754650000.0,
+     "algorithm": "ed25519", "key_id": "<sha256 of verify key>",
+     "sig": "<hex signature over every other field>"}
+
+Three independent checks compose into public verifiability:
+
+1. **Signature** — the ``sig`` covers the canonical JSON of every
+   other field, so a tampered decision or statistic fails the key.
+2. **Anchor** — ``audit_head`` must be a real ``entry_hash`` in the
+   hash-chained audit log.  The chain is append-only, so every
+   historical head survives as some entry's hash; an operator who
+   rewrites history breaks either the chain or the anchor.
+3. **History** — ``history_seq`` must match a ``verification.record``
+   audit entry whose recorded die id and verdict agree with the
+   receipt, tying the signed claim to the registry row it created.
+
+None of the checks needs the issuing server: the CLI
+(``repro receipt verify``) runs them against a registry snapshot or a
+``flashmark.fleet-audit/v1`` document with zero network access.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .keys import ReceiptSigner, verify_signature
+
+__all__ = [
+    "RECEIPT_SCHEMA",
+    "ReceiptError",
+    "params_hash",
+    "signing_bytes",
+    "build_receipt",
+    "verify_receipt",
+    "AnchorIndex",
+    "check_anchor",
+    "verify_receipts_offline",
+    "read_receipts",
+    "write_receipts",
+]
+
+RECEIPT_SCHEMA = "flashmark.receipt/v1"
+
+#: Every field a receipt must carry (``sig`` covers all the others).
+_REQUIRED_FIELDS = (
+    "schema",
+    "family",
+    "die_id",
+    "decision",
+    "statistic",
+    "params_hash",
+    "history_seq",
+    "audit_head",
+    "issued_unix_s",
+    "algorithm",
+    "key_id",
+    "sig",
+)
+
+
+class ReceiptError(ValueError):
+    """A receipt fails a verification check."""
+
+
+def _canonical(obj) -> bytes:
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def params_hash(
+    family_id: str,
+    model: str,
+    calibration: dict,
+    format: dict,
+) -> str:
+    """Hex digest binding a receipt to the published family params.
+
+    Computed over the same dict forms the registry persists
+    (``calibration_json`` / ``format_json``), so re-deriving it from a
+    registry snapshot reproduces the issuing server's value exactly.
+    """
+    return hashlib.sha256(
+        _canonical(
+            {
+                "family": family_id,
+                "model": model,
+                "calibration": calibration,
+                "format": format,
+            }
+        )
+    ).hexdigest()
+
+
+def signing_bytes(receipt: dict) -> bytes:
+    """The canonical bytes the signature covers (all fields but sig)."""
+    return _canonical(
+        {k: v for k, v in receipt.items() if k != "sig"}
+    )
+
+
+def build_receipt(
+    signer: ReceiptSigner,
+    *,
+    family: str,
+    die_id: str,
+    decision: str,
+    statistic: float,
+    params_hash: str,
+    history_seq: Optional[int],
+    audit_head: str,
+    issued_unix_s: Optional[float] = None,
+) -> dict:
+    """Assemble and sign one receipt."""
+    receipt = {
+        "schema": RECEIPT_SCHEMA,
+        "family": family,
+        "die_id": die_id,
+        "decision": decision,
+        "statistic": statistic,
+        "params_hash": params_hash,
+        "history_seq": history_seq,
+        "audit_head": audit_head,
+        "issued_unix_s": (
+            issued_unix_s if issued_unix_s is not None else time.time()
+        ),
+        "algorithm": signer.algorithm,
+        "key_id": signer.key_id,
+    }
+    receipt["sig"] = signer.sign(signing_bytes(receipt)).hex()
+    return receipt
+
+
+def verify_receipt(
+    receipt: dict,
+    verify_key: bytes,
+    *,
+    algorithm: Optional[str] = None,
+) -> None:
+    """Check a receipt's shape and signature; raises on failure.
+
+    ``algorithm`` pins the expected algorithm; by default the
+    receipt's own claim is used (the signature still fails if the
+    claim lies, since ``algorithm`` is under the signature).
+    """
+    if not isinstance(receipt, dict):
+        raise ReceiptError("receipt must be a JSON object")
+    missing = [f for f in _REQUIRED_FIELDS if f not in receipt]
+    if missing:
+        raise ReceiptError(
+            f"receipt is missing field(s): {', '.join(missing)}"
+        )
+    if receipt["schema"] != RECEIPT_SCHEMA:
+        raise ReceiptError(
+            f"schema {receipt['schema']!r} is not {RECEIPT_SCHEMA!r}"
+        )
+    claimed = receipt["algorithm"]
+    if algorithm is not None and claimed != algorithm:
+        raise ReceiptError(
+            f"receipt algorithm {claimed!r} is not the expected "
+            f"{algorithm!r}"
+        )
+    try:
+        signature = bytes.fromhex(receipt["sig"])
+    except (TypeError, ValueError) as exc:
+        raise ReceiptError(f"undecodable signature: {exc}") from exc
+    if not verify_signature(
+        claimed, verify_key, signing_bytes(receipt), signature
+    ):
+        raise ReceiptError(
+            "signature check failed (tampered receipt or wrong key)"
+        )
+
+
+class AnchorIndex:
+    """Fast anchor lookups over an audit log (or fleet timeline).
+
+    Accepts the entry dicts of
+    :meth:`repro.service.WatermarkRegistry.audit_entries` or of a
+    ``flashmark.fleet-audit/v1`` merged ``timeline`` — both carry
+    ``entry_hash``, ``action`` and ``detail``.
+    """
+
+    def __init__(self, entries: Iterable[dict]):
+        self.entry_hashes = set()
+        self.records: Dict[int, dict] = {}
+        for entry in entries:
+            self.entry_hashes.add(entry["entry_hash"])
+            if entry.get("action") == "verification.record":
+                detail = entry.get("detail") or {}
+                seq = detail.get("seq")
+                if isinstance(seq, int):
+                    self.records[seq] = detail
+
+
+def check_anchor(receipt: dict, index: AnchorIndex) -> None:
+    """Check a receipt's audit-chain anchor; raises on failure."""
+    head = receipt.get("audit_head")
+    if head not in index.entry_hashes:
+        raise ReceiptError(
+            "audit_head is not an entry of the audit chain "
+            "(rewritten log, foreign registry, or forged receipt)"
+        )
+    seq = receipt.get("history_seq")
+    if seq is None:
+        # Issued while the registry was degraded (history unrecorded);
+        # the signature and head anchor still hold.
+        return
+    detail = index.records.get(seq)
+    if detail is None:
+        raise ReceiptError(
+            f"history_seq {seq} has no verification.record audit entry"
+        )
+    if detail.get("die_id") != receipt.get("die_id"):
+        raise ReceiptError(
+            f"history_seq {seq} recorded die "
+            f"{detail.get('die_id')!r}, receipt claims "
+            f"{receipt.get('die_id')!r}"
+        )
+    if detail.get("verdict") != receipt.get("decision"):
+        raise ReceiptError(
+            f"history_seq {seq} recorded verdict "
+            f"{detail.get('verdict')!r}, receipt claims "
+            f"{receipt.get('decision')!r}"
+        )
+
+
+def verify_receipts_offline(
+    receipts: List[dict],
+    *,
+    keys: Dict[str, Tuple[str, bytes]],
+    audit_entries: Optional[Iterable[dict]] = None,
+    params_hashes: Optional[Dict[str, str]] = None,
+) -> dict:
+    """Run the full offline check over a batch of receipts.
+
+    Parameters
+    ----------
+    keys:
+        ``family -> (algorithm, verify_key)``.  A receipt for a family
+        with no key fails (nothing to check its signature against).
+    audit_entries:
+        Audit-log entries (registry or fleet timeline) for the anchor
+        checks; None skips anchoring (signature-only mode).
+    params_hashes:
+        ``family -> expected params_hash``; receipts claiming other
+        published parameters fail.
+
+    Returns a ``flashmark.receipt-check/v1`` report; never raises for
+    individual bad receipts — they land in ``failures``.
+    """
+    index = (
+        AnchorIndex(audit_entries) if audit_entries is not None else None
+    )
+    failures: List[dict] = []
+    algorithms: Dict[str, int] = {}
+    for i, receipt in enumerate(receipts):
+        family = (
+            receipt.get("family") if isinstance(receipt, dict) else None
+        )
+        try:
+            key = keys.get(family)
+            if key is None:
+                raise ReceiptError(
+                    f"no verifying key for family {family!r}"
+                )
+            algorithm, verify_key = key
+            verify_receipt(receipt, verify_key, algorithm=algorithm)
+            if params_hashes is not None:
+                expected = params_hashes.get(family)
+                if (
+                    expected is not None
+                    and receipt["params_hash"] != expected
+                ):
+                    raise ReceiptError(
+                        "params_hash does not match the published "
+                        "family parameters"
+                    )
+            if index is not None:
+                check_anchor(receipt, index)
+        except ReceiptError as exc:
+            failures.append(
+                {
+                    "index": i,
+                    "family": family,
+                    "die_id": (
+                        receipt.get("die_id")
+                        if isinstance(receipt, dict)
+                        else None
+                    ),
+                    "error": str(exc),
+                }
+            )
+            continue
+        algo = receipt["algorithm"]
+        algorithms[algo] = algorithms.get(algo, 0) + 1
+    return {
+        "schema": "flashmark.receipt-check/v1",
+        "checked": len(receipts),
+        "ok": len(receipts) - len(failures),
+        "anchored": index is not None,
+        "algorithms": algorithms,
+        "failures": failures,
+    }
+
+
+def read_receipts(path: Union[str, Path]) -> List[dict]:
+    """Load a receipts JSONL file (blank lines ignored)."""
+    receipts = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                receipts.append(json.loads(line))
+    return receipts
+
+
+def write_receipts(
+    receipts: Iterable[dict], path: Union[str, Path]
+) -> Path:
+    """Persist receipts as JSONL (one receipt per line)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        for receipt in receipts:
+            fh.write(
+                json.dumps(
+                    receipt, sort_keys=True, separators=(",", ":")
+                )
+                + "\n"
+            )
+    return out

@@ -46,6 +46,7 @@ from .endpoint import Endpoint, EndpointLike, coerce_endpoint
 from .health import HEALTH_SCHEMA, HealthReport, engine_counters
 from .protocol import (
     MAX_FRAME_BYTES,
+    POW_REQUIRED,
     WIRE_SCHEMA,
     FrameReader,
     FrameTooLarge,
@@ -68,6 +69,7 @@ __all__ = [
     "WIRE_SCHEMA",
     "HEALTH_SCHEMA",
     "MAX_FRAME_BYTES",
+    "POW_REQUIRED",
     "Endpoint",
     "EndpointLike",
     "coerce_endpoint",

@@ -137,24 +137,41 @@ class VerificationClient:
         n_reads: int = 1,
         temperature_c: Optional[float] = None,
         trace: Optional[Any] = None,
+        receipt: bool = False,
+        pow_difficulty: Optional[int] = None,
     ) -> dict:
         """Verify one chip.  ``trace`` optionally carries distributed-
         trace context (a :class:`~repro.trace.context.TraceContext` or
-        traceparent string) for the server to thread its spans under."""
+        traceparent string) for the server to thread its spans under.
+
+        ``receipt=True`` asks for a signed ``flashmark.receipt/v1`` in
+        the result; ``pow_difficulty`` mints a hashcash ticket of that
+        strength before sending (for servers running a PoW gate)."""
         if trace is not None and not isinstance(trace, str):
             trace = trace.to_traceparent()
-        return await self.call(
-            protocol.verify_request(
-                chip,
-                family,
-                request_id=request_id,
-                client=client,
-                segment=segment,
-                n_reads=n_reads,
-                temperature_c=temperature_c,
-                trace=trace,
-            )
+        req = protocol.verify_request(
+            chip,
+            family,
+            request_id=request_id,
+            client=client,
+            segment=segment,
+            n_reads=n_reads,
+            temperature_c=temperature_c,
+            trace=trace,
+            receipt=receipt,
         )
+        if pow_difficulty is not None:
+            if client is None:
+                # Tickets bind to the server-side client id; without an
+                # explicit one the server keys on the peer address,
+                # which this side cannot predict.
+                raise ValueError(
+                    "pow_difficulty needs an explicit client id"
+                )
+            from ..receipts import mint_ticket
+
+            req["pow"] = mint_ticket(client, req, pow_difficulty)
+        return await self.call(req)
 
     async def ping(self) -> dict:
         return await self.call({"op": "ping"})
@@ -217,6 +234,11 @@ class LoadReport:
     #: Distributed-trace id per traffic-item index (tracing runs only);
     #: keys into the trace documents :mod:`repro.trace` assembles.
     trace_by_index: Dict[int, str] = field(default_factory=dict)
+    #: Signed ``flashmark.receipt/v1`` documents, in completion order
+    #: (receipt-requesting runs against a signing server only) —
+    #: ``repro.receipts.write_receipts`` persists them for offline
+    #: verification.
+    receipts: List[dict] = field(default_factory=list)
     wall_s: float = 0.0
     concurrency: int = 1
     rate_hz: Optional[float] = None
@@ -275,6 +297,7 @@ class LoadReport:
             "concurrency": self.concurrency,
             "rate_hz": self.rate_hz,
             "traced": len(self.trace_by_index),
+            "receipts": len(self.receipts),
         }
 
 
@@ -306,6 +329,14 @@ class LoadClient:
         the wire and records a ``client.request`` span against it —
         the client end of the distributed traces :mod:`repro.trace`
         assembles.  Trace ids land in ``LoadReport.trace_by_index``.
+    receipts:
+        When True, every request asks for a signed receipt; the
+        documents a signing server returns land in
+        ``LoadReport.receipts`` for offline verification.
+    pow_difficulty:
+        When set, a hashcash ticket of that strength is minted per
+        request (matching a server's ``pow_difficulty`` gate).  Minting
+        runs off the event loop — it is deliberate CPU spend.
     """
 
     def __init__(
@@ -317,6 +348,8 @@ class LoadClient:
         client_id: str = "loadgen",
         telemetry: Optional[Telemetry] = None,
         trace: bool = False,
+        receipts: bool = False,
+        pow_difficulty: Optional[int] = None,
     ):
         if legacy_family:
             # Deprecated LoadClient(host, port, family, ...) form:
@@ -349,6 +382,8 @@ class LoadClient:
             telemetry if telemetry is not None else Telemetry()
         )
         self.trace = trace
+        self.receipts = receipts
+        self.pow_difficulty = pow_difficulty
 
     # -- traffic ----------------------------------------------------------
 
@@ -502,7 +537,19 @@ class LoadClient:
             segment=segment,
             n_reads=n_reads,
             trace=root.to_traceparent() if root is not None else None,
+            receipt=self.receipts,
         )
+        if self.pow_difficulty is not None:
+            from ..receipts import mint_ticket
+
+            # Minting is the whole point of the gate — CPU spend per
+            # request — so it runs in the executor, off the loop.
+            req["pow"] = await loop.run_in_executor(
+                None,
+                lambda: mint_ticket(
+                    self.client_id, req, self.pow_difficulty
+                ),
+            )
         t0_unix = time.time()
         t0 = loop.time()
         try:
@@ -532,6 +579,9 @@ class LoadClient:
                 attrs={"index": item.index},
             )
         report.latencies_s.append(latency)
+        if "receipt" in result:
+            report.receipts.append(result["receipt"])
+            self.telemetry.count("loadgen.receipts")
         verdict = result["verdict"]
         report.verdicts[verdict] = report.verdicts.get(verdict, 0) + 1
         report.verdict_by_index[item.index] = verdict
@@ -575,6 +625,8 @@ class LoadClient:
                 "traffic_seed": self.traffic.seed,
                 "traffic_mix": dict(self.traffic.spec.mix),
                 "trace": self.trace,
+                "receipts": self.receipts,
+                "pow_difficulty": self.pow_difficulty,
             },
             seeds={"traffic_seed": self.traffic.seed},
             extra={"load": report.to_dict()},

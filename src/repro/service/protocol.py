@@ -27,14 +27,27 @@ pick a shard, and the field lets it route without decoding megabytes
 of chip state.  Servers ignore it — the authoritative die id is always
 read from the decoded chip.
 
+Verify requests may also carry two optional receipt-era fields, both
+ignored by pre-receipt servers and absent from pre-receipt clients
+(the wire schema is unchanged — ``flashmark.wire/v1``):
+
+* ``"receipt": true`` asks the server to attach a signed
+  ``flashmark.receipt/v1`` document to the result (only present when
+  the server holds an issuer key — see :mod:`repro.receipts`);
+* ``"pow": {"nonce": 12345, "difficulty": 12}`` is a hashcash ticket;
+  servers running with a PoW difficulty > 0 reject verify requests
+  whose ticket is missing, weak, or replayed with ``428``.
+
 Responses::
 
     {"id": 7, "ok": true, "result": {"verdict": "authentic", ...}}
     {"id": 7, "ok": false, "error": {"code": 429, "reason": "..."}}
 
 Error codes follow HTTP idiom: 400 malformed request, 404 unknown
-family, 429 backpressure (queue full) or rate limit, 500 internal,
-503 no healthy shard (fleet router only).
+family, 428 proof-of-work required (missing/weak/replayed ticket —
+mint and retry, distinct from 429's "back off"), 429 backpressure
+(queue full) or rate limit, 500 internal, 503 no healthy shard (fleet
+router only).
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ __all__ = [
     "OK",
     "BAD_REQUEST",
     "NOT_FOUND",
+    "POW_REQUIRED",
     "TOO_MANY_REQUESTS",
     "INTERNAL_ERROR",
     "SERVICE_UNAVAILABLE",
@@ -77,6 +91,10 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 OK = 200
 BAD_REQUEST = 400
 NOT_FOUND = 404
+#: The verify request needs a (fresh, sufficiently hard) hashcash
+#: ticket in its ``pow`` field.  Deliberately distinct from 429: a 428
+#: client should mint and retry now, a 429 client should back off.
+POW_REQUIRED = 428
 TOO_MANY_REQUESTS = 429
 INTERNAL_ERROR = 500
 #: The fleet router exhausted its healthy shards for a request (all
@@ -196,6 +214,8 @@ def verify_request(
     n_reads: int = 1,
     temperature_c: Optional[float] = None,
     trace: Optional[str] = None,
+    receipt: bool = False,
+    pow_ticket: Optional[dict] = None,
 ) -> dict:
     """Build a verify request carrying the chip's full state.
 
@@ -205,6 +225,12 @@ def verify_request(
 
     The chip's die id rides along in ``die_id`` so the fleet router can
     consistent-hash ``(family, die)`` without decoding the blob.
+
+    ``receipt=True`` asks for a signed receipt in the result;
+    ``pow_ticket`` attaches a hashcash ticket (``{"nonce": n, ...}``,
+    see :func:`repro.receipts.mint_ticket`).  Both fields are simply
+    absent when unused, keeping the request byte-identical to the
+    pre-receipt wire form.
     """
     req = {
         "v": WIRE_SCHEMA,
@@ -223,6 +249,10 @@ def verify_request(
         req["temperature_c"] = float(temperature_c)
     if trace is not None:
         req["trace"] = str(trace)
+    if receipt:
+        req["receipt"] = True
+    if pow_ticket is not None:
+        req["pow"] = dict(pow_ticket)
     return req
 
 

@@ -59,6 +59,8 @@ CREATE TABLE IF NOT EXISTS families (
     calibration_json     TEXT NOT NULL,
     format_json          TEXT NOT NULL,
     sign_key_fingerprint TEXT,
+    verify_key           TEXT,
+    verify_algorithm     TEXT,
     published_unix_s     REAL NOT NULL
 );
 CREATE TABLE IF NOT EXISTS verifications (
@@ -100,6 +102,13 @@ class FamilyRecord:
     #: SHA-256 hex of the manufacturer signing key (None when unsigned).
     sign_key_fingerprint: Optional[str]
     published_unix_s: float
+    #: Publishable receipt *verifying* key (raw bytes; None when the
+    #: family issues no receipts).  Unlike the watermark signing key —
+    #: of which only a fingerprint is stored — this key is public by
+    #: design: anyone may hold it to check receipts offline.
+    verify_key: Optional[bytes] = None
+    #: Receipt algorithm of ``verify_key`` ("ed25519" / "hmac-sha256").
+    verify_algorithm: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -191,6 +200,32 @@ class WatermarkRegistry:
                     f"{self.path}: schema {schema!r} is not "
                     f"{REGISTRY_SCHEMA!r}"
                 )
+            self._migrate_families()
+
+    def _migrate_families(self) -> None:
+        """Add receipt-key columns to pre-receipt v1 files in place.
+
+        Registries written before receipts existed lack the
+        ``verify_key`` / ``verify_algorithm`` columns; ``ALTER TABLE
+        ADD COLUMN`` fills them with NULL, which is exactly the
+        pre-migration meaning (no receipt key published).  Pure schema
+        widening — no data mutates, so no audit entry is chained.
+        """
+        columns = {
+            row["name"]
+            for row in self._conn.execute(
+                "PRAGMA table_info(families)"
+            ).fetchall()
+        }
+        migrated = False
+        for column in ("verify_key", "verify_algorithm"):
+            if column not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE families ADD COLUMN {column} TEXT"
+                )
+                migrated = True
+        if migrated:
+            self._conn.commit()
 
     def close(self) -> None:
         with self._lock:
@@ -218,12 +253,25 @@ class WatermarkRegistry:
         format: WatermarkFormat,
         *,
         sign_key: Optional[bytes] = None,
+        verify_key: Optional[bytes] = None,
+        verify_algorithm: Optional[str] = None,
         actor: str = "manufacturer",
         replace: bool = False,
     ) -> FamilyRecord:
-        """Publish (or with ``replace=True`` re-publish) a family."""
+        """Publish (or with ``replace=True`` re-publish) a family.
+
+        ``verify_key`` is the family's receipt *verifying* key —
+        public material stored verbatim (hex) so downstream holders of
+        a registry snapshot can check receipt signatures offline;
+        ``verify_algorithm`` names its scheme.  The watermark signing
+        key stays fingerprint-only, as before.
+        """
         if not family_id:
             raise RegistryError("family_id must be non-empty")
+        if verify_key is not None and verify_algorithm is None:
+            raise RegistryError(
+                "publishing a verify_key requires verify_algorithm"
+            )
         fingerprint = (
             self.fingerprint(sign_key) if sign_key is not None else None
         )
@@ -241,14 +289,17 @@ class WatermarkRegistry:
             self._conn.execute(
                 "INSERT OR REPLACE INTO families "
                 "(family_id, model, calibration_json, format_json, "
-                " sign_key_fingerprint, published_unix_s) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
+                " sign_key_fingerprint, verify_key, verify_algorithm, "
+                " published_unix_s) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     family_id,
                     calibration.model,
                     json.dumps(calibration_to_dict(calibration)),
                     json.dumps(_format_to_dict(format)),
                     fingerprint,
+                    verify_key.hex() if verify_key is not None else None,
+                    verify_algorithm,
                     now,
                 ),
             )
@@ -261,6 +312,7 @@ class WatermarkRegistry:
                     "model": calibration.model,
                     "t_pew_us": calibration.t_pew_us,
                     "signed": fingerprint is not None,
+                    "receipts": verify_key is not None,
                 },
             )
         return self.get_family(family_id)
@@ -282,6 +334,12 @@ class WatermarkRegistry:
             format=_format_from_dict(json.loads(row["format_json"])),
             sign_key_fingerprint=row["sign_key_fingerprint"],
             published_unix_s=row["published_unix_s"],
+            verify_key=(
+                bytes.fromhex(row["verify_key"])
+                if row["verify_key"]
+                else None
+            ),
+            verify_algorithm=row["verify_algorithm"],
         )
 
     def families(self) -> List[FamilyRecord]:
@@ -410,6 +468,20 @@ class WatermarkRegistry:
                 (now, actor, action, detail_json, prev_hash, entry_hash),
             )
             self._conn.commit()
+
+    def audit_head(self) -> str:
+        """The chain head: the newest entry's hash (genesis if empty).
+
+        Receipts anchor on this value at issuance; because the chain is
+        append-only, every historical head remains discoverable as some
+        entry's ``entry_hash`` in any later snapshot.
+        """
+        with self._lock:
+            last = self._conn.execute(
+                "SELECT entry_hash FROM audit_log "
+                "ORDER BY seq DESC LIMIT 1"
+            ).fetchone()
+        return last["entry_hash"] if last is not None else _GENESIS
 
     def audit_entries(self, limit: Optional[int] = None) -> List[dict]:
         """Audit entries, oldest first."""

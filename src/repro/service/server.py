@@ -53,7 +53,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.signature import SignatureScheme
 from ..core.verifier import WatermarkVerifier
 from ..engine import verify_population
+from ..engine.cache import calibration_to_dict
 from ..faults import InjectedFault, fault_point
+from ..receipts import PowGate, ReceiptSigner, build_receipt
+from ..receipts import params_hash as receipt_params_hash
 from ..telemetry import Telemetry, build_manifest
 from ..telemetry.prometheus import render_prometheus
 from ..trace.context import TraceContext, parse_traceparent
@@ -103,6 +106,12 @@ class ServerConfig:
     #: (:class:`~repro.monitor.FleetMonitor`): drift detection, SLO
     #: burn alerting, the ``monitor`` wire op and ``monitor.*`` gauges.
     monitoring: bool = True
+    #: Hashcash proof-of-work difficulty (leading zero bits) every
+    #: verify request's ``pow`` ticket must clear.  0 disables the gate
+    #: entirely — no 428s, byte-identical admission to pre-PoW servers.
+    pow_difficulty: int = 0
+    #: Accepted-ticket digests remembered for exactly-once spending.
+    pow_replay_cache: int = 4096
 
 
 class _TokenBucket:
@@ -155,6 +164,8 @@ class _Pending:
     #: When the batcher dequeued this request (monotonic + unix).
     picked_at: Optional[float] = None
     picked_unix: float = 0.0
+    #: The request asked for a signed receipt (``"receipt": true``).
+    want_receipt: bool = False
 
     @property
     def batch_key(self) -> Tuple:
@@ -186,6 +197,13 @@ class VerificationServer:
         monitor given, the server builds a default one sharing its
         telemetry; ``config.monitoring=False`` disables the event feed
         entirely.
+    receipt_signer:
+        A :class:`~repro.receipts.ReceiptSigner` holding the issuer's
+        private key.  With one attached, verify requests carrying
+        ``"receipt": true`` get a signed ``flashmark.receipt/v1``
+        document in the result, anchored on the registry's audit head.
+        Without one, such requests still get their verdict — just no
+        receipt (``service.receipts.unavailable`` counts the degrade).
     """
 
     def __init__(
@@ -196,11 +214,22 @@ class VerificationServer:
         telemetry: Optional[Telemetry] = None,
         sign_keys: Optional[Dict[str, bytes]] = None,
         monitor=None,
+        receipt_signer: Optional[ReceiptSigner] = None,
     ):
         self.registry = registry
         self.config = config if config is not None else ServerConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.sign_keys = dict(sign_keys or {})
+        self.receipt_signer = receipt_signer
+        self._pow_gate = (
+            PowGate(
+                self.config.pow_difficulty,
+                replay_cache=self.config.pow_replay_cache,
+            )
+            if self.config.pow_difficulty > 0
+            else None
+        )
+        self._params_hashes: Dict[str, str] = {}
         self.monitor = None
         if self.config.monitoring:
             if monitor is None:
@@ -501,6 +530,23 @@ class VerificationServer:
         request_id = req.get("id")
         client = self._client_id(req, writer)
         now = self._loop.time()
+        if self._pow_gate is not None:
+            # The PoW gate runs *before* the token bucket so the two
+            # rejection codes stay unambiguous: 428 always means "your
+            # ticket is bad — mint and retry", 429 always means "your
+            # ticket (if any) was fine but you must back off".  An
+            # accepted ticket is spent even if the bucket then rejects:
+            # admission work was done for it.
+            accepted, reason = self._pow_gate.evaluate(client, req)
+            if not accepted:
+                self.telemetry.count(f"service.pow.rejected.{reason}")
+                return protocol.error_response(
+                    request_id,
+                    protocol.POW_REQUIRED,
+                    f"proof-of-work ticket {reason} "
+                    f"(difficulty {self._pow_gate.difficulty})",
+                )
+            self.telemetry.count("service.pow.accepted")
         if self.config.rate_capacity is not None:
             bucket = self._buckets.get(client)
             if bucket is None:
@@ -566,6 +612,7 @@ class VerificationServer:
             future=self._loop.create_future(),
             trace=trace,
             enqueued_unix=time.time(),
+            want_receipt=bool(req.get("receipt")),
         )
         try:
             self._queue.put_nowait(pending)
@@ -613,8 +660,9 @@ class VerificationServer:
     def _monitor_admission(self, req: dict, response: dict) -> None:
         """Feed one admission rejection to the fleet monitor.
 
-        429s (overload / rate limit) are *drops* — load the fleet shed;
-        other admission failures (400 / 404) are plain errors.
+        429s (overload / rate limit) and 428s (PoW metering) are
+        *drops* — load the fleet deliberately shed; other admission
+        failures (400 / 404) are plain errors.
         """
         if self.monitor is None:
             return
@@ -631,7 +679,11 @@ class VerificationServer:
                 family=family if isinstance(family, str) else "",
                 outcome=(
                     OUTCOME_REJECTED
-                    if code == protocol.TOO_MANY_REQUESTS
+                    if code
+                    in (
+                        protocol.TOO_MANY_REQUESTS,
+                        protocol.POW_REQUIRED,
+                    )
                     else OUTCOME_ERROR
                 ),
                 error_code=code,
@@ -993,9 +1045,60 @@ class VerificationServer:
                 # Echo the request's trace identity so clients that sent
                 # no context can still find their trace.
                 response_body["trace"] = pending.trace.to_traceparent()
+            if pending.want_receipt:
+                receipt = self._issue_receipt(response_body)
+                if receipt is not None:
+                    response_body["receipt"] = receipt
             pending.future.set_result(
                 protocol.ok_response(pending.request_id, response_body)
             )
+
+    def _params_hash_for(self, family: str) -> str:
+        """The receipt ``params_hash`` of a family (cached — published
+        parameters are immutable for a server's lifetime)."""
+        cached = self._params_hashes.get(family)
+        if cached is None:
+            from dataclasses import asdict
+
+            record = self.registry.get_family(family)
+            cached = self._params_hashes[family] = receipt_params_hash(
+                record.family_id,
+                record.model,
+                calibration_to_dict(record.calibration),
+                asdict(record.format),
+            )
+        return cached
+
+    def _issue_receipt(self, body: dict) -> Optional[dict]:
+        """Sign one verify result into a receipt, or degrade to None.
+
+        Issued strictly *after* the history write, so ``audit_head``
+        covers the receipt's own ``verification.record`` entry.  With
+        no signer configured the verdict is served receipt-less — a
+        missing key must never fail a verification
+        (``docs/robustness.md``).
+        """
+        if self.receipt_signer is None:
+            self.telemetry.count("service.receipts.unavailable")
+            return None
+        try:
+            receipt = build_receipt(
+                self.receipt_signer,
+                family=body["family"],
+                die_id=body["die_id"],
+                decision=body["verdict"],
+                statistic=body["statistic"],
+                params_hash=self._params_hash_for(body["family"]),
+                history_seq=body["history_seq"],
+                audit_head=self.registry.audit_head(),
+            )
+        except (RegistryError, sqlite3.OperationalError):
+            # A registry too degraded to surface its audit head cannot
+            # anchor a receipt; the verdict still stands.
+            self.telemetry.count("service.receipts.unavailable")
+            return None
+        self.telemetry.count("service.receipts.issued")
+        return receipt
 
     async def _record_history(
         self, family: str, chip, report, client: str
@@ -1133,6 +1236,8 @@ class VerificationServer:
             "max_queue_depth": self._max_queue_depth,
             "open_connections": self._open_connections,
             "monitoring": self.monitor is not None,
+            "pow_difficulty": self.config.pow_difficulty,
+            "receipts": self.receipt_signer is not None,
             "counters": service,
             "registry": self.registry.counts(),
         }

@@ -1,0 +1,363 @@
+"""Receipts and PoW through the fleet tier.
+
+Satellites covered here:
+
+* the backward-compat matrix — requests without ``receipt``/``pow``
+  fields produce responses with exactly the pre-receipt key set,
+  through a direct server AND through the fleet router, even when the
+  serving side is receipt-capable;
+* receipts relay through the router byte-unchanged;
+* :func:`reconcile_fleet` cross-checks receipt anchors against the
+  merged fleet-audit timeline, and flags tampered rows.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.fleet import (
+    FleetRouter,
+    InProcessShardManager,
+    RouterConfig,
+    check_fleet_anchors,
+    reconcile_fleet,
+)
+from repro.receipts import ReceiptSigner, verify_receipt
+from repro.service import (
+    ServerConfig,
+    ServiceError,
+    VerificationClient,
+    VerificationServer,
+)
+from tests.fleet.conftest import FAMILY
+
+KEY = bytes(range(32))
+
+#: Response fields legitimately differing between a direct server and
+#: a routed shard (same convention as the parity soak).
+TRANSPORT_KEYS = {"trace", "history_seq"}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_direct(registry, fn, *, receipts=False, pow_difficulty=0):
+    signer = ReceiptSigner(KEY) if receipts else None
+    async with VerificationServer(
+        registry,
+        config=ServerConfig(pow_difficulty=pow_difficulty),
+        receipt_signer=signer,
+    ) as server:
+        return await fn(server.endpoint)
+
+
+async def _with_fleet(
+    registry,
+    workdir,
+    fn,
+    *,
+    receipts=False,
+    pow_difficulty=0,
+    n_shards=2,
+):
+    async with InProcessShardManager(
+        registry,
+        n_shards,
+        str(workdir),
+        receipt_key=KEY if receipts else None,
+        pow_difficulty=pow_difficulty,
+    ) as shards:
+        async with FleetRouter(
+            shards, config=RouterConfig(monitoring=False)
+        ) as router:
+            return await fn(router.endpoint)
+
+
+@pytest.fixture(params=["direct", "fleet"])
+def receipt_endpoint_runner(request, registry, tmp_path):
+    """Run ``fn(endpoint)`` against a receipt-capable lone server or a
+    receipt-capable routed fleet — the wire behavior must match."""
+
+    def runner(fn, **kwargs):
+        if request.param == "direct":
+            return run(_with_direct(registry, fn, **kwargs))
+        return run(
+            _with_fleet(registry, tmp_path / "fleet", fn, **kwargs)
+        )
+
+    return runner
+
+
+class TestBackwardCompatMatrix:
+    """Satellite: receipt-unaware clients see the v1.6.0 contract."""
+
+    PRE_RECEIPT_KEYS = {
+        "family",
+        "die_id",
+        "verdict",
+        "ber",
+        "statistic",
+        "reason",
+        "payload",
+        "signature_checked",
+        "history_seq",
+        "trace",
+    }
+
+    def test_plain_verify_has_exact_pre_receipt_keys(
+        self, receipt_endpoint_runner, draw_items
+    ):
+        item = draw_items(1, seed=95)[0]
+
+        async def fn(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                return await client.verify_chip(
+                    item.chip, FAMILY, request_id=1, client="lab"
+                )
+
+        result = receipt_endpoint_runner(fn, receipts=True)
+        assert set(result) <= self.PRE_RECEIPT_KEYS
+        assert "receipt" not in result
+        assert result["verdict"] in item.expected_verdicts
+
+    def test_verdicts_identical_with_and_without_signer(
+        self, receipt_endpoint_runner, draw_items
+    ):
+        item = draw_items(1, seed=96)[0]
+
+        async def fn(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                return await client.verify_chip(
+                    item.chip, FAMILY, request_id=1, client="lab"
+                )
+
+        plain = receipt_endpoint_runner(fn, receipts=False)
+        capable = receipt_endpoint_runner(fn, receipts=True)
+        for body in (plain, capable):
+            for key in TRANSPORT_KEYS:
+                body.pop(key, None)
+        assert plain == capable
+
+    def test_pow_428_same_reason_direct_and_fleet(
+        self, receipt_endpoint_runner, draw_items
+    ):
+        item = draw_items(1, seed=97)[0]
+
+        async def fn(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                with pytest.raises(ServiceError) as err:
+                    await client.verify_chip(
+                        item.chip, FAMILY, request_id=1, client="lab"
+                    )
+            return err.value
+
+        err = receipt_endpoint_runner(fn, pow_difficulty=8)
+        assert err.code == 428
+        assert (
+            err.reason == "proof-of-work ticket missing (difficulty 8)"
+        )
+
+    def test_ticketed_verify_served_direct_and_fleet(
+        self, receipt_endpoint_runner, draw_items
+    ):
+        item = draw_items(1, seed=98)[0]
+
+        async def fn(endpoint):
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                return await client.verify_chip(
+                    item.chip,
+                    FAMILY,
+                    request_id=1,
+                    client="lab",
+                    pow_difficulty=8,
+                )
+
+        result = receipt_endpoint_runner(fn, pow_difficulty=8)
+        assert result["verdict"] in item.expected_verdicts
+
+
+class TestReceiptsThroughRouter:
+    def test_receipt_relayed_unchanged_and_verifies(
+        self, registry, tmp_path, draw_items
+    ):
+        items = draw_items(4, seed=99)
+        signer = ReceiptSigner(KEY)
+
+        async def fn(endpoint):
+            results = []
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                for i, item in enumerate(items):
+                    results.append(
+                        await client.verify_chip(
+                            item.chip,
+                            FAMILY,
+                            request_id=i,
+                            client="lab",
+                            receipt=True,
+                        )
+                    )
+            return results
+
+        results = run(
+            _with_fleet(
+                registry, tmp_path / "fleet", fn, receipts=True
+            )
+        )
+        for result in results:
+            receipt = result["receipt"]
+            # The router never re-signs or rewrites: the shard's
+            # signature still checks out end-to-end at the client.
+            verify_receipt(receipt, signer.verify_key)
+            assert receipt["decision"] == result["verdict"]
+            assert receipt["history_seq"] == result["history_seq"]
+
+
+class TestFleetReconcileAnchors:
+    def _collect(self, registry, tmp_path, draw_items, n=4):
+        items = draw_items(n, seed=101)
+        paths = {}
+
+        async def fn(endpoint):
+            results = []
+            async with await VerificationClient.connect(
+                endpoint
+            ) as client:
+                for i, item in enumerate(items):
+                    results.append(
+                        await client.verify_chip(
+                            item.chip,
+                            FAMILY,
+                            request_id=i,
+                            client="lab",
+                            receipt=True,
+                        )
+                    )
+            return results
+
+        async def harness():
+            async with InProcessShardManager(
+                registry,
+                2,
+                str(tmp_path / "fleet"),
+                receipt_key=KEY,
+            ) as shards:
+                async with FleetRouter(
+                    shards, config=RouterConfig(monitoring=False)
+                ) as router:
+                    results = await fn(router.endpoint)
+                paths.update(
+                    {
+                        info.shard_id: info.registry_path
+                        for info in shards.infos()
+                    }
+                )
+                return results
+
+        results = run(harness())
+        return [r["receipt"] for r in results], paths
+
+    def test_reconcile_cross_checks_receipts(
+        self, registry, tmp_path, draw_items
+    ):
+        receipts, paths = self._collect(registry, tmp_path, draw_items)
+        audit = reconcile_fleet(paths, receipts=receipts)
+        assert audit["chains_ok"]
+        block = audit["receipts"]
+        assert block["ok"] is True
+        assert block["checked"] == len(receipts)
+        assert block["anchored"] == len(receipts)
+        assert sum(block["by_shard"].values()) == len(receipts)
+        assert block["failures"] == []
+
+    def test_reconcile_flags_tampered_receipt(
+        self, registry, tmp_path, draw_items
+    ):
+        receipts, paths = self._collect(registry, tmp_path, draw_items)
+        victim = dict(receipts[0])
+        victim["decision"] = (
+            "counterfeit"
+            if victim["decision"] != "counterfeit"
+            else "authentic"
+        )
+        audit = reconcile_fleet(
+            paths, receipts=[victim] + receipts[1:]
+        )
+        block = audit["receipts"]
+        assert block["ok"] is False
+        assert [f["index"] for f in block["failures"]] == [0]
+
+    def test_reconcile_flags_foreign_head(
+        self, registry, tmp_path, draw_items
+    ):
+        receipts, paths = self._collect(registry, tmp_path, draw_items)
+        victim = dict(receipts[0])
+        victim["audit_head"] = "f" * 64
+        audit = reconcile_fleet(paths, receipts=[victim])
+        block = audit["receipts"]
+        assert block["anchored"] == 0
+        assert "audit_head" in block["failures"][0]["errors"][0]
+
+    def test_reconcile_without_receipts_is_unchanged(
+        self, registry, tmp_path, draw_items
+    ):
+        _, paths = self._collect(registry, tmp_path, draw_items, n=1)
+        audit = reconcile_fleet(paths)
+        assert audit["receipts"] is None
+
+    def test_anchor_helper_uses_untruncated_timeline(
+        self, registry, tmp_path, draw_items
+    ):
+        # A tight timeline_limit must not unanchor old receipts: the
+        # cross-check runs before the display trim.
+        receipts, paths = self._collect(registry, tmp_path, draw_items)
+        audit = reconcile_fleet(
+            paths, receipts=receipts, timeline_limit=1
+        )
+        assert len(audit["timeline"]) == 1
+        assert audit["receipts"]["ok"] is True
+
+    def test_check_fleet_anchors_rejects_cross_shard_seq(self):
+        # Shard seqs collide; a receipt must anchor head AND seq on
+        # the SAME shard, not mix-and-match across the merged view.
+        timeline = [
+            {
+                "shard": "shard-0",
+                "entry_hash": "a" * 64,
+                "action": "verification.record",
+                "detail": {
+                    "seq": 1,
+                    "die_id": "0xAA",
+                    "verdict": "authentic",
+                },
+            },
+            {
+                "shard": "shard-1",
+                "entry_hash": "b" * 64,
+                "action": "family.publish",
+                "detail": {},
+            },
+        ]
+        # Head from shard-1, seq recorded only on shard-0: bogus.
+        receipt = {
+            "family": "f",
+            "die_id": "0xAA",
+            "decision": "authentic",
+            "history_seq": 1,
+            "audit_head": "b" * 64,
+        }
+        block = check_fleet_anchors([receipt], timeline)
+        assert block["ok"] is False
+        # Anchoring against shard-0 directly is fine.
+        receipt["audit_head"] = "a" * 64
+        assert check_fleet_anchors([receipt], timeline)["ok"] is True

@@ -1,0 +1,109 @@
+"""Tests for the receipt key layer (Ed25519 + HMAC fallback)."""
+
+import pytest
+
+from repro.receipts import (
+    ALGORITHMS,
+    ED25519,
+    HMAC_SHA256,
+    KEY_BYTES,
+    ReceiptKeyError,
+    ReceiptSigner,
+    best_algorithm,
+    ed25519_available,
+    generate_key,
+    key_fingerprint,
+    keypair_for,
+    verify_signature,
+)
+
+KEY = bytes(range(KEY_BYTES))
+
+
+class TestKeyBasics:
+    def test_generate_key_length_and_freshness(self):
+        a, b = generate_key(), generate_key()
+        assert len(a) == len(b) == KEY_BYTES
+        assert a != b
+
+    def test_fingerprint_is_hex_sha256(self):
+        fp = key_fingerprint(KEY)
+        assert len(fp) == 64
+        assert fp == key_fingerprint(KEY)
+        assert fp != key_fingerprint(b"\x00" * KEY_BYTES)
+
+    def test_best_algorithm_is_known(self):
+        assert best_algorithm() in ALGORITHMS
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ReceiptKeyError):
+            ReceiptSigner(b"short")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ReceiptKeyError):
+            ReceiptSigner(KEY, algorithm="rot13")
+        with pytest.raises(ReceiptKeyError):
+            verify_signature("rot13", KEY, b"m", b"s")
+
+
+class TestHmacSigner:
+    def test_roundtrip_and_tamper(self):
+        signer = ReceiptSigner(KEY, algorithm=HMAC_SHA256)
+        sig = signer.sign(b"message")
+        assert verify_signature(
+            HMAC_SHA256, signer.verify_key, b"message", sig
+        )
+        assert not verify_signature(
+            HMAC_SHA256, signer.verify_key, b"messagE", sig
+        )
+        assert not verify_signature(
+            HMAC_SHA256, b"\x01" * KEY_BYTES, b"message", sig
+        )
+
+    def test_verify_key_is_the_secret(self):
+        # The documented HMAC caveat: shared-secret, not public.
+        signer = ReceiptSigner(KEY, algorithm=HMAC_SHA256)
+        assert signer.verify_key == KEY
+
+
+@pytest.mark.skipif(
+    not ed25519_available(), reason="cryptography not importable"
+)
+class TestEd25519Signer:
+    def test_roundtrip_and_tamper(self):
+        signer = ReceiptSigner(KEY, algorithm=ED25519)
+        sig = signer.sign(b"message")
+        assert verify_signature(
+            ED25519, signer.verify_key, b"message", sig
+        )
+        assert not verify_signature(
+            ED25519, signer.verify_key, b"messagE", sig
+        )
+        other = ReceiptSigner(b"\x01" * KEY_BYTES, algorithm=ED25519)
+        assert not verify_signature(
+            ED25519, other.verify_key, b"message", sig
+        )
+
+    def test_verify_key_is_public_not_secret(self):
+        signer = ReceiptSigner(KEY, algorithm=ED25519)
+        assert len(signer.verify_key) == 32
+        assert signer.verify_key != KEY
+
+    def test_deterministic_verify_key(self):
+        a = ReceiptSigner(KEY, algorithm=ED25519)
+        b = ReceiptSigner(KEY, algorithm=ED25519)
+        assert a.verify_key == b.verify_key
+        assert a.key_id == b.key_id
+
+
+class TestKeypairFor:
+    def test_matches_signer(self):
+        algorithm, verify_key = keypair_for(KEY)
+        signer = ReceiptSigner(KEY)
+        assert algorithm == signer.algorithm
+        assert verify_key == signer.verify_key
+
+    def test_explicit_hmac(self):
+        algorithm, verify_key = keypair_for(KEY, HMAC_SHA256)
+        assert algorithm == HMAC_SHA256
+        assert verify_key == KEY

@@ -1,0 +1,187 @@
+"""Tests for receipt construction, signature and anchor checks."""
+
+import json
+
+import pytest
+
+from repro.receipts import (
+    RECEIPT_SCHEMA,
+    AnchorIndex,
+    ReceiptError,
+    ReceiptSigner,
+    build_receipt,
+    check_anchor,
+    params_hash,
+    read_receipts,
+    verify_receipt,
+    verify_receipts_offline,
+    write_receipts,
+)
+
+KEY = bytes(range(32))
+
+
+@pytest.fixture
+def signer():
+    return ReceiptSigner(KEY)
+
+
+def make_receipt(signer, **overrides):
+    kwargs = dict(
+        family="fam",
+        die_id="0x00000000002A",
+        decision="authentic",
+        statistic=0.125,
+        params_hash="p" * 64,
+        history_seq=3,
+        audit_head="h" * 64,
+        issued_unix_s=1_754_650_000.0,
+    )
+    kwargs.update(overrides)
+    return build_receipt(signer, **kwargs)
+
+
+def audit_entries():
+    """A miniature audit log shaped like the registry's entries."""
+    return [
+        {
+            "entry_hash": "a" * 64,
+            "action": "family.publish",
+            "detail": {"family_id": "fam"},
+        },
+        {
+            "entry_hash": "h" * 64,
+            "action": "verification.record",
+            "detail": {
+                "seq": 3,
+                "die_id": "0x00000000002A",
+                "verdict": "authentic",
+            },
+        },
+    ]
+
+
+class TestBuildAndVerify:
+    def test_roundtrip(self, signer):
+        receipt = make_receipt(signer)
+        assert receipt["schema"] == RECEIPT_SCHEMA
+        assert receipt["algorithm"] == signer.algorithm
+        assert receipt["key_id"] == signer.key_id
+        verify_receipt(receipt, signer.verify_key)
+
+    def test_tampered_decision_fails(self, signer):
+        receipt = make_receipt(signer)
+        receipt["decision"] = "counterfeit"
+        with pytest.raises(ReceiptError, match="signature"):
+            verify_receipt(receipt, signer.verify_key)
+
+    def test_tampered_statistic_fails(self, signer):
+        receipt = make_receipt(signer)
+        receipt["statistic"] = 0.999
+        with pytest.raises(ReceiptError, match="signature"):
+            verify_receipt(receipt, signer.verify_key)
+
+    def test_wrong_key_fails(self, signer):
+        receipt = make_receipt(signer)
+        other = ReceiptSigner(b"\x01" * 32)
+        with pytest.raises(ReceiptError, match="signature"):
+            verify_receipt(receipt, other.verify_key)
+
+    def test_missing_field_fails(self, signer):
+        receipt = make_receipt(signer)
+        del receipt["audit_head"]
+        with pytest.raises(ReceiptError, match="missing"):
+            verify_receipt(receipt, signer.verify_key)
+
+    def test_algorithm_pin(self, signer):
+        receipt = make_receipt(signer)
+        with pytest.raises(ReceiptError, match="algorithm"):
+            verify_receipt(
+                receipt, signer.verify_key, algorithm="other-algo"
+            )
+
+    def test_params_hash_canonical(self):
+        a = params_hash("f", "m", {"x": 1, "y": 2}, {"n": 3})
+        b = params_hash("f", "m", {"y": 2, "x": 1}, {"n": 3})
+        assert a == b
+        assert a != params_hash("f", "m", {"x": 1, "y": 9}, {"n": 3})
+
+
+class TestAnchor:
+    def test_anchored_receipt_passes(self, signer):
+        receipt = make_receipt(signer)
+        check_anchor(receipt, AnchorIndex(audit_entries()))
+
+    def test_foreign_head_fails(self, signer):
+        receipt = make_receipt(signer, audit_head="f" * 64)
+        with pytest.raises(ReceiptError, match="audit_head"):
+            check_anchor(receipt, AnchorIndex(audit_entries()))
+
+    def test_unknown_seq_fails(self, signer):
+        receipt = make_receipt(signer, history_seq=99)
+        with pytest.raises(ReceiptError, match="history_seq 99"):
+            check_anchor(receipt, AnchorIndex(audit_entries()))
+
+    def test_mismatched_verdict_fails(self, signer):
+        receipt = make_receipt(signer, decision="counterfeit")
+        with pytest.raises(ReceiptError, match="verdict"):
+            check_anchor(receipt, AnchorIndex(audit_entries()))
+
+    def test_degraded_receipt_skips_history(self, signer):
+        # history_seq None = issued while the registry was degraded;
+        # head anchoring still applies.
+        receipt = make_receipt(signer, history_seq=None)
+        check_anchor(receipt, AnchorIndex(audit_entries()))
+
+
+class TestOfflineBatch:
+    def test_all_good(self, signer):
+        receipts = [make_receipt(signer) for _ in range(3)]
+        report = verify_receipts_offline(
+            receipts,
+            keys={"fam": (signer.algorithm, signer.verify_key)},
+            audit_entries=audit_entries(),
+        )
+        assert report["schema"] == "flashmark.receipt-check/v1"
+        assert report["checked"] == 3
+        assert report["ok"] == 3
+        assert report["anchored"] is True
+        assert report["failures"] == []
+        assert report["algorithms"] == {signer.algorithm: 3}
+
+    def test_tampered_receipt_lands_in_failures(self, signer):
+        good = make_receipt(signer)
+        bad = make_receipt(signer)
+        bad["statistic"] = 1.0
+        report = verify_receipts_offline(
+            [good, bad],
+            keys={"fam": (signer.algorithm, signer.verify_key)},
+            audit_entries=audit_entries(),
+        )
+        assert report["ok"] == 1
+        assert [f["index"] for f in report["failures"]] == [1]
+
+    def test_unknown_family_fails(self, signer):
+        report = verify_receipts_offline(
+            [make_receipt(signer)], keys={}
+        )
+        assert report["ok"] == 0
+        assert "no verifying key" in report["failures"][0]["error"]
+
+    def test_params_hash_pinning(self, signer):
+        report = verify_receipts_offline(
+            [make_receipt(signer)],
+            keys={"fam": (signer.algorithm, signer.verify_key)},
+            params_hashes={"fam": "x" * 64},
+        )
+        assert report["ok"] == 0
+        assert "params_hash" in report["failures"][0]["error"]
+
+    def test_jsonl_roundtrip(self, signer, tmp_path):
+        receipts = [make_receipt(signer) for _ in range(2)]
+        path = tmp_path / "receipts.jsonl"
+        write_receipts(receipts, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+        assert read_receipts(path) == receipts

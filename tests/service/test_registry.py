@@ -153,3 +153,75 @@ class TestAuditChain:
         registry._conn.commit()
         with pytest.raises(RegistryError):
             registry.verify_audit_chain()
+
+
+class TestReceiptKeyMigration:
+    """Satellite: pre-receipt flashmark.registry/v1 files migrate in
+    place on open — columns widen, nothing else changes."""
+
+    def _age_to_pre_receipt(self, registry):
+        """Strip the receipt columns, simulating a v1 file written
+        before receipts existed (same schema string, narrower table)."""
+        path = registry.path
+        registry.record_verification(FAMILY, 1, "authentic")
+        registry.close()
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE families DROP COLUMN verify_key")
+        conn.execute("ALTER TABLE families DROP COLUMN verify_algorithm")
+        conn.commit()
+        conn.close()
+        return path
+
+    def _columns(self, registry):
+        rows = registry._conn.execute(
+            "PRAGMA table_info(families)"
+        ).fetchall()
+        return {row["name"] for row in rows}
+
+    def test_reopen_widens_schema(self, registry):
+        path = self._age_to_pre_receipt(registry)
+        with WatermarkRegistry(path, create=False) as reg:
+            columns = self._columns(reg)
+            assert {"verify_key", "verify_algorithm"} <= columns
+            record = reg.get_family(FAMILY)
+        assert record.verify_key is None
+        assert record.verify_algorithm is None
+
+    def test_migration_leaves_audit_chain_intact(self, registry):
+        path = self._age_to_pre_receipt(registry)
+        with WatermarkRegistry(path, create=False) as reg:
+            before = reg.counts()["audit_entries"]
+            # Schema widening is not history: no entry is chained.
+            assert reg.verify_audit_chain() == before
+        # Idempotent: a second open neither alters nor re-migrates.
+        with WatermarkRegistry(path, create=False) as reg:
+            assert reg.verify_audit_chain() == before
+
+    def test_publish_verify_key_after_migration(
+        self, registry, family_calibration, traffic_spec
+    ):
+        path = self._age_to_pre_receipt(registry)
+        key = bytes(range(32))
+        with WatermarkRegistry(path, create=False) as reg:
+            reg.publish_family(
+                "msp430-migrated",
+                family_calibration,
+                traffic_spec.population.format,
+                verify_key=key,
+                verify_algorithm="hmac-sha256",
+            )
+        with WatermarkRegistry(path, create=False) as reg:
+            record = reg.get_family("msp430-migrated")
+        assert record.verify_key == key
+        assert record.verify_algorithm == "hmac-sha256"
+
+    def test_verify_key_requires_algorithm(
+        self, registry, family_calibration, traffic_spec
+    ):
+        with pytest.raises(RegistryError, match="verify_algorithm"):
+            registry.publish_family(
+                "msp430-keyed",
+                family_calibration,
+                traffic_spec.population.format,
+                verify_key=bytes(32),
+            )

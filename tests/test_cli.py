@@ -610,3 +610,186 @@ class TestMonitorCommand:
             "monitor", "report", str(tmp_path / "nope.jsonl")
         ]) == 1
         assert "monitor" in capsys.readouterr().err
+
+
+class TestReceiptCli:
+    """receipt verify/show, pow mint, registry audit --check."""
+
+    KEY = bytes(range(32))
+    FAMILY = "msp430"
+
+    @pytest.fixture
+    def keyed_registry(self, tmp_path, capsys):
+        reg = tmp_path / "reg.db"
+        assert main([
+            "registry", "publish",
+            "--registry", str(reg),
+            "--family", self.FAMILY,
+            "--receipt-key", self.KEY.hex(),
+            "--receipt-algorithm", "hmac-sha256",
+        ]) == 0
+        assert "receipts: hmac-sha256" in capsys.readouterr().out
+        return reg
+
+    @pytest.fixture
+    def receipts_file(self, keyed_registry, tmp_path):
+        """One receipt signed and anchored exactly as a server would."""
+        from dataclasses import asdict
+
+        from repro.engine.cache import calibration_to_dict
+        from repro.receipts import (
+            ReceiptSigner,
+            build_receipt,
+            params_hash,
+            write_receipts,
+        )
+        from repro.service import WatermarkRegistry
+
+        with WatermarkRegistry(keyed_registry, create=False) as reg:
+            seq = reg.record_verification(
+                self.FAMILY, 0xC3, "authentic", client="lab"
+            )
+            record = reg.get_family(self.FAMILY)
+            receipt = build_receipt(
+                ReceiptSigner(self.KEY, algorithm="hmac-sha256"),
+                family=self.FAMILY,
+                die_id=f"0x{0xC3:012X}",
+                decision="authentic",
+                statistic=0.125,
+                params_hash=params_hash(
+                    record.family_id,
+                    record.model,
+                    calibration_to_dict(record.calibration),
+                    asdict(record.format),
+                ),
+                history_seq=seq,
+                audit_head=reg.audit_head(),
+            )
+        path = tmp_path / "receipts.jsonl"
+        write_receipts([receipt], path)
+        return path
+
+    def test_verify_anchored_against_registry(
+        self, keyed_registry, receipts_file, capsys
+    ):
+        assert main([
+            "receipt", "verify", str(receipts_file),
+            "--registry", str(keyed_registry),
+        ]) == 0
+        assert "1/1 verified (anchored)" in capsys.readouterr().out
+
+    def test_verify_tampered_receipt_exits_3(
+        self, keyed_registry, receipts_file, capsys
+    ):
+        receipt = json.loads(receipts_file.read_text())
+        receipt["decision"] = "counterfeit"
+        receipts_file.write_text(json.dumps(receipt) + "\n")
+        assert main([
+            "receipt", "verify", str(receipts_file),
+            "--registry", str(keyed_registry),
+        ]) == 3
+        err = capsys.readouterr().err
+        assert "CHECK FAILED" in err
+
+    def test_verify_with_explicit_key(self, receipts_file, capsys):
+        # Signature-only path: no registry, key given on the command
+        # line — anchor checks are skipped.
+        assert main([
+            "receipt", "verify", str(receipts_file),
+            "--key", self.KEY.hex(),
+            "--algorithm", "hmac-sha256",
+        ]) == 0
+        assert "signature only" in capsys.readouterr().out
+
+    def test_verify_report_artifact(
+        self, keyed_registry, receipts_file, tmp_path, capsys
+    ):
+        report = tmp_path / "report.json"
+        assert main([
+            "receipt", "verify", str(receipts_file),
+            "--registry", str(keyed_registry),
+            "--report", str(report),
+        ]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "flashmark.receipt-check/v1"
+        assert doc["ok"] == doc["checked"] == 1
+
+    def test_verify_without_keys_fails(self, receipts_file, capsys):
+        assert main(["receipt", "verify", str(receipts_file)]) == 1
+        assert "key" in capsys.readouterr().err
+
+    def test_show(self, receipts_file, capsys):
+        assert main(["receipt", "show", str(receipts_file)]) == 0
+        out = capsys.readouterr().out
+        assert self.FAMILY in out
+        assert "authentic" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main([
+            "receipt", "show", str(tmp_path / "nope.jsonl")
+        ]) == 1
+        assert "receipt" in capsys.readouterr().err
+
+    def test_pow_mint_ticket_checks_out(self, capsys):
+        from repro.receipts import check_ticket
+
+        assert main([
+            "pow", "mint", "--client", "lab", "--difficulty", "8"
+        ]) == 0
+        ticket = json.loads(capsys.readouterr().out)
+        assert ticket["difficulty"] == 8
+        assert check_ticket("lab", {}, ticket["nonce"], 8)
+
+    def test_pow_mint_with_body_file(self, tmp_path, capsys):
+        from repro.receipts import check_ticket
+
+        body = {"op": "verify", "family": "msp430", "id": 7}
+        body_file = tmp_path / "body.json"
+        body_file.write_text(json.dumps(body))
+        assert main([
+            "pow", "mint", str(body_file),
+            "--client", "lab", "--difficulty", "8",
+        ]) == 0
+        ticket = json.loads(capsys.readouterr().out)
+        assert check_ticket("lab", body, ticket["nonce"], 8)
+
+    def test_audit_check_broken_chain_exits_3(
+        self, keyed_registry, capsys
+    ):
+        import sqlite3
+
+        conn = sqlite3.connect(keyed_registry)
+        conn.execute(
+            "UPDATE audit_log SET detail_json = '{\"forged\": true}' "
+            "WHERE action = 'family.publish'"
+        )
+        conn.commit()
+        conn.close()
+        assert main([
+            "registry", "audit",
+            "--registry", str(keyed_registry), "--check",
+        ]) == 3
+        assert "CHECK FAILED" in capsys.readouterr().err
+
+    def test_audit_check_intact_chain_passes(
+        self, keyed_registry, capsys
+    ):
+        assert main([
+            "registry", "audit",
+            "--registry", str(keyed_registry), "--check",
+        ]) == 0
+        assert "audit chain intact" in capsys.readouterr().out
+
+    def test_audit_broken_chain_without_check_exits_1(
+        self, keyed_registry, capsys
+    ):
+        import sqlite3
+
+        conn = sqlite3.connect(keyed_registry)
+        conn.execute("DELETE FROM audit_log WHERE seq = 1")
+        conn.commit()
+        conn.close()
+        assert main([
+            "registry", "audit", "--registry", str(keyed_registry),
+        ]) == 1
+        assert "registry" in capsys.readouterr().err
