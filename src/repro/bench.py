@@ -7,22 +7,35 @@ traced-vs-untraced verification pass — and writes one
 so a throughput regression shows up as a diffable artifact trail
 (``BENCH_perf.json``) rather than a feeling.
 
-The document is self-describing::
+The document is self-describing (``host`` records the interpreter and
+numpy versions the run actually used)::
 
     {"schema": "flashmark.bench/v1",
      "created_unix_s": ..., "git_sha": "...", "quick": false,
-     "host": {"python": "3.11.7", "numpy": "1.26.1", "cpus": 8},
+     "host": {"python": sys.version, "numpy": np.__version__,
+              "cpus": 8},
      "ops": [{"name": "erase_pulse", "n": 200,
               "p50_ms": ..., "p95_ms": ..., "mean_ms": ...,
               "throughput_per_s": ...}, ...],
      "engine_scaling": {"serial_s": ..., "parallel_s": ...,
                         "workers": 4, "speedup": ...},
+     "verify_population": {"n_dies": ..., "per_die_s": ...,
+                           "batched_s": ..., "speedup": ...,
+                           "verdicts_identical": true},
      "tracing_overhead": {"untraced_s": ..., "traced_s": ...,
                           "ratio": ...}}
+
+Verification ops carry a ``"path"`` field recording which engine
+dispatch produced them (``"die"`` or ``"population"``), so a regression
+in the batched kernels cannot hide behind the per-die fallback.
 
 Op latencies are host wall-clock (the regression question), not
 device-clock — the simulated device time of these ops is fixed by the
 physics and cannot regress.
+
+:func:`check_bench` turns a document plus a committed baseline
+(``benchmarks/bench_baseline.json``) into a pass/fail regression gate
+for CI (``repro bench --gate``).
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-__all__ = ["BENCH_SCHEMA", "run_bench"]
+__all__ = ["BENCH_SCHEMA", "run_bench", "check_bench"]
 
 BENCH_SCHEMA = "flashmark.bench/v1"
 
@@ -189,6 +202,100 @@ def _engine_scaling(quick: bool, workers: Optional[int]) -> dict:
     }
 
 
+def _verify_population_bench(quick: bool) -> tuple:
+    """Batched vs per-die verification over one imprinted fleet.
+
+    Returns ``(ops, section)``: two op entries (each tagged with the
+    engine ``path`` that produced it) plus the summary section with the
+    headline speedup and the verdict-equivalence bit.  Both passes run
+    ``workers=1`` so the measured gain is the batched dispatch itself
+    (2-D population kernels plus segment-slice payloads), not process
+    fan-out.
+
+    The fleet carries realistic die state: the per-die path deep-copies
+    the *whole* microcontroller for every job, while the batched path
+    stacks only the watermark segment of each die, so benchmarking
+    single-segment toy chips would hide most of the per-die dispatch
+    cost.  ``n_segments=64`` (full run) is still an 8x understatement
+    of the real MSP430F5438's 512 main segments — the measured speedup
+    is a conservative bound, not an inflated one.
+    """
+    from .core import Watermark
+    from .core.imprint import imprint_watermark
+    from .core.verifier import WatermarkFormat, WatermarkVerifier
+    from .device import make_mcu
+    from .engine import calibrate_family, verify_population
+
+    n_dies = 60 if quick else 200
+    n_segments = 16 if quick else 64
+    n_pe = 4_000
+    grid = tuple(np.arange(16.0, 36.0, 4.0))
+    calibration = calibrate_family(
+        lambda seed: make_mcu(seed=seed, n_segments=1),
+        n_pe,
+        n_replicas=7,
+        n_chips=1,
+        t_grid_us=grid,
+        seed=33,
+    ).calibration
+    fmt = WatermarkFormat(n_bits=32, n_replicas=7, balanced=True)
+    verifier = WatermarkVerifier(calibration, fmt)
+    watermark = Watermark.ascii_uppercase(
+        4, np.random.default_rng(17)
+    ).balanced()
+    chips = []
+    for seed in range(1_000, 1_000 + n_dies):
+        chip = make_mcu(seed=seed, n_segments=n_segments)
+        if seed % 5:  # leave some blank so both verdict classes occur
+            imprint_watermark(
+                chip.flash, 0, watermark, n_pe,
+                n_replicas=7, accelerated=True,
+            )
+        chips.append(chip)
+
+    def run(batch):
+        return verify_population(
+            chips, verifier, workers=1, batch=batch
+        )
+
+    repeats = 3 if quick else 5
+    per_die_op = _time_op(
+        "verify_population_per_die",
+        lambda: run("die"),
+        repeats=repeats,
+        warmup=1,
+    )
+    per_die_op["path"] = "die"
+    per_die_op["n_dies"] = n_dies
+    batched_op = _time_op(
+        "verify_population_batched",
+        lambda: run("population"),
+        repeats=repeats,
+        warmup=1,
+    )
+    batched_op["path"] = "population"
+    batched_op["n_dies"] = n_dies
+
+    die_result = run("die")
+    pop_result = run("population")
+    identical = die_result.verdicts == pop_result.verdicts and all(
+        (a is None) == (b is None)
+        and (a is None or (a.ber == b.ber and a.reason == b.reason))
+        for a, b in zip(die_result.results, pop_result.results)
+    )
+    per_die_s = per_die_op["mean_ms"] / 1e3
+    batched_s = batched_op["mean_ms"] / 1e3
+    section = {
+        "n_dies": n_dies,
+        "n_segments": n_segments,
+        "per_die_s": per_die_s,
+        "batched_s": batched_s,
+        "speedup": (per_die_s / batched_s) if batched_s > 0 else None,
+        "verdicts_identical": bool(identical),
+    }
+    return [per_die_op, batched_op], section
+
+
 def _tracing_overhead(quick: bool) -> dict:
     """Wall cost of trace-context propagation on the engine path.
 
@@ -256,6 +363,7 @@ def run_bench(
     """Run every section and return the ``flashmark.bench/v1`` document."""
     import os
 
+    verify_ops, verify_section = _verify_population_bench(quick)
     return {
         "schema": BENCH_SCHEMA,
         "created_unix_s": time.time(),
@@ -266,7 +374,85 @@ def run_bench(
             "numpy": np.__version__,
             "cpus": os.cpu_count(),
         },
-        "ops": _simulator_ops(quick),
+        "ops": _simulator_ops(quick) + verify_ops,
         "engine_scaling": _engine_scaling(quick, workers),
+        "verify_population": verify_section,
         "tracing_overhead": _tracing_overhead(quick),
     }
+
+
+def check_bench(
+    doc: dict,
+    baseline: dict,
+    *,
+    max_regression: float = 0.6,
+    min_speedup: float = 1.5,
+    min_speedup_frac: float = 0.4,
+) -> List[str]:
+    """Regression-gate a bench document against a committed baseline.
+
+    Returns a list of human-readable problems (empty = gate passes):
+
+    * any op present in both documents whose throughput dropped by more
+      than ``max_regression`` (fractional; the default tolerates CI
+      hardware jitter but not an order-of-magnitude cliff);
+    * a batched-verify speedup below ``min_speedup`` absolute or below
+      ``min_speedup_frac`` of the baseline's (the speedup is a
+      same-host ratio, so this check is hardware-independent);
+    * batched and per-die verdicts disagreeing (never acceptable).
+
+    Per-op throughput is only compared when both documents ran the same
+    mode (``quick`` flag): quick and full runs size their workloads
+    differently (fleet size, die geometry), so cross-mode latencies are
+    not the same measurement.  The speedup and verdict checks are
+    mode-independent ratios and always apply.
+    """
+    problems: List[str] = []
+    same_mode = doc.get("quick") == baseline.get("quick")
+    base_ops = (
+        {op.get("name"): op for op in baseline.get("ops", [])}
+        if same_mode
+        else {}
+    )
+    for op in doc.get("ops", []):
+        base = base_ops.get(op.get("name"))
+        if base is None:
+            continue
+        now = op.get("throughput_per_s")
+        then = base.get("throughput_per_s")
+        if not now or not then:
+            continue
+        floor = (1.0 - max_regression) * then
+        if now < floor:
+            problems.append(
+                f"op {op['name']}: throughput {now:.2f}/s is below "
+                f"{floor:.2f}/s ({(1 - max_regression) * 100:.0f}% of "
+                f"baseline {then:.2f}/s)"
+            )
+    vp = doc.get("verify_population")
+    base_vp = baseline.get("verify_population")
+    if vp is not None:
+        speedup = vp.get("speedup")
+        if speedup is None or speedup < min_speedup:
+            problems.append(
+                f"verify_population: batched speedup {speedup} is below "
+                f"the absolute floor {min_speedup}"
+            )
+        elif base_vp is not None and base_vp.get("speedup"):
+            floor = min_speedup_frac * base_vp["speedup"]
+            if speedup < floor:
+                problems.append(
+                    f"verify_population: batched speedup {speedup:.2f}x "
+                    f"is below {floor:.2f}x ({min_speedup_frac * 100:.0f}% "
+                    f"of baseline {base_vp['speedup']:.2f}x)"
+                )
+        if vp.get("verdicts_identical") is False:
+            problems.append(
+                "verify_population: batched and per-die verdicts differ"
+            )
+    elif base_vp is not None:
+        problems.append(
+            "verify_population section missing from this run but "
+            "present in the baseline"
+        )
+    return problems

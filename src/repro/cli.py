@@ -769,6 +769,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the engine-scaling section "
         "(default: up to 4, bounded by CPUs)",
     )
+    p.add_argument(
+        "--gate",
+        metavar="BASELINE",
+        default=None,
+        help="regression-gate the run against a committed "
+        "flashmark.bench/v1 baseline JSON; exit 4 on regression",
+    )
 
     p = sub.add_parser(
         "receipt",
@@ -1944,17 +1951,18 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .bench import run_bench
+    from .bench import check_bench, run_bench
 
     doc = run_bench(quick=args.quick, workers=args.workers)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
     for op in doc["ops"]:
+        path = f"  [{op['path']}]" if "path" in op else ""
         print(
             f"  {op['name']:<28} p50 {op['p50_ms']:8.2f} ms   "
             f"p95 {op['p95_ms']:8.2f} ms   "
-            f"{op['throughput_per_s']:10.1f} /s"
+            f"{op['throughput_per_s']:10.1f} /s{path}"
         )
     scaling = doc.get("engine_scaling")
     if scaling:
@@ -1964,7 +1972,29 @@ def _cmd_bench(args) -> int:
             f"{scaling['parallel_s']:.2f} s "
             f"-> speedup {scaling['speedup']:.2f}x"
         )
+    verify = doc.get("verify_population")
+    if verify:
+        print(
+            f"  verify population ({verify['n_dies']} dies): "
+            f"per-die {verify['per_die_s']:.2f} s, "
+            f"batched {verify['batched_s']:.2f} s "
+            f"-> speedup {verify['speedup']:.2f}x, verdicts "
+            + (
+                "identical"
+                if verify["verdicts_identical"]
+                else "DIFFERENT"
+            )
+        )
     print(f"bench baseline -> {args.out}")
+    if args.gate is not None:
+        with open(args.gate, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = check_bench(doc, baseline)
+        if problems:
+            for problem in problems:
+                print(f"bench gate FAIL: {problem}", file=sys.stderr)
+            return 4
+        print(f"bench gate OK against {args.gate}")
     return 0
 
 

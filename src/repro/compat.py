@@ -1,0 +1,38 @@
+"""Version-portability shims shared across the package.
+
+The project declares a wide dependency window (``numpy>=1.21`` in
+``pyproject.toml``), so hot-path code must not call APIs that exist only
+at one end of that window.  ``np.trapezoid`` is the canonical example:
+it was introduced in numpy 2.0 as the new name of ``np.trapz`` (which
+2.x deprecates), so naming either one directly breaks one half of the
+supported range.  Every caller goes through :func:`trapezoid` instead.
+
+A CI leg installs the declared *minimum* dependency versions and runs
+the test suite against them, so a newly introduced floor violation
+fails the build instead of surfacing as an ``AttributeError`` on a
+user's older install.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["trapezoid"]
+
+#: The integration routine available under this numpy: ``np.trapezoid``
+#: (numpy >= 2.0) or the legacy ``np.trapz`` spelling (numpy 1.x).
+_TRAPEZOID = getattr(np, "trapezoid", None)
+if _TRAPEZOID is None:  # pragma: no cover - exercised on numpy 1.x only
+    _TRAPEZOID = np.trapz
+
+
+def trapezoid(y, x=None, dx: float = 1.0, axis: int = -1):
+    """Trapezoidal-rule integration, portable across numpy 1.x and 2.x.
+
+    Same contract as ``np.trapezoid`` / ``np.trapz``: integrate ``y``
+    along ``axis`` using sample points ``x`` (or uniform spacing
+    ``dx``).
+    """
+    if x is not None:
+        return _TRAPEZOID(y, x=x, axis=axis)
+    return _TRAPEZOID(y, dx=dx, axis=axis)

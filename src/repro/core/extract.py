@@ -23,7 +23,13 @@ from ..telemetry import current as current_telemetry
 from .decoder import AsymmetricDecoder, majority_vote
 from .replication import ReplicaLayout
 
-__all__ = ["ExtractionResult", "DecodedWatermark", "extract_segment", "extract_watermark"]
+__all__ = [
+    "ExtractionResult",
+    "DecodedWatermark",
+    "extract_segment",
+    "decode_extraction",
+    "extract_watermark",
+]
 
 
 @dataclass(frozen=True)
@@ -93,25 +99,20 @@ def extract_segment(
     )
 
 
-def extract_watermark(
-    flash: FlashController,
-    segment: int,
+def decode_extraction(
+    extraction: ExtractionResult,
     layout: ReplicaLayout,
-    t_pew_us: float,
-    n_reads: int = 1,
     decoder: Optional[AsymmetricDecoder] = None,
-    telemetry=None,
 ) -> DecodedWatermark:
-    """Extract and decode a replicated watermark.
+    """Decode an already-performed extraction's raw read-back.
 
-    Runs :func:`extract_segment`, gathers the replica matrix through the
-    layout, and decodes with a plain majority vote (the paper's Fig. 10
-    procedure) or, if ``decoder`` is given, the asymmetry-aware
-    maximum-likelihood vote.
+    Gathers the replica matrix through the layout and decodes with a
+    plain majority vote (the paper's Fig. 10 procedure) or, if
+    ``decoder`` is given, the asymmetry-aware maximum-likelihood vote.
+    Pure bit-space post-processing — the population verify path reuses
+    it on each row of a batched readout, which is what guarantees
+    batched and per-die extractions decode identically.
     """
-    extraction = extract_segment(
-        flash, segment, t_pew_us, n_reads=n_reads, telemetry=telemetry
-    )
     matrix = layout.gather(extraction.raw_bits)
     if decoder is None:
         bits = majority_vote(matrix)
@@ -126,3 +127,22 @@ def extract_watermark(
         layout=layout,
         decoder=decoder_name,
     )
+
+
+def extract_watermark(
+    flash: FlashController,
+    segment: int,
+    layout: ReplicaLayout,
+    t_pew_us: float,
+    n_reads: int = 1,
+    decoder: Optional[AsymmetricDecoder] = None,
+    telemetry=None,
+) -> DecodedWatermark:
+    """Extract and decode a replicated watermark.
+
+    Runs :func:`extract_segment`, then :func:`decode_extraction`.
+    """
+    extraction = extract_segment(
+        flash, segment, t_pew_us, n_reads=n_reads, telemetry=telemetry
+    )
+    return decode_extraction(extraction, layout, decoder=decoder)

@@ -24,11 +24,17 @@ from typing import Optional
 import numpy as np
 
 from ..device.controller import FlashController
+from ..phys.constants import CellParams
 from .bits import bit_error_rate, manchester_decode, manchester_encode
 from .calibration import FamilyCalibration
 from .decoder import AsymmetricDecoder, soft_manchester_vote
 from .ecc import Hamming74
-from .extract import DecodedWatermark, extract_watermark
+from .extract import (
+    DecodedWatermark,
+    ExtractionResult,
+    decode_extraction,
+    extract_watermark,
+)
 from .payload import PayloadError, WatermarkPayload, ChipStatus, PAYLOAD_BYTES
 from .replication import ReplicaLayout
 from .signature import SignatureScheme
@@ -178,15 +184,9 @@ class WatermarkVerifier:
         keeps verification working across the industrial range — see
         the temperature benchmark.
         """
-        t_pew = self.calibration.t_pew_us
-        if temperature_c is not None:
-            cell = flash.array.params.cell
-            t_pew *= float(
-                np.exp(
-                    -cell.erase_temp_coefficient_per_k
-                    * (temperature_c - cell.nominal_temperature_c)
-                )
-            )
+        t_pew = self.scaled_window_us(
+            flash.array.params.cell, temperature_c
+        )
         layout = self.format.layout_for(flash.geometry.bits_per_segment)
         decoded = extract_watermark(
             flash,
@@ -197,6 +197,50 @@ class WatermarkVerifier:
             decoder=self._decoder,
             telemetry=telemetry,
         )
+        return self.classify_decoded(decoded)
+
+    def scaled_window_us(
+        self, cell: CellParams, temperature_c: Optional[float]
+    ) -> float:
+        """The published partial-erase window, Arrhenius-scaled [us].
+
+        ``temperature_c=None`` means no compensation (use the published
+        window as-is).
+        """
+        t_pew = self.calibration.t_pew_us
+        if temperature_c is not None:
+            t_pew *= float(
+                np.exp(
+                    -cell.erase_temp_coefficient_per_k
+                    * (temperature_c - cell.nominal_temperature_c)
+                )
+            )
+        return t_pew
+
+    def classify_extraction(
+        self, extraction: ExtractionResult, layout: ReplicaLayout
+    ) -> VerificationReport:
+        """Decode and classify an already-performed extraction.
+
+        The population verify path extracts many dies in one batched
+        device pass and hands each die's raw read-back here, so batched
+        and per-die verification share the decode and decision logic by
+        construction.
+        """
+        decoded = decode_extraction(
+            extraction, layout, decoder=self._decoder
+        )
+        return self.classify_decoded(decoded)
+
+    def classify_decoded(
+        self, decoded: DecodedWatermark
+    ) -> VerificationReport:
+        """Classify an already-extracted, already-decoded watermark.
+
+        Pure bit-space decision logic — no device access.  The batched
+        population verify path calls this per die on rows of a stacked
+        readout, so both paths share one classifier by construction.
+        """
         bits = decoded.bits
         balance_violations: Optional[int] = None
         tampered_pairs: Optional[int] = None

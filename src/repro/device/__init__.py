@@ -40,6 +40,7 @@ from .persistence import (
 from .mlc import MLC_GEOMETRY, MLC_LEVELS_V, MLC_READ_REFS_V, MlcNorFlash
 from .nand import NAND_GEOMETRY, NandFlash
 from .pack import bits_to_word, bits_to_words, word_to_bits, words_to_bits
+from .population import ChipPopulation, PopulationReadout
 from .registers import (
     BLKWRT,
     BUSY,
@@ -77,6 +78,8 @@ __all__ = [
     "FlashController",
     "FlashRegisterFile",
     "Microcontroller",
+    "ChipPopulation",
+    "PopulationReadout",
     "McuFactory",
     "make_mcu",
     "SUPPORTED_MODELS",

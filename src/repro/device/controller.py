@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..compat import trapezoid
 from .array import NorFlashArray
 from .errors import FlashAddressError, FlashLockedError
 from .geometry import FlashGeometry
@@ -431,4 +432,4 @@ class FlashController:
             )
             t_max[i] = 2.0 * crossings.max()  # margin factor 2
         # Integrate per-cycle cost over cycles via the trapezoid rule.
-        return float(np.trapezoid(t_max, grid))
+        return float(trapezoid(t_max, grid))

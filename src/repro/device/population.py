@@ -1,0 +1,403 @@
+"""ChipPopulation: the batched physics state of many dies at once.
+
+Counterfeit screening is a population decision — the integrator
+verifies a whole shipment, not one chip — yet the die model simulates
+one `(n_cells,)` array per chip.  :class:`ChipPopulation` stacks the
+watermark segment of N dies into ``(n_dies, n_cells)`` matrices (static
+variation, threshold voltages, wear counters) and replays the
+extraction sequence — full erase, program, partial erase, majority read
+— through the 2-D kernels of :mod:`repro.phys.kernels`, so one call
+verifies hundreds of dies in a handful of numpy dispatches.
+
+Equivalence and RNG-stream ordering contract
+--------------------------------------------
+A population readout is **bit-identical** to running the serial
+controller sequence (:func:`repro.core.extract.extract_segment`) on
+each die alone.  Two rules make that exact:
+
+1. *Per-die generators.*  Every die keeps its own
+   ``numpy.random.Generator`` (cloned from the chip's, so the input
+   chip's stream is never advanced).  Noise for die *i* comes only from
+   generator *i*; stacking therefore cannot leak draws across dies.
+2. *Serial draw order per die.*  Within each die's stream the draws
+   happen in exactly the controller's operation order, with the same
+   distribution calls and shapes: full-erase tau jitter
+   ``lognormal(0, sigma, n)``, program noise ``normal(0, sigma, n)``,
+   partial-erase tau jitter ``lognormal(0, sigma, n)``, then read noise
+   ``normal(0, sigma, (n_reads, n))``.  A draw is skipped exactly when
+   the die model skips it (the corresponding sigma is zero).
+
+Dies are batchable together only when they share the same physics
+(:class:`~repro.phys.constants.PhysicalParams`), segment geometry and
+timing profile — :meth:`batch_key` is the grouping key the engine uses;
+mixed shipments (e.g. rebranded parts with inferior oxide) simply split
+into one population per physics group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..phys.kernels import (
+    population_erase_transient,
+    population_majority_read,
+    population_program_targets,
+    population_tau_us,
+)
+from .mcu import Microcontroller
+from .tracing import OperationTrace
+
+__all__ = ["ChipPopulation", "PopulationReadout"]
+
+
+@dataclass(frozen=True)
+class PopulationReadout:
+    """Raw result of one batched extraction pass."""
+
+    #: ``(n_dies, n_cells)`` uint8 read-back (1 = sensed erased).
+    raw_bits: np.ndarray
+    #: Device time one die's extraction charges [us] (identical for all
+    #: dies of a population: same timing profile, same geometry).
+    duration_us: float
+
+
+def _clone_rng(rng: np.random.Generator) -> np.random.Generator:
+    """An independent generator positioned at ``rng``'s current state.
+
+    The new bit generator is seeded with ``0`` only to skip the OS
+    entropy pull a default-constructed one performs; its state is
+    overwritten immediately after, so the clone replays exactly the
+    stream ``rng`` would produce.
+    """
+    clone = np.random.Generator(type(rng.bit_generator)(0))
+    clone.bit_generator.state = rng.bit_generator.state
+    return clone
+
+
+class ChipPopulation:
+    """Stacked per-segment physics state of N same-family dies.
+
+    Build with :meth:`from_chips`; the input chips are **never
+    mutated** — all evolving state (threshold voltages, wear counters,
+    RNG streams) is copied, which is also why building a population is
+    far cheaper than the per-die path's ``deepcopy`` of whole
+    microcontrollers.
+    """
+
+    def __init__(
+        self,
+        *,
+        params,
+        timing,
+        words_per_segment: int,
+        vth: np.ndarray,
+        tau0_us: np.ndarray,
+        susceptibility: np.ndarray,
+        vth_programmed: np.ndarray,
+        vth_erased: np.ndarray,
+        program_cycles: np.ndarray,
+        erase_only_cycles: np.ndarray,
+        programmed_since_erase: np.ndarray,
+        temperature_c: np.ndarray,
+        rngs: List[np.random.Generator],
+    ):
+        self.params = params
+        self.timing = timing
+        self.words_per_segment = words_per_segment
+        self.vth = vth
+        self.tau0_us = tau0_us
+        self.susceptibility = susceptibility
+        self.vth_programmed = vth_programmed
+        self.vth_erased = vth_erased
+        self.program_cycles = program_cycles
+        self.erase_only_cycles = erase_only_cycles
+        self.programmed_since_erase = programmed_since_erase
+        self.temperature_c = temperature_c
+        self.rngs = rngs
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def batch_key(chip: Microcontroller, segment: int) -> Tuple:
+        """Hashable key; dies with equal keys can share one population.
+
+        Raises the same addressing errors the serial path would when
+        ``segment`` does not exist on the chip — callers route such
+        dies to the per-die path so failures keep identical semantics.
+        """
+        sl = chip.geometry.segment_bit_slice(segment)
+        return (
+            chip.params,
+            chip.flash.timing,
+            sl.stop - sl.start,
+            chip.geometry.words_per_segment,
+        )
+
+    @classmethod
+    def from_chips(
+        cls, chips: Sequence[Microcontroller], segment: int
+    ) -> "ChipPopulation":
+        """Stack one flash segment of every chip into a population.
+
+        Every chip must share the same physics parameters, segment
+        geometry and timing profile (see :meth:`batch_key`).
+        """
+        if not chips:
+            raise ValueError("cannot build a population from zero chips")
+        head = chips[0]
+        key = cls.batch_key(head, segment)
+        for chip in chips[1:]:
+            if cls.batch_key(chip, segment) != key:
+                raise ValueError(
+                    "population chips must share physics parameters, "
+                    "segment geometry and timing; group by batch_key() "
+                    "first"
+                )
+        slices = [c.geometry.segment_bit_slice(segment) for c in chips]
+        return cls(
+            params=head.params,
+            timing=head.flash.timing,
+            words_per_segment=head.geometry.words_per_segment,
+            vth=np.stack(
+                [c.array.vth[sl] for c, sl in zip(chips, slices)]
+            ),
+            tau0_us=np.stack(
+                [c.array.static.tau0_us[sl] for c, sl in zip(chips, slices)]
+            ),
+            susceptibility=np.stack(
+                [
+                    c.array.static.wear_susceptibility[sl]
+                    for c, sl in zip(chips, slices)
+                ]
+            ),
+            vth_programmed=np.stack(
+                [
+                    c.array.static.vth_programmed[sl]
+                    for c, sl in zip(chips, slices)
+                ]
+            ),
+            vth_erased=np.stack(
+                [
+                    c.array.static.vth_erased[sl]
+                    for c, sl in zip(chips, slices)
+                ]
+            ),
+            program_cycles=np.stack(
+                [c.array.program_cycles[sl] for c, sl in zip(chips, slices)]
+            ),
+            erase_only_cycles=np.stack(
+                [
+                    c.array.erase_only_cycles[sl]
+                    for c, sl in zip(chips, slices)
+                ]
+            ),
+            programmed_since_erase=np.stack(
+                [
+                    c.array.programmed_since_erase[sl]
+                    for c, sl in zip(chips, slices)
+                ]
+            ),
+            temperature_c=np.array(
+                [c.array.temperature_c for c in chips], dtype=np.float64
+            ),
+            rngs=[_clone_rng(c.rng) for c in chips],
+        )
+
+    def clone(self) -> "ChipPopulation":
+        """An independent copy (evolving state and RNG streams deep).
+
+        Static arrays are copied too — a population is only the segment
+        slice of each die, so the copy is cheap; extraction on a clone
+        leaves the original reusable (idempotent retries).
+        """
+        return ChipPopulation(
+            params=self.params,
+            timing=self.timing,
+            words_per_segment=self.words_per_segment,
+            vth=self.vth.copy(),
+            tau0_us=self.tau0_us.copy(),
+            susceptibility=self.susceptibility.copy(),
+            vth_programmed=self.vth_programmed.copy(),
+            vth_erased=self.vth_erased.copy(),
+            program_cycles=self.program_cycles.copy(),
+            erase_only_cycles=self.erase_only_cycles.copy(),
+            programmed_since_erase=self.programmed_since_erase.copy(),
+            temperature_c=self.temperature_c.copy(),
+            rngs=[_clone_rng(rng) for rng in self.rngs],
+        )
+
+    @property
+    def n_dies(self) -> int:
+        return self.vth.shape[0]
+
+    @property
+    def n_cells(self) -> int:
+        return self.vth.shape[1]
+
+    # -- primitive operations ---------------------------------------------
+
+    def current_tau_us(self) -> np.ndarray:
+        """Wear- and temperature-adjusted erase time constants, 2-D."""
+        return population_tau_us(
+            self.tau0_us,
+            self.program_cycles,
+            self.erase_only_cycles,
+            self.susceptibility,
+            self.temperature_c,
+            self.params,
+        )
+
+    def erase_pulse(self, t_us: float) -> None:
+        """Apply the erase voltage to every cell of every die for ``t_us``."""
+        jitter_sigma = self.params.noise.erase_jitter_sigma
+        tau = self.current_tau_us()
+        if jitter_sigma > 0.0:
+            for i, rng in enumerate(self.rngs):
+                tau[i] = tau[i] * rng.lognormal(
+                    0.0, jitter_sigma, size=self.n_cells
+                )
+        self.vth = population_erase_transient(
+            self.vth, t_us, tau, self.vth_erased, self.params.cell
+        )
+        unprogrammed = ~self.programmed_since_erase
+        self.erase_only_cycles += unprogrammed
+        self.programmed_since_erase[:] = False
+
+    def program_all(self) -> None:
+        """Program every cell of every die (the all-zeros pattern)."""
+        self.program_cycles += 1.0
+        sigma = self.params.noise.program_sigma_v
+        noise = None
+        if sigma > 0.0:
+            noise = np.stack(
+                [
+                    rng.normal(0.0, sigma, size=self.n_cells)
+                    for rng in self.rngs
+                ]
+            )
+        self.vth = population_program_targets(
+            self.vth_programmed,
+            self.program_cycles,
+            self.erase_only_cycles,
+            self.susceptibility,
+            noise,
+            self.params,
+        )
+        self.programmed_since_erase[:] = True
+
+    def read_bits(self, n_reads: int = 1) -> np.ndarray:
+        """Sense every cell; ``(n_dies, n_cells)`` uint8 (1 = erased)."""
+        if n_reads < 1 or n_reads % 2 == 0:
+            raise ValueError("n_reads must be a positive odd number")
+        sigma = self.params.noise.read_sigma_v
+        noise = None
+        if sigma > 0.0:
+            noise = np.stack(
+                [
+                    rng.normal(0.0, sigma, size=(n_reads, self.n_cells))
+                    for rng in self.rngs
+                ]
+            )
+        bits = population_majority_read(
+            self.vth, noise, self.params.cell, n_reads=n_reads
+        )
+        disturb = self.params.noise.read_disturb_v_per_read
+        if disturb > 0.0:
+            self.vth = np.minimum(
+                self.vth + disturb * n_reads, self.vth_programmed
+            )
+        return bits
+
+    # -- the extraction fast path -----------------------------------------
+
+    def extract_readout(
+        self, t_pew_us: float, n_reads: int = 1
+    ) -> PopulationReadout:
+        """One ExtractFlashmark round (Fig. 8) over the whole population.
+
+        Full erase, program all, partial erase for ``t_pew_us``, then
+        majority read — the exact controller sequence of
+        :func:`repro.core.extract.extract_segment`, with every step one
+        2-D kernel dispatch.
+        """
+        if t_pew_us < 0:
+            raise ValueError("t_pew_us must be non-negative")
+        self.erase_pulse(self.timing.t_erase_us)
+        self.program_all()
+        self.erase_pulse(t_pew_us)
+        raw = self.read_bits(n_reads=n_reads)
+        return PopulationReadout(
+            raw_bits=raw,
+            duration_us=self.extraction_duration_us(t_pew_us, n_reads),
+        )
+
+    def extraction_duration_us(
+        self, t_pew_us: float, n_reads: int
+    ) -> float:
+        """Device time one die's extraction charges [us].
+
+        Accumulated in the same order — and with the same intermediate
+        expressions — as the serial controller's four ``trace.charge``
+        calls, so the value is bit-identical to the per-die device
+        clock.
+        """
+        timing = self.timing
+        total = 0.0
+        total += timing.t_cmd_overhead_us + timing.t_erase_us
+        total += timing.t_cmd_overhead_us + timing.segment_program_time_us(
+            self.words_per_segment, block=True
+        )
+        total += (
+            timing.t_cmd_overhead_us + t_pew_us + timing.t_abort_overhead_us
+        )
+        total += timing.segment_read_time_us(
+            self.words_per_segment, n_reads=n_reads
+        )
+        return total
+
+    def charge_extraction(
+        self,
+        trace: OperationTrace,
+        t_pew_us: float,
+        n_reads: int,
+        address: int = 0,
+    ) -> None:
+        """Charge one die's extraction onto ``trace``.
+
+        Same operation names, durations and energy the serial
+        :class:`~repro.device.controller.FlashController` charges, so
+        merged manifests reconcile device clocks identically on either
+        path.  Pass the die's segment base as ``address`` to keep even
+        ``keep_events`` traces identical.
+        """
+        timing = self.timing
+        n_words = self.words_per_segment
+        trace.charge(
+            "erase_segment",
+            timing.t_cmd_overhead_us + timing.t_erase_us,
+            address=address,
+            energy_uj=timing.e_erase_uj,
+        )
+        trace.charge(
+            "program_segment",
+            timing.t_cmd_overhead_us
+            + timing.segment_program_time_us(n_words, block=True),
+            address=address,
+            energy_uj=n_words * timing.e_program_word_uj,
+        )
+        trace.charge(
+            "partial_erase",
+            timing.t_cmd_overhead_us + t_pew_us + timing.t_abort_overhead_us,
+            address=address,
+            energy_uj=timing.e_erase_uj
+            * min(1.0, t_pew_us / timing.t_erase_us),
+        )
+        trace.charge(
+            "read_segment",
+            timing.segment_read_time_us(n_words, n_reads=n_reads),
+            address=address,
+            energy_uj=n_reads * n_words * timing.e_read_word_uj,
+        )

@@ -24,7 +24,11 @@ from .api import (
     CalibrationError,
     CalibrationResult,
     VerificationResult,
+    VerifyBatchJob,
+    VerifyJob,
     calibrate_family,
+    run_verify_batch_job,
+    run_verify_job,
     verify_population,
 )
 from .cache import CACHE_SCHEMA, CacheError, CalibrationCache
@@ -46,6 +50,10 @@ __all__ = [
     "CalibrationError",
     "CalibrationResult",
     "VerificationResult",
+    "VerifyJob",
+    "VerifyBatchJob",
     "calibrate_family",
+    "run_verify_job",
+    "run_verify_batch_job",
     "verify_population",
 ]

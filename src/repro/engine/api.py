@@ -36,6 +36,7 @@ from ..core.calibration import (
     run_calibration_sweep,
     select_window,
 )
+from ..core.extract import ExtractionResult
 from ..core.verifier import (
     VerificationReport,
     WatermarkFormat,
@@ -43,6 +44,7 @@ from ..core.verifier import (
 )
 from ..core.watermark import Watermark
 from ..device.mcu import Microcontroller
+from ..device.population import ChipPopulation
 from ..device.tracing import OperationTrace
 from ..telemetry import Telemetry, build_manifest
 from ..telemetry import current as current_telemetry
@@ -55,6 +57,10 @@ __all__ = [
     "CalibrationError",
     "calibrate_family",
     "verify_population",
+    "VerifyJob",
+    "VerifyBatchJob",
+    "run_verify_job",
+    "run_verify_batch_job",
 ]
 
 
@@ -384,6 +390,161 @@ def run_verify_job(job: VerifyJob) -> VerifiedChip:
     )
 
 
+@dataclass(frozen=True)
+class VerifyBatchJob:
+    """One chunk of a homogeneous population, verified in a single
+    batched device pass.
+
+    Carries a :class:`~repro.device.ChipPopulation` (the stacked
+    watermark-segment state of every die in the chunk) instead of whole
+    chip copies, so the pickled payload is the segment slice rather
+    than the full microcontroller — the other half of the batched
+    path's speed-up besides the 2-D kernels.
+    """
+
+    #: Population-wide chip indices, aligned with the population's rows.
+    indices: tuple
+    population: ChipPopulation
+    verifier: WatermarkVerifier
+    segment: int = 0
+    n_reads: int = 1
+    temperature_c: Optional[float] = None
+    #: One traceparent (or None) per die.
+    traceparents: tuple = ()
+    #: Per-die segment base address, for trace-event parity.
+    addresses: tuple = ()
+    #: Per-die trace configuration, mirroring each chip's own trace so
+    #: synthesized per-die traces match what the serial path returns.
+    keep_events: tuple = ()
+    max_events: tuple = ()
+
+
+def run_verify_batch_job(job: VerifyBatchJob) -> List[VerifiedChip]:
+    """Verify one population chunk (module-level so the pool can run it).
+
+    Runs the extraction physics once over the stacked ``(n_dies,
+    n_cells)`` state, then decodes and classifies each die's row through
+    the exact per-die code path
+    (:meth:`~repro.core.WatermarkVerifier.classify_extraction`).
+
+    The job's population is consumed in place — extraction advances its
+    threshold voltages, wear counters and RNG streams — mirroring how
+    :func:`run_verify_job` mutates its job's chip copy.  The engine
+    always builds the payload from a private
+    :meth:`~repro.device.ChipPopulation.from_chips` copy, so input
+    chips are never touched; callers constructing jobs by hand should
+    pass a population they can spare (or ``clone()`` it first).
+
+    Returns one :class:`VerifiedChip` per die — same shape the per-die
+    path produces, with per-die ``verify.chip`` / ``extract`` spans and
+    synthesized device traces whose clocks, energy and op counts are
+    bit-identical to a serial verification of the same die.
+    """
+    verifier = job.verifier
+    pop = job.population
+    t_pew = verifier.scaled_window_us(pop.params.cell, job.temperature_c)
+    layout = verifier.format.layout_for(pop.n_cells)
+    readout = pop.extract_readout(t_pew, n_reads=job.n_reads)
+    out: List[VerifiedChip] = []
+    for k, index in enumerate(job.indices):
+        trace = OperationTrace(
+            keep_events=job.keep_events[k], max_events=job.max_events[k]
+        )
+        tel = Telemetry()
+        tel.bind_trace(trace)
+        with tel.trace_scope(job.traceparents[k]):
+            with tel.span("verify.chip", index=index) as sp:
+                with tel.span(
+                    "extract",
+                    segment=job.segment,
+                    t_pew_us=t_pew,
+                    n_reads=job.n_reads,
+                ) as esp:
+                    pop.charge_extraction(
+                        trace,
+                        t_pew,
+                        job.n_reads,
+                        address=job.addresses[k],
+                    )
+                    duration_ms = trace.now_us / 1e3
+                    esp.set("duration_ms", duration_ms)
+                extraction = ExtractionResult(
+                    segment=job.segment,
+                    t_pew_us=t_pew,
+                    n_reads=job.n_reads,
+                    raw_bits=readout.raw_bits[k],
+                    duration_ms=duration_ms,
+                )
+                report = verifier.classify_extraction(extraction, layout)
+                sp.set("verdict", report.verdict.value)
+        out.append(
+            VerifiedChip(
+                index=index,
+                report=report,
+                trace=trace,
+                telemetry=tel.snapshot(),
+            )
+        )
+    return out
+
+
+def _run_verify_unit(job) -> List[VerifiedChip]:
+    """Dispatch one submitted unit: a per-die job or a population chunk."""
+    if isinstance(job, VerifyBatchJob):
+        return run_verify_batch_job(job)
+    return [run_verify_job(job)]
+
+
+def _plan_verify_jobs(
+    bare: Sequence[Microcontroller],
+    segment: int,
+    batch: str,
+    batch_size: Optional[int],
+    workers: int,
+):
+    """Partition chips into per-die indices and batchable groups.
+
+    A chip is batchable when its flash is unlocked (locked chips must
+    fail through the real controller so failure semantics match) and
+    its :meth:`~repro.device.ChipPopulation.batch_key` — physics
+    parameters, segment geometry, timing — is computable.  ``auto``
+    additionally leaves singleton groups on the per-die path (no
+    batching win to collect).
+
+    Returns ``(per_die_indices, chunks)`` where each chunk is a list of
+    chip indices destined for one :class:`VerifyBatchJob`.
+    """
+    per_die: List[int] = []
+    groups: dict = {}
+    for i, chip in enumerate(bare):
+        if batch == "die":
+            per_die.append(i)
+            continue
+        try:
+            if chip.flash.locked:
+                raise ValueError("locked")
+            key = ChipPopulation.batch_key(chip, segment)
+        except Exception:
+            per_die.append(i)
+            continue
+        groups.setdefault(key, []).append(i)
+    if batch == "auto":
+        for key in list(groups):
+            if len(groups[key]) < 2:
+                per_die.extend(groups.pop(key))
+    chunks: List[List[int]] = []
+    for indices in groups.values():
+        size = batch_size
+        if size is None:
+            # Spread each group across the workers; one chunk per
+            # worker keeps every process on the 2-D kernels.
+            size = max(1, -(-len(indices) // max(workers, 1)))
+        for start in range(0, len(indices), size):
+            chunks.append(indices[start : start + size])
+    per_die.sort()
+    return per_die, chunks
+
+
 def verify_population(
     chips: Sequence[Union[Microcontroller, object]],
     verifier: Optional[WatermarkVerifier] = None,
@@ -400,19 +561,38 @@ def verify_population(
     retries: int = 1,
     chunk_size: Optional[int] = None,
     trace_contexts: Optional[Sequence[Optional[str]]] = None,
+    batch: str = "auto",
+    batch_size: Optional[int] = None,
 ) -> VerificationResult:
     """Verify a population of chips against published family parameters.
 
     The deployment-scale counterpart of
-    :meth:`~repro.core.FlashmarkSession.verify`: one job per chip,
-    fanned across ``workers`` processes.  ``chips`` may be
-    :class:`Microcontroller` objects or any wrapper exposing a ``.chip``
-    attribute (:class:`~repro.workloads.ChipSample`,
+    :meth:`~repro.core.FlashmarkSession.verify`, fanned across
+    ``workers`` processes.  ``chips`` may be :class:`Microcontroller`
+    objects or any wrapper exposing a ``.chip`` attribute
+    (:class:`~repro.workloads.ChipSample`,
     :class:`~repro.workloads.ProducedChip`).
 
-    Input chips are never mutated: every job verifies a private copy
-    (extraction physically rewrites the watermark segment), so the
-    inline and pooled paths return bit-identical reports.
+    Input chips are never mutated: per-die jobs verify a private copy
+    (extraction physically rewrites the watermark segment) and batched
+    jobs copy segment state into a
+    :class:`~repro.device.ChipPopulation`, so the inline and pooled
+    paths return bit-identical reports.
+
+    ``batch`` selects the dispatch strategy:
+
+    * ``"auto"`` (default) — chips sharing physics parameters, segment
+      geometry and timing are stacked into population chunks and
+      verified through the 2-D kernels of :mod:`repro.phys.kernels`;
+      locked chips, out-of-family chips and singleton groups take the
+      per-die path.  Verdicts, statistics and extracted bits are
+      byte-identical either way (the per-die RNG streams are replayed
+      in the serial draw order).
+    * ``"population"`` — batch every eligible chip, even singletons.
+    * ``"die"`` — the legacy one-chip-per-job path.
+
+    ``batch_size`` caps dies per population chunk (default: one chunk
+    per worker and group).
 
     Pass either a ready ``verifier`` or ``calibration`` + ``format`` to
     build one.  ``seed`` is accepted for calling-convention uniformity;
@@ -429,6 +609,10 @@ def verify_population(
                 "pass a verifier, or calibration= and format= to build one"
             )
         verifier = WatermarkVerifier(calibration, format)
+    if batch not in ("auto", "population", "die"):
+        raise ValueError(
+            f"batch must be 'auto', 'population' or 'die', got {batch!r}"
+        )
     del seed  # reserved: verification derives no randomness of its own
     tel = telemetry if telemetry is not None else current_telemetry()
     bare = [getattr(c, "chip", c) for c in chips]
@@ -437,20 +621,49 @@ def verify_population(
             f"trace_contexts has {len(trace_contexts)} entries for "
             f"{len(bare)} chip(s)"
         )
-    jobs = [
+
+    def _traceparent(i: int) -> Optional[str]:
+        return trace_contexts[i] if trace_contexts is not None else None
+
+    per_die, batch_chunks = _plan_verify_jobs(
+        bare, segment, batch, batch_size, workers
+    )
+    path_by_index = ["die"] * len(bare)
+    jobs: List[object] = [
         VerifyJob(
             index=i,
-            chip=copy.deepcopy(chip),
+            chip=copy.deepcopy(bare[i]),
             verifier=verifier,
             segment=segment,
             n_reads=n_reads,
             temperature_c=temperature_c,
-            traceparent=(
-                trace_contexts[i] if trace_contexts is not None else None
-            ),
+            traceparent=_traceparent(i),
         )
-        for i, chip in enumerate(bare)
+        for i in per_die
     ]
+    for chunk in batch_chunks:
+        jobs.append(
+            VerifyBatchJob(
+                indices=tuple(chunk),
+                population=ChipPopulation.from_chips(
+                    [bare[i] for i in chunk], segment
+                ),
+                verifier=verifier,
+                segment=segment,
+                n_reads=n_reads,
+                temperature_c=temperature_c,
+                traceparents=tuple(_traceparent(i) for i in chunk),
+                addresses=tuple(
+                    bare[i].geometry.segment_base(segment) for i in chunk
+                ),
+                keep_events=tuple(
+                    bare[i].trace.keep_events for i in chunk
+                ),
+                max_events=tuple(bare[i].trace.max_events for i in chunk),
+            )
+        )
+        for i in chunk:
+            path_by_index[i] = "population"
     executor = BatchExecutor(
         workers,
         chunk_size=chunk_size,
@@ -458,18 +671,26 @@ def verify_population(
         retries=retries,
     )
     with tel.span(
-        "verify.population", n_chips=len(jobs), workers=workers
+        "verify.population",
+        n_chips=len(bare),
+        workers=workers,
+        batch=batch,
+        batched_chips=sum(len(c) for c in batch_chunks),
     ) as pop_span:
-        batch = executor.map(run_verify_job, jobs, telemetry=tel)
+        batch_result = executor.map(_run_verify_unit, jobs, telemetry=tel)
         prefix = getattr(pop_span, "path", None)
-        for verified in batch.successes():
-            tel.absorb(verified.telemetry, prefix=prefix)
-        reports: List[Optional[VerificationReport]] = [None] * len(jobs)
+        for unit in batch_result.successes():
+            for verified in unit:
+                tel.absorb(verified.telemetry, prefix=prefix)
+        reports: List[Optional[VerificationReport]] = [None] * len(bare)
         merged = OperationTrace()
-        for verified in batch.successes():
-            reports[verified.index] = verified.report
-            merged.merge(verified.trace)
-            tel.count(f"verify.verdict.{verified.report.verdict.value}")
+        for unit in batch_result.successes():
+            for verified in unit:
+                reports[verified.index] = verified.report
+                merged.merge(verified.trace)
+                tel.count(
+                    f"verify.verdict.{verified.report.verdict.value}"
+                )
         if any(r is not None for r in reports):
             pop_span.set(
                 "verdicts",
@@ -486,19 +707,22 @@ def verify_population(
             )
     result = VerificationResult(
         results=reports,
-        failures=batch.failures,
-        workers=batch.workers,
-        wall_s=batch.wall_s,
+        failures=batch_result.failures,
+        workers=batch_result.workers,
+        wall_s=batch_result.wall_s,
     )
     result.manifest = build_manifest(
         tel,
         kind="verification_batch",
         parameters={
-            "n_chips": len(jobs),
+            "n_chips": len(bare),
             "segment": segment,
             "n_reads": n_reads,
             "temperature_c": temperature_c,
-            "workers": batch.workers,
+            "workers": batch_result.workers,
+            "batch": batch,
+            "batched_chips": sum(len(c) for c in batch_chunks),
+            "per_die_chips": len(per_die),
         },
         seeds={"chip_seeds": [c.seed for c in bare]},
         trace=merged,
@@ -511,6 +735,7 @@ def verify_population(
                     "verdict": r.verdict.value if r is not None else None,
                     "ber": r.ber if r is not None else None,
                     "reason": r.reason if r is not None else "job failed",
+                    "path": path_by_index[i],
                 }
                 for i, r in enumerate(reports)
             ],

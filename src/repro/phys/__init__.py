@@ -7,7 +7,8 @@ oxide wear from cycling, process variation, noise, and retention loss.
 
 The device simulator (:mod:`repro.device`) evaluates these models over
 whole segments at once; :class:`FloatingGateCell` offers the same physics
-for a single cell.
+for a single cell, and :mod:`repro.phys.kernels` lifts the hot-path
+formulas one axis higher to ``(n_dies, n_cells)`` population matrices.
 """
 
 from .cell import FloatingGateCell
@@ -17,6 +18,14 @@ from .erase import (
     crossing_time_us,
     erase_delta_v,
     time_to_reach_us,
+)
+from .kernels import (
+    population_crossing_times_us,
+    population_effective_cycles,
+    population_erase_transient,
+    population_majority_read,
+    population_program_targets,
+    population_tau_us,
 )
 from .noise import erase_tau_jitter, program_noise, read_noise
 from .program import apply_program_transient, program_progress
@@ -44,6 +53,12 @@ __all__ = [
     "effective_cycles",
     "tau_wear_multiplier",
     "programmed_level_shift",
+    "population_effective_cycles",
+    "population_tau_us",
+    "population_crossing_times_us",
+    "population_erase_transient",
+    "population_program_targets",
+    "population_majority_read",
     "RetentionParams",
     "retention_loss_v",
 ]

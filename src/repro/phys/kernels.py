@@ -1,0 +1,202 @@
+"""Population-level physics kernels: whole chip fleets as 2-D arrays.
+
+The scalar model (:mod:`repro.phys.cell`) simulates one cell and the
+die model (:class:`repro.device.NorFlashArray`) vectorises one die's
+cells as 1-D arrays.  Counterfeit screening, however, is a *population*
+statistic — the deployment story of Section I verifies whole shipments
+— so the hot path wants one more axis: every kernel here operates on
+``(n_dies, n_cells)`` matrices, computing the erase transient, wear
+multiplier, programmed-level shift and majority-vote read for hundreds
+of dies in a handful of numpy dispatches.
+
+Equivalence contract
+--------------------
+Each kernel applies exactly the same per-element expressions — in the
+same floating-point evaluation order — as the 1-D die model, so a row
+of a population kernel's output is bit-identical to running the
+corresponding :class:`~repro.device.NorFlashArray` operation on that
+die alone.  ``tests/phys/test_kernels.py`` pins every kernel against
+the scalar :class:`~repro.phys.cell.FloatingGateCell` model with
+hypothesis property tests, and the engine's golden-equivalence suite
+(``tests/engine/test_verify_batch.py``) checks the end-to-end verify
+path byte-for-byte.
+
+Randomness never enters these kernels: noise is drawn by the caller
+(see :class:`repro.device.ChipPopulation` for the per-die RNG stream
+ordering contract) and passed in as arrays, which keeps the kernels
+pure and the draw order auditable in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .constants import CellParams, PhysicalParams, WearParams
+from .erase import apply_erase_transient, crossing_time_us
+from .wear import (
+    effective_cycles,
+    programmed_level_shift,
+    tau_wear_multiplier,
+)
+
+__all__ = [
+    "population_effective_cycles",
+    "population_tau_us",
+    "population_crossing_times_us",
+    "population_erase_transient",
+    "population_program_targets",
+    "population_majority_read",
+]
+
+
+def _require_2d(name: str, value: np.ndarray) -> np.ndarray:
+    value = np.asarray(value)
+    if value.ndim != 2:
+        raise ValueError(
+            f"{name} must be a (n_dies, n_cells) matrix, "
+            f"got shape {value.shape}"
+        )
+    return value
+
+
+def population_effective_cycles(
+    program_cycles: np.ndarray,
+    erase_only_cycles: np.ndarray,
+    params: WearParams,
+) -> np.ndarray:
+    """Effective stress-cycle count per cell, ``(n_dies, n_cells)``."""
+    return effective_cycles(
+        _require_2d("program_cycles", program_cycles),
+        _require_2d("erase_only_cycles", erase_only_cycles),
+        params,
+    )
+
+
+def population_tau_us(
+    tau0_us: np.ndarray,
+    program_cycles: np.ndarray,
+    erase_only_cycles: np.ndarray,
+    susceptibility: np.ndarray,
+    temperature_c: np.ndarray,
+    params: PhysicalParams,
+) -> np.ndarray:
+    """Wear- and temperature-adjusted erase time constant [us], 2-D.
+
+    ``temperature_c`` is one junction temperature per die, broadcast
+    down the cell axis; the multiplication order (``tau0 * wear_mult *
+    temp_factor``) matches
+    :meth:`~repro.device.NorFlashArray.current_tau_us` exactly so the
+    result is bit-identical per element.
+    """
+    tau0_us = _require_2d("tau0_us", tau0_us)
+    n_eff = population_effective_cycles(
+        program_cycles, erase_only_cycles, params.wear
+    )
+    mult = tau_wear_multiplier(
+        n_eff, _require_2d("susceptibility", susceptibility), params.wear
+    )
+    cell = params.cell
+    temp_factor = np.exp(
+        -cell.erase_temp_coefficient_per_k
+        * (np.asarray(temperature_c, dtype=np.float64)
+           - cell.nominal_temperature_c)
+    )
+    return tau0_us * mult * temp_factor[:, None]
+
+
+def population_crossing_times_us(
+    vth: np.ndarray,
+    tau_us: np.ndarray,
+    cell: CellParams,
+) -> np.ndarray:
+    """Partial-erase time at which each cell would read erased [us], 2-D."""
+    return crossing_time_us(
+        _require_2d("vth", vth),
+        cell.v_ref,
+        _require_2d("tau_us", tau_us),
+        cell.erase_slope_v_per_decade,
+    )
+
+
+def population_erase_transient(
+    vth: np.ndarray,
+    t_us: float,
+    tau_us: np.ndarray,
+    vth_floor: np.ndarray,
+    cell: CellParams,
+) -> np.ndarray:
+    """Threshold voltage of every cell after one erase pulse [V], 2-D.
+
+    ``tau_us`` carries any per-pulse jitter the caller drew; the
+    transient itself is the same clamped log-time law the die model
+    applies.
+    """
+    return apply_erase_transient(
+        _require_2d("vth", vth),
+        np.float64(t_us),
+        _require_2d("tau_us", tau_us),
+        _require_2d("vth_floor", vth_floor),
+        cell.erase_slope_v_per_decade,
+    )
+
+
+def population_program_targets(
+    vth_programmed: np.ndarray,
+    program_cycles: np.ndarray,
+    erase_only_cycles: np.ndarray,
+    susceptibility: np.ndarray,
+    noise: Optional[np.ndarray],
+    params: PhysicalParams,
+) -> np.ndarray:
+    """Post-program threshold voltage of every cell [V], 2-D.
+
+    Mirrors :meth:`~repro.device.NorFlashArray.program_bits` for an
+    all-zeros pattern (program every cell): the wear counters must
+    already include the program operation being applied.  ``noise`` is
+    the caller-drawn per-cell program noise, or ``None`` when the
+    family's program noise is disabled (the die model adds a scalar
+    ``0.0`` in that case; so does this kernel, keeping the float
+    expression identical).
+    """
+    vth_programmed = _require_2d("vth_programmed", vth_programmed)
+    n_eff = population_effective_cycles(
+        program_cycles, erase_only_cycles, params.wear
+    )
+    shift = programmed_level_shift(
+        n_eff, params.wear, _require_2d("susceptibility", susceptibility)
+    )
+    if noise is None:
+        return vth_programmed + shift + 0.0
+    return vth_programmed + shift + _require_2d("noise", noise)
+
+
+def population_majority_read(
+    vth: np.ndarray,
+    noise: Optional[np.ndarray],
+    cell: CellParams,
+    n_reads: int = 1,
+) -> np.ndarray:
+    """Majority-vote sensed bits of every cell, ``(n_dies, n_cells)`` uint8.
+
+    ``noise`` is the caller-drawn read noise shaped ``(n_dies, n_reads,
+    n_cells)`` — each die's block drawn from its own generator with the
+    same ``(n_reads, n_cells)`` shape the die model uses — or ``None``
+    for a noiseless threshold compare.
+    """
+    vth = _require_2d("vth", vth)
+    if n_reads < 1 or n_reads % 2 == 0:
+        raise ValueError("n_reads must be a positive odd number")
+    if noise is None:
+        return (vth < cell.v_ref).astype(np.uint8)
+    noise = np.asarray(noise)
+    if noise.ndim != 3 or noise.shape[0] != vth.shape[0] or (
+        noise.shape[1] != n_reads or noise.shape[2] != vth.shape[1]
+    ):
+        raise ValueError(
+            f"noise must be shaped (n_dies, {n_reads}, n_cells), "
+            f"got {noise.shape}"
+        )
+    ones = np.count_nonzero(vth[:, None, :] + noise < cell.v_ref, axis=1)
+    return (ones > n_reads // 2).astype(np.uint8)

@@ -106,6 +106,12 @@ class ServerConfig:
     #: (:class:`~repro.monitor.FleetMonitor`): drift detection, SLO
     #: burn alerting, the ``monitor`` wire op and ``monitor.*`` gauges.
     monitoring: bool = True
+    #: Engine dispatch strategy for each verify call: ``"auto"`` stacks
+    #: same-family chips of a micro-batch into population chunks (the
+    #: 2-D kernel fast path, byte-identical verdicts), ``"die"`` forces
+    #: the legacy one-job-per-chip path, ``"population"`` batches even
+    #: singletons.
+    engine_batch: str = "auto"
     #: Hashcash proof-of-work difficulty (leading zero bits) every
     #: verify request's ``pow`` ticket must clear.  0 disables the gate
     #: entirely — no 428s, byte-identical admission to pre-PoW servers.
@@ -887,6 +893,7 @@ class VerificationServer:
                     workers=self.config.workers,
                     telemetry=batch_tel,
                     trace_contexts=good_tps,
+                    batch=self.config.engine_batch,
                 )
                 if good
                 else None

@@ -1,0 +1,195 @@
+"""Tests for ChipPopulation: stacked-die state and batched extraction.
+
+The population layer's promise is bit-identity with the serial
+controller sequence, so nearly every assertion here is exact: same
+bits, same device-clock microseconds, same energy, same RNG stream
+positions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import extract_segment
+from repro.device import ChipPopulation, make_mcu
+from repro.device.tracing import OperationTrace
+from repro.phys.constants import PhysicalParams
+
+
+def _fleet(n=4, seed0=100, n_segments=1, worn_every=2, n_pe=20_000):
+    """A small mixed fleet: every ``worn_every``-th die is stressed."""
+    chips = []
+    for k in range(n):
+        chip = make_mcu(seed=seed0 + k, n_segments=n_segments)
+        if worn_every and k % worn_every == 0:
+            stripes = (np.arange(4096) % 2).astype(np.uint8)
+            chip.flash.bulk_pe_cycles(0, stripes, n_pe)
+        chips.append(chip)
+    return chips
+
+
+def _serial_extract(chip, segment, t_pew_us, n_reads):
+    """The reference serial extraction on a private copy of ``chip``."""
+    import copy
+
+    mine = copy.deepcopy(chip)
+    mine.trace.reset()
+    return extract_segment(
+        mine.flash, segment, t_pew_us, n_reads=n_reads
+    ), mine
+
+
+class TestConstruction:
+    def test_from_chips_shapes(self):
+        chips = _fleet(3)
+        pop = ChipPopulation.from_chips(chips, 0)
+        assert pop.n_dies == 3
+        assert pop.n_cells == 4096
+        for name in (
+            "vth",
+            "tau0_us",
+            "susceptibility",
+            "vth_programmed",
+            "vth_erased",
+            "program_cycles",
+            "erase_only_cycles",
+            "programmed_since_erase",
+        ):
+            assert getattr(pop, name).shape == (3, 4096), name
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero chips"):
+            ChipPopulation.from_chips([], 0)
+
+    def test_mixed_params_rejected(self):
+        a = make_mcu(seed=1, n_segments=1)
+        b = make_mcu(
+            seed=2,
+            n_segments=1,
+            params=PhysicalParams(
+                noise=PhysicalParams().noise.__class__(read_sigma_v=0.5)
+            ),
+        )
+        with pytest.raises(ValueError, match="batch_key"):
+            ChipPopulation.from_chips([a, b], 0)
+
+    def test_batch_key_groups_same_family(self):
+        a = make_mcu(seed=1, n_segments=1)
+        b = make_mcu(seed=2, n_segments=1)
+        assert ChipPopulation.batch_key(a, 0) == ChipPopulation.batch_key(
+            b, 0
+        )
+
+    def test_batch_key_bad_segment_raises(self):
+        chip = make_mcu(seed=1, n_segments=1)
+        with pytest.raises(Exception):
+            ChipPopulation.batch_key(chip, 99)
+
+
+class TestNonMutation:
+    def test_inputs_untouched_by_extraction(self):
+        chips = _fleet(3)
+        before = [
+            (
+                c.array.vth.copy(),
+                c.array.program_cycles.copy(),
+                c.array.erase_only_cycles.copy(),
+                c.array.programmed_since_erase.copy(),
+                repr(c.rng.bit_generator.state),
+            )
+            for c in chips
+        ]
+        pop = ChipPopulation.from_chips(chips, 0)
+        pop.extract_readout(23.0, n_reads=3)
+        for chip, (vth, pc, eo, pse, rng_state) in zip(chips, before):
+            assert np.array_equal(chip.array.vth, vth)
+            assert np.array_equal(chip.array.program_cycles, pc)
+            assert np.array_equal(chip.array.erase_only_cycles, eo)
+            assert np.array_equal(chip.array.programmed_since_erase, pse)
+            assert repr(chip.rng.bit_generator.state) == rng_state
+
+    def test_clone_is_independent(self):
+        pop = ChipPopulation.from_chips(_fleet(2), 0)
+        twin = pop.clone()
+        twin.extract_readout(23.0)
+        # original still replays the same stream from its own state
+        a = pop.extract_readout(23.0)
+        b = ChipPopulation.from_chips(_fleet(2), 0).extract_readout(23.0)
+        assert np.array_equal(a.raw_bits, b.raw_bits)
+
+
+class TestExtractionEquivalence:
+    @pytest.mark.parametrize("n_reads", [1, 3])
+    def test_bits_match_serial_per_die(self, n_reads):
+        chips = _fleet(4)
+        pop = ChipPopulation.from_chips(chips, 0)
+        readout = pop.extract_readout(23.0, n_reads=n_reads)
+        for row, chip in enumerate(chips):
+            serial, _ = _serial_extract(chip, 0, 23.0, n_reads)
+            assert np.array_equal(readout.raw_bits[row], serial.raw_bits)
+
+    def test_worn_and_fresh_dies_both_match(self):
+        chips = _fleet(4, worn_every=2, n_pe=60_000)
+        pop = ChipPopulation.from_chips(chips, 0)
+        readout = pop.extract_readout(30.0, n_reads=1)
+        for row, chip in enumerate(chips):
+            serial, _ = _serial_extract(chip, 0, 30.0, 1)
+            assert np.array_equal(readout.raw_bits[row], serial.raw_bits)
+
+    def test_duration_matches_serial_device_clock(self):
+        chips = _fleet(2)
+        pop = ChipPopulation.from_chips(chips, 0)
+        readout = pop.extract_readout(23.0, n_reads=3)
+        serial, mine = _serial_extract(chips[0], 0, 23.0, 3)
+        assert readout.duration_us == mine.trace.now_us
+        assert readout.duration_us / 1e3 == serial.duration_ms
+
+    def test_single_die_population_matches(self):
+        chips = _fleet(1, worn_every=1)
+        pop = ChipPopulation.from_chips(chips, 0)
+        readout = pop.extract_readout(18.0, n_reads=5)
+        serial, _ = _serial_extract(chips[0], 0, 18.0, 5)
+        assert np.array_equal(readout.raw_bits[0], serial.raw_bits)
+
+    def test_negative_window_rejected(self):
+        pop = ChipPopulation.from_chips(_fleet(1), 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            pop.extract_readout(-1.0)
+
+    def test_even_reads_rejected(self):
+        pop = ChipPopulation.from_chips(_fleet(1), 0)
+        with pytest.raises(ValueError, match="odd"):
+            pop.read_bits(n_reads=2)
+
+
+class TestTraceParity:
+    def test_charge_extraction_matches_controller(self):
+        chip = make_mcu(seed=7, n_segments=1)
+        serial, mine = _serial_extract(chip, 0, 23.0, 3)
+
+        pop = ChipPopulation.from_chips([chip], 0)
+        trace = OperationTrace()
+        pop.charge_extraction(
+            trace, 23.0, 3, address=chip.geometry.segment_base(0)
+        )
+        assert trace.now_us == mine.trace.now_us
+        assert trace.energy_uj == mine.trace.energy_uj
+        assert trace.op_counts == mine.trace.op_counts
+
+    def test_charge_extraction_event_parity(self):
+        chip = make_mcu(seed=8, n_segments=1, keep_trace_events=True)
+        serial, mine = _serial_extract(chip, 0, 23.0, 1)
+
+        pop = ChipPopulation.from_chips([chip], 0)
+        trace = OperationTrace(keep_events=True)
+        pop.charge_extraction(
+            trace, 23.0, 1, address=chip.geometry.segment_base(0)
+        )
+        ours = [
+            (e.op, e.duration_us, e.address)
+            for e in trace.events()
+        ]
+        theirs = [
+            (e.op, e.duration_us, e.address)
+            for e in mine.trace.events()
+        ]
+        assert ours == theirs

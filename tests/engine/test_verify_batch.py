@@ -1,0 +1,322 @@
+"""Golden-equivalence suite: batched population verify vs the per-die path.
+
+The batched path's contract is *byte-identity*, not statistical
+agreement: for every die, ``batch="population"`` must return the same
+verdict, the same BER, the same reason string, the same decoded bits,
+the same raw extracted bits and the same device-clock duration as
+``batch="die"``.  The grid here sweeps seeds, wear levels (fresh and
+recycled dies), temperatures and ``n_reads`` — the axes along which a
+draw-order or kernel bug would first show up.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import Watermark
+from repro.core.imprint import imprint_watermark
+from repro.core.verifier import WatermarkFormat
+from repro.device import ChipPopulation, McuFactory, make_mcu
+from repro.engine import calibrate_family, verify_population
+from repro.engine.api import (
+    VerifyBatchJob,
+    VerifyJob,
+    run_verify_batch_job,
+    run_verify_job,
+)
+from repro.phys.constants import NoiseParams, PhysicalParams
+from repro.telemetry import Telemetry
+
+WORKERS = int(os.environ.get("REPRO_ENGINE_TEST_WORKERS", "2"))
+
+N_PE = 4000
+GRID = tuple(np.arange(16.0, 36.0, 4.0))
+FACTORY = McuFactory(model="MSP430F5438", n_segments=1)
+
+
+def _report_fingerprint(report):
+    """Everything observable about one report, for exact comparison."""
+    if report is None:
+        return None
+    return (
+        report.verdict,
+        report.ber,
+        report.reason,
+        report.bits.tobytes(),
+        report.decoded.extraction.raw_bits.tobytes(),
+        report.decoded.extraction.duration_ms,
+        report.decoded.extraction.t_pew_us,
+        report.stressed_outliers,
+        report.balance_violations,
+        report.tampered_pairs,
+    )
+
+
+def _fingerprints(result):
+    return [_report_fingerprint(r) for r in result.results]
+
+
+def _build_fleet(n_chips, *, seed0=40, watermark, worn_every=3):
+    """A mixed fleet: imprinted dies, some recycled (pre-stressed)."""
+    chips = []
+    for k in range(n_chips):
+        chip = make_mcu(seed=seed0 + k, n_segments=1)
+        if worn_every and k % worn_every == 2:
+            # A recycled die: uneven prior wear under the watermark.
+            stripes = ((np.arange(4096) // 64) % 2).astype(np.uint8)
+            chip.flash.bulk_pe_cycles(0, stripes, 30_000)
+        if k % 4 != 3:  # leave every 4th die blank (no watermark)
+            imprint_watermark(
+                chip.flash, 0, watermark, N_PE,
+                n_replicas=7, accelerated=True,
+            )
+        chips.append(chip)
+    return chips
+
+
+@pytest.fixture(scope="module")
+def family():
+    calibration = calibrate_family(
+        FACTORY, N_PE, n_replicas=7, t_grid_us=GRID
+    ).calibration
+    fmt = WatermarkFormat(n_bits=32, n_replicas=7, balanced=True)
+    watermark = Watermark.ascii_uppercase(
+        4, np.random.default_rng(5)
+    ).balanced()
+    return calibration, fmt, watermark
+
+
+@pytest.fixture(scope="module")
+def fleet(family):
+    _, _, watermark = family
+    return _build_fleet(8, watermark=watermark)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("n_reads", [1, 3, 5])
+    @pytest.mark.parametrize("temperature_c", [None, 85.0])
+    def test_population_matches_die(
+        self, family, fleet, n_reads, temperature_c
+    ):
+        calibration, fmt, _ = family
+        kwargs = dict(
+            calibration=calibration,
+            format=fmt,
+            n_reads=n_reads,
+            temperature_c=temperature_c,
+        )
+        die = verify_population(fleet, batch="die", **kwargs)
+        pop = verify_population(fleet, batch="population", **kwargs)
+        auto = verify_population(fleet, batch="auto", **kwargs)
+        assert _fingerprints(pop) == _fingerprints(die)
+        assert _fingerprints(auto) == _fingerprints(die)
+
+    @pytest.mark.parametrize("seed0", [40, 900, 31337])
+    def test_across_seeds(self, family, seed0):
+        calibration, fmt, watermark = family
+        chips = _build_fleet(4, seed0=seed0, watermark=watermark)
+        die = verify_population(
+            chips, calibration=calibration, format=fmt, batch="die"
+        )
+        pop = verify_population(
+            chips, calibration=calibration, format=fmt, batch="population"
+        )
+        assert _fingerprints(pop) == _fingerprints(die)
+
+    def test_device_clock_and_manifest_parity(self, family, fleet):
+        calibration, fmt, _ = family
+        die = verify_population(
+            fleet, calibration=calibration, format=fmt, batch="die"
+        )
+        pop = verify_population(
+            fleet, calibration=calibration, format=fmt, batch="population"
+        )
+        assert (
+            pop.manifest["device"]["now_us"]
+            == die.manifest["device"]["now_us"]
+        )
+        for a, b in zip(pop.manifest["chips"], die.manifest["chips"]):
+            assert a["verdict"] == b["verdict"]
+            assert a["ber"] == b["ber"]
+            assert a["die_id"] == b["die_id"]
+
+    def test_pool_matches_inline(self, family, fleet):
+        calibration, fmt, _ = family
+        inline = verify_population(
+            fleet, calibration=calibration, format=fmt,
+            batch="population", workers=1,
+        )
+        pooled = verify_population(
+            fleet, calibration=calibration, format=fmt,
+            batch="population", workers=WORKERS,
+        )
+        assert _fingerprints(pooled) == _fingerprints(inline)
+
+
+class TestPlanning:
+    def test_manifest_records_paths(self, family, fleet):
+        calibration, fmt, _ = family
+        result = verify_population(
+            fleet, calibration=calibration, format=fmt, batch="population"
+        )
+        params = result.manifest["parameters"]
+        assert params["batch"] == "population"
+        assert params["batched_chips"] == len(fleet)
+        assert params["per_die_chips"] == 0
+        assert all(
+            c["path"] == "population" for c in result.manifest["chips"]
+        )
+
+    def test_die_path_records_die(self, family, fleet):
+        calibration, fmt, _ = family
+        result = verify_population(
+            fleet, calibration=calibration, format=fmt, batch="die"
+        )
+        params = result.manifest["parameters"]
+        assert params["batched_chips"] == 0
+        assert params["per_die_chips"] == len(fleet)
+        assert all(c["path"] == "die" for c in result.manifest["chips"])
+
+    def test_out_of_family_chip_falls_back_per_die(self, family, fleet):
+        calibration, fmt, watermark = family
+        odd = make_mcu(
+            seed=999,
+            n_segments=1,
+            params=PhysicalParams(
+                noise=NoiseParams(read_sigma_v=0.31)
+            ),
+        )
+        chips = list(fleet) + [odd]
+        result = verify_population(
+            chips, calibration=calibration, format=fmt, batch="auto"
+        )
+        params = result.manifest["parameters"]
+        # The odd chip's batch_key differs, so it becomes a singleton
+        # group that "auto" demotes to the per-die path.
+        assert params["per_die_chips"] == 1
+        assert params["batched_chips"] == len(fleet)
+        assert result.manifest["chips"][-1]["path"] == "die"
+        # Equivalence still holds for the whole mixed fleet.
+        die = verify_population(
+            chips, calibration=calibration, format=fmt, batch="die"
+        )
+        assert _fingerprints(result) == _fingerprints(die)
+
+    def test_locked_chip_fails_identically(self, family, fleet):
+        calibration, fmt, _ = family
+        chips = [make_mcu(seed=77, n_segments=1) for _ in range(3)]
+        chips[1].flash.locked = True
+        pop = verify_population(
+            chips, calibration=calibration, format=fmt, batch="population"
+        )
+        die = verify_population(
+            chips, calibration=calibration, format=fmt, batch="die"
+        )
+        assert pop.manifest["chips"][1]["path"] == "die"
+        assert _fingerprints(pop) == _fingerprints(die)
+
+    def test_batch_size_splits_chunks(self, family, fleet):
+        calibration, fmt, _ = family
+        result = verify_population(
+            fleet, calibration=calibration, format=fmt,
+            batch="population", batch_size=3,
+        )
+        die = verify_population(
+            fleet, calibration=calibration, format=fmt, batch="die"
+        )
+        assert _fingerprints(result) == _fingerprints(die)
+
+    def test_auto_demotes_singleton(self, family):
+        calibration, fmt, watermark = family
+        chips = [make_mcu(seed=5, n_segments=1)]
+        result = verify_population(
+            chips, calibration=calibration, format=fmt, batch="auto"
+        )
+        assert result.manifest["chips"][0]["path"] == "die"
+
+    def test_invalid_batch_rejected(self, family, fleet):
+        calibration, fmt, _ = family
+        with pytest.raises(ValueError, match="batch"):
+            verify_population(
+                fleet, calibration=calibration, format=fmt, batch="rows"
+            )
+
+
+class TestJobLevel:
+    def test_batch_job_matches_per_die_jobs(self, family, fleet):
+        """Direct worker-function parity, no executor in the loop."""
+        import copy
+
+        calibration, fmt, _ = family
+        from repro.core.verifier import WatermarkVerifier
+
+        verifier = WatermarkVerifier(calibration, fmt)
+        chips = fleet[:3]
+        batch = VerifyBatchJob(
+            indices=(0, 1, 2),
+            population=ChipPopulation.from_chips(chips, 0),
+            verifier=verifier,
+            n_reads=3,
+            traceparents=(None,) * 3,
+            addresses=tuple(
+                c.geometry.segment_base(0) for c in chips
+            ),
+            keep_events=(False,) * 3,
+            max_events=(None,) * 3,
+        )
+        batched = run_verify_batch_job(batch)
+        for k, chip in enumerate(chips):
+            single = run_verify_job(
+                VerifyJob(
+                    index=k,
+                    chip=copy.deepcopy(chip),
+                    verifier=verifier,
+                    n_reads=3,
+                )
+            )
+            assert _report_fingerprint(
+                batched[k].report
+            ) == _report_fingerprint(single.report)
+            assert batched[k].trace.now_us == single.trace.now_us
+            assert batched[k].trace.energy_uj == single.trace.energy_uj
+            assert batched[k].trace.op_counts == single.trace.op_counts
+
+    def test_inputs_not_mutated(self, family, fleet):
+        calibration, fmt, _ = family
+        before = [
+            (c.array.vth.copy(), repr(c.rng.bit_generator.state))
+            for c in fleet
+        ]
+        verify_population(
+            fleet, calibration=calibration, format=fmt, batch="population"
+        )
+        for chip, (vth, state) in zip(fleet, before):
+            assert np.array_equal(chip.array.vth, vth)
+            assert repr(chip.rng.bit_generator.state) == state
+
+
+class TestSpans:
+    def test_span_counts_match_die_path(self, family, fleet):
+        calibration, fmt, _ = family
+        tel_pop = Telemetry()
+        verify_population(
+            fleet, calibration=calibration, format=fmt,
+            batch="population", telemetry=tel_pop,
+        )
+        tel_die = Telemetry()
+        verify_population(
+            fleet, calibration=calibration, format=fmt,
+            batch="die", telemetry=tel_die,
+        )
+        pop_stats = tel_pop.span_stats()
+        die_stats = tel_die.span_stats()
+        assert pop_stats["verify.population"]["count"] == 1
+        assert (
+            pop_stats["verify.population/verify.chip"]["count"]
+            == die_stats["verify.population/verify.chip"]["count"]
+            == len(fleet)
+        )

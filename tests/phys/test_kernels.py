@@ -1,0 +1,250 @@
+"""Tests for the 2-D population kernels.
+
+The kernels' contract is *bit-identity*: a row of a population kernel's
+output must equal, bit for bit, the corresponding 1-D die-model (or
+scalar cell-model) computation.  Hypothesis drives the state space —
+wear levels, threshold voltages, temperatures — and every comparison is
+exact equality, never ``allclose``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phys import (
+    FloatingGateCell,
+    PhysicalParams,
+    apply_erase_transient,
+    crossing_time_us,
+    population_crossing_times_us,
+    population_effective_cycles,
+    population_erase_transient,
+    population_majority_read,
+    population_program_targets,
+    population_tau_us,
+)
+from repro.phys.wear import (
+    effective_cycles,
+    programmed_level_shift,
+    tau_wear_multiplier,
+)
+
+PARAMS = PhysicalParams()
+
+finite = st.floats(
+    min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+vth_values = st.floats(
+    min_value=-1.0, max_value=8.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _wear_matrix(draw_rows, n_cells, rng):
+    return np.stack(
+        [np.abs(rng.normal(loc=r, scale=0.2 * (r + 1), size=n_cells))
+         for r in draw_rows]
+    )
+
+
+class TestEffectiveCycles:
+    @given(
+        pc=st.lists(finite, min_size=1, max_size=6),
+        eo=st.lists(finite, min_size=1, max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_1d_rows(self, pc, eo):
+        n = min(len(pc), len(eo))
+        pcm = np.array([pc[:n], pc[:n]])
+        eom = np.array([eo[:n], eo[:n]])
+        out = population_effective_cycles(pcm, eom, PARAMS.wear)
+        for row in range(2):
+            expect = effective_cycles(pcm[row], eom[row], PARAMS.wear)
+            assert np.array_equal(out[row], expect)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="matrix"):
+            population_effective_cycles(
+                np.zeros(4), np.zeros((2, 4)), PARAMS.wear
+            )
+
+
+class TestTau:
+    @given(seed=st.integers(0, 2**31 - 1), temp=st.floats(-40.0, 125.0))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_array_current_tau(self, seed, temp):
+        """Each row equals NorFlashArray.current_tau_us for that die."""
+        from repro.device import make_mcu
+
+        chips = [make_mcu(seed=seed + k, n_segments=1) for k in range(3)]
+        for chip in chips:
+            chip.set_temperature(temp)
+        sl = chips[0].geometry.segment_bit_slice(0)
+        out = population_tau_us(
+            np.stack([c.array.static.tau0_us[sl] for c in chips]),
+            np.stack([c.array.program_cycles[sl] for c in chips]),
+            np.stack([c.array.erase_only_cycles[sl] for c in chips]),
+            np.stack(
+                [c.array.static.wear_susceptibility[sl] for c in chips]
+            ),
+            np.array([c.array.temperature_c for c in chips]),
+            PARAMS,
+        )
+        for row, chip in enumerate(chips):
+            assert np.array_equal(out[row], chip.array.current_tau_us(sl))
+
+
+class TestCrossingTimes:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_pe=st.integers(0, 120_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_cell(self, seed, n_pe):
+        """2-D crossing-time kernel vs the scalar FloatingGateCell.
+
+        The scalar model computes ``tau0 * float(mult)`` and feeds it to
+        the same ``crossing_time_us``; at the nominal temperature the
+        kernel's extra ``* temp_factor`` is ``* 1.0`` (exact in IEEE
+        arithmetic), so equality must be bit-exact.
+        """
+        cells = [
+            FloatingGateCell(PARAMS, np.random.default_rng(seed + k))
+            for k in range(4)
+        ]
+        for k, cell in enumerate(cells):
+            cell.program_cycles = n_pe + k
+            cell.vth = cell._vth_programmed
+        tau = population_tau_us(
+            np.array([[c._tau0_us] for c in cells]),
+            np.array([[float(c.program_cycles)] for c in cells]),
+            np.array([[float(c.erase_only_cycles)] for c in cells]),
+            np.array([[c._susceptibility] for c in cells]),
+            np.full(4, PARAMS.cell.nominal_temperature_c),
+            PARAMS,
+        )
+        out = population_crossing_times_us(
+            np.array([[c.vth] for c in cells]), tau, PARAMS.cell
+        )
+        for row, cell in enumerate(cells):
+            assert out[row, 0] == cell.erase_crossing_time_us()
+
+    def test_already_crossed_is_zero(self):
+        vth = np.full((2, 3), PARAMS.cell.v_ref - 1.0)
+        tau = np.ones((2, 3))
+        out = population_crossing_times_us(vth, tau, PARAMS.cell)
+        assert np.array_equal(out, np.zeros((2, 3)))
+
+
+class TestEraseTransient:
+    @given(
+        vth=st.lists(vth_values, min_size=2, max_size=5),
+        t_us=st.floats(0.0, 1e6, allow_nan=False),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_1d_rows(self, vth, t_us, seed):
+        rng = np.random.default_rng(seed)
+        n = len(vth)
+        vth2 = np.stack([np.array(vth), np.array(vth)[::-1].copy()])
+        tau = np.abs(rng.normal(30.0, 10.0, size=(2, n))) + 1.0
+        floor = np.full((2, n), 1.5)
+        out = population_erase_transient(
+            vth2, t_us, tau, floor, PARAMS.cell
+        )
+        for row in range(2):
+            expect = apply_erase_transient(
+                vth2[row],
+                np.float64(t_us),
+                tau[row],
+                floor[row],
+                PARAMS.cell.erase_slope_v_per_decade,
+            )
+            assert np.array_equal(out[row], expect)
+
+
+class TestProgramTargets:
+    @given(seed=st.integers(0, 2**31 - 1), n_pe=st.integers(1, 120_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_wear_formula(self, seed, n_pe):
+        rng = np.random.default_rng(seed)
+        pc = np.full((2, 4), float(n_pe))
+        eo = np.abs(rng.normal(0.0, 5.0, size=(2, 4)))
+        sus = np.abs(rng.normal(1.0, 0.2, size=(2, 4)))
+        vp = np.full((2, 4), 6.0)
+        noise = rng.normal(0.0, 0.03, size=(2, 4))
+        out = population_program_targets(
+            vp, pc, eo, sus, noise, PARAMS
+        )
+        for row in range(2):
+            n_eff = effective_cycles(pc[row], eo[row], PARAMS.wear)
+            shift = programmed_level_shift(n_eff, PARAMS.wear, sus[row])
+            assert np.array_equal(out[row], vp[row] + shift + noise[row])
+
+    def test_no_noise_matches_scalar_zero(self):
+        pc = np.ones((1, 3))
+        eo = np.zeros((1, 3))
+        sus = np.ones((1, 3))
+        vp = np.full((1, 3), 6.0)
+        with_none = population_program_targets(
+            vp, pc, eo, sus, None, PARAMS
+        )
+        n_eff = effective_cycles(pc[0], eo[0], PARAMS.wear)
+        shift = programmed_level_shift(n_eff, PARAMS.wear, sus[0])
+        assert np.array_equal(with_none[0], vp[0] + shift + 0.0)
+
+
+class TestMajorityRead:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_reads=st.sampled_from([1, 3, 5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_1d_vote(self, seed, n_reads):
+        rng = np.random.default_rng(seed)
+        vth = rng.normal(PARAMS.cell.v_ref, 0.5, size=(3, 16))
+        noise = rng.normal(0.0, 0.03, size=(3, n_reads, 16))
+        out = population_majority_read(
+            vth, noise, PARAMS.cell, n_reads=n_reads
+        )
+        for row in range(3):
+            ones = np.count_nonzero(
+                vth[row] + noise[row] < PARAMS.cell.v_ref, axis=0
+            )
+            expect = (ones > n_reads // 2).astype(np.uint8)
+            assert np.array_equal(out[row], expect)
+
+    def test_noiseless_threshold(self):
+        vth = np.array([[1.0, 9.0]])
+        out = population_majority_read(vth, None, PARAMS.cell, n_reads=1)
+        assert out.dtype == np.uint8
+        assert np.array_equal(out, [[1, 0]])
+
+    def test_even_reads_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            population_majority_read(
+                np.ones((1, 2)), None, PARAMS.cell, n_reads=2
+            )
+
+    def test_wrong_noise_shape_rejected(self):
+        with pytest.raises(ValueError, match="shaped"):
+            population_majority_read(
+                np.ones((2, 4)),
+                np.zeros((2, 3, 4)),
+                PARAMS.cell,
+                n_reads=1,
+            )
+
+
+class TestWearMultiplier2D:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_rowwise_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        n_eff = np.abs(rng.normal(2e4, 1e4, size=(3, 8)))
+        sus = np.abs(rng.normal(1.0, 0.3, size=(3, 8)))
+        out = tau_wear_multiplier(n_eff, sus, PARAMS.wear)
+        for row in range(3):
+            assert np.array_equal(
+                out[row], tau_wear_multiplier(n_eff[row], sus[row], PARAMS.wear)
+            )

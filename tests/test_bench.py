@@ -7,7 +7,13 @@ numbers mean what the schema says they mean.
 
 import math
 
-from repro.bench import BENCH_SCHEMA, _git_sha, _percentile, _time_op
+from repro.bench import (
+    BENCH_SCHEMA,
+    _git_sha,
+    _percentile,
+    _time_op,
+    check_bench,
+)
 
 
 class TestPercentile:
@@ -53,3 +59,74 @@ class TestGitSha:
 class TestSchema:
     def test_schema_name(self):
         assert BENCH_SCHEMA == "flashmark.bench/v1"
+
+
+def _doc(op_tp=100.0, speedup=8.0, verdicts_identical=True):
+    return {
+        "ops": [{"name": "read_segment", "throughput_per_s": op_tp}],
+        "verify_population": {
+            "speedup": speedup,
+            "verdicts_identical": verdicts_identical,
+        },
+    }
+
+
+class TestCheckBench:
+    def test_clean_run_passes(self):
+        assert check_bench(_doc(), _doc()) == []
+
+    def test_moderate_jitter_tolerated(self):
+        # 40% slower is inside the default 60% regression budget
+        assert check_bench(_doc(op_tp=60.0), _doc(op_tp=100.0)) == []
+
+    def test_op_regression_cliff_fails(self):
+        problems = check_bench(_doc(op_tp=10.0), _doc(op_tp=100.0))
+        assert any("read_segment" in p for p in problems)
+
+    def test_unknown_op_ignored(self):
+        doc = _doc()
+        doc["ops"].append({"name": "new_op", "throughput_per_s": 1.0})
+        assert check_bench(doc, _doc()) == []
+
+    def test_absolute_speedup_floor(self):
+        problems = check_bench(_doc(speedup=1.2), _doc())
+        assert any("absolute floor" in p for p in problems)
+
+    def test_relative_speedup_floor(self):
+        # 2.0x clears the 1.5x absolute floor but is < 40% of the
+        # baseline's 8.0x, so the same-host ratio check fires.
+        problems = check_bench(_doc(speedup=2.0), _doc(speedup=8.0))
+        assert any("of baseline" in p for p in problems)
+
+    def test_verdict_divergence_always_fails(self):
+        problems = check_bench(
+            _doc(verdicts_identical=False), _doc()
+        )
+        assert any("verdicts differ" in p for p in problems)
+
+    def test_missing_section_fails_when_baseline_has_it(self):
+        doc = _doc()
+        del doc["verify_population"]
+        problems = check_bench(doc, _doc())
+        assert any("missing" in p for p in problems)
+
+    def test_cross_mode_skips_op_comparison(self):
+        # A full run gated against a quick baseline sizes its workloads
+        # differently, so per-op throughput is not comparable — but the
+        # speedup and verdict checks still apply.
+        doc = _doc(op_tp=1.0, speedup=10.0)
+        doc["quick"] = False
+        base = _doc(op_tp=100.0)
+        base["quick"] = True
+        assert check_bench(doc, base) == []
+        bad = _doc(op_tp=1.0, speedup=1.0)
+        bad["quick"] = False
+        problems = check_bench(bad, base)
+        assert any("absolute floor" in p for p in problems)
+
+    def test_missing_section_ok_when_baseline_lacks_it(self):
+        doc = _doc()
+        del doc["verify_population"]
+        base = _doc()
+        del base["verify_population"]
+        assert check_bench(doc, base) == []
