@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""The fleet observability plane, end to end and in-process.
+
+A 2-shard fleet serves traced verification requests while a
+``MetricsScraper`` polls every shard's (and the router's) ``/metrics``
+and ``/healthz`` into a ``flashmark.tsdb/v1`` time-series store.  The
+demo then asks the store the questions an operator would:
+
+1. fleet-wide request rate, rolled up across shards;
+2. per-target availability (``flashmark_up``);
+3. the slowest request's exemplar — the trace id (and receipt id) a
+   latency bucket points at;
+4. where the CPU time went, via a sampling profile of the verify path
+   rendered as collapsed stacks;
+5. the one-page fleet dossier (``repro obs report``'s library form).
+
+Run:  python examples/fleet_observability.py
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro import WatermarkVerifier, make_mcu
+from repro.engine import calibrate_family, verify_population
+from repro.fleet import FleetRouter, InProcessShardManager, RouterConfig
+from repro.obs import (
+    MetricsScraper,
+    ProfileData,
+    TimeSeriesStore,
+    build_obs_report,
+    fleet_targets,
+)
+from repro.service import VerificationClient, WatermarkRegistry
+from repro.telemetry import Telemetry
+from repro.trace import TraceContext
+from repro.workloads.traffic import TrafficGenerator, TrafficSpec
+
+FAMILY = "msp430-obs"
+N_REQUESTS = 6
+
+
+def publish(registry: WatermarkRegistry, spec: TrafficSpec) -> None:
+    pop = spec.population
+    print(f"[setup] calibrating family {FAMILY!r} ...")
+    calibration = calibrate_family(
+        lambda seed: make_mcu(seed=seed, n_segments=1),
+        pop.n_pe,
+        n_replicas=pop.format.n_replicas,
+        n_chips=1,
+        seed=77,
+    ).calibration
+    registry.publish_family(FAMILY, calibration, pop.format)
+
+
+async def soak(registry, spec, store: TimeSeriesStore) -> None:
+    """Serve traced requests through a 2-shard fleet while scraping."""
+    items = TrafficGenerator(spec, seed=11).draw(N_REQUESTS)
+    async with InProcessShardManager(
+        registry, 2, str(store.root.parent / "fleet")
+    ) as shards:
+        async with FleetRouter(
+            shards, config=RouterConfig(monitoring=False)
+        ) as router:
+            scraper = MetricsScraper(
+                fleet_targets(shards=shards, router=router),
+                store,
+                interval_s=0.2,
+            )
+            stop = asyncio.Event()
+            scrape = asyncio.get_running_loop().create_task(
+                scraper.run(stop_event=stop)
+            )
+            async with await VerificationClient.connect(
+                router.endpoint
+            ) as client:
+                for item in items:
+                    if item.chip is None:
+                        continue
+                    root = TraceContext.new_root()
+                    result = await client.verify_chip(
+                        item.chip,
+                        FAMILY,
+                        request_id=item.index,
+                        trace=root,
+                    )
+                    print(
+                        f"[fleet] #{item.index} verdict "
+                        f"{result['verdict']!r}  trace {root.trace_id}"
+                    )
+            await scraper.scrape_once()  # one last settled round
+            stop.set()
+            summary = await scrape
+            print(
+                f"[scrape] {summary['rounds']} rounds over "
+                f"{len(summary['targets'])} targets, "
+                f"{summary['errors']} errors"
+            )
+
+
+def query(store: TimeSeriesStore) -> None:
+    rate = store.rollup("flashmark_fleet_requests", rate=True)
+    print(f"[tsdb] fleet-wide request rate: {rate.get((), 0.0):.2f}/s")
+    served = store.rollup(
+        "flashmark_service_requests", by=("target",), agg="max"
+    )
+    up = store.rollup("flashmark_up", by=("target",), agg="max")
+    for (target,), value in sorted(up.items()):
+        n = served.get((target,), 0.0)
+        print(
+            f"[tsdb]   {target:<10} up={value:.0f}"
+            + (f"  served={n:.0f}" if (target,) in served else "")
+        )
+    exemplars = store.exemplars("flashmark_service_latency_s_bucket")
+    if exemplars:
+        slowest = exemplars[0]["exemplar"]
+        print(
+            f"[exemplar] slowest bucket observation "
+            f"{slowest['value'] * 1e3:.1f} ms -> "
+            f"trace {slowest['labels'].get('trace_id', '?')}"
+        )
+
+
+def profile_verify(spec) -> ProfileData:
+    """Profile the engine verify path itself (what the server and
+    workers do with ``profile_hz`` set)."""
+    items = TrafficGenerator(spec, seed=5).draw(40)
+    chips = [it.chip for it in items if it.chip is not None]
+    calibration = calibrate_family(
+        lambda seed: make_mcu(seed=seed, n_segments=1),
+        spec.population.n_pe,
+        n_replicas=spec.population.format.n_replicas,
+        n_chips=1,
+        seed=77,
+    ).calibration
+    verifier = WatermarkVerifier(calibration, spec.population.format)
+    tel = Telemetry()
+    verify_population(
+        chips, verifier, workers=1, telemetry=tel, profile_hz=199.0
+    )
+    profile = ProfileData.from_dict(
+        tel.snapshot().get("profile") or {}
+    )
+    print(
+        f"[profile] {profile.n_samples} samples at "
+        f"{profile.hz:g} Hz; hottest frames:"
+    )
+    for row in profile.top(3):
+        print(
+            f"[profile]   {row['frame']:<55} "
+            f"self={row['self']} cum={row['cum']}"
+        )
+    return profile
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        registry = WatermarkRegistry(tmp / "registry.db")
+        spec = TrafficSpec()
+        publish(registry, spec)
+        store = TimeSeriesStore(tmp / "tsdb")
+        asyncio.run(soak(registry, spec, store))
+        query(store)
+        profile = profile_verify(spec)
+
+        flame = tmp / "flame.txt"
+        flame.write_text(profile.to_collapsed())
+        dossier = build_obs_report(store, profile=profile)
+        out = tmp / "dossier.md"
+        out.write_text(dossier)
+        print(f"[report] collapsed stacks -> {flame}")
+        print(f"[report] fleet dossier    -> {out}")
+        print()
+        print("\n".join(dossier.splitlines()[:12]))
+        registry.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -139,7 +139,7 @@ from .service import (
 from .telemetry import Telemetry
 from .trace import TraceContext
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",

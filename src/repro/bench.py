@@ -351,6 +351,73 @@ def _tracing_overhead(quick: bool) -> dict:
     }
 
 
+def _profiling_overhead(quick: bool) -> dict:
+    """Wall cost of continuous profiling on the engine path.
+
+    Verifies the same fleet with the sampling profiler off and on
+    (``profile_hz=99``, a typical production rate; ``workers=1`` so
+    the sampler thread and the workload share one process).  The ratio
+    backs the observability plane's ≤10% overhead budget — the profiled
+    runs must also actually capture samples, or the "overhead" would be
+    the cost of a profiler that never fired.
+    """
+    from .core import WatermarkVerifier
+    from .device import make_mcu
+    from .engine import calibrate_family, verify_population
+    from .telemetry import Telemetry
+    from .workloads.traffic import TrafficGenerator
+
+    gen = TrafficGenerator(seed=5)
+    pop = gen.spec.population
+    calibration = calibrate_family(
+        lambda seed: make_mcu(seed=seed, n_segments=1),
+        pop.n_pe,
+        n_replicas=pop.format.n_replicas,
+        n_chips=1,
+        seed=77,
+    ).calibration
+    verifier = WatermarkVerifier(calibration, pop.format)
+    # One engine call must outlive several 99 Hz sampling intervals
+    # (~10ms each), so the fleet is sized for a ~60-120ms call.
+    chips = [
+        it.chip
+        for it in gen.draw(60 if quick else 120)
+        if it.chip is not None
+    ]
+    hz = 99.0
+    telemetries: list = []
+
+    def run(profile_hz):
+        tel = Telemetry()
+        if profile_hz:
+            telemetries.append(tel)
+        verify_population(
+            chips,
+            verifier,
+            workers=1,
+            telemetry=tel,
+            profile_hz=profile_hz,
+        )
+
+    run(0.0)  # warmup
+    best_plain = min(_timed(lambda: run(0.0)) for _ in range(3))
+    best_profiled = min(_timed(lambda: run(hz)) for _ in range(3))
+    n_samples = sum(
+        (tel.snapshot().get("profile") or {}).get("n_samples", 0)
+        for tel in telemetries
+    )
+    return {
+        "n_chips": len(chips),
+        "hz": hz,
+        "unprofiled_s": best_plain,
+        "profiled_s": best_profiled,
+        "n_samples": int(n_samples),
+        "ratio": (
+            (best_profiled / best_plain) if best_plain > 0 else None
+        ),
+    }
+
+
 def _timed(fn: Callable[[], object]) -> float:
     t0 = time.perf_counter()
     fn()
@@ -378,6 +445,7 @@ def run_bench(
         "engine_scaling": _engine_scaling(quick, workers),
         "verify_population": verify_section,
         "tracing_overhead": _tracing_overhead(quick),
+        "profiling_overhead": _profiling_overhead(quick),
     }
 
 
@@ -388,6 +456,7 @@ def check_bench(
     max_regression: float = 0.6,
     min_speedup: float = 1.5,
     min_speedup_frac: float = 0.4,
+    max_profiling_ratio: float = 1.1,
 ) -> List[str]:
     """Regression-gate a bench document against a committed baseline.
 
@@ -399,7 +468,11 @@ def check_bench(
     * a batched-verify speedup below ``min_speedup`` absolute or below
       ``min_speedup_frac`` of the baseline's (the speedup is a
       same-host ratio, so this check is hardware-independent);
-    * batched and per-die verdicts disagreeing (never acceptable).
+    * batched and per-die verdicts disagreeing (never acceptable);
+    * a profiled verify slower than ``max_profiling_ratio`` times the
+      unprofiled run (the observability plane's ≤10% overhead budget),
+      checked only when the document carries the section — older
+      baselines without it still gate.
 
     Per-op throughput is only compared when both documents ran the same
     mode (``quick`` flag): quick and full runs size their workloads
@@ -455,4 +528,18 @@ def check_bench(
             "verify_population section missing from this run but "
             "present in the baseline"
         )
+    po = doc.get("profiling_overhead")
+    if po is not None:
+        ratio = po.get("ratio")
+        if ratio is None or ratio > max_profiling_ratio:
+            problems.append(
+                f"profiling_overhead: profiled verify is {ratio}x the "
+                f"unprofiled run, above the {max_profiling_ratio}x "
+                "budget"
+            )
+        if not po.get("n_samples"):
+            problems.append(
+                "profiling_overhead: the profiled run captured zero "
+                "samples — the overhead measurement is vacuous"
+            )
     return problems

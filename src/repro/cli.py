@@ -57,6 +57,17 @@ The CLI plays both supply-chain roles on persisted chip state
           --receipts-out receipts.jsonl --pow-difficulty 12
     $ python -m repro receipt verify receipts.jsonl --registry reg.db
     $ python -m repro registry audit --registry reg.db --check
+    # fleet observability: tsdb scraping, profiles, exemplars
+    $ python -m repro fleet up --registry reg.db --shards 4 \
+          --port 7500 --obs obsdata/
+    $ python -m repro obs record --store obsdata/ \
+          --target router=127.0.0.1:7500 --rounds 30
+    $ python -m repro obs query --store obsdata/ \
+          --metric flashmark_service_requests --rate --by target
+    $ python -m repro serve --registry reg.db --profile-out prof.json
+    $ python -m repro obs top --profile prof.json --flame flame.txt
+    $ python -m repro obs report --store obsdata/ \
+          --profile prof.json --out dossier.html
 """
 
 from __future__ import annotations
@@ -366,6 +377,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="rotate the trace log once it would exceed N bytes",
+    )
+    p.add_argument(
+        "--trace-log-max-files",
+        type=int,
+        default=1,
+        metavar="N",
+        help="rotated trace-log generations to keep "
+        "(.1 newest .. .N oldest; with --trace-log-max-bytes)",
+    )
+    p.add_argument(
+        "--profile-hz",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="continuous-profiling sample rate for the server loop "
+        "and engine workers (0: off)",
+    )
+    p.add_argument(
+        "--profile-out",
+        metavar="JSON",
+        help="write the merged flashmark.profile/v1 dump here on "
+        "shutdown (implies --profile-hz 99 unless set)",
     )
     p.add_argument(
         "--no-tracing",
@@ -704,6 +737,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BITS",
         help="hashcash difficulty each shard enforces (up; 0: off)",
     )
+    p.add_argument(
+        "--obs",
+        metavar="DIR",
+        help="scrape the router + every shard into a "
+        "flashmark.tsdb/v1 store at DIR while the fleet runs (up)",
+    )
+    p.add_argument(
+        "--obs-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="scrape interval for --obs [s]",
+    )
 
     p = sub.add_parser(
         "trace",
@@ -835,6 +881,116 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="BITS",
         help="leading zero bits the server demands",
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help="fleet observability: scrape, query, profile, report",
+    )
+    p.add_argument(
+        "action",
+        choices=["record", "query", "top", "report"],
+        help="record: scrape endpoints into a tsdb; "
+        "query: range/instant/rate queries over a tsdb; "
+        "top: hottest frames of a flashmark.profile/v1 dump; "
+        "report: render the fleet dossier (markdown/HTML)",
+    )
+    p.add_argument(
+        "--store", help="flashmark.tsdb/v1 directory (record/query/report)"
+    )
+    p.add_argument(
+        "--target",
+        action="append",
+        default=None,
+        metavar="NAME=HOST:PORT",
+        help="endpoint to scrape, repeatable (record); bare HOST:PORT "
+        "names itself",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, help="scrape interval [s]"
+    )
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="stop after N scrape rounds (record)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after S seconds (record)",
+    )
+    p.add_argument("--metric", help="metric to query (query)")
+    p.add_argument(
+        "--rate",
+        action="store_true",
+        help="per-second counter rate instead of raw values (query)",
+    )
+    p.add_argument(
+        "--by",
+        default=None,
+        metavar="LABEL[,LABEL]",
+        help="rollup grouping labels, e.g. 'target' (query)",
+    )
+    p.add_argument(
+        "--agg",
+        choices=["sum", "max"],
+        default="sum",
+        help="rollup aggregation across series (query)",
+    )
+    p.add_argument(
+        "--start",
+        type=float,
+        default=None,
+        help="range start (unix seconds; default: everything)",
+    )
+    p.add_argument(
+        "--end",
+        type=float,
+        default=None,
+        help="range end (unix seconds)",
+    )
+    p.add_argument(
+        "--exemplars",
+        action="store_true",
+        help="print the slowest exemplars of --metric instead of "
+        "values (query)",
+    )
+    p.add_argument(
+        "--profile", help="flashmark.profile/v1 JSON dump (top/report)"
+    )
+    p.add_argument(
+        "--limit", type=int, default=15, help="rows to print (top/query)"
+    )
+    p.add_argument(
+        "--flame",
+        help="write the profile as collapsed stacks here (top)",
+    )
+    p.add_argument(
+        "--chrome",
+        help="write the profile as Chrome trace JSON here (top)",
+    )
+    p.add_argument(
+        "--alerts-log",
+        help="flashmark.alerts/v1 JSONL for the dossier (report)",
+    )
+    p.add_argument(
+        "--out",
+        help="write the dossier here — .html/.htm renders HTML "
+        "(report; default: stdout markdown)",
+    )
+    p.add_argument(
+        "--compact",
+        action="store_true",
+        help="compact the store after recording (record)",
+    )
+    p.add_argument(
+        "--retention-windows",
+        type=int,
+        default=0,
+        metavar="N",
+        help="windows kept by --compact (0: keep everything)",
     )
     return parser
 
@@ -1434,6 +1590,9 @@ def _cmd_serve(args) -> int:
                 "'repro registry publish' first"
             ),
         )
+    profile_hz = args.profile_hz
+    if args.profile_out and not profile_hz:
+        profile_hz = 99.0
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -1445,6 +1604,7 @@ def _cmd_serve(args) -> int:
         tracing=not args.no_tracing,
         monitoring=not args.no_monitor,
         pow_difficulty=args.pow_difficulty,
+        profile_hz=profile_hz,
     )
     receipt_signer = None
     if args.receipt_key:
@@ -1463,7 +1623,9 @@ def _cmd_serve(args) -> int:
         from .telemetry import JsonlSink
 
         sink = JsonlSink(
-            args.trace_log, max_bytes=args.trace_log_max_bytes
+            args.trace_log,
+            max_bytes=args.trace_log_max_bytes,
+            max_files=args.trace_log_max_files,
         )
     telemetry = Telemetry(sink=sink)
     monitor = None
@@ -1560,6 +1722,21 @@ def _cmd_serve(args) -> int:
                     # report' the end-of-run SLO burn and family state.
                     monitor.alerts.emit_snapshot(monitor.snapshot())
                     print(f"alert stream -> {args.alerts_log}")
+        if args.profile_out:
+            # The server-loop profiler merges into telemetry during
+            # stop(), so the dump is only complete here, after the
+            # context has exited.
+            profile = telemetry.snapshot().get("profile")
+            if profile is not None:
+                with open(
+                    args.profile_out, "w", encoding="utf-8"
+                ) as fh:
+                    json.dump(profile, fh, indent=1)
+                    fh.write("\n")
+                print(
+                    f"profile ({profile['n_samples']} samples) -> "
+                    f"{args.profile_out}"
+                )
 
     try:
         asyncio.run(_serve())
@@ -2355,10 +2532,38 @@ def _cmd_fleet(args) -> int:
             async with router:
                 print(f"fleet router on {router.endpoint}")
                 _print_topology(router.topology())
+                scrape_task = None
+                if args.obs:
+                    from .obs import (
+                        MetricsScraper,
+                        TimeSeriesStore,
+                        fleet_targets,
+                    )
+
+                    scraper = MetricsScraper(
+                        fleet_targets(shards=manager, router=router),
+                        TimeSeriesStore(args.obs),
+                        interval_s=args.obs_interval,
+                    )
+                    scrape_task = loop.create_task(
+                        scraper.run(stop_event=stop)
+                    )
+                    print(
+                        f"scraping {len(scraper.targets)} target(s) "
+                        f"every {args.obs_interval:g}s -> {args.obs}"
+                    )
                 sys.stdout.flush()
                 try:
                     await stop.wait()  # until SIGINT/SIGTERM
                 finally:
+                    if scrape_task is not None:
+                        stop.set()  # also reached on exceptions
+                        summary = await scrape_task
+                        print(
+                            f"obs: {summary['rounds']} scrape "
+                            f"round(s), {summary['errors']} "
+                            f"error(s) -> {args.obs}"
+                        )
                     paths = {
                         info.shard_id: info.registry_path
                         for info in manager.infos()
@@ -2389,6 +2594,216 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from .obs import ProfileData, TimeSeriesStore
+
+    def _load_profile(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            return ProfileData.from_dict(json.load(fh))
+
+    if args.action == "record":
+        import asyncio
+
+        from .obs import MetricsScraper, ScrapeTarget
+
+        if not args.store:
+            return _fail("obs", ValueError("record requires --store"))
+        if not args.target:
+            return _fail(
+                "obs",
+                ValueError("record requires at least one --target"),
+            )
+        targets = []
+        for spec in args.target:
+            name, sep, endpoint = spec.partition("=")
+            if not sep:
+                name, endpoint = spec, spec
+            try:
+                targets.append(ScrapeTarget.from_any(name, endpoint))
+            except (ValueError, KeyError) as exc:
+                return _fail("obs", exc)
+        rounds = args.rounds
+        if rounds is None and args.duration is None:
+            rounds = 1
+        with TimeSeriesStore(args.store) as store:
+            scraper = MetricsScraper(
+                targets, store, interval_s=args.interval
+            )
+            try:
+                summary = asyncio.run(
+                    scraper.run(
+                        rounds=rounds, duration_s=args.duration
+                    )
+                )
+            except KeyboardInterrupt:
+                summary = {
+                    "rounds": scraper.rounds,
+                    "errors": scraper.errors,
+                }
+                print("interrupted; store is consistent")
+            print(
+                f"recorded {summary['rounds']} round(s) from "
+                f"{len(targets)} target(s), "
+                f"{summary['errors']} scrape error(s)"
+            )
+            if args.compact:
+                result = store.compact(
+                    retention_windows=args.retention_windows
+                )
+                print(
+                    f"compacted {result['compacted']} segment(s), "
+                    f"dropped {result['dropped']}"
+                )
+            stats = store.stats()
+        print(
+            f"store {args.store}: {stats['n_metrics']} metric(s), "
+            f"{stats['n_samples']} sample(s)"
+        )
+        return 0
+
+    if args.action == "query":
+        if not args.store:
+            return _fail("obs", ValueError("query requires --store"))
+        try:
+            store = TimeSeriesStore(args.store)
+        except (OSError, ValueError) as exc:
+            return _fail("obs", exc)
+        with store:
+            if not args.metric:
+                for metric in store.metrics():
+                    print(metric)
+                return 0
+            if args.exemplars:
+                entries = store.exemplars(
+                    args.metric, args.start, args.end
+                )[: args.limit]
+                for entry in entries:
+                    ex = entry["exemplar"]
+                    ex_labels = ex.get("labels") or {}
+                    tags = " ".join(
+                        f"{k}={v}" for k, v in sorted(ex_labels.items())
+                    )
+                    print(
+                        f"{ex.get('value')} target="
+                        f"{entry['labels'].get('target', '-')} {tags}"
+                    )
+                if not entries:
+                    print("(no exemplars in range)")
+                return 0
+            if args.by is not None:
+                by = tuple(
+                    part for part in args.by.split(",") if part
+                )
+                out = store.rollup(
+                    args.metric,
+                    args.start,
+                    args.end,
+                    by=by,
+                    agg=args.agg,
+                    rate=args.rate,
+                )
+                unit = "/s" if args.rate else ""
+                for group in sorted(out):
+                    label = (
+                        ",".join(group) if group else f"{args.agg}()"
+                    )
+                    print(f"{label}\t{out[group]:g}{unit}")
+                if not out:
+                    print("(no series in range)")
+                return 0
+            if args.rate:
+                rates = store.rate(args.metric, args.start, args.end)
+                for key in sorted(rates):
+                    tags = ",".join(f"{k}={v}" for k, v in key)
+                    print(f"{{{tags}}}\t{rates[key]:g}/s")
+                if not rates:
+                    print("(no series in range)")
+                return 0
+            latest = store.query_instant(args.metric, args.end)
+            for key in sorted(latest):
+                point = latest[key]
+                tags = ",".join(f"{k}={v}" for k, v in key)
+                print(f"{{{tags}}}\t{point.value:g}\t@{point.t:.3f}")
+            if not latest:
+                print("(no series in range)")
+        return 0
+
+    if args.action == "top":
+        if not args.profile:
+            return _fail("obs", ValueError("top requires --profile"))
+        try:
+            profile = _load_profile(args.profile)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail("obs", exc)
+        print(
+            f"{profile.n_samples} sample(s) at {profile.hz:g} Hz over "
+            f"{profile.duration_s:.1f}s"
+        )
+        rows = [
+            [
+                row["frame"],
+                str(row["self"]),
+                str(row["cum"]),
+                f"{100.0 * row['self_frac']:.1f}%",
+            ]
+            for row in profile.top(args.limit)
+        ]
+        print(
+            format_table(["frame", "self", "cum", "self %"], rows)
+        )
+        if args.flame:
+            with open(args.flame, "w", encoding="utf-8") as fh:
+                fh.write(profile.to_collapsed())
+            print(f"collapsed stacks -> {args.flame}")
+        if args.chrome:
+            from .trace.export import dump_chrome_trace
+
+            dump_chrome_trace([profile.to_trace_doc()], args.chrome)
+            print(f"chrome trace -> {args.chrome}")
+        return 0
+
+    # report
+    from .obs import build_obs_report, write_obs_report
+
+    if not args.store:
+        return _fail("obs", ValueError("report requires --store"))
+    profile = None
+    if args.profile:
+        try:
+            profile = _load_profile(args.profile)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail("obs", exc)
+    alerts = None
+    if args.alerts_log:
+        from .monitor import read_alert_records
+
+        try:
+            alerts = read_alert_records(args.alerts_log)
+        except (OSError, ValueError) as exc:
+            return _fail("obs", exc)
+    try:
+        store = TimeSeriesStore(args.store)
+    except (OSError, ValueError) as exc:
+        return _fail("obs", exc)
+    with store:
+        markdown = build_obs_report(
+            store,
+            profile=profile,
+            alerts=alerts,
+            start=args.start,
+            end=args.end,
+            top_n=args.limit,
+        )
+    if args.out:
+        write_obs_report(
+            args.out, markdown, title="Fleet observability report"
+        )
+        print(f"fleet dossier -> {args.out}")
+    else:
+        print(markdown, end="")
+    return 0
+
+
 _COMMANDS = {
     "make": _cmd_make,
     "imprint": _cmd_imprint,
@@ -2413,6 +2828,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "receipt": _cmd_receipt,
     "pow": _cmd_pow,
+    "obs": _cmd_obs,
 }
 
 

@@ -347,6 +347,20 @@ class VerifyJob:
     #: worker's spans re-parent under; carried as a string so the
     #: payload pickles identically with tracing on or off.
     traceparent: Optional[str] = None
+    #: Sampling-profiler rate for this job (0: off).  The worker runs
+    #: its own :class:`~repro.obs.profiler.SamplingProfiler` and hands
+    #: the collapsed stacks back inside ``telemetry["profile"]``.
+    profile_hz: float = 0.0
+
+
+def _start_profiler(hz: float):
+    """Worker-side profiler start (lazy import keeps engine payloads
+    importable without the obs stack)."""
+    if hz <= 0:
+        return None
+    from ..obs.profiler import SamplingProfiler
+
+    return SamplingProfiler(hz).start()
 
 
 @dataclass
@@ -372,16 +386,21 @@ def run_verify_job(job: VerifyJob) -> VerifiedChip:
     chip.trace.reset()
     tel = Telemetry()
     tel.bind_trace(chip.trace)
-    with tel.trace_scope(job.traceparent):
-        with tel.span("verify.chip", index=job.index) as sp:
-            report = job.verifier.verify(
-                chip.flash,
-                job.segment,
-                n_reads=job.n_reads,
-                temperature_c=job.temperature_c,
-                telemetry=tel,
-            )
-            sp.set("verdict", report.verdict.value)
+    profiler = _start_profiler(job.profile_hz)
+    try:
+        with tel.trace_scope(job.traceparent):
+            with tel.span("verify.chip", index=job.index) as sp:
+                report = job.verifier.verify(
+                    chip.flash,
+                    job.segment,
+                    n_reads=job.n_reads,
+                    temperature_c=job.temperature_c,
+                    telemetry=tel,
+                )
+                sp.set("verdict", report.verdict.value)
+    finally:
+        if profiler is not None:
+            tel.merge_profile(profiler.stop().to_dict())
     return VerifiedChip(
         index=job.index,
         report=report,
@@ -417,6 +436,9 @@ class VerifyBatchJob:
     #: synthesized per-die traces match what the serial path returns.
     keep_events: tuple = ()
     max_events: tuple = ()
+    #: Sampling-profiler rate for this chunk (0: off); the collapsed
+    #: stacks ride back in the first die's telemetry snapshot.
+    profile_hz: float = 0.0
 
 
 def run_verify_batch_job(job: VerifyBatchJob) -> List[VerifiedChip]:
@@ -442,6 +464,24 @@ def run_verify_batch_job(job: VerifyBatchJob) -> List[VerifiedChip]:
     """
     verifier = job.verifier
     pop = job.population
+    profiler = _start_profiler(job.profile_hz)
+    try:
+        out = _run_verify_batch(job, verifier, pop)
+    finally:
+        dump = (
+            profiler.stop().to_dict() if profiler is not None else None
+        )
+    if dump is not None and out:
+        # The chunk runs as one unit (shared extraction pass), so the
+        # whole chunk's profile rides home in the first die's snapshot;
+        # the parent's absorb() merges profiles additively anyway.
+        out[0].telemetry["profile"] = dump
+    return out
+
+
+def _run_verify_batch(
+    job: VerifyBatchJob, verifier, pop
+) -> List[VerifiedChip]:
     t_pew = verifier.scaled_window_us(pop.params.cell, job.temperature_c)
     layout = verifier.format.layout_for(pop.n_cells)
     readout = pop.extract_readout(t_pew, n_reads=job.n_reads)
@@ -563,6 +603,7 @@ def verify_population(
     trace_contexts: Optional[Sequence[Optional[str]]] = None,
     batch: str = "auto",
     batch_size: Optional[int] = None,
+    profile_hz: float = 0.0,
 ) -> VerificationResult:
     """Verify a population of chips against published family parameters.
 
@@ -602,6 +643,13 @@ def verify_population(
     ``trace_contexts`` optionally carries one traceparent string (or
     ``None``) per chip; each worker's ``verify.chip`` span then records
     distributed-trace ids under the matching request's context.
+
+    ``profile_hz`` > 0 turns on continuous profiling inside every
+    worker: each job runs under a
+    :class:`~repro.obs.profiler.SamplingProfiler` at that rate and the
+    collapsed stacks merge into the caller's telemetry
+    (``telemetry.profile``), naming the actual hot frames — typically
+    inside :mod:`repro.phys.kernels` — behind the verify wall time.
     """
     if verifier is None:
         if calibration is None or format is None:
@@ -638,6 +686,7 @@ def verify_population(
             n_reads=n_reads,
             temperature_c=temperature_c,
             traceparent=_traceparent(i),
+            profile_hz=profile_hz,
         )
         for i in per_die
     ]
@@ -660,6 +709,7 @@ def verify_population(
                     bare[i].trace.keep_events for i in chunk
                 ),
                 max_events=tuple(bare[i].trace.max_events for i in chunk),
+                profile_hz=profile_hz,
             )
         )
         for i in chunk:

@@ -49,7 +49,7 @@ from typing import Any, Dict, List, Optional
 
 from ..faults import InjectedFault, fault_point
 from ..telemetry import Telemetry, build_manifest
-from ..telemetry.prometheus import render_prometheus
+from ..telemetry.prometheus import render_labeled, render_prometheus
 from ..trace.context import TraceContext, parse_traceparent
 from ..service import protocol
 from ..service.client import VerificationClient
@@ -553,7 +553,20 @@ class FleetRouter:
             upstream["trace"] = ctx.to_traceparent()
         response, shard_id = await self._route_verify(upstream, request_id)
         latency = self._loop.time() - t0
-        self.telemetry.observe("fleet.latency_s", latency)
+        exemplar = None
+        if ctx is not None:
+            # Bucket exemplar: the slowest relay per bucket keeps its
+            # trace id (and receipt id when the shard issued one) plus
+            # the shard that served it.
+            exemplar = {"trace_id": ctx.trace_id}
+            if shard_id:
+                exemplar["shard"] = str(shard_id)
+            receipt = (response.get("result") or {}).get("receipt")
+            if isinstance(receipt, dict) and receipt.get("sig"):
+                exemplar["receipt_id"] = str(receipt["sig"])[:16]
+        self.telemetry.observe(
+            "fleet.latency_s", latency, exemplar=exemplar
+        )
         self._monitor_relay(req, response, latency)
         if ctx is not None:
             error = None
@@ -908,10 +921,30 @@ class FleetRouter:
                 }
                 if self.monitor is not None:
                     extra_gauges.update(self.monitor.gauges())
-                body = render_prometheus(
+                text = render_prometheus(
                     self.telemetry.registry.snapshot(),
                     extra_gauges=extra_gauges,
-                ).encode()
+                )
+                # Per-shard lifecycle counters, labeled — the scraped
+                # form a fleet dashboard can ``sum by (shard)``.
+                for name, attr in (
+                    ("fleet.evictions.total", "evictions"),
+                    ("fleet.readmissions.total", "readmissions"),
+                ):
+                    text += "".join(
+                        line + "\n"
+                        for line in render_labeled(
+                            name,
+                            [
+                                (
+                                    {"shard": link.shard_id},
+                                    getattr(link, attr),
+                                )
+                                for link in self._links.values()
+                            ],
+                        )
+                    )
+                body = text.encode()
                 content_type = "text/plain; version=0.0.4"
                 status = "200 OK"
             else:

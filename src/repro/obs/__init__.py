@@ -1,0 +1,111 @@
+"""``repro.obs`` — the fleet observability plane.
+
+Three pillars over the per-process telemetry PRs 5–7 left behind:
+
+1. **Scrape + store** — :class:`MetricsScraper` polls every shard's and
+   the router's ``/metrics`` + ``/healthz``, parses the Prometheus text
+   back into typed samples (:mod:`repro.obs.parse`) and appends them to
+   a local ``flashmark.tsdb/v1`` :class:`TimeSeriesStore` with range /
+   instant / ``rate()`` queries and cross-shard rollups.
+2. **Continuous profiling** — :class:`SamplingProfiler`, a pid-guarded
+   stack sampler engine workers and the server loop opt into via
+   ``profile_hz``; samples aggregate into :class:`ProfileData`
+   (collapsed-stack form) and flow through the PR 5 flamegraph / Chrome
+   exporters.
+3. **Exemplars** — stage histograms carry the trace id (and receipt id)
+   of the slowest observation per bucket per window, so a p99 bucket
+   links to the exact trace and signed verdict (see
+   :class:`repro.telemetry.Histogram`).
+
+``repro obs {record,query,top,report}`` is the CLI over all three.
+
+Submodules import lazily (PEP 562): the profiler must be importable
+from engine worker code without dragging in the service stack, and the
+scraper needs :mod:`repro.service` — resolving attributes on first use
+keeps both true without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "ProfileData",
+    "SamplingProfiler",
+    "Sample",
+    "ParsedMetrics",
+    "parse_prometheus_text",
+    "assemble_histogram",
+    "TSDB_SCHEMA",
+    "Point",
+    "TimeSeriesStore",
+    "ScrapeTarget",
+    "MetricsScraper",
+    "fleet_targets",
+    "build_obs_report",
+    "render_obs_html",
+    "write_obs_report",
+]
+
+_LAZY = {
+    "PROFILE_SCHEMA": "profiler",
+    "ProfileData": "profiler",
+    "SamplingProfiler": "profiler",
+    "Sample": "parse",
+    "ParsedMetrics": "parse",
+    "parse_prometheus_text": "parse",
+    "assemble_histogram": "parse",
+    "TSDB_SCHEMA": "tsdb",
+    "Point": "tsdb",
+    "TimeSeriesStore": "tsdb",
+    "ScrapeTarget": "scrape",
+    "MetricsScraper": "scrape",
+    "fleet_targets": "scrape",
+    "build_obs_report": "report",
+    "render_obs_html": "report",
+    "write_obs_report": "report",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .parse import (  # noqa: F401
+        ParsedMetrics,
+        Sample,
+        assemble_histogram,
+        parse_prometheus_text,
+    )
+    from .profiler import (  # noqa: F401
+        PROFILE_SCHEMA,
+        ProfileData,
+        SamplingProfiler,
+    )
+    from .report import (  # noqa: F401
+        build_obs_report,
+        render_obs_html,
+        write_obs_report,
+    )
+    from .scrape import (  # noqa: F401
+        MetricsScraper,
+        ScrapeTarget,
+        fleet_targets,
+    )
+    from .tsdb import TSDB_SCHEMA, Point, TimeSeriesStore  # noqa: F401
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(
+        importlib.import_module(f".{module}", __name__), name
+    )
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,275 @@
+"""Parse Prometheus text exposition back into typed samples.
+
+The inverse of :func:`repro.telemetry.prometheus.render_prometheus`:
+the scraper pulls ``/metrics`` off every shard and this module turns
+the text back into :class:`Sample` values the tsdb can store — names,
+sorted label tuples, float values, and OpenMetrics exemplar clauses
+(``... # {trace_id="..."} 0.048 1754650000.1``).
+
+Deliberately lenient about what it accepts (unknown comment lines,
+missing TYPE declarations, extra whitespace) and strict about what it
+produces: every sample's labels are a canonical sorted tuple so that
+set comparisons — the round-trip property test — are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Sample",
+    "ParsedMetrics",
+    "parse_prometheus_text",
+    "parse_labels",
+    "assemble_histogram",
+]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition sample: ``name{labels} value`` (+ exemplar)."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+    #: ``{"labels": {...}, "value": float, "unix_s": float|None}`` from
+    #: an OpenMetrics exemplar clause, or None.
+    exemplar: Optional[dict] = None
+
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+    def label(self, key: str, default: str = "") -> str:
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass
+class ParsedMetrics:
+    """All samples from one exposition body, plus declared TYPEs."""
+
+    samples: List[Sample] = field(default_factory=list)
+    types: Dict[str, str] = field(default_factory=dict)
+
+    def names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self.samples:
+            seen.setdefault(s.name, None)
+        return list(seen)
+
+    def get(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> List[Sample]:
+        """Samples for ``name`` whose labels include ``labels``."""
+        want = (labels or {}).items()
+        return [
+            s
+            for s in self.samples
+            if s.name == name
+            and all(s.label(k, None) == v for k, v in want)
+        ]
+
+    def value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[float]:
+        found = self.get(name, labels)
+        return found[0].value if found else None
+
+
+def _parse_value(token: str) -> float:
+    low = token.lower()
+    if low in ("+inf", "inf"):
+        return math.inf
+    if low == "-inf":
+        return -math.inf
+    if low == "nan":
+        return math.nan
+    return float(token)
+
+
+def parse_labels(text: str) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block (escapes honored)."""
+    labels: Dict[str, str] = {}
+    i, n = 0, len(text)
+    while i < n:
+        while i < n and text[i] in ", \t":
+            i += 1
+        if i >= n:
+            break
+        eq = text.index("=", i)
+        key = text[i:eq].strip()
+        i = eq + 1
+        if i >= n or text[i] != '"':
+            raise ValueError(f"unquoted label value in {text!r}")
+        i += 1
+        out: List[str] = []
+        while i < n and text[i] != '"':
+            c = text[i]
+            if c == "\\" and i + 1 < n:
+                nxt = text[i + 1]
+                out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                i += 2
+            else:
+                out.append(c)
+                i += 1
+        if i >= n:
+            raise ValueError(f"unterminated label value in {text!r}")
+        i += 1  # closing quote
+        labels[key] = "".join(out)
+    return labels
+
+
+def _parse_sample_body(
+    body: str,
+) -> Tuple[str, Dict[str, str], float]:
+    """Parse ``name[{labels}] value [timestamp]`` (timestamp ignored)."""
+    body = body.strip()
+    brace = body.find("{")
+    space = body.find(" ")
+    if brace >= 0 and (space < 0 or brace < space):
+        name = body[:brace]
+        # Quote-aware scan to the matching close brace.
+        i, n = brace + 1, len(body)
+        in_quotes = False
+        while i < n:
+            c = body[i]
+            if c == "\\" and in_quotes:
+                i += 2
+                continue
+            if c == '"':
+                in_quotes = not in_quotes
+            elif c == "}" and not in_quotes:
+                break
+            i += 1
+        if i >= n:
+            raise ValueError(f"unterminated label block in {body!r}")
+        labels = parse_labels(body[brace + 1 : i])
+        rest = body[i + 1 :].split()
+    else:
+        labels = {}
+        parts = body.split()
+        name, rest = parts[0], parts[1:]
+    if not rest:
+        raise ValueError(f"sample line missing value: {body!r}")
+    return name, labels, _parse_value(rest[0])
+
+
+def _parse_exemplar(text: str) -> dict:
+    """Parse ``{labels} value [timestamp]`` after a ``# `` marker."""
+    text = text.strip()
+    if not text.startswith("{"):
+        raise ValueError(f"exemplar must start with '{{': {text!r}")
+    end = text.index("}")
+    labels = parse_labels(text[1:end])
+    rest = text[end + 1 :].split()
+    if not rest:
+        raise ValueError(f"exemplar missing value: {text!r}")
+    exemplar = {
+        "labels": labels,
+        "value": _parse_value(rest[0]),
+        "unix_s": _parse_value(rest[1]) if len(rest) > 1 else None,
+    }
+    return exemplar
+
+
+def _split_exemplar(line: str) -> Tuple[str, Optional[str]]:
+    """Split a sample line from its exemplar clause, if any.
+
+    The ``#`` can only introduce an exemplar outside a quoted label
+    value, so scan with quote tracking rather than a plain find.
+    """
+    in_quotes = False
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "\\" and in_quotes:
+            i += 2
+            continue
+        if c == '"':
+            in_quotes = not in_quotes
+        elif c == "#" and not in_quotes:
+            return line[:i], line[i + 1 :]
+        i += 1
+    return line, None
+
+
+def parse_prometheus_text(text: str) -> ParsedMetrics:
+    """Parse one ``/metrics`` body into :class:`ParsedMetrics`."""
+    parsed = ParsedMetrics()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                parsed.types[parts[2]] = parts[3].strip()
+            continue
+        body, exemplar_text = _split_exemplar(line)
+        try:
+            name, labels, value = _parse_sample_body(body)
+            exemplar = (
+                _parse_exemplar(exemplar_text)
+                if exemplar_text is not None
+                else None
+            )
+        except (ValueError, IndexError):
+            continue  # lenient: skip malformed lines
+        parsed.samples.append(
+            Sample(
+                name=name,
+                labels=tuple(sorted(labels.items())),
+                value=value,
+                exemplar=exemplar,
+            )
+        )
+    return parsed
+
+
+def assemble_histogram(
+    samples: Iterable[Sample],
+    base: str,
+    labels: Optional[Dict[str, str]] = None,
+) -> Optional[dict]:
+    """Rebuild one histogram from its ``_bucket``/``_count``/``_sum``
+    samples.
+
+    Returns ``{"buckets": [finite bounds], "cumulative": [counts],
+    "count": n, "sum": s, "exemplars": [..]}`` — the shape the tsdb
+    query layer and the report's quantile math consume — or None when
+    no bucket samples match.
+    """
+    want = (labels or {}).items()
+    bounds: List[Tuple[float, int, Optional[dict]]] = []
+    count = None
+    total = None
+    for s in samples:
+        if not all(s.label(k, None) == v for k, v in want):
+            continue
+        if s.name == f"{base}_bucket":
+            le = s.label("le")
+            bounds.append((_parse_value(le), int(s.value), s.exemplar))
+        elif s.name == f"{base}_count":
+            count = int(s.value)
+        elif s.name == f"{base}_sum":
+            total = s.value
+    if not bounds:
+        return None
+    bounds.sort(key=lambda item: item[0])
+    finite = [b for b in bounds if not math.isinf(b[0])]
+    inf = [b for b in bounds if math.isinf(b[0])]
+    if count is None and inf:
+        count = inf[0][1]
+    return {
+        "buckets": [b[0] for b in finite],
+        "cumulative": [b[1] for b in finite]
+        + ([inf[0][1]] if inf else []),
+        "count": count if count is not None else 0,
+        "sum": total if total is not None else 0.0,
+        "exemplars": [b[2] for b in bounds if b[2] is not None],
+    }

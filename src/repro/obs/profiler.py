@@ -1,0 +1,358 @@
+"""Low-overhead sampling profiler for workers and the server loop.
+
+A :class:`SamplingProfiler` periodically captures the Python stack of
+one target thread and aggregates the stacks into collapsed form
+(``module:function;module:function;... -> count``), the exchange format
+the flamegraph toolchain speaks.  Two capture mechanisms:
+
+``timer`` (default)
+    A daemon thread wakes every ``1/hz`` seconds and reads the target
+    thread's frame out of ``sys._current_frames()``.  Wall-clock
+    sampling: frames blocked on I/O or sleeping count too, which is
+    what a latency investigation wants.  Works on any thread and never
+    touches signal state.
+
+``signal``
+    ``SIGPROF`` + ``setitimer(ITIMER_PROF)``: the kernel delivers a
+    signal after every ``1/hz`` seconds of *CPU* time and the handler
+    records the interrupted frame.  CPU-time sampling, main thread
+    only — the right tool when only on-CPU cost matters.
+
+Both modes are pid-guarded the way :class:`~repro.faults.FaultInjector`
+is: a profiler armed before a ``fork`` refuses to record in the child
+(and the signal handler disarms its inherited itimer), so engine pool
+workers never double-count into a parent's buffer.  Workers run their
+*own* profiler (see ``repro.engine.api``) and hand the samples back
+inside the telemetry snapshot, where
+:meth:`~repro.telemetry.Telemetry.merge_profile` folds them together.
+
+The aggregate, :class:`ProfileData`, converts to a synthetic trace
+document so the PR 5 exporters (``to_collapsed_stacks`` /
+``to_chrome_trace``) render profiles with zero new viewer code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["PROFILE_SCHEMA", "ProfileData", "SamplingProfiler"]
+
+PROFILE_SCHEMA = "flashmark.profile/v1"
+
+
+class ProfileData:
+    """Aggregated collapsed-stack samples from one or more profilers."""
+
+    __slots__ = ("samples", "n_samples", "duration_s", "hz")
+
+    def __init__(
+        self,
+        samples: Optional[Dict[str, int]] = None,
+        *,
+        n_samples: int = 0,
+        duration_s: float = 0.0,
+        hz: float = 0.0,
+    ):
+        #: ``"frame;frame;leaf"`` -> sample count.  Frames are
+        #: ``module:function`` with the root of the call stack first.
+        self.samples: Dict[str, int] = dict(samples or {})
+        self.n_samples = int(n_samples)
+        self.duration_s = float(duration_s)
+        self.hz = float(hz)
+
+    # -- aggregation -------------------------------------------------------
+
+    def record(self, stack: str) -> None:
+        self.samples[stack] = self.samples.get(stack, 0) + 1
+        self.n_samples += 1
+
+    def merge(self, other) -> "ProfileData":
+        """Fold another :class:`ProfileData` (or its dict dump) in."""
+        if isinstance(other, dict):
+            other = ProfileData.from_dict(other)
+        for stack, n in other.samples.items():
+            self.samples[stack] = self.samples.get(stack, 0) + n
+        self.n_samples += other.n_samples
+        self.duration_s += other.duration_s
+        if other.hz:
+            self.hz = other.hz
+        return self
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "hz": self.hz,
+            "n_samples": self.n_samples,
+            "duration_s": self.duration_s,
+            "samples": dict(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, dump: dict) -> "ProfileData":
+        return cls(
+            dump.get("samples") or {},
+            n_samples=int(dump.get("n_samples") or 0),
+            duration_s=float(dump.get("duration_s") or 0.0),
+            hz=float(dump.get("hz") or 0.0),
+        )
+
+    # -- analysis ----------------------------------------------------------
+
+    def top(self, n: int = 10) -> List[dict]:
+        """Hottest frames by self samples (cumulative as tiebreak).
+
+        Returns ``{"frame", "self", "cum", "self_frac"}`` rows — the
+        table ``repro obs top`` and the fleet report print.
+        """
+        self_counts: Dict[str, int] = {}
+        cum_counts: Dict[str, int] = {}
+        for stack, count in self.samples.items():
+            frames = stack.split(";")
+            self_counts[frames[-1]] = (
+                self_counts.get(frames[-1], 0) + count
+            )
+            for frame in set(frames):
+                cum_counts[frame] = cum_counts.get(frame, 0) + count
+        total = max(1, self.n_samples)
+        rows = [
+            {
+                "frame": frame,
+                "self": self_counts.get(frame, 0),
+                "cum": cum,
+                "self_frac": self_counts.get(frame, 0) / total,
+            }
+            for frame, cum in cum_counts.items()
+        ]
+        rows.sort(key=lambda r: (-r["self"], -r["cum"], r["frame"]))
+        return rows[:n]
+
+    def to_collapsed(self) -> str:
+        """``stack count`` lines (flamegraph.pl / speedscope input)."""
+        return "\n".join(
+            f"{stack} {count}"
+            for stack, count in sorted(self.samples.items())
+        ) + ("\n" if self.samples else "")
+
+    def to_trace_doc(self, name: str = "profile") -> dict:
+        """A synthetic trace document for the PR 5 exporters.
+
+        The stack prefix tree becomes a span tree: each node's wall
+        time is its cumulative sample count over ``hz`` (1s per sample
+        when hz is unknown), and sibling spans are laid out
+        sequentially so the Chrome viewer shows a well-formed icicle.
+        """
+        per_sample_s = 1.0 / self.hz if self.hz > 0 else 1.0
+        # Prefix tree: node key is the full prefix tuple.
+        tree: Dict[tuple, dict] = {}
+        for stack, count in sorted(self.samples.items()):
+            frames = tuple(stack.split(";"))
+            for depth in range(1, len(frames) + 1):
+                prefix = frames[:depth]
+                node = tree.get(prefix)
+                if node is None:
+                    node = tree[prefix] = {"cum": 0, "children": []}
+                    if depth > 1:
+                        tree[frames[: depth - 1]]["children"].append(
+                            prefix
+                        )
+                node["cum"] += count
+        trace_id = hashlib.sha256(
+            ("profile:" + name).encode("utf-8")
+        ).hexdigest()[:32]
+        spans: List[dict] = []
+        counter = [0]
+
+        def _span_id() -> str:
+            counter[0] += 1
+            return f"{counter[0]:016x}"
+
+        root_id = _span_id()
+        spans.append(
+            {
+                "name": name,
+                "path": name,
+                "depth": 0,
+                "wall_s": self.n_samples * per_sample_s,
+                "device_us": 0.0,
+                "energy_uj": 0.0,
+                "t0_unix_s": 0.0,
+                "trace_id": trace_id,
+                "span_id": root_id,
+                "parent_id": None,
+                "attrs": {
+                    "n_samples": self.n_samples,
+                    "hz": self.hz,
+                },
+            }
+        )
+
+        def _emit(prefix: tuple, parent_id: str, t0: float) -> None:
+            node = tree[prefix]
+            span_id = _span_id()
+            spans.append(
+                {
+                    "name": prefix[-1],
+                    "path": name + "/" + "/".join(prefix),
+                    "depth": len(prefix),
+                    "wall_s": node["cum"] * per_sample_s,
+                    "device_us": 0.0,
+                    "energy_uj": 0.0,
+                    "t0_unix_s": t0,
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                    "parent_id": parent_id,
+                    "attrs": {"samples": node["cum"]},
+                }
+            )
+            offset = t0
+            for child in node["children"]:
+                _emit(child, span_id, offset)
+                offset += tree[child]["cum"] * per_sample_s
+
+        offset = 0.0
+        for prefix in sorted(tree):
+            if len(prefix) == 1:
+                _emit(prefix, root_id, offset)
+                offset += tree[prefix]["cum"] * per_sample_s
+        return {
+            "trace_id": trace_id,
+            "complete": True,
+            "orphans": 0,
+            "stages": [name],
+            "spans": spans,
+        }
+
+
+class SamplingProfiler:
+    """Periodic stack sampler for one thread (see module docstring).
+
+    Use as a context manager or via explicit :meth:`start` /
+    :meth:`stop`; ``stop()`` returns the accumulated
+    :class:`ProfileData`.
+    """
+
+    def __init__(
+        self,
+        hz: float = 99.0,
+        *,
+        mode: str = "timer",
+        max_depth: int = 64,
+    ):
+        if hz <= 0:
+            raise ValueError("hz must be > 0")
+        if mode not in ("timer", "signal"):
+            raise ValueError(f"unknown profiler mode {mode!r}")
+        self.hz = float(hz)
+        self.mode = mode
+        self.max_depth = int(max_depth)
+        self._pid = os.getpid()
+        self._data = ProfileData(hz=self.hz)
+        self._running = False
+        self._t0 = 0.0
+        self._target_thread: Optional[int] = None
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._old_handler = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the *calling* thread."""
+        if self._running:
+            raise RuntimeError("profiler already running")
+        self._running = True
+        self._t0 = time.perf_counter()
+        self._target_thread = threading.get_ident()
+        if self.mode == "timer":
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._timer_loop,
+                name="repro-obs-profiler",
+                daemon=True,
+            )
+            self._thread.start()
+        else:
+            import signal
+
+            self._old_handler = signal.signal(
+                signal.SIGPROF, self._on_signal
+            )
+            signal.setitimer(
+                signal.ITIMER_PROF, 1.0 / self.hz, 1.0 / self.hz
+            )
+        return self
+
+    def stop(self) -> ProfileData:
+        """Stop sampling and return the accumulated profile."""
+        if not self._running:
+            return self._data
+        self._running = False
+        self._data.duration_s += time.perf_counter() - self._t0
+        if self.mode == "timer":
+            self._stop_event.set()
+            if self._thread is not None:
+                self._thread.join(timeout=2.0)
+                self._thread = None
+        elif os.getpid() == self._pid:
+            import signal
+
+            signal.setitimer(signal.ITIMER_PROF, 0.0)
+            if self._old_handler is not None:
+                signal.signal(signal.SIGPROF, self._old_handler)
+                self._old_handler = None
+        return self._data
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def data(self) -> ProfileData:
+        return self._data
+
+    # -- capture -----------------------------------------------------------
+
+    def _timer_loop(self) -> None:
+        interval = 1.0 / self.hz
+        frames_of = sys._current_frames
+        while not self._stop_event.wait(interval):
+            # Pid guard: a forked child does not inherit this thread,
+            # but guard anyway so shared ProfileData never mixes pids.
+            if os.getpid() != self._pid:
+                return
+            frame = frames_of().get(self._target_thread)
+            if frame is not None:
+                self._record(frame)
+
+    def _on_signal(self, signum, frame) -> None:
+        if os.getpid() != self._pid:
+            # Inherited itimer in a forked child: disarm and bail, the
+            # same discipline FaultInjector applies to its fault arms.
+            import signal
+
+            signal.setitimer(signal.ITIMER_PROF, 0.0)
+            return
+        if frame is not None and self._running:
+            self._record(frame)
+
+    def _record(self, frame) -> None:
+        parts: List[str] = []
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            code = frame.f_code
+            module = frame.f_globals.get("__name__", "?")
+            parts.append(f"{module}:{code.co_name}")
+            frame = frame.f_back
+            depth += 1
+        parts.reverse()
+        self._data.record(";".join(parts))

@@ -1,0 +1,533 @@
+"""``flashmark.tsdb/v1`` — append-only JSONL time-series store.
+
+The scrape loop needs durable, greppable history without a database
+dependency, so the store borrows the :class:`~repro.telemetry.JsonlSink`
+discipline wholesale: every write is an appended JSON line, every
+metadata update is a temp-file ``os.replace`` (atomic on POSIX), and
+nothing is ever rewritten in place except by compaction, which also
+goes through ``os.replace``.
+
+Layout (all paths under the store root)::
+
+    meta.json                              store identity + window size
+    segments/<metric>/<window>.jsonl       one segment per time window
+    segments/<metric>/index.json           window -> {n, t_min, t_max}
+
+``<window>`` is the integer unix second the window starts at
+(``int(t // window_s) * window_s``), so segment selection for a range
+query is pure filename arithmetic even when the index is stale.  One
+record per line: ``{"t": unix_s, "v": value, "l": {labels}}`` plus
+``"x": {exemplar}`` when the scraped sample carried one.
+
+Retention and compaction: :meth:`TimeSeriesStore.compact` rewrites
+closed windows time-sorted (idempotent) and drops the oldest windows
+beyond ``retention_windows`` — segment rotation is just starting a new
+window file, so the active segment is never touched.
+
+The query layer answers the questions the fleet report and
+``repro obs query`` ask: range and instant queries, counter ``rate()``
+with reset handling, and cross-shard ``sum``/``max`` rollups grouped by
+label (each scrape target lands under its own ``target`` label).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .parse import Sample
+
+__all__ = ["TSDB_SCHEMA", "Point", "TimeSeriesStore"]
+
+TSDB_SCHEMA = "flashmark.tsdb/v1"
+
+_SAFE = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:-"
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _safe_name(metric: str) -> str:
+    out = "".join(c if c in _SAFE else "_" for c in metric)
+    return out or "_"
+
+
+def _atomic_write_json(path: Path, doc: dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class Point:
+    """One stored observation of one series."""
+
+    t: float
+    value: float
+    labels: LabelKey
+    exemplar: Optional[dict] = None
+
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+    def label(self, key: str, default: str = "") -> str:
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return default
+
+
+class TimeSeriesStore:
+    """Append-only time-series store (schema ``flashmark.tsdb/v1``)."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        window_s: float = 300.0,
+        retention_windows: int = 0,
+    ):
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        if retention_windows < 0:
+            raise ValueError("retention_windows must be >= 0 (0: keep all)")
+        self.root = Path(root)
+        self.segments_dir = self.root / "segments"
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        self.retention_windows = int(retention_windows)
+        meta_path = self.root / "meta.json"
+        if meta_path.exists():
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+            if meta.get("schema") != TSDB_SCHEMA:
+                raise ValueError(
+                    f"{self.root} is not a {TSDB_SCHEMA} store "
+                    f"(schema={meta.get('schema')!r})"
+                )
+            # The on-disk window size wins: segment filenames already
+            # encode it.
+            self.window_s = float(meta["window_s"])
+        else:
+            self.window_s = float(window_s)
+            _atomic_write_json(
+                meta_path,
+                {
+                    "schema": TSDB_SCHEMA,
+                    "window_s": self.window_s,
+                    "created_unix_s": time.time(),
+                },
+            )
+        #: (metric, window_start) -> list of pending record dicts.
+        self._pending: Dict[Tuple[str, int], List[dict]] = {}
+        self._n_pending = 0
+
+    # -- write path --------------------------------------------------------
+
+    def window_start(self, t: float) -> int:
+        return int(t // self.window_s * self.window_s)
+
+    def append(
+        self,
+        metric: str,
+        value: float,
+        *,
+        t: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+        exemplar: Optional[dict] = None,
+    ) -> None:
+        """Buffer one observation (written on :meth:`flush`)."""
+        t = float(t) if t is not None else time.time()
+        rec = {"t": t, "v": float(value), "l": dict(labels or {})}
+        if exemplar is not None:
+            rec["x"] = exemplar
+        key = (metric, self.window_start(t))
+        self._pending.setdefault(key, []).append(rec)
+        self._n_pending += 1
+
+    def append_samples(
+        self,
+        samples: Iterable[Sample],
+        *,
+        t: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> int:
+        """Buffer a parsed scrape, merging ``labels`` (e.g. the scrape
+        target) into every sample's own labels."""
+        t = float(t) if t is not None else time.time()
+        extra = dict(labels or {})
+        n = 0
+        for sample in samples:
+            merged = dict(sample.labels)
+            merged.update(extra)
+            self.append(
+                sample.name,
+                sample.value,
+                t=t,
+                labels=merged,
+                exemplar=sample.exemplar,
+            )
+            n += 1
+        return n
+
+    def flush(self) -> int:
+        """Write buffered records to their segment files; update
+        indexes atomically.  Returns the number of records written."""
+        written = 0
+        touched: Dict[str, Dict[int, Tuple[int, float, float]]] = {}
+        for (metric, window), recs in sorted(self._pending.items()):
+            mdir = self.segments_dir / _safe_name(metric)
+            mdir.mkdir(parents=True, exist_ok=True)
+            path = mdir / f"{window}.jsonl"
+            with open(path, "a", encoding="utf-8") as fh:
+                for rec in recs:
+                    fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            ts = [rec["t"] for rec in recs]
+            touched.setdefault(_safe_name(metric), {})[window] = (
+                len(recs), min(ts), max(ts),
+            )
+            written += len(recs)
+        for mdir_name, windows in touched.items():
+            index_path = self.segments_dir / mdir_name / "index.json"
+            index = self._load_index(index_path)
+            for window, (n, t_min, t_max) in windows.items():
+                entry = index["windows"].get(str(window))
+                if entry is None:
+                    entry = {"n": 0, "t_min": t_min, "t_max": t_max}
+                entry["n"] += n
+                entry["t_min"] = min(entry["t_min"], t_min)
+                entry["t_max"] = max(entry["t_max"], t_max)
+                index["windows"][str(window)] = entry
+            _atomic_write_json(index_path, index)
+        self._pending.clear()
+        self._n_pending = 0
+        return written
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "TimeSeriesStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @staticmethod
+    def _load_index(path: Path) -> dict:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                index = json.load(fh)
+            if isinstance(index.get("windows"), dict):
+                return index
+        except (OSError, ValueError):
+            pass
+        return {"schema": TSDB_SCHEMA, "windows": {}}
+
+    # -- introspection -----------------------------------------------------
+
+    def metrics(self) -> List[str]:
+        """Stored metric names (directory names; sorted)."""
+        if not self.segments_dir.exists():
+            return []
+        return sorted(
+            p.name for p in self.segments_dir.iterdir() if p.is_dir()
+        )
+
+    def windows(self, metric: str) -> List[int]:
+        mdir = self.segments_dir / _safe_name(metric)
+        if not mdir.exists():
+            return []
+        out = []
+        for p in mdir.glob("*.jsonl"):
+            try:
+                out.append(int(p.stem))
+            except ValueError:
+                continue
+        return sorted(out)
+
+    def stats(self) -> dict:
+        """Store-wide totals for manifests and the report header."""
+        n_samples = 0
+        n_segments = 0
+        t_min: Optional[float] = None
+        t_max: Optional[float] = None
+        metrics = self.metrics()
+        for metric in metrics:
+            index = self._load_index(
+                self.segments_dir / metric / "index.json"
+            )
+            for entry in index["windows"].values():
+                n_samples += int(entry.get("n", 0))
+                n_segments += 1
+                lo, hi = entry.get("t_min"), entry.get("t_max")
+                if lo is not None:
+                    t_min = lo if t_min is None else min(t_min, lo)
+                if hi is not None:
+                    t_max = hi if t_max is None else max(t_max, hi)
+        return {
+            "schema": TSDB_SCHEMA,
+            "window_s": self.window_s,
+            "n_metrics": len(metrics),
+            "n_segments": n_segments,
+            "n_samples": n_samples,
+            "t_min": t_min,
+            "t_max": t_max,
+        }
+
+    # -- read path ---------------------------------------------------------
+
+    def query_range(
+        self,
+        metric: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> List[Point]:
+        """All points of ``metric`` in ``[start, end]`` whose labels
+        include ``labels``, time-sorted.  Unflushed appends are flushed
+        first so reads always see writes."""
+        if self._n_pending:
+            self.flush()
+        mdir = self.segments_dir / _safe_name(metric)
+        if not mdir.exists():
+            return []
+        lo = -math.inf if start is None else float(start)
+        hi = math.inf if end is None else float(end)
+        want = tuple((labels or {}).items())
+        points: List[Point] = []
+        for window in self.windows(metric):
+            if window + self.window_s < lo or window > hi:
+                continue
+            path = mdir / f"{window}.jsonl"
+            try:
+                fh = open(path, "r", encoding="utf-8")
+            except OSError:
+                continue
+            with fh:
+                for line in fh:
+                    try:
+                        rec = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail line from a crash
+                    t = rec.get("t", 0.0)
+                    if not lo <= t <= hi:
+                        continue
+                    rl = rec.get("l") or {}
+                    if any(rl.get(k) != v for k, v in want):
+                        continue
+                    points.append(
+                        Point(
+                            t=t,
+                            value=float(rec.get("v", 0.0)),
+                            labels=tuple(sorted(rl.items())),
+                            exemplar=rec.get("x"),
+                        )
+                    )
+        points.sort(key=lambda p: (p.t, p.labels))
+        return points
+
+    def series(
+        self,
+        metric: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Dict[LabelKey, List[Point]]:
+        """Range query grouped by full label set."""
+        grouped: Dict[LabelKey, List[Point]] = {}
+        for point in self.query_range(metric, start, end, labels):
+            grouped.setdefault(point.labels, []).append(point)
+        return grouped
+
+    def query_instant(
+        self,
+        metric: str,
+        at: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Dict[LabelKey, Point]:
+        """Latest point at or before ``at`` (default: now), per series."""
+        at = float(at) if at is not None else time.time()
+        out: Dict[LabelKey, Point] = {}
+        for key, points in self.series(metric, None, at, labels).items():
+            out[key] = points[-1]
+        return out
+
+    def rate(
+        self,
+        metric: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Dict[LabelKey, float]:
+        """Per-second counter rate over the range, per series.
+
+        Handles counter resets the Prometheus way: only increases
+        accumulate, a drop restarts from the lower value (the post-drop
+        absolute value counts as fresh increase).
+        """
+        out: Dict[LabelKey, float] = {}
+        for key, points in self.series(metric, start, end, labels).items():
+            if len(points) < 2:
+                out[key] = 0.0
+                continue
+            increase = 0.0
+            prev = points[0].value
+            for point in points[1:]:
+                if point.value >= prev:
+                    increase += point.value - prev
+                else:
+                    increase += point.value  # reset: counter restarted
+                prev = point.value
+            dt = points[-1].t - points[0].t
+            out[key] = increase / dt if dt > 0 else 0.0
+        return out
+
+    def rollup(
+        self,
+        metric: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+        *,
+        by: Sequence[str] = (),
+        agg: str = "sum",
+        rate: bool = False,
+    ) -> Dict[Tuple[str, ...], float]:
+        """Cross-series aggregation, optionally grouped by label.
+
+        Each series contributes its counter :meth:`rate` (when
+        ``rate=True``) or its latest value; series sharing the same
+        values of the ``by`` labels fold together with ``sum`` or
+        ``max``.  ``by=()`` folds everything into one group keyed
+        ``()`` — e.g. fleet-wide requests/s is
+        ``rollup("flashmark_service_requests", rate=True)``.
+        """
+        if agg not in ("sum", "max"):
+            raise ValueError(f"unknown agg {agg!r}")
+        if rate:
+            per_series = self.rate(metric, start, end, labels)
+        else:
+            per_series = {
+                key: point.value
+                for key, point in self.query_instant(
+                    metric, end, labels
+                ).items()
+                if start is None or point.t >= start
+            }
+        out: Dict[Tuple[str, ...], float] = {}
+        for key, value in per_series.items():
+            label_map = dict(key)
+            group = tuple(label_map.get(k, "") for k in by)
+            if group not in out:
+                out[group] = value
+            elif agg == "sum":
+                out[group] += value
+            else:
+                out[group] = max(out[group], value)
+        return out
+
+    def exemplars(
+        self,
+        metric: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> List[dict]:
+        """Exemplars attached to points in range, slowest first.
+
+        Each entry carries the exemplar plus the sample's own identity:
+        ``{"metric", "t", "labels", "value", "exemplar"}``.
+        """
+        out = [
+            {
+                "metric": metric,
+                "t": point.t,
+                "labels": point.label_dict(),
+                "value": point.value,
+                "exemplar": point.exemplar,
+            }
+            for point in self.query_range(metric, start, end, labels)
+            if point.exemplar is not None
+        ]
+        out.sort(
+            key=lambda e: -float(e["exemplar"].get("value") or 0.0)
+        )
+        return out
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(
+        self,
+        *,
+        now: Optional[float] = None,
+        retention_windows: Optional[int] = None,
+    ) -> dict:
+        """Sort closed segments and enforce retention.
+
+        Closed windows (everything before the window containing
+        ``now``) are rewritten time-sorted through a temp file +
+        ``os.replace`` — crash-safe and idempotent.  When retention is
+        set, only the newest ``retention_windows`` windows per metric
+        survive.  Returns ``{"compacted": n, "dropped": n}``.
+        """
+        now = float(now) if now is not None else time.time()
+        keep = (
+            self.retention_windows
+            if retention_windows is None
+            else int(retention_windows)
+        )
+        self.flush()
+        active = self.window_start(now)
+        compacted = 0
+        dropped = 0
+        for metric in self.metrics():
+            mdir = self.segments_dir / metric
+            windows = self.windows(metric)
+            index_path = mdir / "index.json"
+            index = self._load_index(index_path)
+            drop = set(windows[:-keep]) if keep > 0 else set()
+            for window in windows:
+                path = mdir / f"{window}.jsonl"
+                if window in drop:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    index["windows"].pop(str(window), None)
+                    dropped += 1
+                    continue
+                if window >= active:
+                    continue  # never rewrite the active segment
+                recs = []
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        for line in fh:
+                            try:
+                                recs.append(json.loads(line))
+                            except ValueError:
+                                continue
+                except OSError:
+                    continue
+                recs.sort(key=lambda r: r.get("t", 0.0))
+                tmp = path.with_suffix(".jsonl.tmp")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for rec in recs:
+                        fh.write(json.dumps(rec, sort_keys=True) + "\n")
+                os.replace(tmp, path)
+                entry = index["windows"].setdefault(
+                    str(window), {"n": 0, "t_min": 0.0, "t_max": 0.0}
+                )
+                entry["n"] = len(recs)
+                if recs:
+                    entry["t_min"] = recs[0]["t"]
+                    entry["t_max"] = recs[-1]["t"]
+                compacted += 1
+            _atomic_write_json(index_path, index)
+        return {"compacted": compacted, "dropped": dropped}

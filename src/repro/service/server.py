@@ -118,6 +118,12 @@ class ServerConfig:
     pow_difficulty: int = 0
     #: Accepted-ticket digests remembered for exactly-once spending.
     pow_replay_cache: int = 4096
+    #: Continuous-profiling sample rate in Hz (0 disables).  Non-zero
+    #: starts a :class:`~repro.obs.SamplingProfiler` on the event-loop
+    #: thread for the server's lifetime and passes the same rate into
+    #: every engine call, so worker stacks land in the merged profile
+    #: too; the aggregate rides ``telemetry.snapshot()["profile"]``.
+    profile_hz: float = 0.0
 
 
 class _TokenBucket:
@@ -176,6 +182,13 @@ class _Pending:
     @property
     def batch_key(self) -> Tuple:
         return (self.family, self.segment, self.n_reads, self.temperature_c)
+
+
+def _trace_exemplar(pending: _Pending) -> Optional[Dict[str, str]]:
+    """Histogram exemplar labels for one request (None untraced)."""
+    if pending.trace is None:
+        return None
+    return {"trace_id": pending.trace.trace_id}
 
 
 class VerificationServer:
@@ -254,6 +267,7 @@ class VerificationServer:
         self._started_at: Optional[float] = None
         self._max_queue_depth = 0
         self._open_connections = 0
+        self._profiler = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -271,6 +285,14 @@ class VerificationServer:
         )
         self._batcher = self._loop.create_task(self._batch_loop())
         self._started_at = self._loop.time()
+        if self.config.profile_hz > 0:
+            # Imported lazily: the profiler is opt-in and repro.obs
+            # must stay independent of the service import graph.
+            from ..obs.profiler import SamplingProfiler
+
+            self._profiler = SamplingProfiler(
+                self.config.profile_hz
+            ).start()
         self.telemetry.count("service.starts")
 
     async def stop(self) -> None:
@@ -297,6 +319,9 @@ class VerificationServer:
                             "server shutting down",
                         )
                     )
+        if self._profiler is not None:
+            profiler, self._profiler = self._profiler, None
+            self.telemetry.merge_profile(profiler.stop().to_dict())
 
     async def __aenter__(self) -> "VerificationServer":
         await self.start()
@@ -641,8 +666,20 @@ class VerificationServer:
     ) -> None:
         response = await pending.future
         latency = self._loop.time() - pending.enqueued_at
+        exemplar = None
+        if pending.trace is not None:
+            # The slowest observation per bucket keeps a pointer to its
+            # concrete trace (and signed receipt, when one was issued),
+            # so a p99 bucket in /metrics resolves to a real request.
+            exemplar = {"trace_id": pending.trace.trace_id}
+            receipt = (response.get("result") or {}).get("receipt")
+            if isinstance(receipt, dict) and receipt.get("sig"):
+                exemplar["receipt_id"] = str(receipt["sig"])[:16]
         self.telemetry.observe(
-            "service.latency_s", latency, buckets=LATENCY_BUCKETS
+            "service.latency_s",
+            latency,
+            buckets=LATENCY_BUCKETS,
+            exemplar=exemplar,
         )
         self._monitor_response(pending, response, latency)
         if pending.trace is not None:
@@ -817,7 +854,10 @@ class VerificationServer:
             pending.picked_unix = now_unix
             wait = now - pending.enqueued_at
             self.telemetry.observe(
-                "service.stage.queue_wait_s", wait, buckets=LATENCY_BUCKETS
+                "service.stage.queue_wait_s",
+                wait,
+                buckets=LATENCY_BUCKETS,
+                exemplar=_trace_exemplar(pending),
             )
             if pending.trace is not None:
                 self.telemetry.record_span(
@@ -840,7 +880,10 @@ class VerificationServer:
                 continue
             wait = work_started - pending.picked_at
             self.telemetry.observe(
-                "service.stage.batch_wait_s", wait, buckets=LATENCY_BUCKETS
+                "service.stage.batch_wait_s",
+                wait,
+                buckets=LATENCY_BUCKETS,
+                exemplar=_trace_exemplar(pending),
             )
             if pending.trace is not None:
                 self.telemetry.record_span(
@@ -894,6 +937,7 @@ class VerificationServer:
                     telemetry=batch_tel,
                     trace_contexts=good_tps,
                     batch=self.config.engine_batch,
+                    profile_hz=self.config.profile_hz,
                 )
                 if good
                 else None
@@ -933,6 +977,7 @@ class VerificationServer:
                 "service.stage.decode_s",
                 decode_wall,
                 buckets=LATENCY_BUCKETS,
+                exemplar=_trace_exemplar(pending),
             )
             if pending.trace is not None:
                 self.telemetry.record_span(
@@ -949,6 +994,7 @@ class VerificationServer:
                     "service.stage.engine_s",
                     engine_wall,
                     buckets=LATENCY_BUCKETS,
+                    exemplar=_trace_exemplar(pending),
                 )
                 if engine_ctxs[i] is not None:
                     self.telemetry.record_span(
@@ -1019,6 +1065,7 @@ class VerificationServer:
                     "service.stage.registry_s",
                     reg_wall,
                     buckets=LATENCY_BUCKETS,
+                    exemplar=_trace_exemplar(pending),
                 )
                 if pending.trace is not None:
                     self.telemetry.record_span(

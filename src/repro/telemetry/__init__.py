@@ -44,6 +44,12 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .prometheus import (
+    escape_label_value,
+    metric_name,
+    render_labeled,
+    render_prometheus,
+)
 from .spans import (
     JsonlSink,
     ListSink,
@@ -74,4 +80,8 @@ __all__ = [
     "summarize_manifest",
     "diff_manifests",
     "sanitize",
+    "metric_name",
+    "render_prometheus",
+    "render_labeled",
+    "escape_label_value",
 ]

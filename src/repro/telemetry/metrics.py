@@ -10,6 +10,7 @@ so ``observe`` is a bisect plus two adds.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,11 +63,27 @@ class Histogram:
     ``buckets`` are sorted upper bounds; an implicit +inf bucket catches
     everything beyond the last bound.  Bounds are frozen at creation so
     observing is allocation-free.
+
+    An observation may carry an *exemplar* — a small label dict (trace
+    id, receipt id) identifying the concrete event behind the sample.
+    Each bucket keeps the exemplar of its slowest observation per
+    ``exemplar_window_s`` window, so a ``/metrics`` scrape can point an
+    operator from a p99 bucket to the exact trace that landed there.
+    Observations without an exemplar pay nothing beyond a None check.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "sum")
+    __slots__ = (
+        "name", "buckets", "counts", "count", "sum",
+        "exemplars", "exemplar_window_s",
+    )
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        *,
+        exemplar_window_s: float = 60.0,
+    ):
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -77,12 +94,46 @@ class Histogram:
         self.counts: List[int] = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        #: bucket index -> {"value", "unix_s", "labels"}; the +inf
+        #: bucket is index ``len(buckets)``.
+        self.exemplars: Dict[int, dict] = {}
+        self.exemplar_window_s = float(exemplar_window_s)
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[Dict[str, str]] = None,
+        unix_s: Optional[float] = None,
+    ) -> None:
         value = float(value)
-        self.counts[bisect_left(self.buckets, value)] += 1
+        idx = bisect_left(self.buckets, value)
+        self.counts[idx] += 1
         self.count += 1
         self.sum += value
+        if exemplar is not None:
+            self._note_exemplar(idx, value, exemplar, unix_s)
+
+    def _note_exemplar(
+        self,
+        idx: int,
+        value: float,
+        labels: Dict[str, str],
+        unix_s: Optional[float],
+    ) -> None:
+        now = float(unix_s) if unix_s is not None else time.time()
+        cur = self.exemplars.get(idx)
+        # Keep the slowest observation per bucket per window; a new
+        # window replaces unconditionally so exemplars stay fresh.
+        if (
+            cur is None
+            or value >= cur["value"]
+            or now - cur["unix_s"] >= self.exemplar_window_s
+        ):
+            self.exemplars[idx] = {
+                "value": value,
+                "unix_s": now,
+                "labels": {k: str(v) for k, v in labels.items()},
+            }
 
     @property
     def mean(self) -> float:
@@ -143,16 +194,26 @@ class MetricsRegistry:
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
             "histograms": {
-                n: {
-                    "buckets": list(h.buckets),
-                    "counts": list(h.counts),
-                    "count": h.count,
-                    "sum": h.sum,
-                    "mean": h.mean,
-                }
+                n: self._dump_histogram(h)
                 for n, h in sorted(self._histograms.items())
             },
         }
+
+    @staticmethod
+    def _dump_histogram(h: Histogram) -> dict:
+        dump = {
+            "buckets": list(h.buckets),
+            "counts": list(h.counts),
+            "count": h.count,
+            "sum": h.sum,
+            "mean": h.mean,
+        }
+        if h.exemplars:
+            # String keys so the dump survives a JSON round-trip.
+            dump["exemplars"] = {
+                str(i): dict(e) for i, e in sorted(h.exemplars.items())
+            }
+        return dump
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` dict into this registry.
@@ -179,6 +240,13 @@ class MetricsRegistry:
                 h.counts[i] += int(c)
             h.count += int(dump["count"])
             h.sum += float(dump["sum"])
+            for idx_s, ex in (dump.get("exemplars") or {}).items():
+                h._note_exemplar(
+                    int(idx_s),
+                    float(ex["value"]),
+                    ex.get("labels") or {},
+                    ex.get("unix_s"),
+                )
 
     def reset(self) -> None:
         self._counters.clear()

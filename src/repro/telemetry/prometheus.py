@@ -6,16 +6,32 @@ and by tests: internal metric names are dotted
 Prometheus names admit only ``[a-zA-Z0-9_:]``, so every name is
 normalized through :func:`metric_name` — dots and dashes become
 underscores, anything else illegal is dropped, and the ``flashmark_``
-prefix namespaces the exposition.  The mapping is stable: two distinct
-internal names never collide unless they already differed only in
-punctuation.
+prefix namespaces the exposition.
+
+Normalization is lossy: two distinct internal names that differ only in
+punctuation (``engine.hung-skips`` vs ``engine.hung_skips``) would land
+on the same exposition name and silently merge.  :func:`render_prometheus`
+detects those collisions across the whole snapshot at render time and
+suffixes each collided name with a short, deterministic hash of its
+internal identity — stable across renders and processes, so scraped
+series never alias.
+
+Histogram buckets render with OpenMetrics-style exemplars when the
+snapshot carries them (see :class:`~repro.telemetry.metrics.Histogram`):
+``..._bucket{le="0.05"} 12 # {trace_id="..."} 0.048 1754650000.1``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["metric_name", "render_prometheus"]
+__all__ = [
+    "metric_name",
+    "render_prometheus",
+    "render_labeled",
+    "escape_label_value",
+]
 
 PREFIX = "flashmark_"
 
@@ -38,6 +54,56 @@ def metric_name(name: str, prefix: str = PREFIX) -> str:
     return out
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    return ",".join(
+        f'{k}="{escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+
+
+def _resolve_names(
+    idents: Iterable[Tuple[str, str]],
+) -> Dict[Tuple[str, str], str]:
+    """Map each (kind, internal-name) identity to its exposition name.
+
+    Identities whose normalized names collide each get a 6-hex-digit
+    suffix derived from the identity itself, so the assignment depends
+    only on the colliding name — not on which other metrics happen to
+    be co-resident in the snapshot.
+    """
+    idents = list(idents)
+    base = {ident: metric_name(ident[1]) for ident in idents}
+    counts: Dict[str, int] = {}
+    for name in base.values():
+        counts[name] = counts.get(name, 0) + 1
+    out: Dict[Tuple[str, str], str] = {}
+    for ident, name in base.items():
+        if counts[name] > 1:
+            digest = hashlib.sha256(
+                f"{ident[0]}:{ident[1]}".encode("utf-8")
+            ).hexdigest()[:6]
+            name = f"{name}_{digest}"
+        out[ident] = name
+    return out
+
+
+def _exemplar_suffix(ex: dict) -> str:
+    """OpenMetrics exemplar clause for a bucket sample line."""
+    labels = _render_labels(ex.get("labels") or {})
+    out = f" # {{{labels}}} {ex['value']}"
+    unix_s = ex.get("unix_s")
+    if unix_s:
+        out += f" {unix_s}"
+    return out
+
+
 def render_prometheus(
     snapshot: dict,
     *,
@@ -49,28 +115,72 @@ def render_prometheus(
     ``extra_gauges`` carries live values that are not registry metrics
     (queue depth, open connections) — exposed as plain gauges.
     """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    extra = extra_gauges or {}
+    names = _resolve_names(
+        [("counter", n) for n in counters]
+        + [("gauge", n) for n, v in gauges.items() if v is not None]
+        + [("histogram", n) for n in histograms]
+        + [("extra", n) for n in extra]
+    )
     lines: List[str] = []
-    for name, value in snapshot.get("counters", {}).items():
-        pname = metric_name(name)
+    for name, value in counters.items():
+        pname = names[("counter", name)]
         lines.append(f"# TYPE {pname} counter")
         lines.append(f"{pname} {value}")
-    for name, value in snapshot.get("gauges", {}).items():
+    for name, value in gauges.items():
         if value is not None:
-            pname = metric_name(name)
+            pname = names[("gauge", name)]
             lines.append(f"# TYPE {pname} gauge")
             lines.append(f"{pname} {value}")
-    for name, dump in snapshot.get("histograms", {}).items():
-        base = metric_name(name)
+    for name, dump in histograms.items():
+        base = names[("histogram", name)]
         lines.append(f"# TYPE {base} histogram")
+        exemplars = dump.get("exemplars") or {}
         cumulative = 0
-        for bound, count in zip(dump["buckets"], dump["counts"]):
+        for i, (bound, count) in enumerate(
+            zip(dump["buckets"], dump["counts"])
+        ):
             cumulative += count
-            lines.append(f'{base}_bucket{{le="{bound}"}} {cumulative}')
-        lines.append(f'{base}_bucket{{le="+Inf"}} {dump["count"]}')
+            line = f'{base}_bucket{{le="{bound}"}} {cumulative}'
+            ex = exemplars.get(str(i))
+            if ex is not None:
+                line += _exemplar_suffix(ex)
+            lines.append(line)
+        inf_line = f'{base}_bucket{{le="+Inf"}} {dump["count"]}'
+        ex = exemplars.get(str(len(dump["buckets"])))
+        if ex is not None:
+            inf_line += _exemplar_suffix(ex)
+        lines.append(inf_line)
         lines.append(f"{base}_count {dump['count']}")
         lines.append(f"{base}_sum {dump['sum']}")
-    for name, value in (extra_gauges or {}).items():
-        pname = metric_name(name)
+    for name, value in extra.items():
+        pname = names[("extra", name)]
         lines.append(f"# TYPE {pname} gauge")
         lines.append(f"{pname} {value}")
     return "\n".join(lines) + "\n"
+
+
+def render_labeled(
+    name: str,
+    series: Iterable[Tuple[Dict[str, str], float]],
+    *,
+    kind: str = "counter",
+) -> List[str]:
+    """Render one labeled metric family as exposition lines.
+
+    For per-entity series a flat registry cannot express — e.g. the
+    fleet router's ``flashmark_fleet_evictions_total{shard="shard-2"}``.
+    Callers append the returned lines to a :func:`render_prometheus`
+    body.
+    """
+    pname = metric_name(name)
+    lines = [f"# TYPE {pname} {kind}"]
+    for labels, value in series:
+        if labels:
+            lines.append(f"{pname}{{{_render_labels(labels)}}} {value}")
+        else:
+            lines.append(f"{pname} {value}")
+    return lines

@@ -228,24 +228,36 @@ class JsonlSink:
     """Append-only JSON-lines sink (file path or open text handle).
 
     With ``max_bytes`` set and a *path* target, the file rotates once it
-    would cross the cap: ``spans.jsonl`` is renamed to
-    ``spans.jsonl.1`` (replacing any previous rotation) and a fresh file
+    would cross the cap: ``spans.jsonl`` becomes ``spans.jsonl.1``,
+    prior rotations shift up (``.1`` -> ``.2`` ... up to
+    ``max_files``, the oldest falling off the end) and a fresh file
     continues — so a week-long chaos soak or loadgen run keeps at most
-    ``2 * max_bytes`` of span log on disk instead of growing without
-    bound.  ``rotations`` counts completed rotations; a
-    :class:`Telemetry` wired to the sink mirrors it into the
-    ``telemetry.sink.rotations`` counter.  Handle targets never rotate
-    (the caller owns the handle's lifecycle).
+    ``(max_files + 1) * max_bytes`` of span log on disk instead of
+    growing without bound.  Rotation numbering picks up where a prior
+    process left off: pre-existing ``.N`` files shift like any other.
+    ``rotations`` counts completed rotations; a :class:`Telemetry`
+    wired to the sink mirrors it into the ``telemetry.sink.rotations``
+    counter.  Handle targets never rotate (the caller owns the handle's
+    lifecycle).
     """
 
-    def __init__(self, target, *, max_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        target,
+        *,
+        max_bytes: Optional[int] = None,
+        max_files: int = 1,
+    ):
         import io
         import os
 
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None)")
+        if max_files < 1:
+            raise ValueError("max_files must be >= 1")
         self.rotations = 0
         self.max_bytes = max_bytes
+        self.max_files = max_files
         self._path = None
         if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
             self._path = os.fspath(target)
@@ -280,6 +292,12 @@ class JsonlSink:
         import os
 
         self._fh.close()
+        # Shift .1 -> .2 ... descending so each os.replace lands on a
+        # slot just vacated; .max_files is overwritten (dropped).
+        for n in range(self.max_files - 1, 0, -1):
+            src = f"{self._path}.{n}"
+            if os.path.exists(src):
+                os.replace(src, f"{self._path}.{n + 1}")
         os.replace(self._path, f"{self._path}.1")
         self._fh = open(self._path, "a", encoding="utf-8")
         self._n_bytes = 0
@@ -340,6 +358,10 @@ class Telemetry:
         self.max_spans = max_spans
         self.dropped_spans = 0
         self.spans: List[SpanRecord] = []
+        #: Aggregated collapsed-stack profile (plain dict, schema
+        #: ``flashmark.profile/v1`` — see :mod:`repro.obs.profiler`).
+        #: None until a profiler dump is merged in.
+        self.profile: Optional[Dict[str, Any]] = None
         self._stack: List[_Span] = []
         self._ctx_stack: List[TraceContext] = []
         self._stats: Dict[str, Dict[str, float]] = {}
@@ -454,11 +476,45 @@ class Telemetry:
         Worker processes hand this back to the parent run, which folds
         it in with :meth:`absorb`.
         """
-        return {
+        out = {
             "spans": [s.to_dict() for s in self.spans],
             "dropped_spans": self.dropped_spans,
             "metrics": self.registry.snapshot(),
         }
+        if self.profile is not None:
+            out["profile"] = {
+                **self.profile,
+                "samples": dict(self.profile.get("samples") or {}),
+            }
+        return out
+
+    def merge_profile(self, dump: Optional[dict]) -> None:
+        """Fold a collapsed-stack profile dump into this context.
+
+        The dump is the plain-dict form produced by
+        ``repro.obs.profiler.ProfileData.to_dict()`` (or another
+        telemetry's ``profile`` block): stack strings map to sample
+        counts, which add; durations and sample totals add; ``hz`` is
+        carried through.  Kept schema-agnostic here so the telemetry
+        layer never imports :mod:`repro.obs`.
+        """
+        if not self.enabled or not dump:
+            return
+        if self.profile is None:
+            self.profile = {
+                "schema": dump.get("schema", "flashmark.profile/v1"),
+                "hz": float(dump.get("hz") or 0.0),
+                "n_samples": 0,
+                "duration_s": 0.0,
+                "samples": {},
+            }
+        samples = self.profile["samples"]
+        for stack, n in (dump.get("samples") or {}).items():
+            samples[stack] = samples.get(stack, 0) + int(n)
+        self.profile["n_samples"] += int(dump.get("n_samples") or 0)
+        self.profile["duration_s"] += float(dump.get("duration_s") or 0.0)
+        if dump.get("hz"):
+            self.profile["hz"] = float(dump["hz"])
 
     def absorb(
         self,
@@ -506,6 +562,7 @@ class Telemetry:
         metrics = snapshot.get("metrics")
         if metrics:
             self.registry.merge_snapshot(metrics)
+        self.merge_profile(snapshot.get("profile"))
 
     def root_spans(self) -> List[SpanRecord]:
         """Completed top-level spans, in completion order."""
@@ -531,10 +588,17 @@ class Telemetry:
             self.registry.gauge(name).set(value)
 
     def observe(
-        self, name: str, value: float, buckets: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+        *,
+        exemplar: Optional[Dict[str, str]] = None,
     ) -> None:
         if self.enabled:
-            self.registry.histogram(name, buckets).observe(value)
+            self.registry.histogram(name, buckets).observe(
+                value, exemplar=exemplar
+            )
 
 
 #: Module-level default telemetry: disabled, so library instrumentation

@@ -237,6 +237,77 @@ class TestRouterOps:
         assert strip(routed) == strip(direct)
 
 
+class TestMetricsExposition:
+    """Satellite: the router's ``/metrics`` exposes per-shard eviction
+    and readmission counters, and traced verifies leave exemplars on
+    the fleet latency histogram."""
+
+    @staticmethod
+    def _fetch_metrics(endpoint):
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"http://{endpoint.host}:{endpoint.port}/metrics",
+            timeout=10,
+        ) as resp:
+            return resp.status, resp.read().decode()
+
+    def test_per_shard_eviction_series(
+        self, registry, tmp_path, draw_items
+    ):
+        item = draw_items(1, seed=95)[0]
+
+        async def fn(router):
+            async with await VerificationClient.connect(
+                router.endpoint
+            ) as client:
+                await client.verify_chip(
+                    item.chip,
+                    FAMILY,
+                    request_id=1,
+                    trace="00-" + "ab" * 16 + "-" + "cd" * 8 + "-01",
+                )
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, self._fetch_metrics, router.endpoint
+            )
+
+        status, text = fleet(registry, tmp_path, fn, n_shards=2)
+        assert status == 200
+        lines = text.splitlines()
+        assert (
+            "# TYPE flashmark_fleet_evictions_total counter" in lines
+        )
+        assert (
+            "# TYPE flashmark_fleet_readmissions_total counter"
+            in lines
+        )
+        for shard in ("shard-0", "shard-1"):
+            assert (
+                f'flashmark_fleet_evictions_total{{shard="{shard}"}} 0'
+                in lines
+            )
+            assert (
+                f"flashmark_fleet_readmissions_total"
+                f'{{shard="{shard}"}} 0' in lines
+            )
+        # ordinary registry metrics still render alongside
+        assert any(
+            line.startswith("flashmark_fleet_requests ")
+            for line in lines
+        )
+        # the traced verify left an exemplar on a latency bucket
+        exemplar_lines = [
+            line
+            for line in lines
+            if line.startswith("flashmark_fleet_latency_s_bucket")
+            and "# {" in line
+        ]
+        assert exemplar_lines
+        assert any('trace_id="' + "ab" * 16 in l for l in exemplar_lines)
+        assert any('shard="shard-' in l for l in exemplar_lines)
+
+
 class TestParitySoak:
     def test_small_parity_soak_passes(self, registry, draw_items):
         report = run_fleet_soak(

@@ -1,0 +1,298 @@
+"""Tests for the Prometheus text parser (repro.obs.parse).
+
+Includes the renderer round-trip property test: whatever
+``render_prometheus`` emits for a registry snapshot must parse back to
+the same samples — counters, gauges, and stage histograms including
+the ``+Inf`` bucket and exemplar clauses.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.parse import (
+    Sample,
+    assemble_histogram,
+    parse_labels,
+    parse_prometheus_text,
+)
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.prometheus import metric_name, render_prometheus
+
+
+class TestParseLabels:
+    def test_simple(self):
+        assert parse_labels('a="1",b="two"') == {"a": "1", "b": "two"}
+
+    def test_escapes(self):
+        got = parse_labels('v="a\\"b\\\\c\\nd"')
+        assert got == {"v": 'a"b\\c\nd'}
+
+    def test_whitespace_and_trailing_comma(self):
+        assert parse_labels(' a="1" , b="2" ,') == {"a": "1", "b": "2"}
+
+    def test_unquoted_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_labels("a=1")
+
+
+class TestParseText:
+    def test_counter_and_gauge(self):
+        parsed = parse_prometheus_text(
+            "# TYPE flashmark_service_requests counter\n"
+            "flashmark_service_requests 12\n"
+            "# TYPE flashmark_service_inflight gauge\n"
+            "flashmark_service_inflight 3.5\n"
+        )
+        assert parsed.value("flashmark_service_requests") == 12.0
+        assert parsed.value("flashmark_service_inflight") == 3.5
+        assert parsed.types["flashmark_service_requests"] == "counter"
+        assert parsed.types["flashmark_service_inflight"] == "gauge"
+
+    def test_labels_sorted_canonically(self):
+        parsed = parse_prometheus_text('m{z="1",a="2"} 9\n')
+        (sample,) = parsed.samples
+        assert sample.labels == (("a", "2"), ("z", "1"))
+        assert sample.label("z") == "1"
+        assert sample.label_dict() == {"z": "1", "a": "2"}
+
+    def test_special_values(self):
+        parsed = parse_prometheus_text("a +Inf\nb -Inf\nc NaN\n")
+        assert parsed.value("a") == math.inf
+        assert parsed.value("b") == -math.inf
+        assert math.isnan(parsed.value("c"))
+
+    def test_timestamp_ignored(self):
+        parsed = parse_prometheus_text("m 4 1754650000\n")
+        assert parsed.value("m") == 4.0
+
+    def test_exemplar_clause(self):
+        parsed = parse_prometheus_text(
+            'h_bucket{le="0.05"} 12 '
+            '# {trace_id="abc123"} 0.048 1754650000.1\n'
+        )
+        (sample,) = parsed.samples
+        assert sample.value == 12.0
+        assert sample.exemplar == {
+            "labels": {"trace_id": "abc123"},
+            "value": 0.048,
+            "unix_s": 1754650000.1,
+        }
+
+    def test_exemplar_without_timestamp(self):
+        parsed = parse_prometheus_text(
+            'h_bucket{le="+Inf"} 3 # {trace_id="x"} 1.5\n'
+        )
+        assert parsed.samples[0].exemplar["unix_s"] is None
+
+    def test_hash_inside_label_value_is_not_an_exemplar(self):
+        parsed = parse_prometheus_text('m{note="a#b"} 1\n')
+        (sample,) = parsed.samples
+        assert sample.exemplar is None
+        assert sample.label("note") == "a#b"
+
+    def test_malformed_lines_skipped(self):
+        parsed = parse_prometheus_text(
+            "just_a_name\n"
+            'open{brace="1" 2\n'
+            "good 7\n"
+        )
+        assert parsed.names() == ["good"]
+
+    def test_filtered_get(self):
+        parsed = parse_prometheus_text(
+            'up{target="a"} 1\nup{target="b"} 0\n'
+        )
+        assert parsed.value("up", {"target": "b"}) == 0.0
+        assert len(parsed.get("up")) == 2
+
+
+class TestAssembleHistogram:
+    def _parsed(self):
+        return parse_prometheus_text(
+            '# TYPE h histogram\n'
+            'h_bucket{le="0.01"} 0\n'
+            'h_bucket{le="0.1"} 2 # {trace_id="t1"} 0.09\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+            "h_sum 1.25\n"
+        )
+
+    def test_shape(self):
+        hist = assemble_histogram(self._parsed().samples, "h")
+        assert hist["buckets"] == [0.01, 0.1]
+        assert hist["cumulative"] == [0, 2, 3]
+        assert hist["count"] == 3
+        assert hist["sum"] == 1.25
+        assert [e["labels"] for e in hist["exemplars"]] == [
+            {"trace_id": "t1"}
+        ]
+
+    def test_count_falls_back_to_inf_bucket(self):
+        samples = [
+            s
+            for s in self._parsed().samples
+            if s.name != "h_count"
+        ]
+        hist = assemble_histogram(samples, "h")
+        assert hist["count"] == 3
+
+    def test_label_filter(self):
+        parsed = parse_prometheus_text(
+            'h_bucket{le="+Inf",target="a"} 5\n'
+            'h_bucket{le="+Inf",target="b"} 9\n'
+        )
+        hist = assemble_histogram(
+            parsed.samples, "h", {"target": "b"}
+        )
+        assert hist["cumulative"] == [9]
+
+    def test_no_match_is_none(self):
+        assert assemble_histogram([], "h") is None
+
+
+# -- the renderer round-trip property ----------------------------------------
+
+_value = st.floats(
+    min_value=0.0,
+    max_value=1e6,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+_registry_spec = st.fixed_dictionaries(
+    {
+        "counters": st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=0,
+            max_size=4,
+        ),
+        "gauges": st.lists(_value, min_size=0, max_size=3),
+        "histograms": st.lists(
+            st.tuples(
+                # sorted, distinct bucket bounds
+                st.lists(
+                    st.floats(
+                        min_value=1e-3,
+                        max_value=100.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    min_size=1,
+                    max_size=5,
+                    unique=True,
+                ),
+                # observations: (value, has_exemplar)
+                st.lists(
+                    st.tuples(
+                        st.floats(
+                            min_value=0.0,
+                            max_value=1000.0,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        ),
+                        st.booleans(),
+                    ),
+                    min_size=0,
+                    max_size=8,
+                ),
+            ),
+            min_size=0,
+            max_size=2,
+        ),
+    }
+)
+
+
+def _build_registry(spec):
+    """Materialize a drawn spec.  Names are disjoint by construction
+    (``ctr0.total`` vs ``g0.depth`` vs ``h0.latency_s``) so the
+    property isolates value round-tripping from collision suffixing,
+    which has its own tests."""
+    reg = MetricsRegistry()
+    for i, value in enumerate(spec["counters"]):
+        reg.counter(f"ctr{i}.total").inc(value)
+    for i, value in enumerate(spec["gauges"]):
+        reg.gauge(f"g{i}.depth").set(value)
+    for i, (bounds, observations) in enumerate(spec["histograms"]):
+        hist = reg.histogram(f"h{i}.latency_s", sorted(bounds))
+        for j, (value, with_exemplar) in enumerate(observations):
+            hist.observe(
+                value,
+                exemplar=(
+                    {"trace_id": f"{i:02x}{j:02x}" * 4}
+                    if with_exemplar
+                    else None
+                ),
+                unix_s=1754650000.0 + j,
+            )
+    return reg
+
+
+class TestRenderRoundTrip:
+    """Satellite: render_prometheus output parses back to the same
+    samples — values, cumulative buckets, +Inf, and exemplars."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=_registry_spec)
+    def test_round_trip(self, spec):
+        reg = _build_registry(spec)
+        snapshot = reg.snapshot()
+        parsed = parse_prometheus_text(render_prometheus(snapshot))
+
+        for i, value in enumerate(spec["counters"]):
+            pname = metric_name(f"ctr{i}.total")
+            assert parsed.value(pname) == float(value)
+            assert parsed.types[pname] == "counter"
+        for i, value in enumerate(spec["gauges"]):
+            pname = metric_name(f"g{i}.depth")
+            assert parsed.value(pname) == value
+            assert parsed.types[pname] == "gauge"
+        for i, (bounds, observations) in enumerate(
+            spec["histograms"]
+        ):
+            name = f"h{i}.latency_s"
+            pname = metric_name(name)
+            assert parsed.types[pname] == "histogram"
+            hist = assemble_histogram(parsed.samples, pname)
+            source = snapshot["histograms"][name]
+            assert hist["buckets"] == source["buckets"]
+            # parsed cumulative counts match the registry's
+            # per-bucket counts re-accumulated, +Inf included
+            cumulative, running = [], 0
+            for count in source["counts"]:
+                running += count
+                cumulative.append(running)
+            assert hist["cumulative"] == cumulative
+            assert hist["count"] == source["count"]
+            assert hist["sum"] == source["sum"]
+            # every rendered exemplar survives with its labels/value
+            want = {
+                (ex["labels"]["trace_id"], ex["value"], ex["unix_s"])
+                for ex in (source.get("exemplars") or {}).values()
+            }
+            got = {
+                (
+                    ex["labels"]["trace_id"],
+                    ex["value"],
+                    ex["unix_s"],
+                )
+                for ex in hist["exemplars"]
+            }
+            assert got == want
+
+    def test_inf_bucket_round_trips_literally(self):
+        reg = MetricsRegistry()
+        reg.histogram("h.latency_s", (0.5,)).observe(2.0)
+        parsed = parse_prometheus_text(
+            render_prometheus(reg.snapshot())
+        )
+        inf_samples = [
+            s
+            for s in parsed.get("flashmark_h_latency_s_bucket")
+            if s.label("le") == "+Inf"
+        ]
+        assert len(inf_samples) == 1
+        assert inf_samples[0].value == 1.0

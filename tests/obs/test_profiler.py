@@ -1,0 +1,157 @@
+"""Tests for the sampling profiler and its aggregate form."""
+
+import signal
+import time
+
+import pytest
+
+from repro.obs.profiler import PROFILE_SCHEMA, ProfileData, SamplingProfiler
+
+
+def _busy(deadline_s=0.05):
+    """A recognizable frame to catch samples in."""
+    t0 = time.perf_counter()
+    total = 0
+    while time.perf_counter() - t0 < deadline_s:
+        total += sum(range(200))
+    return total
+
+
+class TestProfileData:
+    def _data(self):
+        data = ProfileData(hz=100.0)
+        data.record("mod:root;mod:a;mod:b")
+        data.record("mod:root;mod:a;mod:b")
+        data.record("mod:root;mod:c")
+        return data
+
+    def test_record_and_counts(self):
+        data = self._data()
+        assert data.n_samples == 3
+        assert data.samples["mod:root;mod:a;mod:b"] == 2
+
+    def test_top_self_and_cumulative(self):
+        rows = {r["frame"]: r for r in self._data().top(10)}
+        # leaves own their samples; the root only accumulates
+        assert rows["mod:b"]["self"] == 2
+        assert rows["mod:b"]["cum"] == 2
+        assert rows["mod:root"]["self"] == 0
+        assert rows["mod:root"]["cum"] == 3
+        assert rows["mod:a"]["cum"] == 2
+        assert rows["mod:b"]["self_frac"] == pytest.approx(2 / 3)
+        # sorted by self time, descending
+        selves = [r["self"] for r in self._data().top(10)]
+        assert selves == sorted(selves, reverse=True)
+
+    def test_top_truncates_to_n(self):
+        assert len(self._data().top(2)) == 2
+
+    def test_to_collapsed(self):
+        lines = self._data().to_collapsed().splitlines()
+        assert "mod:root;mod:a;mod:b 2" in lines
+        assert "mod:root;mod:c 1" in lines
+
+    def test_dict_round_trip(self):
+        data = self._data()
+        dump = data.to_dict()
+        assert dump["schema"] == PROFILE_SCHEMA
+        again = ProfileData.from_dict(dump)
+        assert again.samples == data.samples
+        assert again.hz == data.hz
+        assert again.to_dict() == dump
+
+    def test_merge_dict_and_instance(self):
+        data = self._data()
+        data.merge(self._data().to_dict())
+        assert data.n_samples == 6
+        data.merge(self._data())
+        assert data.n_samples == 9
+        assert data.samples["mod:root;mod:c"] == 3
+
+    def test_to_trace_doc_spans(self):
+        doc = self._data().to_trace_doc(name="worker")
+        spans = doc["spans"]
+        by_name = {s["name"]: s for s in spans}
+        # the synthetic root holds every sample: 3 at 100 Hz = 30ms
+        assert by_name["worker"]["wall_s"] == pytest.approx(0.03)
+        assert by_name["mod:b"]["wall_s"] == pytest.approx(0.02)
+        # parentage mirrors the stack prefix tree
+        assert (
+            by_name["mod:a"]["parent_id"]
+            == by_name["mod:root"]["span_id"]
+        )
+        assert by_name["worker"]["parent_id"] is None
+        assert all(s["trace_id"] == doc["trace_id"] for s in spans)
+        assert doc["complete"] is True
+
+    def test_to_trace_doc_without_hz_counts_seconds(self):
+        data = ProfileData(hz=0.0)
+        data.record("m:f")
+        doc = data.to_trace_doc()
+        (root,) = [s for s in doc["spans"] if s["name"] == "profile"]
+        assert root["wall_s"] == pytest.approx(1.0)
+
+
+class TestSamplingProfiler:
+    def test_timer_mode_captures_busy_frames(self):
+        profiler = SamplingProfiler(500.0).start()
+        _busy(0.08)
+        data = profiler.stop()
+        assert data.n_samples > 0
+        assert data.hz == 500.0
+        assert data.duration_s > 0
+        me = f"{__name__}:_busy"
+        assert any(me in stack for stack in data.samples)
+
+    def test_context_manager(self):
+        with SamplingProfiler(500.0) as profiler:
+            _busy(0.05)
+        assert profiler.data.n_samples > 0
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(500.0).start()
+        _busy(0.02)
+        first = profiler.stop()
+        assert profiler.stop() is first
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(500.0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(10.0, mode="tracing")
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGPROF")
+        or not hasattr(signal, "ITIMER_PROF"),
+        reason="SIGPROF unavailable on this platform",
+    )
+    def test_signal_mode_captures_cpu_frames(self):
+        profiler = SamplingProfiler(500.0, mode="signal").start()
+        _busy(0.08)
+        data = profiler.stop()
+        assert data.n_samples > 0
+        assert any(
+            f"{__name__}:_busy" in stack for stack in data.samples
+        )
+
+    def test_max_depth_truncates(self):
+        def recurse(n):
+            if n == 0:
+                return _busy(0.06)
+            return recurse(n - 1)
+
+        profiler = SamplingProfiler(500.0, max_depth=4).start()
+        recurse(30)
+        data = profiler.stop()
+        assert data.n_samples > 0
+        assert all(
+            len(stack.split(";")) <= 4 for stack in data.samples
+        )

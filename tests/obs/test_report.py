@@ -1,0 +1,130 @@
+"""Tests for the fleet dossier (repro.obs.report)."""
+
+from repro.obs.profiler import ProfileData
+from repro.obs.report import (
+    build_obs_report,
+    render_obs_html,
+    write_obs_report,
+)
+from repro.obs.tsdb import TimeSeriesStore
+
+T0 = 1_754_650_000.0
+
+
+def _seeded_store(tmp_path):
+    store = TimeSeriesStore(tmp_path / "tsdb")
+    for i in range(3):
+        t = T0 + 5 * i
+        for target in ("router", "shard-0"):
+            store.append(
+                "flashmark_up", 1.0, t=t, labels={"target": target}
+            )
+            store.append(
+                "flashmark_healthz_status_code",
+                0.0,
+                t=t,
+                labels={"target": target},
+            )
+            store.append(
+                "flashmark_service_requests",
+                float(4 * i),
+                t=t,
+                labels={"target": target},
+            )
+        for le, count in (("0.1", 2 * i), ("+Inf", 3 * i)):
+            store.append(
+                "flashmark_service_latency_s_bucket",
+                float(count),
+                t=t,
+                labels={"target": "shard-0", "le": le},
+                exemplar=(
+                    {
+                        "labels": {
+                            "trace_id": "ab" * 16,
+                            "receipt_id": "cd" * 8,
+                        },
+                        "value": 0.09,
+                    }
+                    if le == "0.1" and i == 2
+                    else None
+                ),
+            )
+    store.flush()
+    return store
+
+
+def _profile():
+    data = ProfileData(hz=99.0)
+    data.samples["repro.phys.kernels:population_program_targets"] = 8
+    data.n_samples = 8
+    data.duration_s = 0.08
+    return data
+
+
+class TestBuildReport:
+    def test_sections_present(self, tmp_path):
+        report = build_obs_report(
+            _seeded_store(tmp_path),
+            profile=_profile(),
+            alerts=[
+                {"rule": "slo_burn", "severity": "page"},
+                {"rule": "slo_burn", "severity": "page"},
+            ],
+        )
+        assert "# Fleet observability report" in report
+        assert "## Targets" in report
+        assert "`shard-0`" in report and "100.0%" in report
+        assert "## Fleet-wide rates" in report
+        assert "`flashmark_service_requests`" in report
+        assert "## Stage latency" in report
+        assert "`flashmark_service_latency_s`" in report
+        assert "## Slowest exemplars" in report
+        assert f"`{'ab' * 16}`" in report
+        assert f"`{'cd' * 8}`" in report
+        assert "## Hottest frames (sampling profile)" in report
+        assert (
+            "`repro.phys.kernels:population_program_targets`"
+            in report
+        )
+        assert "## Alert history" in report
+        assert "`slo_burn` | page | 2" in report
+
+    def test_empty_store_is_defensive(self, tmp_path):
+        report = build_obs_report(
+            TimeSeriesStore(tmp_path / "tsdb")
+        )
+        assert "_no scrape rounds recorded_" in report
+        assert "_no counter series in range_" in report
+        assert "_no stage histograms in range_" in report
+        assert "_no exemplars recorded_" in report
+        assert "_no profile captured_" in report
+        assert "_no alerts recorded_" in report
+
+    def test_custom_title(self, tmp_path):
+        report = build_obs_report(
+            TimeSeriesStore(tmp_path / "tsdb"), title="Soak 42"
+        )
+        assert report.startswith("# Soak 42")
+
+
+class TestHtml:
+    def test_tables_and_escaping(self, tmp_path):
+        markdown = build_obs_report(_seeded_store(tmp_path))
+        html = render_obs_html(markdown, title="a<b")
+        assert html.startswith("<!doctype html>")
+        assert "<title>a&lt;b</title>" in html
+        assert "<table>" in html and "</table>" in html
+        assert "<th>target</th>" in html
+        assert "<code>shard-0</code>" in html
+        assert "<h2>Targets</h2>" in html
+
+    def test_write_picks_format_by_suffix(self, tmp_path):
+        markdown = build_obs_report(
+            TimeSeriesStore(tmp_path / "tsdb")
+        )
+        md_path = tmp_path / "report.md"
+        html_path = tmp_path / "report.html"
+        write_obs_report(md_path, markdown, title="t")
+        write_obs_report(html_path, markdown, title="t")
+        assert md_path.read_text().startswith("# ")
+        assert html_path.read_text().startswith("<!doctype html>")

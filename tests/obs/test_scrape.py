@@ -1,0 +1,230 @@
+"""Tests for the asyncio metrics scraper.
+
+The scraper only needs something that answers HTTP on ``/metrics`` and
+``/healthz``, so these tests run it against a tiny canned asyncio
+server — the full fleet path is covered by the service/fleet
+integration suites and the CLI's obs smoke.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.scrape import MetricsScraper, ScrapeTarget, fleet_targets
+from repro.obs.tsdb import TimeSeriesStore
+from repro.service.endpoint import Endpoint
+
+METRICS_BODY = (
+    "# TYPE flashmark_service_requests counter\n"
+    "flashmark_service_requests 42\n"
+    "# TYPE flashmark_service_latency_s histogram\n"
+    'flashmark_service_latency_s_bucket{le="0.1"} 3'
+    ' # {trace_id="abc"} 0.08\n'
+    'flashmark_service_latency_s_bucket{le="+Inf"} 4\n'
+    "flashmark_service_latency_s_count 4\n"
+    "flashmark_service_latency_s_sum 0.6\n"
+)
+
+HEALTHZ_BODY = json.dumps(
+    {"status": "degraded", "queue_depth": 7}
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _canned_server(paths):
+    """Serve canned ``path -> (code, body)`` responses."""
+
+    async def handle(reader, writer):
+        try:
+            request = await reader.readline()
+            while (await reader.readline()).strip():
+                pass  # drain headers
+            path = request.split()[1].decode()
+            code, body = paths.get(path, (404, "no"))
+            payload = body.encode()
+            writer.write(
+                f"HTTP/1.1 {code} X\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n".encode() + payload
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, Endpoint(*server.sockets[0].getsockname()[:2])
+
+
+class TestScrapeOnce:
+    def test_samples_and_synthetics_stored(self, tmp_path):
+        async def main():
+            server, endpoint = await _canned_server(
+                {
+                    "/metrics": (200, METRICS_BODY),
+                    "/healthz": (200, HEALTHZ_BODY),
+                }
+            )
+            async with server:
+                store = TimeSeriesStore(tmp_path / "tsdb")
+                scraper = MetricsScraper(
+                    [ScrapeTarget("shard-0", endpoint)], store
+                )
+                summary = await scraper.scrape_once(t=1000.0)
+                return store, summary
+
+        store, summary = run(main())
+        assert summary["ok"] is True
+        assert summary["targets"]["shard-0"]["status"] == "degraded"
+        labels = {"target": "shard-0"}
+        (point,) = store.query_range(
+            "flashmark_service_requests", labels=labels
+        )
+        assert point.value == 42.0
+        assert point.t == 1000.0
+        # the exemplar clause survives into the stored point
+        (bucket,) = store.query_range(
+            "flashmark_service_latency_s_bucket",
+            labels={"target": "shard-0", "le": "0.1"},
+        )
+        assert bucket.exemplar["labels"] == {"trace_id": "abc"}
+        # synthesized liveness series
+        up = store.query_instant("flashmark_up", labels=labels)
+        assert next(iter(up.values())).value == 1.0
+        status = store.query_instant(
+            "flashmark_healthz_status_code", labels=labels
+        )
+        assert next(iter(status.values())).value == 1.0  # degraded
+        depth = store.query_instant(
+            "flashmark_healthz_queue_depth", labels=labels
+        )
+        assert next(iter(depth.values())).value == 7.0
+        assert store.query_range("flashmark_scrape_duration_s")
+
+    def test_down_target_records_up_zero(self, tmp_path):
+        async def main():
+            # grab a port and close it: nothing listens there
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            endpoint = Endpoint(
+                *probe.sockets[0].getsockname()[:2]
+            )
+            probe.close()
+            await probe.wait_closed()
+            store = TimeSeriesStore(tmp_path / "tsdb")
+            scraper = MetricsScraper(
+                [ScrapeTarget("dead", endpoint)],
+                store,
+                timeout_s=1.0,
+            )
+            summary = await scraper.scrape_once(t=1000.0)
+            return store, scraper, summary
+
+        store, scraper, summary = run(main())
+        assert summary["ok"] is False
+        assert scraper.errors == 1
+        (up,) = store.query_range("flashmark_up")
+        assert up.value == 0.0
+        status = store.query_range("flashmark_healthz_status_code")
+        assert status[0].value == 3.0  # unreachable/unknown
+
+    def test_mixed_fleet_one_sick_target(self, tmp_path):
+        async def main():
+            server, endpoint = await _canned_server(
+                {
+                    "/metrics": (200, METRICS_BODY),
+                    "/healthz": (200, HEALTHZ_BODY),
+                }
+            )
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            dead = Endpoint(*probe.sockets[0].getsockname()[:2])
+            probe.close()
+            await probe.wait_closed()
+            async with server:
+                store = TimeSeriesStore(tmp_path / "tsdb")
+                scraper = MetricsScraper(
+                    [
+                        ScrapeTarget("alive", endpoint),
+                        ScrapeTarget("dead", dead),
+                    ],
+                    store,
+                    timeout_s=1.0,
+                )
+                summary = await scraper.run(rounds=2)
+                return store, summary
+
+        store, summary = run(main())
+        assert summary["rounds"] == 2
+        assert summary["errors"] == 2  # the dead target, both rounds
+        assert summary["targets"] == ["alive", "dead"]
+        by_target = store.rollup(
+            "flashmark_up", by=("target",), agg="max"
+        )
+        assert by_target == {("alive",): 1.0, ("dead",): 0.0}
+
+
+class TestRunBounds:
+    def test_stop_event_ends_loop(self, tmp_path):
+        async def main():
+            server, endpoint = await _canned_server(
+                {
+                    "/metrics": (200, METRICS_BODY),
+                    "/healthz": (200, HEALTHZ_BODY),
+                }
+            )
+            async with server:
+                store = TimeSeriesStore(tmp_path / "tsdb")
+                scraper = MetricsScraper(
+                    [ScrapeTarget("s", endpoint)],
+                    store,
+                    interval_s=30.0,
+                )
+                stop = asyncio.Event()
+                task = asyncio.get_running_loop().create_task(
+                    scraper.run(stop_event=stop)
+                )
+                await asyncio.sleep(0.1)
+                stop.set()
+                # a 30s interval must not delay the stop
+                return await asyncio.wait_for(task, timeout=5.0)
+
+        summary = run(main())
+        assert summary["rounds"] >= 1
+
+
+class TestConstruction:
+    def test_needs_targets_and_sane_interval(self, tmp_path):
+        store = TimeSeriesStore(tmp_path / "tsdb")
+        with pytest.raises(ValueError):
+            MetricsScraper([], store)
+        target = ScrapeTarget("s", Endpoint("127.0.0.1", 1))
+        with pytest.raises(ValueError):
+            MetricsScraper([target], store, interval_s=0.0)
+
+    def test_from_any_and_fleet_targets(self):
+        target = ScrapeTarget.from_any("s", "127.0.0.1:7793")
+        assert target.endpoint == Endpoint("127.0.0.1", 7793)
+
+        class _Info:
+            def __init__(self, shard_id, endpoint):
+                self.shard_id = shard_id
+                self.endpoint = endpoint
+
+        class _Shards:
+            def infos(self):
+                return [
+                    _Info("shard-0", Endpoint("127.0.0.1", 1001)),
+                    _Info("shard-1", None),  # down: skipped
+                ]
+
+        targets = fleet_targets(
+            shards=_Shards(), router=("127.0.0.1", 999)
+        )
+        assert [t.name for t in targets] == ["router", "shard-0"]
+        assert targets[0].endpoint.port == 999

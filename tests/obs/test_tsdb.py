@@ -1,0 +1,268 @@
+"""Tests for the flashmark.tsdb/v1 time-series store."""
+
+import json
+
+import pytest
+
+from repro.obs.parse import parse_prometheus_text
+from repro.obs.tsdb import TSDB_SCHEMA, TimeSeriesStore
+
+T0 = 1_754_650_000.0  # an arbitrary aligned-ish epoch anchor
+
+
+def _store(tmp_path, **kwargs):
+    kwargs.setdefault("window_s", 10.0)
+    return TimeSeriesStore(tmp_path / "tsdb", **kwargs)
+
+
+class TestWritePath:
+    def test_append_flush_read(self, tmp_path):
+        store = _store(tmp_path)
+        store.append(
+            "m",
+            1.5,
+            t=T0,
+            labels={"target": "a"},
+            exemplar={"labels": {"trace_id": "t"}, "value": 1.5},
+        )
+        n = store.flush()
+        assert n == 1
+        points = store.query_range("m")
+        assert len(points) == 1
+        point = points[0]
+        assert point.t == T0
+        assert point.value == 1.5
+        assert point.label_dict() == {"target": "a"}
+        assert point.exemplar["labels"] == {"trace_id": "t"}
+
+    def test_reads_see_unflushed_writes(self, tmp_path):
+        store = _store(tmp_path)
+        store.append("m", 2.0, t=T0)
+        assert store.query_range("m")[0].value == 2.0
+
+    def test_windows_from_filenames(self, tmp_path):
+        store = _store(tmp_path)
+        store.append("m", 1.0, t=T0)
+        store.append("m", 2.0, t=T0 + 25.0)
+        store.flush()
+        windows = store.windows("m")
+        assert len(windows) == 2
+        assert windows == sorted(windows)
+        assert all(w % 10 == 0 for w in windows)
+
+    def test_append_samples_merges_target_label(self, tmp_path):
+        parsed = parse_prometheus_text(
+            'up{job="x"} 1\nrequests 5\n'
+        )
+        store = _store(tmp_path)
+        n = store.append_samples(
+            parsed.samples, t=T0, labels={"target": "shard-0"}
+        )
+        assert n == 2
+        (point,) = store.query_range("up")
+        assert point.label_dict() == {
+            "job": "x",
+            "target": "shard-0",
+        }
+
+    def test_reopen_keeps_window_s(self, tmp_path):
+        store = _store(tmp_path, window_s=7.0)
+        store.append("m", 1.0, t=T0)
+        store.close()
+        # the constructor's window_s loses to the on-disk meta
+        again = TimeSeriesStore(tmp_path / "tsdb", window_s=999.0)
+        assert again.window_s == 7.0
+        assert len(again.query_range("m")) == 1
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        root = tmp_path / "tsdb"
+        root.mkdir()
+        (root / "meta.json").write_text(
+            json.dumps({"schema": "other/v9", "window_s": 1.0})
+        )
+        with pytest.raises(ValueError, match=TSDB_SCHEMA):
+            TimeSeriesStore(root)
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        store = _store(tmp_path)
+        store.append("m", 1.0, t=T0)
+        store.flush()
+        (path,) = (store.segments_dir / "m").glob("*.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": 175')  # crash mid-record
+        assert [p.value for p in store.query_range("m")] == [1.0]
+
+    def test_context_manager_flushes(self, tmp_path):
+        with _store(tmp_path) as store:
+            store.append("m", 3.0, t=T0)
+        segment = next((store.segments_dir / "m").glob("*.jsonl"))
+        assert '"v": 3.0' in segment.read_text()
+
+
+class TestReadPath:
+    def _seed(self, tmp_path):
+        store = _store(tmp_path)
+        for i, value in enumerate([0.0, 4.0, 10.0]):
+            store.append(
+                "req", value, t=T0 + 5 * i, labels={"target": "a"}
+            )
+        for i, value in enumerate([0.0, 2.0, 3.0]):
+            store.append(
+                "req", value, t=T0 + 5 * i, labels={"target": "b"}
+            )
+        return store
+
+    def test_query_range_time_and_label_filters(self, tmp_path):
+        store = self._seed(tmp_path)
+        points = store.query_range(
+            "req", T0 + 1, T0 + 6, {"target": "a"}
+        )
+        assert [p.value for p in points] == [4.0]
+        assert store.query_range("missing") == []
+
+    def test_series_groups_by_labels(self, tmp_path):
+        grouped = self._seed(tmp_path).series("req")
+        assert set(grouped) == {
+            (("target", "a"),),
+            (("target", "b"),),
+        }
+        assert [p.value for p in grouped[(("target", "a"),)]] == [
+            0.0,
+            4.0,
+            10.0,
+        ]
+
+    def test_query_instant_latest_per_series(self, tmp_path):
+        store = self._seed(tmp_path)
+        instant = store.query_instant("req", at=T0 + 20)
+        assert instant[(("target", "a"),)].value == 10.0
+        assert instant[(("target", "b"),)].value == 3.0
+        # `at` before the last point picks the preceding one
+        earlier = store.query_instant("req", at=T0 + 6)
+        assert earlier[(("target", "a"),)].value == 4.0
+
+    def test_rate_per_series(self, tmp_path):
+        rates = self._seed(tmp_path).rate("req")
+        assert rates[(("target", "a"),)] == pytest.approx(1.0)
+        assert rates[(("target", "b"),)] == pytest.approx(0.3)
+
+    def test_rate_counter_reset(self, tmp_path):
+        store = _store(tmp_path)
+        for i, value in enumerate([10.0, 12.0, 3.0]):
+            store.append("c", value, t=T0 + 10 * i)
+        # increase = 2 (10->12) + 3 (reset: restart counts whole)
+        assert store.rate("c")[()] == pytest.approx(5.0 / 20.0)
+
+    def test_rate_single_point_is_zero(self, tmp_path):
+        store = _store(tmp_path)
+        store.append("c", 5.0, t=T0)
+        assert store.rate("c")[()] == 0.0
+
+    def test_rollup_sum_across_shards(self, tmp_path):
+        store = self._seed(tmp_path)
+        assert store.rollup("req") == {(): 13.0}
+        assert store.rollup("req", rate=True)[()] == pytest.approx(
+            1.3
+        )
+
+    def test_rollup_by_label(self, tmp_path):
+        store = self._seed(tmp_path)
+        by_target = store.rollup("req", by=("target",))
+        assert by_target == {("a",): 10.0, ("b",): 3.0}
+        assert store.rollup("req", agg="max") == {(): 10.0}
+
+    def test_rollup_unknown_agg_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="agg"):
+            _store(tmp_path).rollup("req", agg="median")
+
+    def test_exemplars_slowest_first(self, tmp_path):
+        store = _store(tmp_path)
+        for i, value in enumerate([0.1, 0.9, 0.5]):
+            store.append(
+                "lat_bucket",
+                float(i),
+                t=T0 + i,
+                exemplar={
+                    "labels": {"trace_id": f"t{i}"},
+                    "value": value,
+                },
+            )
+        store.append("lat_bucket", 9.0, t=T0 + 9)  # no exemplar
+        entries = store.exemplars("lat_bucket")
+        assert [
+            e["exemplar"]["labels"]["trace_id"] for e in entries
+        ] == ["t1", "t2", "t0"]
+        assert entries[0]["metric"] == "lat_bucket"
+
+
+class TestCompaction:
+    def test_closed_windows_sorted(self, tmp_path):
+        store = _store(tmp_path)
+        # out-of-order appends inside one (closed) window
+        store.append("m", 2.0, t=T0 + 4)
+        store.append("m", 1.0, t=T0 + 1)
+        store.flush()
+        result = store.compact(now=T0 + 100)
+        assert result["compacted"] >= 1
+        (path,) = (store.segments_dir / "m").glob("*.jsonl")
+        ts = [
+            json.loads(line)["t"]
+            for line in path.read_text().splitlines()
+        ]
+        assert ts == sorted(ts)
+
+    def test_active_window_untouched(self, tmp_path):
+        store = _store(tmp_path)
+        store.append("m", 2.0, t=T0 + 4)
+        store.append("m", 1.0, t=T0 + 1)
+        store.flush()
+        result = store.compact(now=T0 + 5)  # same window still active
+        assert result["compacted"] == 0
+
+    def test_retention_drops_oldest(self, tmp_path):
+        store = _store(tmp_path)
+        for i in range(4):
+            store.append("m", float(i), t=T0 + 10 * i)
+        store.flush()
+        result = store.compact(
+            now=T0 + 100, retention_windows=2
+        )
+        assert result["dropped"] == 2
+        assert len(store.windows("m")) == 2
+        assert [p.value for p in store.query_range("m")] == [
+            2.0,
+            3.0,
+        ]
+
+    def test_retention_zero_keeps_all(self, tmp_path):
+        store = _store(tmp_path)
+        for i in range(3):
+            store.append("m", float(i), t=T0 + 10 * i)
+        store.flush()
+        assert store.compact(now=T0 + 100)["dropped"] == 0
+        assert len(store.windows("m")) == 3
+
+
+class TestStats:
+    def test_counts_and_span(self, tmp_path):
+        store = _store(tmp_path)
+        store.append("a", 1.0, t=T0)
+        store.append("b", 2.0, t=T0 + 30)
+        store.flush()
+        stats = store.stats()
+        assert stats["schema"] == TSDB_SCHEMA
+        assert stats["n_metrics"] == 2
+        assert stats["n_samples"] == 2
+        assert stats["t_min"] == T0
+        assert stats["t_max"] == T0 + 30
+
+    def test_empty_store(self, tmp_path):
+        stats = _store(tmp_path).stats()
+        assert stats["n_metrics"] == 0
+        assert stats["t_min"] is None
+
+    def test_bad_constructor_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            _store(tmp_path, window_s=0.0)
+        with pytest.raises(ValueError):
+            _store(tmp_path, retention_windows=-1)

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.telemetry import MetricsRegistry
-from repro.telemetry.prometheus import metric_name, render_prometheus
+from repro.telemetry.prometheus import (
+    escape_label_value,
+    metric_name,
+    render_labeled,
+    render_prometheus,
+)
 
 
 class TestMetricName:
@@ -97,3 +102,131 @@ class TestRender:
             if not line.startswith("#"):
                 name = line.split(" ")[0].split("{")[0]
                 assert name.startswith("flashmark_")
+
+
+class TestCollisionSuffixing:
+    """Regression: two internal names that normalize to the same
+    exposition name must not silently merge into one series."""
+
+    def _text(self, reg):
+        return render_prometheus(reg.snapshot())
+
+    def test_hung_skips_collision_disambiguated(self):
+        # the canonical collision: dash and underscore both normalize
+        # to flashmark_engine_hung_skips
+        reg = MetricsRegistry()
+        reg.counter("engine.hung-skips").inc(1)
+        reg.counter("engine.hung_skips").inc(2)
+        lines = [
+            line
+            for line in self._text(reg).splitlines()
+            if not line.startswith("#")
+        ]
+        names = {line.split(" ")[0] for line in lines}
+        assert len(names) == 2
+        assert all(
+            n.startswith("flashmark_engine_hung_skips_")
+            for n in names
+        )
+        # the values stayed attached to distinct series
+        assert {line.split(" ")[1] for line in lines} == {"1", "2"}
+
+    def test_suffix_is_deterministic_across_snapshots(self):
+        def render():
+            reg = MetricsRegistry()
+            reg.counter("engine.hung-skips").inc(1)
+            reg.counter("engine.hung_skips").inc(2)
+            # an unrelated co-resident metric must not shift suffixes
+            reg.counter("service.requests").inc(9)
+            return self._text(reg)
+
+        assert render() == render()
+
+    def test_cross_kind_collision_also_suffixed(self):
+        reg = MetricsRegistry()
+        reg.counter("service.depth").inc(1)
+        reg.gauge("service-depth").set(2.0)
+        text = self._text(reg)
+        sample_names = {
+            line.split(" ")[0].split("{")[0]
+            for line in text.splitlines()
+            if not line.startswith("#")
+        }
+        assert len(sample_names) == 2
+
+    def test_non_colliding_names_keep_clean_form(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.hung_skips").inc(2)
+        assert "flashmark_engine_hung_skips 2" in self._text(reg)
+
+
+class TestExemplarRendering:
+    def test_bucket_carries_exemplar_clause(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("service.latency_s", buckets=(0.1, 1.0))
+        hist.observe(
+            0.05,
+            exemplar={"trace_id": "ab" * 16},
+            unix_s=1754650000.5,
+        )
+        text = render_prometheus(reg.snapshot())
+        assert (
+            'flashmark_service_latency_s_bucket{le="0.1"} 1 '
+            f'# {{trace_id="{"ab" * 16}"}} 0.05 1754650000.5'
+        ) in text
+
+    def test_overflow_bucket_exemplar_on_inf_line(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("service.latency_s", buckets=(0.1,))
+        hist.observe(9.0, exemplar={"trace_id": "ff" * 16})
+        text = render_prometheus(reg.snapshot())
+        (inf_line,) = [
+            line
+            for line in text.splitlines()
+            if 'le="+Inf"' in line
+        ]
+        assert f'# {{trace_id="{"ff" * 16}"}} 9.0' in inf_line
+
+    def test_observations_without_exemplars_render_plain(self):
+        reg = MetricsRegistry()
+        reg.histogram("service.latency_s", buckets=(0.1,)).observe(
+            0.05
+        )
+        text = render_prometheus(reg.snapshot())
+        assert "#" not in text.replace("# TYPE", "")
+
+
+class TestRenderLabeled:
+    def test_per_shard_family(self):
+        lines = render_labeled(
+            "fleet.evictions.total",
+            [
+                ({"shard": "shard-0"}, 1),
+                ({"shard": "shard-1"}, 0),
+            ],
+        )
+        assert lines[0] == (
+            "# TYPE flashmark_fleet_evictions_total counter"
+        )
+        assert (
+            'flashmark_fleet_evictions_total{shard="shard-0"} 1'
+            in lines
+        )
+        assert (
+            'flashmark_fleet_evictions_total{shard="shard-1"} 0'
+            in lines
+        )
+
+    def test_unlabeled_series_and_kind(self):
+        lines = render_labeled(
+            "fleet.shards", [({}, 3)], kind="gauge"
+        )
+        assert lines == [
+            "# TYPE flashmark_fleet_shards gauge",
+            "flashmark_fleet_shards 3",
+        ]
+
+    def test_label_values_escaped(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        (line,) = render_labeled("m", [({"k": 'x"y'}, 1)])[1:]
+        assert line == 'flashmark_m{k="x\\"y"} 1'

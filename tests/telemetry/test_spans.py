@@ -244,3 +244,77 @@ class TestRotation:
     def test_max_bytes_validated(self, tmp_path):
         with pytest.raises(ValueError, match="max_bytes"):
             JsonlSink(tmp_path / "s.jsonl", max_bytes=0)
+
+
+class TestNumberedRotation:
+    """Satellite: rotation keeps a numbered history (.1 newest) up to
+    ``max_files``, shifting prior rotations up and dropping the oldest
+    off the end — across restarts too."""
+
+    def _emit_seq(self, sink, n, start=0):
+        for i in range(start, start + n):
+            sink.emit({"seq": i})
+
+    def _seqs(self, path):
+        return [
+            json.loads(line)["seq"]
+            for line in path.read_text().strip().splitlines()
+        ]
+
+    def test_history_kept_newest_first(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        # max_bytes=1: every emit after the first rotates, so each
+        # file holds exactly one record and ordering is exact
+        sink = JsonlSink(path, max_bytes=1, max_files=3)
+        self._emit_seq(sink, 5)
+        sink.close()
+        assert sink.rotations == 4
+        assert self._seqs(path) == [4]
+        assert self._seqs(tmp_path / "spans.jsonl.1") == [3]
+        assert self._seqs(tmp_path / "spans.jsonl.2") == [2]
+        assert self._seqs(tmp_path / "spans.jsonl.3") == [1]
+        # seq 0 fell off the end of the history
+        assert not (tmp_path / "spans.jsonl.4").exists()
+
+    def test_disk_bound_is_max_files_plus_active(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path, max_bytes=1, max_files=2)
+        self._emit_seq(sink, 20)
+        sink.close()
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "spans.jsonl",
+            "spans.jsonl.1",
+            "spans.jsonl.2",
+        ]
+
+    def test_restart_shifts_preexisting_rotations(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        first = JsonlSink(path, max_bytes=1, max_files=3)
+        self._emit_seq(first, 3)  # file=2, .1=1, .2=0
+        first.close()
+        # a new process picks up where the old one left off
+        second = JsonlSink(path, max_bytes=1, max_files=3)
+        self._emit_seq(second, 2, start=3)
+        second.close()
+        assert self._seqs(path) == [4]
+        assert self._seqs(tmp_path / "spans.jsonl.1") == [3]
+        assert self._seqs(tmp_path / "spans.jsonl.2") == [2]
+        assert self._seqs(tmp_path / "spans.jsonl.3") == [1]
+
+    def test_restart_drops_oldest_past_the_cap(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        first = JsonlSink(path, max_bytes=1, max_files=2)
+        self._emit_seq(first, 3)  # file=2, .1=1, .2=0
+        first.close()
+        second = JsonlSink(path, max_bytes=1, max_files=2)
+        self._emit_seq(second, 1, start=3)
+        second.close()
+        assert self._seqs(path) == [3]
+        assert self._seqs(tmp_path / "spans.jsonl.1") == [2]
+        assert self._seqs(tmp_path / "spans.jsonl.2") == [1]
+        assert not (tmp_path / "spans.jsonl.3").exists()
+
+    def test_max_files_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_files"):
+            JsonlSink(tmp_path / "s.jsonl", max_files=0)

@@ -130,3 +130,57 @@ class TestCheckBench:
         base = _doc()
         del base["verify_population"]
         assert check_bench(doc, base) == []
+
+
+class TestProfilingOverheadGate:
+    """Satellite: ``--gate`` enforces the profiler's overhead budget —
+    a profiled verify must stay within 1.1x of the unprofiled run."""
+
+    def _doc(self, ratio=1.02, n_samples=14):
+        doc = _doc()
+        doc["profiling_overhead"] = {
+            "n_chips": 60,
+            "hz": 99.0,
+            "unprofiled_s": 0.066,
+            "profiled_s": 0.066 * ratio,
+            "n_samples": n_samples,
+            "ratio": ratio,
+        }
+        return doc
+
+    def test_within_budget_passes(self):
+        assert check_bench(self._doc(ratio=1.05), _doc()) == []
+
+    def test_boundary_ratio_passes(self):
+        assert check_bench(self._doc(ratio=1.1), _doc()) == []
+
+    def test_over_budget_fails(self):
+        problems = check_bench(self._doc(ratio=1.4), _doc())
+        assert any("profiling_overhead" in p for p in problems)
+        assert any("1.1x budget" in p for p in problems)
+
+    def test_missing_ratio_fails(self):
+        doc = self._doc()
+        doc["profiling_overhead"]["ratio"] = None
+        problems = check_bench(doc, _doc())
+        assert any("profiling_overhead" in p for p in problems)
+
+    def test_zero_samples_is_vacuous(self):
+        problems = check_bench(
+            self._doc(ratio=0.9, n_samples=0), _doc()
+        )
+        assert any("zero samples" in p for p in problems)
+
+    def test_custom_budget(self):
+        assert (
+            check_bench(
+                self._doc(ratio=1.4),
+                _doc(),
+                max_profiling_ratio=1.5,
+            )
+            == []
+        )
+
+    def test_absent_section_not_required(self):
+        # a baseline doc from before the profiler existed still gates
+        assert check_bench(_doc(), self._doc()) == []
